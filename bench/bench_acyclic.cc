@@ -1,0 +1,92 @@
+// E12 ([Yan81]/[CR97] discussion in Sections 1 and 5): containment with an
+// acyclic right-hand side is polynomial via Yannakakis semijoins, versus
+// the generic NP test. Series: both procedures as the queries grow, plus
+// an agreement audit.
+
+#include <benchmark/benchmark.h>
+
+#include "cq/acyclic.h"
+#include "cq/containment.h"
+#include "gen/generators.h"
+
+namespace cqcs {
+namespace {
+
+struct QueryPair {
+  ConjunctiveQuery q1;
+  ConjunctiveQuery q2;
+};
+
+QueryPair MakePair(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  auto vocab = MakeGraphVocabulary();
+  ConjunctiveQuery q1 = ChainQuery(vocab, size);
+  ConjunctiveQuery q2 = ChainQuery(vocab, size / 2 + 1);
+  return QueryPair{std::move(q1), std::move(q2)};
+}
+
+void BM_AcyclicContainment(benchmark::State& state) {
+  QueryPair pair = MakePair(static_cast<size_t>(state.range(0)), 3);
+  bool answer = false;
+  for (auto _ : state) {
+    auto r = AcyclicContainment(pair.q1, pair.q2);
+    answer = r.ok() && *r;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["contained"] = answer ? 1 : 0;
+}
+BENCHMARK(BM_AcyclicContainment)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GenericContainmentBaseline(benchmark::State& state) {
+  QueryPair pair = MakePair(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsContained(pair.q1, pair.q2));
+  }
+}
+BENCHMARK(BM_GenericContainmentBaseline)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_YannakakisEvaluation(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(17 + n);
+  auto vocab = MakeGraphVocabulary();
+  ConjunctiveQuery chain = ChainQuery(vocab, 8);
+  Structure d = RandomGraphStructure(vocab, n, 8.0 / static_cast<double>(n),
+                                     rng, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateBooleanAcyclic(chain, d));
+  }
+}
+BENCHMARK(BM_YannakakisEvaluation)
+    ->Arg(32)->Arg(128)->Arg(512)->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_AcyclicAgreementAudit(benchmark::State& state) {
+  auto vocab = MakeGraphVocabulary();
+  size_t agreements = 0, instances = 0;
+  for (auto _ : state) {
+    agreements = instances = 0;
+    Rng rng(515);
+    for (int trial = 0; trial < 20; ++trial) {
+      ConjunctiveQuery q1 =
+          RandomQuery(vocab, 2 + rng.Below(3), 2 + rng.Below(4), rng);
+      ConjunctiveQuery q2 = ChainQuery(vocab, 1 + rng.Below(4));
+      std::vector<VarId> head = {q1.head()[0], q1.head()[0]};
+      q1.SetHead(head);
+      auto fast = AcyclicContainment(q1, q2);
+      auto slow = IsContained(q1, q2);
+      ++instances;
+      if (fast.ok() && slow.ok() && *fast == *slow) ++agreements;
+    }
+    benchmark::DoNotOptimize(agreements);
+  }
+  state.counters["instances"] = static_cast<double>(instances);
+  state.counters["agreements"] = static_cast<double>(agreements);
+}
+BENCHMARK(BM_AcyclicAgreementAudit)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cqcs

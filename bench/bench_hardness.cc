@@ -1,0 +1,92 @@
+// E11 (Section 2's negative discussion): nonuniform tractability does not
+// uniformize. CSP(K, G) — "does G contain a k-clique?" — is NP-complete
+// although each slice CSP(K_k, G) is constant-time; the uniform
+// backtracking cost explodes in k while each fixed-k curve stays
+// polynomial in |G|. Also general CQ containment (chain-in-random) as the
+// NP-complete base problem the tractable fragments carve out of.
+
+#include <benchmark/benchmark.h>
+
+#include "cq/containment.h"
+#include "gen/generators.h"
+#include "solver/backtracking.h"
+
+namespace cqcs {
+namespace {
+
+void BM_CliqueIntoRandomGraph(benchmark::State& state) {
+  // Spears the nonuniformity: fixed target size, growing clique. The target
+  // is triangle-rich but k-clique-free for larger k, so the solver must
+  // exhaust the search space.
+  const size_t k = static_cast<size_t>(state.range(0));
+  Rng rng(31337);
+  auto vocab = MakeGraphVocabulary();
+  Structure clique = CliqueStructure(vocab, k);
+  Structure g = RandomGraphStructure(vocab, 24, 0.5, rng, /*symmetric=*/true);
+  SolveStats stats;
+  bool found = false;
+  for (auto _ : state) {
+    BacktrackingSolver solver(clique, g);
+    stats = SolveStats{};
+    auto h = solver.Solve(&stats);
+    found = h.has_value();
+    benchmark::DoNotOptimize(h);
+  }
+  state.counters["nodes"] = static_cast<double>(stats.nodes);
+  state.counters["clique_found"] = found ? 1 : 0;
+}
+BENCHMARK(BM_CliqueIntoRandomGraph)
+    ->DenseRange(3, 9)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CliqueFixedK_GraphSweep(benchmark::State& state) {
+  // The nonuniform slices: k fixed, |G| growing — polynomial curves.
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(999);
+  auto vocab = MakeGraphVocabulary();
+  Structure clique = CliqueStructure(vocab, 4);
+  Structure g = RandomGraphStructure(vocab, n, 0.3, rng, /*symmetric=*/true);
+  for (auto _ : state) {
+    BacktrackingSolver solver(clique, g);
+    benchmark::DoNotOptimize(solver.Solve());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CliqueFixedK_GraphSweep)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oAuto);
+
+void BM_ChainContainment(benchmark::State& state) {
+  // Chain queries have treewidth 1; general containment handles them fast
+  // even though the problem is NP-complete in general — the contrast that
+  // motivates the width-based fragments (Section 5, [CR97]).
+  const size_t len = static_cast<size_t>(state.range(0));
+  auto vocab = MakeGraphVocabulary();
+  ConjunctiveQuery chain = ChainQuery(vocab, len);
+  ConjunctiveQuery longer = ChainQuery(vocab, len + 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsContained(chain, longer));
+    benchmark::DoNotOptimize(IsContained(longer, chain));
+  }
+}
+BENCHMARK(BM_ChainContainment)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RandomContainment(benchmark::State& state) {
+  // Random query pairs: the NP-complete general case at moderate sizes.
+  const size_t vars = static_cast<size_t>(state.range(0));
+  Rng rng(606 + vars);
+  auto vocab = MakeGraphVocabulary();
+  ConjunctiveQuery q1 = RandomQuery(vocab, vars, 2 * vars, rng);
+  ConjunctiveQuery q2 = RandomQuery(vocab, vars, 2 * vars, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsContained(q1, q2));
+  }
+}
+BENCHMARK(BM_RandomContainment)
+    ->Arg(4)->Arg(8)->Arg(12)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace cqcs

@@ -1,0 +1,62 @@
+// E7 (Theorems 4.7/4.9): the existential k-pebble game is decidable in
+// time polynomial in n^{2k}. Series: game time versus |A| for k = 2, 3;
+// the position counter exhibits the n^{k}·m^{k}-sized state space the
+// fixpoint runs over.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.h"
+#include "pebble/game.h"
+
+namespace cqcs {
+namespace {
+
+void RunGame(benchmark::State& state, uint32_t k) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(31 * n + k);
+  auto vocab = MakeGraphVocabulary();
+  Structure a = RandomGraphStructure(vocab, n, 0.3, rng, false);
+  Structure b = RandomGraphStructure(vocab, 4, 0.4, rng, false);
+  size_t positions = 0;
+  bool spoiler = false;
+  for (auto _ : state) {
+    ExistentialPebbleGame game(a, b, k);
+    positions = game.stats().total_positions;
+    spoiler = game.SpoilerWins();
+    benchmark::DoNotOptimize(game);
+  }
+  state.counters["positions"] = static_cast<double>(positions);
+  state.counters["spoiler_wins"] = spoiler ? 1 : 0;
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+
+void BM_PebbleGame_K2(benchmark::State& state) { RunGame(state, 2); }
+void BM_PebbleGame_K3(benchmark::State& state) { RunGame(state, 3); }
+
+BENCHMARK(BM_PebbleGame_K2)
+    ->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(24)->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oAuto);
+BENCHMARK(BM_PebbleGame_K3)
+    ->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Arg(12)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oAuto);
+
+void BM_PebbleGame_TargetSweep(benchmark::State& state) {
+  // |B| sweep at fixed |A| — uniformity in the second input.
+  const size_t m = static_cast<size_t>(state.range(0));
+  Rng rng(77 + m);
+  auto vocab = MakeGraphVocabulary();
+  Structure a = RandomGraphStructure(vocab, 10, 0.3, rng, false);
+  Structure b = RandomGraphStructure(vocab, m, 0.4, rng, false);
+  for (auto _ : state) {
+    ExistentialPebbleGame game(a, b, 2);
+    benchmark::DoNotOptimize(game.SpoilerWins());
+  }
+}
+BENCHMARK(BM_PebbleGame_TargetSweep)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(12)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cqcs

@@ -1,0 +1,107 @@
+// E9 (Theorem 5.4): uniform tractability for bounded-treewidth sources.
+// Series: DP over a tree decomposition versus generic backtracking as the
+// source grows (n sweep) and as the target grows (|B| sweep, exhibiting
+// the |B|^{w+1} table factor); plus the width sweep w = 1..4.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.h"
+#include "solver/backtracking.h"
+#include "treewidth/hom_dp.h"
+
+namespace cqcs {
+namespace {
+
+struct Instance {
+  Structure a;
+  Structure b;
+};
+
+Instance MakeInstance(size_t n, uint32_t k, size_t target_size,
+                      uint64_t seed) {
+  Rng rng(seed);
+  auto vocab = MakeGraphVocabulary();
+  Graph ga = RandomPartialKTree(n, k, 0.85, rng);
+  return Instance{
+      StructureFromGraph(vocab, ga),
+      RandomGraphStructure(vocab, target_size, 0.5, rng, /*symmetric=*/true)};
+}
+
+void BM_TreewidthDp_SourceSweep(benchmark::State& state) {
+  Instance inst =
+      MakeInstance(static_cast<size_t>(state.range(0)), 2, 8, 4242);
+  TreewidthSolveStats stats;
+  bool hom = false;
+  for (auto _ : state) {
+    auto r = SolveBoundedTreewidth(inst.a, inst.b, &stats);
+    hom = r.ok() && r->has_value();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["width"] = stats.width;
+  state.counters["table_rows"] = static_cast<double>(stats.table_entries);
+  state.counters["hom"] = hom ? 1 : 0;
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TreewidthDp_SourceSweep)
+    ->RangeMultiplier(2)->Range(16, 512)
+    ->Unit(benchmark::kMicrosecond)->Complexity(benchmark::oAuto);
+
+void BM_Backtracking_SourceSweep(benchmark::State& state) {
+  Instance inst =
+      MakeInstance(static_cast<size_t>(state.range(0)), 2, 8, 4242);
+  for (auto _ : state) {
+    BacktrackingSolver solver(inst.a, inst.b);
+    benchmark::DoNotOptimize(solver.Solve());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Backtracking_SourceSweep)
+    ->RangeMultiplier(2)->Range(16, 512)
+    ->Unit(benchmark::kMicrosecond)->Complexity(benchmark::oAuto);
+
+void BM_TreewidthDp_TargetSweep(benchmark::State& state) {
+  Instance inst =
+      MakeInstance(64, 2, static_cast<size_t>(state.range(0)), 999);
+  TreewidthSolveStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveBoundedTreewidth(inst.a, inst.b, &stats));
+  }
+  state.counters["width"] = stats.width;
+  state.counters["table_rows"] = static_cast<double>(stats.table_entries);
+}
+BENCHMARK(BM_TreewidthDp_TargetSweep)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(24)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_TreewidthDp_WidthSweep(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  Instance inst = MakeInstance(48, k, 6, 777);
+  TreewidthSolveStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveBoundedTreewidth(inst.a, inst.b, &stats));
+  }
+  state.counters["width"] = stats.width;
+  state.counters["table_rows"] = static_cast<double>(stats.table_entries);
+}
+BENCHMARK(BM_TreewidthDp_WidthSweep)
+    ->Arg(1)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Decomposition_MinFill(benchmark::State& state) {
+  Rng rng(55);
+  Graph g = RandomPartialKTree(static_cast<size_t>(state.range(0)), 3, 0.8,
+                               rng);
+  int width = 0;
+  for (auto _ : state) {
+    auto td = DecompositionFromEliminationOrder(g, MinFillOrder(g));
+    width = td.Width();
+    benchmark::DoNotOptimize(td);
+  }
+  state.counters["width"] = width;
+}
+BENCHMARK(BM_Decomposition_MinFill)
+    ->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace cqcs

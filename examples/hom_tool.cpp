@@ -1,0 +1,171 @@
+// cqcs command-line tool: the library's public API over text files.
+//
+// Usage:
+//   hom_tool solve A.struct B.struct        # hom(A -> B)?
+//   hom_tool contains "Q1(...) :- ..." "Q2(...) :- ..."
+//   hom_tool minimize "Q(...) :- ..."
+//   hom_tool evaluate "Q(...) :- ..." D.struct
+//   hom_tool classify B.struct              # Schaefer classes of Boolean B
+//
+// Structure files use the core/io.h format:
+//   universe 3
+//   E/2: 0 1, 1 2
+//
+// Run without arguments for a demo over built-in inputs.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/io.h"
+#include "cq/containment.h"
+#include "cq/parser.h"
+#include "schaefer/boolean_relation.h"
+#include "solver/backtracking.h"
+
+using namespace cqcs;
+
+namespace {
+
+Result<Structure> LoadStructure(const char* path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound(std::string("cannot open ") + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseStructure(buffer.str());
+}
+
+int Solve(const char* a_path, const char* b_path) {
+  auto a = LoadStructure(a_path);
+  auto b = LoadStructure(b_path);
+  if (!a.ok() || !b.ok()) {
+    std::printf("error: %s %s\n", a.status().ToString().c_str(),
+                b.status().ToString().c_str());
+    return 1;
+  }
+  if (!a->vocabulary()->Equals(*b->vocabulary())) {
+    std::printf("error: vocabularies differ (%s vs %s)\n",
+                a->vocabulary()->ToString().c_str(),
+                b->vocabulary()->ToString().c_str());
+    return 1;
+  }
+  auto h = FindHomomorphism(*a, *b);
+  if (!h.has_value()) {
+    std::printf("no homomorphism\n");
+    return 0;
+  }
+  std::printf("homomorphism found:\n");
+  for (size_t e = 0; e < h->size(); ++e) {
+    std::printf("  %zu -> %u\n", e, (*h)[e]);
+  }
+  return 0;
+}
+
+int ContainsCmd(const char* q1_text, const char* q2_text) {
+  auto q1 = ParseQuery(q1_text);
+  if (!q1.ok()) {
+    std::printf("Q1: %s\n", q1.status().ToString().c_str());
+    return 1;
+  }
+  auto q2 = ParseQuery(q2_text, q1->vocabulary());
+  if (!q2.ok()) {
+    std::printf("Q2: %s\n", q2.status().ToString().c_str());
+    return 1;
+  }
+  auto forward = IsContained(*q1, *q2);
+  auto backward = IsContained(*q2, *q1);
+  if (!forward.ok() || !backward.ok()) {
+    std::printf("error: %s %s\n", forward.status().ToString().c_str(),
+                backward.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Q1 ⊆ Q2: %s\nQ2 ⊆ Q1: %s\nequivalent: %s\n",
+              *forward ? "yes" : "no", *backward ? "yes" : "no",
+              *forward && *backward ? "yes" : "no");
+  return 0;
+}
+
+int MinimizeCmd(const char* q_text) {
+  auto q = ParseQuery(q_text);
+  if (!q.ok()) {
+    std::printf("%s\n", q.status().ToString().c_str());
+    return 1;
+  }
+  auto m = Minimize(*q);
+  if (!m.ok()) {
+    std::printf("%s\n", m.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", ToString(*m).c_str());
+  return 0;
+}
+
+int EvaluateCmd(const char* q_text, const char* d_path) {
+  auto q = ParseQuery(q_text);
+  if (!q.ok()) {
+    std::printf("%s\n", q.status().ToString().c_str());
+    return 1;
+  }
+  std::ifstream in(d_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto d = ParseStructure(buffer.str(), q->vocabulary());
+  if (!d.ok()) {
+    std::printf("%s\n", d.status().ToString().c_str());
+    return 1;
+  }
+  auto rows = Evaluate(*q, *d);
+  if (!rows.ok()) {
+    std::printf("%s\n", rows.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu answer(s)\n", rows->size());
+  for (const auto& row : *rows) {
+    std::printf(" ");
+    for (Element e : row) std::printf(" %u", e);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int ClassifyCmd(const char* b_path) {
+  auto b = LoadStructure(b_path);
+  if (!b.ok()) {
+    std::printf("%s\n", b.status().ToString().c_str());
+    return 1;
+  }
+  if (!IsBooleanStructure(*b)) {
+    std::printf("not a Boolean structure (universe size %zu, need 2)\n",
+                b->universe_size());
+    return 1;
+  }
+  std::printf("Schaefer classes: %s\n",
+              SchaeferClassSetToString(ClassifyBooleanStructure(*b)).c_str());
+  return 0;
+}
+
+int Demo() {
+  std::printf("demo (run with a subcommand for real use; see the header)\n\n");
+  const char* q1 = "Q(X) :- E(X, Y), E(Y, Z), E(Z, X).";
+  const char* q2 = "Q(X) :- E(X, Y).";
+  std::printf("$ hom_tool contains \"%s\" \"%s\"\n", q1, q2);
+  ContainsCmd(q1, q2);
+  const char* redundant = "Q(X) :- E(X, Y), E(X, Z).";
+  std::printf("\n$ hom_tool minimize \"%s\"\n", redundant);
+  MinimizeCmd(redundant);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Demo();
+  std::string cmd = argv[1];
+  if (cmd == "solve" && argc == 4) return Solve(argv[2], argv[3]);
+  if (cmd == "contains" && argc == 4) return ContainsCmd(argv[2], argv[3]);
+  if (cmd == "minimize" && argc == 3) return MinimizeCmd(argv[2]);
+  if (cmd == "evaluate" && argc == 4) return EvaluateCmd(argv[2], argv[3]);
+  if (cmd == "classify" && argc == 3) return ClassifyCmd(argv[2]);
+  std::printf("usage: see the comment at the top of examples/hom_tool.cpp\n");
+  return 2;
+}

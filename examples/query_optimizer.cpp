@@ -1,0 +1,63 @@
+// Query minimization — the classical application of containment that the
+// paper's introduction motivates: redundant joins in select-project-join
+// queries can be removed when the smaller query is equivalent, and
+// equivalence reduces to two containment tests.
+
+#include <cstdio>
+
+#include "cq/containment.h"
+#include "cq/parser.h"
+
+using namespace cqcs;
+
+namespace {
+
+void MinimizeAndReport(const char* label, const ConjunctiveQuery& q) {
+  auto minimized = Minimize(q);
+  if (!minimized.ok()) {
+    std::printf("%s: error: %s\n", label, minimized.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s\n  original : %s   (%zu atoms)\n  minimized: %s   (%zu atoms)\n",
+              label, ToString(q).c_str(), q.atoms().size(),
+              ToString(*minimized).c_str(), minimized->atoms().size());
+  auto equivalent = AreEquivalent(q, *minimized);
+  std::printf("  equivalent: %s\n\n", *equivalent ? "yes" : "NO (bug!)");
+}
+
+}  // namespace
+
+int main() {
+  // An "employees" schema: Works(emp, dept), Manages(mgr, emp).
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->AddRelation("Works", 2);
+  vocab->AddRelation("Manages", 2);
+
+  // A machine-generated query with redundant self-joins: the second Works
+  // atom folds onto the first.
+  auto q1 = ParseQuery(
+      "Q(E) :- Works(E, D), Works(E, D2), Manages(M, E).", vocab);
+  MinimizeAndReport("redundant self-join", *q1);
+
+  // A chain that cannot shrink: managers of managers, with the endpoint
+  // distinguished.
+  auto q2 = ParseQuery(
+      "Q(M2) :- Manages(M2, M1), Manages(M1, E), Works(E, D).", vocab);
+  MinimizeAndReport("management chain (already minimal)", *q2);
+
+  // A Boolean query whose body folds dramatically: several parallel copies
+  // of the same pattern collapse to one.
+  auto q3 = ParseQuery(
+      "Q() :- Works(A, B), Works(C, B), Works(A, D), Works(C, D).", vocab);
+  MinimizeAndReport("parallel patterns", *q3);
+
+  // Containment-based view usability check: a materialized view V answers
+  // query Q when Q ⊆ V (simplified rewriting test from the
+  // answering-queries-using-views literature the paper cites).
+  auto view = ParseQuery("V(E) :- Works(E, D).", vocab);
+  auto query = ParseQuery("Q(E) :- Works(E, D), Manages(M, E).", vocab);
+  auto usable = IsContained(*query, *view);
+  std::printf("view usability: Q ⊆ V: %s — the view's rows are a superset\n",
+              *usable ? "yes" : "no");
+  return 0;
+}

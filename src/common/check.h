@@ -1,0 +1,64 @@
+// Internal invariant checks. These abort with a message on violation and are
+// reserved for conditions that indicate a bug in libcqcs or a violated API
+// precondition documented as such; user-input validation uses Status instead.
+
+#ifndef CQCS_COMMON_CHECK_H_
+#define CQCS_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cqcs::internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "CQCS_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace cqcs::internal
+
+/// Aborts if `cond` is false. Always on (also in release builds): the cost is
+/// negligible outside hot loops, and silent corruption is worse.
+#define CQCS_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::cqcs::internal::CheckFail(__FILE__, __LINE__, #cond, "");     \
+  } while (0)
+
+/// CQCS_CHECK with a streamed message: CQCS_CHECK_MSG(x < n, "x=" << x).
+#define CQCS_CHECK_MSG(cond, stream_expr)                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream cqcs_check_oss_;                                  \
+      cqcs_check_oss_ << stream_expr;                                      \
+      ::cqcs::internal::CheckFail(__FILE__, __LINE__, #cond,               \
+                                  cqcs_check_oss_.str());                  \
+    }                                                                      \
+  } while (0)
+
+/// Propagates a non-OK Status from an expression returning Status.
+#define CQCS_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::cqcs::Status cqcs_status_ = (expr);           \
+    if (!cqcs_status_.ok()) return cqcs_status_;    \
+  } while (0)
+
+#define CQCS_MACRO_CONCAT_INNER(a, b) a##b
+#define CQCS_MACRO_CONCAT(a, b) CQCS_MACRO_CONCAT_INNER(a, b)
+
+/// Evaluates an expression returning Result<T>; on error returns the status,
+/// otherwise assigns the value to `lhs`.
+#define CQCS_ASSIGN_OR_RETURN(lhs, expr) \
+  CQCS_ASSIGN_OR_RETURN_IMPL(CQCS_MACRO_CONCAT(cqcs_result_, __LINE__), lhs, \
+                             expr)
+
+#define CQCS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(*tmp)
+
+#endif  // CQCS_COMMON_CHECK_H_

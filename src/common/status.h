@@ -1,0 +1,101 @@
+// Lightweight Status / Result types for fallible APIs (parsers, validators).
+//
+// libcqcs does not throw exceptions across its public API: operations that
+// can fail on user input return `Status` or `Result<T>`. Internal invariant
+// violations use the CQCS_CHECK macros from common/check.h instead.
+
+#ifndef CQCS_COMMON_STATUS_H_
+#define CQCS_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace cqcs {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< Caller passed something malformed (bad arity, ...).
+  kParseError,       ///< Text input could not be parsed.
+  kNotFound,         ///< Named entity (relation symbol, ...) does not exist.
+  kUnsupported,      ///< Operation valid but outside implemented bounds.
+  kInternal,         ///< Library bug; should never be user-visible.
+};
+
+/// Returns a short human-readable name for a status code ("ParseError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the success path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "ParseError: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or an error Status.
+///
+/// Usage:
+///   Result<ConjunctiveQuery> r = ParseQuery(text);
+///   if (!r.ok()) return r.status();
+///   UseQuery(*r);
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from an error status. CHECK-fails if `status.ok()`.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value. Undefined if `!ok()`.
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  T&& operator*() && { return *std::move(value_); }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace cqcs
+
+#endif  // CQCS_COMMON_STATUS_H_

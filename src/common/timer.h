@@ -1,0 +1,33 @@
+// Wall-clock timing helper for the benchmark harnesses.
+
+#ifndef CQCS_COMMON_TIMER_H_
+#define CQCS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace cqcs {
+
+/// Monotonic stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cqcs
+
+#endif  // CQCS_COMMON_TIMER_H_

@@ -1,0 +1,113 @@
+#include "core/graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+#include "core/structure.h"
+
+namespace cqcs {
+
+uint32_t Graph::AddVertex() {
+  adj_.emplace_back();
+  return static_cast<uint32_t>(adj_.size() - 1);
+}
+
+void Graph::AddEdge(uint32_t u, uint32_t v) {
+  CQCS_CHECK(u < adj_.size() && v < adj_.size());
+  if (u == v) return;
+  auto& nu = adj_[u];
+  auto it = std::lower_bound(nu.begin(), nu.end(), v);
+  if (it != nu.end() && *it == v) return;  // duplicate
+  nu.insert(it, v);
+  auto& nv = adj_[v];
+  nv.insert(std::lower_bound(nv.begin(), nv.end(), u), u);
+  ++edge_count_;
+}
+
+bool Graph::HasEdge(uint32_t u, uint32_t v) const {
+  CQCS_CHECK(u < adj_.size() && v < adj_.size());
+  const auto& nu = adj_[u];
+  return std::binary_search(nu.begin(), nu.end(), v);
+}
+
+std::vector<uint32_t> Graph::ConnectedComponents(size_t* count) const {
+  std::vector<uint32_t> comp(adj_.size(), UINT32_MAX);
+  uint32_t next = 0;
+  std::queue<uint32_t> queue;
+  for (uint32_t s = 0; s < adj_.size(); ++s) {
+    if (comp[s] != UINT32_MAX) continue;
+    comp[s] = next;
+    queue.push(s);
+    while (!queue.empty()) {
+      uint32_t v = queue.front();
+      queue.pop();
+      for (uint32_t w : adj_[v]) {
+        if (comp[w] == UINT32_MAX) {
+          comp[w] = next;
+          queue.push(w);
+        }
+      }
+    }
+    ++next;
+  }
+  if (count != nullptr) *count = next;
+  return comp;
+}
+
+bool Graph::TwoColor(std::vector<uint8_t>* colors) const {
+  std::vector<uint8_t> color(adj_.size(), 2);  // 2 == uncolored
+  std::queue<uint32_t> queue;
+  for (uint32_t s = 0; s < adj_.size(); ++s) {
+    if (color[s] != 2) continue;
+    color[s] = 0;
+    queue.push(s);
+    while (!queue.empty()) {
+      uint32_t v = queue.front();
+      queue.pop();
+      for (uint32_t w : adj_[v]) {
+        if (color[w] == 2) {
+          color[w] = static_cast<uint8_t>(1 - color[v]);
+          queue.push(w);
+        } else if (color[w] == color[v]) {
+          return false;
+        }
+      }
+    }
+  }
+  if (colors != nullptr) *colors = std::move(color);
+  return true;
+}
+
+Graph GaifmanGraph(const Structure& a) {
+  Graph g(a.universe_size());
+  const Vocabulary& vocab = *a.vocabulary();
+  for (RelId id = 0; id < vocab.size(); ++id) {
+    const Relation& r = a.relation(id);
+    const uint32_t arity = r.arity();
+    for (uint32_t t = 0; t < r.tuple_count(); ++t) {
+      std::span<const Element> tup = r.tuple(t);
+      for (uint32_t i = 0; i < arity; ++i) {
+        for (uint32_t j = i + 1; j < arity; ++j) {
+          g.AddEdge(tup[i], tup[j]);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+Graph IncidenceGraph(const Structure& a) {
+  Graph g(a.universe_size());
+  const Vocabulary& vocab = *a.vocabulary();
+  for (RelId id = 0; id < vocab.size(); ++id) {
+    const Relation& r = a.relation(id);
+    for (uint32_t t = 0; t < r.tuple_count(); ++t) {
+      uint32_t tuple_vertex = g.AddVertex();
+      for (Element e : r.tuple(t)) g.AddEdge(tuple_vertex, e);
+    }
+  }
+  return g;
+}
+
+}  // namespace cqcs

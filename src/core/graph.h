@@ -1,0 +1,60 @@
+// Simple undirected graphs. Used for the Gaifman and incidence views of a
+// structure and throughout the treewidth module (Section 5 of the paper).
+
+#ifndef CQCS_CORE_GRAPH_H_
+#define CQCS_CORE_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cqcs {
+
+/// An undirected simple graph on vertices 0..n-1 (no self loops, no
+/// parallel edges). Adjacency is stored as sorted neighbor lists.
+class Graph {
+ public:
+  explicit Graph(size_t n = 0) : adj_(n) {}
+
+  size_t vertex_count() const { return adj_.size(); }
+  size_t edge_count() const { return edge_count_; }
+
+  /// Appends an isolated vertex and returns its id.
+  uint32_t AddVertex();
+
+  /// Adds edge {u, v}; ignores self loops and duplicates.
+  void AddEdge(uint32_t u, uint32_t v);
+
+  bool HasEdge(uint32_t u, uint32_t v) const;
+
+  std::span<const uint32_t> neighbors(uint32_t v) const {
+    return adj_[v];
+  }
+  size_t degree(uint32_t v) const { return adj_[v].size(); }
+
+  /// Connected components; result[v] is a component id in [0, count).
+  std::vector<uint32_t> ConnectedComponents(size_t* count = nullptr) const;
+
+  /// Proper 2-coloring if one exists (values 0/1), std::nullopt-like empty
+  /// vector otherwise. Used by the 2-colorability experiments (Example 3.7).
+  bool TwoColor(std::vector<uint8_t>* colors) const;
+
+ private:
+  std::vector<std::vector<uint32_t>> adj_;
+  size_t edge_count_ = 0;
+};
+
+class Structure;  // core/structure.h
+
+/// Gaifman (primal) graph of a structure: vertices are the universe; two
+/// distinct elements are adjacent iff they co-occur in some tuple.
+Graph GaifmanGraph(const Structure& a);
+
+/// Incidence graph of a structure: one vertex per universe element plus one
+/// per tuple; a tuple-vertex is adjacent to the elements it mentions.
+/// Element e keeps id e; tuples get ids universe_size().. in relation order.
+Graph IncidenceGraph(const Structure& a);
+
+}  // namespace cqcs
+
+#endif  // CQCS_CORE_GRAPH_H_

@@ -1,0 +1,92 @@
+#include "core/homomorphism.h"
+
+#include "common/check.h"
+
+namespace cqcs {
+
+namespace {
+
+// Shared scan over A's tuples; calls `on_violation(rel, tuple_index)` for the
+// first violated tuple and returns false, or returns true if none.
+template <typename OnViolation>
+bool ScanTuples(const Structure& a, const Structure& b,
+                std::span<const Element> h, bool allow_unassigned,
+                OnViolation on_violation) {
+  const Vocabulary& vocab = *a.vocabulary();
+  std::vector<Element> image;
+  for (RelId id = 0; id < vocab.size(); ++id) {
+    const Relation& ra = a.relation(id);
+    const Relation& rb = b.relation(id);
+    const uint32_t arity = ra.arity();
+    image.resize(arity);
+    for (uint32_t t = 0; t < ra.tuple_count(); ++t) {
+      std::span<const Element> tup = ra.tuple(t);
+      bool fully_assigned = true;
+      for (uint32_t p = 0; p < arity; ++p) {
+        Element v = h[tup[p]];
+        if (v == kUnassigned) {
+          fully_assigned = false;
+          break;
+        }
+        image[p] = v;
+      }
+      if (!fully_assigned) {
+        if (allow_unassigned) continue;
+        on_violation(id, t);
+        return false;
+      }
+      if (!rb.Contains(image)) {
+        on_violation(id, t);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsHomomorphism(const Structure& a, const Structure& b,
+                    std::span<const Element> h) {
+  if (h.size() != a.universe_size()) return false;
+  for (Element v : h) {
+    if (v >= b.universe_size()) return false;
+  }
+  return ScanTuples(a, b, h, /*allow_unassigned=*/false,
+                    [](RelId, uint32_t) {});
+}
+
+Status CheckHomomorphism(const Structure& a, const Structure& b,
+                         std::span<const Element> h) {
+  if (h.size() != a.universe_size()) {
+    return Status::InvalidArgument("mapping has wrong domain size");
+  }
+  for (Element v : h) {
+    if (v != kUnassigned && v >= b.universe_size()) {
+      return Status::InvalidArgument("mapping value outside B's universe");
+    }
+  }
+  RelId bad_rel = 0;
+  uint32_t bad_tuple = 0;
+  bool ok = ScanTuples(a, b, h, /*allow_unassigned=*/false,
+                       [&](RelId r, uint32_t t) {
+                         bad_rel = r;
+                         bad_tuple = t;
+                       });
+  if (ok) return Status::OK();
+  return Status::InvalidArgument(
+      "tuple " + std::to_string(bad_tuple) + " of relation " +
+      a.vocabulary()->name(bad_rel) + " is not preserved");
+}
+
+bool IsPartialHomomorphism(const Structure& a, const Structure& b,
+                           std::span<const Element> partial) {
+  CQCS_CHECK(partial.size() == a.universe_size());
+  for (Element v : partial) {
+    if (v != kUnassigned && v >= b.universe_size()) return false;
+  }
+  return ScanTuples(a, b, partial, /*allow_unassigned=*/true,
+                    [](RelId, uint32_t) {});
+}
+
+}  // namespace cqcs

@@ -1,0 +1,40 @@
+// Homomorphisms between relational structures — the central notion of the
+// paper: h : A -> B is a homomorphism when every tuple of every relation of
+// A is mapped (componentwise) to a tuple of the corresponding relation of B.
+
+#ifndef CQCS_CORE_HOMOMORPHISM_H_
+#define CQCS_CORE_HOMOMORPHISM_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/structure.h"
+
+namespace cqcs {
+
+/// A total mapping from A's universe to B's universe; h[a] is the image of a.
+using Homomorphism = std::vector<Element>;
+
+/// Checks that `h` (of size A.universe_size(), with values below
+/// B.universe_size()) is a homomorphism from A to B. O(‖A‖ log ‖B‖).
+bool IsHomomorphism(const Structure& a, const Structure& b,
+                    std::span<const Element> h);
+
+/// Like IsHomomorphism but reports the first violated tuple in the message.
+Status CheckHomomorphism(const Structure& a, const Structure& b,
+                         std::span<const Element> h);
+
+/// A partial mapping from A to B: kUnassigned marks unmapped elements.
+/// Used by the solver and the pebble-game module.
+inline constexpr Element kUnassigned = static_cast<Element>(-1);
+
+/// Checks that the assigned part of `h` violates no tuple of A all of whose
+/// positions are assigned. (A necessary condition for extensibility.)
+bool IsPartialHomomorphism(const Structure& a, const Structure& b,
+                           std::span<const Element> partial);
+
+}  // namespace cqcs
+
+#endif  // CQCS_CORE_HOMOMORPHISM_H_

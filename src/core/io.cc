@@ -1,0 +1,162 @@
+#include "core/io.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace cqcs {
+
+namespace {
+
+struct ParsedLine {
+  std::string name;
+  uint32_t arity = 0;
+  std::vector<std::vector<Element>> tuples;
+};
+
+Status ParseRelationLine(std::string_view line, size_t line_no,
+                         ParsedLine* out) {
+  auto fail = [line_no](const std::string& what) {
+    return Status::ParseError("line " + std::to_string(line_no) + ": " + what);
+  };
+  size_t colon = line.find(':');
+  if (colon == std::string_view::npos) {
+    return fail("expected 'name/arity: tuples'");
+  }
+  std::string_view head = StripAsciiWhitespace(line.substr(0, colon));
+  size_t slash = head.find('/');
+  if (slash == std::string_view::npos) {
+    return fail("relation header must be 'name/arity'");
+  }
+  std::string_view name = StripAsciiWhitespace(head.substr(0, slash));
+  if (!IsIdentifier(name)) {
+    return fail("bad relation name '" + std::string(name) + "'");
+  }
+  uint64_t arity = 0;
+  if (!ParseUint64(StripAsciiWhitespace(head.substr(slash + 1)), &arity) ||
+      arity == 0 || arity > UINT32_MAX) {
+    return fail("bad arity in '" + std::string(head) + "'");
+  }
+  out->name = std::string(name);
+  out->arity = static_cast<uint32_t>(arity);
+
+  std::string_view body = StripAsciiWhitespace(line.substr(colon + 1));
+  if (body.empty()) return Status::OK();  // declared empty relation
+  for (std::string_view piece : SplitString(body, ',')) {
+    piece = StripAsciiWhitespace(piece);
+    if (piece.empty()) return fail("empty tuple");
+    std::vector<Element> tuple;
+    for (std::string_view token : SplitWhitespace(piece)) {
+      uint64_t e = 0;
+      if (!ParseUint64(token, &e) || e > UINT32_MAX) {
+        return fail("bad element '" + std::string(token) + "'");
+      }
+      tuple.push_back(static_cast<Element>(e));
+    }
+    if (tuple.size() != out->arity) {
+      return fail("tuple of length " + std::to_string(tuple.size()) +
+                  " in relation of arity " + std::to_string(out->arity));
+    }
+    out->tuples.push_back(std::move(tuple));
+  }
+  return Status::OK();
+}
+
+Result<Structure> ParseImpl(std::string_view text, VocabularyPtr fixed_vocab) {
+  std::vector<ParsedLine> lines;
+  bool saw_universe = false;
+  uint64_t universe = 0;
+  size_t line_no = 0;
+  for (std::string_view raw : SplitString(text, '\n')) {
+    ++line_no;
+    size_t hash = raw.find('#');
+    if (hash != std::string_view::npos) raw = raw.substr(0, hash);
+    std::string_view line = StripAsciiWhitespace(raw);
+    if (line.empty()) continue;
+    if (!saw_universe) {
+      auto tokens = SplitWhitespace(line);
+      if (tokens.size() != 2 || tokens[0] != "universe" ||
+          !ParseUint64(tokens[1], &universe)) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": expected 'universe <n>' first");
+      }
+      saw_universe = true;
+      continue;
+    }
+    ParsedLine parsed;
+    Status s = ParseRelationLine(line, line_no, &parsed);
+    if (!s.ok()) return s;
+    lines.push_back(std::move(parsed));
+  }
+  if (!saw_universe) {
+    return Status::ParseError("missing 'universe <n>' declaration");
+  }
+
+  VocabularyPtr vocab;
+  if (fixed_vocab != nullptr) {
+    vocab = std::move(fixed_vocab);
+  } else {
+    auto inferred = std::make_shared<Vocabulary>();
+    for (const ParsedLine& line : lines) {
+      if (auto existing = inferred->FindRelation(line.name)) {
+        if (inferred->arity(*existing) != line.arity) {
+          return Status::ParseError("relation '" + line.name +
+                                    "' declared with two different arities");
+        }
+      } else {
+        inferred->AddRelation(line.name, line.arity);
+      }
+    }
+    vocab = inferred;
+  }
+
+  Structure out(vocab, universe);
+  for (const ParsedLine& line : lines) {
+    auto id = vocab->FindRelation(line.name);
+    if (!id.has_value()) {
+      return Status::ParseError("unknown relation '" + line.name + "'");
+    }
+    if (vocab->arity(*id) != line.arity) {
+      return Status::ParseError("relation '" + line.name + "' has arity " +
+                                std::to_string(vocab->arity(*id)) +
+                                " in the vocabulary");
+    }
+    for (const auto& tuple : line.tuples) {
+      Status s = out.TryAddTuple(*id, tuple);
+      if (!s.ok()) return s;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Structure> ParseStructure(std::string_view text) {
+  return ParseImpl(text, nullptr);
+}
+
+Result<Structure> ParseStructure(std::string_view text, VocabularyPtr vocab) {
+  return ParseImpl(text, std::move(vocab));
+}
+
+std::string PrintStructure(const Structure& s) {
+  std::ostringstream out;
+  out << "universe " << s.universe_size() << "\n";
+  const Vocabulary& vocab = *s.vocabulary();
+  for (RelId id = 0; id < vocab.size(); ++id) {
+    const Relation& r = s.relation(id);
+    out << vocab.name(id) << "/" << r.arity() << ":";
+    for (uint32_t t = 0; t < r.tuple_count(); ++t) {
+      out << (t == 0 ? " " : ", ");
+      std::span<const Element> tup = r.tuple(t);
+      for (uint32_t p = 0; p < r.arity(); ++p) {
+        if (p > 0) out << " ";
+        out << tup[p];
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cqcs

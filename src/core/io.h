@@ -1,0 +1,39 @@
+// Text format for structures, for examples, tests, and tooling.
+//
+// Grammar (line oriented; '#' starts a comment):
+//
+//   universe 5
+//   E/2: 0 1, 1 2, 2 3
+//   P/1: 0
+//
+// The first non-comment line must declare the universe size. Each following
+// line declares one relation: "name/arity:" then comma-separated tuples of
+// whitespace-separated element indices. A relation may be declared on
+// multiple lines; tuples accumulate. Relations never mentioned are empty
+// only if they are present in the supplied vocabulary; when parsing without
+// a vocabulary the vocabulary is inferred from the declarations.
+
+#ifndef CQCS_CORE_IO_H_
+#define CQCS_CORE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/structure.h"
+
+namespace cqcs {
+
+/// Parses a structure, inferring its vocabulary from the text.
+Result<Structure> ParseStructure(std::string_view text);
+
+/// Parses a structure against a fixed vocabulary; relations absent from the
+/// text are empty; unknown relation names are an error.
+Result<Structure> ParseStructure(std::string_view text, VocabularyPtr vocab);
+
+/// Prints a structure in the format ParseStructure accepts.
+std::string PrintStructure(const Structure& s);
+
+}  // namespace cqcs
+
+#endif  // CQCS_CORE_IO_H_

@@ -1,0 +1,131 @@
+#include "core/ops.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace cqcs {
+
+Structure DisjointUnion(const Structure& a, const Structure& b) {
+  CQCS_CHECK_MSG(a.vocabulary()->Equals(*b.vocabulary()),
+                 "disjoint union requires equal vocabularies");
+  Structure out(a.vocabulary(), a.universe_size() + b.universe_size());
+  const Vocabulary& vocab = *a.vocabulary();
+  std::vector<Element> shifted;
+  for (RelId id = 0; id < vocab.size(); ++id) {
+    const Relation& ra = a.relation(id);
+    for (uint32_t t = 0; t < ra.tuple_count(); ++t) {
+      out.AddTuple(id, ra.tuple(t));
+    }
+    const Relation& rb = b.relation(id);
+    const uint32_t arity = rb.arity();
+    shifted.resize(arity);
+    for (uint32_t t = 0; t < rb.tuple_count(); ++t) {
+      std::span<const Element> tup = rb.tuple(t);
+      for (uint32_t p = 0; p < arity; ++p) {
+        shifted[p] = tup[p] + static_cast<Element>(a.universe_size());
+      }
+      out.AddTuple(id, shifted);
+    }
+  }
+  return out;
+}
+
+Structure Product(const Structure& a, const Structure& b) {
+  CQCS_CHECK_MSG(a.vocabulary()->Equals(*b.vocabulary()),
+                 "product requires equal vocabularies");
+  const size_t nb = b.universe_size();
+  Structure out(a.vocabulary(), a.universe_size() * nb);
+  const Vocabulary& vocab = *a.vocabulary();
+  std::vector<Element> combined;
+  for (RelId id = 0; id < vocab.size(); ++id) {
+    const Relation& ra = a.relation(id);
+    const Relation& rb = b.relation(id);
+    const uint32_t arity = ra.arity();
+    combined.resize(arity);
+    for (uint32_t ta = 0; ta < ra.tuple_count(); ++ta) {
+      std::span<const Element> ua = ra.tuple(ta);
+      for (uint32_t tb = 0; tb < rb.tuple_count(); ++tb) {
+        std::span<const Element> ub = rb.tuple(tb);
+        for (uint32_t p = 0; p < arity; ++p) {
+          combined[p] = static_cast<Element>(ua[p] * nb + ub[p]);
+        }
+        out.AddTuple(id, combined);
+      }
+    }
+  }
+  return out;
+}
+
+Structure InducedSubstructure(const Structure& a,
+                              std::span<const Element> elements) {
+  std::unordered_map<Element, Element> to_new;
+  to_new.reserve(elements.size());
+  for (size_t i = 0; i < elements.size(); ++i) {
+    CQCS_CHECK(elements[i] < a.universe_size());
+    bool inserted =
+        to_new.emplace(elements[i], static_cast<Element>(i)).second;
+    CQCS_CHECK_MSG(inserted, "duplicate element in InducedSubstructure");
+  }
+  Structure out(a.vocabulary(), elements.size());
+  const Vocabulary& vocab = *a.vocabulary();
+  std::vector<Element> mapped;
+  for (RelId id = 0; id < vocab.size(); ++id) {
+    const Relation& ra = a.relation(id);
+    const uint32_t arity = ra.arity();
+    mapped.resize(arity);
+    for (uint32_t t = 0; t < ra.tuple_count(); ++t) {
+      std::span<const Element> tup = ra.tuple(t);
+      bool inside = true;
+      for (uint32_t p = 0; p < arity; ++p) {
+        auto it = to_new.find(tup[p]);
+        if (it == to_new.end()) {
+          inside = false;
+          break;
+        }
+        mapped[p] = it->second;
+      }
+      if (inside) out.AddTuple(id, mapped);
+    }
+  }
+  return out;
+}
+
+Structure RenameElements(const Structure& a, std::span<const Element> rename,
+                         size_t new_size) {
+  CQCS_CHECK(rename.size() == a.universe_size());
+  Structure out(a.vocabulary(), new_size);
+  const Vocabulary& vocab = *a.vocabulary();
+  std::vector<Element> mapped;
+  for (RelId id = 0; id < vocab.size(); ++id) {
+    const Relation& ra = a.relation(id);
+    const uint32_t arity = ra.arity();
+    mapped.resize(arity);
+    for (uint32_t t = 0; t < ra.tuple_count(); ++t) {
+      std::span<const Element> tup = ra.tuple(t);
+      for (uint32_t p = 0; p < arity; ++p) {
+        CQCS_CHECK(rename[tup[p]] < new_size);
+        mapped[p] = rename[tup[p]];
+      }
+      out.AddTuple(id, mapped);
+    }
+  }
+  return out;
+}
+
+Homomorphism IdentityMap(const Structure& a) {
+  Homomorphism h(a.universe_size());
+  for (size_t i = 0; i < h.size(); ++i) h[i] = static_cast<Element>(i);
+  return h;
+}
+
+Homomorphism Compose(std::span<const Element> h, std::span<const Element> g) {
+  Homomorphism out(h.size());
+  for (size_t i = 0; i < h.size(); ++i) {
+    CQCS_CHECK(h[i] < g.size());
+    out[i] = g[h[i]];
+  }
+  return out;
+}
+
+}  // namespace cqcs

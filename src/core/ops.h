@@ -1,0 +1,46 @@
+// Algebraic operations on structures: disjoint union, direct product,
+// induced substructures, renaming along a mapping. These are the standard
+// tools of the homomorphism-based treatment of CSP (products witness
+// conjunction of constraints; disjoint unions witness independent instances).
+
+#ifndef CQCS_CORE_OPS_H_
+#define CQCS_CORE_OPS_H_
+
+#include <span>
+
+#include "core/homomorphism.h"
+#include "core/structure.h"
+
+namespace cqcs {
+
+/// A ⊎ B: universes are concatenated (A's elements keep their ids, B's are
+/// shifted by |A|). hom(A ⊎ B -> C) exists iff hom(A -> C) and hom(B -> C).
+/// CHECK-fails if the vocabularies differ.
+Structure DisjointUnion(const Structure& a, const Structure& b);
+
+/// A × B: universe is the grid |A|·|B| with (x,y) encoded as x*|B|+y; a tuple
+/// is in R^{A×B} iff its projections are in R^A and R^B.
+/// hom(C -> A × B) exists iff hom(C -> A) and hom(C -> B).
+Structure Product(const Structure& a, const Structure& b);
+
+/// The substructure of A induced by `elements` (which must be distinct and
+/// in range). Element i of the result corresponds to elements[i]; tuples of
+/// A that mention anything outside `elements` are dropped.
+Structure InducedSubstructure(const Structure& a,
+                              std::span<const Element> elements);
+
+/// Applies `rename` (a total map from A's universe to [0, new_size)) to every
+/// tuple of A. The image structure may identify elements (this is exactly
+/// taking the homomorphic image when `rename` is a homomorphism to itself).
+Structure RenameElements(const Structure& a, std::span<const Element> rename,
+                         size_t new_size);
+
+/// The identity mapping on A's universe — trivially a homomorphism A -> A.
+Homomorphism IdentityMap(const Structure& a);
+
+/// Composes two mappings: (g ∘ h)(x) = g[h[x]]. Homomorphisms compose.
+Homomorphism Compose(std::span<const Element> h, std::span<const Element> g);
+
+}  // namespace cqcs
+
+#endif  // CQCS_CORE_OPS_H_

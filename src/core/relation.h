@@ -1,0 +1,74 @@
+// A finite relation: a set of tuples over a dense element universe.
+//
+// Tuples are stored flattened in insertion order. Membership queries use a
+// lazily built sorted index (invalidated by mutation); this keeps bulk
+// loading O(1) amortized per tuple while making Contains O(log m) without a
+// second copy of the data.
+
+#ifndef CQCS_CORE_RELATION_H_
+#define CQCS_CORE_RELATION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cqcs {
+
+/// Elements of a structure's universe are dense indices 0..n-1.
+using Element = uint32_t;
+
+/// A set of `arity`-tuples of elements.
+class Relation {
+ public:
+  explicit Relation(uint32_t arity) : arity_(arity) {}
+
+  uint32_t arity() const { return arity_; }
+
+  /// Number of tuples (counting duplicates until Dedup() is called).
+  size_t tuple_count() const { return data_.size() / arity_; }
+
+  bool empty() const { return data_.empty(); }
+
+  /// Appends a tuple. Does not check for duplicates (call Dedup() after bulk
+  /// loads if set semantics matter). CHECK-fails on wrong length.
+  void Add(std::span<const Element> tuple);
+  void Add(std::initializer_list<Element> tuple);
+
+  /// The i-th tuple, valid until the next mutation.
+  std::span<const Element> tuple(size_t i) const {
+    return {data_.data() + i * arity_, arity_};
+  }
+
+  /// Set membership; O(log m) after a one-time O(m log m) index build.
+  bool Contains(std::span<const Element> tuple) const;
+
+  /// Removes duplicate tuples (keeps first occurrences' values; order is
+  /// normalized to lexicographic).
+  void Dedup();
+
+  /// Removes all tuples.
+  void Clear();
+
+  /// Raw flattened storage (tuple_count() * arity() elements).
+  const std::vector<Element>& data() const { return data_; }
+
+  /// Largest element mentioned plus one; 0 if empty. Useful for validation.
+  Element MaxElementPlusOne() const;
+
+  bool operator==(const Relation& other) const;
+
+ private:
+  void EnsureIndex() const;
+  /// Lexicographic comparison of tuples at offsets a and b.
+  bool TupleLess(size_t a, size_t b) const;
+
+  uint32_t arity_;
+  std::vector<Element> data_;
+  // Sorted tuple indices for binary search; rebuilt on demand.
+  mutable std::vector<uint32_t> index_;
+  mutable bool index_valid_ = false;
+};
+
+}  // namespace cqcs
+
+#endif  // CQCS_CORE_RELATION_H_

@@ -1,0 +1,124 @@
+#include "core/structure.h"
+
+#include "common/check.h"
+
+namespace cqcs {
+
+Structure::Structure(VocabularyPtr vocabulary, size_t universe_size)
+    : vocabulary_(std::move(vocabulary)), universe_size_(universe_size) {
+  CQCS_CHECK(vocabulary_ != nullptr);
+  relations_.reserve(vocabulary_->size());
+  for (RelId id = 0; id < vocabulary_->size(); ++id) {
+    relations_.emplace_back(vocabulary_->arity(id));
+  }
+}
+
+void Structure::GrowUniverse(size_t new_size) {
+  CQCS_CHECK(new_size >= universe_size_);
+  universe_size_ = new_size;
+}
+
+const Relation& Structure::relation(RelId id) const {
+  CQCS_CHECK_MSG(id < relations_.size(), "RelId " << id << " out of range");
+  return relations_[id];
+}
+
+Relation& Structure::mutable_relation(RelId id) {
+  CQCS_CHECK_MSG(id < relations_.size(), "RelId " << id << " out of range");
+  return relations_[id];
+}
+
+void Structure::AddTuple(RelId id, std::span<const Element> tuple) {
+  Status s = TryAddTuple(id, tuple);
+  CQCS_CHECK_MSG(s.ok(), s.ToString());
+}
+
+void Structure::AddTuple(RelId id, std::initializer_list<Element> tuple) {
+  AddTuple(id, std::span<const Element>(tuple.begin(), tuple.size()));
+}
+
+Status Structure::TryAddTuple(RelId id, std::span<const Element> tuple) {
+  if (id >= relations_.size()) {
+    return Status::InvalidArgument("relation id out of range");
+  }
+  if (tuple.size() != vocabulary_->arity(id)) {
+    return Status::InvalidArgument(
+        "tuple length " + std::to_string(tuple.size()) + " != arity " +
+        std::to_string(vocabulary_->arity(id)) + " of relation " +
+        vocabulary_->name(id));
+  }
+  for (Element e : tuple) {
+    if (e >= universe_size_) {
+      return Status::InvalidArgument(
+          "element " + std::to_string(e) + " outside universe of size " +
+          std::to_string(universe_size_));
+    }
+  }
+  relations_[id].Add(tuple);
+  return Status::OK();
+}
+
+size_t Structure::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& r : relations_) n += r.tuple_count();
+  return n;
+}
+
+size_t Structure::Size() const {
+  size_t n = universe_size_;
+  for (const auto& r : relations_) n += r.data().size();
+  return n;
+}
+
+void Structure::DedupAll() {
+  for (auto& r : relations_) r.Dedup();
+}
+
+Status Structure::Validate() const {
+  for (RelId id = 0; id < relations_.size(); ++id) {
+    const Relation& r = relations_[id];
+    if (r.arity() != vocabulary_->arity(id)) {
+      return Status::Internal("arity mismatch for " + vocabulary_->name(id));
+    }
+    if (r.MaxElementPlusOne() > universe_size_) {
+      return Status::InvalidArgument(
+          "relation " + vocabulary_->name(id) +
+          " references an element outside the universe");
+    }
+  }
+  return Status::OK();
+}
+
+bool Structure::operator==(const Structure& other) const {
+  if (universe_size_ != other.universe_size_) return false;
+  if (!vocabulary_->Equals(*other.vocabulary_)) return false;
+  for (RelId id = 0; id < relations_.size(); ++id) {
+    if (!(relations_[id] == other.relations_[id])) return false;
+  }
+  return true;
+}
+
+OccurrenceIndex::OccurrenceIndex(const Structure& s) {
+  const size_t n = s.universe_size();
+  std::vector<size_t> counts(n + 1, 0);
+  const Vocabulary& vocab = *s.vocabulary();
+  for (RelId id = 0; id < vocab.size(); ++id) {
+    for (Element e : s.relation(id).data()) ++counts[e + 1];
+  }
+  offsets_.assign(n + 1, 0);
+  for (size_t i = 1; i <= n; ++i) offsets_[i] = offsets_[i - 1] + counts[i];
+  entries_.resize(offsets_[n]);
+  std::vector<size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (RelId id = 0; id < vocab.size(); ++id) {
+    const Relation& r = s.relation(id);
+    const uint32_t arity = r.arity();
+    for (uint32_t t = 0; t < r.tuple_count(); ++t) {
+      std::span<const Element> tup = r.tuple(t);
+      for (uint32_t p = 0; p < arity; ++p) {
+        entries_[cursor[tup[p]]++] = Occurrence{id, t, p};
+      }
+    }
+  }
+}
+
+}  // namespace cqcs

@@ -1,0 +1,92 @@
+// Finite relational structures: a universe {0..n-1} plus one Relation per
+// symbol of a shared Vocabulary. This is the common currency of the whole
+// library — queries, CSP instances, Datalog databases, and game positions
+// are all (pairs of) Structures.
+
+#ifndef CQCS_CORE_STRUCTURE_H_
+#define CQCS_CORE_STRUCTURE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/relation.h"
+#include "core/vocabulary.h"
+
+namespace cqcs {
+
+/// A finite relational structure A = (universe, R_1^A, ..., R_m^A).
+class Structure {
+ public:
+  /// Creates a structure with an all-empty interpretation.
+  Structure(VocabularyPtr vocabulary, size_t universe_size);
+
+  const VocabularyPtr& vocabulary() const { return vocabulary_; }
+  size_t universe_size() const { return universe_size_; }
+
+  /// Grows the universe (never shrinks; shrinking would invalidate tuples).
+  void GrowUniverse(size_t new_size);
+
+  const Relation& relation(RelId id) const;
+  Relation& mutable_relation(RelId id);
+
+  /// Convenience: appends a tuple after validating arity and element range.
+  void AddTuple(RelId id, std::span<const Element> tuple);
+  void AddTuple(RelId id, std::initializer_list<Element> tuple);
+  /// Same, returning Status instead of CHECK-failing (for loaders).
+  Status TryAddTuple(RelId id, std::span<const Element> tuple);
+
+  /// Total number of tuples over all relations.
+  size_t TotalTuples() const;
+
+  /// ‖A‖: universe size plus the total length of all tuples. This is the
+  /// size measure the paper's complexity bounds use.
+  size_t Size() const;
+
+  /// Removes duplicate tuples in every relation.
+  void DedupAll();
+
+  /// Verifies all tuples reference elements < universe_size().
+  Status Validate() const;
+
+  bool operator==(const Structure& other) const;
+
+ private:
+  VocabularyPtr vocabulary_;
+  size_t universe_size_;
+  std::vector<Relation> relations_;
+};
+
+/// Occurrence index for a structure: for every element, where it occurs.
+/// Several algorithms in the paper (Theorem 3.4's quadratic Horn/bijunctive
+/// algorithms, the solver's propagation) are stated in terms of "linked
+/// lists that link all occurrences in A of an element a" — this is that
+/// preprocessing, done once in O(‖A‖).
+class OccurrenceIndex {
+ public:
+  /// One occurrence of an element: tuple `tuple_index` of relation `rel`,
+  /// at position `pos`.
+  struct Occurrence {
+    RelId rel;
+    uint32_t tuple_index;
+    uint32_t pos;
+  };
+
+  explicit OccurrenceIndex(const Structure& s);
+
+  /// All occurrences of element e.
+  std::span<const Occurrence> occurrences(Element e) const {
+    return {entries_.data() + offsets_[e],
+            offsets_[e + 1] - offsets_[e]};
+  }
+
+ private:
+  std::vector<size_t> offsets_;     // universe_size + 1 entries
+  std::vector<Occurrence> entries_;
+};
+
+}  // namespace cqcs
+
+#endif  // CQCS_CORE_STRUCTURE_H_

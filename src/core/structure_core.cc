@@ -1,0 +1,113 @@
+#include "core/structure_core.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+#include "core/ops.h"
+#include "solver/backtracking.h"
+
+namespace cqcs {
+
+namespace {
+
+/// Builds a copy of `base` over `vocab` (which must extend base's
+/// vocabulary with extra unary markers appended at the end).
+Structure Lift(const Structure& base, const VocabularyPtr& vocab) {
+  Structure out(vocab, base.universe_size());
+  for (RelId id = 0; id < base.vocabulary()->size(); ++id) {
+    const Relation& r = base.relation(id);
+    for (uint32_t t = 0; t < r.tuple_count(); ++t) {
+      out.AddTuple(id, r.tuple(t));
+    }
+  }
+  return out;
+}
+
+/// Tries to fold the induced substructure on `kept` one element smaller:
+/// find a non-protected v in kept and a homomorphism of the substructure
+/// into itself that avoids v and fixes every protected element. On success,
+/// updates kept/retraction and returns true.
+bool TryFold(const Structure& original, std::vector<Element>& kept,
+             Homomorphism& retraction,
+             const std::set<Element>& protected_set) {
+  Structure current = InducedSubstructure(original, kept);
+  const VocabularyPtr& base_vocab = current.vocabulary();
+
+  // Extended vocabulary: __alive marks allowed targets (drops one element),
+  // __pin_i pins each protected element in place.
+  auto vocab = std::make_shared<Vocabulary>();
+  for (RelId id = 0; id < base_vocab->size(); ++id) {
+    vocab->AddRelation(base_vocab->name(id), base_vocab->arity(id));
+  }
+  RelId alive = vocab->AddRelation("__alive", 1);
+  std::vector<std::pair<Element, RelId>> pins;  // (position in kept, rel)
+  for (size_t i = 0; i < kept.size(); ++i) {
+    if (protected_set.count(kept[i]) > 0) {
+      pins.emplace_back(static_cast<Element>(i),
+                        vocab->AddRelation("__pin_" + std::to_string(i), 1));
+    }
+  }
+
+  Structure source = Lift(current, vocab);
+  for (size_t i = 0; i < kept.size(); ++i) {
+    source.AddTuple(alive, {static_cast<Element>(i)});
+  }
+  for (auto [e, rel] : pins) source.AddTuple(rel, {e});
+
+  for (size_t drop = 0; drop < kept.size(); ++drop) {
+    if (protected_set.count(kept[drop]) > 0) continue;
+    Structure target = Lift(current, vocab);
+    for (size_t i = 0; i < kept.size(); ++i) {
+      if (i != drop) target.AddTuple(alive, {static_cast<Element>(i)});
+    }
+    for (auto [e, rel] : pins) target.AddTuple(rel, {e});
+
+    auto h = FindHomomorphism(source, target);
+    if (!h.has_value()) continue;
+
+    // Fold: compose the retraction with the found homomorphism (expressed
+    // in original element ids) and restrict `kept` to the image.
+    std::vector<Element> h_original(original.universe_size(), kUnassigned);
+    for (size_t i = 0; i < kept.size(); ++i) {
+      h_original[kept[i]] = kept[(*h)[i]];
+    }
+    for (Element e = 0; e < original.universe_size(); ++e) {
+      retraction[e] = h_original[retraction[e]];
+      CQCS_CHECK(retraction[e] != kUnassigned);
+    }
+    std::set<Element> image;
+    for (Element e = 0; e < original.universe_size(); ++e) {
+      image.insert(retraction[e]);
+    }
+    kept.assign(image.begin(), image.end());
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CoreResult ComputeCore(const Structure& a,
+                       std::span<const Element> protected_elements) {
+  std::set<Element> protected_set(protected_elements.begin(),
+                                  protected_elements.end());
+  for (Element e : protected_set) CQCS_CHECK(e < a.universe_size());
+  std::vector<Element> kept;
+  kept.reserve(a.universe_size());
+  for (Element e = 0; e < a.universe_size(); ++e) kept.push_back(e);
+  Homomorphism retraction = IdentityMap(a);
+  while (TryFold(a, kept, retraction, protected_set)) {
+  }
+  CoreResult result{InducedSubstructure(a, kept), kept, retraction};
+  // Sanity: the retraction is an endomorphism of A with image = kept set.
+  CQCS_CHECK(IsHomomorphism(a, a, result.retraction));
+  return result;
+}
+
+bool IsCore(const Structure& a) {
+  CoreResult r = ComputeCore(a);
+  return r.kept_elements.size() == a.universe_size();
+}
+
+}  // namespace cqcs

@@ -1,0 +1,43 @@
+// Cores of finite structures. A structure is a core when every
+// homomorphism from it to itself is injective (equivalently: it admits no
+// homomorphism to a proper induced substructure). Cores are the semantic
+// face of Chandra–Merlin query minimization: the canonical database of the
+// minimized query is the core of the canonical database.
+
+#ifndef CQCS_CORE_STRUCTURE_CORE_H_
+#define CQCS_CORE_STRUCTURE_CORE_H_
+
+#include "core/homomorphism.h"
+#include "core/structure.h"
+
+namespace cqcs {
+
+/// The result of core computation.
+struct CoreResult {
+  /// The core as an induced substructure (re-indexed universe).
+  Structure core;
+  /// Elements of the original structure that form the core, ascending;
+  /// core element i corresponds to original element kept_elements[i].
+  std::vector<Element> kept_elements;
+  /// A retraction: maps every original element onto the kept set
+  /// (composition of the folding homomorphisms found along the way),
+  /// expressed in original element ids.
+  Homomorphism retraction;
+};
+
+/// Computes the core by repeatedly folding the structure onto the image of
+/// a homomorphism into a one-element-smaller induced substructure.
+/// Exponential in the worst case (each fold is an NP homomorphism test);
+/// fine for the canonical databases of moderate queries.
+/// `protected_elements` (optional) must stay fixed — pass the distinguished
+/// elements of a canonical database so the core respects the query head:
+/// folds must map each protected element to itself.
+CoreResult ComputeCore(const Structure& a,
+                       std::span<const Element> protected_elements = {});
+
+/// True iff A is a core: no homomorphism to any proper induced substructure.
+bool IsCore(const Structure& a);
+
+}  // namespace cqcs
+
+#endif  // CQCS_CORE_STRUCTURE_CORE_H_

@@ -1,0 +1,64 @@
+#include "core/vocabulary.h"
+
+#include "common/check.h"
+
+namespace cqcs {
+
+RelId Vocabulary::AddRelation(std::string name, uint32_t arity) {
+  Result<RelId> r = TryAddRelation(std::move(name), arity);
+  CQCS_CHECK_MSG(r.ok(), r.status().ToString());
+  return *r;
+}
+
+Result<RelId> Vocabulary::TryAddRelation(std::string name, uint32_t arity) {
+  if (arity == 0) {
+    return Status::InvalidArgument("relation symbol '" + name +
+                                   "' must have arity >= 1");
+  }
+  if (by_name_.count(name) > 0) {
+    return Status::InvalidArgument("duplicate relation symbol '" + name + "'");
+  }
+  RelId id = static_cast<RelId>(symbols_.size());
+  by_name_.emplace(name, id);
+  symbols_.push_back(RelationSymbol{std::move(name), arity});
+  return id;
+}
+
+std::optional<RelId> Vocabulary::FindRelation(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+const RelationSymbol& Vocabulary::symbol(RelId id) const {
+  CQCS_CHECK_MSG(id < symbols_.size(), "RelId " << id << " out of range");
+  return symbols_[id];
+}
+
+uint32_t Vocabulary::MaxArity() const {
+  uint32_t m = 0;
+  for (const auto& s : symbols_) m = std::max(m, s.arity);
+  return m;
+}
+
+bool Vocabulary::Equals(const Vocabulary& other) const {
+  if (symbols_.size() != other.symbols_.size()) return false;
+  for (size_t i = 0; i < symbols_.size(); ++i) {
+    if (symbols_[i].name != other.symbols_[i].name ||
+        symbols_[i].arity != other.symbols_[i].arity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Vocabulary::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < symbols_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += symbols_[i].name + "/" + std::to_string(symbols_[i].arity);
+  }
+  return out;
+}
+
+}  // namespace cqcs

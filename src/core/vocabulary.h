@@ -1,0 +1,76 @@
+// Relational vocabularies (signatures): named relation symbols with arities.
+//
+// Structures over the same vocabulary share it via shared_ptr so that
+// relation ids are comparable across structures — a homomorphism h: A -> B
+// only makes sense when A and B interpret the same symbols.
+
+#ifndef CQCS_CORE_VOCABULARY_H_
+#define CQCS_CORE_VOCABULARY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cqcs {
+
+/// Index of a relation symbol within its vocabulary.
+using RelId = uint32_t;
+
+/// A named relation symbol with a fixed arity.
+struct RelationSymbol {
+  std::string name;
+  uint32_t arity = 0;
+};
+
+/// An immutable-after-construction set of relation symbols.
+///
+/// Typical usage:
+///   auto vocab = std::make_shared<Vocabulary>();
+///   RelId e = vocab->AddRelation("E", 2);
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Adds a relation symbol. CHECK-fails on duplicate names or arity 0
+  /// (nullary relation symbols are not needed by any construction in the
+  /// paper; Datalog's nullary goal predicates are handled by the Datalog
+  /// module separately).
+  RelId AddRelation(std::string name, uint32_t arity);
+
+  /// Adds a relation symbol, reporting duplicates as InvalidArgument.
+  Result<RelId> TryAddRelation(std::string name, uint32_t arity);
+
+  /// Looks up a symbol by name.
+  std::optional<RelId> FindRelation(std::string_view name) const;
+
+  /// Number of relation symbols.
+  size_t size() const { return symbols_.size(); }
+
+  const RelationSymbol& symbol(RelId id) const;
+  const std::string& name(RelId id) const { return symbol(id).name; }
+  uint32_t arity(RelId id) const { return symbol(id).arity; }
+
+  /// Largest arity over all symbols (0 for the empty vocabulary).
+  uint32_t MaxArity() const;
+
+  /// True if both vocabularies contain the same symbols in the same order.
+  bool Equals(const Vocabulary& other) const;
+
+  /// "E/2, P/1" style listing for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<RelationSymbol> symbols_;
+  std::unordered_map<std::string, RelId> by_name_;
+};
+
+using VocabularyPtr = std::shared_ptr<const Vocabulary>;
+
+}  // namespace cqcs
+
+#endif  // CQCS_CORE_VOCABULARY_H_

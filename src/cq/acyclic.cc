@@ -1,0 +1,229 @@
+#include "cq/acyclic.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+#include "cq/canonical.h"
+
+namespace cqcs {
+
+namespace {
+
+/// GYO reduction. Edges are var-sets per atom; returns the join forest, or
+/// nullopt when the hypergraph is cyclic.
+std::optional<JoinTree> Gyo(const ConjunctiveQuery& q) {
+  const size_t m = q.atoms().size();
+  std::vector<std::set<VarId>> edge(m);
+  for (size_t i = 0; i < m; ++i) {
+    edge[i].insert(q.atoms()[i].args.begin(), q.atoms()[i].args.end());
+  }
+  std::vector<uint8_t> alive(m, 1);
+  JoinTree tree;
+  tree.parent.assign(m, JoinTree::kNoParent);
+  size_t alive_count = m;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Rule 1: drop vertices that occur in exactly one live edge.
+    std::map<VarId, int> occurrences;
+    for (size_t i = 0; i < m; ++i) {
+      if (!alive[i]) continue;
+      for (VarId v : edge[i]) ++occurrences[v];
+    }
+    for (size_t i = 0; i < m; ++i) {
+      if (!alive[i]) continue;
+      for (auto it = edge[i].begin(); it != edge[i].end();) {
+        if (occurrences[*it] == 1) {
+          it = edge[i].erase(it);
+          changed = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+    // Rule 2: an edge contained in another live edge becomes its child.
+    for (size_t i = 0; i < m && alive_count > 1; ++i) {
+      if (!alive[i]) continue;
+      for (size_t j = 0; j < m; ++j) {
+        if (i == j || !alive[j]) continue;
+        if (std::includes(edge[j].begin(), edge[j].end(), edge[i].begin(),
+                          edge[i].end())) {
+          tree.parent[i] = static_cast<uint32_t>(j);
+          alive[i] = 0;
+          --alive_count;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  if (alive_count > 1) return std::nullopt;  // cyclic
+  return tree;
+}
+
+struct AtomTable {
+  std::vector<VarId> vars;  // sorted distinct
+  std::set<std::vector<Element>> rows;
+};
+
+/// The satisfying assignments of one atom over database d.
+AtomTable MaterializeAtom(const Atom& atom, const Structure& d) {
+  AtomTable table;
+  table.vars.assign(atom.args.begin(), atom.args.end());
+  std::sort(table.vars.begin(), table.vars.end());
+  table.vars.erase(std::unique(table.vars.begin(), table.vars.end()),
+                   table.vars.end());
+  const Relation& rel = d.relation(atom.rel);
+  std::vector<Element> row(table.vars.size());
+  for (uint32_t t = 0; t < rel.tuple_count(); ++t) {
+    std::span<const Element> tup = rel.tuple(t);
+    bool ok = true;
+    for (size_t p = 0; p < tup.size() && ok; ++p) {
+      for (size_t qq = p + 1; qq < tup.size() && ok; ++qq) {
+        if (atom.args[p] == atom.args[qq] && tup[p] != tup[qq]) ok = false;
+      }
+    }
+    if (!ok) continue;
+    for (size_t p = 0; p < tup.size(); ++p) {
+      size_t pos = static_cast<size_t>(
+          std::lower_bound(table.vars.begin(), table.vars.end(),
+                           atom.args[p]) -
+          table.vars.begin());
+      row[pos] = tup[p];
+    }
+    table.rows.insert(row);
+  }
+  return table;
+}
+
+/// parent := parent ⋉ child (keep parent rows with a matching child row on
+/// the shared variables).
+void Semijoin(AtomTable& parent, const AtomTable& child) {
+  std::vector<size_t> shared_parent, shared_child;
+  for (size_t i = 0; i < parent.vars.size(); ++i) {
+    auto it = std::lower_bound(child.vars.begin(), child.vars.end(),
+                               parent.vars[i]);
+    if (it != child.vars.end() && *it == parent.vars[i]) {
+      shared_parent.push_back(i);
+      shared_child.push_back(static_cast<size_t>(it - child.vars.begin()));
+    }
+  }
+  std::set<std::vector<Element>> child_keys;
+  for (const auto& row : child.rows) {
+    std::vector<Element> key;
+    key.reserve(shared_child.size());
+    for (size_t i : shared_child) key.push_back(row[i]);
+    child_keys.insert(std::move(key));
+  }
+  for (auto it = parent.rows.begin(); it != parent.rows.end();) {
+    std::vector<Element> key;
+    key.reserve(shared_parent.size());
+    for (size_t i : shared_parent) key.push_back((*it)[i]);
+    if (child_keys.count(key) == 0) {
+      it = parent.rows.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace
+
+bool IsAcyclicQuery(const ConjunctiveQuery& q) {
+  return Gyo(q).has_value();
+}
+
+Result<JoinTree> BuildJoinTree(const ConjunctiveQuery& q) {
+  CQCS_RETURN_IF_ERROR(q.Validate());
+  auto tree = Gyo(q);
+  if (!tree.has_value()) {
+    return Status::InvalidArgument("the query's hypergraph is cyclic");
+  }
+  return *std::move(tree);
+}
+
+Result<bool> EvaluateBooleanAcyclic(const ConjunctiveQuery& q,
+                                    const Structure& d) {
+  CQCS_RETURN_IF_ERROR(q.Validate());
+  if (!q.vocabulary()->Equals(*d.vocabulary())) {
+    return Status::InvalidArgument("query/database vocabulary mismatch");
+  }
+  CQCS_ASSIGN_OR_RETURN(JoinTree tree, BuildJoinTree(q));
+  const size_t m = q.atoms().size();
+  if (m == 0) return true;
+  std::vector<AtomTable> tables;
+  tables.reserve(m);
+  for (const Atom& atom : q.atoms()) {
+    tables.push_back(MaterializeAtom(atom, d));
+    if (tables.back().rows.empty()) return false;
+  }
+  // Children were eliminated before their parents in GYO order; a reverse
+  // sweep over elimination is unavailable, but semijoining children into
+  // parents repeatedly until stable is equivalent and still polynomial.
+  // Do it in dependency order instead: process nodes so that every child is
+  // handled before its parent (topological order on the forest).
+  std::vector<uint32_t> order;
+  std::vector<uint32_t> indegree(m, 0);  // number of children not yet done
+  for (size_t i = 0; i < m; ++i) {
+    if (tree.parent[i] != JoinTree::kNoParent) ++indegree[tree.parent[i]];
+  }
+  std::vector<uint32_t> stack;
+  for (uint32_t i = 0; i < m; ++i) {
+    if (indegree[i] == 0) stack.push_back(i);
+  }
+  while (!stack.empty()) {
+    uint32_t node = stack.back();
+    stack.pop_back();
+    order.push_back(node);
+    uint32_t p = tree.parent[node];
+    if (p != JoinTree::kNoParent && --indegree[p] == 0) stack.push_back(p);
+  }
+  CQCS_CHECK(order.size() == m);
+  for (uint32_t node : order) {
+    uint32_t p = tree.parent[node];
+    if (p == JoinTree::kNoParent) {
+      if (tables[node].rows.empty()) return false;
+      continue;
+    }
+    Semijoin(tables[p], tables[node]);
+    if (tables[p].rows.empty()) return false;
+  }
+  return true;
+}
+
+Result<bool> AcyclicContainment(const ConjunctiveQuery& q1,
+                                const ConjunctiveQuery& q2) {
+  CQCS_RETURN_IF_ERROR(q1.Validate());
+  CQCS_RETURN_IF_ERROR(q2.Validate());
+  if (!q1.vocabulary()->Equals(*q2.vocabulary())) {
+    return Status::InvalidArgument("queries have different vocabularies");
+  }
+  if (q1.arity() != q2.arity()) {
+    return Status::InvalidArgument("queries have different head arities");
+  }
+  // Attach head markers to Q2's body (unary atoms are ears, so acyclicity
+  // is preserved iff Q2 was acyclic), then evaluate over D_{Q1}.
+  CanonicalDb d1 = MakeCanonicalDbWithHeadMarkers(q1);
+  ConjunctiveQuery q2_marked(d1.vocabulary, q2.head_name());
+  for (VarId v = 0; v < q2.var_count(); ++v) {
+    q2_marked.GetOrCreateVar(q2.var_name(v));
+  }
+  for (const Atom& atom : q2.atoms()) {
+    q2_marked.AddAtom(atom.rel, atom.args);
+  }
+  for (size_t i = 0; i < q2.head().size(); ++i) {
+    auto marker = d1.vocabulary->FindRelation("__head_" + std::to_string(i));
+    CQCS_CHECK(marker.has_value());
+    q2_marked.AddAtom(*marker, {q2.head()[i]});
+  }
+  q2_marked.SetHead({});
+  if (!IsAcyclicQuery(q2_marked)) {
+    return Status::InvalidArgument("Q2 is not acyclic");
+  }
+  return EvaluateBooleanAcyclic(q2_marked, d1.structure);
+}
+
+}  // namespace cqcs

@@ -1,0 +1,51 @@
+// Acyclic conjunctive queries — querywidth 1 in the Chekuri–Rajaraman
+// terminology the paper discusses ([Yan81], [CR97]). Acyclicity is decided
+// by GYO ear removal on the query's hypergraph; a join tree witnesses it,
+// and Yannakakis's semijoin algorithm evaluates Boolean acyclic queries in
+// polynomial time. Containment Q1 ⊆ Q2 with acyclic Q2 is then polynomial:
+// attach the head markers to Q2 (unary atoms keep it acyclic) and evaluate
+// over D_{Q1}.
+
+#ifndef CQCS_CQ_ACYCLIC_H_
+#define CQCS_CQ_ACYCLIC_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/structure.h"
+#include "cq/query.h"
+
+namespace cqcs {
+
+/// A join tree over the atoms of a query: node i corresponds to atom i;
+/// parents precede children in GYO elimination. Queries whose hypergraph is
+/// disconnected produce a forest (several roots).
+struct JoinTree {
+  static constexpr uint32_t kNoParent = UINT32_MAX;
+  /// parent[i] = atom index of i's parent, or kNoParent for roots.
+  std::vector<uint32_t> parent;
+};
+
+/// True iff the query's hypergraph is α-acyclic (GYO reduces it away).
+bool IsAcyclicQuery(const ConjunctiveQuery& q);
+
+/// Builds a join tree; InvalidArgument when the query is cyclic.
+Result<JoinTree> BuildJoinTree(const ConjunctiveQuery& q);
+
+/// Yannakakis evaluation of a Boolean acyclic query: one bottom-up semijoin
+/// sweep over the join tree. Polynomial: O(Σ per-atom table sizes · log).
+/// Works for any query head (the head is ignored; this answers "is the body
+/// satisfiable in d"). Errors: InvalidArgument for cyclic queries or
+/// vocabulary mismatch.
+Result<bool> EvaluateBooleanAcyclic(const ConjunctiveQuery& q,
+                                    const Structure& d);
+
+/// Containment Q1 ⊆ Q2 for acyclic Q2, in polynomial time. Q1 is arbitrary.
+/// Errors mirror Contains(), plus InvalidArgument when Q2 (with head
+/// markers attached) is not acyclic.
+Result<bool> AcyclicContainment(const ConjunctiveQuery& q1,
+                                const ConjunctiveQuery& q2);
+
+}  // namespace cqcs
+
+#endif  // CQCS_CQ_ACYCLIC_H_

@@ -1,0 +1,74 @@
+#include "cq/canonical.h"
+
+#include "common/check.h"
+
+namespace cqcs {
+
+namespace {
+
+CanonicalDb MakeImpl(const ConjunctiveQuery& q, bool head_markers) {
+  CQCS_CHECK_MSG(q.Validate().ok(), "canonical database of an invalid query");
+  VocabularyPtr vocab = q.vocabulary();
+  std::vector<RelId> head_rel;
+  if (head_markers) {
+    auto extended = std::make_shared<Vocabulary>();
+    for (RelId id = 0; id < vocab->size(); ++id) {
+      extended->AddRelation(vocab->name(id), vocab->arity(id));
+    }
+    for (size_t i = 0; i < q.arity(); ++i) {
+      head_rel.push_back(
+          extended->AddRelation("__head_" + std::to_string(i), 1));
+    }
+    vocab = extended;
+  }
+
+  Structure db(vocab, q.var_count());
+  for (const Atom& atom : q.atoms()) {
+    // VarId and Element are both dense uint32 indices; the identity map is
+    // the canonical correspondence.
+    std::vector<Element> tuple(atom.args.begin(), atom.args.end());
+    db.AddTuple(atom.rel, tuple);
+  }
+  std::vector<Element> head(q.head().begin(), q.head().end());
+  if (head_markers) {
+    for (size_t i = 0; i < head.size(); ++i) {
+      db.AddTuple(head_rel[i], {head[i]});
+    }
+  }
+  return CanonicalDb{std::move(vocab), std::move(db), std::move(head)};
+}
+
+}  // namespace
+
+CanonicalDb MakeCanonicalDb(const ConjunctiveQuery& q) {
+  return MakeImpl(q, /*head_markers=*/false);
+}
+
+CanonicalDb MakeCanonicalDbWithHeadMarkers(const ConjunctiveQuery& q) {
+  return MakeImpl(q, /*head_markers=*/true);
+}
+
+ConjunctiveQuery CanonicalQuery(const Structure& d,
+                                const std::string& head_name) {
+  ConjunctiveQuery q(d.vocabulary(), head_name);
+  const Vocabulary& vocab = *d.vocabulary();
+  // One variable per element, named after its index.
+  std::vector<VarId> vars;
+  vars.reserve(d.universe_size());
+  for (size_t e = 0; e < d.universe_size(); ++e) {
+    vars.push_back(q.GetOrCreateVar("v" + std::to_string(e)));
+  }
+  for (RelId id = 0; id < vocab.size(); ++id) {
+    const Relation& r = d.relation(id);
+    for (uint32_t t = 0; t < r.tuple_count(); ++t) {
+      std::vector<VarId> args;
+      args.reserve(r.arity());
+      for (Element e : r.tuple(t)) args.push_back(vars[e]);
+      q.AddAtom(id, std::move(args));
+    }
+  }
+  q.SetHead({});
+  return q;
+}
+
+}  // namespace cqcs

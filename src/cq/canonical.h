@@ -1,0 +1,50 @@
+// The canonical database D_Q of a conjunctive query (Chandra–Merlin).
+//
+// Every variable of Q becomes an element; every subgoal becomes a tuple.
+// When head markers are requested, a fresh unary predicate __head_i is added
+// for each head position i, holding the i-th distinguished variable — this
+// is exactly the construction in Section 2 of the paper, which makes
+// containment a pure homomorphism question:
+//
+//     Q1 ⊆ Q2  iff  there is a homomorphism D_{Q2} -> D_{Q1}.
+
+#ifndef CQCS_CQ_CANONICAL_H_
+#define CQCS_CQ_CANONICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/structure.h"
+#include "cq/query.h"
+
+namespace cqcs {
+
+/// A canonical database together with the bookkeeping needed to interpret
+/// its elements.
+struct CanonicalDb {
+  /// Body vocabulary, or body vocabulary + __head_i markers.
+  VocabularyPtr vocabulary;
+  /// The database: one element per query variable (element id == VarId).
+  Structure structure;
+  /// Elements of the distinguished variables, in head order.
+  std::vector<Element> head;
+};
+
+/// Builds D_Q over the body vocabulary only (no head markers). Elements are
+/// the query's variables (element id == VarId).
+CanonicalDb MakeCanonicalDb(const ConjunctiveQuery& q);
+
+/// Builds D_Q with head markers __head_0..__head_{n-1}. Queries with equal
+/// body vocabularies and equal head arity get Equals() vocabularies, so the
+/// two canonical databases can be fed to the homomorphism machinery.
+CanonicalDb MakeCanonicalDbWithHeadMarkers(const ConjunctiveQuery& q);
+
+/// Inverse of MakeCanonicalDb: the Boolean query Q_D whose body conjoins all
+/// facts of D (every element becomes an existentially quantified variable).
+/// Section 2: hom(A -> B) iff Q_B ⊆ Q_A.
+ConjunctiveQuery CanonicalQuery(const Structure& d,
+                                const std::string& head_name = "Q");
+
+}  // namespace cqcs
+
+#endif  // CQCS_CQ_CANONICAL_H_

@@ -1,0 +1,140 @@
+#include "cq/containment.h"
+
+namespace cqcs {
+
+namespace {
+
+Status CheckComparable(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  CQCS_RETURN_IF_ERROR(q1.Validate());
+  CQCS_RETURN_IF_ERROR(q2.Validate());
+  if (!q1.vocabulary()->Equals(*q2.vocabulary())) {
+    return Status::InvalidArgument(
+        "containment requires a common EDB vocabulary");
+  }
+  if (q1.arity() != q2.arity()) {
+    return Status::InvalidArgument(
+        "containment requires equal head arities (got " +
+        std::to_string(q1.arity()) + " and " + std::to_string(q2.arity()) +
+        ")");
+  }
+  return Status::OK();
+}
+
+Status NodeLimitError() {
+  return Status::Unsupported(
+      "node limit reached before the containment test was decided");
+}
+
+}  // namespace
+
+Result<ContainmentResult> Contains(const ConjunctiveQuery& q1,
+                                   const ConjunctiveQuery& q2,
+                                   SolveOptions options) {
+  CQCS_RETURN_IF_ERROR(CheckComparable(q1, q2));
+  // Theorem 2.1: Q1 ⊆ Q2 iff hom(D_{Q2} -> D_{Q1}), with head markers
+  // pinning distinguished variables positionally.
+  CanonicalDb d1 = MakeCanonicalDbWithHeadMarkers(q1);
+  CanonicalDb d2 = MakeCanonicalDbWithHeadMarkers(q2);
+  BacktrackingSolver solver(d2.structure, d1.structure, options);
+  SolveStats stats;
+  auto h = solver.Solve(&stats);
+  if (!h.has_value() && stats.limit_hit) return NodeLimitError();
+  ContainmentResult result;
+  result.contained = h.has_value();
+  result.witness = std::move(h);
+  return result;
+}
+
+Result<bool> IsContained(const ConjunctiveQuery& q1,
+                         const ConjunctiveQuery& q2, SolveOptions options) {
+  CQCS_ASSIGN_OR_RETURN(ContainmentResult r, Contains(q1, q2, options));
+  return r.contained;
+}
+
+Result<bool> AreEquivalent(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2, SolveOptions options) {
+  CQCS_ASSIGN_OR_RETURN(bool forward, IsContained(q1, q2, options));
+  if (!forward) return false;
+  return IsContained(q2, q1, options);
+}
+
+Result<bool> IsContainedViaEvaluation(const ConjunctiveQuery& q1,
+                                      const ConjunctiveQuery& q2,
+                                      SolveOptions options) {
+  CQCS_RETURN_IF_ERROR(CheckComparable(q1, q2));
+  // (X1,...,Xn) ∈ Q2(D_{Q1}): solve for homomorphisms from Q2's body into
+  // D_{Q1} whose head projection equals Q1's distinguished tuple.
+  CanonicalDb d1 = MakeCanonicalDb(q1);
+  CanonicalDb body2 = MakeCanonicalDb(q2);
+  BacktrackingSolver solver(body2.structure, d1.structure, options);
+  SolveStats stats;
+  bool found = false;
+  solver.ForEachSolution(
+      [&](const Homomorphism& h) {
+        for (size_t i = 0; i < body2.head.size(); ++i) {
+          if (h[body2.head[i]] != d1.head[i]) return true;  // keep looking
+        }
+        found = true;
+        return false;
+      },
+      &stats);
+  if (!found && stats.limit_hit) return NodeLimitError();
+  return found;
+}
+
+Result<std::vector<std::vector<Element>>> Evaluate(const ConjunctiveQuery& q,
+                                                   const Structure& d,
+                                                   SolveOptions options) {
+  CQCS_RETURN_IF_ERROR(q.Validate());
+  if (!q.vocabulary()->Equals(*d.vocabulary())) {
+    return Status::InvalidArgument(
+        "query and database have different vocabularies");
+  }
+  CanonicalDb body = MakeCanonicalDb(q);
+  BacktrackingSolver solver(body.structure, d, options);
+  SolveStats stats;
+  auto rows = solver.EnumerateProjections(body.head, SIZE_MAX, &stats);
+  if (stats.limit_hit) return NodeLimitError();
+  return rows;
+}
+
+Result<bool> EvaluateBoolean(const ConjunctiveQuery& q, const Structure& d,
+                             SolveOptions options) {
+  CQCS_RETURN_IF_ERROR(q.Validate());
+  if (!q.vocabulary()->Equals(*d.vocabulary())) {
+    return Status::InvalidArgument(
+        "query and database have different vocabularies");
+  }
+  CanonicalDb body = MakeCanonicalDb(q);
+  BacktrackingSolver solver(body.structure, d, options);
+  SolveStats stats;
+  auto h = solver.Solve(&stats);
+  if (!h.has_value() && stats.limit_hit) return NodeLimitError();
+  return h.has_value();
+}
+
+Result<ConjunctiveQuery> Minimize(const ConjunctiveQuery& q,
+                                  SolveOptions options) {
+  CQCS_RETURN_IF_ERROR(q.Validate());
+  ConjunctiveQuery current = q;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < current.atoms().size(); ++i) {
+      ConjunctiveQuery candidate = current.WithoutAtom(i);
+      if (!candidate.Validate().ok()) continue;  // dropping broke safety
+      // Dropping an atom only weakens the query, so current ⊆ candidate
+      // always; they are equivalent iff candidate ⊆ current.
+      CQCS_ASSIGN_OR_RETURN(bool equivalent,
+                            IsContained(candidate, current, options));
+      if (equivalent) {
+        current = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace cqcs

@@ -1,0 +1,168 @@
+#include "cq/parser.h"
+
+#include <cctype>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace cqcs {
+
+namespace {
+
+/// A tiny recursive-descent tokenizer over the rule grammar.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  bool Consume(std::string_view token) {
+    SkipSpace();
+    if (text_.substr(pos_).substr(0, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  /// Reads an identifier; empty view on failure.
+  std::string_view ReadIdentifier() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                c == '\'';
+      if (pos_ == start) {
+        ok = std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+      }
+      if (!ok) break;
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  size_t position() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+struct RawAtom {
+  std::string name;
+  std::vector<std::string> args;
+};
+
+Status ParseAtomInto(Cursor& cursor, RawAtom* out, bool allow_empty_args) {
+  std::string_view name = cursor.ReadIdentifier();
+  if (name.empty()) {
+    return Status::ParseError("expected a predicate name at position " +
+                              std::to_string(cursor.position()));
+  }
+  out->name = std::string(name);
+  if (!cursor.Consume("(")) {
+    return Status::ParseError("expected '(' after '" + out->name + "'");
+  }
+  if (cursor.Consume(")")) {
+    if (!allow_empty_args) {
+      return Status::ParseError("atom '" + out->name +
+                                "' must have at least one argument");
+    }
+    return Status::OK();
+  }
+  while (true) {
+    std::string_view var = cursor.ReadIdentifier();
+    if (var.empty()) {
+      return Status::ParseError("expected a variable in atom '" + out->name +
+                                "'");
+    }
+    out->args.emplace_back(var);
+    if (cursor.Consume(")")) break;
+    if (!cursor.Consume(",")) {
+      return Status::ParseError("expected ',' or ')' in atom '" + out->name +
+                                "'");
+    }
+  }
+  return Status::OK();
+}
+
+Result<ConjunctiveQuery> ParseImpl(std::string_view text,
+                                   VocabularyPtr vocab) {
+  Cursor cursor(text);
+  RawAtom head;
+  CQCS_RETURN_IF_ERROR(ParseAtomInto(cursor, &head, /*allow_empty_args=*/true));
+  if (!cursor.Consume(":-")) {
+    return Status::ParseError("expected ':-' after the head");
+  }
+  std::vector<RawAtom> body;
+  while (true) {
+    RawAtom atom;
+    CQCS_RETURN_IF_ERROR(
+        ParseAtomInto(cursor, &atom, /*allow_empty_args=*/false));
+    body.push_back(std::move(atom));
+    if (!cursor.Consume(",")) break;
+  }
+  cursor.Consume(".");
+  if (!cursor.AtEnd()) {
+    return Status::ParseError("trailing input at position " +
+                              std::to_string(cursor.position()));
+  }
+
+  if (vocab == nullptr) {
+    auto inferred = std::make_shared<Vocabulary>();
+    for (const RawAtom& atom : body) {
+      if (auto existing = inferred->FindRelation(atom.name)) {
+        if (inferred->arity(*existing) != atom.args.size()) {
+          return Status::ParseError("relation '" + atom.name +
+                                    "' used with two different arities");
+        }
+      } else {
+        inferred->AddRelation(atom.name,
+                              static_cast<uint32_t>(atom.args.size()));
+      }
+    }
+    vocab = inferred;
+  }
+
+  ConjunctiveQuery q(vocab, head.name);
+  for (const RawAtom& atom : body) {
+    CQCS_RETURN_IF_ERROR(q.AddAtomByName(atom.name, atom.args));
+  }
+  std::vector<VarId> head_vars;
+  head_vars.reserve(head.args.size());
+  for (const std::string& name : head.args) {
+    auto v = q.FindVar(name);
+    if (!v.has_value()) {
+      return Status::ParseError("unsafe query: head variable '" + name +
+                                "' does not occur in the body");
+    }
+    head_vars.push_back(*v);
+  }
+  q.SetHead(std::move(head_vars));
+  CQCS_RETURN_IF_ERROR(q.Validate());
+  return q;
+}
+
+}  // namespace
+
+Result<ConjunctiveQuery> ParseQuery(std::string_view text,
+                                    VocabularyPtr vocabulary) {
+  return ParseImpl(text, std::move(vocabulary));
+}
+
+Result<ConjunctiveQuery> ParseQuery(std::string_view text) {
+  return ParseImpl(text, nullptr);
+}
+
+}  // namespace cqcs

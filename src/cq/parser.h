@@ -1,0 +1,34 @@
+// Rule-syntax parser for conjunctive queries.
+//
+// Grammar:
+//   query  := head ":-" body "."?
+//   head   := name "(" varlist? ")"
+//   body   := atom ("," atom)*
+//   atom   := name "(" varlist ")"
+//   varlist:= var ("," var)*
+//
+// Example:  Q(X1, X2) :- P(X1, Z1, Z2), R(Z2, Z3), R(Z3, X2).
+//
+// All arguments are variables (the paper's queries are constant-free).
+// A Boolean query has an empty head: "Q() :- E(X, Y)."
+
+#ifndef CQCS_CQ_PARSER_H_
+#define CQCS_CQ_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "cq/query.h"
+
+namespace cqcs {
+
+/// Parses against a fixed vocabulary (body relations must exist in it).
+Result<ConjunctiveQuery> ParseQuery(std::string_view text,
+                                    VocabularyPtr vocabulary);
+
+/// Parses and infers the vocabulary from the body atoms.
+Result<ConjunctiveQuery> ParseQuery(std::string_view text);
+
+}  // namespace cqcs
+
+#endif  // CQCS_CQ_PARSER_H_

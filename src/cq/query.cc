@@ -1,0 +1,153 @@
+#include "cq/query.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cqcs {
+
+ConjunctiveQuery::ConjunctiveQuery(VocabularyPtr vocabulary,
+                                   std::string head_name)
+    : vocabulary_(std::move(vocabulary)), head_name_(std::move(head_name)) {
+  CQCS_CHECK(vocabulary_ != nullptr);
+}
+
+VarId ConjunctiveQuery::GetOrCreateVar(std::string_view name) {
+  auto it = var_ids_.find(std::string(name));
+  if (it != var_ids_.end()) return it->second;
+  VarId id = static_cast<VarId>(var_names_.size());
+  var_names_.emplace_back(name);
+  var_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+std::optional<VarId> ConjunctiveQuery::FindVar(std::string_view name) const {
+  auto it = var_ids_.find(std::string(name));
+  if (it == var_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& ConjunctiveQuery::var_name(VarId v) const {
+  CQCS_CHECK(v < var_names_.size());
+  return var_names_[v];
+}
+
+void ConjunctiveQuery::AddAtom(RelId rel, std::vector<VarId> args) {
+  CQCS_CHECK(rel < vocabulary_->size());
+  CQCS_CHECK_MSG(args.size() == vocabulary_->arity(rel),
+                 "atom for " << vocabulary_->name(rel) << " has "
+                             << args.size() << " arguments");
+  for (VarId v : args) CQCS_CHECK(v < var_names_.size());
+  atoms_.push_back(Atom{rel, std::move(args)});
+}
+
+Status ConjunctiveQuery::AddAtomByName(
+    std::string_view rel_name, const std::vector<std::string>& var_names) {
+  auto rel = vocabulary_->FindRelation(rel_name);
+  if (!rel.has_value()) {
+    return Status::NotFound("unknown relation '" + std::string(rel_name) +
+                            "'");
+  }
+  if (var_names.size() != vocabulary_->arity(*rel)) {
+    return Status::InvalidArgument(
+        "relation " + std::string(rel_name) + " expects " +
+        std::to_string(vocabulary_->arity(*rel)) + " arguments");
+  }
+  std::vector<VarId> args;
+  args.reserve(var_names.size());
+  for (const std::string& name : var_names) {
+    args.push_back(GetOrCreateVar(name));
+  }
+  atoms_.push_back(Atom{*rel, std::move(args)});
+  return Status::OK();
+}
+
+void ConjunctiveQuery::SetHead(std::vector<VarId> head) {
+  for (VarId v : head) CQCS_CHECK(v < var_names_.size());
+  head_ = std::move(head);
+}
+
+Status ConjunctiveQuery::Validate() const {
+  std::vector<uint8_t> in_body(var_names_.size(), 0);
+  for (const Atom& atom : atoms_) {
+    if (atom.rel >= vocabulary_->size()) {
+      return Status::Internal("atom references unknown relation");
+    }
+    if (atom.args.size() != vocabulary_->arity(atom.rel)) {
+      return Status::InvalidArgument("atom arity mismatch for relation " +
+                                     vocabulary_->name(atom.rel));
+    }
+    for (VarId v : atom.args) {
+      if (v >= var_names_.size()) {
+        return Status::Internal("atom references unknown variable");
+      }
+      in_body[v] = 1;
+    }
+  }
+  for (VarId v : head_) {
+    if (v >= var_names_.size() || !in_body[v]) {
+      return Status::InvalidArgument(
+          "unsafe query: head variable " +
+          (v < var_names_.size() ? var_names_[v] : "?") +
+          " does not occur in the body");
+    }
+  }
+  return Status::OK();
+}
+
+size_t ConjunctiveQuery::Size() const {
+  size_t n = var_names_.size();
+  for (const Atom& atom : atoms_) n += atom.args.size();
+  return n;
+}
+
+bool ConjunctiveQuery::IsTwoAtomQuery() const {
+  std::vector<uint32_t> uses(vocabulary_->size(), 0);
+  for (const Atom& atom : atoms_) {
+    if (++uses[atom.rel] > 2) return false;
+  }
+  return true;
+}
+
+ConjunctiveQuery ConjunctiveQuery::WithoutAtom(size_t index) const {
+  CQCS_CHECK(index < atoms_.size());
+  ConjunctiveQuery out(vocabulary_, head_name_);
+  out.var_names_ = var_names_;
+  out.var_ids_ = var_ids_;
+  out.head_ = head_;
+  out.atoms_.reserve(atoms_.size() - 1);
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i != index) out.atoms_.push_back(atoms_[i]);
+  }
+  return out;
+}
+
+bool ConjunctiveQuery::operator==(const ConjunctiveQuery& other) const {
+  return vocabulary_->Equals(*other.vocabulary_) &&
+         head_name_ == other.head_name_ && var_names_ == other.var_names_ &&
+         atoms_ == other.atoms_ && head_ == other.head_;
+}
+
+std::string ToString(const ConjunctiveQuery& q) {
+  std::ostringstream out;
+  out << q.head_name() << "(";
+  for (size_t i = 0; i < q.head().size(); ++i) {
+    if (i > 0) out << ", ";
+    out << q.var_name(q.head()[i]);
+  }
+  out << ") :- ";
+  const auto& atoms = q.atoms();
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << q.vocabulary()->name(atoms[i].rel) << "(";
+    for (size_t j = 0; j < atoms[i].args.size(); ++j) {
+      if (j > 0) out << ", ";
+      out << q.var_name(atoms[i].args[j]);
+    }
+    out << ")";
+  }
+  out << ".";
+  return out.str();
+}
+
+}  // namespace cqcs

@@ -1,0 +1,95 @@
+// Conjunctive queries: positive existential formulas with conjunction only,
+// written as rules  Q(X1,...,Xn) :- R(...), S(...), ...  (Section 2 of the
+// paper). All arguments are variables; the head lists the distinguished
+// (free) variables, the remaining body variables are existentially
+// quantified.
+
+#ifndef CQCS_CQ_QUERY_H_
+#define CQCS_CQ_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/vocabulary.h"
+
+namespace cqcs {
+
+/// Index of a variable within one query.
+using VarId = uint32_t;
+
+/// One subgoal R(x_{i1},...,x_{ik}) of a query body.
+struct Atom {
+  RelId rel = 0;
+  std::vector<VarId> args;
+
+  bool operator==(const Atom& other) const {
+    return rel == other.rel && args == other.args;
+  }
+};
+
+/// An n-ary conjunctive query over a fixed EDB vocabulary.
+class ConjunctiveQuery {
+ public:
+  /// Creates an empty query (no atoms, nullary head) named `head_name`.
+  ConjunctiveQuery(VocabularyPtr vocabulary, std::string head_name = "Q");
+
+  const VocabularyPtr& vocabulary() const { return vocabulary_; }
+  const std::string& head_name() const { return head_name_; }
+
+  /// Interns a variable by name, creating it on first use.
+  VarId GetOrCreateVar(std::string_view name);
+  /// Looks up a variable without creating it.
+  std::optional<VarId> FindVar(std::string_view name) const;
+
+  size_t var_count() const { return var_names_.size(); }
+  const std::string& var_name(VarId v) const;
+
+  /// Appends a body atom. CHECK-fails on arity mismatch or unknown RelId.
+  void AddAtom(RelId rel, std::vector<VarId> args);
+  /// Convenience: atom by relation name and variable names.
+  Status AddAtomByName(std::string_view rel_name,
+                       const std::vector<std::string>& var_names);
+
+  /// Sets the tuple of distinguished variables (may repeat; may be empty for
+  /// a Boolean query).
+  void SetHead(std::vector<VarId> head);
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const std::vector<VarId>& head() const { return head_; }
+  size_t arity() const { return head_.size(); }
+
+  /// Safety and well-formedness: every head variable occurs in the body,
+  /// all atom arities match the vocabulary.
+  Status Validate() const;
+
+  /// Size ‖Q‖ = number of variables plus total length of all atoms.
+  size_t Size() const;
+
+  /// True if every database predicate occurs at most twice in the body —
+  /// Saraiya's class (Proposition 3.6).
+  bool IsTwoAtomQuery() const;
+
+  /// A copy with atom `index` removed (head unchanged). Used by Minimize.
+  ConjunctiveQuery WithoutAtom(size_t index) const;
+
+  bool operator==(const ConjunctiveQuery& other) const;
+
+ private:
+  VocabularyPtr vocabulary_;
+  std::string head_name_;
+  std::vector<std::string> var_names_;
+  std::unordered_map<std::string, VarId> var_ids_;
+  std::vector<Atom> atoms_;
+  std::vector<VarId> head_;
+};
+
+/// Renders the query as a rule: "Q(X, Y) :- E(X, Z), E(Z, Y)."
+std::string ToString(const ConjunctiveQuery& q);
+
+}  // namespace cqcs
+
+#endif  // CQCS_CQ_QUERY_H_

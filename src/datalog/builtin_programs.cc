@@ -1,0 +1,20 @@
+#include "datalog/builtin_programs.h"
+
+#include "common/check.h"
+#include "datalog/parser.h"
+
+namespace cqcs {
+
+DatalogProgram BuildNon2ColorabilityProgram() {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->AddRelation("E", 2);
+  auto program = ParseDatalogProgram(
+      "P(X, Y) :- E(X, Y).\n"
+      "P(X, Y) :- P(X, Z), E(Z, W), E(W, Y).\n"
+      "Q() :- P(X, X).\n",
+      vocab, "Q");
+  CQCS_CHECK_MSG(program.ok(), program.status().ToString());
+  return *std::move(program);
+}
+
+}  // namespace cqcs

@@ -1,0 +1,24 @@
+// Datalog programs the paper uses as examples.
+
+#ifndef CQCS_DATALOG_BUILTIN_PROGRAMS_H_
+#define CQCS_DATALOG_BUILTIN_PROGRAMS_H_
+
+#include "datalog/program.h"
+
+namespace cqcs {
+
+/// The paper's Section 4.1 example: non-2-colorability is expressible in
+/// 4-Datalog by asserting an odd cycle:
+///
+///   P(X, Y) :- E(X, Y).
+///   P(X, Y) :- P(X, Z), E(Z, W), E(W, Y).
+///   Q() :- P(X, X).
+///
+/// P(x, y) holds iff there is a walk of odd length from x to y. The input
+/// graph must be symmetric (undirected, encoded with both edge directions)
+/// for Q to coincide with non-2-colorability.
+DatalogProgram BuildNon2ColorabilityProgram();
+
+}  // namespace cqcs
+
+#endif  // CQCS_DATALOG_BUILTIN_PROGRAMS_H_

@@ -1,0 +1,203 @@
+#include "datalog/evaluator.h"
+
+#include "common/check.h"
+
+namespace cqcs {
+
+bool TupleSet::Insert(const std::vector<Element>& tuple) {
+  CQCS_CHECK(tuple.size() == arity_);
+  if (!set_.insert(tuple).second) return false;
+  list_.push_back(tuple);
+  return true;
+}
+
+bool TupleSet::Contains(const std::vector<Element>& tuple) const {
+  return set_.count(tuple) > 0;
+}
+
+namespace {
+
+constexpr Element kFree = static_cast<Element>(-1);
+
+/// Evaluates one rule by backtracking over its body atoms. `delta_atom`
+/// (an index into the body, or SIZE_MAX) restricts that IDB atom to the
+/// delta relation — the semi-naive trick. Emits head tuples via `emit`.
+class RuleEvaluator {
+ public:
+  RuleEvaluator(const DatalogRule& rule, const Structure& edb,
+                const std::vector<TupleSet>& full,
+                const std::vector<TupleSet>& delta, size_t delta_atom)
+      : rule_(rule),
+        edb_(edb),
+        full_(full),
+        delta_(delta),
+        delta_atom_(delta_atom),
+        binding_(rule.var_count, kFree) {}
+
+  template <typename Emit>
+  void Run(Emit emit) {
+    Search(0, emit);
+  }
+
+ private:
+  bool MatchAtom(const DatalogAtom& atom,
+                 const std::vector<Element>& tuple,
+                 std::vector<DatalogVar>& bound_here) {
+    for (size_t p = 0; p < atom.args.size(); ++p) {
+      DatalogVar v = atom.args[p];
+      if (binding_[v] == kFree) {
+        binding_[v] = tuple[p];
+        bound_here.push_back(v);
+      } else if (binding_[v] != tuple[p]) {
+        for (DatalogVar w : bound_here) binding_[w] = kFree;
+        bound_here.clear();
+        return false;
+      }
+    }
+    return true;
+  }
+
+  template <typename Emit>
+  void Search(size_t atom_index, Emit emit) {
+    if (atom_index == rule_.body.size()) {
+      EmitHead(emit);
+      return;
+    }
+    const DatalogAtom& atom = rule_.body[atom_index];
+    std::vector<DatalogVar> bound_here;
+    auto try_tuple = [&](const std::vector<Element>& tuple) {
+      if (MatchAtom(atom, tuple, bound_here)) {
+        Search(atom_index + 1, emit);
+        for (DatalogVar w : bound_here) binding_[w] = kFree;
+        bound_here.clear();
+      }
+    };
+    if (atom.is_idb) {
+      const TupleSet& source =
+          atom_index == delta_atom_ ? delta_[atom.pred] : full_[atom.pred];
+      for (const auto& tuple : source.tuples()) try_tuple(tuple);
+    } else {
+      const Relation& rel = edb_.relation(atom.pred);
+      std::vector<Element> tuple(rel.arity());
+      for (uint32_t t = 0; t < rel.tuple_count(); ++t) {
+        std::span<const Element> tup = rel.tuple(t);
+        tuple.assign(tup.begin(), tup.end());
+        try_tuple(tuple);
+      }
+    }
+  }
+
+  /// Emits the head tuple; unsafe head variables (still free) range over
+  /// the whole universe.
+  template <typename Emit>
+  void EmitHead(Emit emit) {
+    std::vector<DatalogVar> unsafe;
+    for (DatalogVar v : rule_.head.args) {
+      if (binding_[v] == kFree) {
+        bool seen = false;
+        for (DatalogVar w : unsafe) seen |= (w == v);
+        if (!seen) unsafe.push_back(v);
+      }
+    }
+    std::vector<Element> head(rule_.head.args.size());
+    EnumerateUnsafe(unsafe, 0, head, emit);
+  }
+
+  template <typename Emit>
+  void EnumerateUnsafe(const std::vector<DatalogVar>& unsafe, size_t idx,
+                       std::vector<Element>& head, Emit emit) {
+    if (idx == unsafe.size()) {
+      for (size_t p = 0; p < rule_.head.args.size(); ++p) {
+        head[p] = binding_[rule_.head.args[p]];
+      }
+      emit(head);
+      return;
+    }
+    for (Element e = 0; e < edb_.universe_size(); ++e) {
+      binding_[unsafe[idx]] = e;
+      EnumerateUnsafe(unsafe, idx + 1, head, emit);
+    }
+    binding_[unsafe[idx]] = kFree;
+  }
+
+  const DatalogRule& rule_;
+  const Structure& edb_;
+  const std::vector<TupleSet>& full_;
+  const std::vector<TupleSet>& delta_;
+  size_t delta_atom_;
+  std::vector<Element> binding_;
+};
+
+}  // namespace
+
+Result<DatalogResult> EvaluateDatalog(const DatalogProgram& program,
+                                      const Structure& edb) {
+  CQCS_RETURN_IF_ERROR(program.Validate());
+  if (!edb.vocabulary()->Equals(*program.edb_vocabulary())) {
+    return Status::InvalidArgument(
+        "structure vocabulary differs from the program's EDB vocabulary");
+  }
+  DatalogResult result;
+  std::vector<TupleSet>& full = result.idb_relations;
+  std::vector<TupleSet> delta, next_delta;
+  for (uint32_t i = 0; i < program.idb_count(); ++i) {
+    full.emplace_back(program.idb(i).arity);
+    delta.emplace_back(program.idb(i).arity);
+    next_delta.emplace_back(program.idb(i).arity);
+  }
+
+  // Round 0: rules fire with empty IDBs — only rules whose body has no IDB
+  // atoms (or whose IDB atoms could match nothing) contribute.
+  //
+  // Derivations are buffered and inserted after the rule finishes: a
+  // recursive rule reads the very TupleSet it derives into, and inserting
+  // during iteration would invalidate the tuple list being scanned.
+  std::vector<std::vector<Element>> derived;
+  auto run_rule = [&](const DatalogRule& rule, size_t delta_atom) {
+    derived.clear();
+    RuleEvaluator eval(rule, edb, full, delta, delta_atom);
+    eval.Run(
+        [&](const std::vector<Element>& head) { derived.push_back(head); });
+    for (const auto& head : derived) {
+      if (full[rule.head.pred].Insert(head)) {
+        next_delta[rule.head.pred].Insert(head);
+        ++result.derived_tuples;
+      }
+    }
+  };
+
+  for (const DatalogRule& rule : program.rules()) {
+    run_rule(rule, SIZE_MAX);
+  }
+  for (uint32_t i = 0; i < program.idb_count(); ++i) {
+    delta[i] = std::move(next_delta[i]);
+    next_delta[i] = TupleSet(program.idb(i).arity);
+  }
+
+  // Semi-naive rounds: every rule firing must use at least one delta fact.
+  bool changed = true;
+  while (changed) {
+    ++result.rounds;
+    changed = false;
+    for (const DatalogRule& rule : program.rules()) {
+      for (size_t ai = 0; ai < rule.body.size(); ++ai) {
+        if (!rule.body[ai].is_idb) continue;
+        run_rule(rule, ai);
+      }
+    }
+    for (uint32_t i = 0; i < program.idb_count(); ++i) {
+      if (!next_delta[i].empty()) changed = true;
+      delta[i] = std::move(next_delta[i]);
+      next_delta[i] = TupleSet(program.idb(i).arity);
+    }
+  }
+  return result;
+}
+
+Result<bool> GoalDerivable(const DatalogProgram& program,
+                           const Structure& edb) {
+  CQCS_ASSIGN_OR_RETURN(DatalogResult result, EvaluateDatalog(program, edb));
+  return !result.idb_relations[program.goal()].empty();
+}
+
+}  // namespace cqcs

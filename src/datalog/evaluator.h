@@ -1,0 +1,67 @@
+// Bottom-up semi-naive evaluation of Datalog programs.
+//
+// Each IDB is computed as a least fixed point over a given EDB structure.
+// Evaluation is polynomial in the size of the input structure for a fixed
+// program — the fact that makes "¬CSP(B) expressible in Datalog" a
+// tractability criterion (Section 4).
+
+#ifndef CQCS_DATALOG_EVALUATOR_H_
+#define CQCS_DATALOG_EVALUATOR_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/structure.h"
+#include "datalog/program.h"
+
+namespace cqcs {
+
+/// A set of tuples of a fixed arity (arity 0 allowed: the set is then either
+/// empty or contains the single empty tuple).
+class TupleSet {
+ public:
+  explicit TupleSet(uint32_t arity) : arity_(arity) {}
+
+  uint32_t arity() const { return arity_; }
+  size_t size() const { return set_.size(); }
+  bool empty() const { return set_.empty(); }
+
+  /// Returns true if newly inserted.
+  bool Insert(const std::vector<Element>& tuple);
+  bool Contains(const std::vector<Element>& tuple) const;
+
+  const std::vector<std::vector<Element>>& tuples() const { return list_; }
+
+ private:
+  struct VecHash {
+    size_t operator()(const std::vector<Element>& v) const {
+      size_t h = 0x9e3779b97f4a7c15ULL;
+      for (Element e : v) h = (h ^ e) * 0x100000001b3ULL;
+      return h;
+    }
+  };
+  uint32_t arity_;
+  std::unordered_set<std::vector<Element>, VecHash> set_;
+  std::vector<std::vector<Element>> list_;  // insertion order
+};
+
+/// Evaluation result: one TupleSet per IDB predicate.
+struct DatalogResult {
+  std::vector<TupleSet> idb_relations;
+  size_t rounds = 0;             ///< semi-naive iterations until fixpoint
+  size_t derived_tuples = 0;     ///< total IDB facts derived
+};
+
+/// Runs the program to its least fixed point on `edb`. The structure must be
+/// over the program's EDB vocabulary. Unsafe head variables range over the
+/// universe of `edb`.
+Result<DatalogResult> EvaluateDatalog(const DatalogProgram& program,
+                                      const Structure& edb);
+
+/// Convenience: does the (possibly 0-ary) goal predicate derive any fact?
+Result<bool> GoalDerivable(const DatalogProgram& program,
+                           const Structure& edb);
+
+}  // namespace cqcs
+
+#endif  // CQCS_DATALOG_EVALUATOR_H_

@@ -1,0 +1,255 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace cqcs {
+
+namespace {
+
+struct RawAtom {
+  std::string name;
+  std::vector<std::string> args;
+};
+
+struct RawRule {
+  RawAtom head;
+  std::vector<RawAtom> body;
+};
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void SkipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpaceAndComments();
+    return pos_ >= text_.size();
+  }
+
+  bool Consume(std::string_view token) {
+    SkipSpaceAndComments();
+    if (text_.substr(pos_).substr(0, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipSpaceAndComments();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  std::string_view ReadIdentifier() {
+    SkipSpaceAndComments();
+    size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                c == '\'';
+      if (pos_ == start) {
+        ok = std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+      }
+      if (!ok) break;
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  size_t position() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Status ParseAtom(Cursor& cursor, RawAtom* out) {
+  std::string_view name = cursor.ReadIdentifier();
+  if (name.empty()) {
+    return Status::ParseError("expected a predicate name at position " +
+                              std::to_string(cursor.position()));
+  }
+  out->name = std::string(name);
+  if (!cursor.Consume("(")) {
+    return Status::ParseError("expected '(' after '" + out->name + "'");
+  }
+  if (cursor.Consume(")")) return Status::OK();
+  while (true) {
+    std::string_view var = cursor.ReadIdentifier();
+    if (var.empty()) {
+      return Status::ParseError("expected a variable in atom '" + out->name +
+                                "'");
+    }
+    out->args.emplace_back(var);
+    if (cursor.Consume(")")) break;
+    if (!cursor.Consume(",")) {
+      return Status::ParseError("expected ',' or ')' in atom '" + out->name +
+                                "'");
+    }
+  }
+  return Status::OK();
+}
+
+Result<DatalogProgram> ParseImpl(std::string_view text, VocabularyPtr vocab,
+                                 std::string_view goal_name) {
+  Cursor cursor(text);
+  std::vector<RawRule> raw_rules;
+  while (!cursor.AtEnd()) {
+    RawRule rule;
+    CQCS_RETURN_IF_ERROR(ParseAtom(cursor, &rule.head));
+    if (!cursor.Consume(":-")) {
+      return Status::ParseError("expected ':-' after rule head '" +
+                                rule.head.name + "'");
+    }
+    // Empty body: "head :- ." — the next token is the period.
+    if (!cursor.Peek('.')) {
+      while (true) {
+        RawAtom atom;
+        CQCS_RETURN_IF_ERROR(ParseAtom(cursor, &atom));
+        rule.body.push_back(std::move(atom));
+        if (!cursor.Consume(",")) break;
+      }
+    }
+    if (!cursor.Consume(".")) {
+      return Status::ParseError("expected '.' at the end of a rule");
+    }
+    raw_rules.push_back(std::move(rule));
+  }
+  if (raw_rules.empty()) {
+    return Status::ParseError("program has no rules");
+  }
+
+  // Head predicates are IDBs; everything else is EDB.
+  std::map<std::string, uint32_t> idb_arity;
+  for (const RawRule& rule : raw_rules) {
+    auto [it, inserted] = idb_arity.emplace(
+        rule.head.name, static_cast<uint32_t>(rule.head.args.size()));
+    if (!inserted && it->second != rule.head.args.size()) {
+      return Status::ParseError("IDB '" + rule.head.name +
+                                "' used with two different arities");
+    }
+  }
+  if (vocab == nullptr) {
+    auto inferred = std::make_shared<Vocabulary>();
+    for (const RawRule& rule : raw_rules) {
+      for (const RawAtom& atom : rule.body) {
+        if (idb_arity.count(atom.name) > 0) continue;
+        if (auto existing = inferred->FindRelation(atom.name)) {
+          if (inferred->arity(*existing) != atom.args.size()) {
+            return Status::ParseError("EDB '" + atom.name +
+                                      "' used with two different arities");
+          }
+        } else {
+          if (atom.args.empty()) {
+            return Status::ParseError("EDB atom '" + atom.name +
+                                      "' must have arguments");
+          }
+          inferred->AddRelation(atom.name,
+                                static_cast<uint32_t>(atom.args.size()));
+        }
+      }
+    }
+    vocab = inferred;
+  }
+
+  DatalogProgram program(vocab);
+  for (const auto& [name, arity] : idb_arity) {
+    if (vocab->FindRelation(name).has_value()) {
+      return Status::ParseError("predicate '" + name +
+                                "' is both an EDB relation and a rule head");
+    }
+    program.AddIdb(name, arity);
+  }
+  for (const RawRule& raw : raw_rules) {
+    DatalogRule rule;
+    std::map<std::string, DatalogVar> vars;
+    auto var_of = [&](const std::string& name) {
+      auto [it, inserted] =
+          vars.emplace(name, static_cast<DatalogVar>(vars.size()));
+      if (inserted) rule.var_names.push_back(name);
+      return it->second;
+    };
+    auto convert = [&](const RawAtom& raw_atom,
+                       DatalogAtom* atom) -> Status {
+      if (auto idb = program.FindIdb(raw_atom.name)) {
+        atom->is_idb = true;
+        atom->pred = *idb;
+        if (raw_atom.args.size() != program.idb(*idb).arity) {
+          return Status::ParseError("arity mismatch for IDB '" +
+                                    raw_atom.name + "'");
+        }
+      } else if (auto edb = vocab->FindRelation(raw_atom.name)) {
+        atom->is_idb = false;
+        atom->pred = *edb;
+        if (raw_atom.args.size() != vocab->arity(*edb)) {
+          return Status::ParseError("arity mismatch for EDB '" +
+                                    raw_atom.name + "'");
+        }
+      } else {
+        return Status::NotFound("unknown predicate '" + raw_atom.name + "'");
+      }
+      for (const std::string& v : raw_atom.args) {
+        atom->args.push_back(var_of(v));
+      }
+      return Status::OK();
+    };
+    CQCS_RETURN_IF_ERROR(convert(raw.head, &rule.head));
+    if (!rule.head.is_idb) {
+      return Status::ParseError("rule head '" + raw.head.name +
+                                "' is an EDB relation");
+    }
+    for (const RawAtom& raw_atom : raw.body) {
+      DatalogAtom atom;
+      CQCS_RETURN_IF_ERROR(convert(raw_atom, &atom));
+      rule.body.push_back(std::move(atom));
+    }
+    rule.var_count = static_cast<uint32_t>(vars.size());
+    program.AddRule(std::move(rule));
+  }
+
+  if (goal_name.empty()) {
+    auto goal = program.FindIdb(raw_rules.back().head.name);
+    CQCS_CHECK(goal.has_value());
+    program.SetGoal(*goal);
+  } else {
+    auto goal = program.FindIdb(goal_name);
+    if (!goal.has_value()) {
+      return Status::NotFound("goal predicate '" + std::string(goal_name) +
+                              "' is not an IDB of the program");
+    }
+    program.SetGoal(*goal);
+  }
+  CQCS_RETURN_IF_ERROR(program.Validate());
+  return program;
+}
+
+}  // namespace
+
+Result<DatalogProgram> ParseDatalogProgram(std::string_view text,
+                                           VocabularyPtr edb_vocabulary,
+                                           std::string_view goal_name) {
+  return ParseImpl(text, std::move(edb_vocabulary), goal_name);
+}
+
+Result<DatalogProgram> ParseDatalogProgram(std::string_view text,
+                                           std::string_view goal_name) {
+  return ParseImpl(text, nullptr, goal_name);
+}
+
+}  // namespace cqcs

@@ -1,0 +1,34 @@
+// Parser for Datalog programs.
+//
+// One rule per line (or separated by '.'), '#' comments:
+//
+//   P(X, Y) :- E(X, Y).
+//   P(X, Y) :- P(X, Z), E(Z, W), E(W, Y).
+//   Q() :- P(X, X).
+//
+// Predicates that appear in some head are IDBs; all others must be EDB
+// relations (of the supplied vocabulary, or inferred). Empty bodies are
+// allowed ("T(X) :- ."), as are unsafe head variables (see program.h).
+// The goal defaults to the head predicate of the last rule; pass
+// `goal_name` to override.
+
+#ifndef CQCS_DATALOG_PARSER_H_
+#define CQCS_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "datalog/program.h"
+
+namespace cqcs {
+
+Result<DatalogProgram> ParseDatalogProgram(std::string_view text,
+                                           VocabularyPtr edb_vocabulary,
+                                           std::string_view goal_name = "");
+
+Result<DatalogProgram> ParseDatalogProgram(std::string_view text,
+                                           std::string_view goal_name = "");
+
+}  // namespace cqcs
+
+#endif  // CQCS_DATALOG_PARSER_H_

@@ -1,0 +1,116 @@
+#include "datalog/program.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cqcs {
+
+DatalogProgram::DatalogProgram(VocabularyPtr edb_vocabulary)
+    : edb_(std::move(edb_vocabulary)) {
+  CQCS_CHECK(edb_ != nullptr);
+}
+
+uint32_t DatalogProgram::AddIdb(std::string name, uint32_t arity) {
+  CQCS_CHECK_MSG(!FindIdb(name).has_value(),
+                 "duplicate IDB predicate '" << name << "'");
+  CQCS_CHECK_MSG(!edb_->FindRelation(name).has_value(),
+                 "IDB '" << name << "' collides with an EDB relation");
+  idbs_.push_back(IdbPredicate{std::move(name), arity});
+  return static_cast<uint32_t>(idbs_.size() - 1);
+}
+
+std::optional<uint32_t> DatalogProgram::FindIdb(std::string_view name) const {
+  for (uint32_t i = 0; i < idbs_.size(); ++i) {
+    if (idbs_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+size_t CountDistinct(const std::vector<DatalogVar>& vars) {
+  std::set<DatalogVar> s(vars.begin(), vars.end());
+  return s.size();
+}
+
+}  // namespace
+
+void DatalogProgram::AddRule(DatalogRule rule) {
+  CQCS_CHECK_MSG(rule.head.is_idb, "rule head must be an IDB atom");
+  CQCS_CHECK(rule.head.pred < idbs_.size());
+  CQCS_CHECK(rule.head.args.size() == idbs_[rule.head.pred].arity);
+  for (const DatalogAtom& atom : rule.body) {
+    if (atom.is_idb) {
+      CQCS_CHECK(atom.pred < idbs_.size());
+      CQCS_CHECK(atom.args.size() == idbs_[atom.pred].arity);
+    } else {
+      CQCS_CHECK(atom.pred < edb_->size());
+      CQCS_CHECK(atom.args.size() == edb_->arity(atom.pred));
+    }
+    for (DatalogVar v : atom.args) CQCS_CHECK(v < rule.var_count);
+  }
+  for (DatalogVar v : rule.head.args) CQCS_CHECK(v < rule.var_count);
+  rules_.push_back(std::move(rule));
+}
+
+void DatalogProgram::SetGoal(uint32_t idb) {
+  CQCS_CHECK(idb < idbs_.size());
+  goal_ = idb;
+  goal_set_ = true;
+}
+
+uint32_t DatalogProgram::MaxBodyWidth() const {
+  size_t width = 0;
+  for (const DatalogRule& rule : rules_) {
+    std::set<DatalogVar> vars;
+    for (const DatalogAtom& atom : rule.body) {
+      vars.insert(atom.args.begin(), atom.args.end());
+    }
+    width = std::max(width, vars.size());
+  }
+  return static_cast<uint32_t>(width);
+}
+
+uint32_t DatalogProgram::MaxHeadWidth() const {
+  size_t width = 0;
+  for (const DatalogRule& rule : rules_) {
+    width = std::max(width, CountDistinct(rule.head.args));
+  }
+  return static_cast<uint32_t>(width);
+}
+
+Status DatalogProgram::Validate() const {
+  if (!goal_set_) return Status::InvalidArgument("no goal predicate set");
+  if (rules_.empty()) return Status::InvalidArgument("program has no rules");
+  return Status::OK();
+}
+
+std::string DatalogProgram::ToString() const {
+  std::ostringstream out;
+  auto print_atom = [&](const DatalogAtom& atom,
+                        const std::vector<std::string>& names) {
+    out << (atom.is_idb ? idbs_[atom.pred].name : edb_->name(atom.pred));
+    out << "(";
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << names[atom.args[i]];
+    }
+    out << ")";
+  };
+  for (const DatalogRule& rule : rules_) {
+    print_atom(rule.head, rule.var_names);
+    out << " :- ";
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (i > 0) out << ", ";
+      print_atom(rule.body[i], rule.var_names);
+    }
+    out << ".\n";
+  }
+  out << "# goal: " << idbs_[goal_].name << "\n";
+  return out.str();
+}
+
+}  // namespace cqcs

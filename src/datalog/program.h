@@ -1,0 +1,95 @@
+// Datalog programs (Section 4 of the paper).
+//
+// A program is a set of rules over intensional (IDB) and extensional (EDB)
+// predicates; one IDB is the goal. Following the paper's definition of
+// k-Datalog, rules may be "unsafe": a head variable need not occur in the
+// body — such a variable ranges over the whole universe of the input
+// structure (this is essential for the canonical game programs ρ_B of
+// Theorem 4.7, whose base rules have empty bodies).
+
+#ifndef CQCS_DATALOG_PROGRAM_H_
+#define CQCS_DATALOG_PROGRAM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/vocabulary.h"
+
+namespace cqcs {
+
+/// Variables are rule-local dense indices.
+using DatalogVar = uint32_t;
+
+/// An atom in a rule: either an EDB atom (pred indexes the EDB vocabulary)
+/// or an IDB atom (pred indexes the program's IDB table).
+struct DatalogAtom {
+  bool is_idb = false;
+  uint32_t pred = 0;
+  std::vector<DatalogVar> args;
+};
+
+/// One rule head :- body. Variables 0..var_count-1 are rule-local; var_names
+/// exist for printing.
+struct DatalogRule {
+  DatalogAtom head;  // must be an IDB atom
+  std::vector<DatalogAtom> body;
+  uint32_t var_count = 0;
+  std::vector<std::string> var_names;
+};
+
+/// An IDB predicate; arity 0 is allowed (Boolean goals).
+struct IdbPredicate {
+  std::string name;
+  uint32_t arity = 0;
+};
+
+/// A Datalog program over a fixed EDB vocabulary.
+class DatalogProgram {
+ public:
+  explicit DatalogProgram(VocabularyPtr edb_vocabulary);
+
+  const VocabularyPtr& edb_vocabulary() const { return edb_; }
+
+  /// Declares an IDB predicate; names must be unique and distinct from EDBs.
+  uint32_t AddIdb(std::string name, uint32_t arity);
+  std::optional<uint32_t> FindIdb(std::string_view name) const;
+  const IdbPredicate& idb(uint32_t i) const { return idbs_[i]; }
+  size_t idb_count() const { return idbs_.size(); }
+
+  /// Appends a rule. CHECK-fails on malformed atoms (bad arity/pred/vars).
+  void AddRule(DatalogRule rule);
+  const std::vector<DatalogRule>& rules() const { return rules_; }
+
+  /// Designates the goal predicate.
+  void SetGoal(uint32_t idb) ;
+  uint32_t goal() const { return goal_; }
+
+  /// Width statistics: max distinct variables over all rule bodies / heads.
+  /// A program is k-Datalog iff MaxBodyWidth() <= k and MaxHeadWidth() <= k
+  /// (the paper's definition, Section 4.1).
+  uint32_t MaxBodyWidth() const;
+  uint32_t MaxHeadWidth() const;
+  bool IsKDatalog(uint32_t k) const {
+    return MaxBodyWidth() <= k && MaxHeadWidth() <= k;
+  }
+
+  /// Well-formedness: heads are IDBs, arities match, goal set.
+  Status Validate() const;
+
+  /// Rule-per-line rendering, parseable by ParseDatalogProgram.
+  std::string ToString() const;
+
+ private:
+  VocabularyPtr edb_;
+  std::vector<IdbPredicate> idbs_;
+  std::vector<DatalogRule> rules_;
+  uint32_t goal_ = 0;
+  bool goal_set_ = false;
+};
+
+}  // namespace cqcs
+
+#endif  // CQCS_DATALOG_PROGRAM_H_

@@ -1,0 +1,162 @@
+#include "datalog/rho_b.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cqcs {
+
+namespace {
+
+/// Decodes IDB index -> k-tuple over B's universe (base-n digits).
+std::vector<Element> TupleOfIndex(size_t index, uint32_t k, size_t n) {
+  std::vector<Element> b(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    b[i] = static_cast<Element>(index % n);
+    index /= n;
+  }
+  return b;
+}
+
+size_t IndexOfTuple(const std::vector<Element>& b, size_t n) {
+  size_t index = 0;
+  for (size_t i = b.size(); i-- > 0;) index = index * n + b[i];
+  return index;
+}
+
+std::string TupleName(const std::vector<Element>& b) {
+  std::string name = "T";
+  for (Element e : b) name += "_" + std::to_string(e);
+  return name;
+}
+
+}  // namespace
+
+Result<DatalogProgram> BuildSpoilerWinProgram(const Structure& b,
+                                              uint32_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  const size_t n = b.universe_size();
+  if (n == 0) {
+    return Status::InvalidArgument(
+        "empty target: the Spoiler wins trivially; no program needed");
+  }
+  double count = std::pow(static_cast<double>(n), static_cast<double>(k));
+  if (count > static_cast<double>(1 << 20)) {
+    return Status::Unsupported("|B|^k is too large for program generation");
+  }
+  const size_t num_tuples = static_cast<size_t>(count);
+
+  DatalogProgram program(b.vocabulary());
+  // IDB ids are aligned with tuple indices: AddIdb is called in order.
+  for (size_t bi = 0; bi < num_tuples; ++bi) {
+    program.AddIdb(TupleName(TupleOfIndex(bi, k, n)), k);
+  }
+  uint32_t goal = program.AddIdb("S", 0);
+
+  // Variable convention per rule: vars 0..k-1 are x_1..x_k; var k is y.
+  auto make_names = [&](uint32_t var_count) {
+    std::vector<std::string> names;
+    for (uint32_t v = 0; v < var_count; ++v) {
+      names.push_back(v < k ? "X" + std::to_string(v + 1) : "Y");
+    }
+    return names;
+  };
+
+  const Vocabulary& vocab = *b.vocabulary();
+  for (size_t bi = 0; bi < num_tuples; ++bi) {
+    std::vector<Element> tuple_b = TupleOfIndex(bi, k, n);
+
+    // Family 1: non-mapping positions. Head repeats x_i at positions i, j.
+    for (uint32_t i = 0; i < k; ++i) {
+      for (uint32_t j = i + 1; j < k; ++j) {
+        if (tuple_b[i] == tuple_b[j]) continue;
+        DatalogRule rule;
+        rule.var_count = k;
+        rule.var_names = make_names(k);
+        rule.head.is_idb = true;
+        rule.head.pred = static_cast<uint32_t>(bi);
+        for (uint32_t s = 0; s < k; ++s) {
+          rule.head.args.push_back(s == j ? i : s);
+        }
+        program.AddRule(std::move(rule));
+      }
+    }
+
+    // Family 2: non-homomorphism witnesses. For every R and every index
+    // tuple (i_1..i_m) with (b_{i_1}..b_{i_m}) ∉ R^B, pebbling a tuple of
+    // R^A on those positions is a Spoiler win.
+    for (RelId rel = 0; rel < vocab.size(); ++rel) {
+      const uint32_t m = vocab.arity(rel);
+      const Relation& rb = b.relation(rel);
+      // Enumerate [k]^m.
+      std::vector<uint32_t> idx(m, 0);
+      while (true) {
+        std::vector<Element> image(m);
+        for (uint32_t p = 0; p < m; ++p) image[p] = tuple_b[idx[p]];
+        if (!rb.Contains(image)) {
+          DatalogRule rule;
+          rule.var_count = k;
+          rule.var_names = make_names(k);
+          rule.head.is_idb = true;
+          rule.head.pred = static_cast<uint32_t>(bi);
+          for (uint32_t s = 0; s < k; ++s) rule.head.args.push_back(s);
+          DatalogAtom atom;
+          atom.is_idb = false;
+          atom.pred = rel;
+          for (uint32_t p = 0; p < m; ++p) atom.args.push_back(idx[p]);
+          rule.body.push_back(std::move(atom));
+          program.AddRule(std::move(rule));
+        }
+        // Increment the index tuple.
+        uint32_t pos = 0;
+        while (pos < m && ++idx[pos] == k) {
+          idx[pos] = 0;
+          ++pos;
+        }
+        if (pos == m) break;
+      }
+    }
+
+    // Family 3: Spoiler repositions pebble j to a fresh point y; every
+    // Duplicator answer c leads to a winning position.
+    for (uint32_t j = 0; j < k; ++j) {
+      DatalogRule rule;
+      rule.var_count = k + 1;
+      rule.var_names = make_names(k + 1);
+      rule.head.is_idb = true;
+      rule.head.pred = static_cast<uint32_t>(bi);
+      for (uint32_t s = 0; s < k; ++s) rule.head.args.push_back(s);
+      for (Element c = 0; c < n; ++c) {
+        std::vector<Element> replaced = tuple_b;
+        replaced[j] = c;
+        DatalogAtom atom;
+        atom.is_idb = true;
+        atom.pred = static_cast<uint32_t>(IndexOfTuple(replaced, n));
+        for (uint32_t s = 0; s < k; ++s) {
+          atom.args.push_back(s == j ? k : s);  // y at position j
+        }
+        rule.body.push_back(std::move(atom));
+      }
+      program.AddRule(std::move(rule));
+    }
+  }
+
+  // Goal: some placement of all k pebbles beats every Duplicator response.
+  DatalogRule goal_rule;
+  goal_rule.var_count = k;
+  goal_rule.var_names = make_names(k);
+  goal_rule.head.is_idb = true;
+  goal_rule.head.pred = goal;
+  for (size_t bi = 0; bi < num_tuples; ++bi) {
+    DatalogAtom atom;
+    atom.is_idb = true;
+    atom.pred = static_cast<uint32_t>(bi);
+    for (uint32_t s = 0; s < k; ++s) atom.args.push_back(s);
+    goal_rule.body.push_back(std::move(atom));
+  }
+  program.AddRule(std::move(goal_rule));
+  program.SetGoal(goal);
+  return program;
+}
+
+}  // namespace cqcs

@@ -1,0 +1,37 @@
+// The canonical k-Datalog program ρ_B of Theorem 4.7(2): for a fixed finite
+// structure B, ρ_B expresses "given A, does the Spoiler win the existential
+// k-pebble game on A and B?".
+//
+// The program has one k-ary IDB T_b per k-tuple b ∈ B^k and a 0-ary goal S:
+//   - for every i < j with b_i != b_j:      T_b(..x_i..x_i..) :- .
+//     (the pebbled correspondence is not a mapping);
+//   - for every relation R and index tuple (i_1..i_m) with
+//     (b_{i_1},...,b_{i_m}) ∉ R^B:          T_b(x_1..x_k) :- R(x_{i_1}..x_{i_m}).
+//     (the mapping is not a homomorphism);
+//   - for every j <= k:  T_b(x_1..x_k) :- ⋀_{c ∈ B} T_{b[j<-c]}(x_1..y..x_k).
+//     (the Spoiler repositions pebble j; every Duplicator answer loses);
+//   - goal:              S :- ⋀_{b ∈ B^k} T_b(x_1..x_k).
+//
+// Heads of the first and third rule families contain variables that do not
+// occur in the body — the paper's k-Datalog definition allows this, and the
+// evaluator gives them universe-ranging semantics. Remark 4.10.1: when
+// ¬CSP(B) is expressible in k-Datalog at all, ρ_B expresses it.
+
+#ifndef CQCS_DATALOG_RHO_B_H_
+#define CQCS_DATALOG_RHO_B_H_
+
+#include "common/status.h"
+#include "core/structure.h"
+#include "datalog/program.h"
+
+namespace cqcs {
+
+/// Builds ρ_B for the given structure and pebble count k >= 1. The program
+/// size is Θ(|B|^k · (k² + Σ_R k^{arity(R)} + k·|B|)), so keep B and k small.
+/// Errors: InvalidArgument for k = 0; Unsupported when |B|^k exceeds 2^20
+/// IDB predicates.
+Result<DatalogProgram> BuildSpoilerWinProgram(const Structure& b, uint32_t k);
+
+}  // namespace cqcs
+
+#endif  // CQCS_DATALOG_RHO_B_H_

@@ -1,0 +1,171 @@
+#include "fo/evaluate.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace cqcs {
+
+namespace {
+
+void Track(FoEvalStats* stats, const FoRelation& r) {
+  if (stats != nullptr) {
+    stats->max_intermediate_rows =
+        std::max(stats->max_intermediate_rows, r.rows.size());
+  }
+}
+
+/// Natural join of two slot relations.
+FoRelation Join(const FoRelation& left, const FoRelation& right,
+                FoEvalStats* stats) {
+  if (stats != nullptr) ++stats->join_count;
+  FoRelation out;
+  std::set_union(left.vars.begin(), left.vars.end(), right.vars.begin(),
+                 right.vars.end(), std::back_inserter(out.vars));
+  // Positions of shared vars and of each side's vars in the output.
+  std::vector<size_t> left_pos(left.vars.size()), right_pos(right.vars.size());
+  for (size_t i = 0; i < left.vars.size(); ++i) {
+    left_pos[i] = static_cast<size_t>(
+        std::lower_bound(out.vars.begin(), out.vars.end(), left.vars[i]) -
+        out.vars.begin());
+  }
+  for (size_t i = 0; i < right.vars.size(); ++i) {
+    right_pos[i] = static_cast<size_t>(
+        std::lower_bound(out.vars.begin(), out.vars.end(), right.vars[i]) -
+        out.vars.begin());
+  }
+  std::vector<size_t> shared_left, shared_right;  // aligned index pairs
+  for (size_t i = 0; i < left.vars.size(); ++i) {
+    auto it =
+        std::lower_bound(right.vars.begin(), right.vars.end(), left.vars[i]);
+    if (it != right.vars.end() && *it == left.vars[i]) {
+      shared_left.push_back(i);
+      shared_right.push_back(static_cast<size_t>(it - right.vars.begin()));
+    }
+  }
+  // Index the right side by its shared-key projection.
+  std::map<std::vector<Element>, std::vector<const std::vector<Element>*>>
+      by_key;
+  for (const auto& row : right.rows) {
+    std::vector<Element> key;
+    key.reserve(shared_right.size());
+    for (size_t i : shared_right) key.push_back(row[i]);
+    by_key[key].push_back(&row);
+  }
+  std::vector<Element> merged(out.vars.size());
+  for (const auto& lrow : left.rows) {
+    std::vector<Element> key;
+    key.reserve(shared_left.size());
+    for (size_t i : shared_left) key.push_back(lrow[i]);
+    auto it = by_key.find(key);
+    if (it == by_key.end()) continue;
+    for (const auto* rrow : it->second) {
+      for (size_t i = 0; i < left.vars.size(); ++i) {
+        merged[left_pos[i]] = lrow[i];
+      }
+      for (size_t i = 0; i < right.vars.size(); ++i) {
+        merged[right_pos[i]] = (*rrow)[i];
+      }
+      out.rows.insert(merged);
+    }
+  }
+  Track(stats, out);
+  return out;
+}
+
+/// Projects a slot out of the relation (existential quantification).
+FoRelation ProjectOut(const FoRelation& r, uint32_t var, FoEvalStats* stats) {
+  auto it = std::lower_bound(r.vars.begin(), r.vars.end(), var);
+  if (it == r.vars.end() || *it != var) return r;  // var not free: no-op
+  size_t drop = static_cast<size_t>(it - r.vars.begin());
+  FoRelation out;
+  out.vars = r.vars;
+  out.vars.erase(out.vars.begin() + static_cast<ptrdiff_t>(drop));
+  for (const auto& row : r.rows) {
+    std::vector<Element> projected = row;
+    projected.erase(projected.begin() + static_cast<ptrdiff_t>(drop));
+    out.rows.insert(std::move(projected));
+  }
+  Track(stats, out);
+  return out;
+}
+
+Result<FoRelation> EvalImpl(const FoFormula& f, const Structure& b,
+                            FoEvalStats* stats) {
+  switch (f.kind()) {
+    case FoFormula::Kind::kAtom: {
+      if (f.rel() >= b.vocabulary()->size()) {
+        return Status::InvalidArgument("atom relation id out of range");
+      }
+      const Relation& rel = b.relation(f.rel());
+      if (f.atom_vars().size() != rel.arity()) {
+        return Status::InvalidArgument("atom arity mismatch");
+      }
+      FoRelation out;
+      // Distinct slots, sorted; repeated slots filter tuples.
+      out.vars.assign(f.atom_vars().begin(), f.atom_vars().end());
+      std::sort(out.vars.begin(), out.vars.end());
+      out.vars.erase(std::unique(out.vars.begin(), out.vars.end()),
+                     out.vars.end());
+      std::vector<Element> row(out.vars.size());
+      for (uint32_t t = 0; t < rel.tuple_count(); ++t) {
+        std::span<const Element> tup = rel.tuple(t);
+        bool ok = true;
+        for (size_t p = 0; p < tup.size() && ok; ++p) {
+          for (size_t q = p + 1; q < tup.size() && ok; ++q) {
+            if (f.atom_vars()[p] == f.atom_vars()[q] && tup[p] != tup[q]) {
+              ok = false;
+            }
+          }
+        }
+        if (!ok) continue;
+        for (size_t p = 0; p < tup.size(); ++p) {
+          size_t pos = static_cast<size_t>(
+              std::lower_bound(out.vars.begin(), out.vars.end(),
+                               f.atom_vars()[p]) -
+              out.vars.begin());
+          row[pos] = tup[p];
+        }
+        out.rows.insert(row);
+      }
+      Track(stats, out);
+      return out;
+    }
+    case FoFormula::Kind::kAnd: {
+      FoRelation acc;  // empty vars, single empty row == "true"
+      // NB: insert({}) would select the initializer_list overload and
+      // insert nothing; spell out the empty row.
+      acc.rows.insert(std::vector<Element>{});
+      for (const FoFormula& child : f.children()) {
+        CQCS_ASSIGN_OR_RETURN(FoRelation r, EvalImpl(child, b, stats));
+        acc = Join(acc, r, stats);
+        if (acc.rows.empty()) break;  // short-circuit
+      }
+      return acc;
+    }
+    case FoFormula::Kind::kExists: {
+      CQCS_ASSIGN_OR_RETURN(FoRelation r, EvalImpl(f.body(), b, stats));
+      return ProjectOut(r, f.quantified_var(), stats);
+    }
+  }
+  return Status::Internal("unknown formula kind");
+}
+
+}  // namespace
+
+Result<FoRelation> EvaluateFo(const FoFormula& formula, const Structure& b,
+                              FoEvalStats* stats) {
+  return EvalImpl(formula, b, stats);
+}
+
+Result<bool> EvaluateFoSentence(const FoFormula& formula, const Structure& b,
+                                FoEvalStats* stats) {
+  if (!formula.FreeVars().empty()) {
+    return Status::InvalidArgument("formula is not a sentence");
+  }
+  CQCS_ASSIGN_OR_RETURN(FoRelation r, EvaluateFo(formula, b, stats));
+  return !r.rows.empty();
+}
+
+}  // namespace cqcs

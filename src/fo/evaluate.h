@@ -1,0 +1,46 @@
+// Bottom-up evaluation of ∃FO^k_{∧,+} formulas on a finite structure.
+//
+// Every subformula is evaluated to the relation of its satisfying
+// assignments over its free slots; conjunction is a natural join and
+// existential quantification a projection. With k slots every intermediate
+// relation has at most |B|^k rows — the polynomial combined complexity of
+// bounded-variable logics ([Var95]) that Theorem 5.4 relies on.
+
+#ifndef CQCS_FO_EVALUATE_H_
+#define CQCS_FO_EVALUATE_H_
+
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "core/structure.h"
+#include "fo/formula.h"
+
+namespace cqcs {
+
+/// A relation over named variable slots: `vars` is sorted ascending and
+/// every row has vars.size() entries aligned with it.
+struct FoRelation {
+  std::vector<uint32_t> vars;
+  std::set<std::vector<Element>> rows;
+};
+
+/// Statistics, for the benchmarks.
+struct FoEvalStats {
+  size_t max_intermediate_rows = 0;
+  size_t join_count = 0;
+};
+
+/// Evaluates the formula over B; errors on vocabulary mismatches (atom
+/// relation ids must be valid for B's vocabulary, with matching arities).
+Result<FoRelation> EvaluateFo(const FoFormula& formula, const Structure& b,
+                              FoEvalStats* stats = nullptr);
+
+/// Sentence convenience: true iff the formula (which must have no free
+/// slots) holds in B.
+Result<bool> EvaluateFoSentence(const FoFormula& formula, const Structure& b,
+                                FoEvalStats* stats = nullptr);
+
+}  // namespace cqcs
+
+#endif  // CQCS_FO_EVALUATE_H_

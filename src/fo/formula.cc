@@ -1,0 +1,116 @@
+#include "fo/formula.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cqcs {
+
+namespace {
+
+void CollectFree(const FoFormula& f, std::set<uint32_t>* out) {
+  switch (f.kind()) {
+    case FoFormula::Kind::kAtom:
+      out->insert(f.atom_vars().begin(), f.atom_vars().end());
+      return;
+    case FoFormula::Kind::kAnd:
+      for (const FoFormula& child : f.children()) CollectFree(child, out);
+      return;
+    case FoFormula::Kind::kExists: {
+      std::set<uint32_t> inner;
+      CollectFree(f.body(), &inner);
+      inner.erase(f.quantified_var());
+      out->insert(inner.begin(), inner.end());
+      return;
+    }
+  }
+}
+
+void CollectAll(const FoFormula& f, std::set<uint32_t>* out) {
+  switch (f.kind()) {
+    case FoFormula::Kind::kAtom:
+      out->insert(f.atom_vars().begin(), f.atom_vars().end());
+      return;
+    case FoFormula::Kind::kAnd:
+      for (const FoFormula& child : f.children()) CollectAll(child, out);
+      return;
+    case FoFormula::Kind::kExists:
+      out->insert(f.quantified_var());
+      CollectAll(f.body(), out);
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<uint32_t> FoFormula::FreeVars() const {
+  std::set<uint32_t> free;
+  CollectFree(*this, &free);
+  return std::vector<uint32_t>(free.begin(), free.end());
+}
+
+uint32_t FoFormula::SlotCount() const {
+  std::set<uint32_t> all;
+  CollectAll(*this, &all);
+  return static_cast<uint32_t>(all.size());
+}
+
+std::string FoFormula::ToString(const Vocabulary& vocab) const {
+  std::ostringstream out;
+  switch (kind_) {
+    case Kind::kAtom: {
+      out << vocab.name(rel_) << "(";
+      for (size_t i = 0; i < atom_vars_.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << "x" << atom_vars_[i];
+      }
+      out << ")";
+      break;
+    }
+    case Kind::kAnd: {
+      if (children_.empty()) {
+        out << "true";
+        break;
+      }
+      out << "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out << " & ";
+        out << children_[i].ToString(vocab);
+      }
+      out << ")";
+      break;
+    }
+    case Kind::kExists: {
+      out << "Ex" << quantified_var_ << " " << children_[0].ToString(vocab);
+      break;
+    }
+  }
+  return out.str();
+}
+
+FoFormula FoFormula::Atom(RelId rel, std::vector<uint32_t> vars) {
+  FoFormula f;
+  f.kind_ = Kind::kAtom;
+  f.rel_ = rel;
+  f.atom_vars_ = std::move(vars);
+  return f;
+}
+
+FoFormula FoFormula::And(std::vector<FoFormula> children) {
+  FoFormula f;
+  f.kind_ = Kind::kAnd;
+  f.children_ = std::move(children);
+  return f;
+}
+
+FoFormula FoFormula::Exists(uint32_t var, FoFormula body) {
+  FoFormula f;
+  f.kind_ = Kind::kExists;
+  f.quantified_var_ = var;
+  f.children_.push_back(std::move(body));
+  return f;
+}
+
+}  // namespace cqcs

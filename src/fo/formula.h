@@ -1,0 +1,67 @@
+// Existential positive first-order formulas with a bounded number of
+// variables — the fragment ∃FO^k_{∧,+} of Section 5 (conjunction and
+// existential quantification over atoms; Remark 5.3 shows this fragment
+// captures exactly the queries Q_A for A of treewidth k-1).
+//
+// Variables are SLOTS 0..k-1: an Exists node rebinds a slot, which is how a
+// formula over k slots can mention arbitrarily many logical variables —
+// the whole point of the bounded-variable fragments.
+
+#ifndef CQCS_FO_FORMULA_H_
+#define CQCS_FO_FORMULA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/vocabulary.h"
+
+namespace cqcs {
+
+/// A formula node. Construct with the factory functions below.
+class FoFormula {
+ public:
+  enum class Kind { kAtom, kAnd, kExists };
+
+  Kind kind() const { return kind_; }
+
+  // Atom accessors (kind == kAtom).
+  RelId rel() const { return rel_; }
+  const std::vector<uint32_t>& atom_vars() const { return atom_vars_; }
+
+  // And accessors (kind == kAnd).
+  const std::vector<FoFormula>& children() const { return children_; }
+
+  // Exists accessors (kind == kExists).
+  uint32_t quantified_var() const { return quantified_var_; }
+  const FoFormula& body() const { return children_[0]; }
+
+  /// Free variable slots, sorted ascending.
+  std::vector<uint32_t> FreeVars() const;
+
+  /// Number of distinct variable slots mentioned anywhere (bound or free):
+  /// the "number of distinct variables" of the bounded-variable fragments.
+  uint32_t SlotCount() const;
+
+  /// Rendering like "∃x1 (E(x0, x1) ∧ ∃x0 E(x1, x0))" with xN slot names.
+  std::string ToString(const Vocabulary& vocab) const;
+
+  // Factories.
+  static FoFormula Atom(RelId rel, std::vector<uint32_t> vars);
+  static FoFormula And(std::vector<FoFormula> children);
+  static FoFormula Exists(uint32_t var, FoFormula body);
+
+ private:
+  FoFormula() = default;
+
+  Kind kind_ = Kind::kAtom;
+  RelId rel_ = 0;
+  std::vector<uint32_t> atom_vars_;
+  std::vector<FoFormula> children_;
+  uint32_t quantified_var_ = 0;
+};
+
+}  // namespace cqcs
+
+#endif  // CQCS_FO_FORMULA_H_

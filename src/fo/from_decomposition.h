@@ -1,0 +1,35 @@
+// Lemma 5.2: a structure A of treewidth k yields a sentence of ∃FO^{k+1}
+// equivalent to its canonical Boolean query Q_A, computable in polynomial
+// time from a tree decomposition.
+//
+// The construction walks the rooted decomposition: each bag's elements are
+// assigned variable SLOTS from a pool of width+1; a child reuses its
+// parent's slots for shared elements and rebinds free slots (under ∃) for
+// its new elements — exactly the parse-tree/k-boundaried-structure argument
+// in the paper's proof, with slots playing the boundary labels.
+//
+// Composing with fo/evaluate.h gives an independent third decision
+// procedure for hom(A -> B) when A has small treewidth:
+//   hom(A -> B)  iff  B ⊨ BuildSentenceFromDecomposition(A, td).
+
+#ifndef CQCS_FO_FROM_DECOMPOSITION_H_
+#define CQCS_FO_FROM_DECOMPOSITION_H_
+
+#include "common/status.h"
+#include "fo/formula.h"
+#include "treewidth/decomposition.h"
+
+namespace cqcs {
+
+/// Builds the ∃FO^{width+1} sentence equivalent to Q_A. The decomposition
+/// is validated (InvalidArgument when it is not a decomposition of A).
+/// The returned sentence uses at most decomposition.Width() + 1 slots.
+Result<FoFormula> BuildSentenceFromDecomposition(
+    const Structure& a, const TreeDecomposition& decomposition);
+
+/// Convenience: min-fill heuristic decomposition, then the translation.
+Result<FoFormula> BuildSentence(const Structure& a);
+
+}  // namespace cqcs
+
+#endif  // CQCS_FO_FROM_DECOMPOSITION_H_

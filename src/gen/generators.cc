@@ -1,0 +1,299 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cqcs {
+
+VocabularyPtr MakeGraphVocabulary() {
+  auto v = std::make_shared<Vocabulary>();
+  v->AddRelation("E", 2);
+  return v;
+}
+
+Structure StructureFromGraph(const VocabularyPtr& vocab, const Graph& g) {
+  CQCS_CHECK(vocab->FindRelation("E").has_value());
+  RelId e = *vocab->FindRelation("E");
+  Structure s(vocab, g.vertex_count());
+  for (uint32_t u = 0; u < g.vertex_count(); ++u) {
+    for (uint32_t v : g.neighbors(u)) {
+      s.AddTuple(e, {u, v});  // both directions arrive via both endpoints
+    }
+  }
+  return s;
+}
+
+Structure DirectedCycleStructure(const VocabularyPtr& vocab, size_t n) {
+  Structure s(vocab, n);
+  for (size_t i = 0; i < n; ++i) {
+    s.AddTuple(0, {static_cast<Element>(i),
+                   static_cast<Element>((i + 1) % n)});
+  }
+  return s;
+}
+
+Structure UndirectedCycleStructure(const VocabularyPtr& vocab, size_t n) {
+  Structure s(vocab, n);
+  for (size_t i = 0; i < n; ++i) {
+    auto u = static_cast<Element>(i);
+    auto v = static_cast<Element>((i + 1) % n);
+    s.AddTuple(0, {u, v});
+    s.AddTuple(0, {v, u});
+  }
+  return s;
+}
+
+Structure PathStructure(const VocabularyPtr& vocab, size_t n) {
+  Structure s(vocab, n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    s.AddTuple(0, {static_cast<Element>(i), static_cast<Element>(i + 1)});
+  }
+  return s;
+}
+
+Structure CliqueStructure(const VocabularyPtr& vocab, size_t n) {
+  Structure s(vocab, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        s.AddTuple(0, {static_cast<Element>(i), static_cast<Element>(j)});
+      }
+    }
+  }
+  return s;
+}
+
+Structure GridStructure(const VocabularyPtr& vocab, size_t rows,
+                        size_t cols) {
+  Structure s(vocab, rows * cols);
+  auto id = [cols](size_t r, size_t c) {
+    return static_cast<Element>(r * cols + c);
+  };
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        s.AddTuple(0, {id(r, c), id(r, c + 1)});
+        s.AddTuple(0, {id(r, c + 1), id(r, c)});
+      }
+      if (r + 1 < rows) {
+        s.AddTuple(0, {id(r, c), id(r + 1, c)});
+        s.AddTuple(0, {id(r + 1, c), id(r, c)});
+      }
+    }
+  }
+  return s;
+}
+
+Structure RandomGraphStructure(const VocabularyPtr& vocab, size_t n, double p,
+                               Rng& rng, bool symmetric) {
+  Structure s(vocab, n);
+  for (Element u = 0; u < n; ++u) {
+    for (Element v = 0; v < n; ++v) {
+      if (u == v) continue;
+      if (symmetric && v < u) continue;
+      if (rng.Chance(p)) {
+        s.AddTuple(0, {u, v});
+        if (symmetric) s.AddTuple(0, {v, u});
+      }
+    }
+  }
+  return s;
+}
+
+Structure RandomStructure(const VocabularyPtr& vocab, size_t n,
+                          size_t tuples_per_relation, Rng& rng) {
+  Structure s(vocab, n);
+  std::vector<Element> tuple;
+  for (RelId id = 0; id < vocab->size(); ++id) {
+    tuple.resize(vocab->arity(id));
+    for (size_t t = 0; t < tuples_per_relation; ++t) {
+      for (auto& e : tuple) e = static_cast<Element>(rng.Below(n));
+      s.AddTuple(id, tuple);
+    }
+  }
+  s.DedupAll();
+  return s;
+}
+
+Graph RandomTree(size_t n, Rng& rng) {
+  Graph g(n);
+  for (uint32_t v = 1; v < n; ++v) {
+    g.AddEdge(v, static_cast<uint32_t>(rng.Below(v)));
+  }
+  return g;
+}
+
+Graph RandomKTree(size_t n, uint32_t k, Rng& rng) {
+  CQCS_CHECK_MSG(n >= k + 1, "a k-tree needs at least k+1 vertices");
+  Graph g(n);
+  // Track the k-cliques available for attachment.
+  std::vector<std::vector<uint32_t>> cliques;
+  std::vector<uint32_t> base;
+  for (uint32_t v = 0; v <= k; ++v) {
+    for (uint32_t w = v + 1; w <= k; ++w) g.AddEdge(v, w);
+    base.push_back(v);
+  }
+  // All k-subsets of the initial (k+1)-clique.
+  for (uint32_t skip = 0; skip <= k; ++skip) {
+    std::vector<uint32_t> clique;
+    for (uint32_t v = 0; v <= k; ++v) {
+      if (v != skip) clique.push_back(v);
+    }
+    cliques.push_back(std::move(clique));
+  }
+  for (uint32_t v = k + 1; v < n; ++v) {
+    // Copy: push_back below may reallocate the clique list.
+    const std::vector<uint32_t> attach = cliques[rng.Below(cliques.size())];
+    for (uint32_t w : attach) g.AddEdge(v, w);
+    // New k-cliques: attach with one vertex swapped for v.
+    for (uint32_t swap = 0; swap < attach.size(); ++swap) {
+      std::vector<uint32_t> clique = attach;
+      clique[swap] = v;
+      cliques.push_back(std::move(clique));
+    }
+  }
+  return g;
+}
+
+Graph RandomPartialKTree(size_t n, uint32_t k, double keep, Rng& rng) {
+  Graph full = RandomKTree(n, k, rng);
+  Graph g(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v : full.neighbors(u)) {
+      if (v < u) continue;
+      if (rng.Chance(keep)) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+void CloseUnder(BooleanRelation& r, ClosureOp op) {
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    auto tuples = r.tuples();
+    for (uint64_t x : tuples) {
+      for (uint64_t y : tuples) {
+        if (op == ClosureOp::kAnd || op == ClosureOp::kOr) {
+          uint64_t c = op == ClosureOp::kAnd ? (x & y) : (x | y);
+          if (!r.Contains(c)) {
+            r.Add(c);
+            grew = true;
+          }
+          continue;
+        }
+        for (uint64_t z : tuples) {
+          uint64_t c = op == ClosureOp::kMajority
+                           ? ((x & y) | (y & z) | (x & z))
+                           : (x ^ y ^ z);
+          if (!r.Contains(c)) {
+            r.Add(c);
+            grew = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+Structure RandomClosedBooleanStructure(const VocabularyPtr& vocab,
+                                       uint32_t arity, ClosureOp op,
+                                       size_t seeds, Rng& rng) {
+  CQCS_CHECK(vocab->size() >= 1 && vocab->arity(0) == arity);
+  BooleanRelation r(arity);
+  for (size_t i = 0; i < seeds; ++i) r.Add(rng.Next() & r.FullMask());
+  CloseUnder(r, op);
+  Structure b(vocab, 2);
+  Relation packed = r.ToRelation();
+  for (uint32_t t = 0; t < packed.tuple_count(); ++t) {
+    b.AddTuple(0, packed.tuple(t));
+  }
+  return b;
+}
+
+ConjunctiveQuery ChainQuery(const VocabularyPtr& vocab, size_t length) {
+  CQCS_CHECK(length >= 1);
+  ConjunctiveQuery q(vocab, "Q");
+  RelId e = *vocab->FindRelation("E");
+  std::vector<VarId> vars;
+  for (size_t i = 0; i <= length; ++i) {
+    vars.push_back(q.GetOrCreateVar("X" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < length; ++i) {
+    q.AddAtom(e, {vars[i], vars[i + 1]});
+  }
+  q.SetHead({vars.front(), vars.back()});
+  return q;
+}
+
+ConjunctiveQuery StarQuery(const VocabularyPtr& vocab, size_t leaves) {
+  CQCS_CHECK(leaves >= 1);
+  ConjunctiveQuery q(vocab, "Q");
+  RelId e = *vocab->FindRelation("E");
+  VarId center = q.GetOrCreateVar("C");
+  for (size_t i = 0; i < leaves; ++i) {
+    VarId leaf = q.GetOrCreateVar("L" + std::to_string(i));
+    q.AddAtom(e, {center, leaf});
+  }
+  q.SetHead({center});
+  return q;
+}
+
+ConjunctiveQuery RandomQuery(const VocabularyPtr& vocab, size_t vars,
+                             size_t atoms, Rng& rng) {
+  CQCS_CHECK(vars >= 1 && atoms >= 1 && vocab->size() >= 1);
+  ConjunctiveQuery q(vocab, "Q");
+  std::vector<VarId> ids;
+  for (size_t v = 0; v < vars; ++v) {
+    ids.push_back(q.GetOrCreateVar("V" + std::to_string(v)));
+  }
+  bool head_used = false;
+  for (size_t a = 0; a < atoms; ++a) {
+    RelId rel = static_cast<RelId>(rng.Below(vocab->size()));
+    std::vector<VarId> args;
+    for (uint32_t p = 0; p < vocab->arity(rel); ++p) {
+      // Ensure the head variable occurs somewhere (safety).
+      VarId v = (!head_used && a + 1 == atoms && p == 0)
+                    ? ids[0]
+                    : ids[rng.Below(ids.size())];
+      head_used |= (v == ids[0]);
+      args.push_back(v);
+    }
+    q.AddAtom(rel, std::move(args));
+  }
+  q.SetHead({ids[0]});
+  CQCS_CHECK(q.Validate().ok());
+  return q;
+}
+
+ConjunctiveQuery RandomTwoAtomQuery(const VocabularyPtr& vocab, size_t vars,
+                                    Rng& rng) {
+  CQCS_CHECK(vars >= 1 && vocab->size() >= 1);
+  ConjunctiveQuery q(vocab, "Q");
+  std::vector<VarId> ids;
+  for (size_t v = 0; v < vars; ++v) {
+    ids.push_back(q.GetOrCreateVar("V" + std::to_string(v)));
+  }
+  bool head_used = false;
+  for (RelId rel = 0; rel < vocab->size(); ++rel) {
+    size_t count = 1 + rng.Below(2);  // at most two atoms per relation
+    for (size_t c = 0; c < count; ++c) {
+      std::vector<VarId> args;
+      for (uint32_t p = 0; p < vocab->arity(rel); ++p) {
+        VarId v = (!head_used && rel + 1 == vocab->size() && c + 1 == count &&
+                   p == 0)
+                      ? ids[0]
+                      : ids[rng.Below(ids.size())];
+        head_used |= (v == ids[0]);
+        args.push_back(v);
+      }
+      q.AddAtom(rel, std::move(args));
+    }
+  }
+  q.SetHead({ids[0]});
+  CQCS_CHECK(q.Validate().ok());
+  return q;
+}
+
+}  // namespace cqcs

@@ -1,0 +1,149 @@
+#include "schaefer/boolean_relation.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cqcs {
+
+std::string SchaeferClassSetToString(SchaeferClassSet classes) {
+  static const std::pair<SchaeferClass, const char*> kNames[] = {
+      {kZeroValid, "0-valid"},    {kOneValid, "1-valid"},
+      {kHorn, "Horn"},            {kDualHorn, "dual-Horn"},
+      {kBijunctive, "bijunctive"}, {kAffine, "affine"},
+  };
+  std::string out;
+  for (const auto& [bit, name] : kNames) {
+    if (classes & bit) {
+      if (!out.empty()) out += "|";
+      out += name;
+    }
+  }
+  return out.empty() ? "none" : out;
+}
+
+BooleanRelation::BooleanRelation(uint32_t arity) : arity_(arity) {
+  CQCS_CHECK_MSG(arity >= 1 && arity <= 63,
+                 "BooleanRelation arity must be in [1, 63], got " << arity);
+}
+
+void BooleanRelation::Add(uint64_t tuple) {
+  CQCS_CHECK_MSG((tuple & ~FullMask()) == 0,
+                 "tuple has bits above arity " << arity_);
+  auto it = std::lower_bound(tuples_.begin(), tuples_.end(), tuple);
+  if (it != tuples_.end() && *it == tuple) return;
+  tuples_.insert(it, tuple);
+}
+
+bool BooleanRelation::Contains(uint64_t tuple) const {
+  return std::binary_search(tuples_.begin(), tuples_.end(), tuple);
+}
+
+bool BooleanRelation::IsHorn() const {
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    for (size_t j = i + 1; j < tuples_.size(); ++j) {
+      if (!Contains(tuples_[i] & tuples_[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool BooleanRelation::IsDualHorn() const {
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    for (size_t j = i + 1; j < tuples_.size(); ++j) {
+      if (!Contains(tuples_[i] | tuples_[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool BooleanRelation::IsBijunctive() const {
+  // maj(a,b,c) = (a&b) | (b&c) | (a&c), componentwise. Triples with two
+  // equal tuples reduce to the repeated tuple, so only distinct triples
+  // need checking.
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    for (size_t j = i + 1; j < tuples_.size(); ++j) {
+      for (size_t k = j + 1; k < tuples_.size(); ++k) {
+        uint64_t a = tuples_[i], b = tuples_[j], c = tuples_[k];
+        uint64_t maj = (a & b) | (b & c) | (a & c);
+        if (!Contains(maj)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool BooleanRelation::IsAffine() const {
+  // R is affine iff R is a coset of a linear subspace, iff for a fixed
+  // t0 ∈ R and all t1, t2 ∈ R: t0 ^ t1 ^ t2 ∈ R. This implies closure
+  // under XOR of arbitrary triples (Schaefer's criterion) and is quadratic
+  // rather than cubic.
+  if (tuples_.empty()) return true;
+  uint64_t t0 = tuples_[0];
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    for (size_t j = i; j < tuples_.size(); ++j) {
+      if (!Contains(t0 ^ tuples_[i] ^ tuples_[j])) return false;
+    }
+  }
+  return true;
+}
+
+SchaeferClassSet BooleanRelation::Classify() const {
+  SchaeferClassSet classes = 0;
+  if (IsZeroValid()) classes |= kZeroValid;
+  if (IsOneValid()) classes |= kOneValid;
+  if (IsHorn()) classes |= kHorn;
+  if (IsDualHorn()) classes |= kDualHorn;
+  if (IsBijunctive()) classes |= kBijunctive;
+  if (IsAffine()) classes |= kAffine;
+  return classes;
+}
+
+Result<BooleanRelation> BooleanRelation::FromRelation(const Relation& r) {
+  if (r.arity() > 63) {
+    return Status::Unsupported("Boolean relations support arity <= 63");
+  }
+  BooleanRelation out(r.arity());
+  for (uint32_t t = 0; t < r.tuple_count(); ++t) {
+    std::span<const Element> tup = r.tuple(t);
+    uint64_t mask = 0;
+    for (uint32_t p = 0; p < r.arity(); ++p) {
+      if (tup[p] > 1) {
+        return Status::InvalidArgument(
+            "relation is not Boolean: element " + std::to_string(tup[p]));
+      }
+      mask |= static_cast<uint64_t>(tup[p]) << p;
+    }
+    out.Add(mask);
+  }
+  return out;
+}
+
+Relation BooleanRelation::ToRelation() const {
+  Relation out(arity_);
+  std::vector<Element> tuple(arity_);
+  for (uint64_t mask : tuples_) {
+    for (uint32_t p = 0; p < arity_; ++p) {
+      tuple[p] = static_cast<Element>((mask >> p) & 1);
+    }
+    out.Add(tuple);
+  }
+  return out;
+}
+
+bool IsBooleanStructure(const Structure& b) { return b.universe_size() == 2; }
+
+SchaeferClassSet ClassifyBooleanStructure(const Structure& b) {
+  CQCS_CHECK_MSG(IsBooleanStructure(b),
+                 "ClassifyBooleanStructure expects universe {0,1}");
+  SchaeferClassSet classes = kAllSchaeferClasses;
+  const Vocabulary& vocab = *b.vocabulary();
+  for (RelId id = 0; id < vocab.size() && classes != 0; ++id) {
+    auto rel = BooleanRelation::FromRelation(b.relation(id));
+    CQCS_CHECK_MSG(rel.ok(), rel.status().ToString());
+    classes &= rel->Classify();
+  }
+  return classes;
+}
+
+}  // namespace cqcs

@@ -1,0 +1,105 @@
+// Boolean relations and Schaefer's classification (Theorem 3.1).
+//
+// A k-ary Boolean relation is a set of k-bit tuples, stored as packed
+// uint64 masks (bit i = value of position i). Schaefer's six tractable
+// classes are recognized by the closure criteria cited in the paper:
+//   - 0-valid / 1-valid: contains the all-zero / all-one tuple;
+//   - Horn: closed under componentwise AND (Dechter–Pearl);
+//   - dual Horn: closed under componentwise OR (Dechter–Pearl);
+//   - bijunctive: closed under componentwise majority of triples (Schaefer);
+//   - affine: closed under componentwise XOR of triples (Schaefer).
+
+#ifndef CQCS_SCHAEFER_BOOLEAN_RELATION_H_
+#define CQCS_SCHAEFER_BOOLEAN_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/structure.h"
+
+namespace cqcs {
+
+/// Bitmask of Schaefer classes a relation (or structure) belongs to.
+enum SchaeferClass : uint8_t {
+  kZeroValid = 1u << 0,
+  kOneValid = 1u << 1,
+  kHorn = 1u << 2,
+  kDualHorn = 1u << 3,
+  kBijunctive = 1u << 4,
+  kAffine = 1u << 5,
+};
+using SchaeferClassSet = uint8_t;
+
+/// All six classes set.
+inline constexpr SchaeferClassSet kAllSchaeferClasses = 0x3f;
+
+/// "Horn|Bijunctive"-style rendering for diagnostics.
+std::string SchaeferClassSetToString(SchaeferClassSet classes);
+
+/// A k-ary Boolean relation, k <= 63 (the affine construction appends one
+/// extra column for the constant, and everything must fit in a 64-bit mask).
+class BooleanRelation {
+ public:
+  explicit BooleanRelation(uint32_t arity);
+
+  uint32_t arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Adds a tuple (mask over the low `arity` bits); duplicates ignored.
+  void Add(uint64_t tuple);
+  bool Contains(uint64_t tuple) const;
+
+  /// Sorted, deduplicated tuple masks.
+  const std::vector<uint64_t>& tuples() const { return tuples_; }
+
+  /// Mask with the low `arity` bits set.
+  uint64_t FullMask() const { return (arity_ == 64) ? ~0ULL : (1ULL << arity_) - 1; }
+
+  bool IsZeroValid() const { return Contains(0); }
+  bool IsOneValid() const { return Contains(FullMask()); }
+  /// Closed under pairwise AND. O(|R|^2 log |R|).
+  bool IsHorn() const;
+  /// Closed under pairwise OR. O(|R|^2 log |R|).
+  bool IsDualHorn() const;
+  /// Closed under majority of triples. O(|R|^3 log |R|).
+  bool IsBijunctive() const;
+  /// An affine subspace: fixing any t0 in R, closed under t0 ^ t1 ^ t2.
+  /// (Equivalent to Schaefer's triple-XOR criterion.) O(|R|^2 log |R|).
+  bool IsAffine() const;
+
+  /// All classes the relation belongs to.
+  SchaeferClassSet Classify() const;
+
+  /// Conversion from a relation over a Boolean universe (elements 0/1 only).
+  static Result<BooleanRelation> FromRelation(const Relation& r);
+  /// Conversion back to the element representation.
+  Relation ToRelation() const;
+
+  bool operator==(const BooleanRelation& o) const {
+    return arity_ == o.arity_ && tuples_ == o.tuples_;
+  }
+
+ private:
+  uint32_t arity_;
+  std::vector<uint64_t> tuples_;  // sorted unique
+};
+
+/// True when the structure is Boolean: its universe is {0, 1}.
+bool IsBooleanStructure(const Structure& b);
+
+/// Classifies a Boolean structure: the classes ALL its relations share
+/// (Schaefer's conditions quantify over every relation of B). Returns 0 if
+/// B is not a Schaefer structure. CHECK-fails if B is not Boolean.
+SchaeferClassSet ClassifyBooleanStructure(const Structure& b);
+
+/// Theorem 3.1: membership of B in Schaefer's class SC.
+inline bool IsSchaeferStructure(const Structure& b) {
+  return ClassifyBooleanStructure(b) != 0;
+}
+
+}  // namespace cqcs
+
+#endif  // CQCS_SCHAEFER_BOOLEAN_RELATION_H_

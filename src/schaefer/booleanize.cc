@@ -1,0 +1,144 @@
+#include "schaefer/booleanize.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace cqcs {
+
+namespace {
+
+uint32_t BitsFor(size_t n) {
+  if (n <= 2) return 1;
+  return static_cast<uint32_t>(std::bit_width(n - 1));
+}
+
+/// code_of[b] = the bit pattern assigned to element b.
+Result<std::vector<uint64_t>> MakeCodes(size_t n,
+                                        const std::vector<Element>* labeling) {
+  std::vector<uint64_t> codes(n);
+  if (labeling == nullptr) {
+    for (size_t i = 0; i < n; ++i) codes[i] = i;
+    return codes;
+  }
+  if (labeling->size() != n) {
+    return Status::InvalidArgument("labeling size != |B|");
+  }
+  std::vector<uint8_t> seen(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    Element code = (*labeling)[i];
+    if (code >= n || seen[code]) {
+      return Status::InvalidArgument("labeling is not a permutation");
+    }
+    seen[code] = 1;
+    codes[i] = code;
+  }
+  return codes;
+}
+
+}  // namespace
+
+Result<BooleanizedInstance> Booleanize(const Structure& a, const Structure& b,
+                                       const std::vector<Element>* labeling) {
+  if (!a.vocabulary()->Equals(*b.vocabulary())) {
+    return Status::InvalidArgument("vocabulary mismatch");
+  }
+  const size_t n = b.universe_size();
+  if (n == 0 && a.universe_size() > 0) {
+    return Status::InvalidArgument(
+        "cannot Booleanize an empty target with a nonempty source (no "
+        "homomorphism exists)");
+  }
+  const uint32_t m = BitsFor(std::max<size_t>(n, 1));
+  CQCS_ASSIGN_OR_RETURN(std::vector<uint64_t> codes, MakeCodes(n, labeling));
+
+  const Vocabulary& vocab = *a.vocabulary();
+  auto extended = std::make_shared<Vocabulary>();
+  for (RelId id = 0; id < vocab.size(); ++id) {
+    if (static_cast<uint64_t>(vocab.arity(id)) * m > (1u << 24)) {
+      return Status::Unsupported("Booleanized arity too large");
+    }
+    extended->AddRelation(vocab.name(id), vocab.arity(id) * m);
+  }
+
+  Structure a_b(extended, a.universe_size() * m);
+  Structure b_b(extended, 2);
+  std::vector<Element> tuple_b;
+  for (RelId id = 0; id < vocab.size(); ++id) {
+    const uint32_t arity = vocab.arity(id);
+    // A_b: element e's copies are e*m .. e*m + m - 1.
+    const Relation& ra = a.relation(id);
+    tuple_b.resize(static_cast<size_t>(arity) * m);
+    for (uint32_t t = 0; t < ra.tuple_count(); ++t) {
+      std::span<const Element> tup = ra.tuple(t);
+      for (uint32_t p = 0; p < arity; ++p) {
+        for (uint32_t i = 0; i < m; ++i) {
+          tuple_b[p * m + i] = tup[p] * m + i;
+        }
+      }
+      a_b.AddTuple(id, tuple_b);
+    }
+    // B_b: concatenation of codewords, MSB first within each element.
+    const Relation& rb = b.relation(id);
+    for (uint32_t t = 0; t < rb.tuple_count(); ++t) {
+      std::span<const Element> tup = rb.tuple(t);
+      for (uint32_t p = 0; p < arity; ++p) {
+        uint64_t code = codes[tup[p]];
+        for (uint32_t i = 0; i < m; ++i) {
+          tuple_b[p * m + i] =
+              static_cast<Element>((code >> (m - 1 - i)) & 1);
+        }
+      }
+      b_b.AddTuple(id, tuple_b);
+    }
+  }
+  BooleanizedInstance out(extended, std::move(a_b), std::move(b_b));
+  out.bits = m;
+  out.original_b_size = n;
+  return out;
+}
+
+Homomorphism DecodeHomomorphism(const BooleanizedInstance& instance,
+                                const Homomorphism& h_b,
+                                const std::vector<Element>* labeling) {
+  const uint32_t m = instance.bits;
+  const size_t n_a = instance.a_b.universe_size() / m;
+  CQCS_CHECK(h_b.size() == instance.a_b.universe_size());
+  // Invert the labeling: code -> element.
+  std::vector<Element> element_of_code(instance.original_b_size);
+  for (size_t e = 0; e < instance.original_b_size; ++e) {
+    Element code = labeling == nullptr ? static_cast<Element>(e)
+                                       : (*labeling)[e];
+    element_of_code[code] = static_cast<Element>(e);
+  }
+  Homomorphism h(n_a);
+  for (size_t e = 0; e < n_a; ++e) {
+    uint64_t code = 0;
+    for (uint32_t i = 0; i < m; ++i) {
+      CQCS_CHECK(h_b[e * m + i] <= 1);
+      code = (code << 1) | h_b[e * m + i];
+    }
+    // Codes outside the element range can only arise for elements of A that
+    // occur in no tuple (anything works for them); clamp to element 0.
+    h[e] = code < instance.original_b_size
+               ? element_of_code[code]
+               : 0;
+  }
+  return h;
+}
+
+Homomorphism EncodeHomomorphism(const BooleanizedInstance& instance,
+                                const Homomorphism& h,
+                                const std::vector<Element>* labeling) {
+  const uint32_t m = instance.bits;
+  Homomorphism h_b(h.size() * m);
+  for (size_t e = 0; e < h.size(); ++e) {
+    uint64_t code = labeling == nullptr ? h[e] : (*labeling)[h[e]];
+    for (uint32_t i = 0; i < m; ++i) {
+      h_b[e * m + i] = static_cast<Element>((code >> (m - 1 - i)) & 1);
+    }
+  }
+  return h_b;
+}
+
+}  // namespace cqcs

@@ -1,0 +1,58 @@
+// Booleanization (Lemma 3.5): encode the elements of B in binary so that
+// CSP instances over arbitrary finite targets become Boolean CSP instances.
+//
+// With n = |B| and m = ceil(log2 n) bits: every element a of A becomes m
+// copies a_1..a_m; a k-ary relation becomes a km-ary relation; every B-tuple
+// becomes the concatenation of its elements' codewords. Lemma 3.5:
+// hom(A, B) iff hom(A_b, B_b), and the instance grows by a factor ~ log n.
+
+#ifndef CQCS_SCHAEFER_BOOLEANIZE_H_
+#define CQCS_SCHAEFER_BOOLEANIZE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/homomorphism.h"
+#include "core/structure.h"
+
+namespace cqcs {
+
+/// The Booleanized pair (A_b, B_b) plus decoding bookkeeping.
+struct BooleanizedInstance {
+  /// Same relation names, arities multiplied by `bits`.
+  VocabularyPtr vocabulary;
+  Structure a_b;
+  Structure b_b;  ///< universe {0, 1}
+  /// Number of bits per element, m = max(1, ceil(log2 |B|)).
+  uint32_t bits = 0;
+  /// Universe size of the original B (for decoding range checks).
+  size_t original_b_size = 0;
+
+  BooleanizedInstance(VocabularyPtr v, Structure a, Structure b)
+      : vocabulary(std::move(v)), a_b(std::move(a)), b_b(std::move(b)) {}
+};
+
+/// Builds (A_b, B_b). By default elements are labeled by their index in
+/// binary (MSB-first per element); `labeling` can permute codes — the paper
+/// (Example 3.8) shows the labeling can change which Schaefer class B_b
+/// lands in. Errors: InvalidArgument when |B| = 0 yet A has elements, or
+/// when `labeling` is not a permutation of B's universe.
+Result<BooleanizedInstance> Booleanize(
+    const Structure& a, const Structure& b,
+    const std::vector<Element>* labeling = nullptr);
+
+/// Maps a homomorphism A_b -> B_b back to one A -> B (Lemma 3.5's proof
+/// direction 2). Bit groups decoding to a number >= |B| can only belong to
+/// unconstrained elements; they are clamped to element 0.
+Homomorphism DecodeHomomorphism(const BooleanizedInstance& instance,
+                                const Homomorphism& h_b,
+                                const std::vector<Element>* labeling = nullptr);
+
+/// Encodes a homomorphism A -> B as one A_b -> B_b (proof direction 1).
+Homomorphism EncodeHomomorphism(const BooleanizedInstance& instance,
+                                const Homomorphism& h,
+                                const std::vector<Element>* labeling = nullptr);
+
+}  // namespace cqcs
+
+#endif  // CQCS_SCHAEFER_BOOLEANIZE_H_

@@ -1,0 +1,82 @@
+// CNF formulas and the specialized satisfiability solvers the paper's
+// uniform algorithms dispatch to (Theorem 3.3): linear-time Horn-SAT
+// (Dowling–Gallier style unit propagation), linear-time 2-SAT (implication
+// graph + Tarjan SCC), and dual-Horn by duality.
+
+#ifndef CQCS_SCHAEFER_CNF_H_
+#define CQCS_SCHAEFER_CNF_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cqcs {
+
+/// A literal: variable index with a sign.
+struct Literal {
+  uint32_t var = 0;
+  bool negated = false;
+
+  bool operator==(const Literal& o) const {
+    return var == o.var && negated == o.negated;
+  }
+};
+
+inline Literal Pos(uint32_t var) { return Literal{var, false}; }
+inline Literal Neg(uint32_t var) { return Literal{var, true}; }
+
+/// A clause: disjunction of literals (empty clause = false).
+using Clause = std::vector<Literal>;
+
+/// A CNF formula over variables 0..var_count-1.
+struct CnfFormula {
+  uint32_t var_count = 0;
+  std::vector<Clause> clauses;
+
+  /// Total number of literal occurrences — the formula length the paper's
+  /// bounds are stated in.
+  size_t Length() const {
+    size_t n = 0;
+    for (const Clause& c : clauses) n += c.size();
+    return n;
+  }
+
+  /// Every clause has at most one positive literal.
+  bool IsHorn() const;
+  /// Every clause has at most one negative literal.
+  bool IsDualHorn() const;
+  /// Every clause has at most two literals.
+  bool IsTwoCnf() const;
+
+  /// "(x0 | !x1) & (x2)" rendering for diagnostics.
+  std::string ToString() const;
+};
+
+/// True if the assignment (indexed by variable) satisfies every clause.
+bool Satisfies(const CnfFormula& f, const std::vector<uint8_t>& assignment);
+
+/// Horn satisfiability by unit propagation from the all-false assignment;
+/// runs in O(length) [BB79, DG84]. Returns the minimal model, or nullopt.
+/// Precondition (checked): f.IsHorn().
+std::optional<std::vector<uint8_t>> SolveHornSat(const CnfFormula& f);
+
+/// Dual-Horn satisfiability (maximal model), by duality with Horn.
+/// Precondition (checked): f.IsDualHorn().
+std::optional<std::vector<uint8_t>> SolveDualHornSat(const CnfFormula& f);
+
+/// 2-SAT via the implication graph and strongly connected components;
+/// linear time. Precondition (checked): f.IsTwoCnf().
+std::optional<std::vector<uint8_t>> SolveTwoSat(const CnfFormula& f);
+
+/// 2-SAT by the phase-propagation algorithm the paper describes ([LP97]):
+/// assign an arbitrary value to an unassigned variable, propagate through
+/// binary clauses, undo and flip on conflict. Kept alongside the SCC solver
+/// because Theorem 3.4's direct bijunctive algorithm emulates exactly this
+/// procedure; the two must agree.
+std::optional<std::vector<uint8_t>> SolveTwoSatByPropagation(
+    const CnfFormula& f);
+
+}  // namespace cqcs
+
+#endif  // CQCS_SCHAEFER_CNF_H_

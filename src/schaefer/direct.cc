@@ -1,0 +1,307 @@
+#include "schaefer/direct.h"
+
+#include <bit>
+
+#include "common/check.h"
+#include "schaefer/formula_build.h"
+
+namespace cqcs {
+
+namespace {
+
+/// Converts all relations of a Boolean structure to packed form; validates
+/// membership of every relation in `required` (a predicate on the packed
+/// relation).
+template <typename Predicate>
+Result<std::vector<BooleanRelation>> PackBooleanStructure(
+    const Structure& b, Predicate required, const char* class_name) {
+  if (!IsBooleanStructure(b)) {
+    return Status::InvalidArgument("target structure is not Boolean");
+  }
+  std::vector<BooleanRelation> packed;
+  const Vocabulary& vocab = *b.vocabulary();
+  for (RelId id = 0; id < vocab.size(); ++id) {
+    CQCS_ASSIGN_OR_RETURN(BooleanRelation rel,
+                          BooleanRelation::FromRelation(b.relation(id)));
+    if (!required(rel)) {
+      return Status::InvalidArgument("relation " + vocab.name(id) +
+                                     " is not " + class_name);
+    }
+    packed.push_back(std::move(rel));
+  }
+  return packed;
+}
+
+/// Core of the Horn algorithm, shared with the dual case.
+std::optional<Homomorphism> HornFixpoint(
+    const Structure& a, const std::vector<BooleanRelation>& relations) {
+  const Vocabulary& vocab = *a.vocabulary();
+  std::vector<uint8_t> one(a.universe_size(), 0);
+
+  // Global tuple ids for the worklist.
+  struct TupleRef {
+    RelId rel;
+    uint32_t index;
+  };
+  std::vector<TupleRef> tuples;
+  std::vector<size_t> first_tuple_of_rel(vocab.size() + 1, 0);
+  for (RelId id = 0; id < vocab.size(); ++id) {
+    first_tuple_of_rel[id] = tuples.size();
+    for (uint32_t t = 0; t < a.relation(id).tuple_count(); ++t) {
+      tuples.push_back(TupleRef{id, t});
+    }
+  }
+  first_tuple_of_rel[vocab.size()] = tuples.size();
+
+  OccurrenceIndex occurrences(a);
+  std::vector<uint8_t> queued(tuples.size(), 1);
+  std::vector<size_t> worklist(tuples.size());
+  for (size_t i = 0; i < worklist.size(); ++i) worklist[i] = i;
+
+  while (!worklist.empty()) {
+    size_t gid = worklist.back();
+    worklist.pop_back();
+    queued[gid] = 0;
+    const TupleRef ref = tuples[gid];
+    const Relation& ra = a.relation(ref.rel);
+    const BooleanRelation& rb = relations[ref.rel];
+    std::span<const Element> tup = ra.tuple(ref.index);
+
+    uint64_t premise = 0;  // positions whose element is in One
+    for (uint32_t p = 0; p < ra.arity(); ++p) {
+      if (one[tup[p]]) premise |= 1ULL << p;
+    }
+    // Meet of all supports t' ⊇ premise. If none, the tuple can never be
+    // mapped into rb (One only grows), so there is no homomorphism.
+    bool any = false;
+    uint64_t meet = rb.FullMask();
+    for (uint64_t t : rb.tuples()) {
+      if ((premise & t) == premise) {
+        meet &= t;
+        any = true;
+      }
+    }
+    if (!any) return std::nullopt;
+    uint64_t forced = meet & ~premise;
+    while (forced != 0) {
+      uint32_t p = static_cast<uint32_t>(std::countr_zero(forced));
+      forced &= forced - 1;
+      Element e = tup[p];
+      if (one[e]) continue;
+      one[e] = 1;
+      // Requeue every tuple in which e occurs; its premise grew.
+      for (const auto& occ : occurrences.occurrences(e)) {
+        size_t gid2 = first_tuple_of_rel[occ.rel] + occ.tuple_index;
+        if (!queued[gid2]) {
+          queued[gid2] = 1;
+          worklist.push_back(gid2);
+        }
+      }
+    }
+  }
+  // At the fixpoint every tuple had a support superset of its final premise
+  // (otherwise we returned above after its last requeue), so h = [One] is a
+  // homomorphism (proof of Theorem 3.4).
+  Homomorphism h(a.universe_size());
+  for (size_t e = 0; e < h.size(); ++e) h[e] = one[e];
+  return h;
+}
+
+}  // namespace
+
+Result<std::optional<Homomorphism>> SolveHornDirect(const Structure& a,
+                                                    const Structure& b) {
+  if (!a.vocabulary()->Equals(*b.vocabulary())) {
+    return Status::InvalidArgument("vocabulary mismatch");
+  }
+  CQCS_ASSIGN_OR_RETURN(
+      std::vector<BooleanRelation> packed,
+      PackBooleanStructure(
+          b, [](const BooleanRelation& r) { return r.IsHorn(); }, "Horn"));
+  return HornFixpoint(a, packed);
+}
+
+Result<std::optional<Homomorphism>> SolveDualHornDirect(const Structure& a,
+                                                        const Structure& b) {
+  if (!a.vocabulary()->Equals(*b.vocabulary())) {
+    return Status::InvalidArgument("vocabulary mismatch");
+  }
+  CQCS_ASSIGN_OR_RETURN(
+      std::vector<BooleanRelation> packed,
+      PackBooleanStructure(
+          b, [](const BooleanRelation& r) { return r.IsDualHorn(); },
+          "dual Horn"));
+  // Bitwise flip: dual Horn becomes Horn; flip the resulting homomorphism.
+  std::vector<BooleanRelation> flipped;
+  flipped.reserve(packed.size());
+  for (const BooleanRelation& r : packed) {
+    BooleanRelation f(r.arity());
+    for (uint64_t t : r.tuples()) f.Add(~t & r.FullMask());
+    flipped.push_back(std::move(f));
+  }
+  auto h = HornFixpoint(a, flipped);
+  if (!h.has_value()) return std::optional<Homomorphism>(std::nullopt);
+  for (Element& v : *h) v = 1 - v;
+  return std::optional<Homomorphism>(std::move(*h));
+}
+
+Result<std::optional<Homomorphism>> SolveBijunctiveDirect(const Structure& a,
+                                                          const Structure& b) {
+  if (!a.vocabulary()->Equals(*b.vocabulary())) {
+    return Status::InvalidArgument("vocabulary mismatch");
+  }
+  CQCS_ASSIGN_OR_RETURN(
+      std::vector<BooleanRelation> packed,
+      PackBooleanStructure(
+          b, [](const BooleanRelation& r) { return r.IsBijunctive(); },
+          "bijunctive"));
+  const Vocabulary& vocab = *a.vocabulary();
+  constexpr uint8_t kUnset = 2;
+  std::vector<uint8_t> value(a.universe_size(), kUnset);
+  OccurrenceIndex occurrences(a);
+
+  // Forces `e` to `v`; records it on the trail and queue. Returns false on
+  // conflict with an existing assignment.
+  std::vector<Element> trail;
+  std::vector<Element> queue;
+  auto assign = [&](Element e, uint8_t v) {
+    if (value[e] == v) return true;
+    if (value[e] != kUnset) return false;
+    value[e] = v;
+    trail.push_back(e);
+    queue.push_back(e);
+    return true;
+  };
+
+  // Processes one occurrence of an assigned element: filter the B-tuples by
+  // the element's value at that position; every position on which all
+  // remaining tuples agree is forced (this is exactly unit propagation over
+  // the 2-clauses of δ that mention this position).
+  auto process_occurrence = [&](RelId rel, uint32_t tuple_index,
+                                uint32_t pos) {
+    const Relation& ra = a.relation(rel);
+    const BooleanRelation& rb = packed[rel];
+    std::span<const Element> tup = ra.tuple(tuple_index);
+    uint8_t v = value[tup[pos]];
+    CQCS_CHECK(v != kUnset);
+    uint64_t agree_ones = rb.FullMask();
+    uint64_t agree_zeros = rb.FullMask();
+    bool any = false;
+    for (uint64_t t : rb.tuples()) {
+      if (((t >> pos) & 1) != v) continue;
+      any = true;
+      agree_ones &= t;
+      agree_zeros &= ~t & rb.FullMask();
+    }
+    if (!any) return false;  // no B-tuple matches this value here
+    for (uint32_t l = 0; l < ra.arity(); ++l) {
+      if ((agree_ones >> l) & 1) {
+        if (!assign(tup[l], 1)) return false;
+      } else if ((agree_zeros >> l) & 1) {
+        if (!assign(tup[l], 0)) return false;
+      }
+    }
+    return true;
+  };
+
+  auto propagate = [&]() {
+    while (!queue.empty()) {
+      Element e = queue.back();
+      queue.pop_back();
+      for (const auto& occ : occurrences.occurrences(e)) {
+        if (!process_occurrence(occ.rel, occ.tuple_index, occ.pos)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  // Initial forced values: positions on which an entire relation agrees
+  // (the unit clauses of δ), and empty relations with tuples in A.
+  for (RelId id = 0; id < vocab.size(); ++id) {
+    const Relation& ra = a.relation(id);
+    if (ra.tuple_count() == 0) continue;
+    const BooleanRelation& rb = packed[id];
+    if (rb.empty()) return std::optional<Homomorphism>(std::nullopt);
+    uint64_t agree_ones = rb.FullMask();
+    uint64_t agree_zeros = rb.FullMask();
+    for (uint64_t t : rb.tuples()) {
+      agree_ones &= t;
+      agree_zeros &= ~t & rb.FullMask();
+    }
+    for (uint32_t t = 0; t < ra.tuple_count(); ++t) {
+      std::span<const Element> tup = ra.tuple(t);
+      for (uint32_t l = 0; l < ra.arity(); ++l) {
+        if ((agree_ones >> l) & 1) {
+          if (!assign(tup[l], 1)) return std::optional<Homomorphism>(std::nullopt);
+        } else if ((agree_zeros >> l) & 1) {
+          if (!assign(tup[l], 0)) return std::optional<Homomorphism>(std::nullopt);
+        }
+      }
+    }
+  }
+  if (!propagate()) return std::optional<Homomorphism>(std::nullopt);
+  trail.clear();
+
+  // Phases: guess a value for an unassigned element, propagate, flip on
+  // conflict; both guesses failing means unsatisfiable (classical 2-SAT).
+  for (Element e = 0; e < a.universe_size(); ++e) {
+    if (value[e] != kUnset) continue;
+    bool done = false;
+    for (uint8_t guess = 0; guess < 2 && !done; ++guess) {
+      trail.clear();
+      queue.clear();
+      CQCS_CHECK(assign(e, guess));
+      if (propagate()) {
+        done = true;
+      } else {
+        for (Element w : trail) value[w] = kUnset;
+      }
+    }
+    if (!done) return std::optional<Homomorphism>(std::nullopt);
+  }
+
+  Homomorphism h(a.universe_size());
+  for (size_t e = 0; e < h.size(); ++e) {
+    h[e] = value[e] == kUnset ? 0 : value[e];
+  }
+  return std::optional<Homomorphism>(std::move(h));
+}
+
+Result<std::optional<Homomorphism>> SolveAffineViaEquations(
+    const Structure& a, const Structure& b) {
+  if (!a.vocabulary()->Equals(*b.vocabulary())) {
+    return Status::InvalidArgument("vocabulary mismatch");
+  }
+  CQCS_ASSIGN_OR_RETURN(
+      std::vector<BooleanRelation> packed,
+      PackBooleanStructure(
+          b, [](const BooleanRelation& r) { return r.IsAffine(); },
+          "affine"));
+  const Vocabulary& vocab = *a.vocabulary();
+  LinearSystem system;
+  system.var_count = static_cast<uint32_t>(a.universe_size());
+  for (RelId id = 0; id < vocab.size(); ++id) {
+    const Relation& ra = a.relation(id);
+    if (ra.tuple_count() == 0) continue;
+    CQCS_ASSIGN_OR_RETURN(DefiningFormula delta,
+                          BuildDefiningFormula(packed[id], kAffine));
+    for (uint32_t t = 0; t < ra.tuple_count(); ++t) {
+      std::span<const Element> tup = ra.tuple(t);
+      for (const LinearEquation& eq : delta.system.equations) {
+        LinearEquation grounded;
+        grounded.rhs = eq.rhs;
+        for (uint32_t pos : eq.vars) grounded.vars.push_back(tup[pos]);
+        system.equations.push_back(std::move(grounded));
+      }
+    }
+  }
+  auto solution = SolveLinearSystem(system);
+  if (!solution.has_value()) return std::optional<Homomorphism>(std::nullopt);
+  Homomorphism h(a.universe_size());
+  for (size_t e = 0; e < h.size(); ++e) h[e] = (*solution)[e];
+  return std::optional<Homomorphism>(std::move(h));
+}
+
+}  // namespace cqcs

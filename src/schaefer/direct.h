@@ -1,0 +1,48 @@
+// The direct O(‖A‖·‖B‖) algorithms of Theorem 3.4, which skip the
+// formula-building stage of Theorem 3.3:
+//
+//   - Horn: grow the set `One` of A-elements forced to 1 by the implications
+//     One(t) -> j that B's relations satisfy, using occurrence lists so each
+//     occurrence is reprocessed only when its tuple gains a One element;
+//     at the fixpoint a support check decides existence.
+//   - dual Horn: the same algorithm on the bitwise-flipped structure.
+//   - bijunctive: emulate the phase-propagation 2-SAT algorithm [LP97]
+//     directly on the structures: assigning element a the value i filters
+//     the B-tuples T_{Q',k,i} and forces every position on which they agree.
+//
+// Preconditions (checked): B is Boolean and its relations belong to the
+// respective class. All relations must have arity <= 63.
+
+#ifndef CQCS_SCHAEFER_DIRECT_H_
+#define CQCS_SCHAEFER_DIRECT_H_
+
+#include <optional>
+
+#include "common/status.h"
+#include "core/homomorphism.h"
+#include "schaefer/boolean_relation.h"
+
+namespace cqcs {
+
+/// Theorem 3.4, Horn case. Returns the minimal homomorphism (fewest 1s), or
+/// nullopt when none exists. Errors when B is not a Horn Boolean structure.
+Result<std::optional<Homomorphism>> SolveHornDirect(const Structure& a,
+                                                    const Structure& b);
+
+/// Theorem 3.4, dual Horn case (maximal homomorphism).
+Result<std::optional<Homomorphism>> SolveDualHornDirect(const Structure& a,
+                                                        const Structure& b);
+
+/// Theorem 3.4, bijunctive case.
+Result<std::optional<Homomorphism>> SolveBijunctiveDirect(const Structure& a,
+                                                          const Structure& b);
+
+/// The affine case via grounding B's linear-system definitions over A and
+/// Gaussian elimination — the Theorem 3.3 route, which for affine relations
+/// is already the efficient one (|δ_R| <= min(k+1, |R|) equations).
+Result<std::optional<Homomorphism>> SolveAffineViaEquations(
+    const Structure& a, const Structure& b);
+
+}  // namespace cqcs
+
+#endif  // CQCS_SCHAEFER_DIRECT_H_

@@ -1,0 +1,233 @@
+#include "schaefer/formula_build.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace cqcs {
+
+namespace {
+
+/// Does every tuple of R satisfy the clause (over position variables)?
+bool RelationSatisfiesClause(const BooleanRelation& r, const Clause& c) {
+  for (uint64_t t : r.tuples()) {
+    bool sat = false;
+    for (const Literal& l : c) {
+      bool bit = (t >> l.var) & 1;
+      if (bit != l.negated) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+Result<DefiningFormula> BuildBijunctive(const BooleanRelation& r) {
+  if (!r.IsBijunctive()) {
+    return Status::InvalidArgument("relation is not bijunctive");
+  }
+  DefiningFormula out;
+  out.kind = kBijunctive;
+  out.cnf.var_count = r.arity();
+  const uint32_t k = r.arity();
+  // All unit clauses, then all 2-clauses, that R satisfies — exactly the
+  // paper's δ_R = ⋀ { c : R ⊨ c }, time O(|R| * k^2).
+  for (uint32_t i = 0; i < k; ++i) {
+    for (bool neg : {false, true}) {
+      Clause c{Literal{i, neg}};
+      if (RelationSatisfiesClause(r, c)) out.cnf.clauses.push_back(c);
+    }
+  }
+  for (uint32_t i = 0; i < k; ++i) {
+    for (uint32_t j = i + 1; j < k; ++j) {
+      for (bool ni : {false, true}) {
+        for (bool nj : {false, true}) {
+          Clause c{Literal{i, ni}, Literal{j, nj}};
+          if (RelationSatisfiesClause(r, c)) out.cnf.clauses.push_back(c);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<DefiningFormula> BuildAffine(const BooleanRelation& r) {
+  if (!r.IsAffine()) {
+    return Status::InvalidArgument("relation is not affine");
+  }
+  const uint32_t k = r.arity();
+  // R' = {(t, 1)}: one extra column holding the constant 1; the nullspace
+  // of R' (as a matrix) is the space of linear equations R satisfies.
+  Gf2Matrix matrix(k + 1);
+  for (uint64_t t : r.tuples()) {
+    matrix.AddRow(t | (1ULL << k));
+  }
+  DefiningFormula out;
+  out.kind = kAffine;
+  out.system.var_count = k;
+  for (uint64_t a : matrix.NullspaceBasis()) {
+    LinearEquation eq;
+    for (uint32_t i = 0; i < k; ++i) {
+      if ((a >> i) & 1) eq.vars.push_back(i);
+    }
+    // a_k * 1 appears on the left; move it to the right-hand side.
+    eq.rhs = (a >> k) & 1;
+    out.system.equations.push_back(std::move(eq));
+  }
+  return out;
+}
+
+/// Drops clauses subsumed by a smaller clause (literal-set inclusion).
+/// Clauses here never exceed 64 literals (arity <= 63), so a clause is two
+/// masks: positive vars and negative vars.
+void PruneSubsumed(CnfFormula* cnf) {
+  struct MaskPair {
+    uint64_t pos = 0, neg = 0;
+  };
+  std::vector<MaskPair> masks(cnf->clauses.size());
+  for (size_t i = 0; i < cnf->clauses.size(); ++i) {
+    for (const Literal& l : cnf->clauses[i]) {
+      (l.negated ? masks[i].neg : masks[i].pos) |= 1ULL << l.var;
+    }
+  }
+  std::vector<uint8_t> dead(cnf->clauses.size(), 0);
+  for (size_t i = 0; i < cnf->clauses.size(); ++i) {
+    if (dead[i]) continue;
+    for (size_t j = 0; j < cnf->clauses.size(); ++j) {
+      if (i == j || dead[j]) continue;
+      bool i_subsumes_j = (masks[i].pos & ~masks[j].pos) == 0 &&
+                          (masks[i].neg & ~masks[j].neg) == 0;
+      // Break ties (equal clauses) by index so exactly one survives.
+      bool equal = masks[i].pos == masks[j].pos && masks[i].neg == masks[j].neg;
+      if (i_subsumes_j && (!equal || i < j)) dead[j] = 1;
+    }
+  }
+  std::vector<Clause> kept;
+  for (size_t i = 0; i < cnf->clauses.size(); ++i) {
+    if (!dead[i]) kept.push_back(std::move(cnf->clauses[i]));
+  }
+  cnf->clauses = std::move(kept);
+}
+
+Result<DefiningFormula> BuildHorn(const BooleanRelation& r,
+                                  uint32_t horn_arity_limit) {
+  if (!r.IsHorn()) {
+    return Status::InvalidArgument("relation is not Horn");
+  }
+  const uint32_t k = r.arity();
+  if (k > horn_arity_limit) {
+    return Status::Unsupported(
+        "Horn defining-formula sweep bounded to arity " +
+        std::to_string(horn_arity_limit) +
+        "; use the direct Theorem 3.4 algorithm instead");
+  }
+  DefiningFormula out;
+  out.kind = kHorn;
+  out.cnf.var_count = k;
+  // For every non-model s: the models above s (s ⊆ t bitwise) are closed
+  // under ∧; their meet u is a model strictly above s, so some position j
+  // has u_j = 1, s_j = 0 and the Horn clause One(s) -> j excludes s while
+  // holding in R. With no model above s, One(s) -> false does the job.
+  const uint64_t full = r.FullMask();
+  for (uint64_t s = 0; s <= full; ++s) {
+    if (r.Contains(s)) continue;
+    bool any = false;
+    uint64_t meet = full;
+    for (uint64_t t : r.tuples()) {
+      if ((s & t) == s) {
+        meet &= t;
+        any = true;
+      }
+    }
+    Clause clause;
+    uint64_t premise = s;
+    while (premise != 0) {
+      uint32_t i = static_cast<uint32_t>(std::countr_zero(premise));
+      clause.push_back(Neg(i));
+      premise &= premise - 1;
+    }
+    if (any) {
+      uint64_t forced = meet & ~s;
+      CQCS_CHECK(forced != 0);
+      clause.push_back(Pos(static_cast<uint32_t>(std::countr_zero(forced))));
+    }
+    out.cnf.clauses.push_back(std::move(clause));
+  }
+  PruneSubsumed(&out.cnf);
+  return out;
+}
+
+Result<DefiningFormula> BuildDualHorn(const BooleanRelation& r,
+                                      uint32_t horn_arity_limit) {
+  if (!r.IsDualHorn()) {
+    return Status::InvalidArgument("relation is not dual Horn");
+  }
+  // Flip every tuple; the flipped relation is Horn; flipping the literals of
+  // its Horn definition yields a dual-Horn definition of R.
+  BooleanRelation flipped(r.arity());
+  for (uint64_t t : r.tuples()) flipped.Add(~t & r.FullMask());
+  CQCS_ASSIGN_OR_RETURN(DefiningFormula horn,
+                        BuildDefiningFormula(flipped, kHorn,
+                                             horn_arity_limit));
+  DefiningFormula out;
+  out.kind = kDualHorn;
+  out.cnf = std::move(horn.cnf);
+  for (Clause& c : out.cnf.clauses) {
+    for (Literal& l : c) l.negated = !l.negated;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<DefiningFormula> BuildDefiningFormula(const BooleanRelation& r,
+                                             SchaeferClass kind,
+                                             uint32_t horn_arity_limit) {
+  switch (kind) {
+    case kBijunctive:
+      return BuildBijunctive(r);
+    case kAffine:
+      return BuildAffine(r);
+    case kHorn:
+      return BuildHorn(r, horn_arity_limit);
+    case kDualHorn:
+      return BuildDualHorn(r, horn_arity_limit);
+    case kZeroValid:
+    case kOneValid:
+      return Status::InvalidArgument(
+          "trivial Schaefer classes have no defining formula; the constant "
+          "map is a homomorphism");
+  }
+  return Status::InvalidArgument("unknown Schaefer class");
+}
+
+bool Defines(const DefiningFormula& formula, const BooleanRelation& r) {
+  const uint32_t k = r.arity();
+  CQCS_CHECK_MSG(k <= 24, "Defines() sweeps 2^arity assignments");
+  for (uint64_t s = 0; s <= r.FullMask(); ++s) {
+    std::vector<uint8_t> assignment(k);
+    for (uint32_t i = 0; i < k; ++i) {
+      assignment[i] = static_cast<uint8_t>((s >> i) & 1);
+    }
+    bool is_model;
+    if (formula.kind == kAffine) {
+      is_model = true;
+      for (const LinearEquation& eq : formula.system.equations) {
+        int sum = 0;
+        for (uint32_t v : eq.vars) sum ^= assignment[v];
+        if (sum != (eq.rhs ? 1 : 0)) {
+          is_model = false;
+          break;
+        }
+      }
+    } else {
+      is_model = Satisfies(formula.cnf, assignment);
+    }
+    if (is_model != r.Contains(s)) return false;
+  }
+  return true;
+}
+
+}  // namespace cqcs

@@ -1,0 +1,48 @@
+// Construction of defining formulas δ_R for nontrivial Schaefer relations
+// (Theorem 3.2 of the paper).
+//
+//   - bijunctive: the conjunction of ALL 1- and 2-clauses over the positions
+//     that R satisfies — O(k²) clauses, the construction in the paper;
+//   - affine: Gaussian elimination on R' = {(t,1) : t ∈ R}; each nullspace
+//     basis vector is one linear equation, so δ_R has at most min(k+1, |R|)
+//     equations;
+//   - Horn / dual Horn: an exact CNF via a bounded sweep of the model
+//     complement (each non-model s contributes the clause
+//     premise(One(s)) → j, where j is forced by the ∧-closure of the
+//     superset models), with subsumption pruning. Bounded to arity <=
+//     `horn_arity_limit` because the sweep enumerates 2^k assignments; the
+//     uniform algorithms use the direct Theorem 3.4 route when the bound
+//     does not hold.
+
+#ifndef CQCS_SCHAEFER_FORMULA_BUILD_H_
+#define CQCS_SCHAEFER_FORMULA_BUILD_H_
+
+#include "common/status.h"
+#include "schaefer/boolean_relation.h"
+#include "schaefer/cnf.h"
+#include "schaefer/gf2.h"
+
+namespace cqcs {
+
+/// A defining formula for a Boolean relation: CNF for the three clause-based
+/// classes, a linear system for the affine class. Variables are the
+/// positions 0..arity-1 of the relation.
+struct DefiningFormula {
+  SchaeferClass kind = kHorn;
+  CnfFormula cnf;       // kind in {kHorn, kDualHorn, kBijunctive}
+  LinearSystem system;  // kind == kAffine
+};
+
+/// Builds δ_R of the requested kind. Errors:
+///   InvalidArgument — R is not in the requested class;
+///   Unsupported — Horn/dual-Horn construction beyond `horn_arity_limit`.
+Result<DefiningFormula> BuildDefiningFormula(const BooleanRelation& r,
+                                             SchaeferClass kind,
+                                             uint32_t horn_arity_limit = 16);
+
+/// Exhaustively verifies models(δ) == R (2^arity sweep; test helper).
+bool Defines(const DefiningFormula& formula, const BooleanRelation& r);
+
+}  // namespace cqcs
+
+#endif  // CQCS_SCHAEFER_FORMULA_BUILD_H_

@@ -1,0 +1,127 @@
+#include "schaefer/gf2.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+
+namespace cqcs {
+
+uint32_t Gf2Matrix::RowReduce() {
+  size_t pivot_row = 0;
+  for (uint32_t col = 0; col < cols_ && pivot_row < rows_.size(); ++col) {
+    // Find a row with a 1 in this column.
+    size_t found = SIZE_MAX;
+    for (size_t r = pivot_row; r < rows_.size(); ++r) {
+      if ((rows_[r] >> col) & 1) {
+        found = r;
+        break;
+      }
+    }
+    if (found == SIZE_MAX) continue;
+    std::swap(rows_[pivot_row], rows_[found]);
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      if (r != pivot_row && ((rows_[r] >> col) & 1)) {
+        rows_[r] ^= rows_[pivot_row];
+      }
+    }
+    ++pivot_row;
+  }
+  rows_.resize(pivot_row);  // drop zero rows
+  return static_cast<uint32_t>(pivot_row);
+}
+
+std::vector<uint64_t> Gf2Matrix::NullspaceBasis() const {
+  Gf2Matrix reduced = *this;
+  uint32_t rank = reduced.RowReduce();
+  // Identify pivot columns (first set bit of each reduced row).
+  std::vector<int> pivot_of_col(cols_, -1);
+  for (uint32_t r = 0; r < rank; ++r) {
+    uint32_t col = static_cast<uint32_t>(std::countr_zero(reduced.rows_[r]));
+    pivot_of_col[col] = static_cast<int>(r);
+  }
+  std::vector<uint64_t> basis;
+  for (uint32_t free_col = 0; free_col < cols_; ++free_col) {
+    if (pivot_of_col[free_col] != -1) continue;
+    // x[free_col] = 1, other free vars 0; pivots solve their rows.
+    uint64_t v = 1ULL << free_col;
+    for (uint32_t col = 0; col < cols_; ++col) {
+      int r = pivot_of_col[col];
+      if (r == -1) continue;
+      // Row r: x[col] + sum of other set columns = 0.
+      uint64_t others = reduced.rows_[static_cast<size_t>(r)] &
+                        ~(1ULL << col);
+      if (std::popcount(others & v) % 2 == 1) v |= 1ULL << col;
+    }
+    basis.push_back(v);
+  }
+  return basis;
+}
+
+std::optional<std::vector<uint8_t>> SolveLinearSystem(
+    const LinearSystem& sys) {
+  const uint32_t n = sys.var_count;
+  const size_t words = (static_cast<size_t>(n) + 1 + 63) / 64;  // +1 for rhs
+  const size_t rhs_bit = n;  // column n holds the right-hand side
+  // Bit-packed augmented rows.
+  std::vector<std::vector<uint64_t>> rows;
+  rows.reserve(sys.equations.size());
+  for (const LinearEquation& eq : sys.equations) {
+    std::vector<uint64_t> row(words, 0);
+    for (uint32_t v : eq.vars) {
+      CQCS_CHECK(v < n);
+      row[v >> 6] ^= 1ULL << (v & 63);  // XOR: repeated vars cancel
+    }
+    if (eq.rhs) row[rhs_bit >> 6] ^= 1ULL << (rhs_bit & 63);
+    rows.push_back(std::move(row));
+  }
+
+  auto test_bit = [&](const std::vector<uint64_t>& row, size_t bit) {
+    return (row[bit >> 6] >> (bit & 63)) & 1;
+  };
+  auto xor_into = [&](std::vector<uint64_t>& dst,
+                      const std::vector<uint64_t>& src) {
+    for (size_t w = 0; w < words; ++w) dst[w] ^= src[w];
+  };
+
+  std::vector<int> pivot_row_of_col(n, -1);
+  size_t pivot_row = 0;
+  for (uint32_t col = 0; col < n && pivot_row < rows.size(); ++col) {
+    size_t found = SIZE_MAX;
+    for (size_t r = pivot_row; r < rows.size(); ++r) {
+      if (test_bit(rows[r], col)) {
+        found = r;
+        break;
+      }
+    }
+    if (found == SIZE_MAX) continue;
+    std::swap(rows[pivot_row], rows[found]);
+    for (size_t r = 0; r < rows.size(); ++r) {
+      if (r != pivot_row && test_bit(rows[r], col)) {
+        xor_into(rows[r], rows[pivot_row]);
+      }
+    }
+    pivot_row_of_col[col] = static_cast<int>(pivot_row);
+    ++pivot_row;
+  }
+  // Inconsistency: a row 0 = 1.
+  for (const auto& row : rows) {
+    bool all_zero = true;
+    for (uint32_t col = 0; col < n && all_zero; ++col) {
+      if (test_bit(row, col)) all_zero = false;
+    }
+    if (all_zero && test_bit(row, rhs_bit)) return std::nullopt;
+  }
+  // Read off the solution: free variables 0, pivot variables from the rhs.
+  std::vector<uint8_t> solution(n, 0);
+  for (uint32_t col = 0; col < n; ++col) {
+    int r = pivot_row_of_col[col];
+    if (r != -1) {
+      solution[col] =
+          static_cast<uint8_t>(test_bit(rows[static_cast<size_t>(r)], rhs_bit));
+    }
+  }
+  return solution;
+}
+
+}  // namespace cqcs

@@ -1,0 +1,58 @@
+// Linear algebra over GF(2) with up to 64 columns — enough for Boolean
+// relations of arity <= 63 plus the affine constant column. Used by the
+// affine branch of Theorem 3.2 (nullspace basis = defining linear system)
+// and by the affine satisfiability solver of Theorem 3.3.
+
+#ifndef CQCS_SCHAEFER_GF2_H_
+#define CQCS_SCHAEFER_GF2_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace cqcs {
+
+/// A matrix over GF(2); each row is a 64-bit mask, bit j = column j.
+class Gf2Matrix {
+ public:
+  explicit Gf2Matrix(uint32_t cols) : cols_(cols) {}
+
+  uint32_t cols() const { return cols_; }
+  size_t rows() const { return rows_.size(); }
+  void AddRow(uint64_t row) { rows_.push_back(row); }
+  uint64_t row(size_t i) const { return rows_[i]; }
+
+  /// Reduces in place to reduced row-echelon form; returns the rank.
+  /// Zero rows are dropped.
+  uint32_t RowReduce();
+
+  /// Basis of the right nullspace {x : Mx = 0}. Each basis vector is a
+  /// 64-bit mask over the columns. Size = cols - rank.
+  std::vector<uint64_t> NullspaceBasis() const;
+
+ private:
+  uint32_t cols_;
+  std::vector<uint64_t> rows_;
+};
+
+/// A system of GF(2) linear equations over `var_count` variables with an
+/// unbounded number of variables: each equation is (sparse) a list of
+/// variable indices whose XOR must equal `rhs`.
+struct LinearEquation {
+  std::vector<uint32_t> vars;  // XOR of these variables ...
+  bool rhs = false;            // ... equals rhs
+};
+
+struct LinearSystem {
+  uint32_t var_count = 0;
+  std::vector<LinearEquation> equations;
+};
+
+/// Solves the system by Gaussian elimination over bit-packed rows
+/// (O(E * V / 64) per elimination step). Free variables are set to 0.
+/// Returns nullopt when inconsistent.
+std::optional<std::vector<uint8_t>> SolveLinearSystem(const LinearSystem& sys);
+
+}  // namespace cqcs
+
+#endif  // CQCS_SCHAEFER_GF2_H_

@@ -1,0 +1,38 @@
+#include "schaefer/saraiya.h"
+
+#include "common/check.h"
+#include "cq/canonical.h"
+#include "schaefer/booleanize.h"
+#include "schaefer/direct.h"
+
+namespace cqcs {
+
+Result<bool> TwoAtomContainment(const ConjunctiveQuery& q1,
+                                const ConjunctiveQuery& q2) {
+  CQCS_RETURN_IF_ERROR(q1.Validate());
+  CQCS_RETURN_IF_ERROR(q2.Validate());
+  if (!q1.IsTwoAtomQuery()) {
+    return Status::InvalidArgument(
+        "Q1 is not a two-atom query (some predicate occurs more than twice)");
+  }
+  if (!q1.vocabulary()->Equals(*q2.vocabulary())) {
+    return Status::InvalidArgument("queries have different vocabularies");
+  }
+  if (q1.arity() != q2.arity()) {
+    return Status::InvalidArgument("queries have different head arities");
+  }
+  // Head-marker relations hold exactly one tuple and body relations at most
+  // two (Q1 is two-atom), so every relation of D_{Q1} has cardinality <= 2.
+  CanonicalDb d1 = MakeCanonicalDbWithHeadMarkers(q1);
+  CanonicalDb d2 = MakeCanonicalDbWithHeadMarkers(q2);
+  CQCS_ASSIGN_OR_RETURN(BooleanizedInstance boolean,
+                        Booleanize(d2.structure, d1.structure));
+  // Cardinality <= 2 survives Booleanization, so every relation of B_b is
+  // bijunctive; the quadratic direct algorithm decides the instance.
+  CQCS_ASSIGN_OR_RETURN(
+      std::optional<Homomorphism> h,
+      SolveBijunctiveDirect(boolean.a_b, boolean.b_b));
+  return h.has_value();
+}
+
+}  // namespace cqcs

@@ -1,0 +1,29 @@
+// Saraiya's tractable case of conjunctive-query containment
+// (Proposition 3.6): if every database predicate occurs at most twice in
+// the body of Q1, then "Q1 ⊆ Q2?" is decidable in polynomial time.
+//
+// The paper's derivation, which this module implements literally:
+//   1. Q1 ⊆ Q2 iff hom(D_{Q2} -> D_{Q1})           (Theorem 2.1);
+//   2. Booleanize the pair (D_{Q2}, D_{Q1})         (Lemma 3.5);
+//   3. every relation of D_{Q1} has at most two tuples, and a Boolean
+//      relation of cardinality <= 2 is bijunctive (majority of three tuples
+//      from a two-element set repeats one of them);
+//   4. run the direct bijunctive algorithm          (Theorems 3.3/3.4).
+
+#ifndef CQCS_SCHAEFER_SARAIYA_H_
+#define CQCS_SCHAEFER_SARAIYA_H_
+
+#include "common/status.h"
+#include "cq/query.h"
+
+namespace cqcs {
+
+/// Decides Q1 ⊆ Q2 in polynomial time for two-atom Q1. Errors:
+/// InvalidArgument when Q1 is not a two-atom query, when vocabularies or
+/// head arities differ, or when a query is invalid.
+Result<bool> TwoAtomContainment(const ConjunctiveQuery& q1,
+                                const ConjunctiveQuery& q2);
+
+}  // namespace cqcs
+
+#endif  // CQCS_SCHAEFER_SARAIYA_H_

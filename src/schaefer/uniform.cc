@@ -1,0 +1,143 @@
+#include "schaefer/uniform.h"
+
+#include "common/check.h"
+#include "schaefer/cnf.h"
+#include "schaefer/direct.h"
+#include "schaefer/formula_build.h"
+
+namespace cqcs {
+
+namespace {
+
+/// Grounds a CNF defining formula over every tuple of every relation of A:
+/// variable p of δ_{Q'} becomes element t[p]. Tautological grounded clauses
+/// (x | !x) are dropped; duplicate literals are merged.
+CnfFormula GroundCnf(const Structure& a,
+                     const std::vector<DefiningFormula>& deltas) {
+  CnfFormula out;
+  out.var_count = static_cast<uint32_t>(a.universe_size());
+  const Vocabulary& vocab = *a.vocabulary();
+  for (RelId id = 0; id < vocab.size(); ++id) {
+    const Relation& ra = a.relation(id);
+    for (uint32_t t = 0; t < ra.tuple_count(); ++t) {
+      std::span<const Element> tup = ra.tuple(t);
+      for (const Clause& c : deltas[id].cnf.clauses) {
+        Clause grounded;
+        bool tautology = false;
+        for (const Literal& l : c) {
+          Literal g{tup[l.var], l.negated};
+          bool duplicate = false;
+          for (const Literal& existing : grounded) {
+            if (existing.var == g.var) {
+              if (existing.negated != g.negated) tautology = true;
+              duplicate = existing.negated == g.negated;
+              if (tautology) break;
+            }
+          }
+          if (tautology) break;
+          if (!duplicate) grounded.push_back(g);
+        }
+        if (!tautology) out.clauses.push_back(std::move(grounded));
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::optional<Homomorphism>> SolveViaFormula(
+    const Structure& a, const Structure& b, SchaeferClass klass) {
+  // Build δ_{Q'} for every relation of B.
+  std::vector<DefiningFormula> deltas;
+  const Vocabulary& vocab = *b.vocabulary();
+  for (RelId id = 0; id < vocab.size(); ++id) {
+    CQCS_ASSIGN_OR_RETURN(BooleanRelation rel,
+                          BooleanRelation::FromRelation(b.relation(id)));
+    CQCS_ASSIGN_OR_RETURN(DefiningFormula delta,
+                          BuildDefiningFormula(rel, klass));
+    deltas.push_back(std::move(delta));
+  }
+  if (klass == kAffine) {
+    // Grounding linear systems is what SolveAffineViaEquations does.
+    return SolveAffineViaEquations(a, b);
+  }
+  CnfFormula grounded = GroundCnf(a, deltas);
+  std::optional<std::vector<uint8_t>> model;
+  switch (klass) {
+    case kHorn:
+      model = SolveHornSat(grounded);
+      break;
+    case kDualHorn:
+      model = SolveDualHornSat(grounded);
+      break;
+    case kBijunctive:
+      model = SolveTwoSat(grounded);
+      break;
+    default:
+      return Status::Internal("unexpected class in SolveViaFormula");
+  }
+  if (!model.has_value()) return std::optional<Homomorphism>(std::nullopt);
+  Homomorphism h(a.universe_size());
+  for (size_t e = 0; e < h.size(); ++e) h[e] = (*model)[e];
+  return std::optional<Homomorphism>(std::move(h));
+}
+
+}  // namespace
+
+Result<std::optional<Homomorphism>> SolveSchaefer(const Structure& a,
+                                                  const Structure& b,
+                                                  SchaeferAlgorithm algorithm,
+                                                  SchaeferSolveInfo* info) {
+  if (!IsBooleanStructure(b)) {
+    return Status::InvalidArgument(
+        "SolveSchaefer requires a Boolean target structure; Booleanize(...) "
+        "first");
+  }
+  if (!a.vocabulary()->Equals(*b.vocabulary())) {
+    return Status::InvalidArgument("vocabulary mismatch");
+  }
+  SchaeferClassSet classes = ClassifyBooleanStructure(b);
+  if (info != nullptr) {
+    info->classes = classes;
+    info->trivial = false;
+  }
+  if (classes == 0) {
+    return Status::Unsupported(
+        "B is not a Schaefer structure; by the dichotomy theorem CSP(B) is "
+        "NP-complete");
+  }
+  // Trivial classes: the constant map is a homomorphism.
+  for (SchaeferClass trivial : {kZeroValid, kOneValid}) {
+    if ((classes & trivial) == 0) continue;
+    if (info != nullptr) {
+      info->dispatched = trivial;
+      info->trivial = true;
+    }
+    Homomorphism h(a.universe_size(), trivial == kOneValid ? 1 : 0);
+    return std::optional<Homomorphism>(std::move(h));
+  }
+
+  // Nontrivial dispatch. Preference order mirrors the paper's presentation
+  // (Horn, dual Horn, bijunctive, affine); any applicable class is correct.
+  for (SchaeferClass klass : {kHorn, kDualHorn, kBijunctive, kAffine}) {
+    if ((classes & klass) == 0) continue;
+    if (info != nullptr) info->dispatched = klass;
+    if (algorithm == SchaeferAlgorithm::kFormula) {
+      return SolveViaFormula(a, b, klass);
+    }
+    switch (klass) {
+      case kHorn:
+        return SolveHornDirect(a, b);
+      case kDualHorn:
+        return SolveDualHornDirect(a, b);
+      case kBijunctive:
+        return SolveBijunctiveDirect(a, b);
+      case kAffine:
+        return SolveAffineViaEquations(a, b);
+      default:
+        break;
+    }
+  }
+  return Status::Internal("classification produced no usable class");
+}
+
+}  // namespace cqcs

@@ -1,0 +1,51 @@
+// The uniform polynomial-time algorithm for CSP(SC) — Theorem 3.3 — and a
+// dispatcher that also offers the direct Theorem 3.4 route.
+//
+// Pipeline of the formula route, exactly as in the paper's proof:
+//   1. classify B (Theorem 3.1);
+//   2. trivial classes (0-valid / 1-valid): the constant map works;
+//   3. build δ_{Q'} for each relation Q' of B (Theorem 3.2);
+//   4. ground: φ_A = ⋀_{Q} ⋀_{t ∈ Q^A} δ_{Q'}(t), over one propositional
+//      variable per element of A;
+//   5. decide φ_A with the specialized solver (Horn-SAT / 2-SAT / Gaussian
+//      elimination); a model IS the homomorphism.
+
+#ifndef CQCS_SCHAEFER_UNIFORM_H_
+#define CQCS_SCHAEFER_UNIFORM_H_
+
+#include <optional>
+
+#include "common/status.h"
+#include "core/homomorphism.h"
+#include "schaefer/boolean_relation.h"
+
+namespace cqcs {
+
+/// Which uniform algorithm to run.
+enum class SchaeferAlgorithm {
+  kFormula,  ///< Theorem 3.3: build δ, ground, run the SAT solver. Cubic.
+  kDirect,   ///< Theorem 3.4: skip formula building. Quadratic.
+  kAuto,     ///< kDirect where available (Horn/dual-Horn/bijunctive),
+             ///< equations for affine, constant map for trivial classes.
+};
+
+/// Diagnostics about how an instance was solved.
+struct SchaeferSolveInfo {
+  SchaeferClassSet classes = 0;     ///< full classification of B
+  SchaeferClass dispatched = kHorn; ///< class the algorithm used
+  bool trivial = false;             ///< solved by a constant map
+};
+
+/// Solves CSP(A, B) for a Schaefer structure B. Returns the homomorphism or
+/// nullopt (definitely none). Errors: InvalidArgument for non-Boolean B or
+/// vocabulary mismatch; Unsupported when B is outside Schaefer's class (the
+/// dichotomy says CSP(B) is then NP-complete — use the backtracking solver)
+/// or when the formula route hits the Horn arity bound.
+Result<std::optional<Homomorphism>> SolveSchaefer(
+    const Structure& a, const Structure& b,
+    SchaeferAlgorithm algorithm = SchaeferAlgorithm::kAuto,
+    SchaeferSolveInfo* info = nullptr);
+
+}  // namespace cqcs
+
+#endif  // CQCS_SCHAEFER_UNIFORM_H_

@@ -1,0 +1,211 @@
+#include "solver/backtracking.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace cqcs {
+
+namespace {
+
+enum class Step {
+  kExhausted,  // subtree fully explored
+  kPrune,      // solution found below; unwind to the prune boundary
+  kStop,       // abort the whole search (callback said stop / node limit)
+};
+
+class SearchContext {
+ public:
+  SearchContext(const CspInstance& csp, const SolveOptions& options,
+                std::span<const Element> projection,
+                std::function<bool(const Homomorphism&)> on_solution,
+                SolveStats* stats)
+      : csp_(csp),
+        options_(options),
+        on_solution_(std::move(on_solution)),
+        stats_(stats != nullptr ? stats : &owned_stats_) {
+    domains_ = csp_.FullDomains();
+    assigned_.assign(csp_.var_count(), 0);
+    // Deduplicated projection prefix: these variables are branched on first,
+    // so that after one full solution the search can discard the entire
+    // subtree below them (same projection => already reported).
+    for (Element v : projection) {
+      CQCS_CHECK(v < csp_.var_count());
+      if (!in_prefix_.insert(v).second) continue;
+      prefix_.push_back(v);
+    }
+    prune_boundary_ = projection.empty() ? SIZE_MAX : prefix_.size();
+  }
+
+  /// Runs the search; returns the number of callback invocations.
+  size_t Run() {
+    if (options_.propagation == Propagation::kMac) {
+      if (!EstablishGac(csp_, domains_)) return solutions_;
+    } else {
+      // Even under forward checking, empty initial domains mean failure.
+      for (const auto& d : domains_) {
+        if (d.none()) return solutions_;
+      }
+    }
+    Search(0);
+    return solutions_;
+  }
+
+ private:
+  Step Search(size_t depth) {
+    if (depth == csp_.var_count()) return EmitSolution();
+    Element var = SelectVariable(depth);
+
+    std::vector<Element> values;
+    values.reserve(domains_[var].count());
+    domains_[var].ForEach(
+        [&](size_t v) { values.push_back(static_cast<Element>(v)); });
+
+    for (Element v : values) {
+      ++stats_->nodes;
+      if (options_.node_limit != 0 && stats_->nodes > options_.node_limit) {
+        stats_->limit_hit = true;
+        return Step::kStop;
+      }
+      std::vector<DynamicBitset> saved = domains_;
+      domains_[var].ResetAll();
+      domains_[var].set(v);
+      assigned_[var] = 1;
+      bool consistent = PropagateFrom(
+          csp_, var, domains_,
+          /*cascade=*/options_.propagation == Propagation::kMac);
+      Step child = Step::kExhausted;
+      if (consistent) {
+        child = Search(depth + 1);
+      } else {
+        ++stats_->backtracks;
+      }
+      assigned_[var] = 0;
+      domains_ = std::move(saved);
+      if (child == Step::kStop) return Step::kStop;
+      if (child == Step::kPrune) {
+        // A solution was reported below. If this variable is outside the
+        // projection prefix, sibling values can only repeat the projection.
+        if (depth >= prune_boundary_) return Step::kPrune;
+        // Otherwise move on to this variable's next value.
+      }
+    }
+    return Step::kExhausted;
+  }
+
+  Step EmitSolution() {
+    Homomorphism h(csp_.var_count());
+    for (size_t i = 0; i < h.size(); ++i) {
+      size_t v = domains_[i].FindFirst();
+      CQCS_CHECK(v != DynamicBitset::npos);
+      h[i] = static_cast<Element>(v);
+    }
+    ++solutions_;
+    if (!on_solution_(h)) return Step::kStop;
+    return Step::kPrune;
+  }
+
+  Element SelectVariable(size_t depth) {
+    if (depth < prefix_.size()) return prefix_[depth];
+    Element best = kUnassigned;
+    size_t best_size = SIZE_MAX;
+    size_t best_degree = 0;
+    for (Element v = 0; v < csp_.var_count(); ++v) {
+      if (assigned_[v] || in_prefix_.count(v) > 0) continue;
+      if (!options_.mrv) return v;  // lexicographic fallback
+      size_t size = domains_[v].count();
+      size_t degree = csp_.constraints_of(v).size();
+      if (size < best_size || (size == best_size && degree > best_degree)) {
+        best = v;
+        best_size = size;
+        best_degree = degree;
+      }
+    }
+    CQCS_CHECK(best != kUnassigned);
+    return best;
+  }
+
+  const CspInstance& csp_;
+  SolveOptions options_;
+  std::function<bool(const Homomorphism&)> on_solution_;
+  SolveStats* stats_;
+  SolveStats owned_stats_;
+  std::vector<DynamicBitset> domains_;
+  std::vector<uint8_t> assigned_;
+  std::vector<Element> prefix_;
+  std::set<Element> in_prefix_;
+  size_t prune_boundary_ = SIZE_MAX;
+  size_t solutions_ = 0;
+};
+
+}  // namespace
+
+BacktrackingSolver::BacktrackingSolver(const Structure& a, const Structure& b,
+                                       SolveOptions options)
+    : csp_(a, b), options_(options) {}
+
+std::optional<Homomorphism> BacktrackingSolver::Solve(SolveStats* stats) {
+  std::optional<Homomorphism> found;
+  SearchContext ctx(
+      csp_, options_, {},
+      [&found](const Homomorphism& h) {
+        found = h;
+        return false;  // stop at the first solution
+      },
+      stats);
+  ctx.Run();
+  return found;
+}
+
+size_t BacktrackingSolver::ForEachSolution(
+    const std::function<bool(const Homomorphism&)>& on_solution,
+    SolveStats* stats) {
+  SearchContext ctx(csp_, options_, {}, on_solution, stats);
+  return ctx.Run();
+}
+
+std::vector<std::vector<Element>> BacktrackingSolver::EnumerateProjections(
+    std::span<const Element> projection, size_t max_results,
+    SolveStats* stats) {
+  std::set<std::vector<Element>> seen;
+  std::vector<std::vector<Element>> results;
+  SearchContext ctx(
+      csp_, options_, projection,
+      [&](const Homomorphism& h) {
+        std::vector<Element> row(projection.size());
+        for (size_t i = 0; i < projection.size(); ++i) row[i] = h[projection[i]];
+        if (seen.insert(row).second) {
+          results.push_back(std::move(row));
+        }
+        return results.size() < max_results;
+      },
+      stats);
+  ctx.Run();
+  return results;
+}
+
+size_t BacktrackingSolver::CountSolutions(size_t limit, SolveStats* stats) {
+  size_t count = 0;
+  SearchContext ctx(
+      csp_, options_, {},
+      [&count, limit](const Homomorphism&) {
+        ++count;
+        return count < limit;
+      },
+      stats);
+  ctx.Run();
+  return count;
+}
+
+bool HasHomomorphism(const Structure& a, const Structure& b) {
+  return FindHomomorphism(a, b).has_value();
+}
+
+std::optional<Homomorphism> FindHomomorphism(const Structure& a,
+                                             const Structure& b) {
+  BacktrackingSolver solver(a, b);
+  return solver.Solve();
+}
+
+}  // namespace cqcs

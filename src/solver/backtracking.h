@@ -1,0 +1,86 @@
+// Generic backtracking homomorphism solver — the uniform baseline.
+//
+// This is the algorithm every instance of the problem admits: search over
+// assignments of B-values to A-elements with MRV variable ordering and
+// constraint propagation (forward checking or full MAC). Exponential in the
+// worst case (the problem is NP-complete, [CM77]); the paper's Sections 3-5
+// identify inputs where specialized polynomial algorithms apply.
+
+#ifndef CQCS_SOLVER_BACKTRACKING_H_
+#define CQCS_SOLVER_BACKTRACKING_H_
+
+#include <functional>
+#include <optional>
+
+#include "core/homomorphism.h"
+#include "solver/csp.h"
+
+namespace cqcs {
+
+/// Propagation strength maintained during search.
+enum class Propagation {
+  kForwardChecking,  ///< Revise only constraints touching the assigned var.
+  kMac,              ///< Maintain full generalized arc consistency.
+};
+
+/// Tuning and resource limits for the search.
+struct SolveOptions {
+  Propagation propagation = Propagation::kMac;
+  /// Abort after this many search nodes (0 = unlimited). When the limit is
+  /// hit, Solve returns nullopt and stats->limit_hit is set: callers must
+  /// treat that as "unknown", not "no".
+  uint64_t node_limit = 0;
+  /// Use the minimum-remaining-values heuristic (else lexicographic order).
+  bool mrv = true;
+};
+
+/// Search statistics, for the benchmark harnesses.
+struct SolveStats {
+  uint64_t nodes = 0;
+  uint64_t backtracks = 0;
+  bool limit_hit = false;
+};
+
+/// Backtracking search over a CspInstance.
+class BacktrackingSolver {
+ public:
+  BacktrackingSolver(const Structure& a, const Structure& b,
+                     SolveOptions options = {});
+
+  /// Returns a homomorphism A -> B, or nullopt if none exists (or the node
+  /// limit was hit — check stats).
+  std::optional<Homomorphism> Solve(SolveStats* stats = nullptr);
+
+  /// Invokes `on_solution` for every homomorphism; stop early by returning
+  /// false from the callback. Returns the number of solutions delivered.
+  size_t ForEachSolution(const std::function<bool(const Homomorphism&)>&
+                             on_solution,
+                         SolveStats* stats = nullptr);
+
+  /// Enumerates the distinct projections of solutions onto `projection`
+  /// (a list of A-elements): this is conjunctive-query evaluation when A is
+  /// a canonical database and `projection` its distinguished variables.
+  /// The search backtracks immediately after witnessing each projection, so
+  /// the cost is per-answer, not per-homomorphism. Results are deduplicated.
+  std::vector<std::vector<Element>> EnumerateProjections(
+      std::span<const Element> projection, size_t max_results = SIZE_MAX,
+      SolveStats* stats = nullptr);
+
+  /// Counts homomorphisms, stopping at `limit`.
+  size_t CountSolutions(size_t limit = SIZE_MAX, SolveStats* stats = nullptr);
+
+ private:
+  CspInstance csp_;
+  SolveOptions options_;
+};
+
+/// Convenience one-shot: is there a homomorphism A -> B?
+bool HasHomomorphism(const Structure& a, const Structure& b);
+
+/// Convenience one-shot returning a witness.
+std::optional<Homomorphism> FindHomomorphism(const Structure& a,
+                                             const Structure& b);
+
+}  // namespace cqcs
+
+#endif  // CQCS_SOLVER_BACKTRACKING_H_

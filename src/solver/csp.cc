@@ -1,0 +1,145 @@
+#include "solver/csp.h"
+
+#include <deque>
+
+#include "common/check.h"
+
+namespace cqcs {
+
+CspInstance::CspInstance(const Structure& a, const Structure& b)
+    : a_(&a), b_(&b) {
+  CQCS_CHECK_MSG(a.vocabulary()->Equals(*b.vocabulary()),
+                 "CSP instance requires a common vocabulary");
+  const Vocabulary& vocab = *a.vocabulary();
+  constraints_of_var_.resize(a.universe_size());
+  for (RelId id = 0; id < vocab.size(); ++id) {
+    const Relation& ra = a.relation(id);
+    const uint32_t arity = ra.arity();
+    for (uint32_t t = 0; t < ra.tuple_count(); ++t) {
+      Constraint c;
+      c.rel = id;
+      std::span<const Element> tup = ra.tuple(t);
+      c.scope_tuple.assign(tup.begin(), tup.end());
+      for (uint32_t p = 0; p < arity; ++p) {
+        bool seen = false;
+        for (uint32_t q = 0; q < p; ++q) {
+          if (tup[q] == tup[p]) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) c.vars.push_back(tup[p]);
+      }
+      uint32_t ci = static_cast<uint32_t>(constraints_.size());
+      for (Element v : c.vars) constraints_of_var_[v].push_back(ci);
+      constraints_.push_back(std::move(c));
+    }
+  }
+}
+
+std::vector<DynamicBitset> CspInstance::FullDomains() const {
+  std::vector<DynamicBitset> domains(
+      var_count(), DynamicBitset(domain_size(), /*fill=*/true));
+  return domains;
+}
+
+bool ReviseConstraint(const CspInstance& csp, uint32_t ci,
+                      std::vector<DynamicBitset>& domains,
+                      std::vector<Element>* changed) {
+  const Constraint& c = csp.constraints()[ci];
+  const Relation& rb = csp.b().relation(c.rel);
+  const uint32_t arity = rb.arity();
+
+  // Supported values per variable of the constraint.
+  std::vector<DynamicBitset> support;
+  support.reserve(c.vars.size());
+  for (size_t i = 0; i < c.vars.size(); ++i) {
+    support.emplace_back(csp.domain_size());
+  }
+
+  for (uint32_t t = 0; t < rb.tuple_count(); ++t) {
+    std::span<const Element> u = rb.tuple(t);
+    // Check the B-tuple is consistent with current domains and with repeated
+    // occurrences of the same A-element.
+    bool ok = true;
+    for (uint32_t p = 0; p < arity && ok; ++p) {
+      if (!domains[c.scope_tuple[p]].test(u[p])) ok = false;
+      for (uint32_t q = p + 1; q < arity && ok; ++q) {
+        if (c.scope_tuple[q] == c.scope_tuple[p] && u[q] != u[p]) ok = false;
+      }
+    }
+    if (!ok) continue;
+    for (size_t i = 0; i < c.vars.size(); ++i) {
+      // Record the image of var i (its first occurrence position).
+      for (uint32_t p = 0; p < arity; ++p) {
+        if (c.scope_tuple[p] == c.vars[i]) {
+          support[i].set(u[p]);
+          break;
+        }
+      }
+    }
+  }
+
+  for (size_t i = 0; i < c.vars.size(); ++i) {
+    Element var = c.vars[i];
+    if (domains[var].IsSubsetOf(support[i])) continue;
+    domains[var] &= support[i];
+    if (changed != nullptr) changed->push_back(var);
+    if (domains[var].none()) return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool GacLoop(const CspInstance& csp, std::vector<DynamicBitset>& domains,
+             std::deque<uint32_t>& queue, std::vector<uint8_t>& in_queue) {
+  std::vector<Element> changed;
+  while (!queue.empty()) {
+    uint32_t ci = queue.front();
+    queue.pop_front();
+    in_queue[ci] = 0;
+    changed.clear();
+    if (!ReviseConstraint(csp, ci, domains, &changed)) return false;
+    for (Element var : changed) {
+      for (uint32_t cj : csp.constraints_of(var)) {
+        if (cj != ci && !in_queue[cj]) {
+          in_queue[cj] = 1;
+          queue.push_back(cj);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool EstablishGac(const CspInstance& csp,
+                  std::vector<DynamicBitset>& domains) {
+  std::deque<uint32_t> queue;
+  std::vector<uint8_t> in_queue(csp.constraints().size(), 1);
+  for (uint32_t ci = 0; ci < csp.constraints().size(); ++ci) {
+    queue.push_back(ci);
+  }
+  return GacLoop(csp, domains, queue, in_queue);
+}
+
+bool PropagateFrom(const CspInstance& csp, Element seed_var,
+                   std::vector<DynamicBitset>& domains, bool cascade) {
+  if (!cascade) {
+    for (uint32_t ci : csp.constraints_of(seed_var)) {
+      if (!ReviseConstraint(csp, ci, domains, nullptr)) return false;
+    }
+    return true;
+  }
+  std::deque<uint32_t> queue;
+  std::vector<uint8_t> in_queue(csp.constraints().size(), 0);
+  for (uint32_t ci : csp.constraints_of(seed_var)) {
+    in_queue[ci] = 1;
+    queue.push_back(ci);
+  }
+  return GacLoop(csp, domains, queue, in_queue);
+}
+
+}  // namespace cqcs

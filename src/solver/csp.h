@@ -1,0 +1,79 @@
+// The uniform homomorphism problem as a constraint network.
+//
+// Given structures A and B over a common vocabulary, the CSP view is:
+// one variable per element of A, domain = universe of B, and one constraint
+// per tuple t in a relation R^A requiring h(t) ∈ R^B. This is exactly the
+// reformulation in Section 2 of Kolaitis–Vardi; the generic (exponential in
+// the worst case) solver over this network is the uniform baseline that the
+// paper's tractable cases improve upon.
+
+#ifndef CQCS_SOLVER_CSP_H_
+#define CQCS_SOLVER_CSP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.h"
+#include "core/structure.h"
+
+namespace cqcs {
+
+/// One constraint: the A-tuple `scope_tuple` of relation `rel` must map into
+/// R^B. `vars` lists the distinct elements of the scope (first-occurrence
+/// order); positions with equal elements force equal images.
+struct Constraint {
+  RelId rel = 0;
+  std::vector<Element> scope_tuple;
+  std::vector<Element> vars;
+};
+
+/// Immutable constraint network extracted from a pair (A, B).
+class CspInstance {
+ public:
+  /// CHECK-fails if the vocabularies differ.
+  CspInstance(const Structure& a, const Structure& b);
+
+  const Structure& a() const { return *a_; }
+  const Structure& b() const { return *b_; }
+
+  size_t var_count() const { return a_->universe_size(); }
+  size_t domain_size() const { return b_->universe_size(); }
+
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  /// Constraint indices whose scope mentions `var`.
+  const std::vector<uint32_t>& constraints_of(Element var) const {
+    return constraints_of_var_[var];
+  }
+
+  /// Domains with every value allowed.
+  std::vector<DynamicBitset> FullDomains() const;
+
+ private:
+  const Structure* a_;
+  const Structure* b_;
+  std::vector<Constraint> constraints_;
+  std::vector<std::vector<uint32_t>> constraints_of_var_;
+};
+
+/// Shrinks the domains of the variables of `constraints()[ci]` to their
+/// GAC-supported values. Returns false iff some domain becomes empty.
+/// Appends every variable whose domain shrank to `*changed` (if non-null).
+bool ReviseConstraint(const CspInstance& csp, uint32_t ci,
+                      std::vector<DynamicBitset>& domains,
+                      std::vector<Element>* changed);
+
+/// Establishes generalized arc consistency on `domains` by revising to a
+/// fixpoint (AC-3 style queue). Returns false iff a domain wiped out, in
+/// which case no homomorphism extends the given domains.
+bool EstablishGac(const CspInstance& csp, std::vector<DynamicBitset>& domains);
+
+/// Re-establishes consistency after `seed_var` changed. With `cascade` true
+/// this is MAC (revisions propagate to a fixpoint); with false it is plain
+/// forward checking (each constraint touching seed_var is revised once).
+bool PropagateFrom(const CspInstance& csp, Element seed_var,
+                   std::vector<DynamicBitset>& domains, bool cascade = true);
+
+}  // namespace cqcs
+
+#endif  // CQCS_SOLVER_CSP_H_

@@ -1,0 +1,124 @@
+#include "treewidth/binary_encoding.h"
+
+#include <functional>
+
+#include "common/check.h"
+
+namespace cqcs {
+
+namespace {
+
+/// The coincidence vocabulary is determined by the original vocabulary
+/// alone, so encodings of A and B are comparable.
+VocabularyPtr CoincidenceVocabulary(const Vocabulary& vocab) {
+  auto out = std::make_shared<Vocabulary>();
+  for (RelId p = 0; p < vocab.size(); ++p) {
+    for (RelId q = 0; q < vocab.size(); ++q) {
+      for (uint32_t i = 0; i < vocab.arity(p); ++i) {
+        for (uint32_t j = 0; j < vocab.arity(q); ++j) {
+          out->AddRelation("E_" + vocab.name(p) + "_" + vocab.name(q) + "_" +
+                               std::to_string(i) + "_" + std::to_string(j),
+                           2);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BinaryEncoded BinaryEncode(const Structure& x) {
+  const Vocabulary& vocab = *x.vocabulary();
+  VocabularyPtr coincidence = CoincidenceVocabulary(vocab);
+
+  // Element ids of binary(x): tuples in (relation, index) order.
+  std::vector<std::pair<RelId, uint32_t>> tuple_of_element;
+  std::vector<std::vector<Element>> element_of_tuple(vocab.size());
+  for (RelId p = 0; p < vocab.size(); ++p) {
+    const Relation& r = x.relation(p);
+    element_of_tuple[p].resize(r.tuple_count());
+    for (uint32_t t = 0; t < r.tuple_count(); ++t) {
+      element_of_tuple[p][t] = static_cast<Element>(tuple_of_element.size());
+      tuple_of_element.emplace_back(p, t);
+    }
+  }
+
+  Structure encoded(coincidence, tuple_of_element.size());
+  RelId out_rel = 0;
+  for (RelId p = 0; p < vocab.size(); ++p) {
+    for (RelId q = 0; q < vocab.size(); ++q) {
+      for (uint32_t i = 0; i < vocab.arity(p); ++i) {
+        for (uint32_t j = 0; j < vocab.arity(q); ++j) {
+          const Relation& rp = x.relation(p);
+          const Relation& rq = x.relation(q);
+          for (uint32_t s = 0; s < rp.tuple_count(); ++s) {
+            for (uint32_t t = 0; t < rq.tuple_count(); ++t) {
+              if (rp.tuple(s)[i] == rq.tuple(t)[j]) {
+                encoded.AddTuple(out_rel, {element_of_tuple[p][s],
+                                           element_of_tuple[q][t]});
+              }
+            }
+          }
+          ++out_rel;
+        }
+      }
+    }
+  }
+  BinaryEncoded out(std::move(coincidence), std::move(encoded));
+  out.tuple_of_element = std::move(tuple_of_element);
+  return out;
+}
+
+bool HomomorphismExistsViaBinaryEncoding(
+    const Structure& a, const Structure& b,
+    const std::function<bool(const Structure&, const Structure&)>& solve) {
+  // Degenerate cases the encoding cannot see: elements that occur in no
+  // tuple are unconstrained, so only the existence of ANY target element
+  // matters for them.
+  if (a.universe_size() > 0 && b.universe_size() == 0) return false;
+  if (a.TotalTuples() == 0) return true;  // all elements unconstrained
+  if (b.TotalTuples() == 0) return false;  // some A-tuple has no image
+  BinaryEncoded enc_a = BinaryEncode(a);
+  BinaryEncoded enc_b = BinaryEncode(b);
+  return solve(enc_a.encoded, enc_b.encoded);
+}
+
+Result<Homomorphism> DecodeBinaryHomomorphism(const Structure& a,
+                                              const Structure& b,
+                                              const BinaryEncoded& enc_a,
+                                              const BinaryEncoded& enc_b,
+                                              const Homomorphism& h_enc) {
+  if (h_enc.size() != enc_a.encoded.universe_size()) {
+    return Status::InvalidArgument("encoded mapping has wrong domain size");
+  }
+  if (b.universe_size() == 0 && a.universe_size() > 0) {
+    return Status::InvalidArgument("target universe is empty");
+  }
+  Homomorphism h(a.universe_size(), kUnassigned);
+  for (size_t enc_e = 0; enc_e < h_enc.size(); ++enc_e) {
+    auto [rel_a, idx_a] = enc_a.tuple_of_element[enc_e];
+    auto [rel_b, idx_b] = enc_b.tuple_of_element[h_enc[enc_e]];
+    if (rel_a != rel_b) {
+      return Status::InvalidArgument(
+          "encoded mapping sends a tuple across relations");
+    }
+    std::span<const Element> tup_a = a.relation(rel_a).tuple(idx_a);
+    std::span<const Element> tup_b = b.relation(rel_b).tuple(idx_b);
+    for (size_t p = 0; p < tup_a.size(); ++p) {
+      if (h[tup_a[p]] != kUnassigned && h[tup_a[p]] != tup_b[p]) {
+        // Lemma 5.5's well-definedness argument rules this out for genuine
+        // homomorphisms between the encodings.
+        return Status::InvalidArgument("inconsistent encoded mapping");
+      }
+      h[tup_a[p]] = tup_b[p];
+    }
+  }
+  for (Element& v : h) {
+    if (v == kUnassigned) v = 0;  // unconstrained element
+  }
+  CQCS_RETURN_IF_ERROR(CheckHomomorphism(a, b, h));
+  return h;
+}
+
+}  // namespace cqcs

@@ -1,0 +1,64 @@
+// The dual-graph binary encoding of Lemma 5.5: binary(A) has A's tuples as
+// its elements and one binary "coincidence" relation E_{P,Q,i,j} per pair of
+// relation symbols and argument positions, holding (s, t) when the i-th
+// element of s equals the j-th element of t. The lemma:
+//
+//     hom(A -> B)  iff  hom(binary(A) -> binary(B)),
+//
+// provided some tuple exists on each side to carry the structure (the
+// degenerate case "A has isolated elements but B has none at all" is the
+// only mismatch, and is reported by the helper below). The encoding lowers
+// the arity of every relation to 2, which is what makes the treewidth
+// machinery of Section 5 applicable to high-arity vocabularies.
+
+#ifndef CQCS_TREEWIDTH_BINARY_ENCODING_H_
+#define CQCS_TREEWIDTH_BINARY_ENCODING_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "core/homomorphism.h"
+#include "core/structure.h"
+
+namespace cqcs {
+
+/// A binary-encoded structure plus bookkeeping to map back.
+struct BinaryEncoded {
+  /// Vocabulary with one binary E_{P,Q,i,j} relation per symbol/position
+  /// pair; shared by encodings of same-vocabulary structures.
+  VocabularyPtr vocabulary;
+  /// The encoded structure; element t is the t-th tuple of the original in
+  /// (relation id, tuple index) order.
+  Structure encoded;
+  /// For decoding: the (rel, tuple index) of each encoded element.
+  std::vector<std::pair<RelId, uint32_t>> tuple_of_element;
+
+  BinaryEncoded(VocabularyPtr v, Structure s)
+      : vocabulary(std::move(v)), encoded(std::move(s)) {}
+};
+
+/// Builds binary(X). All coincidence pairs are materialized (the full
+/// reflexive-symmetric-transitive set the lemma describes).
+BinaryEncoded BinaryEncode(const Structure& x);
+
+/// Lemma 5.5 as a decision helper: hom(A -> B) via the encodings, using the
+/// supplied solve function on (binary(A), binary(B)). Handles the
+/// degenerate cases (no tuples on either side) directly.
+bool HomomorphismExistsViaBinaryEncoding(
+    const Structure& a, const Structure& b,
+    const std::function<bool(const Structure&, const Structure&)>& solve);
+
+/// Decodes a homomorphism between encodings into one between the originals.
+/// Precondition: h_enc is a homomorphism binary(A) -> binary(B) and every
+/// element of A occurs in some tuple (otherwise those elements are mapped
+/// to element 0 of B, which is correct for unconstrained elements when B is
+/// nonempty).
+Result<Homomorphism> DecodeBinaryHomomorphism(const Structure& a,
+                                              const Structure& b,
+                                              const BinaryEncoded& enc_a,
+                                              const BinaryEncoded& enc_b,
+                                              const Homomorphism& h_enc);
+
+}  // namespace cqcs
+
+#endif  // CQCS_TREEWIDTH_BINARY_ENCODING_H_

@@ -1,0 +1,89 @@
+// Tree decompositions of graphs and relational structures (Section 5).
+//
+// A tree decomposition of a structure A is a tree whose nodes are labeled
+// with subsets ("bags") of A's universe such that (1) every bag is nonempty
+// (the paper's condition; we additionally allow the degenerate empty
+// structure), (2) every tuple of A is contained in some bag, and (3) for
+// every element the set of bags containing it forms a subtree. By
+// Lemma 5.1 this coincides with tree decompositions of the Gaifman graph.
+
+#ifndef CQCS_TREEWIDTH_DECOMPOSITION_H_
+#define CQCS_TREEWIDTH_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/graph.h"
+#include "core/structure.h"
+
+namespace cqcs {
+
+/// A rooted tree decomposition. Node 0 is the root (when nonempty); every
+/// other node has a parent with a smaller index.
+class TreeDecomposition {
+ public:
+  TreeDecomposition() = default;
+
+  /// Adds a node with the given bag; parent == kNoParent makes it a root
+  /// (only node 0 may be a root in a valid decomposition of a connected
+  /// graph, but forests are allowed: validation only checks decomposition
+  /// properties). Returns the node id.
+  static constexpr uint32_t kNoParent = UINT32_MAX;
+  uint32_t AddNode(std::vector<Element> bag, uint32_t parent);
+
+  size_t node_count() const { return bags_.size(); }
+  const std::vector<Element>& bag(uint32_t node) const { return bags_[node]; }
+  uint32_t parent(uint32_t node) const { return parents_[node]; }
+  const std::vector<uint32_t>& children(uint32_t node) const {
+    return children_[node];
+  }
+
+  /// Width = max bag size - 1 (-1 if there are no nodes).
+  int Width() const;
+
+  /// Checks the three decomposition conditions against a graph: vertex and
+  /// edge coverage, and connectedness of every vertex's bag set.
+  Status ValidateFor(const Graph& g) const;
+
+  /// Checks the structure version: every tuple's elements lie in one bag.
+  /// (Lemma 5.1: equivalent to ValidateFor(GaifmanGraph(a)).)
+  Status ValidateFor(const Structure& a) const;
+
+  /// Diagnostic rendering: one "node -> parent: {bag}" line per node.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::vector<Element>> bags_;  // each sorted ascending
+  std::vector<uint32_t> parents_;
+  std::vector<std::vector<uint32_t>> children_;
+};
+
+/// Builds a tree decomposition from an elimination order: eliminating v
+/// connects its remaining neighbors (fill-in) and creates the bag
+/// {v} ∪ N_remaining(v). Width equals the max such bag minus one. The
+/// classical equivalence: minimizing over all orders yields the treewidth.
+TreeDecomposition DecompositionFromEliminationOrder(
+    const Graph& g, const std::vector<uint32_t>& order);
+
+/// Min-degree heuristic elimination order.
+std::vector<uint32_t> MinDegreeOrder(const Graph& g);
+
+/// Min-fill heuristic elimination order (usually tighter, a bit slower).
+std::vector<uint32_t> MinFillOrder(const Graph& g);
+
+/// Heuristic decomposition of a structure via its Gaifman graph (min-fill).
+TreeDecomposition HeuristicDecomposition(const Structure& a);
+
+/// Exact treewidth by dynamic programming over vertex subsets
+/// (O(2^n · n^2); bounded to n <= 24). Errors with Unsupported beyond that.
+Result<int> ExactTreewidth(const Graph& g);
+
+/// The incidence treewidth of a structure: treewidth of its incidence
+/// graph, computed with the min-fill heuristic (upper bound).
+int HeuristicIncidenceTreewidth(const Structure& a);
+
+}  // namespace cqcs
+
+#endif  // CQCS_TREEWIDTH_DECOMPOSITION_H_

@@ -1,0 +1,197 @@
+#include "treewidth/hom_dp.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace cqcs {
+
+namespace {
+
+struct VecHash {
+  size_t operator()(const std::vector<Element>& v) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (Element e : v) h = (h ^ e) * 0x100000001b3ULL;
+    return h;
+  }
+};
+
+/// For each node: map from the assignment's projection onto the
+/// parent-intersection to one full bag assignment realizing it (and
+/// realizable by the whole subtree below the node).
+using NodeTable =
+    std::unordered_map<std::vector<Element>, std::vector<Element>, VecHash>;
+
+}  // namespace
+
+Result<std::optional<Homomorphism>> SolveViaTreeDecomposition(
+    const Structure& a, const Structure& b,
+    const TreeDecomposition& decomposition, TreewidthSolveStats* stats) {
+  if (!a.vocabulary()->Equals(*b.vocabulary())) {
+    return Status::InvalidArgument("vocabulary mismatch");
+  }
+  CQCS_RETURN_IF_ERROR(decomposition.ValidateFor(a));
+  if (stats != nullptr) {
+    stats->width = decomposition.Width();
+    stats->table_entries = 0;
+  }
+  if (a.universe_size() == 0) {
+    return std::optional<Homomorphism>(Homomorphism{});
+  }
+
+  const size_t num_nodes = decomposition.node_count();
+  const size_t m = b.universe_size();
+  const Vocabulary& vocab = *a.vocabulary();
+
+  // Assign every tuple of A to the first node whose bag covers it.
+  // tuples_of_node[t] = list of (rel, tuple index).
+  std::vector<std::vector<std::pair<RelId, uint32_t>>> tuples_of_node(
+      num_nodes);
+  for (RelId id = 0; id < vocab.size(); ++id) {
+    const Relation& r = a.relation(id);
+    for (uint32_t t = 0; t < r.tuple_count(); ++t) {
+      std::span<const Element> tup = r.tuple(t);
+      bool placed = false;
+      for (uint32_t node = 0; node < num_nodes && !placed; ++node) {
+        const auto& bag = decomposition.bag(node);
+        bool covered = true;
+        for (Element e : tup) {
+          if (!std::binary_search(bag.begin(), bag.end(), e)) {
+            covered = false;
+            break;
+          }
+        }
+        if (covered) {
+          tuples_of_node[node].emplace_back(id, t);
+          placed = true;
+        }
+      }
+      CQCS_CHECK(placed);  // guaranteed by ValidateFor
+    }
+  }
+
+  // Intersection of each node's bag with its parent's bag (positions within
+  // the node's bag), empty for roots.
+  std::vector<std::vector<size_t>> parent_shared_positions(num_nodes);
+  for (uint32_t node = 0; node < num_nodes; ++node) {
+    uint32_t p = decomposition.parent(node);
+    if (p == TreeDecomposition::kNoParent) continue;
+    const auto& bag = decomposition.bag(node);
+    const auto& pbag = decomposition.bag(p);
+    for (size_t i = 0; i < bag.size(); ++i) {
+      if (std::binary_search(pbag.begin(), pbag.end(), bag[i])) {
+        parent_shared_positions[node].push_back(i);
+      }
+    }
+  }
+
+  // Bottom-up DP: children have larger indices than parents, so a reverse
+  // index sweep processes every child before its parent.
+  std::vector<NodeTable> tables(num_nodes);
+  std::vector<Element> assign, proj, image;
+  for (size_t node_plus1 = num_nodes; node_plus1-- > 0;) {
+    uint32_t node = static_cast<uint32_t>(node_plus1);
+    const auto& bag = decomposition.bag(node);
+    NodeTable& table = tables[node];
+
+    assign.assign(bag.size(), 0);
+    bool exhausted = m == 0 && !bag.empty();
+    while (!exhausted) {
+      if (stats != nullptr) ++stats->table_entries;
+      // (a) covered tuples are mapped into B;
+      bool ok = true;
+      for (auto [rel, t] : tuples_of_node[node]) {
+        std::span<const Element> tup = a.relation(rel).tuple(t);
+        image.resize(tup.size());
+        for (size_t pp = 0; pp < tup.size(); ++pp) {
+          size_t pos = static_cast<size_t>(
+              std::lower_bound(bag.begin(), bag.end(), tup[pp]) -
+              bag.begin());
+          image[pp] = assign[pos];
+        }
+        if (!b.relation(rel).Contains(image)) {
+          ok = false;
+          break;
+        }
+      }
+      // (b) every child has a subtree assignment agreeing on the shared
+      // elements.
+      if (ok) {
+        for (uint32_t child : decomposition.children(node)) {
+          const auto& cbag = decomposition.bag(child);
+          proj.clear();
+          for (size_t ci : parent_shared_positions[child]) {
+            Element e = cbag[ci];
+            size_t pos = static_cast<size_t>(
+                std::lower_bound(bag.begin(), bag.end(), e) - bag.begin());
+            proj.push_back(assign[pos]);
+          }
+          if (tables[child].find(proj) == tables[child].end()) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        proj.clear();
+        for (size_t i : parent_shared_positions[node]) proj.push_back(assign[i]);
+        table.emplace(proj, assign);  // keep the first witness
+      }
+      // Odometer.
+      size_t pos = 0;
+      while (pos < assign.size() &&
+             ++assign[pos] == static_cast<Element>(m)) {
+        assign[pos] = 0;
+        ++pos;
+      }
+      if (pos == assign.size()) exhausted = true;
+      if (bag.empty()) exhausted = true;
+    }
+    if (table.empty()) return std::optional<Homomorphism>(std::nullopt);
+  }
+
+  // Top-down witness extraction.
+  Homomorphism h(a.universe_size(), kUnassigned);
+  std::vector<uint32_t> stack;
+  std::vector<std::vector<Element>> chosen(num_nodes);
+  for (uint32_t node = 0; node < num_nodes; ++node) {
+    if (decomposition.parent(node) != TreeDecomposition::kNoParent) continue;
+    // Root: any table entry works.
+    chosen[node] = tables[node].begin()->second;
+    stack.push_back(node);
+  }
+  while (!stack.empty()) {
+    uint32_t node = stack.back();
+    stack.pop_back();
+    const auto& bag = decomposition.bag(node);
+    for (size_t i = 0; i < bag.size(); ++i) {
+      CQCS_CHECK(h[bag[i]] == kUnassigned || h[bag[i]] == chosen[node][i]);
+      h[bag[i]] = chosen[node][i];
+    }
+    for (uint32_t child : decomposition.children(node)) {
+      const auto& cbag = decomposition.bag(child);
+      std::vector<Element> proj_key;
+      for (size_t ci : parent_shared_positions[child]) {
+        Element e = cbag[ci];
+        size_t pos = static_cast<size_t>(
+            std::lower_bound(bag.begin(), bag.end(), e) - bag.begin());
+        proj_key.push_back(chosen[node][pos]);
+      }
+      auto it = tables[child].find(proj_key);
+      CQCS_CHECK(it != tables[child].end());
+      chosen[child] = it->second;
+      stack.push_back(child);
+    }
+  }
+  for (Element v : h) CQCS_CHECK(v != kUnassigned);
+  return std::optional<Homomorphism>(std::move(h));
+}
+
+Result<std::optional<Homomorphism>> SolveBoundedTreewidth(
+    const Structure& a, const Structure& b, TreewidthSolveStats* stats) {
+  TreeDecomposition decomposition = HeuristicDecomposition(a);
+  return SolveViaTreeDecomposition(a, b, decomposition, stats);
+}
+
+}  // namespace cqcs

@@ -1,0 +1,47 @@
+// The uniform polynomial-time algorithm for bounded-treewidth sources
+// (Theorem 5.4): deciding hom(A -> B) by dynamic programming over a tree
+// decomposition of A.
+//
+// The paper proves Theorem 5.4 by translating A into an ∃FO^{k+1} query and
+// evaluating it on B; operationally that evaluation IS the bag-by-bag
+// dynamic program below — each bag holds at most k+1 elements (= the k+1
+// variables of the formula), and the subtree tables are the relations the
+// bottom-up evaluation maintains. Complexity O(#bags · |B|^{w+1} · poly).
+
+#ifndef CQCS_TREEWIDTH_HOM_DP_H_
+#define CQCS_TREEWIDTH_HOM_DP_H_
+
+#include <optional>
+
+#include "common/status.h"
+#include "core/homomorphism.h"
+#include "treewidth/decomposition.h"
+
+namespace cqcs {
+
+/// Statistics from the DP run, for the benchmarks.
+struct TreewidthSolveStats {
+  int width = -1;              ///< width of the decomposition used
+  size_t table_entries = 0;    ///< total bag-assignment rows considered
+};
+
+/// Decides hom(A -> B) with a caller-supplied decomposition of A. The
+/// decomposition is validated first (InvalidArgument when it is not a tree
+/// decomposition of A, or on vocabulary mismatch). Returns a full witness
+/// homomorphism or nullopt.
+Result<std::optional<Homomorphism>> SolveViaTreeDecomposition(
+    const Structure& a, const Structure& b,
+    const TreeDecomposition& decomposition,
+    TreewidthSolveStats* stats = nullptr);
+
+/// Convenience: builds a min-fill heuristic decomposition of A and runs the
+/// DP. Polynomial whenever A's treewidth is bounded (the heuristic width is
+/// bounded too on partial k-trees in practice; the answer is exact always —
+/// only the running time depends on the width found).
+Result<std::optional<Homomorphism>> SolveBoundedTreewidth(
+    const Structure& a, const Structure& b,
+    TreewidthSolveStats* stats = nullptr);
+
+}  // namespace cqcs
+
+#endif  // CQCS_TREEWIDTH_HOM_DP_H_

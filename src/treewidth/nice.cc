@@ -1,0 +1,405 @@
+#include "treewidth/nice.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace cqcs {
+
+int NiceDecomposition::Width() const {
+  int width = -1;
+  for (const Node& node : nodes) {
+    width = std::max(width, static_cast<int>(node.bag.size()) - 1);
+  }
+  return width;
+}
+
+Status NiceDecomposition::ValidateFor(const Structure& a) const {
+  // Structural checks per node kind.
+  for (uint32_t i = 0; i < nodes.size(); ++i) {
+    const Node& node = nodes[i];
+    if (!std::is_sorted(node.bag.begin(), node.bag.end())) {
+      return Status::Internal("bag not sorted");
+    }
+    switch (node.kind) {
+      case NiceNodeKind::kLeaf:
+        if (node.bag.size() != 1 || !node.children.empty()) {
+          return Status::Internal("malformed leaf node");
+        }
+        break;
+      case NiceNodeKind::kIntroduce: {
+        if (node.children.size() != 1) {
+          return Status::Internal("introduce node needs one child");
+        }
+        const Node& child = nodes[node.children[0]];
+        std::vector<Element> expected = child.bag;
+        expected.insert(std::lower_bound(expected.begin(), expected.end(),
+                                         node.pivot),
+                        node.pivot);
+        if (expected != node.bag ||
+            std::binary_search(child.bag.begin(), child.bag.end(),
+                               node.pivot)) {
+          return Status::Internal("introduce bag mismatch");
+        }
+        break;
+      }
+      case NiceNodeKind::kForget: {
+        if (node.children.size() != 1) {
+          return Status::Internal("forget node needs one child");
+        }
+        const Node& child = nodes[node.children[0]];
+        std::vector<Element> expected = child.bag;
+        auto it = std::lower_bound(expected.begin(), expected.end(),
+                                   node.pivot);
+        if (it == expected.end() || *it != node.pivot) {
+          return Status::Internal("forget pivot missing from child");
+        }
+        expected.erase(it);
+        if (expected != node.bag) {
+          return Status::Internal("forget bag mismatch");
+        }
+        break;
+      }
+      case NiceNodeKind::kJoin: {
+        if (node.children.size() != 2) {
+          return Status::Internal("join node needs two children");
+        }
+        if (nodes[node.children[0]].bag != node.bag ||
+            nodes[node.children[1]].bag != node.bag) {
+          return Status::Internal("join children bags differ");
+        }
+        break;
+      }
+    }
+    for (uint32_t c : node.children) {
+      if (c <= i || c >= nodes.size() || nodes[c].parent != i) {
+        return Status::Internal("broken parent/child links");
+      }
+    }
+  }
+  // Decomposition conditions via the generic validator.
+  TreeDecomposition td;
+  for (const Node& node : nodes) {
+    td.AddNode(node.bag, node.parent);
+  }
+  return td.ValidateFor(a);
+}
+
+namespace {
+
+class NiceBuilder {
+ public:
+  explicit NiceBuilder(const TreeDecomposition& td) : td_(td) {}
+
+  NiceDecomposition Build() {
+    for (uint32_t node = 0; node < td_.node_count(); ++node) {
+      if (td_.parent(node) == TreeDecomposition::kNoParent) {
+        BuildSubtree(node, UINT32_MAX);
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  uint32_t AddNode(NiceNodeKind kind, std::vector<Element> bag,
+                   uint32_t parent, Element pivot = 0) {
+    uint32_t id = static_cast<uint32_t>(out_.nodes.size());
+    NiceDecomposition::Node node;
+    node.kind = kind;
+    node.bag = std::move(bag);
+    node.parent = parent;
+    node.pivot = pivot;
+    out_.nodes.push_back(std::move(node));
+    if (parent != UINT32_MAX) out_.nodes[parent].children.push_back(id);
+    return id;
+  }
+
+  /// Children of `node` in the original decomposition, with equal-bag
+  /// children absorbed (their children promoted) so that every remaining
+  /// child's bag differs from this node's bag.
+  std::vector<uint32_t> EffectiveChildren(uint32_t node) {
+    std::vector<uint32_t> result;
+    std::vector<uint32_t> pending(td_.children(node).begin(),
+                                  td_.children(node).end());
+    while (!pending.empty()) {
+      uint32_t c = pending.back();
+      pending.pop_back();
+      if (td_.bag(c) == td_.bag(node)) {
+        pending.insert(pending.end(), td_.children(c).begin(),
+                       td_.children(c).end());
+      } else {
+        result.push_back(c);
+      }
+    }
+    return result;
+  }
+
+  /// Builds the nice subtree for original node `node`; its top nice node
+  /// (bag = td.bag(node)) is attached under `parent`. Returns the top id.
+  uint32_t BuildSubtree(uint32_t node, uint32_t parent) {
+    const std::vector<Element>& bag = td_.bag(node);
+    std::vector<uint32_t> kids = EffectiveChildren(node);
+    if (kids.empty()) {
+      return BuildLeafChain(bag, parent);
+    }
+    if (kids.size() == 1) {
+      return BuildConnector(bag, kids[0], parent);
+    }
+    // Join spine: j-1 join nodes, each with two equal-bag children.
+    uint32_t top = AddNode(NiceNodeKind::kJoin, bag, parent);
+    uint32_t current = top;
+    for (size_t i = 0; i < kids.size(); ++i) {
+      bool last_pair = i + 2 == kids.size();
+      BuildConnector(bag, kids[i], current);
+      if (last_pair) {
+        BuildConnector(bag, kids[i + 1], current);
+        break;
+      }
+      if (i + 1 < kids.size() - 1) {
+        current = AddNode(NiceNodeKind::kJoin, bag, current);
+      }
+    }
+    return top;
+  }
+
+  /// A chain from `bag` down to a singleton leaf (all introduce nodes, then
+  /// the leaf). Returns the top id.
+  uint32_t BuildLeafChain(const std::vector<Element>& bag, uint32_t parent) {
+    CQCS_CHECK(!bag.empty());
+    uint32_t top = UINT32_MAX;
+    uint32_t current_parent = parent;
+    std::vector<Element> current = bag;
+    while (current.size() > 1) {
+      Element pivot = current.back();
+      uint32_t id =
+          AddNode(NiceNodeKind::kIntroduce, current, current_parent, pivot);
+      if (top == UINT32_MAX) top = id;
+      current_parent = id;
+      current.pop_back();
+    }
+    uint32_t leaf = AddNode(NiceNodeKind::kLeaf, current, current_parent);
+    return top == UINT32_MAX ? leaf : top;
+  }
+
+  /// A chain from `bag` down to td node `child`'s bag (shrink to the
+  /// intersection with introduce nodes, grow with forget nodes), ending in
+  /// the child's own subtree. Returns the chain's top id.
+  uint32_t BuildConnector(const std::vector<Element>& bag, uint32_t child,
+                          uint32_t parent) {
+    const std::vector<Element>& target = td_.bag(child);
+    CQCS_CHECK(bag != target);
+    std::vector<Element> removals, additions;
+    std::set_difference(bag.begin(), bag.end(), target.begin(), target.end(),
+                        std::back_inserter(removals));
+    std::set_difference(target.begin(), target.end(), bag.begin(), bag.end(),
+                        std::back_inserter(additions));
+    uint32_t top = UINT32_MAX;
+    uint32_t current_parent = parent;
+    std::vector<Element> current = bag;
+    // Shrink: each node is an introduce over its (smaller) child.
+    for (Element v : removals) {
+      uint32_t id =
+          AddNode(NiceNodeKind::kIntroduce, current, current_parent, v);
+      if (top == UINT32_MAX) top = id;
+      current_parent = id;
+      current.erase(std::lower_bound(current.begin(), current.end(), v));
+    }
+    // Grow: each node is a forget over its (larger) child.
+    for (Element v : additions) {
+      uint32_t id = AddNode(NiceNodeKind::kForget, current, current_parent, v);
+      if (top == UINT32_MAX) top = id;
+      current_parent = id;
+      current.insert(std::lower_bound(current.begin(), current.end(), v), v);
+    }
+    CQCS_CHECK(current == target);
+    uint32_t subtree_top = BuildSubtree(child, current_parent);
+    return top == UINT32_MAX ? subtree_top : top;
+  }
+
+  const TreeDecomposition& td_;
+  NiceDecomposition out_;
+};
+
+}  // namespace
+
+NiceDecomposition MakeNice(const TreeDecomposition& td) {
+  return NiceBuilder(td).Build();
+}
+
+Result<std::optional<Homomorphism>> SolveViaNiceDecomposition(
+    const Structure& a, const Structure& b, const NiceDecomposition& nice,
+    TreewidthSolveStats* stats) {
+  if (!a.vocabulary()->Equals(*b.vocabulary())) {
+    return Status::InvalidArgument("vocabulary mismatch");
+  }
+  CQCS_RETURN_IF_ERROR(nice.ValidateFor(a));
+  if (stats != nullptr) {
+    stats->width = nice.Width();
+    stats->table_entries = 0;
+  }
+  if (a.universe_size() == 0) {
+    return std::optional<Homomorphism>(Homomorphism{});
+  }
+  const size_t num_nodes = nice.nodes.size();
+  const size_t m = b.universe_size();
+  const Vocabulary& vocab = *a.vocabulary();
+
+  // Tuples checked at a node: leaf — the all-same-element tuples on its
+  // element; introduce(v) — tuples containing v and inside the bag. (The
+  // lowest bag covering a tuple is always of one of these kinds.)
+  OccurrenceIndex occurrences(a);
+  auto tuple_ok = [&](std::span<const Element> tup, RelId rel,
+                      const std::vector<Element>& bag,
+                      const std::vector<Element>& assign) {
+    std::vector<Element> image(tup.size());
+    for (size_t p = 0; p < tup.size(); ++p) {
+      auto it = std::lower_bound(bag.begin(), bag.end(), tup[p]);
+      if (it == bag.end() || *it != tup[p]) return true;  // not covered here
+      image[p] = assign[static_cast<size_t>(it - bag.begin())];
+    }
+    return b.relation(rel).Contains(image);
+  };
+
+  // Table: assignment (aligned with sorted bag) -> witness payload (the
+  // child's assignment at forget nodes; empty otherwise).
+  using Table = std::map<std::vector<Element>, std::vector<Element>>;
+  std::vector<Table> tables(num_nodes);
+
+  for (size_t idx = num_nodes; idx-- > 0;) {
+    const auto& node = nice.nodes[idx];
+    Table& table = tables[idx];
+    switch (node.kind) {
+      case NiceNodeKind::kLeaf: {
+        Element x = node.bag[0];
+        for (Element bv = 0; bv < m; ++bv) {
+          bool ok = true;
+          for (const auto& occ : occurrences.occurrences(x)) {
+            std::span<const Element> tup =
+                a.relation(occ.rel).tuple(occ.tuple_index);
+            bool all_x = true;
+            for (Element e : tup) all_x &= (e == x);
+            if (!all_x) continue;
+            std::vector<Element> image(tup.size(), bv);
+            if (!a.relation(occ.rel).empty() &&
+                !b.relation(occ.rel).Contains(image)) {
+              ok = false;
+              break;
+            }
+          }
+          if (ok) table.emplace(std::vector<Element>{bv},
+                                std::vector<Element>{});
+        }
+        break;
+      }
+      case NiceNodeKind::kIntroduce: {
+        const Table& child = tables[node.children[0]];
+        size_t pivot_pos = static_cast<size_t>(
+            std::lower_bound(node.bag.begin(), node.bag.end(), node.pivot) -
+            node.bag.begin());
+        for (const auto& [child_assign, unused] : child) {
+          (void)unused;
+          for (Element bv = 0; bv < m; ++bv) {
+            std::vector<Element> assign = child_assign;
+            assign.insert(assign.begin() + static_cast<ptrdiff_t>(pivot_pos),
+                          bv);
+            bool ok = true;
+            for (const auto& occ : occurrences.occurrences(node.pivot)) {
+              std::span<const Element> tup =
+                  a.relation(occ.rel).tuple(occ.tuple_index);
+              if (!tuple_ok(tup, occ.rel, node.bag, assign)) {
+                ok = false;
+                break;
+              }
+            }
+            if (ok) table.emplace(std::move(assign), std::vector<Element>{});
+          }
+        }
+        break;
+      }
+      case NiceNodeKind::kForget: {
+        const Table& child = tables[node.children[0]];
+        const auto& child_bag = nice.nodes[node.children[0]].bag;
+        size_t pivot_pos = static_cast<size_t>(
+            std::lower_bound(child_bag.begin(), child_bag.end(),
+                             node.pivot) -
+            child_bag.begin());
+        for (const auto& [child_assign, unused] : child) {
+          (void)unused;
+          std::vector<Element> assign = child_assign;
+          assign.erase(assign.begin() + static_cast<ptrdiff_t>(pivot_pos));
+          table.emplace(std::move(assign), child_assign);  // keep a witness
+        }
+        break;
+      }
+      case NiceNodeKind::kJoin: {
+        const Table& left = tables[node.children[0]];
+        const Table& right = tables[node.children[1]];
+        for (const auto& [assign, unused] : left) {
+          (void)unused;
+          if (right.count(assign) > 0) {
+            table.emplace(assign, std::vector<Element>{});
+          }
+        }
+        break;
+      }
+    }
+    if (stats != nullptr) stats->table_entries += table.size();
+    if (table.empty()) return std::optional<Homomorphism>(std::nullopt);
+  }
+
+  // Top-down witness extraction.
+  Homomorphism h(a.universe_size(), kUnassigned);
+  std::vector<std::vector<Element>> chosen(num_nodes);
+  std::vector<uint32_t> stack;
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    if (nice.nodes[i].parent != UINT32_MAX) continue;
+    chosen[i] = tables[i].begin()->first;
+    stack.push_back(i);
+  }
+  while (!stack.empty()) {
+    uint32_t i = stack.back();
+    stack.pop_back();
+    const auto& node = nice.nodes[i];
+    for (size_t p = 0; p < node.bag.size(); ++p) {
+      CQCS_CHECK(h[node.bag[p]] == kUnassigned ||
+                 h[node.bag[p]] == chosen[i][p]);
+      h[node.bag[p]] = chosen[i][p];
+    }
+    switch (node.kind) {
+      case NiceNodeKind::kLeaf:
+        break;
+      case NiceNodeKind::kIntroduce: {
+        size_t pivot_pos = static_cast<size_t>(
+            std::lower_bound(node.bag.begin(), node.bag.end(), node.pivot) -
+            node.bag.begin());
+        std::vector<Element> child_assign = chosen[i];
+        child_assign.erase(child_assign.begin() +
+                           static_cast<ptrdiff_t>(pivot_pos));
+        chosen[node.children[0]] = std::move(child_assign);
+        stack.push_back(node.children[0]);
+        break;
+      }
+      case NiceNodeKind::kForget: {
+        auto it = tables[i].find(chosen[i]);
+        CQCS_CHECK(it != tables[i].end());
+        chosen[node.children[0]] = it->second;
+        stack.push_back(node.children[0]);
+        break;
+      }
+      case NiceNodeKind::kJoin: {
+        chosen[node.children[0]] = chosen[i];
+        chosen[node.children[1]] = chosen[i];
+        stack.push_back(node.children[0]);
+        stack.push_back(node.children[1]);
+        break;
+      }
+    }
+  }
+  for (Element& v : h) {
+    CQCS_CHECK(v != kUnassigned);
+  }
+  return std::optional<Homomorphism>(std::move(h));
+}
+
+}  // namespace cqcs

@@ -1,0 +1,57 @@
+// Nice tree decompositions: every node is a leaf (singleton bag),
+// introduce (bag = child bag + one element), forget (bag = child bag - one
+// element), or join (two children with identical bags). The textbook
+// normal form for treewidth dynamic programming — the parse-tree view the
+// paper's Lemma 5.2 proof builds on ([DF99, Ch. 6.4]). Any tree
+// decomposition converts to a nice one of the same width with O(width · n)
+// nodes.
+
+#ifndef CQCS_TREEWIDTH_NICE_H_
+#define CQCS_TREEWIDTH_NICE_H_
+
+#include <optional>
+
+#include "common/status.h"
+#include "core/homomorphism.h"
+#include "treewidth/decomposition.h"
+#include "treewidth/hom_dp.h"
+
+namespace cqcs {
+
+/// Kinds of nodes in a nice decomposition.
+enum class NiceNodeKind : uint8_t { kLeaf, kIntroduce, kForget, kJoin };
+
+/// A nice tree decomposition. Node 0 is the root of the first tree in the
+/// forest; children precede nothing — as in TreeDecomposition, parents have
+/// smaller indices than their children.
+struct NiceDecomposition {
+  struct Node {
+    NiceNodeKind kind = NiceNodeKind::kLeaf;
+    std::vector<Element> bag;  // sorted
+    uint32_t parent = UINT32_MAX;
+    std::vector<uint32_t> children;
+    /// For kIntroduce / kForget: the element added to / removed from the
+    /// child's bag.
+    Element pivot = 0;
+  };
+  std::vector<Node> nodes;
+
+  int Width() const;
+  /// Structural well-formedness + the decomposition conditions for `a`.
+  Status ValidateFor(const Structure& a) const;
+};
+
+/// Converts a rooted decomposition into a nice one of the same width.
+NiceDecomposition MakeNice(const TreeDecomposition& td);
+
+/// Theorem 5.4's DP in its textbook form: tables indexed by bag
+/// assignments, transitions per node kind (leaf/introduce/forget/join).
+/// Semantically identical to SolveViaTreeDecomposition; kept as an ablation
+/// of the two DP formulations.
+Result<std::optional<Homomorphism>> SolveViaNiceDecomposition(
+    const Structure& a, const Structure& b, const NiceDecomposition& nice,
+    TreewidthSolveStats* stats = nullptr);
+
+}  // namespace cqcs
+
+#endif  // CQCS_TREEWIDTH_NICE_H_

@@ -1,0 +1,103 @@
+// Tests for the DynamicBitset word-level container.
+
+#include <gtest/gtest.h>
+
+#include "common/bitset.h"
+#include <set>
+
+#include "common/rng.h"
+
+namespace cqcs {
+namespace {
+
+TEST(DynamicBitsetTest, SetResetTest) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_TRUE(b.none());
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 3u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(DynamicBitsetTest, FillConstructorTrimsTail) {
+  DynamicBitset b(70, /*fill=*/true);
+  EXPECT_EQ(b.count(), 70u);
+  b.SetAll();
+  EXPECT_EQ(b.count(), 70u);  // no stray bits beyond size
+  b.ResetAll();
+  EXPECT_TRUE(b.none());
+}
+
+TEST(DynamicBitsetTest, FindFirstNext) {
+  DynamicBitset b(200);
+  EXPECT_EQ(b.FindFirst(), DynamicBitset::npos);
+  b.set(3);
+  b.set(64);
+  b.set(199);
+  EXPECT_EQ(b.FindFirst(), 3u);
+  EXPECT_EQ(b.FindNext(3), 64u);
+  EXPECT_EQ(b.FindNext(64), 199u);
+  EXPECT_EQ(b.FindNext(199), DynamicBitset::npos);
+}
+
+TEST(DynamicBitsetTest, ForEachVisitsInOrder) {
+  DynamicBitset b(100);
+  std::vector<size_t> expected = {0, 17, 63, 64, 99};
+  for (size_t i : expected) b.set(i);
+  std::vector<size_t> seen;
+  b.ForEach([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(DynamicBitsetTest, BitwiseOpsAndSubset) {
+  DynamicBitset a(80), b(80);
+  a.set(1);
+  a.set(70);
+  b.set(1);
+  DynamicBitset a_and = a;
+  a_and &= b;
+  EXPECT_EQ(a_and.count(), 1u);
+  EXPECT_TRUE(a_and.test(1));
+  DynamicBitset a_or = a;
+  a_or |= b;
+  EXPECT_EQ(a_or.count(), 2u);
+  EXPECT_TRUE(b.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_TRUE(a == a_or);
+}
+
+TEST(DynamicBitsetTest, RandomizedAgainstReference) {
+  Rng rng(7);
+  DynamicBitset b(257);
+  std::set<size_t> reference;
+  for (int op = 0; op < 2000; ++op) {
+    size_t i = rng.Below(257);
+    if (rng.Chance(0.5)) {
+      b.set(i);
+      reference.insert(i);
+    } else {
+      b.reset(i);
+      reference.erase(i);
+    }
+  }
+  EXPECT_EQ(b.count(), reference.size());
+  for (size_t i = 0; i < 257; ++i) {
+    EXPECT_EQ(b.test(i), reference.count(i) > 0) << i;
+  }
+  // Iteration order agrees with the sorted reference.
+  std::vector<size_t> seen;
+  b.ForEach([&](size_t i) { seen.push_back(i); });
+  std::vector<size_t> expected(reference.begin(), reference.end());
+  EXPECT_EQ(seen, expected);
+}
+
+}  // namespace
+}  // namespace cqcs

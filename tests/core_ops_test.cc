@@ -1,0 +1,213 @@
+// Tests for homomorphism checking, structure operations, graphs, and IO.
+
+#include <gtest/gtest.h>
+
+#include "core/graph.h"
+#include "core/homomorphism.h"
+#include "core/io.h"
+#include "core/ops.h"
+
+namespace cqcs {
+namespace {
+
+VocabularyPtr GraphVocab() {
+  auto v = std::make_shared<Vocabulary>();
+  v->AddRelation("E", 2);
+  return v;
+}
+
+Structure Cycle(VocabularyPtr vocab, size_t n, bool directed = true) {
+  Structure s(std::move(vocab), n);
+  for (size_t i = 0; i < n; ++i) {
+    auto u = static_cast<Element>(i);
+    auto v = static_cast<Element>((i + 1) % n);
+    s.AddTuple(0, {u, v});
+    if (!directed) s.AddTuple(0, {v, u});
+  }
+  return s;
+}
+
+TEST(HomomorphismTest, ValidAndInvalid) {
+  auto vocab = GraphVocab();
+  Structure c4 = Cycle(vocab, 4);
+  Structure c2 = Cycle(vocab, 2);
+  // C4 -> C2 by parity.
+  Homomorphism h = {0, 1, 0, 1};
+  EXPECT_TRUE(IsHomomorphism(c4, c2, h));
+  Homomorphism bad = {0, 0, 0, 0};  // (0,0) is not an edge of C2
+  EXPECT_FALSE(IsHomomorphism(c4, c2, bad));
+  EXPECT_FALSE(CheckHomomorphism(c4, c2, bad).ok());
+  Homomorphism wrong_size = {0, 1};
+  EXPECT_FALSE(IsHomomorphism(c4, c2, wrong_size));
+}
+
+TEST(HomomorphismTest, PartialIgnoresUnassigned) {
+  auto vocab = GraphVocab();
+  Structure c4 = Cycle(vocab, 4);
+  Structure c2 = Cycle(vocab, 2);
+  Homomorphism partial = {0, kUnassigned, 0, kUnassigned};
+  EXPECT_TRUE(IsPartialHomomorphism(c4, c2, partial));
+  Homomorphism bad = {0, 0, kUnassigned, kUnassigned};
+  EXPECT_FALSE(IsPartialHomomorphism(c4, c2, bad));
+}
+
+TEST(OpsTest, DisjointUnion) {
+  auto vocab = GraphVocab();
+  Structure a = Cycle(vocab, 3);
+  Structure b = Cycle(vocab, 2);
+  Structure u = DisjointUnion(a, b);
+  EXPECT_EQ(u.universe_size(), 5u);
+  EXPECT_EQ(u.TotalTuples(), 5u);
+  Element shifted[] = {3, 4};
+  EXPECT_TRUE(u.relation(0).Contains(shifted));
+}
+
+TEST(OpsTest, ProductProjectionsAreHoms) {
+  auto vocab = GraphVocab();
+  Structure a = Cycle(vocab, 3);
+  Structure b = Cycle(vocab, 2);
+  Structure p = Product(a, b);
+  EXPECT_EQ(p.universe_size(), 6u);
+  // Projections are homomorphisms.
+  Homomorphism proj_a(p.universe_size()), proj_b(p.universe_size());
+  for (Element x = 0; x < p.universe_size(); ++x) {
+    proj_a[x] = x / 2;
+    proj_b[x] = x % 2;
+  }
+  EXPECT_TRUE(IsHomomorphism(p, a, proj_a));
+  EXPECT_TRUE(IsHomomorphism(p, b, proj_b));
+}
+
+TEST(OpsTest, InducedSubstructure) {
+  auto vocab = GraphVocab();
+  Structure c4 = Cycle(vocab, 4);
+  std::vector<Element> keep = {0, 1};
+  Structure sub = InducedSubstructure(c4, keep);
+  EXPECT_EQ(sub.universe_size(), 2u);
+  EXPECT_EQ(sub.TotalTuples(), 1u);  // only edge (0,1) survives
+  Element t[] = {0, 1};
+  EXPECT_TRUE(sub.relation(0).Contains(t));
+}
+
+TEST(OpsTest, RenameAndCompose) {
+  auto vocab = GraphVocab();
+  Structure c4 = Cycle(vocab, 4);
+  std::vector<Element> parity = {0, 1, 0, 1};
+  Structure folded = RenameElements(c4, parity, 2);
+  EXPECT_EQ(folded.universe_size(), 2u);
+  Element e01[] = {0, 1}, e10[] = {1, 0};
+  EXPECT_TRUE(folded.relation(0).Contains(e01));
+  EXPECT_TRUE(folded.relation(0).Contains(e10));
+
+  Homomorphism id = IdentityMap(c4);
+  Homomorphism composed = Compose(id, parity);
+  EXPECT_EQ(composed, parity);
+}
+
+TEST(GraphTest, BasicOps) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 2);  // duplicate ignored
+  g.AddEdge(2, 2);  // self loop ignored
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(GraphTest, ConnectedComponents) {
+  Graph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(3, 4);
+  size_t count = 0;
+  auto comp = g.ConnectedComponents(&count);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+}
+
+TEST(GraphTest, TwoColor) {
+  Graph even(4);
+  for (int i = 0; i < 4; ++i) even.AddEdge(i, (i + 1) % 4);
+  std::vector<uint8_t> colors;
+  EXPECT_TRUE(even.TwoColor(&colors));
+  for (uint32_t v = 0; v < 4; ++v) {
+    for (uint32_t w : even.neighbors(v)) EXPECT_NE(colors[v], colors[w]);
+  }
+  Graph odd(3);
+  for (int i = 0; i < 3; ++i) odd.AddEdge(i, (i + 1) % 3);
+  EXPECT_FALSE(odd.TwoColor(nullptr));
+}
+
+TEST(GraphViewsTest, GaifmanGraph) {
+  auto vocab = std::make_shared<Vocabulary>();
+  RelId r = vocab->AddRelation("R", 3);
+  Structure s(vocab, 4);
+  s.AddTuple(r, {0, 1, 2});
+  Graph g = GaifmanGraph(s);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(GraphViewsTest, IncidenceGraphOfSingleTupleIsStar) {
+  // The paper (§5) notes a single n-tuple has Gaifman treewidth n-1 but its
+  // incidence graph is a tree. Check the incidence view is the star.
+  auto vocab = std::make_shared<Vocabulary>();
+  RelId r = vocab->AddRelation("R", 3);
+  Structure s(vocab, 3);
+  s.AddTuple(r, {0, 1, 2});
+  Graph g = IncidenceGraph(s);
+  EXPECT_EQ(g.vertex_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.degree(3), 3u);  // the tuple vertex
+}
+
+TEST(IoTest, RoundTrip) {
+  const char* text =
+      "# a small structure\n"
+      "universe 3\n"
+      "E/2: 0 1, 1 2\n"
+      "P/1: 0\n";
+  auto parsed = ParseStructure(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->universe_size(), 3u);
+  EXPECT_EQ(parsed->TotalTuples(), 3u);
+  auto reparsed = ParseStructure(PrintStructure(*parsed));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(*parsed == *reparsed);
+}
+
+TEST(IoTest, AccumulatesAcrossLines) {
+  auto parsed = ParseStructure("universe 2\nE/2: 0 1\nE/2: 1 0\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->TotalTuples(), 2u);
+}
+
+TEST(IoTest, FixedVocabulary) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->AddRelation("E", 2);
+  vocab->AddRelation("P", 1);
+  auto parsed = ParseStructure("universe 2\nE/2: 0 1\n", vocab);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->relation(1).tuple_count(), 0u);  // P empty
+  auto unknown = ParseStructure("universe 1\nZ/1: 0\n", vocab);
+  EXPECT_FALSE(unknown.ok());
+}
+
+TEST(IoTest, Errors) {
+  EXPECT_FALSE(ParseStructure("").ok());
+  EXPECT_FALSE(ParseStructure("E/2: 0 1\n").ok());        // no universe
+  EXPECT_FALSE(ParseStructure("universe 2\nE: 0\n").ok());  // no arity
+  EXPECT_FALSE(ParseStructure("universe 2\nE/2: 0\n").ok());  // short tuple
+  EXPECT_FALSE(ParseStructure("universe 2\nE/2: 0 9\n").ok());  // range
+  EXPECT_FALSE(
+      ParseStructure("universe 2\nE/2: 0 1\nE/3: 0 1 1\n").ok());  // arity
+  EXPECT_FALSE(ParseStructure("universe 2\nE/0:\n").ok());  // zero arity
+}
+
+}  // namespace
+}  // namespace cqcs

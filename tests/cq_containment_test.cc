@@ -1,0 +1,252 @@
+// Tests for canonical databases, Chandra–Merlin containment (Theorem 2.1),
+// evaluation, and minimization.
+
+#include <gtest/gtest.h>
+
+#include "cq/containment.h"
+#include "cq/parser.h"
+#include "solver/backtracking.h"
+
+namespace cqcs {
+namespace {
+
+ConjunctiveQuery MustParse(std::string_view text, VocabularyPtr vocab = {}) {
+  auto q = vocab == nullptr ? ParseQuery(text) : ParseQuery(text, vocab);
+  CQCS_CHECK_MSG(q.ok(), q.status().ToString());
+  return *std::move(q);
+}
+
+VocabularyPtr GraphVocab() {
+  auto v = std::make_shared<Vocabulary>();
+  v->AddRelation("E", 2);
+  return v;
+}
+
+TEST(CanonicalDbTest, PaperExample) {
+  // D_Q for Q(X1,X2) :- P(X1,Z1,Z2), R(Z2,Z3), R(Z3,X2) has facts
+  // P(X1,Z1,Z2), R(Z2,Z3), R(Z3,X2), P1(X1), P2(X2)  (Section 2).
+  auto q = MustParse("Q(X1, X2) :- P(X1, Z1, Z2), R(Z2, Z3), R(Z3, X2).");
+  CanonicalDb db = MakeCanonicalDbWithHeadMarkers(q);
+  EXPECT_EQ(db.structure.universe_size(), 5u);
+  EXPECT_EQ(db.structure.TotalTuples(), 5u);  // 3 body facts + 2 markers
+  EXPECT_EQ(db.vocabulary->size(), 4u);       // P, R, __head_0, __head_1
+  ASSERT_EQ(db.head.size(), 2u);
+  auto h0 = db.vocabulary->FindRelation("__head_0");
+  ASSERT_TRUE(h0.has_value());
+  Element marker[] = {db.head[0]};
+  EXPECT_TRUE(db.structure.relation(*h0).Contains(marker));
+}
+
+TEST(CanonicalDbTest, WithoutMarkersMatchesBody) {
+  auto q = MustParse("Q(X) :- E(X, Y).");
+  CanonicalDb db = MakeCanonicalDb(q);
+  EXPECT_EQ(db.vocabulary->size(), 1u);
+  EXPECT_EQ(db.structure.TotalTuples(), 1u);
+}
+
+TEST(ContainmentTest, PathsContainLongerPaths) {
+  // Q1: path of length 2 from X to Y; Q2: edge from X to Y... containment of
+  // "there is a 2-path" in "there is an edge" fails, but a 2-path query is
+  // contained in a 1-path (reachability-style weakening) when the weaker
+  // query relaxes endpoints. Classic sanity pair: identical queries.
+  auto vocab = GraphVocab();
+  auto q1 = MustParse("Q(X, Y) :- E(X, Z), E(Z, Y).", vocab);
+  auto q2 = MustParse("Q(X, Y) :- E(X, Z), E(Z, Y).", vocab);
+  auto r = IsContained(q1, q2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST(ContainmentTest, SpecializationIsContained) {
+  auto vocab = GraphVocab();
+  // Q1 asks for a triangle through X; Q2 asks for an edge out of X.
+  auto q1 = MustParse("Q(X) :- E(X, Y), E(Y, Z), E(Z, X).", vocab);
+  auto q2 = MustParse("Q(X) :- E(X, Y).", vocab);
+  EXPECT_TRUE(*IsContained(q1, q2));
+  EXPECT_FALSE(*IsContained(q2, q1));
+}
+
+TEST(ContainmentTest, WitnessIsHomomorphism) {
+  auto vocab = GraphVocab();
+  auto q1 = MustParse("Q(X) :- E(X, Y), E(Y, Z), E(Z, X).", vocab);
+  auto q2 = MustParse("Q(X) :- E(X, Y).", vocab);
+  auto r = Contains(q1, q2);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->contained);
+  ASSERT_TRUE(r->witness.has_value());
+  CanonicalDb d1 = MakeCanonicalDbWithHeadMarkers(q1);
+  CanonicalDb d2 = MakeCanonicalDbWithHeadMarkers(q2);
+  EXPECT_TRUE(IsHomomorphism(d2.structure, d1.structure, *r->witness));
+}
+
+TEST(ContainmentTest, HeadOrderDistinguishes) {
+  auto vocab = GraphVocab();
+  auto q1 = MustParse("Q(X, Y) :- E(X, Y).", vocab);
+  auto q2 = MustParse("Q(Y, X) :- E(X, Y).", vocab);
+  // Q1 returns edges; Q2 returns reversed edges. Neither contains the other.
+  EXPECT_FALSE(*IsContained(q1, q2));
+  EXPECT_FALSE(*IsContained(q2, q1));
+}
+
+TEST(ContainmentTest, RepeatedHeadVariables) {
+  auto vocab = GraphVocab();
+  auto q1 = MustParse("Q(X, X) :- E(X, X).", vocab);
+  auto q2 = MustParse("Q(X, Y) :- E(X, Y).", vocab);
+  EXPECT_TRUE(*IsContained(q1, q2));
+  EXPECT_FALSE(*IsContained(q2, q1));
+}
+
+TEST(ContainmentTest, BooleanQueries) {
+  auto vocab = GraphVocab();
+  // "has a triangle" ⊆ "has an edge" ⊆ "has a walk of length 2".
+  auto tri = MustParse("Q() :- E(X, Y), E(Y, Z), E(Z, X).", vocab);
+  auto edge = MustParse("Q() :- E(X, Y).", vocab);
+  auto walk2 = MustParse("Q() :- E(X, Y), E(Y, Z).", vocab);
+  EXPECT_TRUE(*IsContained(tri, edge));
+  EXPECT_FALSE(*IsContained(edge, tri));
+  // A single edge does NOT guarantee a 2-walk (its endpoint may be a sink),
+  // so the containment only goes one way.
+  EXPECT_FALSE(*IsContained(edge, walk2));
+  EXPECT_TRUE(*IsContained(walk2, edge));
+}
+
+TEST(ContainmentTest, MismatchedInputsRejected) {
+  auto vocab = GraphVocab();
+  auto q1 = MustParse("Q(X, Y) :- E(X, Y).", vocab);
+  auto q2 = MustParse("Q(X) :- E(X, Y).", vocab);
+  EXPECT_FALSE(IsContained(q1, q2).ok());  // arity mismatch
+  auto other = MustParse("Q(X, Y) :- F(X, Y).");
+  EXPECT_FALSE(IsContained(q1, other).ok());  // vocabulary mismatch
+}
+
+TEST(ContainmentTest, AgreesWithEvaluationCharacterization) {
+  // Theorem 2.1: the homomorphism test and the "tuple in Q2(D_Q1)" test
+  // must agree on every pair.
+  auto vocab = GraphVocab();
+  std::vector<ConjunctiveQuery> queries = {
+      MustParse("Q(X) :- E(X, Y).", vocab),
+      MustParse("Q(X) :- E(X, X).", vocab),
+      MustParse("Q(X) :- E(X, Y), E(Y, Z).", vocab),
+      MustParse("Q(X) :- E(X, Y), E(Y, X).", vocab),
+      MustParse("Q(X) :- E(X, Y), E(Y, Z), E(Z, X).", vocab),
+      MustParse("Q(Y) :- E(X, Y).", vocab),
+  };
+  for (const auto& a : queries) {
+    for (const auto& b : queries) {
+      auto via_hom = IsContained(a, b);
+      auto via_eval = IsContainedViaEvaluation(a, b);
+      ASSERT_TRUE(via_hom.ok());
+      ASSERT_TRUE(via_eval.ok());
+      EXPECT_EQ(*via_hom, *via_eval)
+          << ToString(a) << "  vs  " << ToString(b);
+    }
+  }
+}
+
+TEST(ContainmentTest, HomomorphismIffCanonicalQueryContainment) {
+  // Section 2: hom(A -> B) iff Q_B ⊆ Q_A.
+  auto vocab = GraphVocab();
+  Structure c4(vocab, 4);
+  for (int i = 0; i < 4; ++i) {
+    c4.AddTuple(0, {static_cast<Element>(i), static_cast<Element>((i + 1) % 4)});
+  }
+  Structure c2(vocab, 2);
+  c2.AddTuple(0, {0, 1});
+  c2.AddTuple(0, {1, 0});
+  ConjunctiveQuery qc4 = CanonicalQuery(c4);
+  ConjunctiveQuery qc2 = CanonicalQuery(c2);
+  EXPECT_TRUE(HasHomomorphism(c4, c2));
+  EXPECT_TRUE(*IsContained(qc2, qc4));
+  // No hom C2 -> C4 (a 2-cycle cannot wind around a 4-cycle).
+  EXPECT_FALSE(HasHomomorphism(c2, c4));
+  EXPECT_FALSE(*IsContained(qc4, qc2));
+}
+
+TEST(EvaluateTest, PathEndpoints) {
+  auto vocab = GraphVocab();
+  auto q = MustParse("Q(X, Y) :- E(X, Z), E(Z, Y).", vocab);
+  Structure d(vocab, 4);  // path 0 -> 1 -> 2 -> 3
+  d.AddTuple(0, {0, 1});
+  d.AddTuple(0, {1, 2});
+  d.AddTuple(0, {2, 3});
+  auto rows = Evaluate(q, d);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);  // (0,2) and (1,3)
+  std::set<std::vector<Element>> expected = {{0, 2}, {1, 3}};
+  std::set<std::vector<Element>> got(rows->begin(), rows->end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(EvaluateTest, BooleanQueryOnDatabase) {
+  auto vocab = GraphVocab();
+  auto tri = MustParse("Q() :- E(X, Y), E(Y, Z), E(Z, X).", vocab);
+  Structure acyclic(vocab, 3);
+  acyclic.AddTuple(0, {0, 1});
+  acyclic.AddTuple(0, {1, 2});
+  EXPECT_FALSE(*EvaluateBoolean(tri, acyclic));
+  Structure triangle(vocab, 3);
+  triangle.AddTuple(0, {0, 1});
+  triangle.AddTuple(0, {1, 2});
+  triangle.AddTuple(0, {2, 0});
+  EXPECT_TRUE(*EvaluateBoolean(tri, triangle));
+}
+
+TEST(EvaluateTest, VocabularyMismatchRejected) {
+  auto q = MustParse("Q(X) :- E(X, Y).");
+  auto other = std::make_shared<Vocabulary>();
+  other->AddRelation("F", 2);
+  Structure d(other, 2);
+  EXPECT_FALSE(Evaluate(q, d).ok());
+}
+
+TEST(MinimizeTest, RedundantAtomRemoved) {
+  auto vocab = GraphVocab();
+  // E(X,Y), E(X,Z) — the second atom folds onto the first (Z := Y).
+  auto q = MustParse("Q(X) :- E(X, Y), E(X, Z).", vocab);
+  auto m = Minimize(q);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->atoms().size(), 1u);
+  EXPECT_TRUE(*AreEquivalent(q, *m));
+}
+
+TEST(MinimizeTest, CoreIsStable) {
+  auto vocab = GraphVocab();
+  auto q = MustParse("Q(X) :- E(X, Y), E(Y, Z), E(Z, X).", vocab);
+  auto m = Minimize(q);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->atoms().size(), 3u);  // the triangle is already a core
+}
+
+TEST(MinimizeTest, DirectedPathIsCore) {
+  auto vocab = GraphVocab();
+  // The canonical database of a directed path is a core (a directed path
+  // admits no homomorphism onto a shorter one), so nothing can be dropped.
+  auto q = MustParse("Q() :- E(A, B), E(B, C), E(C, D), E(D, F).", vocab);
+  auto m = Minimize(q);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->atoms().size(), 4u);
+  EXPECT_TRUE(*AreEquivalent(q, *m));
+}
+
+TEST(MinimizeTest, ParallelWalksFold) {
+  auto vocab = GraphVocab();
+  // Two disjoint copies of the same 2-walk pattern fold onto one copy.
+  auto q = MustParse("Q() :- E(A, B), E(B, C), E(X, Y), E(Y, Z).", vocab);
+  auto m = Minimize(q);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->atoms().size(), 2u);
+  EXPECT_TRUE(*AreEquivalent(q, *m));
+}
+
+TEST(MinimizeTest, HeadVariablesBlockFolding) {
+  auto vocab = GraphVocab();
+  // With both endpoints distinguished, the 2-path cannot fold.
+  auto q = MustParse("Q(X, Y) :- E(X, Z), E(Z, Y), E(X, W).", vocab);
+  auto m = Minimize(q);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->atoms().size(), 2u);  // E(X,W) folds onto E(X,Z)
+  EXPECT_TRUE(*AreEquivalent(q, *m));
+}
+
+}  // namespace
+}  // namespace cqcs

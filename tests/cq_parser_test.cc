@@ -1,0 +1,114 @@
+// Tests for the conjunctive-query AST, parser, and printer.
+
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+
+namespace cqcs {
+namespace {
+
+TEST(CqParserTest, PaperRunningExample) {
+  // Q(X1, X2) :- P(X1, Z1, Z2), R(Z2, Z3), R(Z3, X2)  (Section 2).
+  auto q = ParseQuery("Q(X1, X2) :- P(X1, Z1, Z2), R(Z2, Z3), R(Z3, X2).");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->arity(), 2u);
+  EXPECT_EQ(q->atoms().size(), 3u);
+  EXPECT_EQ(q->var_count(), 5u);
+  EXPECT_EQ(q->vocabulary()->size(), 2u);
+  EXPECT_EQ(q->vocabulary()->arity(*q->vocabulary()->FindRelation("P")), 3u);
+  EXPECT_TRUE(q->Validate().ok());
+}
+
+TEST(CqParserTest, HeadOrderMatters) {
+  // The paper notes Q(X2, X1) is an equally valid but different ordering.
+  auto q = ParseQuery("Q(X2, X1) :- P(X1, Z1, Z2), R(Z2, Z3), R(Z3, X2).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->var_name(q->head()[0]), "X2");
+  EXPECT_EQ(q->var_name(q->head()[1]), "X1");
+}
+
+TEST(CqParserTest, BooleanQuery) {
+  auto q = ParseQuery("Q() :- E(X, Y), E(Y, X).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->arity(), 0u);
+  EXPECT_EQ(q->var_count(), 2u);
+}
+
+TEST(CqParserTest, RepeatedHeadVariable) {
+  auto q = ParseQuery("Q(X, X) :- E(X, Y).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->arity(), 2u);
+  EXPECT_EQ(q->head()[0], q->head()[1]);
+}
+
+TEST(CqParserTest, OptionalPeriodAndWhitespace) {
+  auto q = ParseQuery("  Q ( X ) :-  E ( X , Y )  ");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->arity(), 1u);
+}
+
+TEST(CqParserTest, FixedVocabulary) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->AddRelation("E", 2);
+  auto ok = ParseQuery("Q(X) :- E(X, Y).", vocab);
+  ASSERT_TRUE(ok.ok());
+  auto unknown = ParseQuery("Q(X) :- F(X, Y).", vocab);
+  EXPECT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+  auto bad_arity = ParseQuery("Q(X) :- E(X, Y, Z).", vocab);
+  EXPECT_FALSE(bad_arity.ok());
+}
+
+TEST(CqParserTest, RejectsUnsafeHead) {
+  auto q = ParseQuery("Q(W) :- E(X, Y).");
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kParseError);
+}
+
+TEST(CqParserTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("Q(X)").ok());                  // no body
+  EXPECT_FALSE(ParseQuery("Q(X) :- ").ok());              // empty body
+  EXPECT_FALSE(ParseQuery("Q(X) :- E(X,)").ok());         // dangling comma
+  EXPECT_FALSE(ParseQuery("Q(X) :- E()").ok());           // nullary atom
+  EXPECT_FALSE(ParseQuery("Q(X) :- E(X, Y) extra").ok()); // trailing junk
+  EXPECT_FALSE(ParseQuery("Q(X) :- E(X Y)").ok());        // missing comma
+  EXPECT_FALSE(
+      ParseQuery("Q(X) :- E(X, Y), E(X, Y, Z)").ok());    // arity clash
+}
+
+TEST(CqParserTest, RoundTripThroughToString) {
+  const char* text = "Q(X1, X2) :- P(X1, Z1, Z2), R(Z2, Z3), R(Z3, X2).";
+  auto q = ParseQuery(text);
+  ASSERT_TRUE(q.ok());
+  auto q2 = ParseQuery(ToString(*q), q->vocabulary());
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  EXPECT_TRUE(*q == *q2);
+}
+
+TEST(CqQueryTest, TwoAtomDetection) {
+  auto yes = ParseQuery("Q(X) :- E(X, Y), E(Y, Z), F(Z, X).");
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(yes->IsTwoAtomQuery());
+  auto no = ParseQuery("Q(X) :- E(X, Y), E(Y, Z), E(Z, X).");
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(no->IsTwoAtomQuery());
+}
+
+TEST(CqQueryTest, WithoutAtom) {
+  auto q = ParseQuery("Q(X) :- E(X, Y), E(Y, X).");
+  ASSERT_TRUE(q.ok());
+  ConjunctiveQuery dropped = q->WithoutAtom(1);
+  EXPECT_EQ(dropped.atoms().size(), 1u);
+  EXPECT_EQ(dropped.head(), q->head());
+  EXPECT_EQ(dropped.var_count(), q->var_count());
+}
+
+TEST(CqQueryTest, SizeMeasure) {
+  auto q = ParseQuery("Q(X) :- E(X, Y), E(Y, X).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->Size(), 2u + 4u);  // 2 variables + 2 binary atoms
+}
+
+}  // namespace
+}  // namespace cqcs

@@ -1,0 +1,188 @@
+// Tests for the Datalog engine: parsing, semi-naive evaluation, k-Datalog
+// width accounting, unsafe-rule semantics, and the Section 4.1 example.
+
+#include <gtest/gtest.h>
+
+#include "datalog/builtin_programs.h"
+#include "datalog/evaluator.h"
+#include "datalog/parser.h"
+
+namespace cqcs {
+namespace {
+
+Structure UndirectedCycle(const VocabularyPtr& vocab, size_t n) {
+  Structure s(vocab, n);
+  for (size_t i = 0; i < n; ++i) {
+    auto u = static_cast<Element>(i);
+    auto v = static_cast<Element>((i + 1) % n);
+    s.AddTuple(0, {u, v});
+    s.AddTuple(0, {v, u});
+  }
+  return s;
+}
+
+TEST(DatalogParserTest, TransitiveClosure) {
+  auto program = ParseDatalogProgram(
+      "T(X, Y) :- E(X, Y).\n"
+      "T(X, Y) :- T(X, Z), E(Z, Y).\n");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->idb_count(), 1u);
+  EXPECT_EQ(program->rules().size(), 2u);
+  EXPECT_EQ(program->edb_vocabulary()->size(), 1u);
+  EXPECT_EQ(program->MaxBodyWidth(), 3u);
+  EXPECT_EQ(program->MaxHeadWidth(), 2u);
+  EXPECT_TRUE(program->IsKDatalog(3));
+  EXPECT_FALSE(program->IsKDatalog(2));
+}
+
+TEST(DatalogParserTest, GoalSelection) {
+  const char* text =
+      "P(X) :- E(X, Y).\n"
+      "Q() :- P(X).\n";
+  auto by_default = ParseDatalogProgram(text);
+  ASSERT_TRUE(by_default.ok());
+  EXPECT_EQ(by_default->idb(by_default->goal()).name, "Q");
+  auto named = ParseDatalogProgram(text, "P");
+  ASSERT_TRUE(named.ok());
+  EXPECT_EQ(named->idb(named->goal()).name, "P");
+  EXPECT_FALSE(ParseDatalogProgram(text, "Nope").ok());
+}
+
+TEST(DatalogParserTest, EmptyBodyRule) {
+  auto program = ParseDatalogProgram("P(X) :- .\nQ() :- P(X).\n");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_TRUE(program->rules()[0].body.empty());
+}
+
+TEST(DatalogParserTest, Malformed) {
+  EXPECT_FALSE(ParseDatalogProgram("").ok());
+  EXPECT_FALSE(ParseDatalogProgram("P(X)\n").ok());           // no ':-'
+  EXPECT_FALSE(ParseDatalogProgram("P(X) :- E(X, Y)\n").ok());  // no '.'
+  EXPECT_FALSE(
+      ParseDatalogProgram("P(X) :- P(X, Y).\n").ok());  // IDB arity clash
+}
+
+TEST(DatalogParserTest, RoundTripThroughToString) {
+  auto program = ParseDatalogProgram(
+      "P(X, Y) :- E(X, Y).\n"
+      "P(X, Y) :- P(X, Z), E(Z, W), E(W, Y).\n"
+      "Q() :- P(X, X).\n");
+  ASSERT_TRUE(program.ok());
+  auto reparsed = ParseDatalogProgram(program->ToString(),
+                                      program->edb_vocabulary(), "Q");
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->rules().size(), program->rules().size());
+}
+
+TEST(DatalogEvalTest, TransitiveClosureOnPath) {
+  auto program = ParseDatalogProgram(
+      "T(X, Y) :- E(X, Y).\n"
+      "T(X, Y) :- T(X, Z), E(Z, Y).\n");
+  ASSERT_TRUE(program.ok());
+  Structure path(program->edb_vocabulary(), 4);
+  path.AddTuple(0, {0, 1});
+  path.AddTuple(0, {1, 2});
+  path.AddTuple(0, {2, 3});
+  auto result = EvaluateDatalog(*program, path);
+  ASSERT_TRUE(result.ok());
+  const TupleSet& t = result->idb_relations[0];
+  EXPECT_EQ(t.size(), 6u);  // all i<j pairs
+  EXPECT_TRUE(t.Contains({0, 3}));
+  EXPECT_FALSE(t.Contains({3, 0}));
+}
+
+TEST(DatalogEvalTest, UnsafeHeadVariableRangesOverUniverse) {
+  auto program = ParseDatalogProgram("P(X, Y) :- E(X, X).\nQ() :- P(X, Y).\n",
+                                     "P");
+  ASSERT_TRUE(program.ok());
+  Structure s(program->edb_vocabulary(), 3);
+  s.AddTuple(0, {1, 1});
+  auto result = EvaluateDatalog(*program, s);
+  ASSERT_TRUE(result.ok());
+  // P(1, y) for every y in the universe.
+  EXPECT_EQ(result->idb_relations[*program->FindIdb("P")].size(), 3u);
+  EXPECT_TRUE(result->idb_relations[*program->FindIdb("P")].Contains({1, 2}));
+}
+
+TEST(DatalogEvalTest, VocabularyMismatchRejected) {
+  auto program = ParseDatalogProgram("P(X) :- E(X, Y).\n");
+  ASSERT_TRUE(program.ok());
+  auto other = std::make_shared<Vocabulary>();
+  other->AddRelation("F", 2);
+  Structure s(other, 2);
+  EXPECT_FALSE(EvaluateDatalog(*program, s).ok());
+}
+
+TEST(DatalogEvalTest, MutualRecursion) {
+  // Even/odd distance from vertex marked by Start.
+  auto program = ParseDatalogProgram(
+      "Even(X) :- Start(X).\n"
+      "Odd(Y) :- Even(X), E(X, Y).\n"
+      "Even(Y) :- Odd(X), E(X, Y).\n",
+      "Even");
+  ASSERT_TRUE(program.ok());
+  auto vocab = program->edb_vocabulary();
+  Structure path(vocab, 4);
+  RelId e = *vocab->FindRelation("E");
+  RelId start = *vocab->FindRelation("Start");
+  path.AddTuple(e, {0, 1});
+  path.AddTuple(e, {1, 2});
+  path.AddTuple(e, {2, 3});
+  path.AddTuple(start, {0});
+  auto result = EvaluateDatalog(*program, path);
+  ASSERT_TRUE(result.ok());
+  const TupleSet& even = result->idb_relations[*program->FindIdb("Even")];
+  const TupleSet& odd = result->idb_relations[*program->FindIdb("Odd")];
+  EXPECT_TRUE(even.Contains({0}));
+  EXPECT_TRUE(odd.Contains({1}));
+  EXPECT_TRUE(even.Contains({2}));
+  EXPECT_TRUE(odd.Contains({3}));
+  EXPECT_FALSE(even.Contains({1}));
+}
+
+TEST(Non2ColorabilityTest, MatchesGraphColoring) {
+  // The paper's 4-Datalog program detects odd cycles (Section 4.1).
+  DatalogProgram program = BuildNon2ColorabilityProgram();
+  EXPECT_TRUE(program.IsKDatalog(4));
+  EXPECT_FALSE(program.IsKDatalog(3));
+  auto vocab = program.edb_vocabulary();
+  for (size_t n = 3; n <= 9; ++n) {
+    Structure cn = UndirectedCycle(vocab, n);
+    auto derived = GoalDerivable(program, cn);
+    ASSERT_TRUE(derived.ok());
+    EXPECT_EQ(*derived, n % 2 == 1) << "n=" << n;
+  }
+  // Disjoint union of two even cycles stays 2-colorable.
+  Structure two_even(vocab, 10);
+  for (int i = 0; i < 4; ++i) {
+    two_even.AddTuple(0, {static_cast<Element>(i),
+                          static_cast<Element>((i + 1) % 4)});
+    two_even.AddTuple(0, {static_cast<Element>((i + 1) % 4),
+                          static_cast<Element>(i)});
+  }
+  for (int i = 0; i < 6; ++i) {
+    two_even.AddTuple(0, {static_cast<Element>(4 + i),
+                          static_cast<Element>(4 + (i + 1) % 6)});
+    two_even.AddTuple(0, {static_cast<Element>(4 + (i + 1) % 6),
+                          static_cast<Element>(4 + i)});
+  }
+  auto derived = GoalDerivable(program, two_even);
+  ASSERT_TRUE(derived.ok());
+  EXPECT_FALSE(*derived);
+}
+
+TEST(TupleSetTest, Basics) {
+  TupleSet s(2);
+  EXPECT_TRUE(s.Insert({0, 1}));
+  EXPECT_FALSE(s.Insert({0, 1}));
+  EXPECT_TRUE(s.Contains({0, 1}));
+  EXPECT_FALSE(s.Contains({1, 0}));
+  EXPECT_EQ(s.size(), 1u);
+  TupleSet nullary(0);
+  EXPECT_TRUE(nullary.empty());
+  EXPECT_TRUE(nullary.Insert({}));
+  EXPECT_FALSE(nullary.empty());
+}
+
+}  // namespace
+}  // namespace cqcs

@@ -1,0 +1,180 @@
+// Failure-injection and corner-case coverage across modules: resource
+// limits surface as errors (never wrong answers), degenerate inputs work,
+// and diagnostics render.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/io.h"
+#include "cq/containment.h"
+#include "cq/parser.h"
+#include "datalog/parser.h"
+#include "datalog/evaluator.h"
+#include "fo/evaluate.h"
+#include "fo/from_decomposition.h"
+#include "gen/generators.h"
+#include "solver/backtracking.h"
+#include "treewidth/decomposition.h"
+
+namespace cqcs {
+namespace {
+
+TEST(LimitsTest, ContainmentNodeLimitIsAnErrorNotAnAnswer) {
+  auto vocab = MakeGraphVocabulary();
+  // A containment instance needing real search: random queries, tiny limit.
+  Rng rng(11);
+  ConjunctiveQuery q1 = RandomQuery(vocab, 6, 10, rng);
+  ConjunctiveQuery q2 = RandomQuery(vocab, 6, 10, rng);
+  SolveOptions options;
+  options.node_limit = 1;
+  options.propagation = Propagation::kForwardChecking;
+  auto r = IsContained(q1, q2, options);
+  if (!r.ok()) {
+    EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+  } else {
+    // Decided within one node — must agree with the unlimited answer.
+    EXPECT_EQ(*r, *IsContained(q1, q2));
+  }
+}
+
+TEST(LimitsTest, EvaluationNodeLimit) {
+  auto vocab = MakeGraphVocabulary();
+  ConjunctiveQuery chain = ChainQuery(vocab, 6);
+  Rng rng(13);
+  Structure d = RandomGraphStructure(vocab, 12, 0.5, rng, false);
+  SolveOptions options;
+  options.node_limit = 2;
+  options.propagation = Propagation::kForwardChecking;
+  auto r = Evaluate(chain, d, options);
+  if (!r.ok()) {
+    EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+  }
+}
+
+TEST(SolverEdgeTest, ProjectionOntoAllVariables) {
+  auto vocab = MakeGraphVocabulary();
+  Structure path = PathStructure(vocab, 2);
+  Structure k3 = CliqueStructure(vocab, 3);
+  BacktrackingSolver solver(path, k3);
+  std::vector<Element> all = {0, 1};
+  auto rows = solver.EnumerateProjections(all);
+  EXPECT_EQ(rows.size(), 6u);  // all homs distinct on full projection
+}
+
+TEST(SolverEdgeTest, ProjectionLimit) {
+  auto vocab = MakeGraphVocabulary();
+  Structure path = PathStructure(vocab, 2);
+  Structure k3 = CliqueStructure(vocab, 3);
+  BacktrackingSolver solver(path, k3);
+  std::vector<Element> proj = {0};
+  auto rows = solver.EnumerateProjections(proj, 2);
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST(SolverEdgeTest, RepeatedProjectionVariables) {
+  auto vocab = MakeGraphVocabulary();
+  Structure path = PathStructure(vocab, 2);
+  Structure k3 = CliqueStructure(vocab, 3);
+  BacktrackingSolver solver(path, k3);
+  std::vector<Element> proj = {0, 0, 1};
+  auto rows = solver.EnumerateProjections(proj);
+  for (const auto& row : rows) {
+    ASSERT_EQ(row.size(), 3u);
+    EXPECT_EQ(row[0], row[1]);
+  }
+}
+
+TEST(IoEdgeTest, PrintEmptyStructure) {
+  auto vocab = MakeGraphVocabulary();
+  Structure empty(vocab, 0);
+  std::string text = PrintStructure(empty);
+  auto reparsed = ParseStructure(text, vocab);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->universe_size(), 0u);
+}
+
+TEST(IoEdgeTest, CommentsAndBlankLines) {
+  auto parsed = ParseStructure(
+      "# header\n\nuniverse 2\n# mid comment\nE/2: 0 1  # trailing\n\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->TotalTuples(), 1u);
+}
+
+TEST(HomomorphismEdgeTest, CheckReportsViolatedTuple) {
+  auto vocab = MakeGraphVocabulary();
+  Structure a = PathStructure(vocab, 2);
+  Structure b(vocab, 2);  // no edges
+  Homomorphism h = {0, 1};
+  Status s = CheckHomomorphism(a, b, h);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("relation E"), std::string::npos);
+}
+
+TEST(DatalogEdgeTest, GoalWithArguments) {
+  auto program = ParseDatalogProgram(
+      "T(X, Y) :- E(X, Y).\n"
+      "T(X, Y) :- T(X, Z), E(Z, Y).\n",
+      "T");
+  ASSERT_TRUE(program.ok());
+  Structure path(program->edb_vocabulary(), 3);
+  path.AddTuple(0, {0, 1});
+  path.AddTuple(0, {1, 2});
+  auto derivable = GoalDerivable(*program, path);
+  ASSERT_TRUE(derivable.ok());
+  EXPECT_TRUE(*derivable);
+  Structure empty(program->edb_vocabulary(), 3);
+  auto not_derivable = GoalDerivable(*program, empty);
+  ASSERT_TRUE(not_derivable.ok());
+  EXPECT_FALSE(*not_derivable);
+}
+
+TEST(DatalogEdgeTest, RoundsCounterTracksDepth) {
+  auto program = ParseDatalogProgram(
+      "T(X, Y) :- E(X, Y).\n"
+      "T(X, Y) :- T(X, Z), E(Z, Y).\n",
+      "T");
+  ASSERT_TRUE(program.ok());
+  Structure path(program->edb_vocabulary(), 6);
+  for (Element i = 0; i + 1 < 6; ++i) path.AddTuple(0, {i, i + 1});
+  auto result = EvaluateDatalog(*program, path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->rounds, 3u);  // a length-5 path needs several rounds
+  EXPECT_EQ(result->idb_relations[0].size(), 15u);  // all i<j pairs
+}
+
+TEST(FoEdgeTest, StatsAreTracked) {
+  auto vocab = MakeGraphVocabulary();
+  Structure grid = GridStructure(vocab, 2, 3);
+  auto sentence = BuildSentence(grid);
+  ASSERT_TRUE(sentence.ok());
+  Structure k3 = CliqueStructure(vocab, 3);
+  FoEvalStats stats;
+  auto r = EvaluateFoSentence(*sentence, k3, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(stats.join_count, 0u);
+  EXPECT_GT(stats.max_intermediate_rows, 0u);
+}
+
+TEST(TreewidthEdgeTest, ExactOnDisconnectedGraph) {
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);  // triangle
+  g.AddEdge(3, 4);  // edge + isolated vertex 5
+  EXPECT_EQ(*ExactTreewidth(g), 2);
+}
+
+TEST(TreewidthEdgeTest, EliminationOrderChecked) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  std::vector<uint32_t> short_order = {0, 1};
+  EXPECT_DEATH(DecompositionFromEliminationOrder(g, short_order),
+               "order must list every vertex once");
+}
+
+TEST(CheckMacrosTest, CheckFailAborts) {
+  EXPECT_DEATH(CQCS_CHECK(1 == 2), "CQCS_CHECK failed");
+}
+
+}  // namespace
+}  // namespace cqcs

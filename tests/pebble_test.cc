@@ -1,0 +1,218 @@
+// Tests for the existential k-pebble game solver, its agreement with the
+// generated k-Datalog program ρ_B (Theorem 4.7), and the uniform algorithm
+// of Theorem 4.9 / Remark 4.10.2.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datalog/evaluator.h"
+#include "gen/generators.h"
+#include "schaefer/boolean_relation.h"
+#include "datalog/rho_b.h"
+#include "pebble/game.h"
+#include "solver/backtracking.h"
+
+namespace cqcs {
+namespace {
+
+VocabularyPtr GraphVocab() {
+  auto v = std::make_shared<Vocabulary>();
+  v->AddRelation("E", 2);
+  return v;
+}
+
+Structure UndirectedCycle(const VocabularyPtr& vocab, size_t n) {
+  Structure s(vocab, n);
+  for (size_t i = 0; i < n; ++i) {
+    auto u = static_cast<Element>(i);
+    auto v = static_cast<Element>((i + 1) % n);
+    s.AddTuple(0, {u, v});
+    s.AddTuple(0, {v, u});
+  }
+  return s;
+}
+
+Structure RandomGraph(const VocabularyPtr& vocab, size_t n, double p,
+                      Rng& rng, bool symmetric) {
+  Structure s(vocab, n);
+  for (Element u = 0; u < n; ++u) {
+    for (Element v = 0; v < n; ++v) {
+      if (u == v) continue;
+      if (symmetric && v < u) continue;
+      if (rng.Chance(p)) {
+        s.AddTuple(0, {u, v});
+        if (symmetric) s.AddTuple(0, {v, u});
+      }
+    }
+  }
+  return s;
+}
+
+TEST(PebbleGameTest, HomomorphismImpliesDuplicatorWins) {
+  // If hom(A -> B) exists, the Duplicator wins for every k (play h).
+  auto vocab = GraphVocab();
+  Structure c6 = UndirectedCycle(vocab, 6);
+  Structure k2 = UndirectedCycle(vocab, 2);
+  for (uint32_t k = 1; k <= 3; ++k) {
+    ExistentialPebbleGame game(c6, k2, k);
+    EXPECT_TRUE(game.DuplicatorWins()) << "k=" << k;
+  }
+}
+
+TEST(PebbleGameTest, SoundnessOnRandomInstances) {
+  // Spoiler winning certifies no homomorphism (proof of Theorem 4.8).
+  Rng rng(23);
+  auto vocab = GraphVocab();
+  for (int trial = 0; trial < 40; ++trial) {
+    Structure a = RandomGraph(vocab, 3 + rng.Below(4), 0.4, rng, false);
+    Structure b = RandomGraph(vocab, 2 + rng.Below(3), 0.4, rng, false);
+    bool hom = HasHomomorphism(a, b);
+    for (uint32_t k = 1; k <= 3; ++k) {
+      ExistentialPebbleGame game(a, b, k);
+      if (hom) {
+        EXPECT_TRUE(game.DuplicatorWins())
+            << "hom exists but Spoiler wins, k=" << k;
+      }
+      if (game.SpoilerWins()) {
+        EXPECT_FALSE(hom);
+      }
+    }
+  }
+}
+
+TEST(PebbleGameTest, MonotoneInK) {
+  // More pebbles only help the Spoiler.
+  Rng rng(29);
+  auto vocab = GraphVocab();
+  for (int trial = 0; trial < 20; ++trial) {
+    Structure a = RandomGraph(vocab, 3 + rng.Below(3), 0.5, rng, false);
+    Structure b = RandomGraph(vocab, 2 + rng.Below(3), 0.5, rng, false);
+    bool spoiler_prev = false;
+    for (uint32_t k = 1; k <= 3; ++k) {
+      bool spoiler = SpoilerWinsExistentialKPebble(a, b, k);
+      if (spoiler_prev) EXPECT_TRUE(spoiler) << "k=" << k;
+      spoiler_prev = spoiler;
+    }
+  }
+}
+
+TEST(PebbleGameTest, OddCycleVsEdgeSpoilerWinsWithFourPebbles) {
+  // non-2-colorability is 4-Datalog expressible (Section 4.1), so with k=4
+  // the Spoiler beats every non-2-colorable A against K2 (Theorem 4.8).
+  auto vocab = GraphVocab();
+  Structure k2 = UndirectedCycle(vocab, 2);
+  for (size_t n = 3; n <= 7; n += 2) {
+    Structure cn = UndirectedCycle(vocab, n);
+    ExistentialPebbleGame game(cn, k2, 4);
+    EXPECT_TRUE(game.SpoilerWins()) << "n=" << n;
+  }
+  for (size_t n = 4; n <= 8; n += 2) {
+    Structure cn = UndirectedCycle(vocab, n);
+    ExistentialPebbleGame game(cn, k2, 4);
+    EXPECT_TRUE(game.DuplicatorWins()) << "n=" << n;
+  }
+}
+
+TEST(PebbleGameTest, EmptyTargetSpoilerWins) {
+  auto vocab = GraphVocab();
+  Structure a(vocab, 2);
+  Structure empty(vocab, 0);
+  ExistentialPebbleGame game(a, empty, 2);
+  EXPECT_TRUE(game.SpoilerWins());
+}
+
+TEST(PebbleGameTest, EmptySourceDuplicatorWins) {
+  auto vocab = GraphVocab();
+  Structure empty(vocab, 0);
+  Structure b = UndirectedCycle(vocab, 3);
+  ExistentialPebbleGame game(empty, b, 2);
+  EXPECT_TRUE(game.DuplicatorWins());
+}
+
+TEST(PebbleGameTest, DuplicatorWinsFromPositions) {
+  auto vocab = GraphVocab();
+  Structure c4 = UndirectedCycle(vocab, 4);
+  Structure k2 = UndirectedCycle(vocab, 2);
+  ExistentialPebbleGame game(c4, k2, 2);
+  ASSERT_TRUE(game.DuplicatorWins());
+  // Adjacent elements of C4 pebbled on the two distinct K2 endpoints: fine.
+  EXPECT_TRUE(game.DuplicatorWinsFrom({{0, 0}, {1, 1}}));
+  // Adjacent elements pebbled on the same endpoint: not a partial hom.
+  EXPECT_FALSE(game.DuplicatorWinsFrom({{0, 0}, {1, 0}}));
+  // Conflicting pebbles on the same element: losing by definition.
+  EXPECT_FALSE(game.DuplicatorWinsFrom({{0, 0}, {0, 1}}));
+}
+
+TEST(RhoBTest, ProgramIsKDatalog) {
+  auto vocab = GraphVocab();
+  Structure k2 = UndirectedCycle(vocab, 2);
+  for (uint32_t k = 1; k <= 3; ++k) {
+    auto program = BuildSpoilerWinProgram(k2, k);
+    ASSERT_TRUE(program.ok());
+    EXPECT_TRUE(program->IsKDatalog(k))
+        << "body width " << program->MaxBodyWidth() << ", head width "
+        << program->MaxHeadWidth();
+    EXPECT_EQ(program->idb_count(), (1u << k) + 1);  // |B|^k IDBs + goal
+  }
+}
+
+TEST(RhoBTest, AgreesWithGameSolver) {
+  // Theorem 4.7(2): ρ_B derives its goal on A iff the Spoiler wins the
+  // existential k-pebble game on (A, B). Cross-validate the two independent
+  // implementations on random instances.
+  Rng rng(41);
+  auto vocab = GraphVocab();
+  for (int trial = 0; trial < 25; ++trial) {
+    Structure b = RandomGraph(vocab, 2 + rng.Below(2), 0.5, rng, false);
+    Structure a = RandomGraph(vocab, 2 + rng.Below(4), 0.4, rng, false);
+    for (uint32_t k = 1; k <= 2; ++k) {
+      auto program = BuildSpoilerWinProgram(b, k);
+      ASSERT_TRUE(program.ok()) << program.status().ToString();
+      auto datalog_says = GoalDerivable(*program, a);
+      ASSERT_TRUE(datalog_says.ok()) << datalog_says.status().ToString();
+      bool game_says = SpoilerWinsExistentialKPebble(a, b, k);
+      EXPECT_EQ(*datalog_says, game_says)
+          << "trial " << trial << " k=" << k;
+    }
+  }
+}
+
+TEST(RhoBTest, RejectsDegenerateInputs) {
+  auto vocab = GraphVocab();
+  Structure b = UndirectedCycle(vocab, 2);
+  EXPECT_FALSE(BuildSpoilerWinProgram(b, 0).ok());
+  Structure empty(vocab, 0);
+  EXPECT_FALSE(BuildSpoilerWinProgram(empty, 2).ok());
+}
+
+TEST(Remark410Test, HornStructureGameDecidesExactly) {
+  // Remark 4.10.2: for a k-ary Horn Boolean structure B, ¬CSP(B) is
+  // k-Datalog expressible, so the k-pebble game decides CSP(A, B) exactly
+  // (Theorem 4.9). Cross-validate against the backtracking solver.
+  Rng rng(53);
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->AddRelation("R", 2);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random AND-closed binary Boolean relation.
+    BooleanRelation rel(2);
+    for (int i = 0; i < 3; ++i) rel.Add(rng.Next() & 3);
+    CloseUnder(rel, ClosureOp::kAnd);
+    Structure b(vocab, 2);
+    Relation packed = rel.ToRelation();
+    for (uint32_t t = 0; t < packed.tuple_count(); ++t) {
+      b.AddTuple(0, packed.tuple(t));
+    }
+    Structure a(vocab, 2 + rng.Below(4));
+    size_t tuples = rng.Below(7);
+    for (size_t t = 0; t < tuples; ++t) {
+      a.AddTuple(0, {static_cast<Element>(rng.Below(a.universe_size())),
+                     static_cast<Element>(rng.Below(a.universe_size()))});
+    }
+    bool hom = HasHomomorphism(a, b);
+    bool spoiler = SpoilerWinsExistentialKPebble(a, b, 2);
+    EXPECT_EQ(!hom, spoiler) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace cqcs

@@ -1,0 +1,199 @@
+// Cross-module property tests: algebraic laws of the homomorphism order,
+// agreement of all independent decision procedures, and classical
+// game-theoretic facts, swept over seeds with parameterized gtest.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/ops.h"
+#include "core/structure_core.h"
+#include "cq/canonical.h"
+#include "cq/containment.h"
+#include "fo/evaluate.h"
+#include "fo/from_decomposition.h"
+#include "gen/generators.h"
+#include "pebble/game.h"
+#include "solver/backtracking.h"
+#include "treewidth/hom_dp.h"
+
+namespace cqcs {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<int> {
+ protected:
+  Rng MakeRng(uint64_t salt) const {
+    return Rng(static_cast<uint64_t>(GetParam()) * 0x9e3779b9ULL + salt);
+  }
+};
+
+TEST_P(SeededProperty, DisjointUnionIsCoproduct) {
+  // hom(A ⊎ B -> C) iff hom(A -> C) and hom(B -> C).
+  Rng rng = MakeRng(1);
+  auto vocab = MakeGraphVocabulary();
+  Structure a = RandomGraphStructure(vocab, 2 + rng.Below(4), 0.4, rng, false);
+  Structure b = RandomGraphStructure(vocab, 2 + rng.Below(4), 0.4, rng, false);
+  Structure c = RandomGraphStructure(vocab, 2 + rng.Below(3), 0.5, rng, false);
+  EXPECT_EQ(HasHomomorphism(DisjointUnion(a, b), c),
+            HasHomomorphism(a, c) && HasHomomorphism(b, c));
+}
+
+TEST_P(SeededProperty, ProductIsProduct) {
+  // hom(C -> A × B) iff hom(C -> A) and hom(C -> B).
+  Rng rng = MakeRng(2);
+  auto vocab = MakeGraphVocabulary();
+  Structure a = RandomGraphStructure(vocab, 2 + rng.Below(3), 0.5, rng, false);
+  Structure b = RandomGraphStructure(vocab, 2 + rng.Below(3), 0.5, rng, false);
+  Structure c = RandomGraphStructure(vocab, 2 + rng.Below(4), 0.4, rng, false);
+  EXPECT_EQ(HasHomomorphism(c, Product(a, b)),
+            HasHomomorphism(c, a) && HasHomomorphism(c, b));
+}
+
+TEST_P(SeededProperty, HomomorphismsCompose) {
+  Rng rng = MakeRng(3);
+  auto vocab = MakeGraphVocabulary();
+  Structure a = RandomGraphStructure(vocab, 2 + rng.Below(4), 0.3, rng, false);
+  Structure b = RandomGraphStructure(vocab, 2 + rng.Below(3), 0.6, rng, false);
+  Structure c = RandomGraphStructure(vocab, 2 + rng.Below(3), 0.7, rng, false);
+  auto h1 = FindHomomorphism(a, b);
+  auto h2 = FindHomomorphism(b, c);
+  if (h1.has_value() && h2.has_value()) {
+    EXPECT_TRUE(IsHomomorphism(a, c, Compose(*h1, *h2)));
+  }
+}
+
+TEST_P(SeededProperty, ContainmentIsPreorder) {
+  Rng rng = MakeRng(4);
+  auto vocab = MakeGraphVocabulary();
+  ConjunctiveQuery q1 = RandomQuery(vocab, 2 + rng.Below(3), 2 + rng.Below(3),
+                                    rng);
+  ConjunctiveQuery q2 = RandomQuery(vocab, 2 + rng.Below(3), 2 + rng.Below(3),
+                                    rng);
+  ConjunctiveQuery q3 = RandomQuery(vocab, 2 + rng.Below(3), 2 + rng.Below(3),
+                                    rng);
+  // Reflexivity.
+  EXPECT_TRUE(*IsContained(q1, q1));
+  // Transitivity.
+  if (*IsContained(q1, q2) && *IsContained(q2, q3)) {
+    EXPECT_TRUE(*IsContained(q1, q3));
+  }
+}
+
+TEST_P(SeededProperty, EvaluationMonotoneUnderContainment) {
+  // Q1 ⊆ Q2 implies Q1(D) ⊆ Q2(D) for every database — the defining
+  // property, checked on random instances.
+  Rng rng = MakeRng(5);
+  auto vocab = MakeGraphVocabulary();
+  ConjunctiveQuery q1 = RandomQuery(vocab, 2 + rng.Below(3), 2 + rng.Below(3),
+                                    rng);
+  ConjunctiveQuery q2 = RandomQuery(vocab, 2 + rng.Below(3), 2 + rng.Below(2),
+                                    rng);
+  if (!*IsContained(q1, q2)) return;
+  Structure d = RandomGraphStructure(vocab, 2 + rng.Below(4), 0.5, rng, false);
+  auto rows1 = Evaluate(q1, d);
+  auto rows2 = Evaluate(q2, d);
+  ASSERT_TRUE(rows1.ok() && rows2.ok());
+  std::set<std::vector<Element>> set2(rows2->begin(), rows2->end());
+  for (const auto& row : *rows1) {
+    EXPECT_TRUE(set2.count(row) > 0)
+        << ToString(q1) << " ⊆ " << ToString(q2);
+  }
+}
+
+TEST_P(SeededProperty, AllDecisionProceduresAgreeOnBoundedTreewidth) {
+  // Backtracking, treewidth DP, the ∃FO^{w+1} sentence, and (for k >= |A|)
+  // the pebble game must all agree.
+  Rng rng = MakeRng(6);
+  auto vocab = MakeGraphVocabulary();
+  Graph ga = RandomPartialKTree(4 + rng.Below(4), 2, 0.8, rng);
+  Structure a = StructureFromGraph(vocab, ga);
+  Structure b = RandomGraphStructure(vocab, 2 + rng.Below(3), 0.5, rng, true);
+  bool backtracking = HasHomomorphism(a, b);
+  auto dp = SolveBoundedTreewidth(a, b);
+  ASSERT_TRUE(dp.ok());
+  EXPECT_EQ(dp->has_value(), backtracking);
+  auto sentence = BuildSentence(a);
+  ASSERT_TRUE(sentence.ok());
+  auto fo_says = EvaluateFoSentence(*sentence, b);
+  ASSERT_TRUE(fo_says.ok());
+  EXPECT_EQ(*fo_says, backtracking);
+}
+
+TEST_P(SeededProperty, FullPebbleGameIsExact) {
+  // With k = |A| pebbles the existential game decides homomorphism
+  // existence exactly (the Duplicator's strategy must BE a homomorphism).
+  Rng rng = MakeRng(7);
+  auto vocab = MakeGraphVocabulary();
+  size_t n = 2 + rng.Below(3);
+  Structure a = RandomGraphStructure(vocab, n, 0.5, rng, false);
+  Structure b = RandomGraphStructure(vocab, 2 + rng.Below(3), 0.5, rng, false);
+  bool hom = HasHomomorphism(a, b);
+  bool spoiler = SpoilerWinsExistentialKPebble(a, b, static_cast<uint32_t>(n));
+  EXPECT_EQ(!hom, spoiler);
+}
+
+TEST_P(SeededProperty, TreewidthBoundMakesGameExact) {
+  // Classical consequence of Sections 4 and 5: if A has treewidth < k,
+  // the existential k-pebble game decides hom(A -> B) exactly.
+  Rng rng = MakeRng(8);
+  auto vocab = MakeGraphVocabulary();
+  Graph ga = RandomPartialKTree(4 + rng.Below(4), 1, 0.9, rng);  // width <= 1
+  Structure a = StructureFromGraph(vocab, ga);
+  Structure b = RandomGraphStructure(vocab, 2 + rng.Below(3), 0.4, rng, true);
+  bool hom = HasHomomorphism(a, b);
+  bool spoiler = SpoilerWinsExistentialKPebble(a, b, 2);
+  EXPECT_EQ(!hom, spoiler);
+}
+
+TEST_P(SeededProperty, CoreIdempotentAndEquivalent) {
+  Rng rng = MakeRng(9);
+  auto vocab = MakeGraphVocabulary();
+  Structure a = RandomGraphStructure(vocab, 2 + rng.Below(4), 0.4, rng, true);
+  CoreResult core = ComputeCore(a);
+  EXPECT_TRUE(IsCore(core.core));
+  EXPECT_TRUE(HasHomomorphism(a, core.core));
+  EXPECT_TRUE(HasHomomorphism(core.core, a));
+  // Idempotence: the core of the core is itself.
+  CoreResult again = ComputeCore(core.core);
+  EXPECT_EQ(again.kept_elements.size(), core.core.universe_size());
+}
+
+TEST_P(SeededProperty, CanonicalQueryGaloisConnection) {
+  // hom(A -> B) iff Q_B ⊆ Q_A (Section 2) — on random structure pairs.
+  Rng rng = MakeRng(10);
+  auto vocab = MakeGraphVocabulary();
+  Structure a = RandomGraphStructure(vocab, 2 + rng.Below(3), 0.4, rng, false);
+  Structure b = RandomGraphStructure(vocab, 2 + rng.Below(3), 0.4, rng, false);
+  ConjunctiveQuery qa = CanonicalQuery(a);
+  ConjunctiveQuery qb = CanonicalQuery(b);
+  auto contained = IsContained(qb, qa);
+  ASSERT_TRUE(contained.ok());
+  EXPECT_EQ(HasHomomorphism(a, b), *contained);
+}
+
+TEST_P(SeededProperty, SolutionCountMatchesBruteForce) {
+  Rng rng = MakeRng(11);
+  auto vocab = MakeGraphVocabulary();
+  size_t n = 1 + rng.Below(3);
+  size_t m = 1 + rng.Below(3);
+  Structure a = RandomGraphStructure(vocab, n, 0.5, rng, false);
+  Structure b = RandomGraphStructure(vocab, m, 0.5, rng, false);
+  // Brute force over all m^n maps.
+  size_t expected = 0;
+  std::vector<Element> h(n, 0);
+  while (true) {
+    if (IsHomomorphism(a, b, h)) ++expected;
+    size_t pos = 0;
+    while (pos < n && ++h[pos] == m) {
+      h[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  BacktrackingSolver solver(a, b);
+  EXPECT_EQ(solver.CountSolutions(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace cqcs

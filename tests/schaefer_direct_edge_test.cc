@@ -1,0 +1,187 @@
+// Edge-case tests for the direct Theorem 3.4 algorithms: multi-relation
+// vocabularies, empty relations, repeated elements, and minimal/maximal
+// model properties.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gen/generators.h"
+#include "schaefer/booleanize.h"
+#include "schaefer/direct.h"
+#include "schaefer/uniform.h"
+#include "solver/backtracking.h"
+
+namespace cqcs {
+namespace {
+
+TEST(DirectEdgeTest, MultiRelationVocabulary) {
+  // Two relations, both Horn, interacting through shared elements:
+  // Imp(x, y): x -> y; One(x): x must be 1.
+  auto vocab = std::make_shared<Vocabulary>();
+  RelId imp = vocab->AddRelation("Imp", 2);
+  RelId one = vocab->AddRelation("One", 1);
+  Structure b(vocab, 2);
+  b.AddTuple(imp, {0, 0});
+  b.AddTuple(imp, {0, 1});
+  b.AddTuple(imp, {1, 1});
+  b.AddTuple(one, {1});
+  // Chain x0 -> x1 -> x2 with One(x0): everything is forced to 1.
+  Structure a(vocab, 3);
+  a.AddTuple(one, {0});
+  a.AddTuple(imp, {0, 1});
+  a.AddTuple(imp, {1, 2});
+  auto h = SolveHornDirect(a, b);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(h->has_value());
+  EXPECT_EQ(**h, (Homomorphism{1, 1, 1}));
+  EXPECT_TRUE(IsHomomorphism(a, b, **h));
+}
+
+TEST(DirectEdgeTest, HornMinimalityProperty) {
+  // The Horn algorithm returns the MINIMAL model: every other homomorphism
+  // is pointwise >= it. Check against full enumeration.
+  Rng rng(101);
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->AddRelation("R", 3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Structure b = RandomClosedBooleanStructure(vocab, 3, ClosureOp::kAnd, 3,
+                                               rng);
+    Structure a = RandomStructure(vocab, 3 + rng.Below(3), 4, rng);
+    auto h = SolveHornDirect(a, b);
+    ASSERT_TRUE(h.ok());
+    if (!h->has_value()) {
+      EXPECT_FALSE(HasHomomorphism(a, b));
+      continue;
+    }
+    BacktrackingSolver solver(a, b);
+    solver.ForEachSolution([&](const Homomorphism& other) {
+      for (size_t e = 0; e < other.size(); ++e) {
+        EXPECT_LE((**h)[e], other[e]) << "not minimal at element " << e;
+      }
+      return true;
+    });
+  }
+}
+
+TEST(DirectEdgeTest, DualHornMaximalityProperty) {
+  Rng rng(103);
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->AddRelation("R", 3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Structure b = RandomClosedBooleanStructure(vocab, 3, ClosureOp::kOr, 3,
+                                               rng);
+    Structure a = RandomStructure(vocab, 3 + rng.Below(3), 4, rng);
+    auto h = SolveDualHornDirect(a, b);
+    ASSERT_TRUE(h.ok());
+    if (!h->has_value()) {
+      EXPECT_FALSE(HasHomomorphism(a, b));
+      continue;
+    }
+    BacktrackingSolver solver(a, b);
+    solver.ForEachSolution([&](const Homomorphism& other) {
+      for (size_t e = 0; e < other.size(); ++e) {
+        EXPECT_GE((**h)[e], other[e]) << "not maximal at element " << e;
+      }
+      return true;
+    });
+  }
+}
+
+TEST(DirectEdgeTest, EmptyTargetRelationWithConstraints) {
+  auto vocab = MakeGraphVocabulary();
+  Structure b(vocab, 2);  // E empty but Horn (vacuously)
+  Structure a(vocab, 2);
+  a.AddTuple(0, {0, 1});
+  auto horn = SolveHornDirect(a, b);
+  ASSERT_TRUE(horn.ok());
+  EXPECT_FALSE(horn->has_value());
+  auto bij = SolveBijunctiveDirect(a, b);
+  ASSERT_TRUE(bij.ok());
+  EXPECT_FALSE(bij->has_value());
+  auto aff = SolveAffineViaEquations(a, b);
+  ASSERT_TRUE(aff.ok());
+  EXPECT_FALSE(aff->has_value());
+}
+
+TEST(DirectEdgeTest, NoConstraintsAtAll) {
+  auto vocab = MakeGraphVocabulary();
+  Structure b(vocab, 2);  // empty relation
+  Structure a(vocab, 3);  // three isolated elements
+  for (auto solve : {SolveHornDirect, SolveBijunctiveDirect,
+                     SolveAffineViaEquations, SolveDualHornDirect}) {
+    auto h = solve(a, b);
+    ASSERT_TRUE(h.ok());
+    ASSERT_TRUE(h->has_value());
+    EXPECT_TRUE(IsHomomorphism(a, b, **h));
+  }
+}
+
+TEST(DirectEdgeTest, RepeatedElementsInTuples) {
+  // A tuple (x, x) forces equal images at both positions; relations where
+  // no tuple has equal components then force failure.
+  auto vocab = MakeGraphVocabulary();
+  Structure b(vocab, 2);
+  b.AddTuple(0, {0, 1});
+  b.AddTuple(0, {1, 0});  // XOR: bijunctive+affine, no constant pairs
+  Structure a(vocab, 1);
+  a.AddTuple(0, {0, 0});
+  auto bij = SolveBijunctiveDirect(a, b);
+  ASSERT_TRUE(bij.ok());
+  EXPECT_FALSE(bij->has_value());
+  auto aff = SolveAffineViaEquations(a, b);
+  ASSERT_TRUE(aff.ok());
+  EXPECT_FALSE(aff->has_value());
+}
+
+TEST(DirectEdgeTest, BijunctiveBothPhasesNeeded) {
+  // An instance where the first guess of a phase fails and the flip
+  // succeeds: x XOR y with a unit pin.
+  auto vocab = std::make_shared<Vocabulary>();
+  RelId x = vocab->AddRelation("Xor", 2);
+  RelId zero = vocab->AddRelation("Zero", 1);
+  Structure b(vocab, 2);
+  b.AddTuple(x, {0, 1});
+  b.AddTuple(x, {1, 0});
+  b.AddTuple(zero, {0});
+  Structure a(vocab, 2);
+  a.AddTuple(x, {0, 1});
+  a.AddTuple(zero, {1});  // element 1 pinned to 0, so element 0 must be 1
+  auto h = SolveBijunctiveDirect(a, b);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(h->has_value());
+  EXPECT_EQ(**h, (Homomorphism{1, 0}));
+}
+
+TEST(BooleanizeEdgeTest, NonPowerOfTwoTargets) {
+  // |B| = 3 leaves the codeword 11 unused; unconstrained elements of A may
+  // decode out of range and must clamp to a valid element.
+  Rng rng(107);
+  auto vocab = MakeGraphVocabulary();
+  Structure b(vocab, 3);
+  b.AddTuple(0, {0, 1});
+  b.AddTuple(0, {1, 2});
+  Structure a(vocab, 3);
+  a.AddTuple(0, {0, 1});  // element 2 is isolated / unconstrained
+  auto boolean = Booleanize(a, b);
+  ASSERT_TRUE(boolean.ok());
+  auto hb = FindHomomorphism(boolean->a_b, boolean->b_b);
+  ASSERT_TRUE(hb.has_value());
+  Homomorphism decoded = DecodeHomomorphism(*boolean, *hb);
+  EXPECT_TRUE(IsHomomorphism(a, b, decoded));
+  EXPECT_LT(decoded[2], 3u);
+}
+
+TEST(BooleanizeEdgeTest, SingletonTarget) {
+  auto vocab = MakeGraphVocabulary();
+  Structure b(vocab, 1);
+  b.AddTuple(0, {0, 0});
+  Structure a = DirectedCycleStructure(vocab, 4);
+  auto boolean = Booleanize(a, b);
+  ASSERT_TRUE(boolean.ok());
+  EXPECT_EQ(boolean->bits, 1u);
+  EXPECT_EQ(HasHomomorphism(a, b),
+            HasHomomorphism(boolean->a_b, boolean->b_b));
+}
+
+}  // namespace
+}  // namespace cqcs

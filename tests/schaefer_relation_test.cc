@@ -1,0 +1,480 @@
+// Tests for Boolean relations, Schaefer classification (Theorem 3.1),
+// defining formulas (Theorem 3.2), GF(2) algebra, and the SAT solvers.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "schaefer/boolean_relation.h"
+#include "schaefer/cnf.h"
+#include "schaefer/formula_build.h"
+#include "schaefer/gf2.h"
+
+namespace cqcs {
+namespace {
+
+BooleanRelation Rel(uint32_t arity, std::initializer_list<uint64_t> tuples) {
+  BooleanRelation r(arity);
+  for (uint64_t t : tuples) r.Add(t);
+  return r;
+}
+
+// Masks here are little-endian in positions: bit p = position p. The paper
+// writes tuples left-to-right; (1,0,0) is mask 0b001.
+constexpr uint64_t T(std::initializer_list<int> bits) {
+  uint64_t mask = 0;
+  int p = 0;
+  for (int b : bits) {
+    if (b) mask |= 1ULL << p;
+    ++p;
+  }
+  return mask;
+}
+
+TEST(BooleanRelationTest, AddContains) {
+  BooleanRelation r = Rel(3, {0b001, 0b010});
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(0b001));
+  EXPECT_FALSE(r.Contains(0b100));
+  r.Add(0b001);  // duplicate ignored
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(BooleanRelationTest, OneInThreeIsNotSchaefer) {
+  // B = {(1,0,0),(0,1,0),(0,0,1)}: positive one-in-three 3-SAT, the paper's
+  // example of an NP-complete CSP(B). It must fall outside all six classes.
+  BooleanRelation r = Rel(3, {T({1, 0, 0}), T({0, 1, 0}), T({0, 0, 1})});
+  EXPECT_EQ(r.Classify(), 0);
+}
+
+TEST(BooleanRelationTest, ZeroAndOneValid) {
+  EXPECT_TRUE(Rel(2, {0b00, 0b01}).IsZeroValid());
+  EXPECT_FALSE(Rel(2, {0b01}).IsZeroValid());
+  EXPECT_TRUE(Rel(2, {0b11}).IsOneValid());
+  EXPECT_FALSE(Rel(2, {0b01}).IsOneValid());
+}
+
+TEST(BooleanRelationTest, HornClosure) {
+  // Implication x -> y = {00, 01... } wait: models of (!x | y) are
+  // 00, 10 (y=1? position 0 = x, position 1 = y): masks x + 2y:
+  // models: x=0,y=0 (0); x=0,y=1 (2); x=1,y=1 (3).
+  BooleanRelation imp = Rel(2, {0b00, 0b10, 0b11});
+  EXPECT_TRUE(imp.IsHorn());
+  EXPECT_TRUE(imp.IsDualHorn());  // also definable as (!x | y): one of each
+  // XOR relation {01, 10} is not Horn (AND gives 00).
+  BooleanRelation xr = Rel(2, {0b01, 0b10});
+  EXPECT_FALSE(xr.IsHorn());
+  EXPECT_FALSE(xr.IsDualHorn());
+}
+
+TEST(BooleanRelationTest, ExampleC4FirstLabeling) {
+  // Example 3.8: C4 Booleanized with a->00, b->01, c->10, d->11 yields
+  // E' = {(0,0,0,1), (0,1,1,0), (1,0,1,1), (1,1,0,0)} — affine but not
+  // Horn, dual Horn, bijunctive, 0-valid, or 1-valid.
+  BooleanRelation e = Rel(4, {T({0, 0, 0, 1}), T({0, 1, 1, 0}),
+                              T({1, 0, 1, 1}), T({1, 1, 0, 0})});
+  SchaeferClassSet classes = e.Classify();
+  EXPECT_EQ(classes, kAffine);
+}
+
+TEST(BooleanRelationTest, ExampleC4SecondLabeling) {
+  // Example 3.8, second labeling a->00, b->10, c->11, d->01:
+  // E'' = {(0,0,1,0), (1,0,1,1), (1,1,0,1), (0,1,0,0)} — bijunctive AND
+  // affine, neither Horn nor dual Horn.
+  BooleanRelation e = Rel(4, {T({0, 0, 1, 0}), T({1, 0, 1, 1}),
+                              T({1, 1, 0, 1}), T({0, 1, 0, 0})});
+  SchaeferClassSet classes = e.Classify();
+  EXPECT_TRUE(classes & kAffine);
+  EXPECT_TRUE(classes & kBijunctive);
+  EXPECT_FALSE(classes & kHorn);
+  EXPECT_FALSE(classes & kDualHorn);
+}
+
+TEST(BooleanRelationTest, TwoColorabilityRelation) {
+  // Example 3.7: R = {(0,1), (1,0)} is both bijunctive and affine.
+  BooleanRelation r = Rel(2, {0b01, 0b10});
+  SchaeferClassSet classes = r.Classify();
+  EXPECT_TRUE(classes & kBijunctive);
+  EXPECT_TRUE(classes & kAffine);
+}
+
+TEST(BooleanRelationTest, AnyCardinalityTwoIsBijunctive) {
+  // The fact Saraiya's case rests on (proof of Proposition 3.6).
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    uint32_t arity = 1 + static_cast<uint32_t>(rng.Below(10));
+    BooleanRelation r(arity);
+    r.Add(rng.Next() & r.FullMask());
+    r.Add(rng.Next() & r.FullMask());
+    EXPECT_TRUE(r.IsBijunctive());
+  }
+}
+
+TEST(BooleanRelationTest, ClosureGeneratedRelationsClassify) {
+  // Closing a random relation under ∧ makes it Horn; under ∨ dual Horn;
+  // under XOR-of-triples affine (property sweep).
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    uint32_t arity = 2 + static_cast<uint32_t>(rng.Below(6));
+    BooleanRelation base(arity);
+    for (int i = 0; i < 4; ++i) base.Add(rng.Next() & base.FullMask());
+
+    BooleanRelation horn = base;
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      auto tuples = horn.tuples();
+      for (uint64_t x : tuples) {
+        for (uint64_t y : tuples) {
+          if (!horn.Contains(x & y)) {
+            horn.Add(x & y);
+            grew = true;
+          }
+        }
+      }
+    }
+    EXPECT_TRUE(horn.IsHorn());
+
+    BooleanRelation affine = base;
+    grew = true;
+    while (grew) {
+      grew = false;
+      auto tuples = affine.tuples();
+      for (uint64_t x : tuples) {
+        for (uint64_t y : tuples) {
+          for (uint64_t z : tuples) {
+            if (!affine.Contains(x ^ y ^ z)) {
+              affine.Add(x ^ y ^ z);
+              grew = true;
+            }
+          }
+        }
+      }
+    }
+    EXPECT_TRUE(affine.IsAffine());
+  }
+}
+
+TEST(BooleanRelationTest, StructureConversionRoundTrip) {
+  Relation r(2);
+  r.Add({0, 1});
+  r.Add({1, 0});
+  auto packed = BooleanRelation::FromRelation(r);
+  ASSERT_TRUE(packed.ok());
+  Relation back = packed->ToRelation();
+  EXPECT_TRUE(r == back);
+}
+
+TEST(BooleanRelationTest, NonBooleanRelationRejected) {
+  Relation r(1);
+  r.Add({2});
+  EXPECT_FALSE(BooleanRelation::FromRelation(r).ok());
+}
+
+TEST(ClassifyStructureTest, IntersectsAcrossRelations) {
+  auto vocab = std::make_shared<Vocabulary>();
+  RelId r1 = vocab->AddRelation("R1", 2);
+  RelId r2 = vocab->AddRelation("R2", 2);
+  Structure b(vocab, 2);
+  // R1 = {01, 10}: bijunctive+affine. R2 = implication: Horn+dual+bijunctive.
+  b.AddTuple(r1, {1, 0});
+  b.AddTuple(r1, {0, 1});
+  b.AddTuple(r2, {0, 0});
+  b.AddTuple(r2, {0, 1});
+  b.AddTuple(r2, {1, 1});
+  SchaeferClassSet classes = ClassifyBooleanStructure(b);
+  EXPECT_TRUE(classes & kBijunctive);
+  EXPECT_FALSE(classes & kHorn);
+  EXPECT_FALSE(classes & kAffine);  // R2 (implication) is not affine
+  EXPECT_TRUE(IsSchaeferStructure(b));
+}
+
+TEST(Gf2Test, RowReduceRank) {
+  Gf2Matrix m(3);
+  m.AddRow(0b011);
+  m.AddRow(0b110);
+  m.AddRow(0b101);  // sum of the other two
+  EXPECT_EQ(m.RowReduce(), 2u);
+}
+
+TEST(Gf2Test, NullspaceOrthogonality) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    uint32_t cols = 2 + static_cast<uint32_t>(rng.Below(10));
+    Gf2Matrix m(cols);
+    for (int r = 0; r < 6; ++r) {
+      m.AddRow(rng.Next() & ((1ULL << cols) - 1));
+    }
+    auto basis = m.NullspaceBasis();
+    for (uint64_t v : basis) {
+      for (size_t r = 0; r < m.rows(); ++r) {
+        EXPECT_EQ(std::popcount(m.row(r) & v) % 2, 0);
+      }
+    }
+    // rank + nullity = cols
+    Gf2Matrix copy = m;
+    EXPECT_EQ(copy.RowReduce() + basis.size(), cols);
+  }
+}
+
+TEST(LinearSystemTest, SolveSimple) {
+  // x0 ^ x1 = 1, x1 = 1  =>  x0 = 0, x1 = 1.
+  LinearSystem sys;
+  sys.var_count = 2;
+  sys.equations.push_back({{0, 1}, true});
+  sys.equations.push_back({{1}, true});
+  auto sol = SolveLinearSystem(sys);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ((*sol)[0], 0);
+  EXPECT_EQ((*sol)[1], 1);
+}
+
+TEST(LinearSystemTest, DetectsInconsistency) {
+  LinearSystem sys;
+  sys.var_count = 2;
+  sys.equations.push_back({{0, 1}, true});
+  sys.equations.push_back({{0, 1}, false});
+  EXPECT_FALSE(SolveLinearSystem(sys).has_value());
+}
+
+TEST(LinearSystemTest, RepeatedVariablesCancel) {
+  // x0 ^ x0 = 0 is vacuous; x0 ^ x0 = 1 is inconsistent.
+  LinearSystem vacuous;
+  vacuous.var_count = 1;
+  vacuous.equations.push_back({{0, 0}, false});
+  EXPECT_TRUE(SolveLinearSystem(vacuous).has_value());
+  LinearSystem bad;
+  bad.var_count = 1;
+  bad.equations.push_back({{0, 0}, true});
+  EXPECT_FALSE(SolveLinearSystem(bad).has_value());
+}
+
+TEST(DefiningFormulaTest, BijunctiveDefinesExactly) {
+  Rng rng(5);
+  for (int trial = 0; trial < 40; ++trial) {
+    uint32_t arity = 1 + static_cast<uint32_t>(rng.Below(5));
+    BooleanRelation r(arity);
+    // Cardinality <= 2 relations are always bijunctive.
+    r.Add(rng.Next() & r.FullMask());
+    if (rng.Chance(0.8)) r.Add(rng.Next() & r.FullMask());
+    auto delta = BuildDefiningFormula(r, kBijunctive);
+    ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+    EXPECT_TRUE(Defines(*delta, r));
+    EXPECT_TRUE(delta->cnf.IsTwoCnf());
+  }
+}
+
+TEST(DefiningFormulaTest, AffineDefinesExactly) {
+  // The C4 relation from Example 3.8 and random affine-closed relations.
+  BooleanRelation c4 = Rel(4, {T({0, 0, 0, 1}), T({0, 1, 1, 0}),
+                               T({1, 0, 1, 1}), T({1, 1, 0, 0})});
+  auto delta = BuildDefiningFormula(c4, kAffine);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(Defines(*delta, c4));
+  // Basis size bound from Theorem 3.2: at most min(k+1, |R|).
+  EXPECT_LE(delta->system.equations.size(), 4u);
+}
+
+TEST(DefiningFormulaTest, HornDefinesExactly) {
+  Rng rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    uint32_t arity = 1 + static_cast<uint32_t>(rng.Below(6));
+    BooleanRelation r(arity);
+    for (int i = 0; i < 3; ++i) r.Add(rng.Next() & r.FullMask());
+    // AND-close.
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      auto tuples = r.tuples();
+      for (uint64_t x : tuples) {
+        for (uint64_t y : tuples) {
+          if (!r.Contains(x & y)) {
+            r.Add(x & y);
+            grew = true;
+          }
+        }
+      }
+    }
+    auto delta = BuildDefiningFormula(r, kHorn);
+    ASSERT_TRUE(delta.ok());
+    EXPECT_TRUE(delta->cnf.IsHorn());
+    EXPECT_TRUE(Defines(*delta, r)) << "arity " << arity;
+  }
+}
+
+TEST(DefiningFormulaTest, DualHornDefinesExactly) {
+  Rng rng(13);
+  for (int trial = 0; trial < 40; ++trial) {
+    uint32_t arity = 1 + static_cast<uint32_t>(rng.Below(6));
+    BooleanRelation r(arity);
+    for (int i = 0; i < 3; ++i) r.Add(rng.Next() & r.FullMask());
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      auto tuples = r.tuples();
+      for (uint64_t x : tuples) {
+        for (uint64_t y : tuples) {
+          if (!r.Contains(x | y)) {
+            r.Add(x | y);
+            grew = true;
+          }
+        }
+      }
+    }
+    auto delta = BuildDefiningFormula(r, kDualHorn);
+    ASSERT_TRUE(delta.ok());
+    EXPECT_TRUE(delta->cnf.IsDualHorn());
+    EXPECT_TRUE(Defines(*delta, r));
+  }
+}
+
+TEST(DefiningFormulaTest, EmptyRelationUnsatisfiable) {
+  BooleanRelation empty(3);
+  for (SchaeferClass k : {kHorn, kDualHorn, kBijunctive, kAffine}) {
+    auto delta = BuildDefiningFormula(empty, k);
+    ASSERT_TRUE(delta.ok()) << SchaeferClassSetToString(k);
+    EXPECT_TRUE(Defines(*delta, empty)) << SchaeferClassSetToString(k);
+  }
+}
+
+TEST(DefiningFormulaTest, WrongClassRejected) {
+  BooleanRelation xr = Rel(2, {0b01, 0b10});  // not Horn
+  EXPECT_FALSE(BuildDefiningFormula(xr, kHorn).ok());
+  BooleanRelation one_in_three =
+      Rel(3, {T({1, 0, 0}), T({0, 1, 0}), T({0, 0, 1})});
+  EXPECT_FALSE(BuildDefiningFormula(one_in_three, kBijunctive).ok());
+  EXPECT_FALSE(BuildDefiningFormula(one_in_three, kAffine).ok());
+}
+
+TEST(DefiningFormulaTest, HornArityBound) {
+  BooleanRelation wide(20);
+  wide.Add(0);
+  EXPECT_TRUE(wide.IsHorn());
+  auto delta = BuildDefiningFormula(wide, kHorn, /*horn_arity_limit=*/16);
+  EXPECT_FALSE(delta.ok());
+  EXPECT_EQ(delta.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(HornSatTest, Basics) {
+  // (x0) & (!x0 | x1) & (!x1 | !x2): minimal model {x0, x1}.
+  CnfFormula f;
+  f.var_count = 3;
+  f.clauses = {{Pos(0)}, {Neg(0), Pos(1)}, {Neg(1), Neg(2)}};
+  auto model = SolveHornSat(f);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ((*model)[0], 1);
+  EXPECT_EQ((*model)[1], 1);
+  EXPECT_EQ((*model)[2], 0);
+}
+
+TEST(HornSatTest, Unsatisfiable) {
+  // (x0) & (!x0).
+  CnfFormula f;
+  f.var_count = 1;
+  f.clauses = {{Pos(0)}, {Neg(0)}};
+  EXPECT_FALSE(SolveHornSat(f).has_value());
+}
+
+TEST(HornSatTest, EmptyClauseUnsat) {
+  CnfFormula f;
+  f.var_count = 1;
+  f.clauses = {{}};
+  EXPECT_FALSE(SolveHornSat(f).has_value());
+}
+
+TEST(HornSatTest, ChainPropagation) {
+  // x0, x0->x1, ..., x_{n-1}->x_n; then !x_n makes it UNSAT.
+  CnfFormula f;
+  f.var_count = 50;
+  f.clauses.push_back({Pos(0)});
+  for (uint32_t i = 0; i + 1 < 50; ++i) {
+    f.clauses.push_back({Neg(i), Pos(i + 1)});
+  }
+  auto model = SolveHornSat(f);
+  ASSERT_TRUE(model.has_value());
+  for (uint32_t i = 0; i < 50; ++i) EXPECT_EQ((*model)[i], 1);
+  f.clauses.push_back({Neg(49)});
+  EXPECT_FALSE(SolveHornSat(f).has_value());
+}
+
+TEST(DualHornSatTest, MirrorsHorn) {
+  // (!x0) & (x0 | !x1): maximal model sets x1=0? x0=0 forced, then clause 2
+  // requires !x1 => x1=0... wait x0|!x1 with x0=0 needs x1=0.
+  CnfFormula f;
+  f.var_count = 2;
+  f.clauses = {{Neg(0)}, {Pos(0), Neg(1)}};
+  auto model = SolveDualHornSat(f);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ((*model)[0], 0);
+  EXPECT_EQ((*model)[1], 0);
+}
+
+TEST(TwoSatTest, SatisfiableChain) {
+  // Implication cycle without contradiction.
+  CnfFormula f;
+  f.var_count = 4;
+  f.clauses = {{Neg(0), Pos(1)}, {Neg(1), Pos(2)}, {Neg(2), Pos(3)},
+               {Neg(3), Pos(0)}};
+  EXPECT_TRUE(SolveTwoSat(f).has_value());
+  EXPECT_TRUE(SolveTwoSatByPropagation(f).has_value());
+}
+
+TEST(TwoSatTest, Contradiction) {
+  // (x0|x1) & (x0|!x1) & (!x0|x1) & (!x0|!x1).
+  CnfFormula f;
+  f.var_count = 2;
+  f.clauses = {{Pos(0), Pos(1)},
+               {Pos(0), Neg(1)},
+               {Neg(0), Pos(1)},
+               {Neg(0), Neg(1)}};
+  EXPECT_FALSE(SolveTwoSat(f).has_value());
+  EXPECT_FALSE(SolveTwoSatByPropagation(f).has_value());
+}
+
+TEST(TwoSatTest, UnitClauses) {
+  CnfFormula f;
+  f.var_count = 2;
+  f.clauses = {{Pos(0)}, {Neg(0), Pos(1)}};
+  auto model = SolveTwoSat(f);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ((*model)[0], 1);
+  EXPECT_EQ((*model)[1], 1);
+}
+
+TEST(TwoSatTest, SccAndPropagationAgreeOnRandomFormulas) {
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    CnfFormula f;
+    f.var_count = 2 + static_cast<uint32_t>(rng.Below(10));
+    size_t clauses = rng.Below(20);
+    for (size_t c = 0; c < clauses; ++c) {
+      Clause clause;
+      clause.push_back(
+          Literal{static_cast<uint32_t>(rng.Below(f.var_count)),
+                  rng.Chance(0.5)});
+      if (rng.Chance(0.8)) {
+        clause.push_back(
+            Literal{static_cast<uint32_t>(rng.Below(f.var_count)),
+                    rng.Chance(0.5)});
+      }
+      f.clauses.push_back(std::move(clause));
+    }
+    auto scc = SolveTwoSat(f);
+    auto prop = SolveTwoSatByPropagation(f);
+    EXPECT_EQ(scc.has_value(), prop.has_value()) << f.ToString();
+    if (scc.has_value()) EXPECT_TRUE(Satisfies(f, *scc));
+    if (prop.has_value()) EXPECT_TRUE(Satisfies(f, *prop));
+  }
+}
+
+TEST(CnfTest, ClassPredicates) {
+  CnfFormula f;
+  f.var_count = 3;
+  f.clauses = {{Neg(0), Neg(1), Pos(2)}};
+  EXPECT_TRUE(f.IsHorn());
+  EXPECT_FALSE(f.IsDualHorn());
+  EXPECT_FALSE(f.IsTwoCnf());
+  EXPECT_EQ(f.Length(), 3u);
+}
+
+}  // namespace
+}  // namespace cqcs

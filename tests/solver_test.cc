@@ -1,0 +1,249 @@
+// Tests for the generic backtracking solver and GAC propagation.
+
+#include <gtest/gtest.h>
+
+#include "core/ops.h"
+#include "solver/backtracking.h"
+
+namespace cqcs {
+namespace {
+
+VocabularyPtr GraphVocab() {
+  auto v = std::make_shared<Vocabulary>();
+  v->AddRelation("E", 2);
+  return v;
+}
+
+Structure DirectedCycle(const VocabularyPtr& vocab, size_t n) {
+  Structure s(vocab, n);
+  for (size_t i = 0; i < n; ++i) {
+    s.AddTuple(0, {static_cast<Element>(i), static_cast<Element>((i + 1) % n)});
+  }
+  return s;
+}
+
+Structure UndirectedCycle(const VocabularyPtr& vocab, size_t n) {
+  Structure s(vocab, n);
+  for (size_t i = 0; i < n; ++i) {
+    auto u = static_cast<Element>(i);
+    auto v = static_cast<Element>((i + 1) % n);
+    s.AddTuple(0, {u, v});
+    s.AddTuple(0, {v, u});
+  }
+  return s;
+}
+
+Structure Clique(const VocabularyPtr& vocab, size_t n) {
+  Structure s(vocab, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        s.AddTuple(0, {static_cast<Element>(i), static_cast<Element>(j)});
+      }
+    }
+  }
+  return s;
+}
+
+TEST(CspInstanceTest, ExtractsConstraints) {
+  auto vocab = GraphVocab();
+  Structure a = DirectedCycle(vocab, 3);
+  Structure b = DirectedCycle(vocab, 3);
+  CspInstance csp(a, b);
+  EXPECT_EQ(csp.var_count(), 3u);
+  EXPECT_EQ(csp.domain_size(), 3u);
+  EXPECT_EQ(csp.constraints().size(), 3u);
+  EXPECT_EQ(csp.constraints_of(0).size(), 2u);  // in two edges
+}
+
+TEST(CspInstanceTest, RepeatedVariablesInScope) {
+  auto vocab = GraphVocab();
+  Structure a(vocab, 1);
+  a.AddTuple(0, {0, 0});  // self loop in A
+  Structure b = DirectedCycle(vocab, 3);  // loopless
+  EXPECT_FALSE(HasHomomorphism(a, b));
+  Structure loop(vocab, 1);
+  loop.AddTuple(0, {0, 0});
+  EXPECT_TRUE(HasHomomorphism(a, loop));
+}
+
+TEST(GacTest, DetectsTrivialInconsistency) {
+  auto vocab = GraphVocab();
+  Structure a(vocab, 2);
+  a.AddTuple(0, {0, 1});
+  Structure b(vocab, 2);  // no edges at all
+  CspInstance csp(a, b);
+  auto domains = csp.FullDomains();
+  EXPECT_FALSE(EstablishGac(csp, domains));
+}
+
+TEST(GacTest, PrunesUnsupportedValues) {
+  auto vocab = GraphVocab();
+  // A: single edge (0,1). B: path 0->1. GAC leaves dom(0)={0}, dom(1)={1}.
+  Structure a(vocab, 2);
+  a.AddTuple(0, {0, 1});
+  Structure b(vocab, 2);
+  b.AddTuple(0, {0, 1});
+  CspInstance csp(a, b);
+  auto domains = csp.FullDomains();
+  ASSERT_TRUE(EstablishGac(csp, domains));
+  EXPECT_EQ(domains[0].count(), 1u);
+  EXPECT_TRUE(domains[0].test(0));
+  EXPECT_EQ(domains[1].count(), 1u);
+  EXPECT_TRUE(domains[1].test(1));
+}
+
+TEST(SolverTest, EvenCycleMapsToEdge) {
+  auto vocab = GraphVocab();
+  Structure c6 = UndirectedCycle(vocab, 6);
+  Structure k2 = UndirectedCycle(vocab, 2);  // single undirected edge
+  auto h = FindHomomorphism(c6, k2);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_TRUE(IsHomomorphism(c6, k2, *h));
+}
+
+TEST(SolverTest, OddCycleDoesNotMapToEdge) {
+  auto vocab = GraphVocab();
+  Structure c5 = UndirectedCycle(vocab, 5);
+  Structure k2 = UndirectedCycle(vocab, 2);
+  EXPECT_FALSE(HasHomomorphism(c5, k2));
+}
+
+TEST(SolverTest, OddCycleMapsToTriangle) {
+  auto vocab = GraphVocab();
+  Structure c5 = UndirectedCycle(vocab, 5);
+  Structure k3 = Clique(vocab, 3);
+  auto h = FindHomomorphism(c5, k3);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_TRUE(IsHomomorphism(c5, k3, *h));
+}
+
+TEST(SolverTest, DirectedCycleDivisibility) {
+  // C_n -> C_m for directed cycles iff m divides n.
+  auto vocab = GraphVocab();
+  for (size_t n = 2; n <= 9; ++n) {
+    for (size_t m = 2; m <= 6; ++m) {
+      Structure cn = DirectedCycle(vocab, n);
+      Structure cm = DirectedCycle(vocab, m);
+      EXPECT_EQ(HasHomomorphism(cn, cm), n % m == 0)
+          << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(SolverTest, EmptyStructureAlwaysMaps) {
+  auto vocab = GraphVocab();
+  Structure empty(vocab, 0);
+  Structure any = DirectedCycle(vocab, 3);
+  auto h = FindHomomorphism(empty, any);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_TRUE(h->empty());
+}
+
+TEST(SolverTest, IsolatedElementsNeedNonemptyTarget) {
+  auto vocab = GraphVocab();
+  Structure a(vocab, 2);  // two isolated elements
+  Structure b(vocab, 1);  // single element, no edges
+  EXPECT_TRUE(HasHomomorphism(a, b));
+  Structure b0(vocab, 0);
+  EXPECT_FALSE(HasHomomorphism(a, b0));
+}
+
+TEST(SolverTest, ForwardCheckingAgreesWithMac) {
+  auto vocab = GraphVocab();
+  for (size_t n = 3; n <= 7; ++n) {
+    Structure cn = UndirectedCycle(vocab, n);
+    Structure k3 = Clique(vocab, 3);
+    SolveOptions fc;
+    fc.propagation = Propagation::kForwardChecking;
+    BacktrackingSolver fc_solver(cn, k3, fc);
+    BacktrackingSolver mac_solver(cn, k3);
+    EXPECT_EQ(fc_solver.Solve().has_value(), mac_solver.Solve().has_value());
+  }
+}
+
+TEST(SolverTest, CountSolutionsTriangleToTriangle) {
+  // Homomorphisms K3 -> K3 are exactly the 6 permutations (3-colorings of a
+  // triangle with distinct colors).
+  auto vocab = GraphVocab();
+  Structure k3 = Clique(vocab, 3);
+  BacktrackingSolver solver(k3, k3);
+  EXPECT_EQ(solver.CountSolutions(), 6u);
+}
+
+TEST(SolverTest, CountRespectsLimit) {
+  auto vocab = GraphVocab();
+  Structure k3 = Clique(vocab, 3);
+  BacktrackingSolver solver(k3, k3);
+  EXPECT_EQ(solver.CountSolutions(4), 4u);
+}
+
+TEST(SolverTest, ForEachSolutionVisitsAll) {
+  auto vocab = GraphVocab();
+  Structure path(vocab, 2);
+  path.AddTuple(0, {0, 1});
+  Structure k3 = Clique(vocab, 3);
+  size_t count = 0;
+  BacktrackingSolver solver(path, k3);
+  solver.ForEachSolution([&](const Homomorphism& h) {
+    EXPECT_TRUE(IsHomomorphism(path, k3, h));
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 6u);  // ordered pairs of distinct colors
+}
+
+TEST(SolverTest, EnumerateProjections) {
+  auto vocab = GraphVocab();
+  // A: path x -> y -> z. B: directed 3-cycle. Project onto {x}: every
+  // B-element starts some path, so we get all 3 answers.
+  Structure path(vocab, 3);
+  path.AddTuple(0, {0, 1});
+  path.AddTuple(0, {1, 2});
+  Structure c3 = DirectedCycle(vocab, 3);
+  BacktrackingSolver solver(path, c3);
+  std::vector<Element> proj = {0};
+  auto rows = solver.EnumerateProjections(proj);
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST(SolverTest, EnumerateProjectionsDedupes) {
+  auto vocab = GraphVocab();
+  Structure path(vocab, 2);
+  path.AddTuple(0, {0, 1});
+  Structure k3 = Clique(vocab, 3);
+  BacktrackingSolver solver(path, k3);
+  std::vector<Element> proj = {0};
+  auto rows = solver.EnumerateProjections(proj);
+  EXPECT_EQ(rows.size(), 3u);  // 6 homs but 3 distinct first components
+}
+
+TEST(SolverTest, NodeLimitReportsUnknown) {
+  auto vocab = GraphVocab();
+  Structure big = Clique(vocab, 8);
+  Structure k7 = Clique(vocab, 7);  // no hom: needs 8 colors
+  SolveOptions options;
+  options.node_limit = 5;
+  options.propagation = Propagation::kForwardChecking;
+  BacktrackingSolver solver(big, k7, options);
+  SolveStats stats;
+  auto h = solver.Solve(&stats);
+  EXPECT_FALSE(h.has_value());
+  EXPECT_TRUE(stats.limit_hit);
+}
+
+TEST(SolverTest, ProductIsGreatestLowerBound) {
+  // hom(C -> A x B) iff hom(C -> A) and hom(C -> B).
+  auto vocab = GraphVocab();
+  Structure c4 = UndirectedCycle(vocab, 4);
+  Structure k2 = UndirectedCycle(vocab, 2);
+  Structure k3 = Clique(vocab, 3);
+  Structure prod = Product(k2, k3);
+  EXPECT_TRUE(HasHomomorphism(c4, prod));
+  Structure c3 = UndirectedCycle(vocab, 3);
+  // C3 -> K3 but not C3 -> K2, so not into the product.
+  EXPECT_FALSE(HasHomomorphism(c3, prod));
+}
+
+}  // namespace
+}  // namespace cqcs

@@ -1,0 +1,97 @@
+// Tests for structure cores and their relationship to query minimization.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/ops.h"
+#include "core/structure_core.h"
+#include "cq/canonical.h"
+#include "cq/containment.h"
+#include "cq/parser.h"
+#include "gen/generators.h"
+#include "solver/backtracking.h"
+
+namespace cqcs {
+namespace {
+
+TEST(StructureCoreTest, EvenCycleFoldsToEdge) {
+  auto vocab = MakeGraphVocabulary();
+  Structure c6 = UndirectedCycleStructure(vocab, 6);
+  CoreResult core = ComputeCore(c6);
+  EXPECT_EQ(core.kept_elements.size(), 2u);  // the core of C6 is K2
+  EXPECT_TRUE(IsHomomorphism(c6, c6, core.retraction));
+  EXPECT_TRUE(IsCore(core.core));
+}
+
+TEST(StructureCoreTest, OddCycleIsCore) {
+  auto vocab = MakeGraphVocabulary();
+  Structure c5 = UndirectedCycleStructure(vocab, 5);
+  EXPECT_TRUE(IsCore(c5));
+}
+
+TEST(StructureCoreTest, CliquesAreCores) {
+  auto vocab = MakeGraphVocabulary();
+  for (size_t n = 2; n <= 4; ++n) {
+    EXPECT_TRUE(IsCore(CliqueStructure(vocab, n))) << n;
+  }
+}
+
+TEST(StructureCoreTest, DirectedPathIsCore) {
+  auto vocab = MakeGraphVocabulary();
+  EXPECT_TRUE(IsCore(PathStructure(vocab, 5)));
+}
+
+TEST(StructureCoreTest, DisjointUnionFolds) {
+  auto vocab = MakeGraphVocabulary();
+  // C3 ⊎ C9: both map into C3, so the core is the triangle.
+  Structure u = DisjointUnion(UndirectedCycleStructure(vocab, 3),
+                              UndirectedCycleStructure(vocab, 9));
+  CoreResult core = ComputeCore(u);
+  EXPECT_EQ(core.kept_elements.size(), 3u);
+}
+
+TEST(StructureCoreTest, CoreIsHomEquivalent) {
+  Rng rng(71);
+  auto vocab = MakeGraphVocabulary();
+  for (int trial = 0; trial < 15; ++trial) {
+    Structure a = RandomGraphStructure(vocab, 3 + rng.Below(4), 0.4, rng,
+                                       /*symmetric=*/true);
+    CoreResult core = ComputeCore(a);
+    // A and its core are homomorphically equivalent.
+    EXPECT_TRUE(HasHomomorphism(a, core.core));
+    EXPECT_TRUE(HasHomomorphism(core.core, a));
+    EXPECT_TRUE(IsCore(core.core));
+  }
+}
+
+TEST(StructureCoreTest, ProtectedElementsStayFixed) {
+  auto vocab = MakeGraphVocabulary();
+  Structure c6 = UndirectedCycleStructure(vocab, 6);
+  std::vector<Element> keep = {0, 3};
+  CoreResult core = ComputeCore(c6, keep);
+  EXPECT_EQ(core.retraction[0], 0u);
+  EXPECT_EQ(core.retraction[3], 3u);
+  // Folding may still shrink the rest; protected elements must survive.
+  for (Element e : keep) {
+    EXPECT_TRUE(std::binary_search(core.kept_elements.begin(),
+                                   core.kept_elements.end(), e));
+  }
+}
+
+TEST(StructureCoreTest, MatchesQueryMinimization) {
+  // The canonical database of the minimized query has the same size as the
+  // head-protected core of the original canonical database.
+  auto vocab = MakeGraphVocabulary();
+  auto q = ParseQuery("Q(X) :- E(X, Y), E(X, Z), E(Z, W).", vocab);
+  ASSERT_TRUE(q.ok());
+  auto minimized = Minimize(*q);
+  ASSERT_TRUE(minimized.ok());
+  CanonicalDb db = MakeCanonicalDb(*q);
+  CoreResult core = ComputeCore(db.structure, db.head);
+  // Minimized query: E(X,Z), E(Z,W) — 3 variables.
+  EXPECT_EQ(minimized->atoms().size(), 2u);
+  EXPECT_EQ(core.kept_elements.size(), 3u);
+}
+
+}  // namespace
+}  // namespace cqcs

@@ -1,0 +1,343 @@
+// Tests for tree decompositions, treewidth heuristics/exact computation,
+// the DP homomorphism solver (Theorem 5.4), and the binary encoding
+// (Lemma 5.5).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gen/generators.h"
+#include "solver/backtracking.h"
+#include "treewidth/binary_encoding.h"
+#include "treewidth/decomposition.h"
+#include "treewidth/hom_dp.h"
+
+namespace cqcs {
+namespace {
+
+Graph CycleGraph(size_t n) {
+  Graph g(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    g.AddEdge(i, static_cast<uint32_t>((i + 1) % n));
+  }
+  return g;
+}
+
+Graph CliqueGraph(size_t n) {
+  Graph g(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) g.AddEdge(i, j);
+  }
+  return g;
+}
+
+TEST(DecompositionTest, ManualValidDecomposition) {
+  // Path 0-1-2: bags {0,1} and {1,2}.
+  Graph path(3);
+  path.AddEdge(0, 1);
+  path.AddEdge(1, 2);
+  TreeDecomposition td;
+  uint32_t root = td.AddNode({0, 1}, TreeDecomposition::kNoParent);
+  td.AddNode({1, 2}, root);
+  EXPECT_TRUE(td.ValidateFor(path).ok());
+  EXPECT_EQ(td.Width(), 1);
+}
+
+TEST(DecompositionTest, DetectsViolations) {
+  Graph path(3);
+  path.AddEdge(0, 1);
+  path.AddEdge(1, 2);
+  {
+    // Missing vertex 2.
+    TreeDecomposition td;
+    td.AddNode({0, 1}, TreeDecomposition::kNoParent);
+    EXPECT_FALSE(td.ValidateFor(path).ok());
+  }
+  {
+    // Edge {1,2} in no bag.
+    TreeDecomposition td;
+    uint32_t root = td.AddNode({0, 1}, TreeDecomposition::kNoParent);
+    td.AddNode({2}, root);
+    EXPECT_FALSE(td.ValidateFor(path).ok());
+  }
+  {
+    // Vertex 0's bags disconnected.
+    TreeDecomposition td;
+    uint32_t root = td.AddNode({0, 1}, TreeDecomposition::kNoParent);
+    uint32_t mid = td.AddNode({1, 2}, root);
+    td.AddNode({0, 2}, mid);
+    EXPECT_FALSE(td.ValidateFor(path).ok());
+  }
+}
+
+TEST(DecompositionTest, EliminationOrderWidths) {
+  // Trees have width 1, cycles 2, cliques n-1 under any elimination order
+  // heuristic that is not pathological.
+  Rng rng(3);
+  Graph tree = RandomTree(20, rng);
+  auto td_tree =
+      DecompositionFromEliminationOrder(tree, MinFillOrder(tree));
+  EXPECT_TRUE(td_tree.ValidateFor(tree).ok());
+  EXPECT_EQ(td_tree.Width(), 1);
+
+  Graph cycle = CycleGraph(12);
+  auto td_cycle =
+      DecompositionFromEliminationOrder(cycle, MinFillOrder(cycle));
+  EXPECT_TRUE(td_cycle.ValidateFor(cycle).ok());
+  EXPECT_EQ(td_cycle.Width(), 2);
+
+  Graph clique = CliqueGraph(6);
+  auto td_clique =
+      DecompositionFromEliminationOrder(clique, MinDegreeOrder(clique));
+  EXPECT_TRUE(td_clique.ValidateFor(clique).ok());
+  EXPECT_EQ(td_clique.Width(), 5);
+}
+
+TEST(DecompositionTest, ValidatesOnRandomPartialKTrees) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    uint32_t k = 1 + static_cast<uint32_t>(rng.Below(3));
+    Graph g = RandomPartialKTree(6 + rng.Below(15), k, 0.7, rng);
+    for (auto order : {MinDegreeOrder(g), MinFillOrder(g)}) {
+      auto td = DecompositionFromEliminationOrder(g, order);
+      EXPECT_TRUE(td.ValidateFor(g).ok());
+    }
+  }
+}
+
+TEST(ExactTreewidthTest, KnownValues) {
+  EXPECT_EQ(*ExactTreewidth(Graph(0)), -1);
+  EXPECT_EQ(*ExactTreewidth(Graph(3)), 0);  // no edges
+  Graph path(4);
+  path.AddEdge(0, 1);
+  path.AddEdge(1, 2);
+  path.AddEdge(2, 3);
+  EXPECT_EQ(*ExactTreewidth(path), 1);
+  EXPECT_EQ(*ExactTreewidth(CycleGraph(7)), 2);
+  EXPECT_EQ(*ExactTreewidth(CliqueGraph(5)), 4);
+  // 3x3 grid has treewidth 3.
+  auto vocab = MakeGraphVocabulary();
+  Structure grid = GridStructure(vocab, 3, 3);
+  EXPECT_EQ(*ExactTreewidth(GaifmanGraph(grid)), 3);
+}
+
+TEST(ExactTreewidthTest, BoundsEnforced) {
+  EXPECT_FALSE(ExactTreewidth(Graph(25)).ok());
+}
+
+TEST(ExactTreewidthTest, HeuristicsAreUpperBounds) {
+  Rng rng(19);
+  for (int trial = 0; trial < 15; ++trial) {
+    Graph g(8);
+    for (uint32_t u = 0; u < 8; ++u) {
+      for (uint32_t v = u + 1; v < 8; ++v) {
+        if (rng.Chance(0.3)) g.AddEdge(u, v);
+      }
+    }
+    int exact = *ExactTreewidth(g);
+    int min_fill =
+        DecompositionFromEliminationOrder(g, MinFillOrder(g)).Width();
+    int min_degree =
+        DecompositionFromEliminationOrder(g, MinDegreeOrder(g)).Width();
+    EXPECT_GE(min_fill, exact);
+    EXPECT_GE(min_degree, exact);
+  }
+}
+
+TEST(ExactTreewidthTest, KTreesHaveTreewidthK) {
+  Rng rng(23);
+  for (uint32_t k = 1; k <= 3; ++k) {
+    Graph g = RandomKTree(9, k, rng);
+    EXPECT_EQ(*ExactTreewidth(g), static_cast<int>(k));
+  }
+}
+
+TEST(GaifmanVsIncidenceTest, SingleWideTuple) {
+  // Section 5: one n-ary tuple has Gaifman treewidth n-1 but incidence
+  // treewidth 1 (its incidence graph is a star).
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->AddRelation("R", 5);
+  Structure s(vocab, 5);
+  s.AddTuple(0, {0, 1, 2, 3, 4});
+  EXPECT_EQ(*ExactTreewidth(GaifmanGraph(s)), 4);
+  EXPECT_EQ(HeuristicIncidenceTreewidth(s), 1);
+}
+
+TEST(HomDpTest, CycleToCliqueMatchesBacktracking) {
+  auto vocab = MakeGraphVocabulary();
+  for (size_t n = 3; n <= 8; ++n) {
+    Structure cn = UndirectedCycleStructure(vocab, n);
+    for (size_t kk = 2; kk <= 3; ++kk) {
+      Structure target = CliqueStructure(vocab, kk);
+      auto dp = SolveBoundedTreewidth(cn, target);
+      ASSERT_TRUE(dp.ok()) << dp.status().ToString();
+      EXPECT_EQ(dp->has_value(), HasHomomorphism(cn, target))
+          << "n=" << n << " k=" << kk;
+      if (dp->has_value()) {
+        EXPECT_TRUE(IsHomomorphism(cn, target, **dp));
+      }
+    }
+  }
+}
+
+TEST(HomDpTest, RandomPartialKTreesMatchBacktracking) {
+  Rng rng(29);
+  auto vocab = MakeGraphVocabulary();
+  for (int trial = 0; trial < 30; ++trial) {
+    uint32_t k = 1 + static_cast<uint32_t>(rng.Below(3));
+    Graph ga = RandomPartialKTree(5 + rng.Below(8), k, 0.8, rng);
+    Structure a = StructureFromGraph(vocab, ga);
+    Structure b = RandomGraphStructure(vocab, 2 + rng.Below(4), 0.5, rng,
+                                       /*symmetric=*/true);
+    TreewidthSolveStats stats;
+    auto dp = SolveBoundedTreewidth(a, b, &stats);
+    ASSERT_TRUE(dp.ok());
+    EXPECT_EQ(dp->has_value(), HasHomomorphism(a, b)) << "trial " << trial;
+    if (dp->has_value()) {
+      EXPECT_TRUE(IsHomomorphism(a, b, **dp));
+    }
+    EXPECT_LE(stats.width, static_cast<int>(2 * k + 1));  // heuristic slack
+  }
+}
+
+TEST(HomDpTest, SuppliedDecompositionIsChecked) {
+  auto vocab = MakeGraphVocabulary();
+  Structure c4 = UndirectedCycleStructure(vocab, 4);
+  TreeDecomposition bogus;
+  bogus.AddNode({0, 1}, TreeDecomposition::kNoParent);
+  auto result = SolveViaTreeDecomposition(c4, c4, bogus);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(HomDpTest, EmptySource) {
+  auto vocab = MakeGraphVocabulary();
+  Structure empty(vocab, 0);
+  Structure b = UndirectedCycleStructure(vocab, 3);
+  auto dp = SolveBoundedTreewidth(empty, b);
+  ASSERT_TRUE(dp.ok());
+  ASSERT_TRUE(dp->has_value());
+  EXPECT_TRUE((*dp)->empty());
+}
+
+TEST(HomDpTest, EmptyTarget) {
+  auto vocab = MakeGraphVocabulary();
+  Structure a = PathStructure(vocab, 3);
+  Structure empty(vocab, 0);
+  auto dp = SolveBoundedTreewidth(a, empty);
+  ASSERT_TRUE(dp.ok());
+  EXPECT_FALSE(dp->has_value());
+}
+
+TEST(BinaryEncodingTest, VocabularyShape) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->AddRelation("P", 3);
+  vocab->AddRelation("R", 2);
+  Structure s(vocab, 4);
+  s.AddTuple(0, {0, 1, 2});
+  s.AddTuple(1, {2, 3});
+  BinaryEncoded enc = BinaryEncode(s);
+  // (3+2)^2 = 25 coincidence relations; 2 tuples -> 2 elements.
+  EXPECT_EQ(enc.vocabulary->size(), 25u);
+  EXPECT_EQ(enc.encoded.universe_size(), 2u);
+  // Reflexive pairs exist: E_P_P_0_0 contains (s, s).
+  auto rel = enc.vocabulary->FindRelation("E_P_P_0_0");
+  ASSERT_TRUE(rel.has_value());
+  Element self_pair[] = {0, 0};
+  EXPECT_TRUE(enc.encoded.relation(*rel).Contains(self_pair));
+  // Coincidence across relations: position 2 of the P-tuple equals
+  // position 0 of the R-tuple.
+  auto cross = enc.vocabulary->FindRelation("E_P_R_2_0");
+  ASSERT_TRUE(cross.has_value());
+  Element pair[] = {0, 1};
+  EXPECT_TRUE(enc.encoded.relation(*cross).Contains(pair));
+}
+
+TEST(BinaryEncodingTest, PreservesHomomorphismExistence) {
+  Rng rng(31);
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->AddRelation("R", 3);
+  for (int trial = 0; trial < 40; ++trial) {
+    Structure a = RandomStructure(vocab, 2 + rng.Below(4), rng.Below(5), rng);
+    Structure b = RandomStructure(vocab, 2 + rng.Below(3), rng.Below(6), rng);
+    bool direct = HasHomomorphism(a, b);
+    bool via_encoding = HomomorphismExistsViaBinaryEncoding(
+        a, b, [](const Structure& ea, const Structure& eb) {
+          return HasHomomorphism(ea, eb);
+        });
+    EXPECT_EQ(direct, via_encoding) << "trial " << trial;
+  }
+}
+
+TEST(BinaryEncodingTest, DecodeRoundTrip) {
+  Rng rng(37);
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->AddRelation("R", 3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Structure a = RandomStructure(vocab, 3, 1 + rng.Below(3), rng);
+    Structure b = RandomStructure(vocab, 3, 4 + rng.Below(6), rng);
+    if (a.TotalTuples() == 0 || b.TotalTuples() == 0) continue;
+    BinaryEncoded enc_a = BinaryEncode(a);
+    BinaryEncoded enc_b = BinaryEncode(b);
+    auto h_enc = FindHomomorphism(enc_a.encoded, enc_b.encoded);
+    if (!h_enc.has_value()) continue;
+    auto decoded = DecodeBinaryHomomorphism(a, b, enc_a, enc_b, *h_enc);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_TRUE(IsHomomorphism(a, b, *decoded));
+  }
+}
+
+TEST(BinaryEncodingTest, LowersArityForTreewidthMachinery) {
+  // The point of Lemma 5.5: a high-arity A becomes binary, so the DP of
+  // Theorem 5.4 applies after encoding. End to end: encode, decompose, DP.
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->AddRelation("R", 4);
+  Rng rng(41);
+  Structure a(vocab, 6);
+  a.AddTuple(0, {0, 1, 2, 3});
+  a.AddTuple(0, {2, 3, 4, 5});
+  Structure b = RandomStructure(vocab, 3, 10, rng);
+  bool expected = HasHomomorphism(a, b);
+  bool got = HomomorphismExistsViaBinaryEncoding(
+      a, b, [](const Structure& ea, const Structure& eb) {
+        auto dp = SolveBoundedTreewidth(ea, eb);
+        CQCS_CHECK(dp.ok());
+        return dp->has_value();
+      });
+  EXPECT_EQ(expected, got);
+}
+
+TEST(GeneratorsTest, ChainAndStarQueries) {
+  auto vocab = MakeGraphVocabulary();
+  ConjunctiveQuery chain = ChainQuery(vocab, 3);
+  EXPECT_EQ(chain.atoms().size(), 3u);
+  EXPECT_EQ(chain.arity(), 2u);
+  EXPECT_TRUE(chain.Validate().ok());
+  ConjunctiveQuery star = StarQuery(vocab, 4);
+  EXPECT_EQ(star.atoms().size(), 4u);
+  EXPECT_TRUE(star.Validate().ok());
+  EXPECT_TRUE(star.IsTwoAtomQuery() == false);
+}
+
+TEST(GeneratorsTest, RandomQueriesValidate) {
+  Rng rng(43);
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->AddRelation("E", 2);
+  vocab->AddRelation("F", 3);
+  for (int trial = 0; trial < 30; ++trial) {
+    ConjunctiveQuery q =
+        RandomQuery(vocab, 1 + rng.Below(5), 1 + rng.Below(6), rng);
+    EXPECT_TRUE(q.Validate().ok());
+    ConjunctiveQuery two = RandomTwoAtomQuery(vocab, 1 + rng.Below(5), rng);
+    EXPECT_TRUE(two.Validate().ok());
+    EXPECT_TRUE(two.IsTwoAtomQuery());
+  }
+}
+
+TEST(GeneratorsTest, GridStructure) {
+  auto vocab = MakeGraphVocabulary();
+  Structure grid = GridStructure(vocab, 2, 3);
+  EXPECT_EQ(grid.universe_size(), 6u);
+  EXPECT_EQ(grid.TotalTuples(), 2u * 7u);  // 7 undirected edges
+}
+
+}  // namespace
+}  // namespace cqcs
