@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the solver benchmarks with fixed seeds and writes BENCH_solver.json
+# (google-benchmark JSON with both binaries' entries merged), so successive
+# PRs leave a comparable perf trajectory.
+#
+# Usage: bench/run_bench.sh [build-dir] [output.json]
+# Requires a configured build with CQCS_BUILD_BENCHMARKS=ON (needs the
+# google-benchmark package; the CMake config skips bench/ without it).
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_solver.json}"
+FILTER='BM_CliqueIntoRandomGraph|BM_Backtracking_NodeThroughput|BM_Horn_Backtracking'
+MIN_TIME="${BENCH_MIN_TIME:-0.2}"
+
+cd "$(dirname "$0")/.."
+
+for bin in bench_hardness bench_uniform_boolean; do
+  if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
+    echo "error: $BUILD_DIR/bench/$bin not built (configure with" \
+         "CQCS_BUILD_BENCHMARKS=ON and google-benchmark installed)" >&2
+    exit 1
+  fi
+done
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+for bin in bench_hardness bench_uniform_boolean; do
+  "$BUILD_DIR/bench/$bin" \
+    --benchmark_filter="$FILTER" \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_out="$tmpdir/$bin.json" \
+    --benchmark_out_format=json \
+    --benchmark_repetitions=1
+done
+
+# Merge: keep the first file's context, concatenate benchmark entries.
+jq -s '{context: .[0].context,
+        benchmarks: (map(.benchmarks) | add)}' \
+  "$tmpdir"/bench_hardness.json "$tmpdir"/bench_uniform_boolean.json > "$OUT"
+
+echo "wrote $OUT ($(jq '.benchmarks | length' "$OUT") entries)"

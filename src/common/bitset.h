@@ -13,6 +13,79 @@
 
 namespace cqcs {
 
+/// Word-level primitives over raw `uint64_t` arrays. The CSP propagator
+/// stores all variable domains in one flat word array (cache locality, cheap
+/// trail save/restore); these helpers keep that code word-at-a-time without
+/// duplicating bit-twiddling at every call site. DynamicBitset exposes its
+/// words so the two representations interconvert losslessly.
+namespace bitwords {
+
+/// Number of 64-bit words needed for `bits` bits.
+inline size_t WordCount(size_t bits) { return (bits + 63) / 64; }
+
+inline bool TestBit(const uint64_t* words, size_t i) {
+  return (words[i >> 6] >> (i & 63)) & 1;
+}
+
+inline void SetBit(uint64_t* words, size_t i) {
+  words[i >> 6] |= (1ULL << (i & 63));
+}
+
+inline void ResetBit(uint64_t* words, size_t i) {
+  words[i >> 6] &= ~(1ULL << (i & 63));
+}
+
+inline size_t Count(const uint64_t* words, size_t nwords) {
+  size_t c = 0;
+  for (size_t wi = 0; wi < nwords; ++wi) {
+    c += static_cast<size_t>(std::popcount(words[wi]));
+  }
+  return c;
+}
+
+inline bool Any(const uint64_t* words, size_t nwords) {
+  for (size_t wi = 0; wi < nwords; ++wi) {
+    if (words[wi] != 0) return true;
+  }
+  return false;
+}
+
+/// Index of the lowest set bit, or `DynamicBitset::npos` (== SIZE_MAX).
+inline size_t FindFirst(const uint64_t* words, size_t nwords) {
+  for (size_t wi = 0; wi < nwords; ++wi) {
+    if (words[wi] != 0) {
+      return (wi << 6) + static_cast<size_t>(std::countr_zero(words[wi]));
+    }
+  }
+  return static_cast<size_t>(-1);
+}
+
+/// Calls fn(index) for every set bit in increasing order.
+template <typename Fn>
+inline void ForEachSetBit(const uint64_t* words, size_t nwords, Fn fn) {
+  for (size_t wi = 0; wi < nwords; ++wi) {
+    uint64_t w = words[wi];
+    while (w != 0) {
+      size_t bit = static_cast<size_t>(std::countr_zero(w));
+      fn((wi << 6) + bit);
+      w &= w - 1;
+    }
+  }
+}
+
+/// a &= b, word at a time. Returns true iff any word of `a` changed.
+inline bool AndInPlace(uint64_t* a, const uint64_t* b, size_t nwords) {
+  bool changed = false;
+  for (size_t wi = 0; wi < nwords; ++wi) {
+    uint64_t next = a[wi] & b[wi];
+    changed |= next != a[wi];
+    a[wi] = next;
+  }
+  return changed;
+}
+
+}  // namespace bitwords
+
 /// A bitset whose size is fixed at construction.
 class DynamicBitset {
  public:
@@ -118,6 +191,17 @@ class DynamicBitset {
   bool operator==(const DynamicBitset& o) const {
     return size_ == o.size_ && words_ == o.words_;
   }
+
+  /// Word-level access, for interconversion with flat word-array storage
+  /// (see bitwords above). Words are little-endian in bit index: bit i lives
+  /// at word i/64, position i%64; the tail word's unused high bits are zero.
+  size_t word_count() const { return words_.size(); }
+  uint64_t word(size_t wi) const { return words_[wi]; }
+  const uint64_t* words() const { return words_.data(); }
+
+  /// Overwrites word `wi`. The caller must keep the tail word's unused bits
+  /// zero (copying words of an equal-sized bitset is always safe).
+  void set_word(size_t wi, uint64_t w) { words_[wi] = w; }
 
   /// True if this is a subset of `o`.
   bool IsSubsetOf(const DynamicBitset& o) const {

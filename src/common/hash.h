@@ -1,0 +1,24 @@
+// Shared non-cryptographic hashing helpers.
+
+#ifndef CQCS_COMMON_HASH_H_
+#define CQCS_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cqcs {
+
+/// FNV-1a over a sequence of 32-bit values. Used wherever tuples/rows of
+/// Elements key a hash table (constraint dedup, projection-row dedup).
+inline uint64_t Fnv1a64(const uint32_t* data, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace cqcs
+
+#endif  // CQCS_COMMON_HASH_H_

@@ -12,6 +12,7 @@ void Relation::Add(std::span<const Element> tuple) {
                                     << " arity " << arity_);
   data_.insert(data_.end(), tuple.begin(), tuple.end());
   index_valid_ = false;
+  pos_index_valid_ = false;
 }
 
 void Relation::Add(std::initializer_list<Element> tuple) {
@@ -55,6 +56,45 @@ bool Relation::Contains(std::span<const Element> t) const {
   return std::equal(p, p + arity_, t.begin());
 }
 
+void Relation::EnsurePositionIndex(Element num_values) const {
+  if (pos_index_valid_ && pos_num_values_ == num_values) return;
+  const size_t m = tuple_count();
+  const size_t slots = static_cast<size_t>(arity_) * num_values;
+  // Counting sort per (position, value) slot: count, prefix-sum, fill.
+  pos_offsets_.assign(slots + 1, 0);
+  for (size_t t = 0; t < m; ++t) {
+    const Element* tup = data_.data() + t * arity_;
+    for (uint32_t p = 0; p < arity_; ++p) {
+      CQCS_CHECK_MSG(tup[p] < num_values,
+                     "position index over " << num_values
+                                            << " values, but tuple mentions "
+                                            << tup[p]);
+      ++pos_offsets_[static_cast<size_t>(p) * num_values + tup[p] + 1];
+    }
+  }
+  for (size_t s = 0; s < slots; ++s) pos_offsets_[s + 1] += pos_offsets_[s];
+  pos_ids_.resize(m * arity_);
+  std::vector<uint32_t> cursor(pos_offsets_.begin(), pos_offsets_.end() - 1);
+  for (size_t t = 0; t < m; ++t) {
+    const Element* tup = data_.data() + t * arity_;
+    for (uint32_t p = 0; p < arity_; ++p) {
+      size_t slot = static_cast<size_t>(p) * num_values + tup[p];
+      pos_ids_[cursor[slot]++] = static_cast<uint32_t>(t);
+    }
+  }
+  pos_num_values_ = num_values;
+  pos_index_valid_ = true;
+}
+
+std::span<const uint32_t> Relation::TuplesWith(uint32_t pos,
+                                               Element value) const {
+  CQCS_CHECK(pos_index_valid_ && pos < arity_);
+  if (value >= pos_num_values_) return {};
+  size_t slot = static_cast<size_t>(pos) * pos_num_values_ + value;
+  return {pos_ids_.data() + pos_offsets_[slot],
+          pos_offsets_[slot + 1] - pos_offsets_[slot]};
+}
+
 void Relation::Dedup() {
   EnsureIndex();
   std::vector<Element> compact;
@@ -73,12 +113,14 @@ void Relation::Dedup() {
   }
   data_ = std::move(compact);
   index_valid_ = false;
+  pos_index_valid_ = false;
 }
 
 void Relation::Clear() {
   data_.clear();
   index_.clear();
   index_valid_ = false;
+  pos_index_valid_ = false;
 }
 
 Element Relation::MaxElementPlusOne() const {

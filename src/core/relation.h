@@ -42,6 +42,19 @@ class Relation {
   /// Set membership; O(log m) after a one-time O(m log m) index build.
   bool Contains(std::span<const Element> tuple) const;
 
+  /// Builds (or reuses) the (position, value) support index: for every
+  /// position p < arity and value v < num_values, the list of tuple ids t
+  /// with tuple(t)[p] == v, in increasing t. One O(m·arity) CSR pass; the
+  /// CSP propagator walks these lists instead of rescanning all tuples.
+  /// CHECK-fails if some tuple mentions an element >= num_values.
+  /// Invalidated by mutation, like the sorted index.
+  void EnsurePositionIndex(Element num_values) const;
+
+  /// Tuple ids whose position `pos` holds `value`. Requires a prior
+  /// EnsurePositionIndex(n) with value < n (returns an empty span for
+  /// out-of-range values). Valid until the next mutation.
+  std::span<const uint32_t> TuplesWith(uint32_t pos, Element value) const;
+
   /// Removes duplicate tuples (keeps first occurrences' values; order is
   /// normalized to lexicographic).
   void Dedup();
@@ -67,6 +80,13 @@ class Relation {
   // Sorted tuple indices for binary search; rebuilt on demand.
   mutable std::vector<uint32_t> index_;
   mutable bool index_valid_ = false;
+  // (position, value) -> tuple-id CSR index; see EnsurePositionIndex.
+  // Slot (p, v) spans pos_offsets_[p * num_values + v] ..
+  // pos_offsets_[p * num_values + v + 1] of pos_ids_.
+  mutable std::vector<uint32_t> pos_offsets_;
+  mutable std::vector<uint32_t> pos_ids_;
+  mutable Element pos_num_values_ = 0;
+  mutable bool pos_index_valid_ = false;
 };
 
 }  // namespace cqcs

@@ -1,9 +1,11 @@
 #include "solver/backtracking.h"
 
 #include <algorithm>
-#include <set>
+#include <unordered_set>
 
 #include "common/check.h"
+#include "common/hash.h"
+#include "solver/propagator.h"
 
 namespace cqcs {
 
@@ -24,28 +26,35 @@ class SearchContext {
       : csp_(csp),
         options_(options),
         on_solution_(std::move(on_solution)),
-        stats_(stats != nullptr ? stats : &owned_stats_) {
-    domains_ = csp_.FullDomains();
+        stats_(stats != nullptr ? stats : &owned_stats_),
+        prop_(csp) {
     assigned_.assign(csp_.var_count(), 0);
+    in_prefix_.assign(csp_.var_count(), 0);
     // Deduplicated projection prefix: these variables are branched on first,
     // so that after one full solution the search can discard the entire
     // subtree below them (same projection => already reported).
     for (Element v : projection) {
       CQCS_CHECK(v < csp_.var_count());
-      if (!in_prefix_.insert(v).second) continue;
+      if (in_prefix_[v]) continue;
+      in_prefix_[v] = 1;
       prefix_.push_back(v);
     }
     prune_boundary_ = projection.empty() ? SIZE_MAX : prefix_.size();
+    // One value buffer per depth, sized once: the search itself does not
+    // allocate.
+    values_by_depth_.resize(csp_.var_count());
+    for (auto& values : values_by_depth_) values.reserve(csp_.domain_size());
+    solution_.resize(csp_.var_count());
   }
 
   /// Runs the search; returns the number of callback invocations.
   size_t Run() {
     if (options_.propagation == Propagation::kMac) {
-      if (!EstablishGac(csp_, domains_)) return solutions_;
+      if (!prop_.EstablishGac()) return solutions_;
     } else {
       // Even under forward checking, empty initial domains mean failure.
-      for (const auto& d : domains_) {
-        if (d.none()) return solutions_;
+      for (Element v = 0; v < csp_.var_count(); ++v) {
+        if (prop_.domain_count(v) == 0) return solutions_;
       }
     }
     Search(0);
@@ -57,10 +66,10 @@ class SearchContext {
     if (depth == csp_.var_count()) return EmitSolution();
     Element var = SelectVariable(depth);
 
-    std::vector<Element> values;
-    values.reserve(domains_[var].count());
-    domains_[var].ForEach(
-        [&](size_t v) { values.push_back(static_cast<Element>(v)); });
+    std::vector<Element>& values = values_by_depth_[depth];
+    values.clear();
+    prop_.ForEachValue(
+        var, [&](size_t v) { values.push_back(static_cast<Element>(v)); });
 
     for (Element v : values) {
       ++stats_->nodes;
@@ -68,13 +77,11 @@ class SearchContext {
         stats_->limit_hit = true;
         return Step::kStop;
       }
-      std::vector<DynamicBitset> saved = domains_;
-      domains_[var].ResetAll();
-      domains_[var].set(v);
+      prop_.PushLevel();
+      prop_.Assign(var, v);
       assigned_[var] = 1;
-      bool consistent = PropagateFrom(
-          csp_, var, domains_,
-          /*cascade=*/options_.propagation == Propagation::kMac);
+      bool consistent = prop_.Propagate(
+          var, /*cascade=*/options_.propagation == Propagation::kMac);
       Step child = Step::kExhausted;
       if (consistent) {
         child = Search(depth + 1);
@@ -82,7 +89,7 @@ class SearchContext {
         ++stats_->backtracks;
       }
       assigned_[var] = 0;
-      domains_ = std::move(saved);
+      prop_.PopLevel();
       if (child == Step::kStop) return Step::kStop;
       if (child == Step::kPrune) {
         // A solution was reported below. If this variable is outside the
@@ -95,14 +102,13 @@ class SearchContext {
   }
 
   Step EmitSolution() {
-    Homomorphism h(csp_.var_count());
-    for (size_t i = 0; i < h.size(); ++i) {
-      size_t v = domains_[i].FindFirst();
+    for (size_t i = 0; i < solution_.size(); ++i) {
+      size_t v = prop_.domain_first(static_cast<Element>(i));
       CQCS_CHECK(v != DynamicBitset::npos);
-      h[i] = static_cast<Element>(v);
+      solution_[i] = static_cast<Element>(v);
     }
     ++solutions_;
-    if (!on_solution_(h)) return Step::kStop;
+    if (!on_solution_(solution_)) return Step::kStop;
     return Step::kPrune;
   }
 
@@ -112,9 +118,9 @@ class SearchContext {
     size_t best_size = SIZE_MAX;
     size_t best_degree = 0;
     for (Element v = 0; v < csp_.var_count(); ++v) {
-      if (assigned_[v] || in_prefix_.count(v) > 0) continue;
+      if (assigned_[v] || in_prefix_[v]) continue;
       if (!options_.mrv) return v;  // lexicographic fallback
-      size_t size = domains_[v].count();
+      size_t size = prop_.domain_count(v);
       size_t degree = csp_.constraints_of(v).size();
       if (size < best_size || (size == best_size && degree > best_degree)) {
         best = v;
@@ -131,12 +137,21 @@ class SearchContext {
   std::function<bool(const Homomorphism&)> on_solution_;
   SolveStats* stats_;
   SolveStats owned_stats_;
-  std::vector<DynamicBitset> domains_;
+  Propagator prop_;
   std::vector<uint8_t> assigned_;
   std::vector<Element> prefix_;
-  std::set<Element> in_prefix_;
+  std::vector<uint8_t> in_prefix_;
+  std::vector<std::vector<Element>> values_by_depth_;
+  Homomorphism solution_;
   size_t prune_boundary_ = SIZE_MAX;
   size_t solutions_ = 0;
+};
+
+// Row hash for projection deduplication.
+struct RowHash {
+  size_t operator()(const std::vector<Element>& row) const {
+    return static_cast<size_t>(Fnv1a64(row.data(), row.size()));
+  }
 };
 
 }  // namespace
@@ -168,17 +183,22 @@ size_t BacktrackingSolver::ForEachSolution(
 std::vector<std::vector<Element>> BacktrackingSolver::EnumerateProjections(
     std::span<const Element> projection, size_t max_results,
     SolveStats* stats) {
-  std::set<std::vector<Element>> seen;
+  if (max_results == 0) return {};
+  std::unordered_set<std::vector<Element>, RowHash> seen;
   std::vector<std::vector<Element>> results;
   SearchContext ctx(
       csp_, options_, projection,
       [&](const Homomorphism& h) {
         std::vector<Element> row(projection.size());
         for (size_t i = 0; i < projection.size(); ++i) row[i] = h[projection[i]];
+        // The prefix-pruned search advances a projection variable between
+        // reports, so rows repeat only in corner cases (empty projection);
+        // the set is cheap insurance for the dedup contract.
         if (seen.insert(row).second) {
           results.push_back(std::move(row));
+          if (results.size() >= max_results) return false;
         }
-        return results.size() < max_results;
+        return true;
       },
       stats);
   ctx.Run();

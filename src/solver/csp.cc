@@ -1,10 +1,48 @@
 #include "solver/csp.h"
 
-#include <deque>
+#include <algorithm>
+#include <bit>
 
 #include "common/check.h"
+#include "common/hash.h"
+#include "solver/propagator.h"
 
 namespace cqcs {
+
+namespace {
+
+/// Marks duplicate tuples of `ra` (every occurrence after the first) in
+/// `*dup`. Open-addressing over tuple ids — one flat probe table, no
+/// per-tuple allocation. No-op for relations with < 2 tuples.
+void MarkDuplicateTuples(const Relation& ra, std::vector<uint8_t>* dup) {
+  const size_t m = ra.tuple_count();
+  dup->assign(m, 0);
+  if (m < 2) return;
+  const uint32_t arity = ra.arity();
+  const size_t cap = std::bit_ceil(2 * m);
+  const size_t mask = cap - 1;
+  std::vector<uint32_t> table(cap, UINT32_MAX);
+  const Element* data = ra.data().data();
+  for (uint32_t t = 0; t < m; ++t) {
+    const Element* tup = data + static_cast<size_t>(t) * arity;
+    size_t slot = static_cast<size_t>(Fnv1a64(tup, arity)) & mask;
+    while (true) {
+      const uint32_t other = table[slot];
+      if (other == UINT32_MAX) {
+        table[slot] = t;
+        break;
+      }
+      const Element* otup = data + static_cast<size_t>(other) * arity;
+      if (std::equal(tup, tup + arity, otup)) {
+        (*dup)[t] = 1;
+        break;
+      }
+      slot = (slot + 1) & mask;
+    }
+  }
+}
+
+}  // namespace
 
 CspInstance::CspInstance(const Structure& a, const Structure& b)
     : a_(&a), b_(&b) {
@@ -12,24 +50,56 @@ CspInstance::CspInstance(const Structure& a, const Structure& b)
                  "CSP instance requires a common vocabulary");
   const Vocabulary& vocab = *a.vocabulary();
   constraints_of_var_.resize(a.universe_size());
+  std::vector<uint8_t> dup;
   for (RelId id = 0; id < vocab.size(); ++id) {
     const Relation& ra = a.relation(id);
+    // Support index over R^B, built once and shared by every constraint on
+    // this relation (see Propagator::Revise).
+    b.relation(id).EnsurePositionIndex(
+        static_cast<Element>(b.universe_size()));
+    // Identical A-tuples yield identical constraints; revising each copy
+    // would repeat the exact same work, so keep only the first.
+    MarkDuplicateTuples(ra, &dup);
     const uint32_t arity = ra.arity();
+    constraints_.reserve(constraints_.size() + ra.tuple_count());
     for (uint32_t t = 0; t < ra.tuple_count(); ++t) {
+      if (dup[t]) continue;
+      std::span<const Element> tup = ra.tuple(t);
       Constraint c;
       c.rel = id;
-      std::span<const Element> tup = ra.tuple(t);
       c.scope_tuple.assign(tup.begin(), tup.end());
-      for (uint32_t p = 0; p < arity; ++p) {
-        bool seen = false;
+      bool all_distinct = true;
+      for (uint32_t p = 1; p < arity && all_distinct; ++p) {
         for (uint32_t q = 0; q < p; ++q) {
           if (tup[q] == tup[p]) {
-            seen = true;
+            all_distinct = false;
             break;
           }
         }
-        if (!seen) c.vars.push_back(tup[p]);
       }
+      if (all_distinct) {
+        // Common case: vars == scope positions, var_pos stays empty
+        // (identity), no equality pairs.
+        c.vars.assign(tup.begin(), tup.end());
+      } else {
+        for (uint32_t p = 0; p < arity; ++p) {
+          uint32_t first = p;
+          for (uint32_t q = 0; q < p; ++q) {
+            if (tup[q] == tup[p]) {
+              first = q;
+              break;
+            }
+          }
+          if (first == p) {
+            c.vars.push_back(tup[p]);
+            c.var_pos.push_back(p);
+          } else {
+            c.eq_pairs.emplace_back(p, first);
+          }
+        }
+      }
+      c.residue_offset = residue_slots_;
+      residue_slots_ += c.vars.size() * b.universe_size();
       uint32_t ci = static_cast<uint32_t>(constraints_.size());
       for (Element v : c.vars) constraints_of_var_[v].push_back(ci);
       constraints_.push_back(std::move(c));
@@ -43,103 +113,36 @@ std::vector<DynamicBitset> CspInstance::FullDomains() const {
   return domains;
 }
 
+// The vector<DynamicBitset> entry points below are the stable public API
+// (tests and one-shot callers); each wraps a throwaway Propagator. The
+// search loop keeps one Propagator alive instead — see backtracking.cc.
+
 bool ReviseConstraint(const CspInstance& csp, uint32_t ci,
                       std::vector<DynamicBitset>& domains,
                       std::vector<Element>* changed) {
-  const Constraint& c = csp.constraints()[ci];
-  const Relation& rb = csp.b().relation(c.rel);
-  const uint32_t arity = rb.arity();
-
-  // Supported values per variable of the constraint.
-  std::vector<DynamicBitset> support;
-  support.reserve(c.vars.size());
-  for (size_t i = 0; i < c.vars.size(); ++i) {
-    support.emplace_back(csp.domain_size());
-  }
-
-  for (uint32_t t = 0; t < rb.tuple_count(); ++t) {
-    std::span<const Element> u = rb.tuple(t);
-    // Check the B-tuple is consistent with current domains and with repeated
-    // occurrences of the same A-element.
-    bool ok = true;
-    for (uint32_t p = 0; p < arity && ok; ++p) {
-      if (!domains[c.scope_tuple[p]].test(u[p])) ok = false;
-      for (uint32_t q = p + 1; q < arity && ok; ++q) {
-        if (c.scope_tuple[q] == c.scope_tuple[p] && u[q] != u[p]) ok = false;
-      }
-    }
-    if (!ok) continue;
-    for (size_t i = 0; i < c.vars.size(); ++i) {
-      // Record the image of var i (its first occurrence position).
-      for (uint32_t p = 0; p < arity; ++p) {
-        if (c.scope_tuple[p] == c.vars[i]) {
-          support[i].set(u[p]);
-          break;
-        }
-      }
-    }
-  }
-
-  for (size_t i = 0; i < c.vars.size(); ++i) {
-    Element var = c.vars[i];
-    if (domains[var].IsSubsetOf(support[i])) continue;
-    domains[var] &= support[i];
-    if (changed != nullptr) changed->push_back(var);
-    if (domains[var].none()) return false;
-  }
-  return true;
+  Propagator prop(csp);
+  prop.LoadDomains(domains);
+  bool ok = prop.Revise(ci, changed);
+  prop.StoreDomains(&domains);
+  return ok;
 }
-
-namespace {
-
-bool GacLoop(const CspInstance& csp, std::vector<DynamicBitset>& domains,
-             std::deque<uint32_t>& queue, std::vector<uint8_t>& in_queue) {
-  std::vector<Element> changed;
-  while (!queue.empty()) {
-    uint32_t ci = queue.front();
-    queue.pop_front();
-    in_queue[ci] = 0;
-    changed.clear();
-    if (!ReviseConstraint(csp, ci, domains, &changed)) return false;
-    for (Element var : changed) {
-      for (uint32_t cj : csp.constraints_of(var)) {
-        if (cj != ci && !in_queue[cj]) {
-          in_queue[cj] = 1;
-          queue.push_back(cj);
-        }
-      }
-    }
-  }
-  return true;
-}
-
-}  // namespace
 
 bool EstablishGac(const CspInstance& csp,
                   std::vector<DynamicBitset>& domains) {
-  std::deque<uint32_t> queue;
-  std::vector<uint8_t> in_queue(csp.constraints().size(), 1);
-  for (uint32_t ci = 0; ci < csp.constraints().size(); ++ci) {
-    queue.push_back(ci);
-  }
-  return GacLoop(csp, domains, queue, in_queue);
+  Propagator prop(csp);
+  prop.LoadDomains(domains);
+  bool ok = prop.EstablishGac();
+  prop.StoreDomains(&domains);
+  return ok;
 }
 
 bool PropagateFrom(const CspInstance& csp, Element seed_var,
                    std::vector<DynamicBitset>& domains, bool cascade) {
-  if (!cascade) {
-    for (uint32_t ci : csp.constraints_of(seed_var)) {
-      if (!ReviseConstraint(csp, ci, domains, nullptr)) return false;
-    }
-    return true;
-  }
-  std::deque<uint32_t> queue;
-  std::vector<uint8_t> in_queue(csp.constraints().size(), 0);
-  for (uint32_t ci : csp.constraints_of(seed_var)) {
-    in_queue[ci] = 1;
-    queue.push_back(ci);
-  }
-  return GacLoop(csp, domains, queue, in_queue);
+  Propagator prop(csp);
+  prop.LoadDomains(domains);
+  bool ok = prop.Propagate(seed_var, cascade);
+  prop.StoreDomains(&domains);
+  return ok;
 }
 
 }  // namespace cqcs

@@ -6,11 +6,19 @@
 // reformulation in Section 2 of Kolaitis–Vardi; the generic (exponential in
 // the worst case) solver over this network is the uniform baseline that the
 // paper's tractable cases improve upon.
+//
+// The instance is preprocessed for fast revision: identical constraints are
+// deduplicated, every B-relation gets a (position, value) -> tuple-list
+// support index (built once, shared by all constraints on that relation),
+// and each constraint carries its first-occurrence positions and repeated-
+// position equality pairs so the propagator can test "is this B-tuple still
+// alive?" without rediscovering the scope shape. See docs/solver.md.
 
 #ifndef CQCS_SOLVER_CSP_H_
 #define CQCS_SOLVER_CSP_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/bitset.h"
@@ -25,6 +33,24 @@ struct Constraint {
   RelId rel = 0;
   std::vector<Element> scope_tuple;
   std::vector<Element> vars;
+  /// var_pos[i] = first position of vars[i] in scope_tuple. A support for
+  /// (vars[i], v) is a live B-tuple u with u[var_pos[i]] == v, so candidate
+  /// supports come straight from the relation's position index. Empty means
+  /// the identity map (scope positions all distinct — the common case,
+  /// stored without an allocation).
+  std::vector<uint32_t> var_pos;
+  /// (p, q) with p > q, scope_tuple[p] == scope_tuple[q], q the first
+  /// occurrence: a B-tuple u satisfies the scope's equality pattern iff
+  /// u[p] == u[q] for all pairs. Empty for constraints without repeats.
+  std::vector<std::pair<uint32_t, uint32_t>> eq_pairs;
+
+  uint32_t pos_of_var(size_t i) const {
+    return var_pos.empty() ? static_cast<uint32_t>(i) : var_pos[i];
+  }
+  /// Start of this constraint's (var slot, value) -> last-support residue
+  /// block in the propagator's flat residue array (vars.size() * domain_size
+  /// entries).
+  size_t residue_offset = 0;
 };
 
 /// Immutable constraint network extracted from a pair (A, B).
@@ -46,6 +72,10 @@ class CspInstance {
     return constraints_of_var_[var];
   }
 
+  /// Total residue slots over all constraints (see Constraint::
+  /// residue_offset); sizes the propagator's residue array.
+  size_t residue_slot_count() const { return residue_slots_; }
+
   /// Domains with every value allowed.
   std::vector<DynamicBitset> FullDomains() const;
 
@@ -54,11 +84,17 @@ class CspInstance {
   const Structure* b_;
   std::vector<Constraint> constraints_;
   std::vector<std::vector<uint32_t>> constraints_of_var_;
+  size_t residue_slots_ = 0;
 };
 
 /// Shrinks the domains of the variables of `constraints()[ci]` to their
 /// GAC-supported values. Returns false iff some domain becomes empty.
 /// Appends every variable whose domain shrank to `*changed` (if non-null).
+///
+/// These three free functions are one-shot conveniences: each constructs a
+/// throwaway Propagator, whose setup is proportional to the whole instance.
+/// Calling them in a loop repeats that setup — loops should hold a
+/// Propagator (solver/propagator.h) directly, as the search does.
 bool ReviseConstraint(const CspInstance& csp, uint32_t ci,
                       std::vector<DynamicBitset>& domains,
                       std::vector<Element>* changed);

@@ -1,0 +1,207 @@
+#include "solver/propagator.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace cqcs {
+
+Propagator::Propagator(const CspInstance& csp)
+    : csp_(&csp), wpd_(bitwords::WordCount(csp.domain_size())) {
+  words_.resize(csp.var_count() * wpd_);
+  counts_.resize(csp.var_count());
+  stamps_.assign(words_.size(), 0);
+  residues_.assign(csp.residue_slot_count(), kNoResidue);
+  in_queue_.assign(csp.constraints().size(), 0);
+  queue_.reserve(csp.constraints().size());
+  ResetToFull();
+}
+
+void Propagator::ResetToFull() {
+  const size_t n = csp_->domain_size();
+  const uint64_t tail =
+      (n % 64 == 0) ? ~0ULL : (~0ULL >> (64 - (n % 64)));
+  for (Element var = 0; var < csp_->var_count(); ++var) {
+    uint64_t* d = words_.data() + var * wpd_;
+    for (size_t wi = 0; wi < wpd_; ++wi) d[wi] = ~0ULL;
+    if (wpd_ > 0) d[wpd_ - 1] = tail;
+    counts_[var] = n;
+  }
+  trail_.clear();
+  level_marks_.clear();
+  stamps_.assign(stamps_.size(), 0);
+  level_id_ = 1;
+}
+
+void Propagator::LoadDomains(const std::vector<DynamicBitset>& domains) {
+  CQCS_CHECK(domains.size() == csp_->var_count());
+  for (Element var = 0; var < csp_->var_count(); ++var) {
+    CQCS_CHECK(domains[var].size() == csp_->domain_size());
+    uint64_t* d = words_.data() + var * wpd_;
+    for (size_t wi = 0; wi < wpd_; ++wi) d[wi] = domains[var].word(wi);
+    counts_[var] = bitwords::Count(d, wpd_);
+  }
+  trail_.clear();
+  level_marks_.clear();
+  stamps_.assign(stamps_.size(), 0);
+  level_id_ = 1;
+}
+
+void Propagator::StoreDomains(std::vector<DynamicBitset>* domains) const {
+  domains->assign(csp_->var_count(), DynamicBitset(csp_->domain_size()));
+  for (Element var = 0; var < csp_->var_count(); ++var) {
+    const uint64_t* d = words_.data() + var * wpd_;
+    for (size_t wi = 0; wi < wpd_; ++wi) (*domains)[var].set_word(wi, d[wi]);
+  }
+}
+
+void Propagator::PushLevel() {
+  level_marks_.push_back(trail_.size());
+  ++level_id_;
+}
+
+void Propagator::PopLevel() {
+  CQCS_CHECK(!level_marks_.empty());
+  const size_t mark = level_marks_.back();
+  level_marks_.pop_back();
+  while (trail_.size() > mark) {
+    const TrailEntry& e = trail_.back();
+    const uint64_t cur = words_[e.slot];
+    words_[e.slot] = e.old_word;
+    counts_[e.slot / wpd_] +=
+        static_cast<size_t>(std::popcount(e.old_word)) -
+        static_cast<size_t>(std::popcount(cur));
+    trail_.pop_back();
+  }
+  // New id so the next level's first write to any word re-saves it.
+  ++level_id_;
+}
+
+void Propagator::SaveWord(size_t slot) {
+  // Root-level changes (no open level) are permanent: nothing will undo
+  // them, so recording would only grow the trail.
+  if (level_marks_.empty()) return;
+  if (stamps_[slot] == level_id_) return;
+  stamps_[slot] = level_id_;
+  trail_.push_back(TrailEntry{slot, words_[slot]});
+}
+
+void Propagator::Assign(Element var, Element value) {
+  const size_t base = var * wpd_;
+  const size_t vw = value >> 6;
+  for (size_t wi = 0; wi < wpd_; ++wi) {
+    const uint64_t target = (wi == vw) ? (1ULL << (value & 63)) : 0ULL;
+    if (words_[base + wi] != target) {
+      SaveWord(base + wi);
+      words_[base + wi] = target;
+    }
+  }
+  counts_[var] = 1;
+}
+
+void Propagator::ClearValue(Element var, Element v) {
+  const size_t slot = var * wpd_ + (v >> 6);
+  SaveWord(slot);
+  words_[slot] &= ~(1ULL << (v & 63));
+  --counts_[var];
+}
+
+bool Propagator::TupleAlive(const Relation& rb, uint32_t t,
+                            const Constraint& c) const {
+  const Element* u = rb.data().data() + static_cast<size_t>(t) * rb.arity();
+  for (const auto& [p, q] : c.eq_pairs) {
+    if (u[p] != u[q]) return false;
+  }
+  const uint32_t arity = rb.arity();
+  for (uint32_t p = 0; p < arity; ++p) {
+    if (!bitwords::TestBit(words_.data() + c.scope_tuple[p] * wpd_, u[p])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Propagator::Revise(uint32_t ci, std::vector<Element>* changed) {
+  const Constraint& c = csp_->constraints()[ci];
+  const Relation& rb = csp_->b().relation(c.rel);
+  const size_t domain_size = csp_->domain_size();
+  for (size_t i = 0; i < c.vars.size(); ++i) {
+    const Element var = c.vars[i];
+    const uint32_t pos = c.pos_of_var(i);
+    uint32_t* residue = residues_.data() + c.residue_offset + i * domain_size;
+    bool shrank = false;
+    ForEachValue(var, [&](size_t value) {
+      const Element v = static_cast<Element>(value);
+      const uint32_t r = residue[v];
+      if (r != kNoResidue && TupleAlive(rb, r, c)) return;
+      for (uint32_t t : rb.TuplesWith(pos, v)) {
+        if (TupleAlive(rb, t, c)) {
+          residue[v] = t;
+          return;
+        }
+      }
+      ClearValue(var, v);
+      shrank = true;
+    });
+    if (shrank) {
+      if (changed != nullptr) changed->push_back(var);
+      if (counts_[var] == 0) return false;
+    }
+  }
+  return true;
+}
+
+void Propagator::EnqueueConstraintsOf(Element var, uint32_t except) {
+  for (uint32_t cj : csp_->constraints_of(var)) {
+    if (cj != except && !in_queue_[cj]) {
+      in_queue_[cj] = 1;
+      queue_.push_back(cj);
+    }
+  }
+}
+
+bool Propagator::RunQueue() {
+  while (head_ < queue_.size()) {
+    const uint32_t ci = queue_[head_++];
+    in_queue_[ci] = 0;
+    changed_scratch_.clear();
+    if (!Revise(ci, &changed_scratch_)) {
+      for (size_t k = head_; k < queue_.size(); ++k) in_queue_[queue_[k]] = 0;
+      queue_.clear();
+      head_ = 0;
+      return false;
+    }
+    for (Element var : changed_scratch_) EnqueueConstraintsOf(var, ci);
+  }
+  queue_.clear();
+  head_ = 0;
+  return true;
+}
+
+bool Propagator::Propagate(Element seed_var, bool cascade) {
+  if (!cascade) {
+    for (uint32_t ci : csp_->constraints_of(seed_var)) {
+      if (!Revise(ci, nullptr)) return false;
+    }
+    return true;
+  }
+  for (uint32_t ci : csp_->constraints_of(seed_var)) {
+    if (!in_queue_[ci]) {
+      in_queue_[ci] = 1;
+      queue_.push_back(ci);
+    }
+  }
+  return RunQueue();
+}
+
+bool Propagator::EstablishGac() {
+  for (uint32_t ci = 0; ci < csp_->constraints().size(); ++ci) {
+    if (!in_queue_[ci]) {
+      in_queue_[ci] = 1;
+      queue_.push_back(ci);
+    }
+  }
+  return RunQueue();
+}
+
+}  // namespace cqcs

@@ -1,0 +1,139 @@
+// Trail-based propagation engine for the backtracking solver.
+//
+// The propagator owns all search-time mutable state so that one instance is
+// reused across the entire search with zero per-node allocation:
+//
+//  * Domains live in one flat uint64_t array (var_count x words-per-domain)
+//    with an incrementally maintained popcount per variable. MRV reads a
+//    counter instead of popcounting a bitset.
+//  * Mutations are undone through a trail: before the first write to a word
+//    within a level, the old word is recorded; PopLevel rewinds the trail.
+//    Backtracking costs O(words actually changed), not O(total domain bits)
+//    as the previous save-everything snapshot did.
+//  * Revision is AC-2001/3rm style: for each (constraint, var slot, value)
+//    a residue caches the last B-tuple found to support the value. A revise
+//    first rechecks the residue (usually still alive); only on failure does
+//    it walk the relation's (position, value) tuple list — never the whole
+//    relation. Residues are hints, so they survive backtracking unmanaged.
+//
+// See docs/solver.md for the full architecture.
+
+#ifndef CQCS_SOLVER_PROPAGATOR_H_
+#define CQCS_SOLVER_PROPAGATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.h"
+#include "solver/csp.h"
+
+namespace cqcs {
+
+class Propagator {
+ public:
+  explicit Propagator(const CspInstance& csp);
+
+  const CspInstance& csp() const { return *csp_; }
+
+  /// Resets every domain to full and discards the trail (root state).
+  void ResetToFull();
+
+  /// Overwrites the domains from `domains` (size var_count, each of size
+  /// domain_size) and discards the trail. For the free-function wrappers.
+  void LoadDomains(const std::vector<DynamicBitset>& domains);
+
+  /// Copies the current domains out (resizing `*domains` as needed).
+  void StoreDomains(std::vector<DynamicBitset>* domains) const;
+
+  // -- Domain queries ------------------------------------------------------
+
+  size_t domain_count(Element var) const { return counts_[var]; }
+
+  bool domain_test(Element var, Element v) const {
+    return bitwords::TestBit(words_.data() + var * wpd_, v);
+  }
+
+  /// Lowest value in the domain, or DynamicBitset::npos if empty.
+  size_t domain_first(Element var) const {
+    return bitwords::FindFirst(words_.data() + var * wpd_, wpd_);
+  }
+
+  /// Calls fn(value) for every domain value of `var` in increasing order.
+  template <typename Fn>
+  void ForEachValue(Element var, Fn fn) const {
+    bitwords::ForEachSetBit(words_.data() + var * wpd_, wpd_, fn);
+  }
+
+  // -- Search interface ----------------------------------------------------
+
+  /// Opens an undo scope. Every domain change until the matching PopLevel
+  /// is recorded and undone by it. Levels nest.
+  void PushLevel();
+
+  /// Rewinds all domain changes since the matching PushLevel.
+  void PopLevel();
+
+  /// Restricts var's domain to {value} (value must be in the domain).
+  void Assign(Element var, Element value);
+
+  /// Re-establishes consistency after `seed_var` changed: MAC to fixpoint
+  /// when `cascade`, else one revise per constraint of seed_var (forward
+  /// checking). Returns false iff a domain wiped out.
+  bool Propagate(Element seed_var, bool cascade);
+
+  /// Revises every constraint to a fixpoint (root GAC).
+  bool EstablishGac();
+
+  /// Revises one constraint; appends shrunk variables to `*changed` (if
+  /// non-null). Returns false iff a domain wiped out.
+  bool Revise(uint32_t ci, std::vector<Element>* changed);
+
+ private:
+  /// True iff B-tuple `t` of c's relation matches c's equality pattern and
+  /// every position's value is still in the corresponding domain.
+  bool TupleAlive(const Relation& rb, uint32_t t, const Constraint& c) const;
+
+  /// Records word `slot`'s value on the trail unless already recorded in
+  /// the current level.
+  void SaveWord(size_t slot);
+
+  /// Removes `v` from var's domain through the trail.
+  void ClearValue(Element var, Element v);
+
+  /// Drains the revision queue to a fixpoint. Clears in-queue flags on both
+  /// exits. Returns false iff a domain wiped out.
+  bool RunQueue();
+
+  void EnqueueConstraintsOf(Element var, uint32_t except);
+
+  struct TrailEntry {
+    size_t slot;
+    uint64_t old_word;
+  };
+
+  const CspInstance* csp_;
+  size_t wpd_;  // words per domain
+
+  std::vector<uint64_t> words_;   // var_count * wpd_, flat domains
+  std::vector<size_t> counts_;    // popcount per domain, kept in sync
+
+  std::vector<TrailEntry> trail_;
+  std::vector<size_t> level_marks_;
+  std::vector<uint64_t> stamps_;  // per word slot: level id of last save
+  uint64_t level_id_ = 1;         // bumped on every Push/Pop; 0 = never
+
+  /// Last-support residues, indexed by Constraint::residue_offset +
+  /// slot * domain_size + value. kNoResidue when unknown.
+  static constexpr uint32_t kNoResidue = UINT32_MAX;
+  std::vector<uint32_t> residues_;
+
+  // Reusable revision queue (FIFO over queue_[head_..]) and scratch.
+  std::vector<uint32_t> queue_;
+  size_t head_ = 0;
+  std::vector<uint8_t> in_queue_;
+  std::vector<Element> changed_scratch_;
+};
+
+}  // namespace cqcs
+
+#endif  // CQCS_SOLVER_PROPAGATOR_H_
