@@ -5,6 +5,9 @@
 // polynomial in |G|. Also general CQ containment (chain-in-random) as the
 // NP-complete base problem the tractable fragments carve out of.
 
+#include <algorithm>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "cq/containment.h"
@@ -14,7 +17,8 @@
 namespace cqcs {
 namespace {
 
-void BM_CliqueIntoRandomGraph(benchmark::State& state) {
+void RunCliqueIntoRandomGraph(benchmark::State& state,
+                              const SearchStrategy& strategy) {
   // Spears the nonuniformity: fixed target size, growing clique. The target
   // is triangle-rich but k-clique-free for larger k, so the solver must
   // exhaust the search space.
@@ -23,21 +27,195 @@ void BM_CliqueIntoRandomGraph(benchmark::State& state) {
   auto vocab = MakeGraphVocabulary();
   Structure clique = CliqueStructure(vocab, k);
   Structure g = RandomGraphStructure(vocab, 24, 0.5, rng, /*symmetric=*/true);
+  SolveOptions options;
+  options.strategy = strategy;
   SolveStats stats;
   bool found = false;
   for (auto _ : state) {
-    BacktrackingSolver solver(clique, g);
+    BacktrackingSolver solver(clique, g, options);
     stats = SolveStats{};
     auto h = solver.Solve(&stats);
     found = h.has_value();
     benchmark::DoNotOptimize(h);
   }
   state.counters["nodes"] = static_cast<double>(stats.nodes);
+  state.counters["backjumps"] = static_cast<double>(stats.backjumps);
+  state.counters["restarts"] = static_cast<double>(stats.restarts);
   state.counters["clique_found"] = found ? 1 : 0;
+}
+
+// PR 1 baseline: MRV, lexicographic values, chronological backtracking.
+void BM_CliqueIntoRandomGraph(benchmark::State& state) {
+  RunCliqueIntoRandomGraph(state, SearchStrategy{});
+}
+// The PR 2 strategy series: each adds one lever over the baseline so the
+// BENCH_solver.json trajectory shows where the node reductions come from.
+void BM_CliqueIntoRandomGraph_Cbj(benchmark::State& state) {
+  SearchStrategy strategy;
+  strategy.backjumping = true;
+  RunCliqueIntoRandomGraph(state, strategy);
+}
+void BM_CliqueIntoRandomGraph_CbjDomWdeg(benchmark::State& state) {
+  SearchStrategy strategy;
+  strategy.backjumping = true;
+  strategy.var_order = VarOrder::kDomWdeg;
+  strategy.val_order = ValOrder::kLeastConstraining;
+  RunCliqueIntoRandomGraph(state, strategy);
+}
+void BM_CliqueIntoRandomGraph_CbjDomWdegRestart(benchmark::State& state) {
+  SearchStrategy strategy;
+  strategy.backjumping = true;
+  strategy.var_order = VarOrder::kDomWdeg;
+  strategy.val_order = ValOrder::kLeastConstraining;
+  strategy.restarts = true;
+  RunCliqueIntoRandomGraph(state, strategy);
 }
 BENCHMARK(BM_CliqueIntoRandomGraph)
     ->DenseRange(3, 9)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CliqueIntoRandomGraph_Cbj)
+    ->DenseRange(3, 9)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CliqueIntoRandomGraph_CbjDomWdeg)
+    ->DenseRange(3, 9)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CliqueIntoRandomGraph_CbjDomWdegRestart)
+    ->DenseRange(3, 9)
+    ->Unit(benchmark::kMillisecond);
+
+// Note on the refutation series above: A = K_k has a *complete* constraint
+// graph, so every conflict set contains the current decision (CBJ provably
+// never jumps) and the variables are fully symmetric (MRV and dom/wdeg
+// coincide). The two series below break those symmetries so the strategy
+// levers can act — the instances where CBJ + dom/wdeg + LCV earn their keep.
+
+// G(n, p) with a k-clique planted on a random vertex subset: the k-clique
+// query is satisfiable, and the planted vertices carry far more incident
+// edges (= CSR supports) than the background, so least-constraining-value
+// ordering walks straight to the witness while lexicographic values slog
+// through the background graph. Aggregated over 10 seeds per iteration.
+Structure PlantedCliqueGraph(const VocabularyPtr& vocab, size_t n, double p,
+                             size_t k, Rng& rng) {
+  Structure background = RandomGraphStructure(vocab, n, p, rng,
+                                              /*symmetric=*/true);
+  std::vector<Element> verts(n);
+  for (size_t i = 0; i < n; ++i) verts[i] = static_cast<Element>(i);
+  for (size_t i = 0; i < n; ++i) {
+    std::swap(verts[i], verts[rng.Below(n)]);
+  }
+  // Background edges inside the planted subset are dropped before the
+  // clique edges go in: duplicate tuples would double those edges' CSR
+  // support counts and hand the LCV heuristic an artificial signal.
+  std::vector<uint8_t> planted(n, 0);
+  for (size_t i = 0; i < k; ++i) planted[verts[i]] = 1;
+  Structure g(vocab, n);
+  const Relation& e = background.relation(0);
+  for (uint32_t t = 0; t < e.tuple_count(); ++t) {
+    std::span<const Element> tup = e.tuple(t);
+    if (planted[tup[0]] && planted[tup[1]]) continue;
+    g.AddTuple(0, tup);
+  }
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      if (i != j) g.AddTuple(0, {verts[i], verts[j]});
+    }
+  }
+  return g;
+}
+
+void RunPlantedCliqueRecovery(benchmark::State& state,
+                              const SearchStrategy& strategy) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  auto vocab = MakeGraphVocabulary();
+  SolveOptions options;
+  options.strategy = strategy;
+  uint64_t nodes = 0;
+  uint64_t found = 0;
+  for (auto _ : state) {
+    nodes = 0;
+    found = 0;
+    for (int seed = 0; seed < 10; ++seed) {
+      Rng rng(31337 + seed);
+      Structure clique = CliqueStructure(vocab, k);
+      Structure g = PlantedCliqueGraph(vocab, 26, 0.5, 9, rng);
+      BacktrackingSolver solver(clique, g, options);
+      SolveStats stats;
+      found += solver.Solve(&stats).has_value() ? 1 : 0;
+      nodes += stats.nodes;
+    }
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["cliques_found"] = static_cast<double>(found);
+}
+void BM_PlantedCliqueRecovery(benchmark::State& state) {
+  RunPlantedCliqueRecovery(state, SearchStrategy{});
+}
+void BM_PlantedCliqueRecovery_CbjDomWdegLcv(benchmark::State& state) {
+  SearchStrategy strategy;
+  strategy.backjumping = true;
+  strategy.var_order = VarOrder::kDomWdeg;
+  strategy.val_order = ValOrder::kLeastConstraining;
+  RunPlantedCliqueRecovery(state, strategy);
+}
+BENCHMARK(BM_PlantedCliqueRecovery)
+    ->DenseRange(7, 9)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PlantedCliqueRecovery_CbjDomWdegLcv)
+    ->DenseRange(7, 9)
+    ->Unit(benchmark::kMillisecond);
+
+// Sparse random patterns into small random targets under forward checking —
+// the classic FC-CBJ regime: FC leaves stale prunings whose conflicts skip
+// over intervening decisions, so backjumping collapses whole bands of the
+// refutation tree that chronological backtracking re-proves per sibling.
+// Aggregated over 10 seeds (mostly unsatisfiable at these densities).
+void RunSparseRefutation(benchmark::State& state,
+                         const SearchStrategy& strategy) {
+  auto vocab = MakeGraphVocabulary();
+  SolveOptions options;
+  options.propagation = Propagation::kForwardChecking;
+  options.strategy = strategy;
+  uint64_t nodes = 0;
+  uint64_t backjumps = 0;
+  uint64_t sat = 0;
+  for (auto _ : state) {
+    nodes = 0;
+    backjumps = 0;
+    sat = 0;
+    for (int seed = 0; seed < 10; ++seed) {
+      Rng rng(9100 + seed);
+      Structure a =
+          RandomGraphStructure(vocab, 50, 0.1, rng, /*symmetric=*/true);
+      Structure b =
+          RandomGraphStructure(vocab, 11, 0.26, rng, /*symmetric=*/true);
+      BacktrackingSolver solver(a, b, options);
+      SolveStats stats;
+      sat += solver.Solve(&stats).has_value() ? 1 : 0;
+      nodes += stats.nodes;
+      backjumps += stats.backjumps;
+    }
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["backjumps"] = static_cast<double>(backjumps);
+  state.counters["sat"] = static_cast<double>(sat);
+}
+void BM_SparseRefutationFc(benchmark::State& state) {
+  RunSparseRefutation(state, SearchStrategy{});
+}
+void BM_SparseRefutationFc_Cbj(benchmark::State& state) {
+  SearchStrategy strategy;
+  strategy.backjumping = true;
+  RunSparseRefutation(state, strategy);
+}
+void BM_SparseRefutationFc_CbjDomWdeg(benchmark::State& state) {
+  SearchStrategy strategy;
+  strategy.backjumping = true;
+  strategy.var_order = VarOrder::kDomWdeg;
+  RunSparseRefutation(state, strategy);
+}
+BENCHMARK(BM_SparseRefutationFc)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SparseRefutationFc_Cbj)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SparseRefutationFc_CbjDomWdeg)->Unit(benchmark::kMillisecond);
 
 void BM_CliqueFixedK_GraphSweep(benchmark::State& state) {
   // The nonuniform slices: k fixed, |G| growing — polynomial curves.

@@ -95,7 +95,8 @@ void BM_Horn_Backtracking(benchmark::State& state) {
 // CountSolutions walks a large tree. The ns/node counter is the solver
 // core's hot-path cost — the number the trail/support-index architecture
 // targets.
-void BM_Backtracking_NodeThroughput(benchmark::State& state) {
+void RunNodeThroughput(benchmark::State& state,
+                       const SearchStrategy& strategy) {
   const size_t n = static_cast<size_t>(state.range(0));
   Rng rng(2718);
   auto vocab = std::make_shared<Vocabulary>();
@@ -109,7 +110,9 @@ void BM_Backtracking_NodeThroughput(benchmark::State& state) {
     }
   }
   Structure a = RandomStructure(vocab, n, n / 2, rng);
-  BacktrackingSolver solver(a, b);
+  SolveOptions options;
+  options.strategy = strategy;
+  BacktrackingSolver solver(a, b, options);
   SolveStats stats;
   uint64_t total_nodes = 0;
   size_t count = 0;
@@ -127,7 +130,21 @@ void BM_Backtracking_NodeThroughput(benchmark::State& state) {
       static_cast<double>(total_nodes) * 1e-9,
       benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
 }
+void BM_Backtracking_NodeThroughput(benchmark::State& state) {
+  RunNodeThroughput(state, SearchStrategy{});
+}
+// Same tree walked with conflict tracking on: the delta against the series
+// above is CBJ's per-node bookkeeping cost (the acceptance bar is "no
+// ns/node regression" for the default path, bounded overhead here).
+void BM_Backtracking_NodeThroughput_Cbj(benchmark::State& state) {
+  SearchStrategy strategy;
+  strategy.backjumping = true;
+  RunNodeThroughput(state, strategy);
+}
 BENCHMARK(BM_Backtracking_NodeThroughput)
+    ->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime();
+BENCHMARK(BM_Backtracking_NodeThroughput_Cbj)
     ->Arg(32)->Arg(64)->Arg(128)->Arg(256)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime();
 

@@ -1,17 +1,23 @@
 #!/usr/bin/env bash
 # Runs the solver benchmarks with fixed seeds and writes BENCH_solver.json
 # (google-benchmark JSON with both binaries' entries merged), so successive
-# PRs leave a comparable perf trajectory.
+# PRs leave a comparable perf trajectory. The filter keeps the PR 1 series
+# and adds the PR 2 search-strategy series (CBJ / dom-wdeg / restarts
+# variants of the clique and node-throughput benches).
 #
 # Usage: bench/run_bench.sh [build-dir] [output.json]
 # Requires a configured build with CQCS_BUILD_BENCHMARKS=ON (needs the
 # google-benchmark package; the CMake config skips bench/ without it).
+#
+# Any bench binary crashing (or emitting unparsable JSON) aborts the script
+# with a non-zero exit: a partial BENCH_solver.json would silently poison
+# the perf trajectory.
 
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_solver.json}"
-FILTER='BM_CliqueIntoRandomGraph|BM_Backtracking_NodeThroughput|BM_Horn_Backtracking'
+FILTER='BM_CliqueIntoRandomGraph|BM_PlantedCliqueRecovery|BM_SparseRefutationFc|BM_Backtracking_NodeThroughput|BM_Horn_Backtracking'
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 
 cd "$(dirname "$0")/.."
@@ -28,12 +34,21 @@ tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 
 for bin in bench_hardness bench_uniform_boolean; do
-  "$BUILD_DIR/bench/$bin" \
-    --benchmark_filter="$FILTER" \
-    --benchmark_min_time="$MIN_TIME" \
-    --benchmark_out="$tmpdir/$bin.json" \
-    --benchmark_out_format=json \
-    --benchmark_repetitions=1
+  if ! "$BUILD_DIR/bench/$bin" \
+      --benchmark_filter="$FILTER" \
+      --benchmark_min_time="$MIN_TIME" \
+      --benchmark_out="$tmpdir/$bin.json" \
+      --benchmark_out_format=json \
+      --benchmark_repetitions=1; then
+    echo "error: $bin exited non-zero; refusing to write a partial $OUT" >&2
+    exit 1
+  fi
+  # A crash after the JSON header leaves a truncated file that would merge
+  # "successfully" — validate before trusting it.
+  if ! jq -e '.benchmarks | length > 0' "$tmpdir/$bin.json" >/dev/null; then
+    echo "error: $bin produced invalid or empty benchmark JSON" >&2
+    exit 1
+  fi
 done
 
 # Merge: keep the first file's context, concatenate benchmark entries.

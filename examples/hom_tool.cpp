@@ -1,11 +1,18 @@
 // cqcs command-line tool: the library's public API over text files.
 //
 // Usage:
-//   hom_tool solve A.struct B.struct        # hom(A -> B)?
+//   hom_tool solve A.struct B.struct [strategy...]   # hom(A -> B)?
 //   hom_tool contains "Q1(...) :- ..." "Q2(...) :- ..."
 //   hom_tool minimize "Q(...) :- ..."
 //   hom_tool evaluate "Q(...) :- ..." D.struct
 //   hom_tool classify B.struct              # Schaefer classes of Boolean B
+//
+// Strategy flags for `solve` (any order; defaults: MAC, MRV, lex values):
+//   --fc --mac                  propagation strength
+//   --lex --mrv --domwdeg       variable ordering
+//   --lcv                       least-constraining value ordering
+//   --cbj                       conflict-directed backjumping
+//   --restarts                  Luby restarts
 //
 // Structure files use the core/io.h format:
 //   universe 3
@@ -16,6 +23,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 #include "core/io.h"
 #include "cq/containment.h"
@@ -35,7 +43,32 @@ Result<Structure> LoadStructure(const char* path) {
   return ParseStructure(buffer.str());
 }
 
-int Solve(const char* a_path, const char* b_path) {
+bool ParseStrategyFlag(const char* arg, SolveOptions* options) {
+  std::string flag = arg;
+  if (flag == "--fc") {
+    options->propagation = Propagation::kForwardChecking;
+  } else if (flag == "--mac") {
+    options->propagation = Propagation::kMac;
+  } else if (flag == "--lex") {
+    options->strategy.var_order = VarOrder::kLex;
+  } else if (flag == "--mrv") {
+    options->strategy.var_order = VarOrder::kMrv;
+  } else if (flag == "--domwdeg") {
+    options->strategy.var_order = VarOrder::kDomWdeg;
+  } else if (flag == "--lcv") {
+    options->strategy.val_order = ValOrder::kLeastConstraining;
+  } else if (flag == "--cbj") {
+    options->strategy.backjumping = true;
+  } else if (flag == "--restarts") {
+    options->strategy.restarts = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int Solve(const char* a_path, const char* b_path, int flag_count,
+          char** flags) {
   auto a = LoadStructure(a_path);
   auto b = LoadStructure(b_path);
   if (!a.ok() || !b.ok()) {
@@ -49,15 +82,33 @@ int Solve(const char* a_path, const char* b_path) {
                 b->vocabulary()->ToString().c_str());
     return 1;
   }
-  auto h = FindHomomorphism(*a, *b);
+  SolveOptions options;
+  for (int i = 0; i < flag_count; ++i) {
+    if (!ParseStrategyFlag(flags[i], &options)) {
+      std::printf("error: unknown strategy flag %s\n", flags[i]);
+      return 2;
+    }
+  }
+  BacktrackingSolver solver(*a, *b, options);
+  SolveStats stats;
+  auto h = solver.Solve(&stats);
   if (!h.has_value()) {
     std::printf("no homomorphism\n");
-    return 0;
+  } else {
+    std::printf("homomorphism found:\n");
+    for (size_t e = 0; e < h->size(); ++e) {
+      std::printf("  %zu -> %u\n", e, (*h)[e]);
+    }
   }
-  std::printf("homomorphism found:\n");
-  for (size_t e = 0; e < h->size(); ++e) {
-    std::printf("  %zu -> %u\n", e, (*h)[e]);
-  }
+  std::printf(
+      "stats: nodes=%llu backtracks=%llu backjumps=%llu "
+      "longest_backjump=%llu restarts=%llu max_conflict_set=%llu\n",
+      static_cast<unsigned long long>(stats.nodes),
+      static_cast<unsigned long long>(stats.backtracks),
+      static_cast<unsigned long long>(stats.backjumps),
+      static_cast<unsigned long long>(stats.longest_backjump),
+      static_cast<unsigned long long>(stats.restarts),
+      static_cast<unsigned long long>(stats.max_conflict_set));
   return 0;
 }
 
@@ -161,7 +212,9 @@ int Demo() {
 int main(int argc, char** argv) {
   if (argc < 2) return Demo();
   std::string cmd = argv[1];
-  if (cmd == "solve" && argc == 4) return Solve(argv[2], argv[3]);
+  if (cmd == "solve" && argc >= 4) {
+    return Solve(argv[2], argv[3], argc - 4, argv + 4);
+  }
   if (cmd == "contains" && argc == 4) return ContainsCmd(argv[2], argv[3]);
   if (cmd == "minimize" && argc == 3) return MinimizeCmd(argv[2]);
   if (cmd == "evaluate" && argc == 4) return EvaluateCmd(argv[2], argv[3]);

@@ -1,10 +1,12 @@
 // Generic backtracking homomorphism solver — the uniform baseline.
 //
 // This is the algorithm every instance of the problem admits: search over
-// assignments of B-values to A-elements with MRV variable ordering and
-// constraint propagation (forward checking or full MAC). Exponential in the
-// worst case (the problem is NP-complete, [CM77]); the paper's Sections 3-5
-// identify inputs where specialized polynomial algorithms apply.
+// assignments of B-values to A-elements with constraint propagation (forward
+// checking or full MAC), pluggable variable/value ordering, optional
+// conflict-directed backjumping, and optional Luby restarts (SearchStrategy).
+// Exponential in the worst case (the problem is NP-complete, [CM77]); the
+// paper's Sections 3-5 identify inputs where specialized polynomial
+// algorithms apply.
 
 #ifndef CQCS_SOLVER_BACKTRACKING_H_
 #define CQCS_SOLVER_BACKTRACKING_H_
@@ -23,21 +25,79 @@ enum class Propagation {
   kMac,              ///< Maintain full generalized arc consistency.
 };
 
+/// Variable-ordering heuristics.
+enum class VarOrder {
+  kLex,      ///< First unassigned variable, in element order.
+  kMrv,      ///< Minimum remaining values, degree tie-break.
+  kDomWdeg,  ///< Minimize domain / failure-weight (wdeg); weights count
+             ///< constraint wipeouts per scope variable and are halved on
+             ///< every restart (Propagator::failure_weight).
+};
+
+/// Value-ordering heuristics.
+enum class ValOrder {
+  kLex,  ///< Increasing value.
+  kLeastConstraining,  ///< Most-supported value first, scored statically
+                       ///< from the CSR support index
+                       ///< (CspInstance::ValueSupportScores); lex tie-break.
+};
+
+/// How the search explores the tree. The defaults reproduce the PR 1
+/// behavior exactly (MRV, lexicographic values, chronological backtracking,
+/// no restarts); each knob is independently switchable.
+struct SearchStrategy {
+  VarOrder var_order = VarOrder::kMrv;
+  ValOrder val_order = ValOrder::kLex;
+  /// Conflict-directed backjumping: propagation records, per variable, the
+  /// set of decisions responsible for its domain prunings; on failure the
+  /// search returns straight to the deepest decision in the conflict set
+  /// instead of the chronologically previous one. Sound for all entry
+  /// points: once a solution is reported in a subtree, that subtree's
+  /// ancestors fall back to chronological backtracking so enumeration
+  /// never skips sibling solutions.
+  bool backjumping = false;
+  /// Luby-sequence restarts (cutoffs restart_base * 1,1,2,1,1,2,4,...
+  /// nodes), reusing the trail for the unwind. Only applied by Solve()
+  /// (first-solution search): a restarted enumeration would revisit
+  /// solutions, so ForEachSolution / CountSolutions / EnumerateProjections
+  /// ignore this flag. Complete: cutoffs grow without bound, so some run
+  /// exhausts the tree. Restarts never reset the node counter — node_limit
+  /// keeps its meaning across runs. Only useful with kDomWdeg: the decayed
+  /// failure weights are the one thing that survives the unwind, so under
+  /// any other (deterministic) ordering each run re-walks the identical
+  /// prefix and restarts are pure overhead.
+  bool restarts = false;
+  /// Luby unit, in search nodes (values < 1 are treated as 1).
+  uint64_t restart_base = 128;
+};
+
 /// Tuning and resource limits for the search.
 struct SolveOptions {
   Propagation propagation = Propagation::kMac;
   /// Abort after this many search nodes (0 = unlimited). When the limit is
   /// hit, Solve returns nullopt and stats->limit_hit is set: callers must
-  /// treat that as "unknown", not "no".
+  /// treat that as "unknown", not "no". The counter is cumulative across
+  /// restarts.
   uint64_t node_limit = 0;
-  /// Use the minimum-remaining-values heuristic (else lexicographic order).
-  bool mrv = true;
+  /// Heuristics: variable/value order, backjumping, restarts.
+  SearchStrategy strategy;
 };
 
 /// Search statistics, for the benchmark harnesses.
 struct SolveStats {
   uint64_t nodes = 0;
   uint64_t backtracks = 0;
+  /// Levels skipped by conflict-directed backjumping: each unit is one
+  /// variable whose remaining values were provably futile and never tried.
+  /// Zero when strategy.backjumping is off.
+  uint64_t backjumps = 0;
+  /// Longest single jump (consecutive levels skipped by one conflict).
+  uint64_t longest_backjump = 0;
+  /// Completed restarts (strategy.restarts; only Solve() restarts).
+  uint64_t restarts = 0;
+  /// Largest wipeout explanation seen: decisions in the conflict set at a
+  /// domain wipeout. Zero when backjumping is off.
+  uint64_t max_conflict_set = 0;
   bool limit_hit = false;
 };
 

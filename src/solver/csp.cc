@@ -113,6 +113,25 @@ std::vector<DynamicBitset> CspInstance::FullDomains() const {
   return domains;
 }
 
+std::span<const uint64_t> CspInstance::ValueSupportScores() const {
+  if (!value_support_scores_built_) {
+    value_support_scores_built_ = true;
+    value_support_scores_.assign(var_count() * domain_size(), 0);
+    const size_t d = domain_size();
+    for (const Constraint& c : constraints_) {
+      const Relation& rb = b_->relation(c.rel);
+      for (size_t i = 0; i < c.vars.size(); ++i) {
+        uint64_t* row = value_support_scores_.data() + c.vars[i] * d;
+        const uint32_t pos = c.pos_of_var(i);
+        for (Element v = 0; v < d; ++v) {
+          row[v] += rb.TuplesWith(pos, v).size();
+        }
+      }
+    }
+  }
+  return value_support_scores_;
+}
+
 // The vector<DynamicBitset> entry points below are the stable public API
 // (tests and one-shot callers); each wraps a throwaway Propagator. The
 // search loop keeps one Propagator alive instead — see backtracking.cc.

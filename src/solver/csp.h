@@ -18,6 +18,7 @@
 #define CQCS_SOLVER_CSP_H_
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -79,12 +80,22 @@ class CspInstance {
   /// Domains with every value allowed.
   std::vector<DynamicBitset> FullDomains() const;
 
+  /// Static least-constraining-value scores, laid out as
+  /// scores[var * domain_size + value] = total number of B-tuples
+  /// supporting var = value, summed over the constraints on var and read
+  /// straight off the shared CSR position index. A higher score means the
+  /// value leaves more live tuples in every scope, i.e. constrains the
+  /// neighbors less. Built lazily on first use, then cached.
+  std::span<const uint64_t> ValueSupportScores() const;
+
  private:
   const Structure* a_;
   const Structure* b_;
   std::vector<Constraint> constraints_;
   std::vector<std::vector<uint32_t>> constraints_of_var_;
   size_t residue_slots_ = 0;
+  mutable std::vector<uint64_t> value_support_scores_;
+  mutable bool value_support_scores_built_ = false;
 };
 
 /// Shrinks the domains of the variables of `constraints()[ci]` to their

@@ -7,14 +7,32 @@
 namespace cqcs {
 
 Propagator::Propagator(const CspInstance& csp)
-    : csp_(&csp), wpd_(bitwords::WordCount(csp.domain_size())) {
+    : csp_(&csp),
+      wpd_(bitwords::WordCount(csp.domain_size())),
+      cw_(bitwords::WordCount(csp.var_count())) {
   words_.resize(csp.var_count() * wpd_);
+  conflict_base_ = words_.size();
   counts_.resize(csp.var_count());
   stamps_.assign(words_.size(), 0);
   residues_.assign(csp.residue_slot_count(), kNoResidue);
   in_queue_.assign(csp.constraints().size(), 0);
   queue_.reserve(csp.constraints().size());
+  decision_bits_.assign(cw_, 0);
+  weights_.assign(csp.var_count(), 0);
   ResetToFull();
+}
+
+void Propagator::EnableConflictTracking() {
+  if (track_conflicts_) return;
+  CQCS_CHECK_MSG(level_marks_.empty(),
+                 "EnableConflictTracking requires the root state");
+  track_conflicts_ = true;
+  words_.resize(conflict_base_ + csp_->var_count() * cw_, 0);
+  stamps_.resize(words_.size(), 0);
+}
+
+void Propagator::DecayWeights() {
+  for (uint64_t& w : weights_) w >>= 1;
 }
 
 void Propagator::ResetToFull() {
@@ -27,6 +45,7 @@ void Propagator::ResetToFull() {
     if (wpd_ > 0) d[wpd_ - 1] = tail;
     counts_[var] = n;
   }
+  for (size_t wi = conflict_base_; wi < words_.size(); ++wi) words_[wi] = 0;
   trail_.clear();
   level_marks_.clear();
   stamps_.assign(stamps_.size(), 0);
@@ -41,6 +60,7 @@ void Propagator::LoadDomains(const std::vector<DynamicBitset>& domains) {
     for (size_t wi = 0; wi < wpd_; ++wi) d[wi] = domains[var].word(wi);
     counts_[var] = bitwords::Count(d, wpd_);
   }
+  for (size_t wi = conflict_base_; wi < words_.size(); ++wi) words_[wi] = 0;
   trail_.clear();
   level_marks_.clear();
   stamps_.assign(stamps_.size(), 0);
@@ -68,9 +88,13 @@ void Propagator::PopLevel() {
     const TrailEntry& e = trail_.back();
     const uint64_t cur = words_[e.slot];
     words_[e.slot] = e.old_word;
-    counts_[e.slot / wpd_] +=
-        static_cast<size_t>(std::popcount(e.old_word)) -
-        static_cast<size_t>(std::popcount(cur));
+    // Conflict-set words (slots past conflict_base_) have no popcount
+    // counter to maintain.
+    if (e.slot < conflict_base_) {
+      counts_[e.slot / wpd_] +=
+          static_cast<size_t>(std::popcount(e.old_word)) -
+          static_cast<size_t>(std::popcount(cur));
+    }
     trail_.pop_back();
   }
   // New id so the next level's first write to any word re-saves it.
@@ -121,6 +145,26 @@ bool Propagator::TupleAlive(const Relation& rb, uint32_t t,
   return true;
 }
 
+void Propagator::RecordPruneReason(const Constraint& c, size_t i) {
+  const Element var = c.vars[i];
+  const size_t base = conflict_base_ + var * cw_;
+  for (size_t j = 0; j < c.vars.size(); ++j) {
+    if (j == i) continue;
+    const Element u = c.vars[j];
+    const uint64_t* from = words_.data() + conflict_base_ + u * cw_;
+    for (size_t wi = 0; wi < cw_; ++wi) {
+      uint64_t add = from[wi];
+      if ((u >> 6) == wi && bitwords::TestBit(decision_bits_.data(), u)) {
+        add |= 1ULL << (u & 63);
+      }
+      if ((words_[base + wi] | add) != words_[base + wi]) {
+        SaveWord(base + wi);
+        words_[base + wi] |= add;
+      }
+    }
+  }
+}
+
 bool Propagator::Revise(uint32_t ci, std::vector<Element>* changed) {
   const Constraint& c = csp_->constraints()[ci];
   const Relation& rb = csp_->b().relation(c.rel);
@@ -144,8 +188,15 @@ bool Propagator::Revise(uint32_t ci, std::vector<Element>* changed) {
       shrank = true;
     });
     if (shrank) {
+      if (track_conflicts_) RecordPruneReason(c, i);
       if (changed != nullptr) changed->push_back(var);
-      if (counts_[var] == 0) return false;
+      if (counts_[var] == 0) {
+        conflict_var_ = var;
+        // dom/wdeg: this constraint just failed; its scope variables get
+        // heavier so the search branches on them earlier next time.
+        for (Element u : c.vars) ++weights_[u];
+        return false;
+      }
     }
   }
   return true;

@@ -15,6 +15,14 @@
 //    first rechecks the residue (usually still alive); only on failure does
 //    it walk the relation's (position, value) tuple list — never the whole
 //    relation. Residues are hints, so they survive backtracking unmanaged.
+//  * Optional conflict tracking (EnableConflictTracking) maintains, per
+//    variable, the set of decision variables responsible for its domain
+//    prunings. Conflict sets live in the same flat word array as the
+//    domains, so the one trail rewinds both in lockstep; the search reads
+//    them to implement conflict-directed backjumping.
+//  * Per-variable failure weights (dom/wdeg): every constraint wipeout
+//    bumps the weight of each variable in the failing constraint's scope.
+//    Weights are heuristic state — never trailed, halved on restart.
 //
 // See docs/solver.md for the full architecture.
 
@@ -88,6 +96,52 @@ class Propagator {
   /// non-null). Returns false iff a domain wiped out.
   bool Revise(uint32_t ci, std::vector<Element>* changed);
 
+  // -- Conflict tracking (for conflict-directed backjumping) ---------------
+
+  /// Turns on conflict-set maintenance. Must be called at the root (no open
+  /// levels); allocates var_count x WordCount(var_count) extra trailed words.
+  /// Idempotent.
+  void EnableConflictTracking();
+
+  bool conflict_tracking() const { return track_conflicts_; }
+
+  /// Words per conflict set (= WordCount(var_count)).
+  size_t conflict_words() const { return cw_; }
+
+  /// The conflict set of `var`: a bitset over variables, containing every
+  /// decision variable responsible (transitively, through propagation) for
+  /// some current pruning of var's domain. Always an over-approximation of
+  /// "nothing": removing any superset of the listed decisions may restore
+  /// values, removing none of them cannot. Valid only with tracking on.
+  const uint64_t* conflict_set(Element var) const {
+    return words_.data() + conflict_base_ + var * cw_;
+  }
+
+  /// Bitset over variables currently assigned by a search decision.
+  /// Maintained by Mark/UnmarkDecision, not by the trail: the search calls
+  /// them symmetrically around each level.
+  const uint64_t* decision_bits() const { return decision_bits_.data(); }
+
+  void MarkDecision(Element var) {
+    bitwords::SetBit(decision_bits_.data(), var);
+  }
+  void UnmarkDecision(Element var) {
+    bitwords::ResetBit(decision_bits_.data(), var);
+  }
+
+  /// The variable whose domain wiped out in the last failed Revise.
+  Element conflict_var() const { return conflict_var_; }
+
+  // -- Failure weights (dom/wdeg variable ordering) ------------------------
+
+  /// Number of constraint wipeouts involving `var`'s scope so far
+  /// (dom/wdeg numerator state). Bumped on every failed Revise.
+  uint64_t failure_weight(Element var) const { return weights_[var]; }
+
+  /// Halves every failure weight — called on restart so stale conflicts
+  /// fade while recent ones keep steering the variable order.
+  void DecayWeights();
+
  private:
   /// True iff B-tuple `t` of c's relation matches c's equality pattern and
   /// every position's value is still in the corresponding domain.
@@ -99,6 +153,11 @@ class Propagator {
 
   /// Removes `v` from var's domain through the trail.
   void ClearValue(Element var, Element v);
+
+  /// ORs into vars[i]'s conflict set the explanation for prunings of its
+  /// domain by constraint c: the union, over every other scope variable u,
+  /// of u's decision bit (if assigned) and u's own conflict set.
+  void RecordPruneReason(const Constraint& c, size_t i);
 
   /// Drains the revision queue to a fixpoint. Clears in-queue flags on both
   /// exits. Returns false iff a domain wiped out.
@@ -113,9 +172,20 @@ class Propagator {
 
   const CspInstance* csp_;
   size_t wpd_;  // words per domain
+  size_t cw_;   // words per conflict set (WordCount(var_count))
 
-  std::vector<uint64_t> words_;   // var_count * wpd_, flat domains
+  /// Flat domains (var_count * wpd_ words), followed — once conflict
+  /// tracking is enabled — by the conflict sets (var_count * cw_ words
+  /// starting at conflict_base_). One array so SaveWord/PopLevel rewind
+  /// both through the same trail.
+  std::vector<uint64_t> words_;
+  size_t conflict_base_ = 0;      // == var_count * wpd_ once tracking is on
+  bool track_conflicts_ = false;
   std::vector<size_t> counts_;    // popcount per domain, kept in sync
+
+  std::vector<uint64_t> decision_bits_;  // cw_ words; see decision_bits()
+  std::vector<uint64_t> weights_;        // per-var failure weight (dom/wdeg)
+  Element conflict_var_ = 0;             // last wipeout variable
 
   std::vector<TrailEntry> trail_;
   std::vector<size_t> level_marks_;

@@ -1,15 +1,23 @@
-// Randomized cross-check of the trail/indexed backtracking solver against a
-// brute-force reference enumerator.
+// Randomized cross-check of the backtracking solver against a brute-force
+// reference enumerator, over the full search-strategy matrix.
 //
 // The trail-based propagator (src/solver/propagator.cc) replaces the old
-// snapshot-and-rescan solver with incremental undo and support indexes; any
-// bug there silently corrupts containment and Datalog answers downstream.
-// This suite enumerates every assignment A -> B on small random instances
-// and asserts that CountSolutions and EnumerateProjections agree exactly,
-// under both forward checking and MAC.
+// snapshot-and-rescan solver with incremental undo and support indexes, and
+// PR 2 layered conflict-directed backjumping, pluggable variable/value
+// orderings, and Luby restarts on top; any bug in any of them silently
+// corrupts containment and Datalog answers downstream. This suite enumerates
+// every assignment A -> B on small random instances and asserts that every
+// configuration in
+//
+//   {FC, MAC} x {lex, MRV, dom/wdeg} x {lex, LCV} x {CBJ on/off}
+//            x {restarts on/off}
+//
+// returns the *identical solution set* (not just the same count) as the
+// oracle, and that EnumerateProjections' row sets are strategy-invariant.
 
 #include <algorithm>
 #include <set>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -68,15 +76,72 @@ std::set<std::vector<Element>> ProjectRows(
   return rows;
 }
 
+struct NamedConfig {
+  std::string name;
+  SolveOptions options;
+};
+
+// The full strategy matrix. restart_base is tiny so that restart-enabled
+// configs actually restart on these instances instead of finishing within
+// the first cutoff.
+const std::vector<NamedConfig>& StrategyMatrix() {
+  static const std::vector<NamedConfig>* matrix = [] {
+    auto* configs = new std::vector<NamedConfig>;
+    const std::pair<const char*, Propagation> props[] = {
+        {"fc", Propagation::kForwardChecking}, {"mac", Propagation::kMac}};
+    const std::pair<const char*, VarOrder> var_orders[] = {
+        {"lex", VarOrder::kLex},
+        {"mrv", VarOrder::kMrv},
+        {"domwdeg", VarOrder::kDomWdeg}};
+    const std::pair<const char*, ValOrder> val_orders[] = {
+        {"lex", ValOrder::kLex},
+        {"lcv", ValOrder::kLeastConstraining}};
+    for (const auto& [pn, prop] : props) {
+      for (const auto& [vn, vo] : var_orders) {
+        for (const auto& [van, valo] : val_orders) {
+          for (bool cbj : {false, true}) {
+            for (bool restarts : {false, true}) {
+              NamedConfig c;
+              c.name = std::string(pn) + "/" + vn + "/" + van +
+                       (cbj ? "/cbj" : "") + (restarts ? "/restart" : "");
+              c.options.propagation = prop;
+              c.options.strategy.var_order = vo;
+              c.options.strategy.val_order = valo;
+              c.options.strategy.backjumping = cbj;
+              c.options.strategy.restarts = restarts;
+              c.options.strategy.restart_base = 2;
+              configs->push_back(std::move(c));
+            }
+          }
+        }
+      }
+    }
+    return configs;
+  }();
+  return *matrix;
+}
+
 void CrossCheck(const Structure& a, const Structure& b, Rng& rng) {
   std::vector<Homomorphism> expected = ReferenceSolutions(a, b);
   std::sort(expected.begin(), expected.end());
 
-  for (Propagation propagation :
-       {Propagation::kForwardChecking, Propagation::kMac}) {
-    SolveOptions options;
-    options.propagation = propagation;
-    BacktrackingSolver solver(a, b, options);
+  // One random projection (possibly with repeated variables, possibly
+  // empty) shared across all configs: its row set must be config-invariant.
+  std::vector<Element> projection;
+  std::set<std::vector<Element>> expected_rows;
+  if (a.universe_size() > 0) {
+    projection.resize(rng.Below(a.universe_size() + 1));
+    for (Element& v : projection) {
+      v = static_cast<Element>(rng.Below(a.universe_size()));
+    }
+    expected_rows = ProjectRows(expected, projection);
+  }
+  const size_t cap =
+      expected_rows.empty() ? 0 : 1 + rng.Below(expected_rows.size());
+
+  for (const NamedConfig& config : StrategyMatrix()) {
+    SCOPED_TRACE(config.name);
+    BacktrackingSolver solver(a, b, config.options);
 
     EXPECT_EQ(solver.CountSolutions(), expected.size());
     EXPECT_EQ(solver.Solve().has_value(), !expected.empty());
@@ -89,15 +154,7 @@ void CrossCheck(const Structure& a, const Structure& b, Rng& rng) {
     std::sort(enumerated.begin(), enumerated.end());
     EXPECT_EQ(enumerated, expected);
 
-    // A random projection (possibly with repeated variables, possibly
-    // empty) must enumerate exactly the distinct projected rows.
     if (a.universe_size() > 0) {
-      std::vector<Element> projection(rng.Below(a.universe_size() + 1));
-      for (Element& v : projection) {
-        v = static_cast<Element>(rng.Below(a.universe_size()));
-      }
-      std::set<std::vector<Element>> expected_rows =
-          ProjectRows(expected, projection);
       std::vector<std::vector<Element>> rows =
           solver.EnumerateProjections(projection);
       EXPECT_EQ(std::set<std::vector<Element>>(rows.begin(), rows.end()),
@@ -105,8 +162,7 @@ void CrossCheck(const Structure& a, const Structure& b, Rng& rng) {
       EXPECT_EQ(rows.size(), expected_rows.size()) << "duplicate rows";
 
       // max_results must cap the row count exactly, never overshoot.
-      if (!expected_rows.empty()) {
-        const size_t cap = 1 + rng.Below(expected_rows.size());
+      if (cap > 0) {
         EXPECT_EQ(solver.EnumerateProjections(projection, cap).size(), cap);
       }
       EXPECT_TRUE(solver.EnumerateProjections(projection, 0).empty());
@@ -117,7 +173,7 @@ void CrossCheck(const Structure& a, const Structure& b, Rng& rng) {
 TEST(SolverCrossCheckTest, RandomGraphPairs) {
   VocabularyPtr vocab = MakeGraphVocabulary();
   Rng rng(20260729);
-  for (int trial = 0; trial < 60; ++trial) {
+  for (int trial = 0; trial < 110; ++trial) {
     const size_t n = 1 + rng.Below(4);
     const size_t m = 1 + rng.Below(3);
     Structure a = RandomGraphStructure(vocab, n, 0.5, rng, /*symmetric=*/false);
@@ -132,7 +188,7 @@ TEST(SolverCrossCheckTest, RandomMixedArityPairs) {
   vocab->AddRelation("T", 3);
   vocab->AddRelation("U", 1);
   Rng rng(0xc0ffee);
-  for (int trial = 0; trial < 40; ++trial) {
+  for (int trial = 0; trial < 90; ++trial) {
     const size_t n = 1 + rng.Below(4);
     const size_t m = 1 + rng.Below(3);
     // Random tuple counts leave some relations empty and some with repeated
