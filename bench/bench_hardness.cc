@@ -83,6 +83,45 @@ BENCHMARK(BM_CliqueIntoRandomGraph_CbjDomWdegRestart)
     ->DenseRange(3, 9)
     ->Unit(benchmark::kMillisecond);
 
+// Work-stealing parallel scaling series (PR 3): the same refutation with
+// 1/2/4/8 workers. UNSAT instances are the honest scaling measure — the
+// whole tree must be exhausted whatever the decomposition, so speedup is
+// pure tree-partitioning, with no first-solution racing luck. The
+// `workers`/`splits`/`steals` counters land in BENCH_solver.json next to
+// the nodes, and run_bench.sh records nproc alongside: on a single-core
+// host this series measures the parallel machinery's overhead, not
+// speedup, and the JSON context says which one you are looking at.
+void RunCliqueRefutationParallel(benchmark::State& state) {
+  const size_t k = 7;
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  Rng rng(31337);
+  auto vocab = MakeGraphVocabulary();
+  Structure clique = CliqueStructure(vocab, k);
+  Structure g = RandomGraphStructure(vocab, 24, 0.5, rng, /*symmetric=*/true);
+  SolveOptions options;
+  options.num_threads = threads;
+  SolveStats stats;
+  bool found = false;
+  for (auto _ : state) {
+    BacktrackingSolver solver(clique, g, options);
+    stats = SolveStats{};
+    auto h = solver.Solve(&stats);
+    found = h.has_value();
+    benchmark::DoNotOptimize(h);
+  }
+  state.counters["nodes"] = static_cast<double>(stats.nodes);
+  state.counters["workers"] = static_cast<double>(stats.workers);
+  state.counters["splits"] = static_cast<double>(stats.splits);
+  state.counters["steals"] = static_cast<double>(stats.steals);
+  state.counters["clique_found"] = found ? 1 : 0;
+}
+BENCHMARK(RunCliqueRefutationParallel)
+    ->Name("BM_CliqueRefutationParallel")
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 // Note on the refutation series above: A = K_k has a *complete* constraint
 // graph, so every conflict set contains the current decision (CBJ provably
 // never jumps) and the variables are fully symmetric (MRV and dom/wdeg
@@ -163,6 +202,40 @@ BENCHMARK(BM_PlantedCliqueRecovery)
 BENCHMARK(BM_PlantedCliqueRecovery_CbjDomWdegLcv)
     ->DenseRange(7, 9)
     ->Unit(benchmark::kMillisecond);
+
+// Satisfiable recovery with racing workers: whichever worker's subtree
+// holds a planted clique wins. Super-linear speedups are possible (a
+// stealer can start next to a witness the sequential order reaches late);
+// so is zero speedup when the sequential heuristic walks straight there.
+void RunPlantedCliqueParallel(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  auto vocab = MakeGraphVocabulary();
+  SolveOptions options;
+  options.num_threads = threads;
+  uint64_t nodes = 0;
+  uint64_t found = 0;
+  for (auto _ : state) {
+    nodes = 0;
+    found = 0;
+    for (int seed = 0; seed < 10; ++seed) {
+      Rng rng(31337 + seed);
+      Structure clique = CliqueStructure(vocab, 9);
+      Structure g = PlantedCliqueGraph(vocab, 26, 0.5, 9, rng);
+      BacktrackingSolver solver(clique, g, options);
+      SolveStats stats;
+      found += solver.Solve(&stats).has_value() ? 1 : 0;
+      nodes += stats.nodes;
+    }
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["cliques_found"] = static_cast<double>(found);
+}
+BENCHMARK(RunPlantedCliqueParallel)
+    ->Name("BM_PlantedCliqueParallel")
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 // Sparse random patterns into small random targets under forward checking —
 // the classic FC-CBJ regime: FC leaves stale prunings whose conflicts skip

@@ -1,11 +1,20 @@
 #!/usr/bin/env bash
 # Runs the solver benchmarks with fixed seeds and writes BENCH_solver.json
 # (google-benchmark JSON with both binaries' entries merged), so successive
-# PRs leave a comparable perf trajectory. The filter keeps the PR 1 series
-# and adds the PR 2 search-strategy series (CBJ / dom-wdeg / restarts
-# variants of the clique and node-throughput benches).
+# PRs leave a comparable perf trajectory. The filter keeps the PR 1 series,
+# the PR 2 search-strategy series (CBJ / dom-wdeg / restarts variants), and
+# the PR 3 work-stealing parallel scaling series (1/2/4/8 workers).
 #
-# Usage: bench/run_bench.sh [build-dir] [output.json]
+# The merged file's .context.host records the hardware and build the numbers
+# came from — nproc, compiler, build type, git sha — because the parallel
+# series is only comparable across machines with that context attached (an
+# 8-worker run on a single-core CI box measures overhead, not speedup).
+#
+# Usage: bench/run_bench.sh [--quick] [build-dir] [output.json]
+#   --quick   reduced series + minimal min_time, for CI smoke use: checks
+#             that every bench binary still runs and emits valid JSON
+#             without burning minutes on statistics.
+#
 # Requires a configured build with CQCS_BUILD_BENCHMARKS=ON (needs the
 # google-benchmark package; the CMake config skips bench/ without it).
 #
@@ -15,10 +24,25 @@
 
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_solver.json}"
-FILTER='BM_CliqueIntoRandomGraph|BM_PlantedCliqueRecovery|BM_SparseRefutationFc|BM_Backtracking_NodeThroughput|BM_Horn_Backtracking'
+QUICK=0
+ARGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) ARGS+=("$arg") ;;
+  esac
+done
+
+BUILD_DIR="${ARGS[0]:-build}"
+OUT="${ARGS[1]:-BENCH_solver.json}"
+FILTER='BM_CliqueIntoRandomGraph|BM_PlantedCliqueRecovery|BM_SparseRefutationFc|BM_Backtracking_NodeThroughput|BM_Horn_Backtracking|BM_CliqueRefutationParallel|BM_PlantedCliqueParallel'
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
+if [[ "$QUICK" == 1 ]]; then
+  # Smoke series: one cheap entry per binary plus the parallel scaling
+  # series (its correctness under load is exactly what CI should smoke).
+  FILTER='BM_CliqueIntoRandomGraph/3|BM_Backtracking_NodeThroughput/|BM_CliqueRefutationParallel'
+  MIN_TIME="${BENCH_MIN_TIME:-0.01}"
+fi
 
 cd "$(dirname "$0")/.."
 
@@ -51,9 +75,32 @@ for bin in bench_hardness bench_uniform_boolean; do
   fi
 done
 
-# Merge: keep the first file's context, concatenate benchmark entries.
-jq -s '{context: .[0].context,
-        benchmarks: (map(.benchmarks) | add)}' \
+# Hardware/build provenance for cross-machine comparability. Everything is
+# best-effort ("unknown") except nproc, which the parallel series cannot be
+# interpreted without.
+NPROC="$(nproc 2>/dev/null || echo 1)"
+COMPILER="$(grep -m1 '^CMAKE_CXX_COMPILER:' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null |
+            cut -d= -f2 || true)"
+COMPILER_VERSION="$("${COMPILER:-c++}" --version 2>/dev/null | head -1 || echo unknown)"
+BUILD_TYPE="$(grep -m1 '^CMAKE_BUILD_TYPE:' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null |
+              cut -d= -f2 || echo unknown)"
+GIT_SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+
+# Merge: keep the first file's context, inject the host block, concatenate
+# benchmark entries.
+jq -s --arg nproc "$NPROC" \
+      --arg compiler "${COMPILER_VERSION:-unknown}" \
+      --arg build_type "${BUILD_TYPE:-unknown}" \
+      --arg git_sha "$GIT_SHA" \
+      --argjson quick "$QUICK" \
+  '{context: (.[0].context + {host: {
+        nproc: ($nproc | tonumber),
+        compiler: $compiler,
+        build_type: $build_type,
+        git_sha: $git_sha,
+        quick: ($quick == 1)}}),
+    benchmarks: (map(.benchmarks) | add)}' \
   "$tmpdir"/bench_hardness.json "$tmpdir"/bench_uniform_boolean.json > "$OUT"
 
-echo "wrote $OUT ($(jq '.benchmarks | length' "$OUT") entries)"
+echo "wrote $OUT ($(jq '.benchmarks | length' "$OUT") entries," \
+     "nproc=$NPROC, quick=$QUICK)"

@@ -13,6 +13,8 @@
 //   --lcv                       least-constraining value ordering
 //   --cbj                       conflict-directed backjumping
 //   --restarts                  Luby restarts
+//   --threads=N                 parallel subtree search with N workers
+//                               (0 = one per hardware thread; default 1)
 //
 // Structure files use the core/io.h format:
 //   universe 3
@@ -21,6 +23,7 @@
 // Run without arguments for a demo over built-in inputs.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -61,6 +64,18 @@ bool ParseStrategyFlag(const char* arg, SolveOptions* options) {
     options->strategy.backjumping = true;
   } else if (flag == "--restarts") {
     options->strategy.restarts = true;
+  } else if (flag.rfind("--threads=", 0) == 0) {
+    // Digits only (strtoul would happily eat "-1" as ULONG_MAX), nonempty,
+    // and a sanity cap — a worker is a real OS thread.
+    const std::string digits = flag.substr(10);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      return false;
+    }
+    char* end = nullptr;
+    const unsigned long n = std::strtoul(digits.c_str(), &end, 10);
+    if (n > 1024) return false;
+    options->num_threads = static_cast<unsigned>(n);
   } else {
     return false;
   }
@@ -109,6 +124,12 @@ int Solve(const char* a_path, const char* b_path, int flag_count,
       static_cast<unsigned long long>(stats.longest_backjump),
       static_cast<unsigned long long>(stats.restarts),
       static_cast<unsigned long long>(stats.max_conflict_set));
+  if (stats.workers > 0) {
+    std::printf("parallel: workers=%llu splits=%llu steals=%llu\n",
+                static_cast<unsigned long long>(stats.workers),
+                static_cast<unsigned long long>(stats.splits),
+                static_cast<unsigned long long>(stats.steals));
+  }
   return 0;
 }
 

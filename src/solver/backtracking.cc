@@ -1,346 +1,18 @@
 #include "solver/backtracking.h"
 
-#include <algorithm>
-#include <bit>
 #include <unordered_set>
 
-#include "common/bitset.h"
-#include "common/check.h"
 #include "common/hash.h"
-#include "solver/propagator.h"
+#include "solver/parallel.h"
+#include "solver/search_context.h"
 
 namespace cqcs {
 
 namespace {
 
-enum class Step {
-  kExhausted,  // subtree fully explored
-  kPrune,      // solution found below; unwind to the prune boundary
-  kStop,       // abort the whole search (callback said stop / node limit)
-  kRestart,    // restart cutoff reached; unwind to the root and rerun
-};
-
-/// Luby sequence, 1-indexed: 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8...
-uint64_t LubyValue(uint64_t i) {
-  for (;;) {
-    if (std::has_single_bit(i + 1)) return (i + 1) >> 1;
-    i -= std::bit_floor(i + 1) - 1;
-  }
-}
-
-class SearchContext {
- public:
-  SearchContext(const CspInstance& csp, const SolveOptions& options,
-                std::span<const Element> projection,
-                std::function<bool(const Homomorphism&)> on_solution,
-                SolveStats* stats, bool first_solution_only = false)
-      : csp_(csp),
-        options_(options),
-        on_solution_(std::move(on_solution)),
-        stats_(stats != nullptr ? stats : &owned_stats_),
-        prop_(csp),
-        cbj_(options.strategy.backjumping),
-        // A restarted run would re-report every solution already delivered,
-        // so restarts only apply when the search stops at the first one.
-        restarts_(options.strategy.restarts && first_solution_only) {
-    assigned_.assign(csp_.var_count(), 0);
-    in_prefix_.assign(csp_.var_count(), 0);
-    // Deduplicated projection prefix: these variables are branched on first,
-    // so that after one full solution the search can discard the entire
-    // subtree below them (same projection => already reported).
-    for (Element v : projection) {
-      CQCS_CHECK(v < csp_.var_count());
-      if (in_prefix_[v]) continue;
-      in_prefix_[v] = 1;
-      prefix_.push_back(v);
-    }
-    prune_boundary_ = projection.empty() ? SIZE_MAX : prefix_.size();
-    // One value buffer per depth, sized once: the search itself does not
-    // allocate.
-    values_by_depth_.resize(csp_.var_count());
-    for (auto& values : values_by_depth_) values.reserve(csp_.domain_size());
-    solution_.resize(csp_.var_count());
-    if (cbj_) {
-      prop_.EnableConflictTracking();
-      cw_ = prop_.conflict_words();
-      fail_set_.assign(cw_, 0);
-      conflict_by_depth_.assign(csp_.var_count(),
-                                std::vector<uint64_t>(cw_, 0));
-    }
-    if (options_.strategy.val_order == ValOrder::kLeastConstraining &&
-        csp_.var_count() > 0 && csp_.domain_size() > 0) {
-      // The scores are static, so each variable's value order is too:
-      // sort once here, and per node just filter the permutation against
-      // the live domain instead of re-sorting.
-      const uint64_t* scores = csp_.ValueSupportScores().data();
-      const size_t d = csp_.domain_size();
-      lcv_perm_.resize(csp_.var_count() * d);
-      for (Element var = 0; var < csp_.var_count(); ++var) {
-        Element* perm = lcv_perm_.data() + var * d;
-        for (size_t v = 0; v < d; ++v) perm[v] = static_cast<Element>(v);
-        const uint64_t* row = scores + var * d;
-        // Least-constraining first: higher static support count means more
-        // live B-tuples in every scope the value touches. stable_sort
-        // keeps ties in lex order, so runs are deterministic.
-        std::stable_sort(perm, perm + d, [row](Element x, Element y) {
-          return row[x] > row[y];
-        });
-      }
-    }
-  }
-
-  /// Runs the search; returns the number of callback invocations.
-  size_t Run() {
-    if (options_.propagation == Propagation::kMac) {
-      if (!prop_.EstablishGac()) return solutions_;
-    } else {
-      // Even under forward checking, empty initial domains mean failure.
-      for (Element v = 0; v < csp_.var_count(); ++v) {
-        if (prop_.domain_count(v) == 0) return solutions_;
-      }
-    }
-    const uint64_t base = std::max<uint64_t>(1, options_.strategy.restart_base);
-    for (uint64_t run = 1;; ++run) {
-      restart_cutoff_ = restarts_ ? base * LubyValue(run) : 0;
-      run_start_nodes_ = stats_->nodes;
-      if (Search(0) != Step::kRestart) break;
-      // The node counter is cumulative: a restart unwinds the trail, not
-      // the accounting, so node_limit still bounds the whole search.
-      ++stats_->restarts;
-      prop_.DecayWeights();
-    }
-    return solutions_;
-  }
-
- private:
-  Step Search(size_t depth) {
-    if (depth == csp_.var_count()) return EmitSolution();
-    Element var = SelectVariable(depth);
-
-    std::vector<Element>& values = values_by_depth_[depth];
-    values.clear();
-    if (lcv_perm_.empty()) {
-      prop_.ForEachValue(
-          var, [&](size_t v) { values.push_back(static_cast<Element>(v)); });
-    } else {
-      // Walk the precomputed least-constraining order, keeping live values.
-      const Element* perm = lcv_perm_.data() + var * csp_.domain_size();
-      for (size_t i = 0; i < csp_.domain_size(); ++i) {
-        if (prop_.domain_test(var, perm[i])) values.push_back(perm[i]);
-      }
-    }
-    if (cbj_) {
-      std::fill(conflict_by_depth_[depth].begin(),
-                conflict_by_depth_[depth].end(), 0);
-    }
-    // Once a solution is reported anywhere below this frame, conflict sets
-    // stop being grounds for skipping: sibling values may lead to *other*
-    // solutions, which a pure-conflict argument says nothing about. The
-    // frame then backtracks chronologically and reports no conflict upward.
-    bool solution_below = false;
-
-    for (Element v : values) {
-      if (restarts_ &&
-          stats_->nodes - run_start_nodes_ >= restart_cutoff_) {
-        return Step::kRestart;
-      }
-      ++stats_->nodes;
-      if (options_.node_limit != 0 && stats_->nodes > options_.node_limit) {
-        stats_->limit_hit = true;
-        return Step::kStop;
-      }
-      prop_.PushLevel();
-      if (cbj_) prop_.MarkDecision(var);
-      prop_.Assign(var, v);
-      assigned_[var] = 1;
-      bool consistent = prop_.Propagate(
-          var, /*cascade=*/options_.propagation == Propagation::kMac);
-      Step child = Step::kExhausted;
-      const size_t solutions_before = solutions_;
-      if (consistent) {
-        child = Search(depth + 1);
-      } else {
-        ++stats_->backtracks;
-        if (cbj_) {
-          // The wipeout's explanation: every decision responsible for the
-          // emptied domain. Valid to read before PopLevel rewinds it.
-          const Element wiped = prop_.conflict_var();
-          const uint64_t* cs = prop_.conflict_set(wiped);
-          std::copy(cs, cs + cw_, fail_set_.begin());
-          // A wiped *decision* variable lost its other values to its own
-          // Assign, which records no reason — charge the decision itself.
-          if (bitwords::TestBit(prop_.decision_bits(), wiped)) {
-            bitwords::SetBit(fail_set_.data(), wiped);
-          }
-          fail_is_conflict_ = true;
-          jump_chain_ = 0;
-          uint64_t size = 0;
-          for (size_t wi = 0; wi < cw_; ++wi) {
-            size += static_cast<uint64_t>(
-                std::popcount(fail_set_[wi] & prop_.decision_bits()[wi]));
-          }
-          stats_->max_conflict_set =
-              std::max(stats_->max_conflict_set, size);
-        }
-      }
-      assigned_[var] = 0;
-      if (cbj_) prop_.UnmarkDecision(var);
-      prop_.PopLevel();
-      if (child == Step::kStop || child == Step::kRestart) return child;
-      if (solutions_ != solutions_before) solution_below = true;
-      if (child == Step::kPrune) {
-        // A solution was reported below. If this variable is outside the
-        // projection prefix, sibling values can only repeat the projection.
-        if (depth >= prune_boundary_) {
-          fail_is_conflict_ = false;
-          return Step::kPrune;
-        }
-        continue;  // otherwise move on to this variable's next value
-      }
-      // child == kExhausted: a failed subtree (or failed propagation, which
-      // filled fail_set_ above). Conflict-directed backjumping: if the
-      // failure's explanation does not mention this frame's variable, no
-      // sibling value can change it — return the same conflict upward,
-      // skipping the rest of this frame's values.
-      if (cbj_ && !solution_below) {
-        if (!fail_is_conflict_) {
-          solution_below = true;  // deeper frame already saw a solution
-        } else if (!bitwords::TestBit(fail_set_.data(), var)) {
-          ++stats_->backjumps;
-          ++jump_chain_;
-          stats_->longest_backjump =
-              std::max(stats_->longest_backjump, jump_chain_);
-          return Step::kExhausted;  // fail_set_ passes through unchanged
-        } else {
-          jump_chain_ = 0;
-          bitwords::ResetBit(fail_set_.data(), var);
-          uint64_t* acc = conflict_by_depth_[depth].data();
-          for (size_t wi = 0; wi < cw_; ++wi) acc[wi] |= fail_set_[wi];
-        }
-      }
-    }
-    if (cbj_ && !solution_below) {
-      // Every value failed: the frame's conflict is the union of the value
-      // conflicts plus the reasons this variable's other values were pruned
-      // before branching.
-      const uint64_t* own = prop_.conflict_set(var);
-      const uint64_t* acc = conflict_by_depth_[depth].data();
-      for (size_t wi = 0; wi < cw_; ++wi) fail_set_[wi] = acc[wi] | own[wi];
-      fail_is_conflict_ = true;
-      jump_chain_ = 0;
-    } else {
-      fail_is_conflict_ = false;
-    }
-    return Step::kExhausted;
-  }
-
-  Step EmitSolution() {
-    for (size_t i = 0; i < solution_.size(); ++i) {
-      size_t v = prop_.domain_first(static_cast<Element>(i));
-      CQCS_CHECK(v != DynamicBitset::npos);
-      solution_[i] = static_cast<Element>(v);
-    }
-    ++solutions_;
-    if (!on_solution_(solution_)) return Step::kStop;
-    return Step::kPrune;
-  }
-
-  // One tight scan per heuristic: the selection loop runs at every search
-  // node, so the strategy dispatch stays outside it.
-  Element SelectVariable(size_t depth) {
-    if (depth < prefix_.size()) return prefix_[depth];
-    switch (options_.strategy.var_order) {
-      case VarOrder::kLex:
-        return SelectLex();
-      case VarOrder::kMrv:
-        return SelectMrv();
-      case VarOrder::kDomWdeg:
-        return SelectDomWdeg();
-    }
-    CQCS_CHECK(false);
-  }
-
-  Element SelectLex() const {
-    for (Element v = 0; v < csp_.var_count(); ++v) {
-      if (!assigned_[v] && !in_prefix_[v]) return v;
-    }
-    CQCS_CHECK(false);
-  }
-
-  Element SelectMrv() const {
-    Element best = kUnassigned;
-    size_t best_size = SIZE_MAX;
-    size_t best_degree = 0;
-    for (Element v = 0; v < csp_.var_count(); ++v) {
-      if (assigned_[v] || in_prefix_[v]) continue;
-      const size_t size = prop_.domain_count(v);
-      const size_t degree = csp_.constraints_of(v).size();
-      if (size < best_size || (size == best_size && degree > best_degree)) {
-        best = v;
-        best_size = size;
-        best_degree = degree;
-      }
-    }
-    CQCS_CHECK(best != kUnassigned);
-    return best;
-  }
-
-  Element SelectDomWdeg() const {
-    Element best = kUnassigned;
-    size_t best_size = SIZE_MAX;
-    uint64_t best_weight = 1;
-    for (Element v = 0; v < csp_.var_count(); ++v) {
-      if (assigned_[v] || in_prefix_[v]) continue;
-      // Minimize size / weight without division: size_v * w_best <
-      // size_best * w_v. Weights are offset by 1 so conflict-free variables
-      // compare by domain size alone.
-      const size_t size = prop_.domain_count(v);
-      const uint64_t weight = prop_.failure_weight(v) + 1;
-      if (best == kUnassigned ||
-          static_cast<unsigned __int128>(size) * best_weight <
-              static_cast<unsigned __int128>(best_size) * weight) {
-        best = v;
-        best_size = size;
-        best_weight = weight;
-      }
-    }
-    CQCS_CHECK(best != kUnassigned);
-    return best;
-  }
-
-  const CspInstance& csp_;
-  SolveOptions options_;
-  std::function<bool(const Homomorphism&)> on_solution_;
-  SolveStats* stats_;
-  SolveStats owned_stats_;
-  Propagator prop_;
-  const bool cbj_;
-  const bool restarts_;
-  std::vector<uint8_t> assigned_;
-  std::vector<Element> prefix_;
-  std::vector<uint8_t> in_prefix_;
-  std::vector<std::vector<Element>> values_by_depth_;
-  Homomorphism solution_;
-  size_t prune_boundary_ = SIZE_MAX;
-  size_t solutions_ = 0;
-  /// Per-variable value permutation in least-constraining order (empty
-  /// unless ValOrder::kLeastConstraining): var_count x domain_size, flat.
-  std::vector<Element> lcv_perm_;
-
-  // CBJ plumbing: a failed child leaves its conflict set in fail_set_ (valid
-  // only when fail_is_conflict_); conflict_by_depth_ accumulates the value
-  // conflicts of the frame at each depth; jump_chain_ measures consecutive
-  // skipped levels for the longest_backjump stat.
-  size_t cw_ = 0;
-  std::vector<uint64_t> fail_set_;
-  bool fail_is_conflict_ = false;
-  std::vector<std::vector<uint64_t>> conflict_by_depth_;
-  uint64_t jump_chain_ = 0;
-
-  // Restart bookkeeping for the current run.
-  uint64_t restart_cutoff_ = 0;
-  uint64_t run_start_nodes_ = 0;
-};
+using solver_internal::ParallelSearch;
+using solver_internal::ResolveThreadCount;
+using solver_internal::SearchContext;
 
 // Row hash for projection deduplication.
 struct RowHash {
@@ -348,6 +20,22 @@ struct RowHash {
     return static_cast<size_t>(Fnv1a64(row.data(), row.size()));
   }
 };
+
+/// One search, sequential or parallel by options.num_threads. The callback
+/// contract is identical either way (the parallel driver serializes
+/// deliveries), so every entry point builds one closure and routes here.
+size_t RunSearch(const CspInstance& csp, const SolveOptions& options,
+                 std::span<const Element> projection,
+                 const std::function<bool(const Homomorphism&)>& on_solution,
+                 SolveStats* stats, bool first_solution_only) {
+  if (ResolveThreadCount(options.num_threads) > 1) {
+    return ParallelSearch(csp, options, projection, on_solution, stats,
+                          first_solution_only);
+  }
+  SearchContext ctx(csp, options, projection, on_solution, stats,
+                    first_solution_only);
+  return ctx.Run();
+}
 
 }  // namespace
 
@@ -357,22 +45,21 @@ BacktrackingSolver::BacktrackingSolver(const Structure& a, const Structure& b,
 
 std::optional<Homomorphism> BacktrackingSolver::Solve(SolveStats* stats) {
   std::optional<Homomorphism> found;
-  SearchContext ctx(
+  RunSearch(
       csp_, options_, {},
       [&found](const Homomorphism& h) {
         found = h;
         return false;  // stop at the first solution
       },
       stats, /*first_solution_only=*/true);
-  ctx.Run();
   return found;
 }
 
 size_t BacktrackingSolver::ForEachSolution(
     const std::function<bool(const Homomorphism&)>& on_solution,
     SolveStats* stats) {
-  SearchContext ctx(csp_, options_, {}, on_solution, stats);
-  return ctx.Run();
+  return RunSearch(csp_, options_, {}, on_solution, stats,
+                   /*first_solution_only=*/false);
 }
 
 std::vector<std::vector<Element>> BacktrackingSolver::EnumerateProjections(
@@ -381,35 +68,35 @@ std::vector<std::vector<Element>> BacktrackingSolver::EnumerateProjections(
   if (max_results == 0) return {};
   std::unordered_set<std::vector<Element>, RowHash> seen;
   std::vector<std::vector<Element>> results;
-  SearchContext ctx(
+  RunSearch(
       csp_, options_, projection,
       [&](const Homomorphism& h) {
         std::vector<Element> row(projection.size());
         for (size_t i = 0; i < projection.size(); ++i) row[i] = h[projection[i]];
         // The prefix-pruned search advances a projection variable between
-        // reports, so rows repeat only in corner cases (empty projection);
-        // the set is cheap insurance for the dedup contract.
+        // reports, so rows repeat only in corner cases (empty projection —
+        // and, in parallel mode, subtrees that were donated before the
+        // donor's solution pruned them); the set enforces the dedup
+        // contract either way.
         if (seen.insert(row).second) {
           results.push_back(std::move(row));
           if (results.size() >= max_results) return false;
         }
         return true;
       },
-      stats);
-  ctx.Run();
+      stats, /*first_solution_only=*/false);
   return results;
 }
 
 size_t BacktrackingSolver::CountSolutions(size_t limit, SolveStats* stats) {
   size_t count = 0;
-  SearchContext ctx(
+  RunSearch(
       csp_, options_, {},
       [&count, limit](const Homomorphism&) {
         ++count;
         return count < limit;
       },
-      stats);
-  ctx.Run();
+      stats, /*first_solution_only=*/false);
   return count;
 }
 

@@ -77,10 +77,23 @@ struct SolveOptions {
   /// Abort after this many search nodes (0 = unlimited). When the limit is
   /// hit, Solve returns nullopt and stats->limit_hit is set: callers must
   /// treat that as "unknown", not "no". The counter is cumulative across
-  /// restarts.
+  /// restarts, and with num_threads > 1 it is a *global* budget enforced
+  /// across all workers (total nodes may overshoot by at most one in-flight
+  /// node per worker before everyone observes the cancellation).
   uint64_t node_limit = 0;
   /// Heuristics: variable/value order, backjumping, restarts.
   SearchStrategy strategy;
+  /// Worker threads for the search. 1 (the default) is exactly the
+  /// sequential search — byte-for-byte the same behavior and stats as
+  /// before this option existed. 0 means one worker per hardware thread.
+  /// With more than one worker the search tree is explored by work-stealing
+  /// subtree decomposition (see docs/solver.md "Parallel search"): Solve
+  /// races workers to the first solution (which witness wins is
+  /// nondeterministic, but validity is not), enumeration entry points
+  /// deliver the exact sequential solution/projection sets in
+  /// nondeterministic order, and callbacks are serialized — never invoked
+  /// concurrently.
+  unsigned num_threads = 1;
 };
 
 /// Search statistics, for the benchmark harnesses.
@@ -98,6 +111,18 @@ struct SolveStats {
   /// Largest wipeout explanation seen: decisions in the conflict set at a
   /// domain wipeout. Zero when backjumping is off.
   uint64_t max_conflict_set = 0;
+  // -- Parallel search (num_threads > 1; all zero on the sequential path).
+  // Per-worker counters are merged deterministically after the join:
+  // nodes/backtracks/backjumps/restarts are summed, longest_backjump and
+  // max_conflict_set maxed, limit_hit ORed.
+  /// Worker threads spawned.
+  uint64_t workers = 0;
+  /// Split events: a busy worker donated the untried values of its
+  /// shallowest open decision to the shared pool.
+  uint64_t splits = 0;
+  /// Subproblems taken from the shared pool by a worker other than the one
+  /// that seeded it (every pool pop except the initial root).
+  uint64_t steals = 0;
   bool limit_hit = false;
 };
 

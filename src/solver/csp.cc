@@ -114,6 +114,9 @@ std::vector<DynamicBitset> CspInstance::FullDomains() const {
 }
 
 std::span<const uint64_t> CspInstance::ValueSupportScores() const {
+  // Lazy, and deliberately unsynchronized: the only multi-threaded consumer
+  // (solver/parallel.cc) materializes the cache on the spawning thread
+  // before any worker can get here, after which every access is a read.
   if (!value_support_scores_built_) {
     value_support_scores_built_ = true;
     value_support_scores_.assign(var_count() * domain_size(), 0);
@@ -130,6 +133,26 @@ std::span<const uint64_t> CspInstance::ValueSupportScores() const {
     }
   }
   return value_support_scores_;
+}
+
+std::span<const Element> CspInstance::LcvValuePermutation() const {
+  if (!lcv_perm_built_) {
+    lcv_perm_built_ = true;
+    const size_t d = domain_size();
+    lcv_perm_.resize(var_count() * d);
+    const uint64_t* scores = ValueSupportScores().data();
+    for (Element var = 0; var < var_count(); ++var) {
+      Element* perm = lcv_perm_.data() + var * d;
+      for (size_t v = 0; v < d; ++v) perm[v] = static_cast<Element>(v);
+      const uint64_t* row = scores + var * d;
+      // Least-constraining first: higher static support count means more
+      // live B-tuples in every scope the value touches. stable_sort keeps
+      // ties in lex order, so runs are deterministic.
+      std::stable_sort(perm, perm + d,
+                       [row](Element x, Element y) { return row[x] > row[y]; });
+    }
+  }
+  return lcv_perm_;
 }
 
 // The vector<DynamicBitset> entry points below are the stable public API

@@ -13,6 +13,16 @@
 // and each constraint carries its first-occurrence positions and repeated-
 // position equality pairs so the propagator can test "is this B-tuple still
 // alive?" without rediscovering the scope shape. See docs/solver.md.
+//
+// Thread safety: a constructed CspInstance is logically immutable and safe
+// to share across the parallel search's workers — every per-node read
+// (constraints, constraints_of, the relations' CSR support indexes, which
+// the constructor materializes eagerly) touches only memory written before
+// the workers were spawned. The one lazily built cache is
+// ValueSupportScores(); the parallel driver (solver/parallel.cc) calls it
+// once on the spawning thread when the strategy needs it, so workers only
+// ever read it. Callers sharing an instance across threads by other means
+// must do the same warm-up.
 
 #ifndef CQCS_SOLVER_CSP_H_
 #define CQCS_SOLVER_CSP_H_
@@ -85,8 +95,18 @@ class CspInstance {
   /// supporting var = value, summed over the constraints on var and read
   /// straight off the shared CSR position index. A higher score means the
   /// value leaves more live tuples in every scope, i.e. constrains the
-  /// neighbors less. Built lazily on first use, then cached.
+  /// neighbors less. Built lazily on first use, then cached. NOT thread-safe
+  /// on the first call — warm it up before sharing the instance across
+  /// threads (the parallel search driver does; see the header comment).
   std::span<const uint64_t> ValueSupportScores() const;
+
+  /// Per-variable value permutation in least-constraining order (highest
+  /// ValueSupportScores first, lex tie-break — deterministic), laid out
+  /// flat as perm[var * domain_size + i]. The order is static, so it lives
+  /// here rather than in per-search (and, in parallel mode, per-worker)
+  /// state: one sort per instance, shared by every worker. Same lazy-build
+  /// thread-safety caveat as ValueSupportScores.
+  std::span<const Element> LcvValuePermutation() const;
 
  private:
   const Structure* a_;
@@ -96,6 +116,8 @@ class CspInstance {
   size_t residue_slots_ = 0;
   mutable std::vector<uint64_t> value_support_scores_;
   mutable bool value_support_scores_built_ = false;
+  mutable std::vector<Element> lcv_perm_;
+  mutable bool lcv_perm_built_ = false;
 };
 
 /// Shrinks the domains of the variables of `constraints()[ci]` to their

@@ -1,0 +1,219 @@
+#include "solver/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "solver/search_context.h"
+
+namespace cqcs {
+namespace solver_internal {
+
+namespace {
+
+/// The shared pool plus the idle/termination protocol. Locking discipline:
+/// the mutex guards only pool pushes/pops and the busy/done bookkeeping —
+/// events that happen once per subproblem, not per node. The per-node hot
+/// path (cancellation, split polling, node budget) reads the atomics
+/// mirrored next to it without ever taking the lock.
+class WorkPool {
+ public:
+  explicit WorkPool(Subproblem root) {
+    pool_.push_back(std::move(root));
+    pool_size_.store(1, std::memory_order_relaxed);
+  }
+
+  // Each hot atomic on its own cache line: cancel/want_work/pool_size are
+  // read by every worker at every node, and global_nodes (node_limit runs)
+  // is written by every worker at every node — sharing a line would turn
+  // the reads into cross-core misses on each increment.
+  alignas(64) std::atomic<bool> cancel{false};
+  alignas(64) std::atomic<uint32_t> want_work{0};
+  alignas(64) std::atomic<size_t> pool_size_{0};
+  alignas(64) std::atomic<uint64_t> global_nodes{0};
+
+  /// Blocks until a subproblem is available (returns true, with `*sp`
+  /// filled and the caller marked busy) or the search is over — cancelled,
+  /// or pool empty with nobody busy (returns false).
+  bool Acquire(Subproblem* sp) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (cancel.load(std::memory_order_relaxed) || done_) return false;
+      if (!pool_.empty()) {
+        *sp = std::move(pool_.front());
+        pool_.pop_front();
+        pool_size_.store(pool_.size(), std::memory_order_relaxed);
+        ++pops_;
+        ++busy_;
+        return true;
+      }
+      if (busy_ == 0) {
+        done_ = true;
+        cv_.notify_all();
+        return false;
+      }
+      want_work.fetch_add(1, std::memory_order_relaxed);
+      cv_.wait(lock, [&] {
+        return cancel.load(std::memory_order_relaxed) || done_ ||
+               !pool_.empty();
+      });
+      want_work.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Marks the caller idle again; declares the search done if it drained
+  /// the last work.
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    --busy_;
+    if (pool_.empty() && busy_ == 0) {
+      done_ = true;
+      cv_.notify_all();
+    }
+  }
+
+  /// A busy worker donating freshly split subproblems.
+  void Donate(std::vector<Subproblem> subs) {
+    if (subs.empty()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++splits_;
+    for (Subproblem& sp : subs) pool_.push_back(std::move(sp));
+    pool_size_.store(pool_.size(), std::memory_order_relaxed);
+    cv_.notify_all();
+  }
+
+  /// Wakes every waiter after `cancel` was set (the flag is in the wait
+  /// predicate, so lock-then-notify cannot miss anyone).
+  void NotifyCancelled() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_.notify_all();
+  }
+
+  uint64_t splits() const { return splits_; }
+  /// Every pop except the initial root came from another worker's donation.
+  uint64_t steals() const { return pops_ > 0 ? pops_ - 1 : 0; }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Subproblem> pool_;
+  size_t busy_ = 0;
+  bool done_ = false;
+  uint64_t pops_ = 0;
+  uint64_t splits_ = 0;
+};
+
+void MergeStats(const SolveStats& in, SolveStats* out) {
+  out->nodes += in.nodes;
+  out->backtracks += in.backtracks;
+  out->backjumps += in.backjumps;
+  out->longest_backjump = std::max(out->longest_backjump, in.longest_backjump);
+  out->restarts += in.restarts;
+  out->max_conflict_set = std::max(out->max_conflict_set, in.max_conflict_set);
+  out->limit_hit = out->limit_hit || in.limit_hit;
+}
+
+}  // namespace
+
+unsigned ResolveThreadCount(unsigned num_threads) {
+  if (num_threads != 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+size_t ParallelSearch(const CspInstance& csp, const SolveOptions& options,
+                      std::span<const Element> projection,
+                      const std::function<bool(const Homomorphism&)>&
+                          on_solution,
+                      SolveStats* stats, bool first_solution_only) {
+  const unsigned workers = ResolveThreadCount(options.num_threads);
+  CQCS_CHECK(workers > 1);
+
+  // Materialize the lazily built shared caches while still single-threaded:
+  // after this, every CspInstance read the workers perform is const and
+  // data-race free (see the thread-safety note in solver/csp.h).
+  if (options.strategy.val_order == ValOrder::kLeastConstraining) {
+    csp.LcvValuePermutation();  // builds ValueSupportScores too
+  }
+
+  WorkPool pool(Subproblem{});
+
+  // All solution delivery is serialized here, so the caller's closure needs
+  // no internal locking, Solve's first-solution race has exactly one winner,
+  // and a false return (or a prior cancellation) suppresses every later
+  // delivery fleet-wide.
+  std::mutex cb_mu;
+  size_t delivered = 0;
+  auto serialized = [&](const Homomorphism& h) {
+    std::lock_guard<std::mutex> lock(cb_mu);
+    if (pool.cancel.load(std::memory_order_relaxed)) return false;
+    ++delivered;
+    const bool keep_going = on_solution(h);
+    if (!keep_going) {
+      pool.cancel.store(true, std::memory_order_relaxed);
+      pool.NotifyCancelled();
+    }
+    return keep_going;
+  };
+
+  ParallelHandles handles;
+  handles.cancel = &pool.cancel;
+  handles.want_work = &pool.want_work;
+  handles.pool_size = &pool.pool_size_;
+  handles.global_nodes = &pool.global_nodes;
+  handles.donate = [&pool](std::vector<Subproblem> subs) {
+    pool.Donate(std::move(subs));
+  };
+
+  // Cache-line padded: stats_->nodes is a per-node write, and adjacent
+  // workers' stats sharing a line would false-share it.
+  struct alignas(64) PaddedStats {
+    SolveStats stats;
+  };
+  std::vector<PaddedStats> worker_stats(workers);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      SearchContext ctx(csp, options, projection, serialized,
+                        &worker_stats[w].stats, first_solution_only,
+                        &handles);
+      // Root propagation is subproblem-independent: if it refutes the
+      // instance for one worker it does so for all, and no subproblem can
+      // succeed — exit without touching the pool (nobody waits forever:
+      // every worker exits the same way). Each worker recomputing it is a
+      // deliberate tradeoff: the fixpoints run concurrently (wall-clock ≈
+      // one fixpoint, not N), and the redundant run seeds the worker's
+      // private AC-2001 residues, which a domain-snapshot handoff from the
+      // spawning thread would leave cold.
+      if (!ctx.PrepareRoot()) return;
+      Subproblem sp;
+      while (pool.Acquire(&sp)) {
+        ctx.RunSubproblem(sp.decisions);
+        pool.Release();
+      }
+      // A worker that stopped on the node limit has set cancel; make sure
+      // waiters see it even if it never went through the pool again.
+      if (pool.cancel.load(std::memory_order_relaxed)) {
+        pool.NotifyCancelled();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  SolveStats owned;
+  SolveStats* merged = stats != nullptr ? stats : &owned;
+  for (const PaddedStats& ws : worker_stats) MergeStats(ws.stats, merged);
+  merged->workers = workers;
+  merged->splits = pool.splits();
+  merged->steals = pool.steals();
+  return delivered;
+}
+
+}  // namespace solver_internal
+}  // namespace cqcs

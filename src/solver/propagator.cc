@@ -213,6 +213,14 @@ void Propagator::EnqueueConstraintsOf(Element var, uint32_t except) {
 
 bool Propagator::RunQueue() {
   while (head_ < queue_.size()) {
+    // Cancelled workers bail out of the fixpoint; the caller's node loop
+    // sees the flag next and unwinds, discarding this spurious failure.
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      for (size_t k = head_; k < queue_.size(); ++k) in_queue_[queue_[k]] = 0;
+      queue_.clear();
+      head_ = 0;
+      return false;
+    }
     const uint32_t ci = queue_[head_++];
     in_queue_[ci] = 0;
     changed_scratch_.clear();
@@ -232,6 +240,9 @@ bool Propagator::RunQueue() {
 bool Propagator::Propagate(Element seed_var, bool cascade) {
   if (!cascade) {
     for (uint32_t ci : csp_->constraints_of(seed_var)) {
+      if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+        return false;
+      }
       if (!Revise(ci, nullptr)) return false;
     }
     return true;

@@ -24,11 +24,20 @@
 //    bumps the weight of each variable in the failing constraint's scope.
 //    Weights are heuristic state — never trailed, halved on restart.
 //
+// Threading contract: a Propagator is single-threaded state. The parallel
+// search (solver/parallel.cc) gives every worker its own instance; what they
+// share is only the immutable CspInstance (see the thread-safety note in
+// solver/csp.h). The one concession to parallelism here is an optional
+// cancellation flag (set_cancel_flag): a long MAC fixpoint polls it once per
+// queue iteration so a cancelled worker aborts mid-propagation instead of
+// finishing a doomed revision cascade.
+//
 // See docs/solver.md for the full architecture.
 
 #ifndef CQCS_SOLVER_PROPAGATOR_H_
 #define CQCS_SOLVER_PROPAGATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -142,6 +151,16 @@ class Propagator {
   /// fade while recent ones keep steering the variable order.
   void DecayWeights();
 
+  // -- Cancellation (parallel search) --------------------------------------
+
+  /// Installs a shared stop flag (or nullptr to detach). While the flag
+  /// reads true, revision loops fail fast: Propagate / EstablishGac return
+  /// false without finishing the fixpoint. The spurious "wipeout" is safe —
+  /// the search observes the flag at its next node and unwinds everything —
+  /// but it means results after cancellation must be discarded, which is
+  /// exactly what the parallel driver does.
+  void set_cancel_flag(const std::atomic<bool>* cancel) { cancel_ = cancel; }
+
  private:
   /// True iff B-tuple `t` of c's relation matches c's equality pattern and
   /// every position's value is still in the corresponding domain.
@@ -186,6 +205,7 @@ class Propagator {
   std::vector<uint64_t> decision_bits_;  // cw_ words; see decision_bits()
   std::vector<uint64_t> weights_;        // per-var failure weight (dom/wdeg)
   Element conflict_var_ = 0;             // last wipeout variable
+  const std::atomic<bool>* cancel_ = nullptr;  // see set_cancel_flag
 
   std::vector<TrailEntry> trail_;
   std::vector<size_t> level_marks_;

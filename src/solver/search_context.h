@@ -1,0 +1,175 @@
+// The DFS engine shared by the sequential and parallel solver front ends.
+//
+// SearchContext was born inside backtracking.cc; the parallel subsystem
+// (solver/parallel.cc) needs the same loop — variable/value ordering,
+// conflict-directed backjumping, Luby restarts, projection-prefix pruning —
+// running inside each worker thread, so it lives here as an internal header.
+// It is not part of the public API (include solver/backtracking.h instead).
+//
+// Two extensions over the PR 2 search make subtree parallelism possible:
+//
+//  * Subproblem replay. RunSubproblem takes a decision prefix (a list of
+//    (variable, value) assignments) and replays it through the ordinary
+//    trail machinery before searching the subtree below it. A subproblem is
+//    therefore nothing but a path into the sequential search tree, and a
+//    worker's propagator reaches the exact domain state the donor had at
+//    the split point — same subtree, same node counts.
+//
+//  * Parallel handles. When constructed with a ParallelHandles pointer the
+//    node loop additionally (a) checks a shared cancellation flag, (b)
+//    counts nodes against a shared budget so node_limit bounds the whole
+//    parallel search, and (c) when idle workers exist and the shared pool
+//    is empty, donates the untried values of its shallowest open decision
+//    as fresh subproblems (TrySplit). With a null pointer all three checks
+//    compile down to one branch per node and the search is byte-for-byte
+//    the sequential PR 2 behavior.
+
+#ifndef CQCS_SOLVER_SEARCH_CONTEXT_H_
+#define CQCS_SOLVER_SEARCH_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/homomorphism.h"
+#include "solver/backtracking.h"
+#include "solver/csp.h"
+#include "solver/propagator.h"
+
+namespace cqcs {
+namespace solver_internal {
+
+/// A decision prefix: assignments in the order they were branched on. Workers
+/// replay it (with propagation after each step) to reconstruct the donor's
+/// search state, then explore the subtree below exhaustively.
+struct Subproblem {
+  std::vector<std::pair<Element, Element>> decisions;
+};
+
+/// Shared-state handles wired in by the parallel driver. All pointers stay
+/// owned by the driver and outlive every worker's SearchContext.
+struct ParallelHandles {
+  /// Set once, read per node (relaxed): first solution found in a race,
+  /// callback asked to stop, or the global node budget ran out.
+  std::atomic<bool>* cancel = nullptr;
+  /// Number of workers currently idle and waiting for subproblems.
+  std::atomic<uint32_t>* want_work = nullptr;
+  /// Approximate size of the shared subproblem pool (maintained by the
+  /// driver). Splitting is worth it only when the pool is dry.
+  std::atomic<size_t>* pool_size = nullptr;
+  /// Nodes across all workers; node_limit is enforced against this total.
+  std::atomic<uint64_t>* global_nodes = nullptr;
+  /// Hands freshly split subproblems to the pool. Called rarely (only when
+  /// want_work > 0 and the pool is empty), so a std::function is fine.
+  std::function<void(std::vector<Subproblem>)> donate;
+};
+
+class SearchContext {
+ public:
+  SearchContext(const CspInstance& csp, const SolveOptions& options,
+                std::span<const Element> projection,
+                std::function<bool(const Homomorphism&)> on_solution,
+                SolveStats* stats, bool first_solution_only = false,
+                const ParallelHandles* par = nullptr);
+
+  /// Root propagation: MAC establishes GAC, forward checking verifies no
+  /// domain starts empty. Returns false iff the whole instance is already
+  /// refuted (then no subproblem can succeed either). Call once.
+  bool PrepareRoot();
+
+  /// Replays `decisions` (empty = the whole tree) and exhausts the subtree
+  /// below, including the per-run restart loop for first-solution searches.
+  /// Reusable: call repeatedly on the same context with different prefixes;
+  /// trail state is fully unwound between calls (residues, dom/wdeg weights
+  /// persist — they are heuristic hints, not logical state).
+  void RunSubproblem(std::span<const std::pair<Element, Element>> decisions);
+
+  /// The sequential entry point: PrepareRoot + RunSubproblem({}).
+  /// Returns the number of callback invocations.
+  size_t Run();
+
+  size_t solutions() const { return solutions_; }
+
+ private:
+  enum class Step {
+    kExhausted,  // subtree fully explored
+    kPrune,      // solution found below; unwind to the prune boundary
+    kStop,       // abort the whole search (callback said stop / node limit)
+    kRestart,    // restart cutoff reached; unwind to the root and rerun
+  };
+
+  Step Search(size_t depth);
+  Step EmitSolution();
+  Element SelectVariable(size_t depth);
+  Element SelectLex() const;
+  Element SelectMrv() const;
+  Element SelectDomWdeg() const;
+
+  /// Counts one search node locally and (in parallel mode) against the
+  /// shared budget. Returns false iff node_limit was exceeded — the caller
+  /// must stop; in parallel mode this also cancels every other worker.
+  bool CountNode();
+
+  /// Donates every untried value of the shallowest open decision frame at or
+  /// above `cur_depth` as one subproblem each, truncating the local frame so
+  /// the values are explored exactly once (by their stealers). The donated
+  /// frame falls back to chronological backtracking: its "all values failed"
+  /// conflict union would otherwise cover values it no longer tried.
+  void TrySplit(size_t cur_depth);
+
+  const CspInstance& csp_;
+  SolveOptions options_;
+  std::function<bool(const Homomorphism&)> on_solution_;
+  SolveStats* stats_;
+  SolveStats owned_stats_;
+  Propagator prop_;
+  const bool cbj_;
+  const bool restarts_;
+  const ParallelHandles* par_;
+  std::vector<uint8_t> assigned_;
+  std::vector<Element> prefix_;
+  std::vector<uint8_t> in_prefix_;
+  std::vector<std::vector<Element>> values_by_depth_;
+  Homomorphism solution_;
+  size_t prune_boundary_ = SIZE_MAX;
+  size_t solutions_ = 0;
+  /// The instance's shared least-constraining value permutation
+  /// (CspInstance::LcvValuePermutation), or nullptr unless
+  /// ValOrder::kLeastConstraining: var_count x domain_size, flat.
+  const Element* lcv_perm_ = nullptr;
+
+  // CBJ plumbing: a failed child leaves its conflict set in fail_set_ (valid
+  // only when fail_is_conflict_); conflict_by_depth_ accumulates the value
+  // conflicts of the frame at each depth; jump_chain_ measures consecutive
+  // skipped levels for the longest_backjump stat.
+  size_t cw_ = 0;
+  std::vector<uint64_t> fail_set_;
+  bool fail_is_conflict_ = false;
+  std::vector<std::vector<uint64_t>> conflict_by_depth_;
+  uint64_t jump_chain_ = 0;
+
+  // Restart bookkeeping for the current run.
+  uint64_t restart_cutoff_ = 0;
+  uint64_t run_start_nodes_ = 0;
+
+  // Subproblem replay + splitting state. replay_len_ is the depth offset of
+  // Search(0) in the donor's (absolute) tree: frame k here sits at absolute
+  // depth k + replay_len_, which is what prune_boundary_ and the projection
+  // prefix are measured against. var_by_depth_ / value_idx_by_depth_ record,
+  // per open frame, the branched variable and the index of the value
+  // currently being explored, so TrySplit can package the untried tail;
+  // frame_donated_ marks frames whose CBJ exhaustion argument is void.
+  std::vector<std::pair<Element, Element>> replay_;
+  size_t replay_len_ = 0;
+  std::vector<Element> var_by_depth_;
+  std::vector<size_t> value_idx_by_depth_;
+  std::vector<uint8_t> frame_donated_;
+};
+
+}  // namespace solver_internal
+}  // namespace cqcs
+
+#endif  // CQCS_SOLVER_SEARCH_CONTEXT_H_

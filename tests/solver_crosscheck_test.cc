@@ -210,6 +210,90 @@ TEST(SolverCrossCheckTest, StructuredPairs) {
   CrossCheck(PathStructure(vocab, 4), PathStructure(vocab, 4), rng);
 }
 
+// Thread-count invariance oracle: the parallel search must deliver the
+// *identical* solution set, solution count, and projection row set as the
+// sequential path for every worker count, across the same kind of
+// randomized instance net the strategy matrix runs on. Instances here are
+// larger than the brute-force net (the sequential solver is the oracle, so
+// no |B|^|A| enumeration caps the size) — big enough that splitting and
+// stealing actually happen.
+void ThreadInvarianceCheck(const Structure& a, const Structure& b, Rng& rng) {
+  // A couple of strategy corners: the default, and everything on at once.
+  std::vector<SolveOptions> configs(2);
+  configs[1].propagation = Propagation::kForwardChecking;
+  configs[1].strategy.var_order = VarOrder::kDomWdeg;
+  configs[1].strategy.val_order = ValOrder::kLeastConstraining;
+  configs[1].strategy.backjumping = true;
+
+  std::vector<Element> projection;
+  if (a.universe_size() > 0) {
+    projection.resize(rng.Below(a.universe_size() + 1));
+    for (Element& v : projection) {
+      v = static_cast<Element>(rng.Below(a.universe_size()));
+    }
+  }
+
+  for (size_t ci = 0; ci < configs.size(); ++ci) {
+    SCOPED_TRACE(ci == 0 ? "default" : "fc/domwdeg/lcv/cbj");
+    BacktrackingSolver oracle(a, b, configs[ci]);
+    std::vector<Homomorphism> expected;
+    oracle.ForEachSolution([&](const Homomorphism& h) {
+      expected.push_back(h);
+      return true;
+    });
+    std::sort(expected.begin(), expected.end());
+    std::vector<std::vector<Element>> oracle_rows =
+        oracle.EnumerateProjections(projection);
+    const std::set<std::vector<Element>> expected_rows(oracle_rows.begin(),
+                                                       oracle_rows.end());
+
+    for (unsigned threads : {2u, 4u, 8u}) {
+      SCOPED_TRACE(threads);
+      SolveOptions options = configs[ci];
+      options.num_threads = threads;
+      BacktrackingSolver solver(a, b, options);
+
+      EXPECT_EQ(solver.CountSolutions(), expected.size());
+      auto h = solver.Solve();
+      EXPECT_EQ(h.has_value(), !expected.empty());
+      if (h.has_value()) {
+        EXPECT_TRUE(std::binary_search(expected.begin(), expected.end(), *h));
+      }
+
+      std::vector<Homomorphism> enumerated;
+      solver.ForEachSolution([&](const Homomorphism& sol) {
+        enumerated.push_back(sol);
+        return true;
+      });
+      std::sort(enumerated.begin(), enumerated.end());
+      EXPECT_EQ(enumerated, expected);
+
+      std::vector<std::vector<Element>> rows =
+          solver.EnumerateProjections(projection);
+      EXPECT_EQ(std::set<std::vector<Element>>(rows.begin(), rows.end()),
+                expected_rows);
+      EXPECT_EQ(rows.size(), expected_rows.size()) << "duplicate rows";
+    }
+  }
+}
+
+TEST(SolverCrossCheckTest, ThreadCountInvariance) {
+  VocabularyPtr vocab = MakeGraphVocabulary();
+  Rng rng(0x9a11e1);
+  for (int trial = 0; trial < 12; ++trial) {
+    const size_t n = 6 + rng.Below(5);
+    const size_t m = 3 + rng.Below(2);
+    Structure a = RandomGraphStructure(vocab, n, 0.4, rng, /*symmetric=*/true);
+    Structure b = RandomGraphStructure(vocab, m, 0.7, rng, /*symmetric=*/true);
+    ThreadInvarianceCheck(a, b, rng);
+  }
+  // Structured corners: heavy solution counts and a guaranteed refutation.
+  ThreadInvarianceCheck(UndirectedCycleStructure(vocab, 10),
+                        CliqueStructure(vocab, 3), rng);
+  ThreadInvarianceCheck(UndirectedCycleStructure(vocab, 9),
+                        CliqueStructure(vocab, 2), rng);
+}
+
 TEST(SolverCrossCheckTest, EmptyAndDegenerate) {
   VocabularyPtr vocab = MakeGraphVocabulary();
   Rng rng(11);
