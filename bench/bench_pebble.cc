@@ -20,9 +20,9 @@ void RunGame(benchmark::State& state, uint32_t k) {
   size_t positions = 0;
   bool spoiler = false;
   for (auto _ : state) {
-    ExistentialPebbleGame game(a, b, k);
-    positions = game.stats().total_positions;
-    spoiler = game.SpoilerWins();
+    auto game = ExistentialPebbleGame::Create(a, b, k);
+    positions = game->stats().total_positions;
+    spoiler = game->SpoilerWins();
     benchmark::DoNotOptimize(game);
   }
   state.counters["positions"] = static_cast<double>(positions);
@@ -50,8 +50,8 @@ void BM_PebbleGame_TargetSweep(benchmark::State& state) {
   Structure a = RandomGraphStructure(vocab, 10, 0.3, rng, false);
   Structure b = RandomGraphStructure(vocab, m, 0.4, rng, false);
   for (auto _ : state) {
-    ExistentialPebbleGame game(a, b, 2);
-    benchmark::DoNotOptimize(game.SpoilerWins());
+    auto game = ExistentialPebbleGame::Create(a, b, 2);
+    benchmark::DoNotOptimize(game->SpoilerWins());
   }
 }
 BENCHMARK(BM_PebbleGame_TargetSweep)

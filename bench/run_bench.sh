@@ -2,8 +2,9 @@
 # Runs the solver benchmarks with fixed seeds and writes BENCH_solver.json
 # (google-benchmark JSON with both binaries' entries merged), so successive
 # PRs leave a comparable perf trajectory. The filter keeps the PR 1 series,
-# the PR 2 search-strategy series (CBJ / dom-wdeg / restarts variants), and
-# the PR 3 work-stealing parallel scaling series (1/2/4/8 workers).
+# the PR 2 search-strategy series (CBJ / dom-wdeg / restarts variants),
+# the PR 3 work-stealing parallel scaling series (1/2/4/8 workers), and the
+# PR 4 front-door routing series (engine kAuto vs raw uniform per family).
 #
 # The merged file's .context.host records the hardware and build the numbers
 # came from — nproc, compiler, build type, git sha — because the parallel
@@ -35,7 +36,7 @@ done
 
 BUILD_DIR="${ARGS[0]:-build}"
 OUT="${ARGS[1]:-BENCH_solver.json}"
-FILTER='BM_CliqueIntoRandomGraph|BM_PlantedCliqueRecovery|BM_SparseRefutationFc|BM_Backtracking_NodeThroughput|BM_Horn_Backtracking|BM_CliqueRefutationParallel|BM_PlantedCliqueParallel'
+FILTER='BM_CliqueIntoRandomGraph|BM_PlantedCliqueRecovery|BM_SparseRefutationFc|BM_Backtracking_NodeThroughput|BM_Horn_Backtracking|BM_CliqueRefutationParallel|BM_PlantedCliqueParallel|BM_EngineAutoVsUniform'
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 if [[ "$QUICK" == 1 ]]; then
   # Smoke series: one cheap entry per binary plus the parallel scaling

@@ -60,11 +60,12 @@ Problem MakeProblem(size_t num_slots, bool overconstrained) {
 void SolveAndReport(const char* label, const Problem& problem) {
   // Cheap necessary condition first: if the Spoiler wins the 2-pebble game
   // there is certainly no schedule, without any search.
-  bool spoiler = SpoilerWinsExistentialKPebble(problem.sections,
+  auto spoiler = SpoilerWinsExistentialKPebble(problem.sections,
                                                problem.slots, 2);
   std::printf("%s\n  2-pebble relaxation: %s\n", label,
-              spoiler ? "infeasible (proved without search)"
-                      : "possibly feasible");
+              spoiler.ok() && *spoiler
+                  ? "infeasible (proved without search)"
+                  : "possibly feasible");
   SolveStats stats;
   BacktrackingSolver solver(problem.sections, problem.slots);
   auto schedule = solver.Solve(&stats);

@@ -15,6 +15,11 @@
 //   --restarts                  Luby restarts
 //   --threads=N                 parallel subtree search with N workers
 //                               (0 = one per hardware thread; default 1)
+//   --backend=NAME              auto | uniform | treewidth | acyclic |
+//                               schaefer (default auto: route from the
+//                               instance profile, falling back to uniform)
+//   --explain                   print the routing decision + unified stats
+//                               as one JSON object (machine-readable)
 //
 // Structure files use the core/io.h format:
 //   universe 3
@@ -28,6 +33,7 @@
 #include <sstream>
 #include <string>
 
+#include "api/engine.h"
 #include "core/io.h"
 #include "cq/containment.h"
 #include "cq/parser.h"
@@ -46,9 +52,17 @@ Result<Structure> LoadStructure(const char* path) {
   return ParseStructure(buffer.str());
 }
 
-bool ParseStrategyFlag(const char* arg, SolveOptions* options) {
+bool ParseStrategyFlag(const char* arg, EngineOptions* engine_options,
+                       bool* explain) {
+  SolveOptions* options = &engine_options->solve;
   std::string flag = arg;
-  if (flag == "--fc") {
+  if (flag == "--explain") {
+    *explain = true;
+  } else if (flag.rfind("--backend=", 0) == 0) {
+    auto backend = ParseBackendName(flag.substr(10));
+    if (!backend.has_value()) return false;
+    engine_options->backend = *backend;
+  } else if (flag == "--fc") {
     options->propagation = Propagation::kForwardChecking;
   } else if (flag == "--mac") {
     options->propagation = Propagation::kMac;
@@ -97,24 +111,50 @@ int Solve(const char* a_path, const char* b_path, int flag_count,
                 b->vocabulary()->ToString().c_str());
     return 1;
   }
-  SolveOptions options;
+  EngineOptions engine_options;
+  bool explain = false;
   for (int i = 0; i < flag_count; ++i) {
-    if (!ParseStrategyFlag(flags[i], &options)) {
+    if (!ParseStrategyFlag(flags[i], &engine_options, &explain)) {
       std::printf("error: unknown strategy flag %s\n", flags[i]);
       return 2;
     }
   }
-  BacktrackingSolver solver(*a, *b, options);
-  SolveStats stats;
-  auto h = solver.Solve(&stats);
-  if (!h.has_value()) {
-    std::printf("no homomorphism\n");
-  } else {
-    std::printf("homomorphism found:\n");
-    for (size_t e = 0; e < h->size(); ++e) {
-      std::printf("  %zu -> %u\n", e, (*h)[e]);
-    }
+  auto problem = HomProblem::FromStructures(*a, *b);
+  if (!problem.ok()) {
+    std::printf("error: %s\n", problem.status().ToString().c_str());
+    return 1;
   }
+  HomEngine engine(engine_options);
+  // The acyclic backend is decide-only; every other backend can witness.
+  const HomTask task = engine_options.backend == Backend::kAcyclic
+                           ? HomTask::kDecide
+                           : HomTask::kWitness;
+  auto result = engine.Run(*problem, task);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  if (!result->decided) {
+    std::printf(result->stats.search.limit_hit ? "unknown (node limit hit)\n"
+                                               : "no homomorphism\n");
+  } else if (result->witness.has_value()) {
+    std::printf("homomorphism found:\n");
+    const Homomorphism& h = *result->witness;
+    for (size_t e = 0; e < h.size(); ++e) {
+      std::printf("  %zu -> %u\n", e, h[e]);
+    }
+  } else {
+    std::printf("homomorphism exists (decide-only backend, no witness)\n");
+  }
+  std::printf("backend: %s\n", BackendName(result->explain.chosen));
+  if (explain) {
+    std::printf("%s\n", result->ToJson().c_str());
+    return 0;
+  }
+  // A polynomial backend leaves the search stats untouched; printing them
+  // would look like a genuine zero-node measurement.
+  if (!result->stats.used_search) return 0;
+  const SolveStats& stats = result->stats.search;
   std::printf(
       "stats: nodes=%llu backtracks=%llu backjumps=%llu "
       "longest_backjump=%llu restarts=%llu max_conflict_set=%llu\n",

@@ -1,0 +1,421 @@
+#include "api/engine.h"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "cq/acyclic.h"
+
+namespace cqcs {
+
+namespace {
+
+void AppendJsonString(std::ostringstream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kAuto: return "auto";
+    case Backend::kUniform: return "uniform";
+    case Backend::kTreewidth: return "treewidth";
+    case Backend::kAcyclic: return "acyclic";
+    case Backend::kSchaefer: return "schaefer";
+  }
+  return "unknown";
+}
+
+std::optional<Backend> ParseBackendName(std::string_view name) {
+  for (Backend b : {Backend::kAuto, Backend::kUniform, Backend::kTreewidth,
+                    Backend::kAcyclic, Backend::kSchaefer}) {
+    if (name == BackendName(b)) return b;
+  }
+  return std::nullopt;
+}
+
+Result<EngineResult> HomEngine::Run(const HomProblem& problem,
+                                    HomTask task) const {
+  EngineResult r;
+  r.task = task;
+  r.explain.requested = options_.backend;
+
+  const Structure& a = problem.source();
+  const Structure& b = problem.target();
+  const bool decide_like = task == HomTask::kDecide || task == HomTask::kWitness;
+
+  // ---- Routing. ----------------------------------------------------------
+  Backend chosen = options_.backend;
+  if (chosen == Backend::kAuto) {
+    if (!decide_like) {
+      // Only the search enumerates/counts; the paper's polynomial islands
+      // are decision procedures.
+      chosen = Backend::kUniform;
+      r.explain.reason =
+          "counting/enumeration requested; only the uniform search "
+          "enumerates solutions";
+    } else if (a.universe_size() == 0) {
+      r.decided = true;
+      if (task == HomTask::kWitness) r.witness = Homomorphism{};
+      r.explain.chosen = Backend::kUniform;
+      r.explain.reason = "empty source universe: the empty map is a "
+                         "homomorphism; no backend needed";
+      return r;
+    } else if (b.universe_size() == 0) {
+      r.decided = false;
+      r.explain.chosen = Backend::kUniform;
+      r.explain.reason = "nonempty source, empty target: no total map "
+                         "exists; no backend needed";
+      return r;
+    } else {
+      // Staged decision tree, cheapest predicate first, stopping at the
+      // first island that fires: classifying a Boolean target is near-free,
+      // GYO is quadratic in the source's atoms, and the min-fill estimate
+      // (the expensive stage) only runs when the earlier islands refused.
+      // The profile records exactly the evidence that was computed.
+      InstanceProfile& prof = r.explain.profile;
+      FillSizeStats(a, b, &prof);
+      prof.target_boolean = problem.TargetBoolean();
+      prof.schaefer_classes = problem.TargetSchaeferClasses();
+      r.explain.profiled = true;
+      std::ostringstream why;
+      if (prof.schaefer_classes != 0) {
+        chosen = Backend::kSchaefer;
+        why << "Boolean target in Schaefer class(es) "
+            << SchaeferClassSetToString(prof.schaefer_classes)
+            << ": uniform polynomial algorithm (Theorems 3.3/3.4)";
+      } else {
+        r.explain.fallbacks.push_back(
+            prof.target_boolean
+                ? "schaefer: target is Boolean but outside every Schaefer "
+                  "class (by the dichotomy, CSP(B) is NP-complete)"
+                : "schaefer: target is not Boolean");
+        prof.acyclicity_known = true;
+        prof.source_acyclic = problem.SourceAcyclic();
+        if (task == HomTask::kDecide && prof.source_acyclic) {
+          chosen = Backend::kAcyclic;
+          why << "source hypergraph is α-acyclic (GYO reduces it): "
+                 "Yannakakis semijoin evaluation";
+        } else {
+          r.explain.fallbacks.push_back(
+              prof.source_acyclic
+                  ? "acyclic: source is acyclic but a witness was requested "
+                    "(Yannakakis decides only)"
+                  : "acyclic: source hypergraph is cyclic (GYO leaves more "
+                    "than one edge)");
+          const TreeDecomposition& dec = problem.SourceDecomposition();
+          prof.width_known = true;
+          prof.width_estimate = dec.Width();
+          prof.decomposition_bags = dec.node_count();
+          prof.treewidth_dp_cost = EstimateTreewidthDpCost(
+              prof.decomposition_bags, prof.width_estimate, b.universe_size());
+          if (prof.width_estimate >= 0 &&
+              prof.width_estimate <= options_.max_auto_width &&
+              prof.treewidth_dp_cost <= options_.treewidth_cost_budget) {
+            chosen = Backend::kTreewidth;
+            why << "min-fill width estimate " << prof.width_estimate
+                << " (bags=" << prof.decomposition_bags << ", est. DP cost "
+                << prof.treewidth_dp_cost
+                << "): bag-by-bag dynamic program (Theorem 5.4)";
+          } else {
+            std::ostringstream note;
+            note << "treewidth: min-fill estimate " << prof.width_estimate
+                 << " / est. DP cost " << prof.treewidth_dp_cost
+                 << " exceeds the gate (max_auto_width="
+                 << options_.max_auto_width
+                 << ", budget=" << options_.treewidth_cost_budget << ")";
+            r.explain.fallbacks.push_back(note.str());
+            chosen = Backend::kUniform;
+            why << "no tractable island matched the profile; uniform "
+                   "backtracking search";
+          }
+        }
+      }
+      r.explain.reason = why.str();
+    }
+  } else {
+    r.explain.reason = "backend explicitly requested";
+  }
+
+  // ---- Execution (with runtime fallback for kAuto). ----------------------
+  auto run_backend = [&](Backend backend) -> Status {
+    switch (backend) {
+      case Backend::kSchaefer: {
+        if (!decide_like) {
+          return Status::InvalidArgument(
+              "the schaefer backend supports decide/witness only");
+        }
+        auto h = SolveSchaefer(a, b, SchaeferAlgorithm::kAuto,
+                               &r.stats.schaefer);
+        if (!h.ok()) return h.status();
+        r.stats.used_schaefer = true;
+        r.decided = h->has_value();
+        if (task == HomTask::kWitness) r.witness = *std::move(h);
+        return Status::OK();
+      }
+      case Backend::kAcyclic: {
+        if (task != HomTask::kDecide) {
+          return Status::InvalidArgument(
+              "the acyclic backend decides Boolean existence only");
+        }
+        if (b.universe_size() == 0 && a.universe_size() > 0) {
+          // Body satisfiability ignores isolated source elements, which
+          // still need images; only an empty target makes that distinction.
+          r.decided = false;
+          return Status::OK();
+        }
+        auto sat = EvaluateBooleanAcyclic(problem.SourceCanonicalQuery(), b);
+        if (!sat.ok()) return sat.status();
+        r.decided = *sat;
+        return Status::OK();
+      }
+      case Backend::kTreewidth: {
+        if (!decide_like) {
+          return Status::InvalidArgument(
+              "the treewidth backend supports decide/witness only");
+        }
+        auto h = SolveViaTreeDecomposition(a, b, problem.SourceDecomposition(),
+                                           &r.stats.treewidth);
+        if (!h.ok()) return h.status();
+        r.stats.used_treewidth = true;
+        r.decided = h->has_value();
+        if (task == HomTask::kWitness) r.witness = *std::move(h);
+        return Status::OK();
+      }
+      case Backend::kUniform: {
+        if (decide_like && options_.pebble_preflight_k > 0) {
+          auto game = ExistentialPebbleGame::Create(
+              a, b, options_.pebble_preflight_k);
+          if (!game.ok()) {
+            r.explain.fallbacks.push_back(
+                std::string("pebble preflight skipped: ") +
+                game.status().message());
+          } else {
+            r.stats.used_pebble = true;
+            r.stats.pebble = game->stats();
+            if (game->SpoilerWins()) {
+              // Sound regardless of Datalog expressibility (Theorem 4.9):
+              // a Spoiler win certifies that no homomorphism exists.
+              r.decided = false;
+              r.explain.fallbacks.push_back(
+                  "pebble preflight: Spoiler wins the existential " +
+                  std::to_string(options_.pebble_preflight_k) +
+                  "-pebble game — certified unsatisfiable without search");
+              return Status::OK();
+            }
+            r.explain.fallbacks.push_back(
+                "pebble preflight: Duplicator wins (no k-pebble "
+                "obstruction); searching");
+          }
+        }
+        BacktrackingSolver solver(&problem.Csp(), options_.solve);
+        r.stats.used_search = true;
+        switch (task) {
+          case HomTask::kDecide:
+          case HomTask::kWitness: {
+            auto h = solver.Solve(&r.stats.search);
+            r.decided = h.has_value();
+            if (task == HomTask::kWitness) r.witness = std::move(h);
+            break;
+          }
+          case HomTask::kCount:
+            r.count = solver.CountSolutions(options_.count_limit,
+                                            &r.stats.search);
+            break;
+          case HomTask::kEnumerate:
+            if (options_.max_results > 0) {
+              solver.ForEachSolution(
+                  [&](const Homomorphism& h) {
+                    r.rows.push_back(h);
+                    return r.rows.size() < options_.max_results;
+                  },
+                  &r.stats.search);
+            }
+            r.count = r.rows.size();
+            break;
+          case HomTask::kProject:
+            r.rows = solver.EnumerateProjections(
+                problem.projection(), options_.max_results, &r.stats.search);
+            r.count = r.rows.size();
+            break;
+        }
+        return Status::OK();
+      }
+      case Backend::kAuto:
+        return Status::Internal("kAuto survived routing");
+    }
+    return Status::Internal("unknown backend");
+  };
+
+  Status st = run_backend(chosen);
+  if (!st.ok() && options_.backend == Backend::kAuto &&
+      chosen != Backend::kUniform) {
+    // kAuto never aborts on a backend's refusal — it demotes to the search.
+    r.explain.fallbacks.push_back(std::string(BackendName(chosen)) +
+                                  " failed at runtime (" + st.message() +
+                                  "); falling back to the uniform search");
+    chosen = Backend::kUniform;
+    st = run_backend(chosen);
+  }
+  if (!st.ok()) return st;
+  r.explain.chosen = chosen;
+  return r;
+}
+
+Result<bool> HomEngine::Decide(const HomProblem& problem) const {
+  CQCS_ASSIGN_OR_RETURN(EngineResult r, Run(problem, HomTask::kDecide));
+  if (!r.decided && r.stats.search.limit_hit) {
+    return Status::Unsupported("node limit reached before a decision");
+  }
+  return r.decided;
+}
+
+Result<std::optional<Homomorphism>> HomEngine::FindWitness(
+    const HomProblem& problem) const {
+  CQCS_ASSIGN_OR_RETURN(EngineResult r, Run(problem, HomTask::kWitness));
+  if (!r.decided && r.stats.search.limit_hit) {
+    return Status::Unsupported("node limit reached before a decision");
+  }
+  return std::move(r.witness);
+}
+
+Result<size_t> HomEngine::Count(const HomProblem& problem) const {
+  CQCS_ASSIGN_OR_RETURN(EngineResult r, Run(problem, HomTask::kCount));
+  if (r.stats.search.limit_hit) {
+    return Status::Unsupported("node limit reached before the count finished");
+  }
+  return r.count;
+}
+
+Result<std::vector<std::vector<Element>>> HomEngine::Project(
+    const HomProblem& problem) const {
+  CQCS_ASSIGN_OR_RETURN(EngineResult r, Run(problem, HomTask::kProject));
+  if (r.stats.search.limit_hit) {
+    return Status::Unsupported(
+        "node limit reached before the enumeration finished");
+  }
+  return std::move(r.rows);
+}
+
+// ---- Rendering. ----------------------------------------------------------
+
+std::string EngineStats::ToJson() const {
+  std::ostringstream out;
+  out << "{";
+  out << "\"search\":";
+  if (used_search) {
+    out << "{\"nodes\":" << search.nodes
+        << ",\"backtracks\":" << search.backtracks
+        << ",\"backjumps\":" << search.backjumps
+        << ",\"restarts\":" << search.restarts
+        << ",\"workers\":" << search.workers
+        << ",\"limit_hit\":" << (search.limit_hit ? "true" : "false") << "}";
+  } else {
+    out << "null";
+  }
+  out << ",\"treewidth\":";
+  if (used_treewidth) {
+    out << "{\"width\":" << treewidth.width
+        << ",\"table_entries\":" << treewidth.table_entries << "}";
+  } else {
+    out << "null";
+  }
+  out << ",\"pebble\":";
+  if (used_pebble) {
+    out << "{\"total_positions\":" << pebble.total_positions
+        << ",\"deleted_positions\":" << pebble.deleted_positions << "}";
+  } else {
+    out << "null";
+  }
+  out << ",\"schaefer\":";
+  if (used_schaefer) {
+    out << "{\"classes\":";
+    AppendJsonString(out, SchaeferClassSetToString(schaefer.classes));
+    out << ",\"dispatched\":";
+    AppendJsonString(out, SchaeferClassSetToString(schaefer.dispatched));
+    out << ",\"trivial\":" << (schaefer.trivial ? "true" : "false") << "}";
+  } else {
+    out << "null";
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string EngineExplain::ToString() const {
+  std::ostringstream out;
+  out << "backend " << BackendName(chosen) << " (requested "
+      << BackendName(requested) << "): " << reason;
+  for (const std::string& f : fallbacks) out << "\n  - " << f;
+  if (profiled) out << "\n  profile: " << profile.ToString();
+  return out.str();
+}
+
+std::string EngineExplain::ToJson() const {
+  std::ostringstream out;
+  out << "{\"requested\":\"" << BackendName(requested) << "\",\"chosen\":\""
+      << BackendName(chosen) << "\",\"reason\":";
+  AppendJsonString(out, reason);
+  out << ",\"fallbacks\":[";
+  for (size_t i = 0; i < fallbacks.size(); ++i) {
+    if (i > 0) out << ",";
+    AppendJsonString(out, fallbacks[i]);
+  }
+  out << "],\"profile\":" << (profiled ? profile.ToJson() : "null") << "}";
+  return out.str();
+}
+
+std::string EngineResult::ToJson() const {
+  static constexpr const char* kTaskNames[] = {"decide", "witness", "count",
+                                               "enumerate", "project"};
+  std::ostringstream out;
+  out << "{\"task\":\"" << kTaskNames[static_cast<int>(task)]
+      << "\",\"decided\":" << (decided ? "true" : "false")
+      << ",\"witness\":" << (witness.has_value() ? "true" : "false")
+      << ",\"count\":" << count << ",\"rows\":" << rows.size()
+      << ",\"explain\":" << explain.ToJson() << ",\"stats\":" << stats.ToJson()
+      << "}";
+  return out.str();
+}
+
+// ---- The structure-pair conveniences (declared in solver/backtracking.h).
+// Defined here so they route through the engine: one battle-tested path.
+
+bool HasHomomorphism(const Structure& a, const Structure& b) {
+  auto problem = HomProblem::FromStructures(a, b);
+  CQCS_CHECK_MSG(problem.ok(), problem.status().ToString());
+  HomEngine engine;
+  auto decided = engine.Decide(*problem);
+  CQCS_CHECK_MSG(decided.ok(), decided.status().ToString());
+  return *decided;
+}
+
+std::optional<Homomorphism> FindHomomorphism(const Structure& a,
+                                             const Structure& b) {
+  auto problem = HomProblem::FromStructures(a, b);
+  CQCS_CHECK_MSG(problem.ok(), problem.status().ToString());
+  HomEngine engine;
+  auto witness = engine.FindWitness(*problem);
+  CQCS_CHECK_MSG(witness.ok(), witness.status().ToString());
+  return *std::move(witness);
+}
+
+}  // namespace cqcs

@@ -1,0 +1,159 @@
+// HomEngine: the unified front door over all five solving backends.
+//
+// The paper's theorems say which algorithm each instance deserves; the
+// engine applies them so callers don't have to:
+//
+//   Backend::kSchaefer   Boolean Schaefer-class target  (Theorems 3.1-3.4)
+//   Backend::kAcyclic    α-acyclic source, Boolean task (Yannakakis)
+//   Backend::kTreewidth  small-width source             (Theorem 5.4)
+//   Backend::kUniform    everything (NP-complete)       (backtracking), with
+//                        an optional existential-pebble-game preflight whose
+//                        Spoiler win certifies unsatisfiability (Thm 4.7/4.9)
+//   Backend::kAuto       route from the InstanceProfile, falling back down
+//                        the list above; Explain() records the decision.
+//
+// Every run returns an EngineResult: the answer for the requested HomTask,
+// an EngineStats superset merging the backends' stats structs, and an
+// EngineExplain record (profile, chosen backend, why, fallbacks taken).
+// The uniform backend honors EngineOptions::solve (node_limit, strategy,
+// threads); a hit node limit surfaces as stats.search.limit_hit — "unknown",
+// never a wrong answer. The polynomial backends always decide.
+//
+// The public conveniences — HasHomomorphism / FindHomomorphism
+// (solver/backtracking.h) and cq::Contains / Evaluate / Minimize
+// (cq/containment.h) — all route through this engine, so there is exactly
+// one battle-tested path from any input shape to an answer.
+
+#ifndef CQCS_API_ENGINE_H_
+#define CQCS_API_ENGINE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/problem.h"
+#include "api/profile.h"
+#include "common/status.h"
+#include "pebble/game.h"
+#include "schaefer/uniform.h"
+#include "solver/backtracking.h"
+#include "treewidth/hom_dp.h"
+
+namespace cqcs {
+
+/// Which algorithm answers the instance.
+enum class Backend {
+  kAuto,       ///< Route from the profile; fall back toward kUniform.
+  kUniform,    ///< Backtracking search (always applicable).
+  kTreewidth,  ///< DP over the source's tree decomposition (decide/witness).
+  kAcyclic,    ///< Yannakakis semijoins (decide only).
+  kSchaefer,   ///< Uniform polynomial algorithm for Schaefer targets
+               ///< (decide/witness).
+};
+
+/// "auto" / "uniform" / ... — stable names for flags and JSON.
+const char* BackendName(Backend backend);
+/// Inverse of BackendName; nullopt for unknown names.
+std::optional<Backend> ParseBackendName(std::string_view name);
+
+/// Engine configuration. The defaults make kAuto safe: the polynomial
+/// routes only fire on profile evidence, and the pebble preflight (which is
+/// itself Θ(n^{2k})) stays off unless asked for.
+struct EngineOptions {
+  Backend backend = Backend::kAuto;
+  /// Uniform-backend knobs: propagation, node_limit, strategy, threads.
+  SolveOptions solve;
+  /// kAuto takes the treewidth route only when the min-fill width estimate
+  /// is at most this...
+  int max_auto_width = 3;
+  /// ...and the estimated DP work (profile.treewidth_dp_cost, i.e.
+  /// bags * |B|^{w+1}) stays under this budget.
+  double treewidth_cost_budget = 5e6;
+  /// When > 0, the uniform backend first plays the existential k-pebble
+  /// game; a Spoiler win certifies "no homomorphism" without any search.
+  uint32_t pebble_preflight_k = 0;
+  /// HomTask::kCount stops counting here.
+  size_t count_limit = SIZE_MAX;
+  /// HomTask::kProject / kEnumerate stop after this many rows.
+  size_t max_results = SIZE_MAX;
+};
+
+/// Stats superset: one struct per backend that ran (used_* flags tell which).
+struct EngineStats {
+  bool used_search = false;
+  bool used_treewidth = false;
+  bool used_pebble = false;
+  bool used_schaefer = false;
+  SolveStats search;
+  TreewidthSolveStats treewidth;
+  PebbleGameStats pebble;
+  SchaeferSolveInfo schaefer;
+  std::string ToJson() const;
+};
+
+/// The routing record: what was asked, what ran, and why — with the profile
+/// evidence and every fallback taken along the way.
+struct EngineExplain {
+  Backend requested = Backend::kAuto;
+  Backend chosen = Backend::kUniform;
+  /// Why `chosen` ran, naming the profile evidence (e.g. the Schaefer
+  /// classes, the GYO verdict, the width estimate).
+  std::string reason;
+  /// Routes considered and abandoned, in decision order; includes runtime
+  /// fallbacks (a backend erroring demotes kAuto to the uniform search).
+  std::vector<std::string> fallbacks;
+  bool profiled = false;      ///< kAuto on decide/witness profiles; explicit
+                              ///< backends and enumeration tasks skip it
+  InstanceProfile profile;    ///< meaningful when `profiled`
+  std::string ToString() const;
+  std::string ToJson() const;
+};
+
+/// The unified answer. Which fields are meaningful depends on the task:
+/// decided (+witness) for kDecide/kWitness, count for kCount, rows for
+/// kEnumerate (full homomorphisms) / kProject (distinct projections).
+struct EngineResult {
+  HomTask task = HomTask::kDecide;
+  bool decided = false;
+  std::optional<Homomorphism> witness;
+  size_t count = 0;
+  std::vector<std::vector<Element>> rows;
+  EngineExplain explain;
+  EngineStats stats;
+
+  const EngineExplain& Explain() const { return explain; }
+  /// Machine-readable record of answer + explain + stats, for
+  /// `hom_tool --explain` and the bench harnesses.
+  std::string ToJson() const;
+};
+
+/// The front door. Stateless apart from its options; one engine can serve
+/// any number of problems (and one compiled HomProblem any number of runs).
+class HomEngine {
+ public:
+  explicit HomEngine(EngineOptions options = {}) : options_(options) {}
+
+  const EngineOptions& options() const { return options_; }
+
+  /// Solves `problem` for `task`. Errors: InvalidArgument when an explicitly
+  /// requested backend cannot handle the task or instance (kAuto never has
+  /// that problem — it falls back); backend-specific statuses otherwise.
+  /// A hit node limit is NOT an error here: check stats.search.limit_hit.
+  Result<EngineResult> Run(const HomProblem& problem, HomTask task) const;
+
+  // One-call conveniences over Run().
+  Result<bool> Decide(const HomProblem& problem) const;
+  Result<std::optional<Homomorphism>> FindWitness(
+      const HomProblem& problem) const;
+  Result<size_t> Count(const HomProblem& problem) const;
+  Result<std::vector<std::vector<Element>>> Project(
+      const HomProblem& problem) const;
+
+ private:
+  EngineOptions options_;
+};
+
+}  // namespace cqcs
+
+#endif  // CQCS_API_ENGINE_H_

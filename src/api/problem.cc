@@ -1,0 +1,169 @@
+#include "api/problem.h"
+
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "cq/canonical.h"
+#include "cq/containment.h"
+
+namespace cqcs {
+
+// Source-side compilation products: everything derived from the source
+// structure alone, shared across WithTarget rebinds. Fields are built
+// lazily under `mu` and never rebuilt, so references handed out after the
+// build stay valid without the lock.
+struct HomProblem::SourceCache {
+  std::mutex mu;
+  std::optional<ConjunctiveQuery> canonical;
+  bool acyclic_known = false;
+  bool acyclic = false;
+  std::optional<TreeDecomposition> decomposition;
+};
+
+// Pair products: the profile (needs the target half) and the constraint
+// network. Fresh per (source, target) binding.
+struct HomProblem::PairCache {
+  std::mutex mu;
+  std::optional<InstanceProfile> profile;
+  std::optional<CspInstance> csp;
+  bool schaefer_known = false;
+  SchaeferClassSet schaefer_classes = 0;
+};
+
+HomProblem::HomProblem(std::shared_ptr<const Structure> source,
+                       std::shared_ptr<const Structure> target,
+                       std::vector<Element> projection)
+    : source_(std::move(source)),
+      target_(std::move(target)),
+      projection_(std::move(projection)),
+      source_cache_(std::make_shared<SourceCache>()),
+      pair_cache_(std::make_shared<PairCache>()) {}
+
+Result<HomProblem> HomProblem::FromStructures(Structure source,
+                                              Structure target) {
+  if (!source.vocabulary()->Equals(*target.vocabulary())) {
+    return Status::InvalidArgument(
+        "source and target have different vocabularies");
+  }
+  CQCS_RETURN_IF_ERROR(source.Validate());
+  CQCS_RETURN_IF_ERROR(target.Validate());
+  return HomProblem(std::make_shared<const Structure>(std::move(source)),
+                    std::make_shared<const Structure>(std::move(target)), {});
+}
+
+Result<HomProblem> HomProblem::FromQuery(const ConjunctiveQuery& query,
+                                         Structure database) {
+  CQCS_RETURN_IF_ERROR(query.Validate());
+  if (!query.vocabulary()->Equals(*database.vocabulary())) {
+    return Status::InvalidArgument(
+        "query and database have different vocabularies");
+  }
+  CQCS_RETURN_IF_ERROR(database.Validate());
+  CanonicalDb body = MakeCanonicalDb(query);
+  return HomProblem(
+      std::make_shared<const Structure>(std::move(body.structure)),
+      std::make_shared<const Structure>(std::move(database)),
+      std::move(body.head));
+}
+
+Result<HomProblem> HomProblem::FromContainment(const ConjunctiveQuery& q1,
+                                               const ConjunctiveQuery& q2) {
+  CQCS_RETURN_IF_ERROR(CheckComparableQueries(q1, q2));
+  // Theorem 2.1: Q1 ⊆ Q2 iff hom(D_{Q2} -> D_{Q1}), head markers pinning
+  // the distinguished variables positionally.
+  CanonicalDb d1 = MakeCanonicalDbWithHeadMarkers(q1);
+  CanonicalDb d2 = MakeCanonicalDbWithHeadMarkers(q2);
+  return HomProblem(std::make_shared<const Structure>(std::move(d2.structure)),
+                    std::make_shared<const Structure>(std::move(d1.structure)),
+                    {});
+}
+
+Result<HomProblem> HomProblem::WithTarget(Structure new_target) const {
+  if (!source_->vocabulary()->Equals(*new_target.vocabulary())) {
+    return Status::InvalidArgument(
+        "new target's vocabulary differs from the source's");
+  }
+  CQCS_RETURN_IF_ERROR(new_target.Validate());
+  HomProblem rebound(
+      source_, std::make_shared<const Structure>(std::move(new_target)),
+      projection_);
+  rebound.source_cache_ = source_cache_;  // keep the compiled source side
+  return rebound;
+}
+
+void HomProblem::SetProjection(std::vector<Element> projection) {
+  for (Element e : projection) {
+    CQCS_CHECK_MSG(e < source_->universe_size(),
+                   "projection element " << e << " outside the source universe");
+  }
+  projection_ = std::move(projection);
+}
+
+const ConjunctiveQuery& HomProblem::SourceCanonicalQuery() const {
+  SourceCache& cache = *source_cache_;
+  std::lock_guard<std::mutex> lock(cache.mu);
+  if (!cache.canonical.has_value()) {
+    cache.canonical = CanonicalQuery(*source_);
+  }
+  return *cache.canonical;
+}
+
+bool HomProblem::SourceAcyclic() const {
+  const ConjunctiveQuery& canonical = SourceCanonicalQuery();
+  SourceCache& cache = *source_cache_;
+  std::lock_guard<std::mutex> lock(cache.mu);
+  if (!cache.acyclic_known) {
+    cache.acyclic = IsAcyclicQuery(canonical);
+    cache.acyclic_known = true;
+  }
+  return cache.acyclic;
+}
+
+const TreeDecomposition& HomProblem::SourceDecomposition() const {
+  SourceCache& cache = *source_cache_;
+  std::lock_guard<std::mutex> lock(cache.mu);
+  if (!cache.decomposition.has_value()) {
+    cache.decomposition = HeuristicDecomposition(*source_);
+  }
+  return *cache.decomposition;
+}
+
+const InstanceProfile& HomProblem::Profile() const {
+  // Build the source-side artifacts before taking the pair lock (lock order:
+  // source cache, then pair cache — never the reverse).
+  bool acyclic = SourceAcyclic();
+  const TreeDecomposition& decomposition = SourceDecomposition();
+  PairCache& cache = *pair_cache_;
+  std::lock_guard<std::mutex> lock(cache.mu);
+  if (!cache.profile.has_value()) {
+    cache.profile = BuildProfile(*source_, *target_, acyclic, decomposition);
+  }
+  return *cache.profile;
+}
+
+bool HomProblem::TargetBoolean() const { return IsBooleanStructure(*target_); }
+
+SchaeferClassSet HomProblem::TargetSchaeferClasses() const {
+  PairCache& cache = *pair_cache_;
+  std::lock_guard<std::mutex> lock(cache.mu);
+  if (!cache.schaefer_known) {
+    cache.schaefer_classes = IsBooleanStructure(*target_)
+                                 ? ClassifyBooleanStructure(*target_)
+                                 : 0;
+    cache.schaefer_known = true;
+  }
+  return cache.schaefer_classes;
+}
+
+const CspInstance& HomProblem::Csp() const {
+  PairCache& cache = *pair_cache_;
+  std::lock_guard<std::mutex> lock(cache.mu);
+  if (!cache.csp.has_value()) {
+    cache.csp.emplace(*source_, *target_);
+  }
+  return *cache.csp;
+}
+
+}  // namespace cqcs

@@ -1,0 +1,104 @@
+#include "api/profile.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "cq/acyclic.h"
+#include "cq/canonical.h"
+
+namespace cqcs {
+
+void FillSizeStats(const Structure& a, const Structure& b,
+                   InstanceProfile* profile) {
+  profile->source_universe = a.universe_size();
+  profile->source_tuples = a.TotalTuples();
+  profile->source_size = a.Size();
+  profile->target_universe = b.universe_size();
+  profile->target_tuples = b.TotalTuples();
+  profile->target_size = b.Size();
+}
+
+double EstimateTreewidthDpCost(size_t bags, int width,
+                               size_t target_universe) {
+  if (width < 0) return 0.0;
+  return static_cast<double>(bags) *
+         std::pow(static_cast<double>(target_universe),
+                  static_cast<double>(width + 1));
+}
+
+InstanceProfile BuildProfile(const Structure& a, const Structure& b,
+                             bool source_acyclic,
+                             const TreeDecomposition& source_decomposition) {
+  InstanceProfile p;
+  FillSizeStats(a, b, &p);
+  p.target_boolean = IsBooleanStructure(b);
+  p.schaefer_classes = p.target_boolean ? ClassifyBooleanStructure(b) : 0;
+  p.acyclicity_known = true;
+  p.source_acyclic = source_acyclic;
+  p.width_known = true;
+  p.width_estimate = source_decomposition.Width();
+  p.decomposition_bags = source_decomposition.node_count();
+  p.treewidth_dp_cost = EstimateTreewidthDpCost(
+      p.decomposition_bags, p.width_estimate, b.universe_size());
+  return p;
+}
+
+InstanceProfile Analyze(const Structure& a, const Structure& b) {
+  bool acyclic = IsAcyclicQuery(CanonicalQuery(a));
+  TreeDecomposition decomposition = HeuristicDecomposition(a);
+  return BuildProfile(a, b, acyclic, decomposition);
+}
+
+std::string InstanceProfile::ToString() const {
+  std::ostringstream out;
+  out << "source ‖A‖=" << source_size << " (n=" << source_universe
+      << ", tuples=" << source_tuples << "), target ‖B‖=" << target_size
+      << " (n=" << target_universe << ", tuples=" << target_tuples << "), ";
+  if (target_boolean) {
+    out << "Boolean target ["
+        << (schaefer_classes != 0 ? SchaeferClassSetToString(schaefer_classes)
+                                  : std::string("no Schaefer class"))
+        << "], ";
+  } else {
+    out << "non-Boolean target, ";
+  }
+  if (acyclicity_known) {
+    out << (source_acyclic ? "acyclic" : "cyclic") << " source, ";
+  } else {
+    out << "acyclicity not evaluated, ";
+  }
+  if (width_known) {
+    out << "width<=" << width_estimate << " (" << decomposition_bags
+        << " bags, est. DP cost " << treewidth_dp_cost << ")";
+  } else {
+    out << "width not estimated";
+  }
+  return out.str();
+}
+
+std::string InstanceProfile::ToJson() const {
+  std::ostringstream out;
+  out << "{\"source_universe\":" << source_universe
+      << ",\"source_tuples\":" << source_tuples
+      << ",\"source_size\":" << source_size
+      << ",\"target_universe\":" << target_universe
+      << ",\"target_tuples\":" << target_tuples
+      << ",\"target_size\":" << target_size
+      << ",\"target_boolean\":" << (target_boolean ? "true" : "false")
+      << ",\"schaefer_classes\":\""
+      << (schaefer_classes != 0 ? SchaeferClassSetToString(schaefer_classes)
+                                : std::string())
+      << "\",\"source_acyclic\":"
+      << (acyclicity_known ? (source_acyclic ? "true" : "false") : "null")
+      << ",\"width_estimate\":";
+  if (width_known) {
+    out << width_estimate << ",\"decomposition_bags\":" << decomposition_bags
+        << ",\"treewidth_dp_cost\":" << treewidth_dp_cost;
+  } else {
+    out << "null,\"decomposition_bags\":null,\"treewidth_dp_cost\":null";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace cqcs

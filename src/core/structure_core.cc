@@ -63,7 +63,13 @@ bool TryFold(const Structure& original, std::vector<Element>& kept,
     }
     for (auto [e, rel] : pins) target.AddTuple(rel, {e});
 
-    auto h = FindHomomorphism(source, target);
+    // Deliberately on the raw solver, not the engine front door: this inner
+    // loop runs O(n) times per fold round on lifted structures whose shape
+    // never fits a polynomial island (the __alive/__pin markers make the
+    // source cyclic), so per-call instance profiling would be pure
+    // overhead.
+    BacktrackingSolver solver(source, target);
+    auto h = solver.Solve();
     if (!h.has_value()) continue;
 
     // Fold: compose the retraction with the found homomorphism (expressed

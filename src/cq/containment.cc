@@ -1,10 +1,30 @@
 #include "cq/containment.h"
 
+#include "api/engine.h"
+
 namespace cqcs {
 
 namespace {
 
-Status CheckComparable(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+// The historical message (shared verbatim by every search-backed wrapper,
+// evaluation included) — kept identical so error contracts don't shift.
+Status NodeLimitError() {
+  return Status::Unsupported(
+      "node limit reached before the containment test was decided");
+}
+
+/// Engine with the caller's uniform-search options and kAuto routing — the
+/// one battle-tested path every public convenience goes through.
+HomEngine MakeEngine(const SolveOptions& options) {
+  EngineOptions engine_options;
+  engine_options.solve = options;
+  return HomEngine(engine_options);
+}
+
+}  // namespace
+
+Status CheckComparableQueries(const ConjunctiveQuery& q1,
+                              const ConjunctiveQuery& q2) {
   CQCS_RETURN_IF_ERROR(q1.Validate());
   CQCS_RETURN_IF_ERROR(q2.Validate());
   if (!q1.vocabulary()->Equals(*q2.vocabulary())) {
@@ -20,35 +40,30 @@ Status CheckComparable(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
   return Status::OK();
 }
 
-Status NodeLimitError() {
-  return Status::Unsupported(
-      "node limit reached before the containment test was decided");
-}
-
-}  // namespace
-
 Result<ContainmentResult> Contains(const ConjunctiveQuery& q1,
                                    const ConjunctiveQuery& q2,
                                    SolveOptions options) {
-  CQCS_RETURN_IF_ERROR(CheckComparable(q1, q2));
-  // Theorem 2.1: Q1 ⊆ Q2 iff hom(D_{Q2} -> D_{Q1}), with head markers
-  // pinning distinguished variables positionally.
-  CanonicalDb d1 = MakeCanonicalDbWithHeadMarkers(q1);
-  CanonicalDb d2 = MakeCanonicalDbWithHeadMarkers(q2);
-  BacktrackingSolver solver(d2.structure, d1.structure, options);
-  SolveStats stats;
-  auto h = solver.Solve(&stats);
-  if (!h.has_value() && stats.limit_hit) return NodeLimitError();
+  // Theorem 2.1: Q1 ⊆ Q2 iff hom(D_{Q2} -> D_{Q1}); FromContainment builds
+  // the marked canonical databases (and validates comparability).
+  CQCS_ASSIGN_OR_RETURN(HomProblem problem,
+                        HomProblem::FromContainment(q1, q2));
+  CQCS_ASSIGN_OR_RETURN(EngineResult r,
+                        MakeEngine(options).Run(problem, HomTask::kWitness));
+  if (!r.decided && r.stats.search.limit_hit) return NodeLimitError();
   ContainmentResult result;
-  result.contained = h.has_value();
-  result.witness = std::move(h);
+  result.contained = r.decided;
+  result.witness = std::move(r.witness);
   return result;
 }
 
 Result<bool> IsContained(const ConjunctiveQuery& q1,
                          const ConjunctiveQuery& q2, SolveOptions options) {
-  CQCS_ASSIGN_OR_RETURN(ContainmentResult r, Contains(q1, q2, options));
-  return r.contained;
+  CQCS_ASSIGN_OR_RETURN(HomProblem problem,
+                        HomProblem::FromContainment(q1, q2));
+  CQCS_ASSIGN_OR_RETURN(EngineResult r,
+                        MakeEngine(options).Run(problem, HomTask::kDecide));
+  if (!r.decided && r.stats.search.limit_hit) return NodeLimitError();
+  return r.decided;
 }
 
 Result<bool> AreEquivalent(const ConjunctiveQuery& q1,
@@ -61,7 +76,9 @@ Result<bool> AreEquivalent(const ConjunctiveQuery& q1,
 Result<bool> IsContainedViaEvaluation(const ConjunctiveQuery& q1,
                                       const ConjunctiveQuery& q2,
                                       SolveOptions options) {
-  CQCS_RETURN_IF_ERROR(CheckComparable(q1, q2));
+  // The second characterization of Theorem 2.1, kept on the raw solver
+  // deliberately: it exists to cross-validate the engine-routed hom test.
+  CQCS_RETURN_IF_ERROR(CheckComparableQueries(q1, q2));
   // (X1,...,Xn) ∈ Q2(D_{Q1}): solve for homomorphisms from Q2's body into
   // D_{Q1} whose head projection equals Q1's distinguished tuple.
   CanonicalDb d1 = MakeCanonicalDb(q1);
@@ -85,49 +102,50 @@ Result<bool> IsContainedViaEvaluation(const ConjunctiveQuery& q1,
 Result<std::vector<std::vector<Element>>> Evaluate(const ConjunctiveQuery& q,
                                                    const Structure& d,
                                                    SolveOptions options) {
-  CQCS_RETURN_IF_ERROR(q.Validate());
-  if (!q.vocabulary()->Equals(*d.vocabulary())) {
-    return Status::InvalidArgument(
-        "query and database have different vocabularies");
-  }
-  CanonicalDb body = MakeCanonicalDb(q);
-  BacktrackingSolver solver(body.structure, d, options);
-  SolveStats stats;
-  auto rows = solver.EnumerateProjections(body.head, SIZE_MAX, &stats);
-  if (stats.limit_hit) return NodeLimitError();
-  return rows;
+  CQCS_ASSIGN_OR_RETURN(HomProblem problem, HomProblem::FromQuery(q, d));
+  CQCS_ASSIGN_OR_RETURN(EngineResult r,
+                        MakeEngine(options).Run(problem, HomTask::kProject));
+  if (r.stats.search.limit_hit) return NodeLimitError();
+  return std::move(r.rows);
 }
 
 Result<bool> EvaluateBoolean(const ConjunctiveQuery& q, const Structure& d,
                              SolveOptions options) {
-  CQCS_RETURN_IF_ERROR(q.Validate());
-  if (!q.vocabulary()->Equals(*d.vocabulary())) {
-    return Status::InvalidArgument(
-        "query and database have different vocabularies");
-  }
-  CanonicalDb body = MakeCanonicalDb(q);
-  BacktrackingSolver solver(body.structure, d, options);
-  SolveStats stats;
-  auto h = solver.Solve(&stats);
-  if (!h.has_value() && stats.limit_hit) return NodeLimitError();
-  return h.has_value();
+  CQCS_ASSIGN_OR_RETURN(HomProblem problem, HomProblem::FromQuery(q, d));
+  CQCS_ASSIGN_OR_RETURN(EngineResult r,
+                        MakeEngine(options).Run(problem, HomTask::kDecide));
+  if (!r.decided && r.stats.search.limit_hit) return NodeLimitError();
+  return r.decided;
 }
 
 Result<ConjunctiveQuery> Minimize(const ConjunctiveQuery& q,
                                   SolveOptions options) {
   CQCS_RETURN_IF_ERROR(q.Validate());
+  HomEngine engine = MakeEngine(options);
   ConjunctiveQuery current = q;
   bool changed = true;
   while (changed) {
     changed = false;
+    // Dropping an atom only weakens the query, so current ⊆ candidate
+    // always; they are equivalent iff candidate ⊆ current, i.e. iff
+    // hom(D_{current} -> D_{candidate}). The source D_{current} is shared
+    // by every candidate test of this pass, so compile it once and rebind
+    // the target — the engine reuses the profile's source half, the GYO
+    // verdict, and the decomposition across the whole pass.
+    CanonicalDb d_current = MakeCanonicalDbWithHeadMarkers(current);
+    CQCS_ASSIGN_OR_RETURN(
+        HomProblem base, HomProblem::FromStructures(d_current.structure,
+                                                    d_current.structure));
     for (size_t i = 0; i < current.atoms().size(); ++i) {
       ConjunctiveQuery candidate = current.WithoutAtom(i);
       if (!candidate.Validate().ok()) continue;  // dropping broke safety
-      // Dropping an atom only weakens the query, so current ⊆ candidate
-      // always; they are equivalent iff candidate ⊆ current.
-      CQCS_ASSIGN_OR_RETURN(bool equivalent,
-                            IsContained(candidate, current, options));
-      if (equivalent) {
+      CanonicalDb d_candidate = MakeCanonicalDbWithHeadMarkers(candidate);
+      CQCS_ASSIGN_OR_RETURN(HomProblem problem,
+                            base.WithTarget(std::move(d_candidate.structure)));
+      CQCS_ASSIGN_OR_RETURN(EngineResult r,
+                            engine.Run(problem, HomTask::kDecide));
+      if (!r.decided && r.stats.search.limit_hit) return NodeLimitError();
+      if (r.decided) {
         current = std::move(candidate);
         changed = true;
         break;

@@ -19,6 +19,13 @@ struct ContainmentResult {
   std::optional<Homomorphism> witness;
 };
 
+/// Validates that Q1 ⊆ Q2 is well-defined: both queries pass Validate(),
+/// share an EDB vocabulary, and have equal head arities. The single source
+/// of the containment error contract — used by every containment entry
+/// point here and by the engine's HomProblem::FromContainment.
+Status CheckComparableQueries(const ConjunctiveQuery& q1,
+                              const ConjunctiveQuery& q2);
+
 /// Decides Q1 ⊆ Q2. Errors: InvalidArgument when the queries have different
 /// body vocabularies or head arities (containment is then undefined);
 /// Unsupported when `options.node_limit` was hit before a decision.

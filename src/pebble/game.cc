@@ -31,12 +31,20 @@ std::vector<std::pair<RelId, uint32_t>> TuplesInside(
 
 }  // namespace
 
+Result<ExistentialPebbleGame> ExistentialPebbleGame::Create(
+    const Structure& a, const Structure& b, uint32_t k) {
+  if (k < 1) {
+    return Status::InvalidArgument("the pebble game needs at least one pebble");
+  }
+  if (!a.vocabulary()->Equals(*b.vocabulary())) {
+    return Status::InvalidArgument("pebble game requires a common vocabulary");
+  }
+  return ExistentialPebbleGame(a, b, k);
+}
+
 ExistentialPebbleGame::ExistentialPebbleGame(const Structure& a,
                                              const Structure& b, uint32_t k)
     : k_(k), a_size_(a.universe_size()), b_size_(b.universe_size()) {
-  CQCS_CHECK_MSG(k >= 1, "the pebble game needs at least one pebble");
-  CQCS_CHECK_MSG(a.vocabulary()->Equals(*b.vocabulary()),
-                 "pebble game requires a common vocabulary");
   Build(a, b);
 }
 
@@ -213,9 +221,10 @@ bool ExistentialPebbleGame::DuplicatorWinsFrom(
   return alive_[found->second] != 0;
 }
 
-bool SpoilerWinsExistentialKPebble(const Structure& a, const Structure& b,
-                                   uint32_t k) {
-  ExistentialPebbleGame game(a, b, k);
+Result<bool> SpoilerWinsExistentialKPebble(const Structure& a,
+                                           const Structure& b, uint32_t k) {
+  CQCS_ASSIGN_OR_RETURN(ExistentialPebbleGame game,
+                        ExistentialPebbleGame::Create(a, b, k));
   return game.SpoilerWins();
 }
 

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "core/structure.h"
 
 namespace cqcs {
@@ -36,9 +37,11 @@ using PebblePosition = std::vector<std::pair<Element, Element>>;
 class ExistentialPebbleGame {
  public:
   /// Enumerates all partial homomorphisms of size <= k — Θ(C(n,k) · m^k)
-  /// work — and runs the deletion fixpoint. CHECK-fails on vocabulary
-  /// mismatch or k = 0.
-  ExistentialPebbleGame(const Structure& a, const Structure& b, uint32_t k);
+  /// work — and runs the deletion fixpoint. Errors (InvalidArgument) on
+  /// vocabulary mismatch or k = 0, matching the Result<> contract of the
+  /// other backends so the engine can fall back instead of aborting.
+  static Result<ExistentialPebbleGame> Create(const Structure& a,
+                                              const Structure& b, uint32_t k);
 
   /// True iff the Duplicator has a winning strategy.
   bool DuplicatorWins() const { return duplicator_wins_; }
@@ -53,6 +56,8 @@ class ExistentialPebbleGame {
   bool DuplicatorWinsFrom(const PebblePosition& position) const;
 
  private:
+  ExistentialPebbleGame(const Structure& a, const Structure& b, uint32_t k);
+
   struct PositionHash {
     size_t operator()(const PebblePosition& p) const {
       size_t h = 0x9e3779b97f4a7c15ULL;
@@ -80,8 +85,9 @@ class ExistentialPebbleGame {
 /// "Spoiler wins" decides CSP exactly. Independently of expressibility,
 /// Spoiler winning always certifies that no homomorphism exists
 /// (soundness); Duplicator winning means "no k-pebble obstruction".
-bool SpoilerWinsExistentialKPebble(const Structure& a, const Structure& b,
-                                   uint32_t k);
+/// Errors as in ExistentialPebbleGame::Create.
+Result<bool> SpoilerWinsExistentialKPebble(const Structure& a,
+                                           const Structure& b, uint32_t k);
 
 }  // namespace cqcs
 

@@ -41,12 +41,16 @@ size_t RunSearch(const CspInstance& csp, const SolveOptions& options,
 
 BacktrackingSolver::BacktrackingSolver(const Structure& a, const Structure& b,
                                        SolveOptions options)
-    : csp_(a, b), options_(options) {}
+    : owned_csp_(std::in_place, a, b), csp_(&*owned_csp_), options_(options) {}
+
+BacktrackingSolver::BacktrackingSolver(const CspInstance* csp,
+                                       SolveOptions options)
+    : csp_(csp), options_(options) {}
 
 std::optional<Homomorphism> BacktrackingSolver::Solve(SolveStats* stats) {
   std::optional<Homomorphism> found;
   RunSearch(
-      csp_, options_, {},
+      *csp_, options_, {},
       [&found](const Homomorphism& h) {
         found = h;
         return false;  // stop at the first solution
@@ -58,7 +62,7 @@ std::optional<Homomorphism> BacktrackingSolver::Solve(SolveStats* stats) {
 size_t BacktrackingSolver::ForEachSolution(
     const std::function<bool(const Homomorphism&)>& on_solution,
     SolveStats* stats) {
-  return RunSearch(csp_, options_, {}, on_solution, stats,
+  return RunSearch(*csp_, options_, {}, on_solution, stats,
                    /*first_solution_only=*/false);
 }
 
@@ -69,7 +73,7 @@ std::vector<std::vector<Element>> BacktrackingSolver::EnumerateProjections(
   std::unordered_set<std::vector<Element>, RowHash> seen;
   std::vector<std::vector<Element>> results;
   RunSearch(
-      csp_, options_, projection,
+      *csp_, options_, projection,
       [&](const Homomorphism& h) {
         std::vector<Element> row(projection.size());
         for (size_t i = 0; i < projection.size(); ++i) row[i] = h[projection[i]];
@@ -91,7 +95,7 @@ std::vector<std::vector<Element>> BacktrackingSolver::EnumerateProjections(
 size_t BacktrackingSolver::CountSolutions(size_t limit, SolveStats* stats) {
   size_t count = 0;
   RunSearch(
-      csp_, options_, {},
+      *csp_, options_, {},
       [&count, limit](const Homomorphism&) {
         ++count;
         return count < limit;
@@ -100,14 +104,7 @@ size_t BacktrackingSolver::CountSolutions(size_t limit, SolveStats* stats) {
   return count;
 }
 
-bool HasHomomorphism(const Structure& a, const Structure& b) {
-  return FindHomomorphism(a, b).has_value();
-}
-
-std::optional<Homomorphism> FindHomomorphism(const Structure& a,
-                                             const Structure& b) {
-  BacktrackingSolver solver(a, b);
-  return solver.Solve();
-}
+// HasHomomorphism / FindHomomorphism are defined in api/engine.cc: the
+// conveniences route through the HomEngine front door.
 
 }  // namespace cqcs

@@ -132,6 +132,17 @@ class BacktrackingSolver {
   BacktrackingSolver(const Structure& a, const Structure& b,
                      SolveOptions options = {});
 
+  /// Runs over an externally owned, prebuilt network (which must outlive the
+  /// solver). This is the reuse path — repeated solves against the same
+  /// (A, B) pair (api/problem.h's compiled HomProblem) skip re-extracting
+  /// constraints and rebuilding the CSR support indexes.
+  explicit BacktrackingSolver(const CspInstance* csp, SolveOptions options = {});
+
+  // Not copyable/movable: csp_ may point into owned_csp_, and the default
+  // operations would leave a copy aimed at the source object's storage.
+  BacktrackingSolver(const BacktrackingSolver&) = delete;
+  BacktrackingSolver& operator=(const BacktrackingSolver&) = delete;
+
   /// Returns a homomorphism A -> B, or nullopt if none exists (or the node
   /// limit was hit — check stats).
   std::optional<Homomorphism> Solve(SolveStats* stats = nullptr);
@@ -155,14 +166,20 @@ class BacktrackingSolver {
   size_t CountSolutions(size_t limit = SIZE_MAX, SolveStats* stats = nullptr);
 
  private:
-  CspInstance csp_;
+  /// Populated by the (A, B) constructor; empty when running over an
+  /// external instance. `csp_` points at whichever is in effect.
+  std::optional<CspInstance> owned_csp_;
+  const CspInstance* csp_;
   SolveOptions options_;
 };
 
-/// Convenience one-shot: is there a homomorphism A -> B?
+/// Convenience one-shot: is there a homomorphism A -> B? Routes through the
+/// HomEngine front door (api/engine.h, where it is defined), so tractable
+/// instances take the paper's polynomial algorithms.
 bool HasHomomorphism(const Structure& a, const Structure& b);
 
-/// Convenience one-shot returning a witness.
+/// Convenience one-shot returning a witness. Engine-routed like
+/// HasHomomorphism.
 std::optional<Homomorphism> FindHomomorphism(const Structure& a,
                                              const Structure& b);
 

@@ -1,0 +1,414 @@
+// Front-door routing tests: the HomEngine must (1) pick a polynomial
+// backend exactly when the paper's theorems license one, naming the profile
+// evidence in Explain(), (2) agree with the uniform search on every answer
+// whichever backend ran, (3) fall back — not abort — when an island's
+// precondition fails, and (4) reuse a compiled HomProblem's artifacts
+// across repeated solves and target rebinds.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "api/engine.h"
+#include "common/rng.h"
+#include "core/homomorphism.h"
+#include "cq/containment.h"
+#include "cq/parser.h"
+#include "gen/generators.h"
+#include "solver/backtracking.h"
+
+namespace cqcs {
+namespace {
+
+HomProblem MustProblem(Result<HomProblem> r) {
+  CQCS_CHECK_MSG(r.ok(), r.status().ToString());
+  return *std::move(r);
+}
+
+EngineResult MustRun(const HomEngine& engine, const HomProblem& p,
+                     HomTask task) {
+  auto r = engine.Run(p, task);
+  CQCS_CHECK_MSG(r.ok(), r.status().ToString());
+  return *std::move(r);
+}
+
+// The uniform search as the trusted oracle (its own correctness is locked
+// down by the solver crosscheck suite).
+bool OracleDecide(const Structure& a, const Structure& b) {
+  BacktrackingSolver solver(a, b);
+  return solver.Solve().has_value();
+}
+
+TEST(EngineRoutingTest, AcyclicSourcePicksYannakakisForDecide) {
+  Rng rng(101);
+  auto vocab = MakeGraphVocabulary();
+  for (int trial = 0; trial < 10; ++trial) {
+    Structure a = StructureFromGraph(vocab, RandomTree(8 + rng.Below(6), rng));
+    Structure b =
+        RandomGraphStructure(vocab, 3 + rng.Below(4), 0.4, rng, true);
+    HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
+    HomEngine engine;
+    EngineResult r = MustRun(engine, p, HomTask::kDecide);
+    EXPECT_EQ(r.explain.chosen, Backend::kAcyclic) << r.explain.ToString();
+    EXPECT_TRUE(r.explain.profiled);
+    EXPECT_TRUE(r.explain.profile.source_acyclic);
+    EXPECT_NE(r.explain.reason.find("acyclic"), std::string::npos);
+    EXPECT_FALSE(r.stats.used_search);
+    EXPECT_EQ(r.decided, OracleDecide(a, b)) << "trial " << trial;
+  }
+}
+
+TEST(EngineRoutingTest, TreeSourceWitnessTakesTreewidthDp) {
+  // A witness request can't use Yannakakis (decide-only); trees have
+  // width 1, so the DP backend takes over and must hand back a real
+  // homomorphism.
+  Rng rng(202);
+  auto vocab = MakeGraphVocabulary();
+  for (int trial = 0; trial < 10; ++trial) {
+    Structure a = StructureFromGraph(vocab, RandomTree(8 + rng.Below(6), rng));
+    Structure b =
+        RandomGraphStructure(vocab, 3 + rng.Below(4), 0.5, rng, true);
+    HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
+    HomEngine engine;
+    EngineResult r = MustRun(engine, p, HomTask::kWitness);
+    EXPECT_EQ(r.explain.chosen, Backend::kTreewidth) << r.explain.ToString();
+    EXPECT_LE(r.explain.profile.width_estimate, 1);
+    EXPECT_EQ(r.decided, OracleDecide(a, b)) << "trial " << trial;
+    if (r.decided) {
+      ASSERT_TRUE(r.witness.has_value());
+      EXPECT_TRUE(IsHomomorphism(a, b, *r.witness));
+    }
+  }
+}
+
+TEST(EngineRoutingTest, BoundedWidthSourcePicksTreewidthDp) {
+  Rng rng(303);
+  auto vocab = MakeGraphVocabulary();
+  for (int trial = 0; trial < 10; ++trial) {
+    // Partial 2-trees keep treewidth <= 2; the min-fill estimate tracks it.
+    Structure a = StructureFromGraph(
+        vocab, RandomPartialKTree(10 + rng.Below(8), 2, 0.85, rng));
+    Structure b =
+        RandomGraphStructure(vocab, 3 + rng.Below(3), 0.5, rng, true);
+    HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
+    HomEngine engine;
+    EngineResult r = MustRun(engine, p, HomTask::kWitness);
+    // Width 0/1 cases may even be acyclic — but a witness request never
+    // routes to Yannakakis, so anything within the gate lands on the DP.
+    EXPECT_EQ(r.explain.chosen, Backend::kTreewidth) << r.explain.ToString();
+    EXPECT_LE(r.explain.profile.width_estimate, 3);
+    EXPECT_EQ(r.decided, OracleDecide(a, b)) << "trial " << trial;
+    if (r.decided) {
+      ASSERT_TRUE(r.witness.has_value());
+      EXPECT_TRUE(IsHomomorphism(a, b, *r.witness));
+    }
+  }
+}
+
+TEST(EngineRoutingTest, SchaeferTargetPicksUniformPolyAlgorithm) {
+  Rng rng(404);
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->AddRelation("R", 3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Structure b =
+        RandomClosedBooleanStructure(vocab, 3, ClosureOp::kAnd, 4, rng);
+    Structure a = RandomStructure(vocab, 8 + rng.Below(8),
+                                  12 + rng.Below(12), rng);
+    HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
+    HomEngine engine;
+    EngineResult r = MustRun(engine, p, HomTask::kWitness);
+    EXPECT_EQ(r.explain.chosen, Backend::kSchaefer) << r.explain.ToString();
+    EXPECT_TRUE(r.explain.profile.target_boolean);
+    EXPECT_NE(r.explain.profile.schaefer_classes, 0);
+    EXPECT_FALSE(r.stats.used_search);
+    EXPECT_TRUE(r.stats.used_schaefer);
+    EXPECT_EQ(r.decided, OracleDecide(a, b)) << "trial " << trial;
+    if (r.decided) {
+      ASSERT_TRUE(r.witness.has_value());
+      EXPECT_TRUE(IsHomomorphism(a, b, *r.witness));
+    }
+  }
+}
+
+TEST(EngineRoutingTest, FallbackWhenWidthEstimateTooHigh) {
+  // K6 -> K5: cyclic, width estimate 5 > max_auto_width, non-Boolean
+  // target. kAuto must fall all the way back to the uniform search and
+  // still answer correctly (no 6-clique in K5).
+  auto vocab = MakeGraphVocabulary();
+  Structure k6 = CliqueStructure(vocab, 6);
+  Structure k5 = CliqueStructure(vocab, 5);
+  HomProblem p = MustProblem(HomProblem::FromStructures(k6, k5));
+  HomEngine engine;
+  EngineResult r = MustRun(engine, p, HomTask::kDecide);
+  EXPECT_EQ(r.explain.chosen, Backend::kUniform) << r.explain.ToString();
+  EXPECT_TRUE(r.stats.used_search);
+  EXPECT_FALSE(r.decided);
+  EXPECT_EQ(r.explain.profile.width_estimate, 5);
+  bool noted_width = false;
+  for (const std::string& f : r.explain.fallbacks) {
+    if (f.find("treewidth") != std::string::npos) noted_width = true;
+  }
+  EXPECT_TRUE(noted_width) << r.explain.ToString();
+}
+
+TEST(EngineRoutingTest, FallbackOnNonSchaeferBooleanTarget) {
+  // 1-in-3-SAT as a structure: Boolean but in no Schaefer class. With a
+  // dense cyclic source the width gate fails too, so kAuto lands on the
+  // search — with both refusals recorded.
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->AddRelation("R", 3);
+  Structure b(vocab, 2);
+  b.AddTuple(0, {0, 0, 1});
+  b.AddTuple(0, {0, 1, 0});
+  b.AddTuple(0, {1, 0, 0});
+  Rng rng(505);
+  Structure a = RandomStructure(vocab, 12, 40, rng);
+  HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
+  ASSERT_TRUE(p.Profile().target_boolean);
+  ASSERT_EQ(p.Profile().schaefer_classes, 0);
+  ASSERT_FALSE(p.Profile().source_acyclic);
+  ASSERT_GT(p.Profile().width_estimate, 3);
+  HomEngine engine;
+  EngineResult r = MustRun(engine, p, HomTask::kDecide);
+  EXPECT_EQ(r.explain.chosen, Backend::kUniform) << r.explain.ToString();
+  bool noted_schaefer = false;
+  for (const std::string& f : r.explain.fallbacks) {
+    if (f.find("outside every Schaefer class") != std::string::npos) {
+      noted_schaefer = true;
+    }
+  }
+  EXPECT_TRUE(noted_schaefer) << r.explain.ToString();
+  EXPECT_EQ(r.decided, OracleDecide(a, b));
+}
+
+TEST(EngineRoutingTest, CrossBackendOracleAgreement) {
+  // Randomized agreement net: wherever >= 2 backends apply, they must all
+  // return the oracle's decide answer.
+  Rng rng(606);
+  auto vocab = MakeGraphVocabulary();
+  int multi_backend_instances = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    Structure a = RandomGraphStructure(vocab, 3 + rng.Below(4),
+                                       0.3 + 0.1 * rng.Below(3), rng, false);
+    Structure b = RandomGraphStructure(vocab, 2 + rng.Below(3), 0.4, rng,
+                                       false);
+    bool oracle = OracleDecide(a, b);
+    HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
+    const InstanceProfile& prof = p.Profile();
+
+    // kAuto, whatever it picks.
+    HomEngine auto_engine;
+    EngineResult r = MustRun(auto_engine, p, HomTask::kDecide);
+    EXPECT_EQ(r.decided, oracle)
+        << "auto chose " << BackendName(r.explain.chosen) << " on trial "
+        << trial;
+
+    // Every explicitly applicable backend.
+    int applicable = 1;  // uniform always applies
+    EngineOptions uniform_options;
+    uniform_options.backend = Backend::kUniform;
+    EXPECT_EQ(
+        MustRun(HomEngine(uniform_options), p, HomTask::kDecide).decided,
+        oracle);
+    {
+      EngineOptions o;
+      o.backend = Backend::kTreewidth;  // exact whatever the width
+      ++applicable;
+      EXPECT_EQ(MustRun(HomEngine(o), p, HomTask::kDecide).decided, oracle)
+          << "treewidth disagrees on trial " << trial;
+    }
+    if (prof.source_acyclic && b.universe_size() > 0) {
+      EngineOptions o;
+      o.backend = Backend::kAcyclic;
+      ++applicable;
+      EXPECT_EQ(MustRun(HomEngine(o), p, HomTask::kDecide).decided, oracle)
+          << "acyclic disagrees on trial " << trial;
+    }
+    if (prof.schaefer_classes != 0) {
+      EngineOptions o;
+      o.backend = Backend::kSchaefer;
+      ++applicable;
+      EXPECT_EQ(MustRun(HomEngine(o), p, HomTask::kDecide).decided, oracle)
+          << "schaefer disagrees on trial " << trial;
+    }
+    if (applicable >= 2) ++multi_backend_instances;
+  }
+  EXPECT_GT(multi_backend_instances, 10);
+}
+
+TEST(EngineRoutingTest, CountAndProjectionsRouteToSearchAndAgree) {
+  Rng rng(707);
+  auto vocab = MakeGraphVocabulary();
+  for (int trial = 0; trial < 8; ++trial) {
+    Structure a = StructureFromGraph(vocab, RandomTree(4 + rng.Below(3), rng));
+    Structure b = RandomGraphStructure(vocab, 3, 0.6, rng, true);
+    BacktrackingSolver solver(a, b);
+    size_t oracle_count = solver.CountSolutions();
+    HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
+    p.SetProjection({0});
+    HomEngine engine;
+    EngineResult count = MustRun(engine, p, HomTask::kCount);
+    EXPECT_EQ(count.explain.chosen, Backend::kUniform);
+    EXPECT_FALSE(count.explain.profiled);  // enumeration skips the profile
+    EXPECT_EQ(count.count, oracle_count);
+    EngineResult rows = MustRun(engine, p, HomTask::kProject);
+    auto oracle_rows = BacktrackingSolver(a, b).EnumerateProjections(
+        std::vector<Element>{0});
+    std::set<std::vector<Element>> got(rows.rows.begin(), rows.rows.end());
+    std::set<std::vector<Element>> want(oracle_rows.begin(),
+                                       oracle_rows.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(EngineRoutingTest, CompiledProblemReusesArtifactsAcrossRuns) {
+  Rng rng(808);
+  auto vocab = MakeGraphVocabulary();
+  Structure a = StructureFromGraph(vocab, RandomPartialKTree(10, 2, 0.9, rng));
+  Structure b = RandomGraphStructure(vocab, 4, 0.5, rng, true);
+  HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
+  // Same compiled pieces on every access.
+  const CspInstance* csp = &p.Csp();
+  EXPECT_EQ(csp, &p.Csp());
+  const TreeDecomposition* dec = &p.SourceDecomposition();
+  EXPECT_EQ(dec, &p.SourceDecomposition());
+  const InstanceProfile* prof = &p.Profile();
+  EXPECT_EQ(prof, &p.Profile());
+  // Copies share them.
+  HomProblem copy = p;
+  EXPECT_EQ(&copy.Csp(), csp);
+  // Rebinding the target keeps the whole source side...
+  Structure b2 = RandomGraphStructure(vocab, 5, 0.5, rng, true);
+  HomProblem rebound = MustProblem(p.WithTarget(b2));
+  EXPECT_EQ(&rebound.SourceDecomposition(), dec);
+  // ...but recompiles the pair state against the new target.
+  EXPECT_NE(&rebound.Csp(), csp);
+  EXPECT_EQ(rebound.Profile().target_universe, 5u);
+  // And the rebound problem still answers correctly.
+  HomEngine engine;
+  EXPECT_EQ(MustRun(engine, rebound, HomTask::kDecide).decided,
+            OracleDecide(a, b2));
+  EXPECT_EQ(MustRun(engine, p, HomTask::kDecide).decided, OracleDecide(a, b));
+}
+
+TEST(EngineRoutingTest, ContainmentProblemsRouteThroughPolyBackends) {
+  // Chain-query containment: the marked canonical database of a chain is
+  // acyclic and width-1, so the front door must not search — this is the
+  // acceptance case "kAuto picks a polynomial backend where the uniform
+  // solver would search", cross-checked against both Theorem 2.1
+  // characterizations.
+  auto vocab = MakeGraphVocabulary();
+  ConjunctiveQuery chain4 = ChainQuery(vocab, 4);
+  ConjunctiveQuery chain6 = ChainQuery(vocab, 6);
+  HomProblem p = MustProblem(HomProblem::FromContainment(chain6, chain4));
+  HomEngine engine;
+  EngineResult r = MustRun(engine, p, HomTask::kDecide);
+  EXPECT_NE(r.explain.chosen, Backend::kUniform) << r.explain.ToString();
+  auto via_eval = IsContainedViaEvaluation(chain6, chain4);
+  ASSERT_TRUE(via_eval.ok());
+  EXPECT_EQ(r.decided, *via_eval);
+  auto via_wrapper = IsContained(chain6, chain4);
+  ASSERT_TRUE(via_wrapper.ok());
+  EXPECT_EQ(r.decided, *via_wrapper);
+}
+
+TEST(EngineRoutingTest, PebblePreflightCertifiesUnsat) {
+  // C5 -> K2: not 2-colorable; the Spoiler wins the 4-pebble game, so the
+  // preflight proves "no homomorphism" and the search never runs.
+  auto vocab = MakeGraphVocabulary();
+  Structure c5 = UndirectedCycleStructure(vocab, 5);
+  Structure k2 = UndirectedCycleStructure(vocab, 2);
+  HomProblem p = MustProblem(HomProblem::FromStructures(c5, k2));
+  EngineOptions options;
+  options.backend = Backend::kUniform;
+  options.pebble_preflight_k = 4;
+  EngineResult r = MustRun(HomEngine(options), p, HomTask::kDecide);
+  EXPECT_FALSE(r.decided);
+  EXPECT_TRUE(r.stats.used_pebble);
+  EXPECT_FALSE(r.stats.used_search);
+  EXPECT_GT(r.stats.pebble.deleted_positions, 0u);
+}
+
+TEST(EngineRoutingTest, ExplicitBackendErrorsInsteadOfFallingBack) {
+  auto vocab = MakeGraphVocabulary();
+  Structure k4 = CliqueStructure(vocab, 4);   // cyclic source
+  Structure k5 = CliqueStructure(vocab, 5);   // non-Boolean target
+  HomProblem p = MustProblem(HomProblem::FromStructures(k4, k5));
+  {
+    EngineOptions o;
+    o.backend = Backend::kAcyclic;
+    auto r = HomEngine(o).Run(p, HomTask::kDecide);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    EngineOptions o;
+    o.backend = Backend::kAcyclic;  // decide-only backend, witness task
+    Structure path = PathStructure(vocab, 3);
+    HomProblem acyclic_p = MustProblem(HomProblem::FromStructures(path, k5));
+    auto r = HomEngine(o).Run(acyclic_p, HomTask::kWitness);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    EngineOptions o;
+    o.backend = Backend::kSchaefer;  // non-Boolean target
+    auto r = HomEngine(o).Run(p, HomTask::kDecide);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(EngineRoutingTest, NodeLimitSurfacesAsUnknownNeverAsNo) {
+  auto vocab = MakeGraphVocabulary();
+  Rng rng(909);
+  Structure a = CliqueStructure(vocab, 7);
+  Structure g = RandomGraphStructure(vocab, 20, 0.5, rng, true);
+  HomProblem p = MustProblem(HomProblem::FromStructures(a, g));
+  EngineOptions options;
+  options.backend = Backend::kUniform;
+  options.solve.node_limit = 3;
+  HomEngine engine(options);
+  EngineResult r = MustRun(engine, p, HomTask::kDecide);
+  if (!r.decided) {
+    EXPECT_TRUE(r.stats.search.limit_hit);
+    auto decided = engine.Decide(p);
+    ASSERT_FALSE(decided.ok());
+    EXPECT_EQ(decided.status().code(), StatusCode::kUnsupported);
+  }
+}
+
+TEST(EngineRoutingTest, TrivialUniversesShortCircuit) {
+  auto vocab = MakeGraphVocabulary();
+  Structure empty(vocab, 0);
+  Structure k3 = CliqueStructure(vocab, 3);
+  HomEngine engine;
+  HomProblem from_empty = MustProblem(HomProblem::FromStructures(empty, k3));
+  EngineResult r = MustRun(engine, from_empty, HomTask::kWitness);
+  EXPECT_TRUE(r.decided);
+  ASSERT_TRUE(r.witness.has_value());
+  EXPECT_TRUE(r.witness->empty());
+  HomProblem to_empty = MustProblem(HomProblem::FromStructures(k3, empty));
+  EngineResult r2 = MustRun(engine, to_empty, HomTask::kDecide);
+  EXPECT_FALSE(r2.decided);
+  EXPECT_FALSE(r2.stats.search.limit_hit);
+}
+
+TEST(EngineRoutingTest, ExplainRendersJson) {
+  auto vocab = MakeGraphVocabulary();
+  Structure path = PathStructure(vocab, 4);
+  Structure k3 = CliqueStructure(vocab, 3);
+  HomProblem p = MustProblem(HomProblem::FromStructures(path, k3));
+  HomEngine engine;
+  EngineResult r = MustRun(engine, p, HomTask::kDecide);
+  std::string json = r.ToJson();
+  EXPECT_NE(json.find("\"chosen\":\"acyclic\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"profile\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"decided\":true"), std::string::npos) << json;
+  EXPECT_EQ(BackendName(Backend::kTreewidth), std::string("treewidth"));
+  EXPECT_EQ(ParseBackendName("schaefer"), Backend::kSchaefer);
+  EXPECT_EQ(ParseBackendName("bogus"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace cqcs

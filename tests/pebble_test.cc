@@ -54,8 +54,9 @@ TEST(PebbleGameTest, HomomorphismImpliesDuplicatorWins) {
   Structure c6 = UndirectedCycle(vocab, 6);
   Structure k2 = UndirectedCycle(vocab, 2);
   for (uint32_t k = 1; k <= 3; ++k) {
-    ExistentialPebbleGame game(c6, k2, k);
-    EXPECT_TRUE(game.DuplicatorWins()) << "k=" << k;
+    auto game = ExistentialPebbleGame::Create(c6, k2, k);
+    ASSERT_TRUE(game.ok());
+    EXPECT_TRUE(game->DuplicatorWins()) << "k=" << k;
   }
 }
 
@@ -68,12 +69,13 @@ TEST(PebbleGameTest, SoundnessOnRandomInstances) {
     Structure b = RandomGraph(vocab, 2 + rng.Below(3), 0.4, rng, false);
     bool hom = HasHomomorphism(a, b);
     for (uint32_t k = 1; k <= 3; ++k) {
-      ExistentialPebbleGame game(a, b, k);
+      auto game = ExistentialPebbleGame::Create(a, b, k);
+      ASSERT_TRUE(game.ok());
       if (hom) {
-        EXPECT_TRUE(game.DuplicatorWins())
+        EXPECT_TRUE(game->DuplicatorWins())
             << "hom exists but Spoiler wins, k=" << k;
       }
-      if (game.SpoilerWins()) {
+      if (game->SpoilerWins()) {
         EXPECT_FALSE(hom);
       }
     }
@@ -89,7 +91,9 @@ TEST(PebbleGameTest, MonotoneInK) {
     Structure b = RandomGraph(vocab, 2 + rng.Below(3), 0.5, rng, false);
     bool spoiler_prev = false;
     for (uint32_t k = 1; k <= 3; ++k) {
-      bool spoiler = SpoilerWinsExistentialKPebble(a, b, k);
+      auto spoiler_result = SpoilerWinsExistentialKPebble(a, b, k);
+      ASSERT_TRUE(spoiler_result.ok());
+      bool spoiler = *spoiler_result;
       if (spoiler_prev) EXPECT_TRUE(spoiler) << "k=" << k;
       spoiler_prev = spoiler;
     }
@@ -103,13 +107,15 @@ TEST(PebbleGameTest, OddCycleVsEdgeSpoilerWinsWithFourPebbles) {
   Structure k2 = UndirectedCycle(vocab, 2);
   for (size_t n = 3; n <= 7; n += 2) {
     Structure cn = UndirectedCycle(vocab, n);
-    ExistentialPebbleGame game(cn, k2, 4);
-    EXPECT_TRUE(game.SpoilerWins()) << "n=" << n;
+    auto game = ExistentialPebbleGame::Create(cn, k2, 4);
+    ASSERT_TRUE(game.ok());
+    EXPECT_TRUE(game->SpoilerWins()) << "n=" << n;
   }
   for (size_t n = 4; n <= 8; n += 2) {
     Structure cn = UndirectedCycle(vocab, n);
-    ExistentialPebbleGame game(cn, k2, 4);
-    EXPECT_TRUE(game.DuplicatorWins()) << "n=" << n;
+    auto game = ExistentialPebbleGame::Create(cn, k2, 4);
+    ASSERT_TRUE(game.ok());
+    EXPECT_TRUE(game->DuplicatorWins()) << "n=" << n;
   }
 }
 
@@ -117,23 +123,27 @@ TEST(PebbleGameTest, EmptyTargetSpoilerWins) {
   auto vocab = GraphVocab();
   Structure a(vocab, 2);
   Structure empty(vocab, 0);
-  ExistentialPebbleGame game(a, empty, 2);
-  EXPECT_TRUE(game.SpoilerWins());
+  auto game = ExistentialPebbleGame::Create(a, empty, 2);
+  ASSERT_TRUE(game.ok());
+  EXPECT_TRUE(game->SpoilerWins());
 }
 
 TEST(PebbleGameTest, EmptySourceDuplicatorWins) {
   auto vocab = GraphVocab();
   Structure empty(vocab, 0);
   Structure b = UndirectedCycle(vocab, 3);
-  ExistentialPebbleGame game(empty, b, 2);
-  EXPECT_TRUE(game.DuplicatorWins());
+  auto game = ExistentialPebbleGame::Create(empty, b, 2);
+  ASSERT_TRUE(game.ok());
+  EXPECT_TRUE(game->DuplicatorWins());
 }
 
 TEST(PebbleGameTest, DuplicatorWinsFromPositions) {
   auto vocab = GraphVocab();
   Structure c4 = UndirectedCycle(vocab, 4);
   Structure k2 = UndirectedCycle(vocab, 2);
-  ExistentialPebbleGame game(c4, k2, 2);
+  auto game_result = ExistentialPebbleGame::Create(c4, k2, 2);
+  ASSERT_TRUE(game_result.ok());
+  const ExistentialPebbleGame& game = *game_result;
   ASSERT_TRUE(game.DuplicatorWins());
   // Adjacent elements of C4 pebbled on the two distinct K2 endpoints: fine.
   EXPECT_TRUE(game.DuplicatorWinsFrom({{0, 0}, {1, 1}}));
@@ -141,6 +151,25 @@ TEST(PebbleGameTest, DuplicatorWinsFromPositions) {
   EXPECT_FALSE(game.DuplicatorWinsFrom({{0, 0}, {1, 0}}));
   // Conflicting pebbles on the same element: losing by definition.
   EXPECT_FALSE(game.DuplicatorWinsFrom({{0, 0}, {0, 1}}));
+}
+
+TEST(PebbleGameTest, DegenerateInputsAreErrorsNotAborts) {
+  // The pebble game follows the same Result<> contract as the other
+  // backends: the engine must be able to fall back instead of aborting.
+  auto vocab = GraphVocab();
+  Structure a = UndirectedCycle(vocab, 3);
+  Structure b = UndirectedCycle(vocab, 2);
+  auto zero_pebbles = ExistentialPebbleGame::Create(a, b, 0);
+  ASSERT_FALSE(zero_pebbles.ok());
+  EXPECT_EQ(zero_pebbles.status().code(), StatusCode::kInvalidArgument);
+  auto other = std::make_shared<Vocabulary>();
+  other->AddRelation("F", 2);
+  Structure mismatched(other, 2);
+  auto mismatch = ExistentialPebbleGame::Create(a, mismatched, 2);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(SpoilerWinsExistentialKPebble(a, mismatched, 2).ok());
+  EXPECT_FALSE(SpoilerWinsExistentialKPebble(a, b, 0).ok());
 }
 
 TEST(RhoBTest, ProgramIsKDatalog) {
@@ -170,8 +199,9 @@ TEST(RhoBTest, AgreesWithGameSolver) {
       ASSERT_TRUE(program.ok()) << program.status().ToString();
       auto datalog_says = GoalDerivable(*program, a);
       ASSERT_TRUE(datalog_says.ok()) << datalog_says.status().ToString();
-      bool game_says = SpoilerWinsExistentialKPebble(a, b, k);
-      EXPECT_EQ(*datalog_says, game_says)
+      auto game_says = SpoilerWinsExistentialKPebble(a, b, k);
+      ASSERT_TRUE(game_says.ok());
+      EXPECT_EQ(*datalog_says, *game_says)
           << "trial " << trial << " k=" << k;
     }
   }
@@ -209,8 +239,9 @@ TEST(Remark410Test, HornStructureGameDecidesExactly) {
                      static_cast<Element>(rng.Below(a.universe_size()))});
     }
     bool hom = HasHomomorphism(a, b);
-    bool spoiler = SpoilerWinsExistentialKPebble(a, b, 2);
-    EXPECT_EQ(!hom, spoiler) << "trial " << trial;
+    auto spoiler = SpoilerWinsExistentialKPebble(a, b, 2);
+    ASSERT_TRUE(spoiler.ok());
+    EXPECT_EQ(!hom, *spoiler) << "trial " << trial;
   }
 }
 

@@ -127,8 +127,9 @@ TEST_P(SeededProperty, FullPebbleGameIsExact) {
   Structure a = RandomGraphStructure(vocab, n, 0.5, rng, false);
   Structure b = RandomGraphStructure(vocab, 2 + rng.Below(3), 0.5, rng, false);
   bool hom = HasHomomorphism(a, b);
-  bool spoiler = SpoilerWinsExistentialKPebble(a, b, static_cast<uint32_t>(n));
-  EXPECT_EQ(!hom, spoiler);
+  auto spoiler = SpoilerWinsExistentialKPebble(a, b, static_cast<uint32_t>(n));
+  ASSERT_TRUE(spoiler.ok());
+  EXPECT_EQ(!hom, *spoiler);
 }
 
 TEST_P(SeededProperty, TreewidthBoundMakesGameExact) {
@@ -140,8 +141,9 @@ TEST_P(SeededProperty, TreewidthBoundMakesGameExact) {
   Structure a = StructureFromGraph(vocab, ga);
   Structure b = RandomGraphStructure(vocab, 2 + rng.Below(3), 0.4, rng, true);
   bool hom = HasHomomorphism(a, b);
-  bool spoiler = SpoilerWinsExistentialKPebble(a, b, 2);
-  EXPECT_EQ(!hom, spoiler);
+  auto spoiler = SpoilerWinsExistentialKPebble(a, b, 2);
+  ASSERT_TRUE(spoiler.ok());
+  EXPECT_EQ(!hom, *spoiler);
 }
 
 TEST_P(SeededProperty, CoreIdempotentAndEquivalent) {
