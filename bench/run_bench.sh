@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Runs the solver benchmarks with fixed seeds and writes BENCH_solver.json
-# (google-benchmark JSON with both binaries' entries merged), so successive
+# (google-benchmark JSON with all binaries' entries merged), so successive
 # PRs leave a comparable perf trajectory. The filter keeps the PR 1 series,
 # the PR 2 search-strategy series (CBJ / dom-wdeg / restarts variants),
-# the PR 3 work-stealing parallel scaling series (1/2/4/8 workers), and the
-# PR 4 front-door routing series (engine kAuto vs raw uniform per family).
+# the PR 3 work-stealing parallel scaling series (1/2/4/8 workers), the
+# PR 4 front-door routing series (engine kAuto vs raw uniform per family),
+# and the PR 5 polynomial-backend series: the task-by-task Yannakakis
+# program on the rel/ columnar kernel (witness/count/enumerate, auto vs
+# uniform arms over a source-size sweep) and the hash-indexed treewidth DP
+# sweeps.
 #
 # The merged file's .context.host records the hardware and build the numbers
 # came from — nproc, compiler, build type, git sha — because the parallel
@@ -36,18 +40,19 @@ done
 
 BUILD_DIR="${ARGS[0]:-build}"
 OUT="${ARGS[1]:-BENCH_solver.json}"
-FILTER='BM_CliqueIntoRandomGraph|BM_PlantedCliqueRecovery|BM_SparseRefutationFc|BM_Backtracking_NodeThroughput|BM_Horn_Backtracking|BM_CliqueRefutationParallel|BM_PlantedCliqueParallel|BM_EngineAutoVsUniform'
+BINS=(bench_hardness bench_uniform_boolean bench_acyclic bench_treewidth)
+FILTER='BM_CliqueIntoRandomGraph|BM_PlantedCliqueRecovery|BM_SparseRefutationFc|BM_Backtracking_NodeThroughput|BM_Horn_Backtracking|BM_CliqueRefutationParallel|BM_PlantedCliqueParallel|BM_EngineAutoVsUniform|BM_YannakakisTask|BM_TreewidthDpIndexed'
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 if [[ "$QUICK" == 1 ]]; then
   # Smoke series: one cheap entry per binary plus the parallel scaling
   # series (its correctness under load is exactly what CI should smoke).
-  FILTER='BM_CliqueIntoRandomGraph/3|BM_Backtracking_NodeThroughput/|BM_CliqueRefutationParallel'
+  FILTER='BM_CliqueIntoRandomGraph/3|BM_Backtracking_NodeThroughput/|BM_CliqueRefutationParallel|BM_YannakakisTask_Witness/0/64|BM_TreewidthDpIndexed_SourceSweep/128'
   MIN_TIME="${BENCH_MIN_TIME:-0.01}"
 fi
 
 cd "$(dirname "$0")/.."
 
-for bin in bench_hardness bench_uniform_boolean; do
+for bin in "${BINS[@]}"; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "error: $BUILD_DIR/bench/$bin not built (configure with" \
          "CQCS_BUILD_BENCHMARKS=ON and google-benchmark installed)" >&2
@@ -58,7 +63,7 @@ done
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 
-for bin in bench_hardness bench_uniform_boolean; do
+for bin in "${BINS[@]}"; do
   if ! "$BUILD_DIR/bench/$bin" \
       --benchmark_filter="$FILTER" \
       --benchmark_min_time="$MIN_TIME" \
@@ -89,6 +94,8 @@ GIT_SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 
 # Merge: keep the first file's context, inject the host block, concatenate
 # benchmark entries.
+BIN_JSONS=()
+for bin in "${BINS[@]}"; do BIN_JSONS+=("$tmpdir/$bin.json"); done
 jq -s --arg nproc "$NPROC" \
       --arg compiler "${COMPILER_VERSION:-unknown}" \
       --arg build_type "${BUILD_TYPE:-unknown}" \
@@ -101,7 +108,7 @@ jq -s --arg nproc "$NPROC" \
         git_sha: $git_sha,
         quick: ($quick == 1)}}),
     benchmarks: (map(.benchmarks) | add)}' \
-  "$tmpdir"/bench_hardness.json "$tmpdir"/bench_uniform_boolean.json > "$OUT"
+  "${BIN_JSONS[@]}" > "$OUT"
 
 echo "wrote $OUT ($(jq '.benchmarks | length' "$OUT") entries," \
      "nproc=$NPROC, quick=$QUICK)"

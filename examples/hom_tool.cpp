@@ -18,6 +18,11 @@
 //   --backend=NAME              auto | uniform | treewidth | acyclic |
 //                               schaefer (default auto: route from the
 //                               instance profile, falling back to uniform)
+//   --task=NAME                 decide | witness | count | enumerate
+//                               (default witness). On acyclic sources every
+//                               task runs on the Yannakakis route; count and
+//                               enumerate otherwise need the uniform search.
+//   --limit=N                   cap for --task=count / --task=enumerate
 //   --explain                   print the routing decision + unified stats
 //                               as one JSON object (machine-readable)
 //
@@ -53,7 +58,7 @@ Result<Structure> LoadStructure(const char* path) {
 }
 
 bool ParseStrategyFlag(const char* arg, EngineOptions* engine_options,
-                       bool* explain) {
+                       HomTask* task, bool* explain) {
   SolveOptions* options = &engine_options->solve;
   std::string flag = arg;
   if (flag == "--explain") {
@@ -62,6 +67,21 @@ bool ParseStrategyFlag(const char* arg, EngineOptions* engine_options,
     auto backend = ParseBackendName(flag.substr(10));
     if (!backend.has_value()) return false;
     engine_options->backend = *backend;
+  } else if (flag.rfind("--task=", 0) == 0) {
+    auto parsed = ParseHomTaskName(flag.substr(7));
+    // kProject needs a projection spec, which the structure-pair CLI has no
+    // syntax for — `evaluate` is the projection entry point.
+    if (!parsed.has_value() || *parsed == HomTask::kProject) return false;
+    *task = *parsed;
+  } else if (flag.rfind("--limit=", 0) == 0) {
+    const std::string digits = flag.substr(8);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      return false;
+    }
+    const size_t n = std::strtoull(digits.c_str(), nullptr, 10);
+    engine_options->count_limit = n;
+    engine_options->max_results = n;
   } else if (flag == "--fc") {
     options->propagation = Propagation::kForwardChecking;
   } else if (flag == "--mac") {
@@ -112,9 +132,10 @@ int Solve(const char* a_path, const char* b_path, int flag_count,
     return 1;
   }
   EngineOptions engine_options;
+  HomTask task = HomTask::kWitness;
   bool explain = false;
   for (int i = 0; i < flag_count; ++i) {
-    if (!ParseStrategyFlag(flags[i], &engine_options, &explain)) {
+    if (!ParseStrategyFlag(flags[i], &engine_options, &task, &explain)) {
       std::printf("error: unknown strategy flag %s\n", flags[i]);
       return 2;
     }
@@ -125,31 +146,61 @@ int Solve(const char* a_path, const char* b_path, int flag_count,
     return 1;
   }
   HomEngine engine(engine_options);
-  // The acyclic backend is decide-only; every other backend can witness.
-  const HomTask task = engine_options.backend == Backend::kAcyclic
-                           ? HomTask::kDecide
-                           : HomTask::kWitness;
   auto result = engine.Run(*problem, task);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return 1;
   }
-  if (!result->decided) {
-    std::printf(result->stats.search.limit_hit ? "unknown (node limit hit)\n"
-                                               : "no homomorphism\n");
-  } else if (result->witness.has_value()) {
-    std::printf("homomorphism found:\n");
-    const Homomorphism& h = *result->witness;
-    for (size_t e = 0; e < h.size(); ++e) {
-      std::printf("  %zu -> %u\n", e, h[e]);
-    }
-  } else {
-    std::printf("homomorphism exists (decide-only backend, no witness)\n");
+  switch (task) {
+    case HomTask::kDecide:
+    case HomTask::kWitness:
+      if (!result->decided) {
+        std::printf(result->stats.search.limit_hit
+                        ? "unknown (node limit hit)\n"
+                        : "no homomorphism\n");
+      } else if (result->witness.has_value()) {
+        std::printf("homomorphism found:\n");
+        const Homomorphism& h = *result->witness;
+        for (size_t e = 0; e < h.size(); ++e) {
+          std::printf("  %zu -> %u\n", e, h[e]);
+        }
+      } else {
+        std::printf("homomorphism exists\n");
+      }
+      break;
+    case HomTask::kCount:
+      std::printf(result->stats.search.limit_hit
+                      ? "count: >= %zu (node limit hit)\n"
+                      : "count: %zu\n",
+                  result->count);
+      break;
+    case HomTask::kEnumerate:
+      std::printf("%zu homomorphism(s)\n", result->rows.size());
+      for (const auto& row : result->rows) {
+        std::printf(" ");
+        for (Element e : row) std::printf(" %u", e);
+        std::printf("\n");
+      }
+      break;
+    case HomTask::kProject:
+      break;  // unreachable: the flag parser rejects it
   }
   std::printf("backend: %s\n", BackendName(result->explain.chosen));
   if (explain) {
     std::printf("%s\n", result->ToJson().c_str());
     return 0;
+  }
+  if (result->stats.used_acyclic) {
+    const YannakakisStats& ys = result->stats.yannakakis;
+    std::printf(
+        "acyclic: tables=%llu rows=%llu max_table_rows=%llu semijoins=%llu "
+        "pruned=%llu join_rows=%llu\n",
+        static_cast<unsigned long long>(ys.atom_tables),
+        static_cast<unsigned long long>(ys.rows_materialized),
+        static_cast<unsigned long long>(ys.max_table_rows),
+        static_cast<unsigned long long>(ys.semijoins),
+        static_cast<unsigned long long>(ys.rows_pruned),
+        static_cast<unsigned long long>(ys.join_rows));
   }
   // A polynomial backend leaves the search stats untouched; printing them
   // would look like a genuine zero-node measurement.

@@ -53,11 +53,31 @@ std::optional<Backend> ParseBackendName(std::string_view name) {
   return std::nullopt;
 }
 
+const char* HomTaskName(HomTask task) {
+  switch (task) {
+    case HomTask::kDecide: return "decide";
+    case HomTask::kWitness: return "witness";
+    case HomTask::kCount: return "count";
+    case HomTask::kEnumerate: return "enumerate";
+    case HomTask::kProject: return "project";
+  }
+  return "unknown";
+}
+
+std::optional<HomTask> ParseHomTaskName(std::string_view name) {
+  for (HomTask t : {HomTask::kDecide, HomTask::kWitness, HomTask::kCount,
+                    HomTask::kEnumerate, HomTask::kProject}) {
+    if (name == HomTaskName(t)) return t;
+  }
+  return std::nullopt;
+}
+
 Result<EngineResult> HomEngine::Run(const HomProblem& problem,
                                     HomTask task) const {
   EngineResult r;
   r.task = task;
   r.explain.requested = options_.backend;
+  r.explain.served = task;
 
   const Structure& a = problem.source();
   const Structure& b = problem.target();
@@ -67,12 +87,32 @@ Result<EngineResult> HomEngine::Run(const HomProblem& problem,
   Backend chosen = options_.backend;
   if (chosen == Backend::kAuto) {
     if (!decide_like) {
-      // Only the search enumerates/counts; the paper's polynomial islands
-      // are decision procedures.
-      chosen = Backend::kUniform;
-      r.explain.reason =
-          "counting/enumeration requested; only the uniform search "
-          "enumerates solutions";
+      // Counting/enumeration/projection: the full Yannakakis program
+      // serves these on α-acyclic sources (count DP, output-bounded
+      // enumeration, join-project over the reduced join forest);
+      // everything else needs the uniform search. The Schaefer and
+      // treewidth islands stay decide/witness-only.
+      InstanceProfile& prof = r.explain.profile;
+      FillSizeStats(a, b, &prof);
+      r.explain.profiled = true;
+      prof.acyclicity_known = true;
+      prof.source_acyclic = problem.SourceAcyclic();
+      if (prof.source_acyclic) {
+        chosen = Backend::kAcyclic;
+        r.explain.reason =
+            "source hypergraph is α-acyclic (GYO reduces it): full "
+            "Yannakakis program over the reduced join forest";
+      } else {
+        r.explain.fallbacks.push_back(
+            "acyclic: source hypergraph is cyclic (GYO leaves live edges)");
+        r.explain.fallbacks.push_back(
+            "schaefer/treewidth: decide/witness only — counting and "
+            "enumeration need the search");
+        chosen = Backend::kUniform;
+        r.explain.reason =
+            "cyclic source with a counting/enumeration task; uniform "
+            "search";
+      }
     } else if (a.universe_size() == 0) {
       r.decided = true;
       if (task == HomTask::kWitness) r.witness = Homomorphism{};
@@ -111,17 +151,17 @@ Result<EngineResult> HomEngine::Run(const HomProblem& problem,
                 : "schaefer: target is not Boolean");
         prof.acyclicity_known = true;
         prof.source_acyclic = problem.SourceAcyclic();
-        if (task == HomTask::kDecide && prof.source_acyclic) {
+        if (prof.source_acyclic) {
           chosen = Backend::kAcyclic;
           why << "source hypergraph is α-acyclic (GYO reduces it): "
-                 "Yannakakis semijoin evaluation";
+              << (task == HomTask::kDecide
+                      ? "Yannakakis semijoin evaluation"
+                      : "Yannakakis semijoin reduction with witness "
+                        "extraction");
         } else {
           r.explain.fallbacks.push_back(
-              prof.source_acyclic
-                  ? "acyclic: source is acyclic but a witness was requested "
-                    "(Yannakakis decides only)"
-                  : "acyclic: source hypergraph is cyclic (GYO leaves more "
-                    "than one edge)");
+              "acyclic: source hypergraph is cyclic (GYO leaves live "
+              "edges)");
           const TreeDecomposition& dec = problem.SourceDecomposition();
           prof.width_known = true;
           prof.width_estimate = dec.Width();
@@ -173,19 +213,57 @@ Result<EngineResult> HomEngine::Run(const HomProblem& problem,
         return Status::OK();
       }
       case Backend::kAcyclic: {
-        if (task != HomTask::kDecide) {
-          return Status::InvalidArgument(
-              "the acyclic backend decides Boolean existence only");
-        }
         if (b.universe_size() == 0 && a.universe_size() > 0) {
           // Body satisfiability ignores isolated source elements, which
           // still need images; only an empty target makes that distinction.
           r.decided = false;
+          r.count = 0;
           return Status::OK();
         }
-        auto sat = EvaluateBooleanAcyclic(problem.SourceCanonicalQuery(), b);
-        if (!sat.ok()) return sat.status();
-        r.decided = *sat;
+        // Canonical-query variable ids ARE source element ids, so the
+        // assignment rows the Yannakakis program returns are
+        // homomorphisms verbatim.
+        const ConjunctiveQuery& q = problem.SourceCanonicalQuery();
+        YannakakisStats* ys = &r.stats.yannakakis;
+        switch (task) {
+          case HomTask::kDecide: {
+            auto sat = EvaluateBooleanAcyclic(q, b, ys);
+            if (!sat.ok()) return sat.status();
+            r.decided = *sat;
+            break;
+          }
+          case HomTask::kWitness: {
+            auto w = AcyclicWitness(q, b, ys);
+            if (!w.ok()) return w.status();
+            r.decided = w->has_value();
+            if (w->has_value()) r.witness = *std::move(*w);
+            break;
+          }
+          case HomTask::kCount: {
+            auto c = AcyclicCount(q, b, options_.count_limit, ys);
+            if (!c.ok()) return c.status();
+            r.count = *c;
+            break;
+          }
+          case HomTask::kEnumerate: {
+            auto rows = AcyclicEnumerate(q, b, options_.max_results, ys);
+            if (!rows.ok()) return rows.status();
+            r.rows = *std::move(rows);
+            r.count = r.rows.size();
+            break;
+          }
+          case HomTask::kProject: {
+            std::span<const Element> proj = problem.projection();
+            auto rows = AcyclicProject(
+                q, b, std::vector<VarId>(proj.begin(), proj.end()),
+                options_.max_results, ys);
+            if (!rows.ok()) return rows.status();
+            r.rows = *std::move(rows);
+            r.count = r.rows.size();
+            break;
+          }
+        }
+        r.stats.used_acyclic = true;
         return Status::OK();
       }
       case Backend::kTreewidth: {
@@ -335,7 +413,19 @@ std::string EngineStats::ToJson() const {
   out << ",\"treewidth\":";
   if (used_treewidth) {
     out << "{\"width\":" << treewidth.width
-        << ",\"table_entries\":" << treewidth.table_entries << "}";
+        << ",\"table_entries\":" << treewidth.table_entries
+        << ",\"table_rows\":" << treewidth.table_rows << "}";
+  } else {
+    out << "null";
+  }
+  out << ",\"acyclic\":";
+  if (used_acyclic) {
+    out << "{\"atom_tables\":" << yannakakis.atom_tables
+        << ",\"rows_materialized\":" << yannakakis.rows_materialized
+        << ",\"max_table_rows\":" << yannakakis.max_table_rows
+        << ",\"semijoins\":" << yannakakis.semijoins
+        << ",\"rows_pruned\":" << yannakakis.rows_pruned
+        << ",\"join_rows\":" << yannakakis.join_rows << "}";
   } else {
     out << "null";
   }
@@ -363,7 +453,8 @@ std::string EngineStats::ToJson() const {
 std::string EngineExplain::ToString() const {
   std::ostringstream out;
   out << "backend " << BackendName(chosen) << " (requested "
-      << BackendName(requested) << "): " << reason;
+      << BackendName(requested) << ", task " << HomTaskName(served)
+      << "): " << reason;
   for (const std::string& f : fallbacks) out << "\n  - " << f;
   if (profiled) out << "\n  profile: " << profile.ToString();
   return out.str();
@@ -372,7 +463,8 @@ std::string EngineExplain::ToString() const {
 std::string EngineExplain::ToJson() const {
   std::ostringstream out;
   out << "{\"requested\":\"" << BackendName(requested) << "\",\"chosen\":\""
-      << BackendName(chosen) << "\",\"reason\":";
+      << BackendName(chosen) << "\",\"served\":\"" << HomTaskName(served)
+      << "\",\"reason\":";
   AppendJsonString(out, reason);
   out << ",\"fallbacks\":[";
   for (size_t i = 0; i < fallbacks.size(); ++i) {
@@ -384,10 +476,8 @@ std::string EngineExplain::ToJson() const {
 }
 
 std::string EngineResult::ToJson() const {
-  static constexpr const char* kTaskNames[] = {"decide", "witness", "count",
-                                               "enumerate", "project"};
   std::ostringstream out;
-  out << "{\"task\":\"" << kTaskNames[static_cast<int>(task)]
+  out << "{\"task\":\"" << HomTaskName(task)
       << "\",\"decided\":" << (decided ? "true" : "false")
       << ",\"witness\":" << (witness.has_value() ? "true" : "false")
       << ",\"count\":" << count << ",\"rows\":" << rows.size()

@@ -4,7 +4,10 @@
 // engine applies them so callers don't have to:
 //
 //   Backend::kSchaefer   Boolean Schaefer-class target  (Theorems 3.1-3.4)
-//   Backend::kAcyclic    α-acyclic source, Boolean task (Yannakakis)
+//   Backend::kAcyclic    α-acyclic source — the full Yannakakis program:
+//                        decide, witness, count, enumerate, and project
+//                        all run over the semijoin-reduced join forest
+//                        (cq/acyclic.h, on the rel/ columnar kernel)
 //   Backend::kTreewidth  small-width source             (Theorem 5.4)
 //   Backend::kUniform    everything (NP-complete)       (backtracking), with
 //                        an optional existential-pebble-game preflight whose
@@ -47,7 +50,7 @@ enum class Backend {
   kAuto,       ///< Route from the profile; fall back toward kUniform.
   kUniform,    ///< Backtracking search (always applicable).
   kTreewidth,  ///< DP over the source's tree decomposition (decide/witness).
-  kAcyclic,    ///< Yannakakis semijoins (decide only).
+  kAcyclic,    ///< Full Yannakakis program (every HomTask).
   kSchaefer,   ///< Uniform polynomial algorithm for Schaefer targets
                ///< (decide/witness).
 };
@@ -56,6 +59,12 @@ enum class Backend {
 const char* BackendName(Backend backend);
 /// Inverse of BackendName; nullopt for unknown names.
 std::optional<Backend> ParseBackendName(std::string_view name);
+
+/// "decide" / "witness" / "count" / "enumerate" / "project" — stable
+/// names for `hom_tool --task` and JSON.
+const char* HomTaskName(HomTask task);
+/// Inverse of HomTaskName; nullopt for unknown names.
+std::optional<HomTask> ParseHomTaskName(std::string_view name);
 
 /// Engine configuration. The defaults make kAuto safe: the polynomial
 /// routes only fire on profile evidence, and the pebble preflight (which is
@@ -85,10 +94,13 @@ struct EngineStats {
   bool used_treewidth = false;
   bool used_pebble = false;
   bool used_schaefer = false;
+  bool used_acyclic = false;
   SolveStats search;
   TreewidthSolveStats treewidth;
   PebbleGameStats pebble;
   SchaeferSolveInfo schaefer;
+  /// Semijoin / table-size counters from the Yannakakis run (used_acyclic).
+  YannakakisStats yannakakis;
   std::string ToJson() const;
 };
 
@@ -97,14 +109,18 @@ struct EngineStats {
 struct EngineExplain {
   Backend requested = Backend::kAuto;
   Backend chosen = Backend::kUniform;
+  /// The task this run actually served (witness/count/... — so a JSON
+  /// consumer never has to correlate with the request).
+  HomTask served = HomTask::kDecide;
   /// Why `chosen` ran, naming the profile evidence (e.g. the Schaefer
   /// classes, the GYO verdict, the width estimate).
   std::string reason;
   /// Routes considered and abandoned, in decision order; includes runtime
   /// fallbacks (a backend erroring demotes kAuto to the uniform search).
   std::vector<std::string> fallbacks;
-  bool profiled = false;      ///< kAuto on decide/witness profiles; explicit
-                              ///< backends and enumeration tasks skip it
+  bool profiled = false;      ///< kAuto profiles (all tasks — enumeration
+                              ///< tasks record at least the GYO verdict);
+                              ///< explicit backends skip it
   InstanceProfile profile;    ///< meaningful when `profiled`
   std::string ToString() const;
   std::string ToJson() const;

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "cq/canonical.h"
 #include "cq/containment.h"
+#include "cq/gyo.h"
 
 namespace cqcs {
 
@@ -111,11 +112,12 @@ const ConjunctiveQuery& HomProblem::SourceCanonicalQuery() const {
 }
 
 bool HomProblem::SourceAcyclic() const {
-  const ConjunctiveQuery& canonical = SourceCanonicalQuery();
   SourceCache& cache = *source_cache_;
   std::lock_guard<std::mutex> lock(cache.mu);
   if (!cache.acyclic_known) {
-    cache.acyclic = IsAcyclicQuery(canonical);
+    // Shared queue-driven GYO, straight on the source's tuples — same
+    // hypergraph as the canonical query's, no query materialization.
+    cache.acyclic = IsAcyclicStructure(*source_);
     cache.acyclic_known = true;
   }
   return cache.acyclic;

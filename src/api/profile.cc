@@ -3,8 +3,7 @@
 #include <cmath>
 #include <sstream>
 
-#include "cq/acyclic.h"
-#include "cq/canonical.h"
+#include "cq/gyo.h"
 
 namespace cqcs {
 
@@ -44,7 +43,10 @@ InstanceProfile BuildProfile(const Structure& a, const Structure& b,
 }
 
 InstanceProfile Analyze(const Structure& a, const Structure& b) {
-  bool acyclic = IsAcyclicQuery(CanonicalQuery(a));
+  // The shared queue-driven GYO (cq/gyo.h) runs directly on A's tuples —
+  // the same hypergraph the canonical query would present, without
+  // materializing the query.
+  bool acyclic = IsAcyclicStructure(a);
   TreeDecomposition decomposition = HeuristicDecomposition(a);
   return BuildProfile(a, b, acyclic, decomposition);
 }

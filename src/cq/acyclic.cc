@@ -2,143 +2,579 @@
 
 #include <algorithm>
 #include <map>
-#include <set>
+#include <utility>
 
 #include "common/check.h"
 #include "cq/canonical.h"
+#include "cq/gyo.h"
+#include "rel/hash_index.h"
+#include "rel/ops.h"
+#include "rel/table.h"
 
 namespace cqcs {
 
 namespace {
 
-/// GYO reduction. Edges are var-sets per atom; returns the join forest, or
-/// nullopt when the hypergraph is cyclic.
-std::optional<JoinTree> Gyo(const ConjunctiveQuery& q) {
-  const size_t m = q.atoms().size();
-  std::vector<std::set<VarId>> edge(m);
-  for (size_t i = 0; i < m; ++i) {
-    edge[i].insert(q.atoms()[i].args.begin(), q.atoms()[i].args.end());
-  }
-  std::vector<uint8_t> alive(m, 1);
-  JoinTree tree;
-  tree.parent.assign(m, JoinTree::kNoParent);
-  size_t alive_count = m;
+using rel::HashIndex;
+using rel::Table;
 
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    // Rule 1: drop vertices that occur in exactly one live edge.
-    std::map<VarId, int> occurrences;
-    for (size_t i = 0; i < m; ++i) {
-      if (!alive[i]) continue;
-      for (VarId v : edge[i]) ++occurrences[v];
-    }
-    for (size_t i = 0; i < m; ++i) {
-      if (!alive[i]) continue;
-      for (auto it = edge[i].begin(); it != edge[i].end();) {
-        if (occurrences[*it] == 1) {
-          it = edge[i].erase(it);
-          changed = true;
-        } else {
-          ++it;
-        }
-      }
-    }
-    // Rule 2: an edge contained in another live edge becomes its child.
-    for (size_t i = 0; i < m && alive_count > 1; ++i) {
-      if (!alive[i]) continue;
-      for (size_t j = 0; j < m; ++j) {
-        if (i == j || !alive[j]) continue;
-        if (std::includes(edge[j].begin(), edge[j].end(), edge[i].begin(),
-                          edge[i].end())) {
-          tree.parent[i] = static_cast<uint32_t>(j);
-          alive[i] = 0;
-          --alive_count;
-          changed = true;
-          break;
-        }
-      }
-    }
-  }
-  if (alive_count > 1) return std::nullopt;  // cyclic
-  return tree;
+/// min(a + b, limit) without overflow.
+size_t SatAdd(size_t a, size_t b, size_t limit) {
+  if (a >= limit) return limit;
+  if (b >= limit - a) return limit;
+  return a + b;
 }
 
-struct AtomTable {
-  std::vector<VarId> vars;  // sorted distinct
-  std::set<std::vector<Element>> rows;
+/// min(a * b, limit) without overflow (clamping early preserves
+/// min-semantics: a clamped factor only matters when the true product
+/// already exceeds the limit, unless the other factor is 0 — and 0
+/// annihilates either way).
+size_t SatMul(size_t a, size_t b, size_t limit) {
+  if (a == 0 || b == 0) return 0;
+  if (a > limit / b) return limit;
+  return a * b;  // a <= limit/b implies a*b <= limit
+}
+
+/// One Yannakakis run: GYO, per-atom table materialization into the
+/// columnar kernel, semijoin reduction, then whichever task phase the
+/// caller asks for. After Prepare(/*full_reduce=*/true) every surviving
+/// row of every table participates in at least one solution — the
+/// invariant all four task phases lean on.
+class Yannakakis {
+ public:
+  Yannakakis(const ConjunctiveQuery& q, const Structure& d,
+             YannakakisStats* stats)
+      : q_(q), d_(d), stats_(stats) {}
+
+  /// Validates, runs GYO, materializes, and semijoin-reduces (bottom-up
+  /// only for decide; + top-down and match indexes for the full program).
+  /// InvalidArgument for cyclic queries / vocabulary mismatch.
+  Status Prepare(bool full_reduce);
+
+  /// False when some table emptied: no assignment satisfies the body.
+  bool satisfiable() const { return satisfiable_; }
+
+  // The task phases below require Prepare(true) and satisfiable().
+
+  /// Appends up to max_results assignments (indexed by VarId) to *out.
+  void Enumerate(size_t max_results, std::vector<std::vector<Element>>* out);
+
+  /// min(#assignments, limit).
+  size_t Count(size_t limit);
+
+  /// Distinct projections onto `proj`, up to max_results.
+  std::vector<std::vector<Element>> Project(std::span<const VarId> proj,
+                                            size_t max_results);
+
+ private:
+  void MaterializeAtom(size_t i);
+  void BumpTable(size_t rows) {
+    if (stats_ != nullptr && rows > stats_->max_table_rows) {
+      stats_->max_table_rows = rows;
+    }
+  }
+  // Helpers for Enumerate's explicit-stack pre-order walk (one recursion
+  // frame per atom would overflow the stack on ~100k-atom sources).
+  /// First row of seq_[depth]'s table matching the ancestors in assign_
+  /// (all rows for roots), or HashIndex::kNone.
+  uint32_t FirstRow(size_t depth);
+  /// Next row of seq_[depth]'s table with the same key, or kNone.
+  uint32_t NextRow(size_t depth, uint32_t r) const;
+  /// Copies row r of seq_[depth]'s table into assign_.
+  void WriteRow(size_t depth, uint32_t r);
+  /// Appends the isolated-variable expansions of the current assign_;
+  /// false once *out reached max_results (aborts the walk).
+  bool EmitAssignment(size_t max_results,
+                      std::vector<std::vector<Element>>* out);
+
+  const ConjunctiveQuery& q_;
+  const Structure& d_;
+  YannakakisStats* stats_;
+
+  size_t m_ = 0;
+  JoinTree tree_;
+  std::vector<std::vector<VarId>> vars_;      // per atom, sorted distinct
+  std::vector<Table> tables_;                 // columns follow vars_[i]
+  std::vector<std::vector<uint32_t>> children_;
+  std::vector<uint32_t> roots_;
+  std::vector<uint32_t> order_;               // children before parents
+  // Shared variables with the parent, ascending; and their column
+  // positions on each side (aligned lists).
+  std::vector<std::vector<VarId>> shared_vars_;
+  std::vector<std::vector<uint32_t>> shared_child_cols_;
+  std::vector<std::vector<uint32_t>> shared_parent_cols_;
+  // Match index per non-root node, keyed on shared_child_cols_, built
+  // over the fully reduced tables (full_reduce only).
+  std::vector<HashIndex> match_index_;
+  std::vector<VarId> isolated_;               // variables in no atom
+  std::vector<Element> assign_;               // Enumerate's scratch
+  std::vector<Element> key_scratch_;          // probe-key scratch (the key
+                                              // is consumed by FindFirst
+                                              // before any recursion, so
+                                              // one buffer serves every
+                                              // depth)
+  std::vector<uint32_t> seq_;                 // forest pre-order
+  // Two atoms with the same relation and the same position→column map
+  // start from identical tables (canonical queries repeat one pattern per
+  // relation across thousands of atoms); materialize once, copy after.
+  std::map<std::pair<RelId, std::vector<uint32_t>>, size_t> materialize_memo_;
+  bool satisfiable_ = false;
 };
 
-/// The satisfying assignments of one atom over database d.
-AtomTable MaterializeAtom(const Atom& atom, const Structure& d) {
-  AtomTable table;
-  table.vars.assign(atom.args.begin(), atom.args.end());
-  std::sort(table.vars.begin(), table.vars.end());
-  table.vars.erase(std::unique(table.vars.begin(), table.vars.end()),
-                   table.vars.end());
-  const Relation& rel = d.relation(atom.rel);
-  std::vector<Element> row(table.vars.size());
+Status Yannakakis::Prepare(bool full_reduce) {
+  CQCS_RETURN_IF_ERROR(q_.Validate());
+  if (!q_.vocabulary()->Equals(*d_.vocabulary())) {
+    return Status::InvalidArgument("query/database vocabulary mismatch");
+  }
+  auto forest = GyoJoinForest(q_.var_count(), QueryHyperedges(q_));
+  if (!forest.has_value()) {
+    return Status::InvalidArgument("the query's hypergraph is cyclic");
+  }
+  tree_ = *std::move(forest);
+  m_ = q_.atoms().size();
+  satisfiable_ = true;
+
+  // Variables outside every atom range freely; find them once.
+  std::vector<uint8_t> in_atom(q_.var_count(), 0);
+  for (const Atom& atom : q_.atoms()) {
+    for (VarId v : atom.args) in_atom[v] = 1;
+  }
+  for (VarId v = 0; v < q_.var_count(); ++v) {
+    if (!in_atom[v]) isolated_.push_back(v);
+  }
+
+  vars_.resize(m_);
+  tables_.reserve(m_);
+  for (size_t i = 0; i < m_; ++i) {
+    MaterializeAtom(i);
+    if (tables_[i].empty()) {
+      satisfiable_ = false;
+      return Status::OK();
+    }
+  }
+
+  // Forest shape: children lists, roots, topological order (children
+  // first — every node's subtree is fully processed before its parent).
+  children_.resize(m_);
+  std::vector<uint32_t> pending_children(m_, 0);
+  for (uint32_t i = 0; i < m_; ++i) {
+    if (tree_.parent[i] == JoinTree::kNoParent) {
+      roots_.push_back(i);
+    } else {
+      children_[tree_.parent[i]].push_back(i);
+      ++pending_children[tree_.parent[i]];
+    }
+  }
+  order_.reserve(m_);
+  std::vector<uint32_t> stack;
+  for (uint32_t i = 0; i < m_; ++i) {
+    if (pending_children[i] == 0) stack.push_back(i);
+  }
+  while (!stack.empty()) {
+    uint32_t node = stack.back();
+    stack.pop_back();
+    order_.push_back(node);
+    uint32_t p = tree_.parent[node];
+    if (p != JoinTree::kNoParent && --pending_children[p] == 0) {
+      stack.push_back(p);
+    }
+  }
+  CQCS_CHECK(order_.size() == m_);
+
+  // Shared-with-parent variables and their column positions.
+  shared_vars_.resize(m_);
+  shared_child_cols_.resize(m_);
+  shared_parent_cols_.resize(m_);
+  for (uint32_t node = 0; node < m_; ++node) {
+    uint32_t p = tree_.parent[node];
+    if (p == JoinTree::kNoParent) continue;
+    const auto& cv = vars_[node];
+    const auto& pv = vars_[p];
+    for (size_t i = 0; i < cv.size(); ++i) {
+      auto it = std::lower_bound(pv.begin(), pv.end(), cv[i]);
+      if (it != pv.end() && *it == cv[i]) {
+        shared_vars_[node].push_back(cv[i]);
+        shared_child_cols_[node].push_back(static_cast<uint32_t>(i));
+        shared_parent_cols_[node].push_back(
+            static_cast<uint32_t>(it - pv.begin()));
+      }
+    }
+  }
+
+  // Bottom-up pass: parent := parent ⋉ child, children first, so every
+  // table is final for its own parent's filtering.
+  HashIndex index;
+  for (uint32_t node : order_) {
+    uint32_t p = tree_.parent[node];
+    if (p == JoinTree::kNoParent) continue;
+    index.Build(tables_[node].data(), tables_[node].width(),
+                static_cast<uint32_t>(tables_[node].row_count()),
+                shared_child_cols_[node]);
+    size_t removed =
+        rel::Semijoin(tables_[p], shared_parent_cols_[node], tables_[node],
+                      index);
+    if (stats_ != nullptr) {
+      ++stats_->semijoins;
+      stats_->rows_pruned += removed;
+    }
+    if (tables_[p].empty()) {
+      satisfiable_ = false;
+      return Status::OK();
+    }
+  }
+  if (!full_reduce) return Status::OK();
+
+  // Top-down pass: child := child ⋉ parent, parents first. A parent row
+  // always keeps at least one match in each child (the match that let it
+  // survive the bottom-up pass also survives here), so no table empties.
+  for (size_t i = order_.size(); i-- > 0;) {
+    uint32_t node = order_[i];
+    for (uint32_t child : children_[node]) {
+      index.Build(tables_[node].data(), tables_[node].width(),
+                  static_cast<uint32_t>(tables_[node].row_count()),
+                  shared_parent_cols_[child]);
+      size_t removed = rel::Semijoin(tables_[child],
+                                     shared_child_cols_[child],
+                                     tables_[node], index);
+      if (stats_ != nullptr) {
+        ++stats_->semijoins;
+        stats_->rows_pruned += removed;
+      }
+      CQCS_CHECK(!tables_[child].empty());
+    }
+  }
+
+  // Final match indexes for the task phases.
+  match_index_.resize(m_);
+  for (uint32_t node = 0; node < m_; ++node) {
+    if (tree_.parent[node] == JoinTree::kNoParent) continue;
+    match_index_[node].Build(tables_[node].data(), tables_[node].width(),
+                             static_cast<uint32_t>(tables_[node].row_count()),
+                             shared_child_cols_[node]);
+  }
+
+  // Forest pre-order for the enumeration walk (parents before children).
+  seq_.reserve(m_);
+  for (size_t i = order_.size(); i-- > 0;) seq_.push_back(order_[i]);
+  return Status::OK();
+}
+
+void Yannakakis::MaterializeAtom(size_t i) {
+  const Atom& atom = q_.atoms()[i];
+  std::vector<VarId>& vars = vars_[i];
+  vars.assign(atom.args.begin(), atom.args.end());
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+
+  const uint32_t width = static_cast<uint32_t>(vars.size());
+
+  // Argument position -> column.
+  std::vector<uint32_t> col_of_arg(atom.args.size());
+  for (size_t p = 0; p < atom.args.size(); ++p) {
+    col_of_arg[p] = static_cast<uint32_t>(
+        std::lower_bound(vars.begin(), vars.end(), atom.args[p]) -
+        vars.begin());
+  }
+
+  // col_of_arg determines the initial table completely (it encodes both
+  // the column layout and the repeated-variable equalities), so a previous
+  // atom with the same (relation, map) already materialized these rows.
+  auto memo_key = std::make_pair(atom.rel, col_of_arg);
+  auto memo = materialize_memo_.find(memo_key);
+  if (memo != materialize_memo_.end()) {
+    Table copy = tables_[memo->second];
+    tables_.push_back(std::move(copy));
+    if (stats_ != nullptr) {
+      ++stats_->atom_tables;
+      stats_->rows_materialized += tables_.back().row_count();
+    }
+    BumpTable(tables_.back().row_count());
+    return;
+  }
+
+  tables_.emplace_back(width);
+  Table& table = tables_.back();
+  HashIndex dedup;
+  std::vector<uint32_t> all_cols(width);
+  for (uint32_t c = 0; c < width; ++c) all_cols[c] = c;
+  dedup.Reset(width, all_cols);
+
+  const Relation& rel = d_.relation(atom.rel);
+  std::vector<Element> row(width);
   for (uint32_t t = 0; t < rel.tuple_count(); ++t) {
     std::span<const Element> tup = rel.tuple(t);
+    // Repeated variables must see equal values.
     bool ok = true;
     for (size_t p = 0; p < tup.size() && ok; ++p) {
-      for (size_t qq = p + 1; qq < tup.size() && ok; ++qq) {
-        if (atom.args[p] == atom.args[qq] && tup[p] != tup[qq]) ok = false;
+      for (size_t r = p + 1; r < tup.size() && ok; ++r) {
+        if (atom.args[p] == atom.args[r] && tup[p] != tup[r]) ok = false;
       }
     }
     if (!ok) continue;
-    for (size_t p = 0; p < tup.size(); ++p) {
-      size_t pos = static_cast<size_t>(
-          std::lower_bound(table.vars.begin(), table.vars.end(),
-                           atom.args[p]) -
-          table.vars.begin());
-      row[pos] = tup[p];
-    }
-    table.rows.insert(row);
+    for (size_t p = 0; p < tup.size(); ++p) row[col_of_arg[p]] = tup[p];
+    if (dedup.FindFirst(table.data(), row) != HashIndex::kNone) continue;
+    table.AppendRow(row);
+    dedup.Add(table.data(), static_cast<uint32_t>(table.row_count() - 1));
   }
-  return table;
+  if (stats_ != nullptr) {
+    ++stats_->atom_tables;
+    stats_->rows_materialized += table.row_count();
+  }
+  BumpTable(table.row_count());
+  materialize_memo_.emplace(std::move(memo_key), i);
 }
 
-/// parent := parent ⋉ child (keep parent rows with a matching child row on
-/// the shared variables).
-void Semijoin(AtomTable& parent, const AtomTable& child) {
-  std::vector<size_t> shared_parent, shared_child;
-  for (size_t i = 0; i < parent.vars.size(); ++i) {
-    auto it = std::lower_bound(child.vars.begin(), child.vars.end(),
-                               parent.vars[i]);
-    if (it != child.vars.end() && *it == parent.vars[i]) {
-      shared_parent.push_back(i);
-      shared_child.push_back(static_cast<size_t>(it - child.vars.begin()));
+uint32_t Yannakakis::FirstRow(size_t depth) {
+  const uint32_t node = seq_[depth];
+  if (tree_.parent[node] == JoinTree::kNoParent) {
+    return tables_[node].empty() ? HashIndex::kNone : 0;
+  }
+  // The parent's values are already in assign_ (parents precede children
+  // in seq_); probe the match index with them.
+  key_scratch_.clear();
+  for (VarId v : shared_vars_[node]) key_scratch_.push_back(assign_[v]);
+  return match_index_[node].FindFirst(tables_[node].data(), key_scratch_);
+}
+
+uint32_t Yannakakis::NextRow(size_t depth, uint32_t r) const {
+  const uint32_t node = seq_[depth];
+  if (tree_.parent[node] == JoinTree::kNoParent) {
+    return r + 1 < tables_[node].row_count() ? r + 1 : HashIndex::kNone;
+  }
+  return match_index_[node].Next(r);
+}
+
+void Yannakakis::WriteRow(size_t depth, uint32_t r) {
+  const uint32_t node = seq_[depth];
+  std::span<const Element> row = tables_[node].row(r);
+  const auto& vars = vars_[node];
+  for (size_t i = 0; i < vars.size(); ++i) assign_[vars[i]] = row[i];
+}
+
+bool Yannakakis::EmitAssignment(size_t max_results,
+                                std::vector<std::vector<Element>>* out) {
+  // All tree variables fixed; expand the isolated ones (every value
+  // works) with an odometer over the universe.
+  const size_t n = d_.universe_size();
+  for (VarId v : isolated_) assign_[v] = 0;
+  while (true) {
+    out->push_back(assign_);
+    if (out->size() >= max_results) return false;
+    size_t k = 0;
+    while (k < isolated_.size() &&
+           ++assign_[isolated_[k]] == static_cast<Element>(n)) {
+      assign_[isolated_[k]] = 0;
+      ++k;
     }
+    if (k == isolated_.size()) return true;
   }
-  std::set<std::vector<Element>> child_keys;
-  for (const auto& row : child.rows) {
-    std::vector<Element> key;
-    key.reserve(shared_child.size());
-    for (size_t i : shared_child) key.push_back(row[i]);
-    child_keys.insert(std::move(key));
+}
+
+void Yannakakis::Enumerate(size_t max_results,
+                           std::vector<std::vector<Element>>* out) {
+  CQCS_CHECK(satisfiable_);
+  if (max_results == 0) return;
+  if (d_.universe_size() == 0 && q_.var_count() > 0) return;
+  assign_.assign(q_.var_count(), 0);
+  const size_t depth_total = seq_.size();
+  if (depth_total == 0) {
+    EmitAssignment(max_results, out);
+    return;
   }
-  for (auto it = parent.rows.begin(); it != parent.rows.end();) {
-    std::vector<Element> key;
-    key.reserve(shared_parent.size());
-    for (size_t i : shared_parent) key.push_back((*it)[i]);
-    if (child_keys.count(key) == 0) {
-      it = parent.rows.erase(it);
+  // Explicit-stack pre-order walk over seq_: cur[d] is the current row of
+  // seq_[d]'s table; the match chain makes that one uint32 the entire
+  // per-depth state, so arbitrarily deep forests cost heap, not stack.
+  // Backtracking to depth d never re-probes: NextRow follows the chain,
+  // and the ancestors' assign_ values it was keyed on are untouched.
+  std::vector<uint32_t> cur(depth_total);
+  size_t d = 0;
+  bool descending = true;
+  while (true) {
+    cur[d] = descending ? FirstRow(d) : NextRow(d, cur[d]);
+    if (cur[d] == HashIndex::kNone) {
+      if (d == 0) return;
+      --d;
+      descending = false;
+      continue;
+    }
+    WriteRow(d, cur[d]);
+    if (d + 1 == depth_total) {
+      if (!EmitAssignment(max_results, out)) return;
+      descending = false;  // advance this depth's chain
     } else {
-      ++it;
+      ++d;
+      descending = true;
     }
   }
+}
+
+size_t Yannakakis::Count(size_t limit) {
+  CQCS_CHECK(satisfiable_);
+  // Bottom-up product/sum DP: cnt[node][r] = number of assignments of
+  // node's subtree variables extending row r.
+  std::vector<std::vector<size_t>> cnt(m_);
+  std::vector<Element> key;
+  for (uint32_t node : order_) {
+    const Table& table = tables_[node];
+    cnt[node].assign(table.row_count(), 1);
+    for (uint32_t child : children_[node]) {
+      const Table& ct = tables_[child];
+      for (uint32_t r = 0; r < table.row_count(); ++r) {
+        std::span<const Element> row = table.row(r);
+        key.clear();
+        for (uint32_t c : shared_parent_cols_[child]) key.push_back(row[c]);
+        size_t sum = 0;
+        for (uint32_t s = match_index_[child].FindFirst(ct.data(), key);
+             s != HashIndex::kNone; s = match_index_[child].Next(s)) {
+          sum = SatAdd(sum, cnt[child][s], limit);
+        }
+        cnt[node][r] = SatMul(cnt[node][r], sum, limit);
+      }
+    }
+  }
+  size_t total = 1;
+  for (uint32_t root : roots_) {
+    size_t tree_total = 0;
+    for (size_t c : cnt[root]) tree_total = SatAdd(tree_total, c, limit);
+    total = SatMul(total, tree_total, limit);
+  }
+  for (size_t k = 0; k < isolated_.size(); ++k) {
+    total = SatMul(total, d_.universe_size(), limit);
+  }
+  return total;
+}
+
+std::vector<std::vector<Element>> Yannakakis::Project(
+    std::span<const VarId> proj, size_t max_results) {
+  CQCS_CHECK(satisfiable_);
+  std::vector<std::vector<Element>> results;
+  if (max_results == 0) return results;
+  if (d_.universe_size() == 0 && q_.var_count() > 0) return results;
+
+  std::vector<uint8_t> in_proj(q_.var_count(), 0);
+  for (VarId v : proj) in_proj[v] = 1;
+
+  // Bottom-up join-project: R[node] holds the distinct projections of
+  // node's subtree joins onto (projection vars of the subtree) ∪
+  // (connector vars to the parent). Intermediates never hold a column
+  // that neither the output nor a later join needs, which is what keeps
+  // them output-bounded.
+  std::vector<Table> r_table(m_);
+  std::vector<std::vector<VarId>> r_cols(m_);
+  HashIndex index, scratch;
+  for (uint32_t node : order_) {
+    Table cur = tables_[node];
+    std::vector<VarId> cur_cols = vars_[node];
+    for (uint32_t child : children_[node]) {
+      // Join on the connector variables; pull in the child's accumulated
+      // projection columns. A projection variable below the child that
+      // also occurs above it must occur in the child's bag too (running
+      // intersection), so the extras are always fresh columns.
+      const std::vector<VarId>& shared = shared_vars_[child];
+      std::vector<uint32_t> left_key, right_key, extras;
+      std::vector<VarId> extra_vars;
+      for (VarId v : shared) {
+        left_key.push_back(static_cast<uint32_t>(
+            std::find(cur_cols.begin(), cur_cols.end(), v) -
+            cur_cols.begin()));
+      }
+      for (size_t i = 0; i < r_cols[child].size(); ++i) {
+        VarId v = r_cols[child][i];
+        if (std::find(shared.begin(), shared.end(), v) != shared.end()) {
+          continue;
+        }
+        extras.push_back(static_cast<uint32_t>(i));
+        extra_vars.push_back(v);
+      }
+      for (VarId v : shared) {
+        right_key.push_back(static_cast<uint32_t>(
+            std::find(r_cols[child].begin(), r_cols[child].end(), v) -
+            r_cols[child].begin()));
+      }
+      index.Build(r_table[child].data(), r_table[child].width(),
+                  static_cast<uint32_t>(r_table[child].row_count()),
+                  right_key);
+      Table next(static_cast<uint32_t>(cur.width() + extras.size()));
+      rel::HashJoinAppend(cur, left_key, r_table[child], index, extras,
+                          &next);
+      cur = std::move(next);
+      cur_cols.insert(cur_cols.end(), extra_vars.begin(), extra_vars.end());
+      if (stats_ != nullptr) stats_->join_rows += cur.row_count();
+      BumpTable(cur.row_count());
+    }
+    // Keep projection columns plus the connector to the parent.
+    std::vector<uint32_t> keep_cols;
+    std::vector<VarId> keep_vars;
+    for (size_t i = 0; i < cur_cols.size(); ++i) {
+      VarId v = cur_cols[i];
+      bool keep = in_proj[v];
+      if (!keep && tree_.parent[node] != JoinTree::kNoParent) {
+        const std::vector<VarId>& shared = shared_vars_[node];
+        keep = std::find(shared.begin(), shared.end(), v) != shared.end();
+      }
+      if (keep) {
+        keep_cols.push_back(static_cast<uint32_t>(i));
+        keep_vars.push_back(v);
+      }
+    }
+    r_table[node] = Table(static_cast<uint32_t>(keep_cols.size()));
+    rel::ProjectDistinct(cur, keep_cols, &r_table[node], &scratch);
+    r_cols[node] = std::move(keep_vars);
+    BumpTable(r_table[node].row_count());
+  }
+
+  // Assemble output rows: a cross product over the per-tree results and
+  // the isolated projection variables (each tree's rows are distinct on
+  // projection variables only, so every combination is a distinct row).
+  std::vector<VarId> iso_proj;
+  for (VarId v : isolated_) {
+    if (in_proj[v]) iso_proj.push_back(v);
+  }
+  std::vector<Element> value_of(q_.var_count(), 0);
+  std::vector<size_t> root_row(roots_.size(), 0);
+  std::vector<Element> iso_val(iso_proj.size(), 0);
+  std::vector<Element> out_row(proj.size());
+  while (true) {
+    for (size_t t = 0; t < roots_.size(); ++t) {
+      const Table& rt = r_table[roots_[t]];
+      std::span<const Element> row = rt.row(root_row[t]);
+      const auto& cols = r_cols[roots_[t]];
+      for (size_t i = 0; i < cols.size(); ++i) value_of[cols[i]] = row[i];
+    }
+    for (size_t i = 0; i < iso_proj.size(); ++i) {
+      value_of[iso_proj[i]] = iso_val[i];
+    }
+    for (size_t i = 0; i < proj.size(); ++i) out_row[i] = value_of[proj[i]];
+    results.push_back(out_row);
+    if (results.size() >= max_results) break;
+    // Odometer: isolated values first, then per-tree rows.
+    size_t k = 0;
+    while (k < iso_val.size() &&
+           ++iso_val[k] == static_cast<Element>(d_.universe_size())) {
+      iso_val[k] = 0;
+      ++k;
+    }
+    if (k < iso_val.size()) continue;
+    size_t t = 0;
+    while (t < roots_.size() &&
+           ++root_row[t] == r_table[roots_[t]].row_count()) {
+      root_row[t] = 0;
+      ++t;
+    }
+    if (t == roots_.size()) break;
+  }
+  return results;
 }
 
 }  // namespace
 
 bool IsAcyclicQuery(const ConjunctiveQuery& q) {
-  return Gyo(q).has_value();
+  return GyoJoinForest(q.var_count(), QueryHyperedges(q)).has_value();
 }
 
 Result<JoinTree> BuildJoinTree(const ConjunctiveQuery& q) {
   CQCS_RETURN_IF_ERROR(q.Validate());
-  auto tree = Gyo(q);
+  auto tree = GyoJoinForest(q.var_count(), QueryHyperedges(q));
   if (!tree.has_value()) {
     return Status::InvalidArgument("the query's hypergraph is cyclic");
   }
@@ -146,52 +582,56 @@ Result<JoinTree> BuildJoinTree(const ConjunctiveQuery& q) {
 }
 
 Result<bool> EvaluateBooleanAcyclic(const ConjunctiveQuery& q,
-                                    const Structure& d) {
-  CQCS_RETURN_IF_ERROR(q.Validate());
-  if (!q.vocabulary()->Equals(*d.vocabulary())) {
-    return Status::InvalidArgument("query/database vocabulary mismatch");
-  }
-  CQCS_ASSIGN_OR_RETURN(JoinTree tree, BuildJoinTree(q));
-  const size_t m = q.atoms().size();
-  if (m == 0) return true;
-  std::vector<AtomTable> tables;
-  tables.reserve(m);
-  for (const Atom& atom : q.atoms()) {
-    tables.push_back(MaterializeAtom(atom, d));
-    if (tables.back().rows.empty()) return false;
-  }
-  // Children were eliminated before their parents in GYO order; a reverse
-  // sweep over elimination is unavailable, but semijoining children into
-  // parents repeatedly until stable is equivalent and still polynomial.
-  // Do it in dependency order instead: process nodes so that every child is
-  // handled before its parent (topological order on the forest).
-  std::vector<uint32_t> order;
-  std::vector<uint32_t> indegree(m, 0);  // number of children not yet done
-  for (size_t i = 0; i < m; ++i) {
-    if (tree.parent[i] != JoinTree::kNoParent) ++indegree[tree.parent[i]];
-  }
-  std::vector<uint32_t> stack;
-  for (uint32_t i = 0; i < m; ++i) {
-    if (indegree[i] == 0) stack.push_back(i);
-  }
-  while (!stack.empty()) {
-    uint32_t node = stack.back();
-    stack.pop_back();
-    order.push_back(node);
-    uint32_t p = tree.parent[node];
-    if (p != JoinTree::kNoParent && --indegree[p] == 0) stack.push_back(p);
-  }
-  CQCS_CHECK(order.size() == m);
-  for (uint32_t node : order) {
-    uint32_t p = tree.parent[node];
-    if (p == JoinTree::kNoParent) {
-      if (tables[node].rows.empty()) return false;
-      continue;
+                                    const Structure& d,
+                                    YannakakisStats* stats) {
+  Yannakakis run(q, d, stats);
+  CQCS_RETURN_IF_ERROR(run.Prepare(/*full_reduce=*/false));
+  return run.satisfiable();
+}
+
+Result<std::optional<std::vector<Element>>> AcyclicWitness(
+    const ConjunctiveQuery& q, const Structure& d, YannakakisStats* stats) {
+  Yannakakis run(q, d, stats);
+  CQCS_RETURN_IF_ERROR(run.Prepare(/*full_reduce=*/true));
+  if (!run.satisfiable()) return std::optional<std::vector<Element>>();
+  std::vector<std::vector<Element>> first;
+  run.Enumerate(1, &first);
+  if (first.empty()) return std::optional<std::vector<Element>>();
+  return std::optional<std::vector<Element>>(std::move(first[0]));
+}
+
+Result<size_t> AcyclicCount(const ConjunctiveQuery& q, const Structure& d,
+                            size_t limit, YannakakisStats* stats) {
+  Yannakakis run(q, d, stats);
+  CQCS_RETURN_IF_ERROR(run.Prepare(/*full_reduce=*/true));
+  if (!run.satisfiable()) return size_t{0};
+  return run.Count(limit);
+}
+
+Result<std::vector<std::vector<Element>>> AcyclicEnumerate(
+    const ConjunctiveQuery& q, const Structure& d, size_t max_results,
+    YannakakisStats* stats) {
+  Yannakakis run(q, d, stats);
+  CQCS_RETURN_IF_ERROR(run.Prepare(/*full_reduce=*/true));
+  std::vector<std::vector<Element>> out;
+  if (!run.satisfiable()) return out;
+  run.Enumerate(max_results, &out);
+  return out;
+}
+
+Result<std::vector<std::vector<Element>>> AcyclicProject(
+    const ConjunctiveQuery& q, const Structure& d,
+    std::span<const VarId> projection, size_t max_results,
+    YannakakisStats* stats) {
+  for (VarId v : projection) {
+    if (v >= q.var_count()) {
+      return Status::InvalidArgument("projection variable out of range");
     }
-    Semijoin(tables[p], tables[node]);
-    if (tables[p].rows.empty()) return false;
   }
-  return true;
+  Yannakakis run(q, d, stats);
+  CQCS_RETURN_IF_ERROR(run.Prepare(/*full_reduce=*/true));
+  if (!run.satisfiable()) return std::vector<std::vector<Element>>();
+  return run.Project(projection, max_results);
 }
 
 Result<bool> AcyclicContainment(const ConjunctiveQuery& q1,

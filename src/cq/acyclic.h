@@ -1,14 +1,27 @@
 // Acyclic conjunctive queries — querywidth 1 in the Chekuri–Rajaraman
 // terminology the paper discusses ([Yan81], [CR97]). Acyclicity is decided
-// by GYO ear removal on the query's hypergraph; a join tree witnesses it,
-// and Yannakakis's semijoin algorithm evaluates Boolean acyclic queries in
-// polynomial time. Containment Q1 ⊆ Q2 with acyclic Q2 is then polynomial:
-// attach the head markers to Q2 (unary atoms keep it acyclic) and evaluate
-// over D_{Q1}.
+// by GYO ear removal on the query's hypergraph (cq/gyo.h); a join tree
+// witnesses it, and Yannakakis's semijoin program evaluates acyclic
+// queries in polynomial time — not just Boolean decide: after the
+// bottom-up + top-down semijoin reduction every surviving table row
+// participates in at least one solution, which makes witness extraction a
+// single top-down walk, enumeration output-bounded (poly delay per
+// solution), counting a bottom-up product/sum DP, and projection a
+// bottom-up join-project pass whose intermediates stay bounded by
+// input x output (the size-bound frame of Valiant & Valiant,
+// arXiv:0909.2030). Tables live in the columnar rel/ kernel: flat
+// rel::Table rows, open-addressing rel::HashIndex probes, no per-row
+// allocation.
+//
+// Containment Q1 ⊆ Q2 with acyclic Q2 is then polynomial: attach the head
+// markers to Q2 (unary atoms keep it acyclic) and evaluate over D_{Q1}.
 
 #ifndef CQCS_CQ_ACYCLIC_H_
 #define CQCS_CQ_ACYCLIC_H_
 
+#include <cstdint>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -18,12 +31,25 @@
 namespace cqcs {
 
 /// A join tree over the atoms of a query: node i corresponds to atom i;
-/// parents precede children in GYO elimination. Queries whose hypergraph is
-/// disconnected produce a forest (several roots).
+/// parents are always removed after their children in GYO elimination.
+/// Queries whose hypergraph is disconnected produce a forest (several
+/// roots).
 struct JoinTree {
   static constexpr uint32_t kNoParent = UINT32_MAX;
   /// parent[i] = atom index of i's parent, or kNoParent for roots.
   std::vector<uint32_t> parent;
+};
+
+/// Counters from one Yannakakis run, surfaced through EngineStats and
+/// `hom_tool --explain`. `max_table_rows` is the output-boundedness
+/// witness: the largest table the run ever held.
+struct YannakakisStats {
+  uint64_t atom_tables = 0;       ///< tables materialized (one per atom)
+  uint64_t rows_materialized = 0; ///< distinct rows loaded into atom tables
+  uint64_t max_table_rows = 0;    ///< peak rows in any one table
+  uint64_t semijoins = 0;         ///< semijoin operator applications
+  uint64_t rows_pruned = 0;       ///< rows removed by the semijoin passes
+  uint64_t join_rows = 0;         ///< rows produced by the projection phase
 };
 
 /// True iff the query's hypergraph is α-acyclic (GYO reduces it away).
@@ -32,17 +58,56 @@ bool IsAcyclicQuery(const ConjunctiveQuery& q);
 /// Builds a join tree; InvalidArgument when the query is cyclic.
 Result<JoinTree> BuildJoinTree(const ConjunctiveQuery& q);
 
-/// Yannakakis evaluation of a Boolean acyclic query: one bottom-up semijoin
-/// sweep over the join tree. Polynomial: O(Σ per-atom table sizes · log).
-/// Works for any query head (the head is ignored; this answers "is the body
-/// satisfiable in d"). Errors: InvalidArgument for cyclic queries or
-/// vocabulary mismatch.
+/// Yannakakis evaluation of a Boolean acyclic query: one bottom-up
+/// semijoin sweep over the join tree. Works for any query head (the head
+/// is ignored; this answers "is the body satisfiable in d" — variables
+/// outside every atom do not constrain the answer). Errors:
+/// InvalidArgument for cyclic queries or vocabulary mismatch.
 Result<bool> EvaluateBooleanAcyclic(const ConjunctiveQuery& q,
-                                    const Structure& d);
+                                    const Structure& d,
+                                    YannakakisStats* stats = nullptr);
 
-/// Containment Q1 ⊆ Q2 for acyclic Q2, in polynomial time. Q1 is arbitrary.
-/// Errors mirror Contains(), plus InvalidArgument when Q2 (with head
-/// markers attached) is not acyclic.
+// -- Assignment-level tasks. -----------------------------------------------
+//
+// The following run the full reduction (bottom-up + top-down) and answer
+// about total assignments of ALL q.var_count() variables into d's
+// universe: a variable in no atom ranges freely over the universe (for
+// the canonical query of a structure, those are the isolated source
+// elements). Errors mirror EvaluateBooleanAcyclic.
+
+/// One satisfying assignment (indexed by VarId), or nullopt.
+Result<std::optional<std::vector<Element>>> AcyclicWitness(
+    const ConjunctiveQuery& q, const Structure& d,
+    YannakakisStats* stats = nullptr);
+
+/// Number of satisfying assignments, saturated at `limit` (the result is
+/// min(true count, limit), so callers can cap astronomically large
+/// counts without overflow).
+Result<size_t> AcyclicCount(const ConjunctiveQuery& q, const Structure& d,
+                            size_t limit = SIZE_MAX,
+                            YannakakisStats* stats = nullptr);
+
+/// Up to max_results satisfying assignments, each indexed by VarId.
+/// Output-bounded: the reduced tables contain no dead rows, so the walk
+/// never backtracks past a row that fails to extend.
+Result<std::vector<std::vector<Element>>> AcyclicEnumerate(
+    const ConjunctiveQuery& q, const Structure& d,
+    size_t max_results = SIZE_MAX, YannakakisStats* stats = nullptr);
+
+/// Distinct projections of the satisfying assignments onto `projection`
+/// (a list of VarIds, repeats allowed), up to max_results rows. This is
+/// CQ answer enumeration when q is a canonical query and `projection` its
+/// head. Joins are projected down to (output ∪ connector) columns at
+/// every node, keeping intermediates output-bounded. InvalidArgument for
+/// out-of-range projection variables.
+Result<std::vector<std::vector<Element>>> AcyclicProject(
+    const ConjunctiveQuery& q, const Structure& d,
+    std::span<const VarId> projection, size_t max_results = SIZE_MAX,
+    YannakakisStats* stats = nullptr);
+
+/// Containment Q1 ⊆ Q2 for acyclic Q2, in polynomial time. Q1 is
+/// arbitrary. Errors mirror Contains(), plus InvalidArgument when Q2
+/// (with head markers attached) is not acyclic.
 Result<bool> AcyclicContainment(const ConjunctiveQuery& q1,
                                 const ConjunctiveQuery& q2);
 

@@ -1,0 +1,111 @@
+#include "rel/hash_index.h"
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace cqcs::rel {
+
+namespace {
+
+/// Smallest power of two >= 2 * n (load factor <= 0.5), min 8.
+size_t SlotCountFor(size_t n) {
+  size_t slots = 8;
+  while (slots < 2 * n) slots <<= 1;
+  return slots;
+}
+
+}  // namespace
+
+void HashIndex::Reset(uint32_t width, std::vector<uint32_t> key_cols) {
+  for (uint32_t c : key_cols) CQCS_CHECK(c < width);
+  width_ = width;
+  key_cols_ = std::move(key_cols);
+  slots_.assign(SlotCountFor(0), kNone);
+  next_.clear();
+}
+
+void HashIndex::Build(const Element* base, uint32_t width, uint32_t row_count,
+                      std::vector<uint32_t> key_cols) {
+  Reset(width, std::move(key_cols));
+  slots_.assign(SlotCountFor(row_count), kNone);
+  next_.reserve(row_count);
+  for (uint32_t r = 0; r < row_count; ++r) {
+    next_.push_back(kNone);
+    Insert(base, r);
+  }
+}
+
+void HashIndex::Add(const Element* base, uint32_t row) {
+  CQCS_CHECK(row == size());
+  if (2 * (next_.size() + 1) > slots_.size()) Grow(base);
+  next_.push_back(kNone);
+  Insert(base, row);
+}
+
+uint64_t HashIndex::HashKey(std::span<const Element> key) const {
+  return Fnv1a64(key.data(), key.size());
+}
+
+uint64_t HashIndex::HashRow(const Element* base, uint32_t row) const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  const Element* cells = base + static_cast<size_t>(row) * width_;
+  for (uint32_t c : key_cols_) {
+    h ^= cells[c];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool HashIndex::RowMatchesKey(const Element* base, uint32_t row,
+                              std::span<const Element> key) const {
+  const Element* cells = base + static_cast<size_t>(row) * width_;
+  for (size_t i = 0; i < key_cols_.size(); ++i) {
+    if (cells[key_cols_[i]] != key[i]) return false;
+  }
+  return true;
+}
+
+bool HashIndex::RowsMatch(const Element* base, uint32_t a, uint32_t b) const {
+  const Element* ca = base + static_cast<size_t>(a) * width_;
+  const Element* cb = base + static_cast<size_t>(b) * width_;
+  for (uint32_t c : key_cols_) {
+    if (ca[c] != cb[c]) return false;
+  }
+  return true;
+}
+
+void HashIndex::Insert(const Element* base, uint32_t row) {
+  const uint64_t mask = slots_.size() - 1;
+  size_t slot = HashRow(base, row) & mask;
+  while (slots_[slot] != kNone) {
+    if (RowsMatch(base, slots_[slot], row)) {
+      // Same key: prepend to the chain (order within a key is irrelevant
+      // to every operator).
+      next_[row] = slots_[slot];
+      slots_[slot] = row;
+      return;
+    }
+    slot = (slot + 1) & mask;
+  }
+  slots_[slot] = row;
+}
+
+void HashIndex::Grow(const Element* base) {
+  slots_.assign(SlotCountFor(next_.size() + 1), kNone);
+  std::fill(next_.begin(), next_.end(), kNone);
+  for (uint32_t r = 0; r < next_.size(); ++r) Insert(base, r);
+}
+
+uint32_t HashIndex::FindFirst(const Element* base,
+                              std::span<const Element> key) const {
+  CQCS_CHECK(key.size() == key_cols_.size());
+  const uint64_t mask = slots_.size() - 1;
+  size_t slot = HashKey(key) & mask;
+  while (slots_[slot] != kNone) {
+    if (RowMatchesKey(base, slots_[slot], key)) return slots_[slot];
+    slot = (slot + 1) & mask;
+  }
+  return kNone;
+}
+
+}  // namespace cqcs::rel

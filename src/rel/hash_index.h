@@ -1,0 +1,80 @@
+// rel::HashIndex — open-addressing hash index over flat row-major data,
+// keyed on a subset of columns.
+//
+// The index is a view: it stores row ids only and compares keys against a
+// caller-supplied base pointer (a rel::Table's buffer, or a core Relation's
+// flattened tuple data — both are row-major Element arrays). Layout:
+//
+//   slots_  open-addressing array (power of two, linear probing); each
+//           occupied slot holds the head row id of one distinct key
+//   next_   per-row chain links: all rows sharing a key hang off the head
+//
+// One probe finds the first row with a key (O(1) expected); walking the
+// chain enumerates every duplicate. No allocation per probe, no stored
+// keys — equality reads the row buffer, so the index costs two uint32
+// arrays regardless of key width.
+//
+// Two build modes share the structure: Build() bulk-loads rows [0, n), and
+// Add() appends row ids one at a time (the treewidth DP inserts a row only
+// after probing for its key, so tables stay deduplicated by key). Rows
+// must be added densely: Add(base, r) requires r == size().
+
+#ifndef CQCS_REL_HASH_INDEX_H_
+#define CQCS_REL_HASH_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/relation.h"
+
+namespace cqcs::rel {
+
+class HashIndex {
+ public:
+  static constexpr uint32_t kNone = UINT32_MAX;
+
+  /// Prepares an empty index over rows of `width` cells keyed on
+  /// `key_cols` (column positions, each < width).
+  void Reset(uint32_t width, std::vector<uint32_t> key_cols);
+
+  /// Reset + bulk-load rows [0, row_count) of `base`.
+  void Build(const Element* base, uint32_t width, uint32_t row_count,
+             std::vector<uint32_t> key_cols);
+
+  /// Adds the next row. `row` must equal size() (dense ids); `base` is the
+  /// current buffer start (it may move between calls as the table grows).
+  void Add(const Element* base, uint32_t row);
+
+  /// First row whose key columns equal `key` (values in key_cols order),
+  /// or kNone. Follow with Next() to walk all rows sharing the key.
+  uint32_t FindFirst(const Element* base, std::span<const Element> key) const;
+
+  /// Next row with the same key as `row`, or kNone.
+  uint32_t Next(uint32_t row) const { return next_[row]; }
+
+  /// Rows indexed so far.
+  uint32_t size() const { return static_cast<uint32_t>(next_.size()); }
+
+  std::span<const uint32_t> key_cols() const { return key_cols_; }
+
+ private:
+  uint64_t HashKey(std::span<const Element> key) const;
+  uint64_t HashRow(const Element* base, uint32_t row) const;
+  bool RowMatchesKey(const Element* base, uint32_t row,
+                     std::span<const Element> key) const;
+  bool RowsMatch(const Element* base, uint32_t a, uint32_t b) const;
+  void Grow(const Element* base);
+  /// Probes for `row`'s key: chains onto the head if present, else claims
+  /// an empty slot.
+  void Insert(const Element* base, uint32_t row);
+
+  uint32_t width_ = 0;
+  std::vector<uint32_t> key_cols_;
+  std::vector<uint32_t> slots_;  // heads; kNone = empty
+  std::vector<uint32_t> next_;   // per-row same-key chain
+};
+
+}  // namespace cqcs::rel
+
+#endif  // CQCS_REL_HASH_INDEX_H_

@@ -1,0 +1,73 @@
+#include "rel/ops.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace cqcs::rel {
+
+size_t Semijoin(Table& left, std::span<const uint32_t> left_key_cols,
+                const Table& right, const HashIndex& right_index) {
+  CQCS_CHECK(left_key_cols.size() == right_index.key_cols().size());
+  const size_t before = left.row_count();
+  std::vector<uint32_t> keep;
+  keep.reserve(before);
+  std::vector<Element> key(left_key_cols.size());
+  for (uint32_t r = 0; r < before; ++r) {
+    std::span<const Element> row = left.row(r);
+    for (size_t i = 0; i < left_key_cols.size(); ++i) {
+      key[i] = row[left_key_cols[i]];
+    }
+    if (right_index.FindFirst(right.data(), key) != HashIndex::kNone) {
+      keep.push_back(r);
+    }
+  }
+  left.KeepRows(keep);
+  return before - left.row_count();
+}
+
+void HashJoinAppend(const Table& left, std::span<const uint32_t> left_key_cols,
+                    const Table& right, const HashIndex& right_index,
+                    std::span<const uint32_t> right_extra_cols, Table* out) {
+  CQCS_CHECK(out->width() == left.width() + right_extra_cols.size());
+  CQCS_CHECK(left_key_cols.size() == right_index.key_cols().size());
+  std::vector<Element> key(left_key_cols.size());
+  for (uint32_t r = 0; r < left.row_count(); ++r) {
+    std::span<const Element> lrow = left.row(r);
+    for (size_t i = 0; i < left_key_cols.size(); ++i) {
+      key[i] = lrow[left_key_cols[i]];
+    }
+    for (uint32_t m = right_index.FindFirst(right.data(), key);
+         m != HashIndex::kNone; m = right_index.Next(m)) {
+      Element* cells = out->AppendRowSlot();
+      // AppendRowSlot may reallocate out's buffer, so re-read lrow when
+      // out aliases left — it never does in the backends, but stay safe.
+      std::span<const Element> l = left.row(r);
+      std::span<const Element> rr = right.row(m);
+      for (size_t i = 0; i < l.size(); ++i) cells[i] = l[i];
+      for (size_t i = 0; i < right_extra_cols.size(); ++i) {
+        cells[l.size() + i] = rr[right_extra_cols[i]];
+      }
+    }
+  }
+}
+
+void ProjectDistinct(const Table& src, std::span<const uint32_t> cols,
+                     Table* out, HashIndex* scratch, size_t max_rows) {
+  CQCS_CHECK(out->width() == cols.size());
+  CQCS_CHECK(out->row_count() == 0);
+  std::vector<uint32_t> identity(cols.size());
+  for (uint32_t i = 0; i < cols.size(); ++i) identity[i] = i;
+  scratch->Reset(out->width(), identity);
+  std::vector<Element> key(cols.size());
+  for (uint32_t r = 0; r < src.row_count() && out->row_count() < max_rows;
+       ++r) {
+    std::span<const Element> row = src.row(r);
+    for (size_t i = 0; i < cols.size(); ++i) key[i] = row[cols[i]];
+    if (scratch->FindFirst(out->data(), key) != HashIndex::kNone) continue;
+    out->AppendRow(key);
+    scratch->Add(out->data(), static_cast<uint32_t>(out->row_count() - 1));
+  }
+}
+
+}  // namespace cqcs::rel

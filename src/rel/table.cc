@@ -1,0 +1,45 @@
+#include "rel/table.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cqcs::rel {
+
+void Table::AppendRow(std::span<const Element> row) {
+  CQCS_CHECK(row.size() == width_);
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+Element* Table::AppendRowSlot() {
+  data_.resize(data_.size() + width_);
+  ++rows_;
+  return data_.data() + (rows_ - 1) * width_;
+}
+
+void Table::PopRow() {
+  CQCS_CHECK(rows_ > 0);
+  data_.resize(data_.size() - width_);
+  --rows_;
+}
+
+void Table::KeepRows(std::span<const uint32_t> keep) {
+  size_t out = 0;
+  for (uint32_t r : keep) {
+    if (out != r) {
+      std::copy_n(data_.begin() + r * width_, width_,
+                  data_.begin() + out * width_);
+    }
+    ++out;
+  }
+  rows_ = out;
+  data_.resize(rows_ * width_);
+}
+
+void Table::Clear() {
+  rows_ = 0;
+  data_.clear();
+}
+
+}  // namespace cqcs::rel

@@ -1,27 +1,24 @@
 #include "treewidth/hom_dp.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/check.h"
+#include "rel/hash_index.h"
+#include "rel/table.h"
 
 namespace cqcs {
 
 namespace {
 
-struct VecHash {
-  size_t operator()(const std::vector<Element>& v) const {
-    size_t h = 0x9e3779b97f4a7c15ULL;
-    for (Element e : v) h = (h ^ e) * 0x100000001b3ULL;
-    return h;
-  }
-};
+using rel::HashIndex;
+using rel::Table;
 
-/// For each node: map from the assignment's projection onto the
-/// parent-intersection to one full bag assignment realizing it (and
-/// realizable by the whole subtree below the node).
-using NodeTable =
-    std::unordered_map<std::vector<Element>, std::vector<Element>, VecHash>;
+/// Identity column list [0, width).
+std::vector<uint32_t> AllCols(uint32_t width) {
+  std::vector<uint32_t> cols(width);
+  for (uint32_t c = 0; c < width; ++c) cols[c] = c;
+  return cols;
+}
 
 }  // namespace
 
@@ -35,6 +32,7 @@ Result<std::optional<Homomorphism>> SolveViaTreeDecomposition(
   if (stats != nullptr) {
     stats->width = decomposition.Width();
     stats->table_entries = 0;
+    stats->table_rows = 0;
   }
   if (a.universe_size() == 0) {
     return std::optional<Homomorphism>(Homomorphism{});
@@ -44,16 +42,42 @@ Result<std::optional<Homomorphism>> SolveViaTreeDecomposition(
   const size_t m = b.universe_size();
   const Vocabulary& vocab = *a.vocabulary();
 
-  // Assign every tuple of A to the first node whose bag covers it.
-  // tuples_of_node[t] = list of (rel, tuple index).
+  // element -> containing nodes, CSR. Tuple-to-bag assignment probes the
+  // rarest element's short node list instead of scanning every bag.
+  std::vector<uint32_t> node_offsets(a.universe_size() + 1, 0);
+  for (uint32_t node = 0; node < num_nodes; ++node) {
+    for (Element e : decomposition.bag(node)) ++node_offsets[e + 1];
+  }
+  for (size_t e = 0; e < a.universe_size(); ++e) {
+    node_offsets[e + 1] += node_offsets[e];
+  }
+  std::vector<uint32_t> node_list(node_offsets.back());
+  {
+    std::vector<uint32_t> fill(node_offsets.begin(), node_offsets.end() - 1);
+    for (uint32_t node = 0; node < num_nodes; ++node) {
+      for (Element e : decomposition.bag(node)) node_list[fill[e]++] = node;
+    }
+  }
+
+  // Assign every tuple of A to a node whose bag covers it: candidates are
+  // the nodes holding the tuple's rarest element.
   std::vector<std::vector<std::pair<RelId, uint32_t>>> tuples_of_node(
       num_nodes);
   for (RelId id = 0; id < vocab.size(); ++id) {
     const Relation& r = a.relation(id);
     for (uint32_t t = 0; t < r.tuple_count(); ++t) {
       std::span<const Element> tup = r.tuple(t);
+      Element rare = tup[0];
+      for (Element e : tup) {
+        if (node_offsets[e + 1] - node_offsets[e] <
+            node_offsets[rare + 1] - node_offsets[rare]) {
+          rare = e;
+        }
+      }
       bool placed = false;
-      for (uint32_t node = 0; node < num_nodes && !placed; ++node) {
+      for (uint32_t i = node_offsets[rare];
+           i < node_offsets[rare + 1] && !placed; ++i) {
+        uint32_t node = node_list[i];
         const auto& bag = decomposition.bag(node);
         bool covered = true;
         for (Element e : tup) {
@@ -71,9 +95,26 @@ Result<std::optional<Homomorphism>> SolveViaTreeDecomposition(
     }
   }
 
-  // Intersection of each node's bag with its parent's bag (positions within
-  // the node's bag), empty for roots.
-  std::vector<std::vector<size_t>> parent_shared_positions(num_nodes);
+  // Hash membership indexes on B's relations (only the ones A uses):
+  // the DP's inner check becomes an O(1) probe on the flattened tuple
+  // data instead of a binary search.
+  std::vector<HashIndex> b_member(vocab.size());
+  std::vector<uint8_t> b_member_built(vocab.size(), 0);
+  for (uint32_t node = 0; node < num_nodes; ++node) {
+    for (auto [rel, t] : tuples_of_node[node]) {
+      (void)t;
+      if (b_member_built[rel]) continue;
+      b_member_built[rel] = 1;
+      const Relation& br = b.relation(rel);
+      b_member[rel].Build(br.data().data(), br.arity(),
+                          static_cast<uint32_t>(br.tuple_count()),
+                          AllCols(br.arity()));
+    }
+  }
+
+  // Intersection of each node's bag with its parent's bag (positions
+  // within the node's bag), empty for roots.
+  std::vector<std::vector<uint32_t>> parent_shared_positions(num_nodes);
   for (uint32_t node = 0; node < num_nodes; ++node) {
     uint32_t p = decomposition.parent(node);
     if (p == TreeDecomposition::kNoParent) continue;
@@ -81,19 +122,27 @@ Result<std::optional<Homomorphism>> SolveViaTreeDecomposition(
     const auto& pbag = decomposition.bag(p);
     for (size_t i = 0; i < bag.size(); ++i) {
       if (std::binary_search(pbag.begin(), pbag.end(), bag[i])) {
-        parent_shared_positions[node].push_back(i);
+        parent_shared_positions[node].push_back(static_cast<uint32_t>(i));
       }
     }
   }
 
-  // Bottom-up DP: children have larger indices than parents, so a reverse
+  // Bottom-up DP over columnar tables: node i's table holds one full bag
+  // assignment per distinct projection onto the parent intersection (the
+  // first witness found), indexed by that projection for O(1) child
+  // probes. Children have larger indices than parents, so a reverse
   // index sweep processes every child before its parent.
-  std::vector<NodeTable> tables(num_nodes);
+  std::vector<Table> tables(num_nodes);
+  std::vector<HashIndex> tab_index(num_nodes);
   std::vector<Element> assign, proj, image;
   for (size_t node_plus1 = num_nodes; node_plus1-- > 0;) {
     uint32_t node = static_cast<uint32_t>(node_plus1);
     const auto& bag = decomposition.bag(node);
-    NodeTable& table = tables[node];
+    tables[node] = Table(static_cast<uint32_t>(bag.size()));
+    Table& table = tables[node];
+    // Keyed on the parent-shared positions: one row per distinct key.
+    tab_index[node].Reset(static_cast<uint32_t>(bag.size()),
+                          parent_shared_positions[node]);
 
     assign.assign(bag.size(), 0);
     bool exhausted = m == 0 && !bag.empty();
@@ -110,7 +159,9 @@ Result<std::optional<Homomorphism>> SolveViaTreeDecomposition(
               bag.begin());
           image[pp] = assign[pos];
         }
-        if (!b.relation(rel).Contains(image)) {
+        const Relation& br = b.relation(rel);
+        if (b_member[rel].FindFirst(br.data().data(), image) ==
+            HashIndex::kNone) {
           ok = false;
           break;
         }
@@ -121,22 +172,31 @@ Result<std::optional<Homomorphism>> SolveViaTreeDecomposition(
         for (uint32_t child : decomposition.children(node)) {
           const auto& cbag = decomposition.bag(child);
           proj.clear();
-          for (size_t ci : parent_shared_positions[child]) {
+          for (uint32_t ci : parent_shared_positions[child]) {
             Element e = cbag[ci];
             size_t pos = static_cast<size_t>(
                 std::lower_bound(bag.begin(), bag.end(), e) - bag.begin());
             proj.push_back(assign[pos]);
           }
-          if (tables[child].find(proj) == tables[child].end()) {
+          if (tab_index[child].FindFirst(tables[child].data(), proj) ==
+              HashIndex::kNone) {
             ok = false;
             break;
           }
         }
       }
       if (ok) {
+        // Keep the first witness per parent-intersection key.
         proj.clear();
-        for (size_t i : parent_shared_positions[node]) proj.push_back(assign[i]);
-        table.emplace(proj, assign);  // keep the first witness
+        for (uint32_t i : parent_shared_positions[node]) {
+          proj.push_back(assign[i]);
+        }
+        if (tab_index[node].FindFirst(table.data(), proj) ==
+            HashIndex::kNone) {
+          table.AppendRow(assign);
+          tab_index[node].Add(table.data(),
+                              static_cast<uint32_t>(table.row_count() - 1));
+        }
       }
       // Odometer.
       size_t pos = 0;
@@ -148,39 +208,40 @@ Result<std::optional<Homomorphism>> SolveViaTreeDecomposition(
       if (pos == assign.size()) exhausted = true;
       if (bag.empty()) exhausted = true;
     }
+    if (stats != nullptr) stats->table_rows += table.row_count();
     if (table.empty()) return std::optional<Homomorphism>(std::nullopt);
   }
 
   // Top-down witness extraction.
   Homomorphism h(a.universe_size(), kUnassigned);
   std::vector<uint32_t> stack;
-  std::vector<std::vector<Element>> chosen(num_nodes);
+  std::vector<uint32_t> chosen(num_nodes, 0);
   for (uint32_t node = 0; node < num_nodes; ++node) {
     if (decomposition.parent(node) != TreeDecomposition::kNoParent) continue;
-    // Root: any table entry works.
-    chosen[node] = tables[node].begin()->second;
+    chosen[node] = 0;  // root: any table row works
     stack.push_back(node);
   }
   while (!stack.empty()) {
     uint32_t node = stack.back();
     stack.pop_back();
     const auto& bag = decomposition.bag(node);
+    std::span<const Element> row = tables[node].row(chosen[node]);
     for (size_t i = 0; i < bag.size(); ++i) {
-      CQCS_CHECK(h[bag[i]] == kUnassigned || h[bag[i]] == chosen[node][i]);
-      h[bag[i]] = chosen[node][i];
+      CQCS_CHECK(h[bag[i]] == kUnassigned || h[bag[i]] == row[i]);
+      h[bag[i]] = row[i];
     }
     for (uint32_t child : decomposition.children(node)) {
       const auto& cbag = decomposition.bag(child);
-      std::vector<Element> proj_key;
-      for (size_t ci : parent_shared_positions[child]) {
+      proj.clear();
+      for (uint32_t ci : parent_shared_positions[child]) {
         Element e = cbag[ci];
         size_t pos = static_cast<size_t>(
             std::lower_bound(bag.begin(), bag.end(), e) - bag.begin());
-        proj_key.push_back(chosen[node][pos]);
+        proj.push_back(row[pos]);
       }
-      auto it = tables[child].find(proj_key);
-      CQCS_CHECK(it != tables[child].end());
-      chosen[child] = it->second;
+      uint32_t match = tab_index[child].FindFirst(tables[child].data(), proj);
+      CQCS_CHECK(match != HashIndex::kNone);
+      chosen[child] = match;
       stack.push_back(child);
     }
   }

@@ -23,6 +23,8 @@ namespace cqcs {
 struct TreewidthSolveStats {
   int width = -1;              ///< width of the decomposition used
   size_t table_entries = 0;    ///< total bag-assignment rows considered
+  size_t table_rows = 0;       ///< rows kept across all node tables (one
+                               ///< per distinct parent-intersection key)
 };
 
 /// Decides hom(A -> B) with a caller-supplied decomposition of A. The

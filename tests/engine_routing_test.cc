@@ -58,10 +58,10 @@ TEST(EngineRoutingTest, AcyclicSourcePicksYannakakisForDecide) {
   }
 }
 
-TEST(EngineRoutingTest, TreeSourceWitnessTakesTreewidthDp) {
-  // A witness request can't use Yannakakis (decide-only); trees have
-  // width 1, so the DP backend takes over and must hand back a real
-  // homomorphism.
+TEST(EngineRoutingTest, TreeSourceWitnessTakesYannakakis) {
+  // Witness requests stay on the acyclic route: the full Yannakakis
+  // program extracts a witness from the reduced join forest, so a tree
+  // source never needs the DP or the search.
   Rng rng(202);
   auto vocab = MakeGraphVocabulary();
   for (int trial = 0; trial < 10; ++trial) {
@@ -71,8 +71,10 @@ TEST(EngineRoutingTest, TreeSourceWitnessTakesTreewidthDp) {
     HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
     HomEngine engine;
     EngineResult r = MustRun(engine, p, HomTask::kWitness);
-    EXPECT_EQ(r.explain.chosen, Backend::kTreewidth) << r.explain.ToString();
-    EXPECT_LE(r.explain.profile.width_estimate, 1);
+    EXPECT_EQ(r.explain.chosen, Backend::kAcyclic) << r.explain.ToString();
+    EXPECT_FALSE(r.stats.used_search);
+    EXPECT_TRUE(r.stats.used_acyclic);
+    EXPECT_EQ(r.explain.served, HomTask::kWitness);
     EXPECT_EQ(r.decided, OracleDecide(a, b)) << "trial " << trial;
     if (r.decided) {
       ASSERT_TRUE(r.witness.has_value());
@@ -93,10 +95,14 @@ TEST(EngineRoutingTest, BoundedWidthSourcePicksTreewidthDp) {
     HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
     HomEngine engine;
     EngineResult r = MustRun(engine, p, HomTask::kWitness);
-    // Width 0/1 cases may even be acyclic — but a witness request never
-    // routes to Yannakakis, so anything within the gate lands on the DP.
-    EXPECT_EQ(r.explain.chosen, Backend::kTreewidth) << r.explain.ToString();
-    EXPECT_LE(r.explain.profile.width_estimate, 3);
+    // Dropping edges can leave a partial 2-tree acyclic, in which case
+    // the (cheaper) Yannakakis route wins; otherwise the DP must fire.
+    EXPECT_EQ(r.explain.chosen,
+              p.SourceAcyclic() ? Backend::kAcyclic : Backend::kTreewidth)
+        << r.explain.ToString();
+    if (!p.SourceAcyclic()) {
+      EXPECT_LE(r.explain.profile.width_estimate, 3);
+    }
     EXPECT_EQ(r.decided, OracleDecide(a, b)) << "trial " << trial;
     if (r.decided) {
       ASSERT_TRUE(r.witness.has_value());
@@ -236,7 +242,10 @@ TEST(EngineRoutingTest, CrossBackendOracleAgreement) {
   EXPECT_GT(multi_backend_instances, 10);
 }
 
-TEST(EngineRoutingTest, CountAndProjectionsRouteToSearchAndAgree) {
+TEST(EngineRoutingTest, AcyclicServesCountEnumerateProjectWithoutSearch) {
+  // The acceptance net for the full Yannakakis program: on acyclic
+  // sources every task is served on the acyclic route — no uniform-search
+  // fallback — and every answer matches the search oracle exactly.
   Rng rng(707);
   auto vocab = MakeGraphVocabulary();
   for (int trial = 0; trial < 8; ++trial) {
@@ -247,18 +256,62 @@ TEST(EngineRoutingTest, CountAndProjectionsRouteToSearchAndAgree) {
     HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
     p.SetProjection({0});
     HomEngine engine;
+
     EngineResult count = MustRun(engine, p, HomTask::kCount);
-    EXPECT_EQ(count.explain.chosen, Backend::kUniform);
-    EXPECT_FALSE(count.explain.profiled);  // enumeration skips the profile
+    EXPECT_EQ(count.explain.chosen, Backend::kAcyclic)
+        << count.explain.ToString();
+    EXPECT_TRUE(count.explain.profiled);
+    EXPECT_FALSE(count.stats.used_search);
+    EXPECT_TRUE(count.stats.used_acyclic);
+    EXPECT_EQ(count.explain.served, HomTask::kCount);
     EXPECT_EQ(count.count, oracle_count);
+
+    EngineResult all = MustRun(engine, p, HomTask::kEnumerate);
+    EXPECT_EQ(all.explain.chosen, Backend::kAcyclic);
+    EXPECT_FALSE(all.stats.used_search);
+    EXPECT_EQ(all.rows.size(), oracle_count);
+    std::set<std::vector<Element>> hom_set(all.rows.begin(), all.rows.end());
+    EXPECT_EQ(hom_set.size(), oracle_count) << "duplicate homomorphisms";
+    size_t checked = 0;
+    BacktrackingSolver(a, b).ForEachSolution([&](const Homomorphism& h) {
+      EXPECT_TRUE(hom_set.count(h)) << "oracle solution missing";
+      ++checked;
+      return true;
+    });
+    EXPECT_EQ(checked, oracle_count);
+
     EngineResult rows = MustRun(engine, p, HomTask::kProject);
+    EXPECT_EQ(rows.explain.chosen, Backend::kAcyclic);
+    EXPECT_FALSE(rows.stats.used_search);
     auto oracle_rows = BacktrackingSolver(a, b).EnumerateProjections(
         std::vector<Element>{0});
     std::set<std::vector<Element>> got(rows.rows.begin(), rows.rows.end());
     std::set<std::vector<Element>> want(oracle_rows.begin(),
                                        oracle_rows.end());
+    EXPECT_EQ(got.size(), rows.rows.size()) << "duplicate projections";
     EXPECT_EQ(got, want);
   }
+}
+
+TEST(EngineRoutingTest, CyclicSourceCountFallsBackToSearch) {
+  // Counting has no polynomial island for cyclic sources: the router
+  // must land on the search and say why the acyclic route refused.
+  auto vocab = MakeGraphVocabulary();
+  Structure k3 = CliqueStructure(vocab, 3);
+  Structure k4 = CliqueStructure(vocab, 4);
+  HomProblem p = MustProblem(HomProblem::FromStructures(k3, k4));
+  HomEngine engine;
+  EngineResult r = MustRun(engine, p, HomTask::kCount);
+  EXPECT_EQ(r.explain.chosen, Backend::kUniform) << r.explain.ToString();
+  EXPECT_TRUE(r.stats.used_search);
+  EXPECT_TRUE(r.explain.profiled);
+  EXPECT_FALSE(r.explain.profile.source_acyclic);
+  EXPECT_EQ(r.count, BacktrackingSolver(k3, k4).CountSolutions());
+  bool noted_acyclic = false;
+  for (const std::string& f : r.explain.fallbacks) {
+    if (f.find("cyclic") != std::string::npos) noted_acyclic = true;
+  }
+  EXPECT_TRUE(noted_acyclic) << r.explain.ToString();
 }
 
 TEST(EngineRoutingTest, CompiledProblemReusesArtifactsAcrossRuns) {
@@ -342,13 +395,17 @@ TEST(EngineRoutingTest, ExplicitBackendErrorsInsteadOfFallingBack) {
     EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
   }
   {
+    // The acyclic backend serves every task now — an explicit witness
+    // request on an acyclic source must succeed, not error.
     EngineOptions o;
-    o.backend = Backend::kAcyclic;  // decide-only backend, witness task
+    o.backend = Backend::kAcyclic;
     Structure path = PathStructure(vocab, 3);
     HomProblem acyclic_p = MustProblem(HomProblem::FromStructures(path, k5));
     auto r = HomEngine(o).Run(acyclic_p, HomTask::kWitness);
-    ASSERT_FALSE(r.ok());
-    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(r->decided);
+    ASSERT_TRUE(r->witness.has_value());
+    EXPECT_TRUE(IsHomomorphism(path, k5, *r->witness));
   }
   {
     EngineOptions o;
