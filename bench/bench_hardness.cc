@@ -293,7 +293,11 @@ BENCHMARK(BM_SparseRefutationFc_CbjDomWdeg)->Unit(benchmark::kMillisecond);
 
 // Front-door routing series (PR 4): the HomEngine's kAuto against the raw
 // uniform solver, one benchmark per instance family, Arg(0) = engine-auto
-// arm, Arg(1) = raw-uniform arm. Each arm pays its full per-call cost
+// arm, Arg(1) = raw-uniform arm, Arg(2) = engine-auto with the resource
+// governor armed on never-tripping budgets (60 s deadline + 1 GiB memory
+// ceiling) — the 0-vs-2 delta is the pure governance overhead (poll
+// strides + byte accounting) and must stay within noise (<= 2%). Each arm
+// pays its full per-call cost
 // (problem compilation + staged profile for auto, CspInstance build for
 // uniform), so the deltas are honest end-to-end front-door numbers.
 //
@@ -311,13 +315,21 @@ BENCHMARK(BM_SparseRefutationFc_CbjDomWdeg)->Unit(benchmark::kMillisecond);
 // arm's overhead is the profile cost — the series exists to keep it <= 5%.
 void RunEngineAutoVsUniform(benchmark::State& state, const Structure& a,
                             const Structure& b) {
-  const bool use_auto = state.range(0) == 0;
+  const int arm = static_cast<int>(state.range(0));
+  const bool use_auto = arm != 1;
   bool decided = false;
   int chosen = -1;
   for (auto _ : state) {
     if (use_auto) {
       auto problem = HomProblem::FromStructures(a, b);
-      HomEngine engine;
+      EngineOptions engine_options;
+      if (arm == 2) {
+        // Governed arm: budgets generous enough that no family here ever
+        // trips, so the measurement is accounting cost, not degradation.
+        engine_options.deadline_ms = 60'000;
+        engine_options.memory_budget_bytes = size_t{1} << 30;
+      }
+      HomEngine engine(engine_options);
       auto r = engine.Run(*problem, HomTask::kDecide);
       decided = r.ok() && r->decided;
       chosen = r.ok() ? static_cast<int>(r->explain.chosen) : -1;
@@ -331,6 +343,7 @@ void RunEngineAutoVsUniform(benchmark::State& state, const Structure& a,
     }
   }
   state.counters["auto_arm"] = use_auto ? 1 : 0;
+  state.counters["governed"] = arm == 2 ? 1 : 0;
   state.counters["backend"] = chosen;  // Backend enum value
   state.counters["decided"] = decided ? 1 : 0;
 }
@@ -389,18 +402,20 @@ void BM_EngineAutoVsUniform_Adversarial(benchmark::State& state) {
 }
 
 BENCHMARK(BM_EngineAutoVsUniform_Acyclic)
-    ->Args({0, 48})->Args({1, 48})
-    ->Args({0, 512})->Args({1, 512})
-    ->Args({0, 4096})->Args({1, 4096})
-    ->Args({0, 16384})->Args({1, 16384})
+    ->Args({0, 48})->Args({1, 48})->Args({2, 48})
+    ->Args({0, 512})->Args({1, 512})->Args({2, 512})
+    ->Args({0, 4096})->Args({1, 4096})->Args({2, 4096})
+    ->Args({0, 16384})->Args({1, 16384})->Args({2, 16384})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineAutoVsUniform_PartialKTree)
-    ->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+    ->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineAutoVsUniform_HornTarget)
-    ->Args({0, 200})->Args({1, 200})->Args({0, 2000})->Args({1, 2000})
+    ->Args({0, 200})->Args({1, 200})->Args({2, 200})
+    ->Args({0, 2000})->Args({1, 2000})->Args({2, 2000})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineAutoVsUniform_Adversarial)
-    ->Args({0, 6})->Args({1, 6})->Args({0, 7})->Args({1, 7})
+    ->Args({0, 6})->Args({1, 6})->Args({2, 6})
+    ->Args({0, 7})->Args({1, 7})->Args({2, 7})
     ->Unit(benchmark::kMillisecond);
 
 void BM_CliqueFixedK_GraphSweep(benchmark::State& state) {

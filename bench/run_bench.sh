@@ -4,7 +4,9 @@
 # PRs leave a comparable perf trajectory. The filter keeps the PR 1 series,
 # the PR 2 search-strategy series (CBJ / dom-wdeg / restarts variants),
 # the PR 3 work-stealing parallel scaling series (1/2/4/8 workers), the
-# PR 4 front-door routing series (engine kAuto vs raw uniform per family),
+# PR 4 front-door routing series (engine kAuto vs raw uniform per family,
+# now with a third governed arm — kAuto under never-tripping resource
+# budgets — whose delta against arm 0 is the governance overhead),
 # and the PR 5 polynomial-backend series: the task-by-task Yannakakis
 # program on the rel/ columnar kernel (witness/count/enumerate, auto vs
 # uniform arms over a source-size sweep) and the hash-indexed treewidth DP

@@ -23,6 +23,11 @@
 //                               task runs on the Yannakakis route; count and
 //                               enumerate otherwise need the uniform search.
 //   --limit=N                   cap for --task=count / --task=enumerate
+//   --deadline-ms=N             wall-clock budget for the whole solve; an
+//                               exhausted run prints a structured verdict
+//                               and exits 3 (distinct from "no" and errors)
+//   --memory-budget-mb=N        ceiling on backend table memory, same
+//                               verdict/exit-code contract as the deadline
 //   --explain                   print the routing decision + unified stats
 //                               as one JSON object (machine-readable)
 //
@@ -32,6 +37,7 @@
 //
 // Run without arguments for a demo over built-in inputs.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -98,6 +104,22 @@ bool ParseStrategyFlag(const char* arg, EngineOptions* engine_options,
     options->strategy.backjumping = true;
   } else if (flag == "--restarts") {
     options->strategy.restarts = true;
+  } else if (flag.rfind("--deadline-ms=", 0) == 0) {
+    const std::string digits = flag.substr(14);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      return false;
+    }
+    engine_options->deadline_ms = std::strtoull(digits.c_str(), nullptr, 10);
+  } else if (flag.rfind("--memory-budget-mb=", 0) == 0) {
+    const std::string digits = flag.substr(19);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      return false;
+    }
+    const size_t mb = std::strtoull(digits.c_str(), nullptr, 10);
+    if (mb > (SIZE_MAX >> 20)) return false;
+    engine_options->memory_budget_bytes = mb << 20;
   } else if (flag.rfind("--threads=", 0) == 0) {
     // Digits only (strtoul would happily eat "-1" as ULONG_MAX), nonempty,
     // and a sanity cap — a worker is a real OS thread.
@@ -155,7 +177,11 @@ int Solve(const char* a_path, const char* b_path, int flag_count,
     case HomTask::kDecide:
     case HomTask::kWitness:
       if (!result->decided) {
-        std::printf(result->stats.search.limit_hit
+        // A governed trip and a node-limit stop both leave the question
+        // open; everything else genuinely means "no".
+        std::printf(result->stats.governor.tripped
+                        ? "unknown (resource budget exhausted)\n"
+                    : result->stats.search.limit_hit
                         ? "unknown (node limit hit)\n"
                         : "no homomorphism\n");
       } else if (result->witness.has_value()) {
@@ -169,7 +195,9 @@ int Solve(const char* a_path, const char* b_path, int flag_count,
       }
       break;
     case HomTask::kCount:
-      std::printf(result->stats.search.limit_hit
+      std::printf(result->stats.governor.tripped
+                      ? "count: >= %zu (resource budget exhausted)\n"
+                  : result->stats.search.limit_hit
                       ? "count: >= %zu (node limit hit)\n"
                       : "count: %zu\n",
                   result->count);
@@ -186,6 +214,20 @@ int Solve(const char* a_path, const char* b_path, int flag_count,
       break;  // unreachable: the flag parser rejects it
   }
   std::printf("backend: %s\n", BackendName(result->explain.chosen));
+  if (result->stats.governor.tripped) {
+    // Structured exhaustion verdict: exit 3 distinguishes "ran out of
+    // budget" from "no homomorphism" (0), errors (1), and bad flags (2),
+    // so scripts can retry with a larger budget instead of trusting a
+    // partial answer.
+    const GovernorRunStats& g = result->stats.governor;
+    std::printf(
+        "verdict: resource budget exhausted (%s) checks=%llu "
+        "peak_bytes=%zu elapsed_ms=%llu\n",
+        TripCauseName(g.cause), static_cast<unsigned long long>(g.checks),
+        g.peak_bytes, static_cast<unsigned long long>(g.elapsed_ms));
+    if (explain) std::printf("%s\n", result->ToJson().c_str());
+    return 3;
+  }
   if (explain) {
     std::printf("%s\n", result->ToJson().c_str());
     return 0;

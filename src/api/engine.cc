@@ -1,15 +1,36 @@
 #include "api/engine.h"
 
 #include <cstdio>
+#include <optional>
 #include <sstream>
 #include <utility>
 
 #include "common/check.h"
+#include "common/saturating.h"
 #include "cq/acyclic.h"
 
 namespace cqcs {
 
 namespace {
+
+/// Worst-case bytes the Yannakakis per-atom materialization can charge:
+/// every source tuple of relation R becomes a table of at most |R^B| rows
+/// of arity Elements. Saturates at SIZE_MAX (admission then refuses any
+/// finite budget, which is the right answer for an estimate that large).
+size_t EstimateAcyclicBytes(const Structure& a, const Structure& b) {
+  size_t total = 0;
+  const Vocabulary& vocab = *a.vocabulary();
+  for (RelId id = 0; id < vocab.size(); ++id) {
+    size_t row_bytes =
+        SatMul(vocab.arity(id), sizeof(Element), SIZE_MAX);
+    size_t per_atom =
+        SatMul(b.relation(id).tuple_count(), row_bytes, SIZE_MAX);
+    total = SatAdd(
+        total, SatMul(a.relation(id).tuple_count(), per_atom, SIZE_MAX),
+        SIZE_MAX);
+  }
+  return total;
+}
 
 void AppendJsonString(std::ostringstream& out, std::string_view s) {
   out << '"';
@@ -83,6 +104,33 @@ Result<EngineResult> HomEngine::Run(const HomProblem& problem,
   const Structure& b = problem.target();
   const bool decide_like = task == HomTask::kDecide || task == HomTask::kWitness;
 
+  // ---- Resource governance. ----------------------------------------------
+  // One governor per run; the backends poll it cooperatively and charge
+  // their table growth against it. Ungoverned runs pass nullptr everywhere.
+  std::optional<ResourceGovernor> governor_storage;
+  ResourceGovernor* governor = nullptr;
+  if (options_.deadline_ms > 0 || options_.memory_budget_bytes > 0 ||
+      options_.cancel != nullptr ||
+      options_.failpoints.trip_after_checks > 0 ||
+      options_.failpoints.trip_after_charges > 0) {
+    governor_storage.emplace(options_.deadline_ms,
+                             options_.memory_budget_bytes);
+    governor_storage->set_failpoints(options_.failpoints);
+    if (options_.cancel != nullptr) {
+      governor_storage->set_external_cancel(options_.cancel);
+    }
+    governor = &*governor_storage;
+  }
+  auto snapshot_governor = [&]() {
+    if (governor == nullptr) return;
+    r.stats.governor.enabled = true;
+    r.stats.governor.tripped = governor->tripped();
+    r.stats.governor.cause = governor->trip_cause();
+    r.stats.governor.checks = governor->checks();
+    r.stats.governor.peak_bytes = governor->peak_bytes();
+    r.stats.governor.elapsed_ms = governor->elapsed_ms();
+  };
+
   // ---- Routing. ----------------------------------------------------------
   Backend chosen = options_.backend;
   if (chosen == Backend::kAuto) {
@@ -119,12 +167,14 @@ Result<EngineResult> HomEngine::Run(const HomProblem& problem,
       r.explain.chosen = Backend::kUniform;
       r.explain.reason = "empty source universe: the empty map is a "
                          "homomorphism; no backend needed";
+      snapshot_governor();
       return r;
     } else if (b.universe_size() == 0) {
       r.decided = false;
       r.explain.chosen = Backend::kUniform;
       r.explain.reason = "nonempty source, empty target: no total map "
                          "exists; no backend needed";
+      snapshot_governor();
       return r;
     } else {
       // Staged decision tree, cheapest predicate first, stopping at the
@@ -196,6 +246,31 @@ Result<EngineResult> HomEngine::Run(const HomProblem& problem,
     r.explain.reason = "backend explicitly requested";
   }
 
+  // ---- Pre-flight admission (kAuto + memory budget only). ----------------
+  // If a polynomial route's size-bound estimate already exceeds the memory
+  // budget, demote to the uniform search before any table is built: the
+  // search streams over the CSP instance and charges almost nothing, so it
+  // can still decide within the budget where the DP provably cannot.
+  if (governor != nullptr && options_.memory_budget_bytes > 0 &&
+      options_.backend == Backend::kAuto &&
+      (chosen == Backend::kAcyclic || chosen == Backend::kTreewidth)) {
+    size_t estimate =
+        chosen == Backend::kAcyclic
+            ? EstimateAcyclicBytes(a, b)
+            : EstimateTreewidthDpBytes(
+                  r.explain.profile.decomposition_bags,
+                  r.explain.profile.width_estimate, b.universe_size());
+    if (!governor->AdmitBytes(estimate)) {
+      std::ostringstream note;
+      note << BackendName(chosen) << ": admission refused — size-bound "
+           << "estimate " << estimate << " bytes exceeds the memory budget ("
+           << options_.memory_budget_bytes
+           << " bytes); demoting to the uniform search";
+      r.explain.fallbacks.push_back(note.str());
+      chosen = Backend::kUniform;
+    }
+  }
+
   // ---- Execution (with runtime fallback for kAuto). ----------------------
   auto run_backend = [&](Backend backend) -> Status {
     switch (backend) {
@@ -205,7 +280,7 @@ Result<EngineResult> HomEngine::Run(const HomProblem& problem,
               "the schaefer backend supports decide/witness only");
         }
         auto h = SolveSchaefer(a, b, SchaeferAlgorithm::kAuto,
-                               &r.stats.schaefer);
+                               &r.stats.schaefer, governor);
         if (!h.ok()) return h.status();
         r.stats.used_schaefer = true;
         r.decided = h->has_value();
@@ -227,26 +302,27 @@ Result<EngineResult> HomEngine::Run(const HomProblem& problem,
         YannakakisStats* ys = &r.stats.yannakakis;
         switch (task) {
           case HomTask::kDecide: {
-            auto sat = EvaluateBooleanAcyclic(q, b, ys);
+            auto sat = EvaluateBooleanAcyclic(q, b, ys, governor);
             if (!sat.ok()) return sat.status();
             r.decided = *sat;
             break;
           }
           case HomTask::kWitness: {
-            auto w = AcyclicWitness(q, b, ys);
+            auto w = AcyclicWitness(q, b, ys, governor);
             if (!w.ok()) return w.status();
             r.decided = w->has_value();
             if (w->has_value()) r.witness = *std::move(*w);
             break;
           }
           case HomTask::kCount: {
-            auto c = AcyclicCount(q, b, options_.count_limit, ys);
+            auto c = AcyclicCount(q, b, options_.count_limit, ys, governor);
             if (!c.ok()) return c.status();
             r.count = *c;
             break;
           }
           case HomTask::kEnumerate: {
-            auto rows = AcyclicEnumerate(q, b, options_.max_results, ys);
+            auto rows =
+                AcyclicEnumerate(q, b, options_.max_results, ys, governor);
             if (!rows.ok()) return rows.status();
             r.rows = *std::move(rows);
             r.count = r.rows.size();
@@ -256,7 +332,7 @@ Result<EngineResult> HomEngine::Run(const HomProblem& problem,
             std::span<const Element> proj = problem.projection();
             auto rows = AcyclicProject(
                 q, b, std::vector<VarId>(proj.begin(), proj.end()),
-                options_.max_results, ys);
+                options_.max_results, ys, governor);
             if (!rows.ok()) return rows.status();
             r.rows = *std::move(rows);
             r.count = r.rows.size();
@@ -271,8 +347,9 @@ Result<EngineResult> HomEngine::Run(const HomProblem& problem,
           return Status::InvalidArgument(
               "the treewidth backend supports decide/witness only");
         }
+        CQCS_RETURN_IF_ERROR(problem.EnsureSourceDecomposition(governor));
         auto h = SolveViaTreeDecomposition(a, b, problem.SourceDecomposition(),
-                                           &r.stats.treewidth);
+                                           &r.stats.treewidth, governor);
         if (!h.ok()) return h.status();
         r.stats.used_treewidth = true;
         r.decided = h->has_value();
@@ -305,7 +382,9 @@ Result<EngineResult> HomEngine::Run(const HomProblem& problem,
                 "obstruction); searching");
           }
         }
-        BacktrackingSolver solver(&problem.Csp(), options_.solve);
+        SolveOptions solve = options_.solve;
+        solve.governor = governor;  // trip surfaces as stats.search.limit_hit
+        BacktrackingSolver solver(&problem.Csp(), solve);
         r.stats.used_search = true;
         switch (task) {
           case HomTask::kDecide:
@@ -346,21 +425,55 @@ Result<EngineResult> HomEngine::Run(const HomProblem& problem,
 
   Status st = run_backend(chosen);
   if (!st.ok() && options_.backend == Backend::kAuto &&
-      chosen != Backend::kUniform) {
+      chosen != Backend::kUniform &&
+      st.code() != StatusCode::kResourceExhausted) {
     // kAuto never aborts on a backend's refusal — it demotes to the search.
+    // A budget trip is NOT a refusal: the budget is already spent, so
+    // rerunning on the search would overshoot it; that case unwinds below.
     r.explain.fallbacks.push_back(std::string(BackendName(chosen)) +
                                   " failed at runtime (" + st.message() +
                                   "); falling back to the uniform search");
     chosen = Backend::kUniform;
     st = run_backend(chosen);
   }
+  if (!st.ok() && st.code() == StatusCode::kResourceExhausted) {
+    // Clean unwind to a structured "unknown": no partial rows, no wrong
+    // answer — just the record of what was spent. Callers distinguish this
+    // from a real "no" via stats.governor.tripped (and the conveniences map
+    // it back to a kResourceExhausted status).
+    r.decided = false;
+    r.witness.reset();
+    r.count = 0;
+    r.rows.clear();
+    r.explain.fallbacks.push_back(std::string(BackendName(chosen)) + ": " +
+                                  st.message());
+    r.explain.chosen = chosen;
+    snapshot_governor();
+    return r;
+  }
   if (!st.ok()) return st;
   r.explain.chosen = chosen;
+  snapshot_governor();
   return r;
 }
 
+namespace {
+
+/// A governed run that tripped before producing a definite answer: the
+/// conveniences surface it as kResourceExhausted (a decided result found
+/// before the trip is still the answer and passes through).
+Status GovernorTripStatus(const EngineResult& r) {
+  return Status::ResourceExhausted(
+      std::string("resource budget exhausted (") +
+      TripCauseName(r.stats.governor.cause) + ") before " +
+      HomTaskName(r.task) + " finished");
+}
+
+}  // namespace
+
 Result<bool> HomEngine::Decide(const HomProblem& problem) const {
   CQCS_ASSIGN_OR_RETURN(EngineResult r, Run(problem, HomTask::kDecide));
+  if (!r.decided && r.stats.governor.tripped) return GovernorTripStatus(r);
   if (!r.decided && r.stats.search.limit_hit) {
     return Status::Unsupported("node limit reached before a decision");
   }
@@ -370,6 +483,7 @@ Result<bool> HomEngine::Decide(const HomProblem& problem) const {
 Result<std::optional<Homomorphism>> HomEngine::FindWitness(
     const HomProblem& problem) const {
   CQCS_ASSIGN_OR_RETURN(EngineResult r, Run(problem, HomTask::kWitness));
+  if (!r.decided && r.stats.governor.tripped) return GovernorTripStatus(r);
   if (!r.decided && r.stats.search.limit_hit) {
     return Status::Unsupported("node limit reached before a decision");
   }
@@ -378,6 +492,7 @@ Result<std::optional<Homomorphism>> HomEngine::FindWitness(
 
 Result<size_t> HomEngine::Count(const HomProblem& problem) const {
   CQCS_ASSIGN_OR_RETURN(EngineResult r, Run(problem, HomTask::kCount));
+  if (r.stats.governor.tripped) return GovernorTripStatus(r);
   if (r.stats.search.limit_hit) {
     return Status::Unsupported("node limit reached before the count finished");
   }
@@ -387,6 +502,7 @@ Result<size_t> HomEngine::Count(const HomProblem& problem) const {
 Result<std::vector<std::vector<Element>>> HomEngine::Project(
     const HomProblem& problem) const {
   CQCS_ASSIGN_OR_RETURN(EngineResult r, Run(problem, HomTask::kProject));
+  if (r.stats.governor.tripped) return GovernorTripStatus(r);
   if (r.stats.search.limit_hit) {
     return Status::Unsupported(
         "node limit reached before the enumeration finished");
@@ -443,6 +559,16 @@ std::string EngineStats::ToJson() const {
     out << ",\"dispatched\":";
     AppendJsonString(out, SchaeferClassSetToString(schaefer.dispatched));
     out << ",\"trivial\":" << (schaefer.trivial ? "true" : "false") << "}";
+  } else {
+    out << "null";
+  }
+  out << ",\"governor\":";
+  if (governor.enabled) {
+    out << "{\"tripped\":" << (governor.tripped ? "true" : "false")
+        << ",\"cause\":\"" << TripCauseName(governor.cause)
+        << "\",\"checks\":" << governor.checks
+        << ",\"peak_bytes\":" << governor.peak_bytes
+        << ",\"elapsed_ms\":" << governor.elapsed_ms << "}";
   } else {
     out << "null";
   }

@@ -30,6 +30,8 @@
 #ifndef CQCS_API_ENGINE_H_
 #define CQCS_API_ENGINE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -37,6 +39,7 @@
 
 #include "api/problem.h"
 #include "api/profile.h"
+#include "common/governor.h"
 #include "common/status.h"
 #include "pebble/game.h"
 #include "schaefer/uniform.h"
@@ -86,6 +89,37 @@ struct EngineOptions {
   size_t count_limit = SIZE_MAX;
   /// HomTask::kProject / kEnumerate stop after this many rows.
   size_t max_results = SIZE_MAX;
+
+  // -- Resource governance (common/governor.h). When any of the four knobs
+  // below is set, Run() builds a per-request ResourceGovernor and threads
+  // it through whichever backend executes: every backend polls it on a
+  // stride and charges its table growth, so a trip unwinds cleanly to an
+  // "unknown" EngineResult (decided=false, stats.governor.tripped) — never
+  // an abort, never a torn answer. All zero/null = ungoverned (one null
+  // check per poll site, no other overhead).
+  /// Wall-clock deadline for the whole run; 0 = none.
+  uint64_t deadline_ms = 0;
+  /// Ceiling on bytes the backends' tables may hold at once; 0 = none.
+  /// Also drives kAuto's pre-flight admission: a route whose size-bound
+  /// estimate exceeds the budget is demoted before any work starts.
+  size_t memory_budget_bytes = 0;
+  /// Optional external cancellation flag, polled alongside the deadline.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Fault injection for the robustness tests: trip at the Nth poll or the
+  /// Kth allocation charge. Zeroed (inert) in production use.
+  GovernorFailpoints failpoints;
+};
+
+/// What the run's ResourceGovernor saw: whether it tripped, why, and what
+/// was spent up to the trip (or completion). `enabled` is false for
+/// ungoverned runs; the other fields are then meaningless.
+struct GovernorRunStats {
+  bool enabled = false;
+  bool tripped = false;
+  TripCause cause = TripCause::kNone;
+  uint64_t checks = 0;       ///< cooperative polls answered
+  size_t peak_bytes = 0;     ///< high-water mark of charged table bytes
+  uint64_t elapsed_ms = 0;   ///< wall-clock spent when the snapshot was taken
 };
 
 /// Stats superset: one struct per backend that ran (used_* flags tell which).
@@ -101,6 +135,8 @@ struct EngineStats {
   SchaeferSolveInfo schaefer;
   /// Semijoin / table-size counters from the Yannakakis run (used_acyclic).
   YannakakisStats yannakakis;
+  /// Resource accounting for governed runs (EngineOptions::deadline_ms etc.).
+  GovernorRunStats governor;
   std::string ToJson() const;
 };
 
@@ -156,6 +192,10 @@ class HomEngine {
   /// requested backend cannot handle the task or instance (kAuto never has
   /// that problem — it falls back); backend-specific statuses otherwise.
   /// A hit node limit is NOT an error here: check stats.search.limit_hit.
+  /// Likewise a governed run that exhausts its budget returns OK with an
+  /// "unknown" result: decided=false and stats.governor.tripped — the spent
+  /// budget is recorded, the problem and engine stay reusable. kAuto does
+  /// NOT fall back after a budget trip (the budget is already spent).
   Result<EngineResult> Run(const HomProblem& problem, HomTask task) const;
 
   // One-call conveniences over Run().

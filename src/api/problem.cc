@@ -94,12 +94,17 @@ Result<HomProblem> HomProblem::WithTarget(Structure new_target) const {
   return rebound;
 }
 
-void HomProblem::SetProjection(std::vector<Element> projection) {
+Status HomProblem::SetProjection(std::vector<Element> projection) {
   for (Element e : projection) {
-    CQCS_CHECK_MSG(e < source_->universe_size(),
-                   "projection element " << e << " outside the source universe");
+    if (e >= source_->universe_size()) {
+      return Status::InvalidArgument(
+          "projection element " + std::to_string(e) +
+          " outside the source universe of size " +
+          std::to_string(source_->universe_size()));
+    }
   }
   projection_ = std::move(projection);
+  return Status::OK();
 }
 
 const ConjunctiveQuery& HomProblem::SourceCanonicalQuery() const {
@@ -130,6 +135,23 @@ const TreeDecomposition& HomProblem::SourceDecomposition() const {
     cache.decomposition = HeuristicDecomposition(*source_);
   }
   return *cache.decomposition;
+}
+
+Status HomProblem::EnsureSourceDecomposition(ResourceGovernor* governor) const {
+  SourceCache& cache = *source_cache_;
+  std::lock_guard<std::mutex> lock(cache.mu);
+  if (cache.decomposition.has_value()) return Status::OK();
+  if (governor == nullptr) {
+    cache.decomposition = HeuristicDecomposition(*source_);
+    return Status::OK();
+  }
+  // A trip leaves the cache empty — never a torn artifact — so the problem
+  // stays reusable under a fresh budget.
+  Result<TreeDecomposition> decomposition =
+      HeuristicDecomposition(*source_, governor);
+  if (!decomposition.ok()) return decomposition.status();
+  cache.decomposition = *std::move(decomposition);
+  return Status::OK();
 }
 
 const InstanceProfile& HomProblem::Profile() const {

@@ -41,6 +41,8 @@
 
 namespace cqcs {
 
+class ResourceGovernor;  // common/governor.h
+
 /// What to compute about the instance.
 enum class HomTask {
   kDecide,     ///< Is there a homomorphism?
@@ -85,8 +87,9 @@ class HomProblem {
   /// Elements of the source to project solutions onto (HomTask::kProject).
   /// Set by FromQuery (the head); empty otherwise.
   std::span<const Element> projection() const { return projection_; }
-  /// Overrides the projection. CHECK-fails on out-of-range elements.
-  void SetProjection(std::vector<Element> projection);
+  /// Overrides the projection. InvalidArgument on out-of-range elements
+  /// (the projection is left unchanged).
+  Status SetProjection(std::vector<Element> projection);
 
   // -- Compiled artifacts, built lazily and cached. ------------------------
 
@@ -113,6 +116,14 @@ class HomProblem {
 
   /// Min-fill heuristic tree decomposition of the source.
   const TreeDecomposition& SourceDecomposition() const;
+
+  /// Governed variant of the decomposition build: polls `governor` while
+  /// the min-fill ordering runs, so a deadline or budget trip surfaces as
+  /// kResourceExhausted instead of an unbounded compile. On success the
+  /// result is cached exactly like SourceDecomposition(); a tripped build
+  /// caches nothing, so a later (re-budgeted) run can complete it. A null
+  /// governor degrades to the ungoverned build.
+  Status EnsureSourceDecomposition(ResourceGovernor* governor) const;
 
   /// The constraint network for the uniform backend, with B's CSR support
   /// indexes materialized. Built once per (source, target) pair.

@@ -1,8 +1,9 @@
 #include "api/profile.h"
 
-#include <cmath>
+#include <cstdint>
 #include <sstream>
 
+#include "common/saturating.h"
 #include "cq/gyo.h"
 
 namespace cqcs {
@@ -20,9 +21,23 @@ void FillSizeStats(const Structure& a, const Structure& b,
 double EstimateTreewidthDpCost(size_t bags, int width,
                                size_t target_universe) {
   if (width < 0) return 0.0;
-  return static_cast<double>(bags) *
-         std::pow(static_cast<double>(target_universe),
-                  static_cast<double>(width + 1));
+  // Saturating integer math: m^(w+1) on a large universe with a wide bag
+  // saturates at SIZE_MAX, which lands far above any router budget, so
+  // saturation only needs to preserve "huge", not the exact value.
+  size_t entries = SatPow(target_universe,
+                          static_cast<size_t>(width) + 1, SIZE_MAX);
+  return static_cast<double>(SatMul(bags, entries, SIZE_MAX));
+}
+
+size_t EstimateTreewidthDpBytes(size_t bags, int width,
+                                size_t target_universe) {
+  if (width < 0) return 0;
+  size_t entries = SatPow(target_universe,
+                          static_cast<size_t>(width) + 1, SIZE_MAX);
+  size_t rows = SatMul(bags, entries, SIZE_MAX);
+  size_t row_bytes =
+      SatMul(static_cast<size_t>(width) + 1, sizeof(Element), SIZE_MAX);
+  return SatMul(rows, row_bytes, SIZE_MAX);
 }
 
 InstanceProfile BuildProfile(const Structure& a, const Structure& b,

@@ -77,8 +77,17 @@ void FillSizeStats(const Structure& a, const Structure& b,
 
 /// The treewidth cost gate: bags * |target_universe|^(width+1), 0 when the
 /// decomposition is empty (width -1). One definition so the router and
-/// Analyze() can never disagree about the cost model.
+/// Analyze() can never disagree about the cost model. Computed in saturating
+/// integer arithmetic (common/saturating.h) and widened to double; overflow
+/// saturates far above any router budget instead of wrapping.
 double EstimateTreewidthDpCost(size_t bags, int width, size_t target_universe);
+
+/// Worst-case bytes the treewidth DP can charge against a memory budget:
+/// bags * |B|^(width+1) rows of (width+1) Elements. Saturates at SIZE_MAX
+/// (meaning "more than any budget"); 0 when width < 0. The engine's
+/// pre-flight admission check compares this against the governor's budget
+/// before any table is built.
+size_t EstimateTreewidthDpBytes(size_t bags, int width, size_t target_universe);
 
 /// One-shot analysis of a structure pair: runs GYO (via the canonical query
 /// of A) and the min-fill heuristic, then classifies B. The structures are

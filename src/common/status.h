@@ -21,6 +21,7 @@ enum class StatusCode {
   kNotFound,         ///< Named entity (relation symbol, ...) does not exist.
   kUnsupported,      ///< Operation valid but outside implemented bounds.
   kInternal,         ///< Library bug; should never be user-visible.
+  kResourceExhausted,  ///< A deadline, memory budget, or cancel token fired.
 };
 
 /// Returns a short human-readable name for a status code ("ParseError", ...).
@@ -49,6 +50,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -80,6 +80,12 @@ Result<Structure> ParseImpl(std::string_view text, VocabularyPtr fixed_vocab) {
         return Status::ParseError("line " + std::to_string(line_no) +
                                   ": expected 'universe <n>' first");
       }
+      if (universe > UINT32_MAX) {
+        return Status::ParseError(
+            "line " + std::to_string(line_no) + ": universe size " +
+            std::to_string(universe) + " exceeds the element limit " +
+            std::to_string(UINT32_MAX));
+      }
       saw_universe = true;
       continue;
     }

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/governor.h"
+#include "common/saturating.h"
 #include "cq/canonical.h"
 #include "cq/gyo.h"
 #include "rel/hash_index.h"
@@ -18,23 +20,6 @@ namespace {
 using rel::HashIndex;
 using rel::Table;
 
-/// min(a + b, limit) without overflow.
-size_t SatAdd(size_t a, size_t b, size_t limit) {
-  if (a >= limit) return limit;
-  if (b >= limit - a) return limit;
-  return a + b;
-}
-
-/// min(a * b, limit) without overflow (clamping early preserves
-/// min-semantics: a clamped factor only matters when the true product
-/// already exceeds the limit, unless the other factor is 0 — and 0
-/// annihilates either way).
-size_t SatMul(size_t a, size_t b, size_t limit) {
-  if (a == 0 || b == 0) return 0;
-  if (a > limit / b) return limit;
-  return a * b;  // a <= limit/b implies a*b <= limit
-}
-
 /// One Yannakakis run: GYO, per-atom table materialization into the
 /// columnar kernel, semijoin reduction, then whichever task phase the
 /// caller asks for. After Prepare(/*full_reduce=*/true) every surviving
@@ -43,8 +28,8 @@ size_t SatMul(size_t a, size_t b, size_t limit) {
 class Yannakakis {
  public:
   Yannakakis(const ConjunctiveQuery& q, const Structure& d,
-             YannakakisStats* stats)
-      : q_(q), d_(d), stats_(stats) {}
+             YannakakisStats* stats, ResourceGovernor* governor = nullptr)
+      : q_(q), d_(d), stats_(stats), gov_(governor) {}
 
   /// Validates, runs GYO, materializes, and semijoin-reduces (bottom-up
   /// only for decide; + top-down and match indexes for the full program).
@@ -54,20 +39,28 @@ class Yannakakis {
   /// False when some table emptied: no assignment satisfies the body.
   bool satisfiable() const { return satisfiable_; }
 
-  // The task phases below require Prepare(true) and satisfiable().
+  // The task phases below require Prepare(true) and satisfiable(). Each
+  // errors with kResourceExhausted on a governor trip; *out / the return
+  // value must then be discarded (the Unknown contract — no torn results).
 
   /// Appends up to max_results assignments (indexed by VarId) to *out.
-  void Enumerate(size_t max_results, std::vector<std::vector<Element>>* out);
+  Status Enumerate(size_t max_results, std::vector<std::vector<Element>>* out);
 
   /// min(#assignments, limit).
-  size_t Count(size_t limit);
+  Result<size_t> Count(size_t limit);
 
   /// Distinct projections onto `proj`, up to max_results.
-  std::vector<std::vector<Element>> Project(std::span<const VarId> proj,
-                                            size_t max_results);
+  Result<std::vector<std::vector<Element>>> Project(
+      std::span<const VarId> proj, size_t max_results);
 
  private:
-  void MaterializeAtom(size_t i);
+  Status MaterializeAtom(size_t i);
+  /// Stride poll for the row loops: consults the governor every 1024th
+  /// call. Ungoverned runs pay one branch.
+  Status PollTick() {
+    if (gov_ != nullptr && (++tick_ & 1023) == 0) return gov_->Poll();
+    return Status::OK();
+  }
   void BumpTable(size_t rows) {
     if (stats_ != nullptr && rows > stats_->max_table_rows) {
       stats_->max_table_rows = rows;
@@ -90,6 +83,8 @@ class Yannakakis {
   const ConjunctiveQuery& q_;
   const Structure& d_;
   YannakakisStats* stats_;
+  ResourceGovernor* gov_;
+  uint64_t tick_ = 0;  // PollTick stride counter
 
   size_t m_ = 0;
   JoinTree tree_;
@@ -122,6 +117,7 @@ class Yannakakis {
 };
 
 Status Yannakakis::Prepare(bool full_reduce) {
+  if (gov_ != nullptr) CQCS_RETURN_IF_ERROR(gov_->Poll());
   CQCS_RETURN_IF_ERROR(q_.Validate());
   if (!q_.vocabulary()->Equals(*d_.vocabulary())) {
     return Status::InvalidArgument("query/database vocabulary mismatch");
@@ -146,7 +142,7 @@ Status Yannakakis::Prepare(bool full_reduce) {
   vars_.resize(m_);
   tables_.reserve(m_);
   for (size_t i = 0; i < m_; ++i) {
-    MaterializeAtom(i);
+    CQCS_RETURN_IF_ERROR(MaterializeAtom(i));
     if (tables_[i].empty()) {
       satisfiable_ = false;
       return Status::OK();
@@ -202,17 +198,20 @@ Status Yannakakis::Prepare(bool full_reduce) {
   }
 
   // Bottom-up pass: parent := parent ⋉ child, children first, so every
-  // table is final for its own parent's filtering.
+  // table is final for its own parent's filtering. Governed runs poll
+  // once per semijoin — each is one bounded table sweep.
   HashIndex index;
+  index.AttachGovernor(gov_);
   for (uint32_t node : order_) {
     uint32_t p = tree_.parent[node];
     if (p == JoinTree::kNoParent) continue;
+    if (gov_ != nullptr) CQCS_RETURN_IF_ERROR(gov_->Poll());
     index.Build(tables_[node].data(), tables_[node].width(),
                 static_cast<uint32_t>(tables_[node].row_count()),
                 shared_child_cols_[node]);
     size_t removed =
         rel::Semijoin(tables_[p], shared_parent_cols_[node], tables_[node],
-                      index);
+                      index, gov_);
     if (stats_ != nullptr) {
       ++stats_->semijoins;
       stats_->rows_pruned += removed;
@@ -222,6 +221,10 @@ Status Yannakakis::Prepare(bool full_reduce) {
       return Status::OK();
     }
   }
+  // A trip inside the last semijoin leaves its table untouched rather than
+  // reduced — catch it here so satisfiable() is never read off a
+  // half-reduced program.
+  if (gov_ != nullptr) CQCS_RETURN_IF_ERROR(gov_->TripStatus());
   if (!full_reduce) return Status::OK();
 
   // Top-down pass: child := child ⋉ parent, parents first. A parent row
@@ -230,16 +233,18 @@ Status Yannakakis::Prepare(bool full_reduce) {
   for (size_t i = order_.size(); i-- > 0;) {
     uint32_t node = order_[i];
     for (uint32_t child : children_[node]) {
+      if (gov_ != nullptr) CQCS_RETURN_IF_ERROR(gov_->Poll());
       index.Build(tables_[node].data(), tables_[node].width(),
                   static_cast<uint32_t>(tables_[node].row_count()),
                   shared_parent_cols_[child]);
       size_t removed = rel::Semijoin(tables_[child],
                                      shared_child_cols_[child],
-                                     tables_[node], index);
+                                     tables_[node], index, gov_);
       if (stats_ != nullptr) {
         ++stats_->semijoins;
         stats_->rows_pruned += removed;
       }
+      if (gov_ != nullptr) CQCS_RETURN_IF_ERROR(gov_->TripStatus());
       CQCS_CHECK(!tables_[child].empty());
     }
   }
@@ -248,6 +253,8 @@ Status Yannakakis::Prepare(bool full_reduce) {
   match_index_.resize(m_);
   for (uint32_t node = 0; node < m_; ++node) {
     if (tree_.parent[node] == JoinTree::kNoParent) continue;
+    if (gov_ != nullptr) CQCS_RETURN_IF_ERROR(gov_->Poll());
+    match_index_[node].AttachGovernor(gov_);
     match_index_[node].Build(tables_[node].data(), tables_[node].width(),
                              static_cast<uint32_t>(tables_[node].row_count()),
                              shared_child_cols_[node]);
@@ -256,10 +263,11 @@ Status Yannakakis::Prepare(bool full_reduce) {
   // Forest pre-order for the enumeration walk (parents before children).
   seq_.reserve(m_);
   for (size_t i = order_.size(); i-- > 0;) seq_.push_back(order_[i]);
+  if (gov_ != nullptr) CQCS_RETURN_IF_ERROR(gov_->TripStatus());
   return Status::OK();
 }
 
-void Yannakakis::MaterializeAtom(size_t i) {
+Status Yannakakis::MaterializeAtom(size_t i) {
   const Atom& atom = q_.atoms()[i];
   std::vector<VarId>& vars = vars_[i];
   vars.assign(atom.args.begin(), atom.args.end());
@@ -289,12 +297,14 @@ void Yannakakis::MaterializeAtom(size_t i) {
       stats_->rows_materialized += tables_.back().row_count();
     }
     BumpTable(tables_.back().row_count());
-    return;
+    return Status::OK();
   }
 
   tables_.emplace_back(width);
   Table& table = tables_.back();
+  table.AttachGovernor(gov_);
   HashIndex dedup;
+  dedup.AttachGovernor(gov_);
   std::vector<uint32_t> all_cols(width);
   for (uint32_t c = 0; c < width; ++c) all_cols[c] = c;
   dedup.Reset(width, all_cols);
@@ -302,6 +312,7 @@ void Yannakakis::MaterializeAtom(size_t i) {
   const Relation& rel = d_.relation(atom.rel);
   std::vector<Element> row(width);
   for (uint32_t t = 0; t < rel.tuple_count(); ++t) {
+    CQCS_RETURN_IF_ERROR(PollTick());
     std::span<const Element> tup = rel.tuple(t);
     // Repeated variables must see equal values.
     bool ok = true;
@@ -322,6 +333,7 @@ void Yannakakis::MaterializeAtom(size_t i) {
   }
   BumpTable(table.row_count());
   materialize_memo_.emplace(std::move(memo_key), i);
+  return Status::OK();
 }
 
 uint32_t Yannakakis::FirstRow(size_t depth) {
@@ -358,6 +370,9 @@ bool Yannakakis::EmitAssignment(size_t max_results,
   const size_t n = d_.universe_size();
   for (VarId v : isolated_) assign_[v] = 0;
   while (true) {
+    // A governor trip aborts the walk; the caller turns it into a
+    // kResourceExhausted status via the sticky trip state.
+    if (!PollTick().ok()) return false;
     out->push_back(assign_);
     if (out->size() >= max_results) return false;
     size_t k = 0;
@@ -370,16 +385,21 @@ bool Yannakakis::EmitAssignment(size_t max_results,
   }
 }
 
-void Yannakakis::Enumerate(size_t max_results,
-                           std::vector<std::vector<Element>>* out) {
+Status Yannakakis::Enumerate(size_t max_results,
+                             std::vector<std::vector<Element>>* out) {
   CQCS_CHECK(satisfiable_);
-  if (max_results == 0) return;
-  if (d_.universe_size() == 0 && q_.var_count() > 0) return;
+  // Every return path reports a governor trip, including the ones where
+  // EmitAssignment aborted the walk from inside.
+  auto trip_status = [this]() {
+    return gov_ != nullptr ? gov_->TripStatus() : Status::OK();
+  };
+  if (max_results == 0) return trip_status();
+  if (d_.universe_size() == 0 && q_.var_count() > 0) return trip_status();
   assign_.assign(q_.var_count(), 0);
   const size_t depth_total = seq_.size();
   if (depth_total == 0) {
     EmitAssignment(max_results, out);
-    return;
+    return trip_status();
   }
   // Explicit-stack pre-order walk over seq_: cur[d] is the current row of
   // seq_[d]'s table; the match chain makes that one uint32 the entire
@@ -390,16 +410,17 @@ void Yannakakis::Enumerate(size_t max_results,
   size_t d = 0;
   bool descending = true;
   while (true) {
+    CQCS_RETURN_IF_ERROR(PollTick());
     cur[d] = descending ? FirstRow(d) : NextRow(d, cur[d]);
     if (cur[d] == HashIndex::kNone) {
-      if (d == 0) return;
+      if (d == 0) return trip_status();
       --d;
       descending = false;
       continue;
     }
     WriteRow(d, cur[d]);
     if (d + 1 == depth_total) {
-      if (!EmitAssignment(max_results, out)) return;
+      if (!EmitAssignment(max_results, out)) return trip_status();
       descending = false;  // advance this depth's chain
     } else {
       ++d;
@@ -408,7 +429,7 @@ void Yannakakis::Enumerate(size_t max_results,
   }
 }
 
-size_t Yannakakis::Count(size_t limit) {
+Result<size_t> Yannakakis::Count(size_t limit) {
   CQCS_CHECK(satisfiable_);
   // Bottom-up product/sum DP: cnt[node][r] = number of assignments of
   // node's subtree variables extending row r.
@@ -420,6 +441,7 @@ size_t Yannakakis::Count(size_t limit) {
     for (uint32_t child : children_[node]) {
       const Table& ct = tables_[child];
       for (uint32_t r = 0; r < table.row_count(); ++r) {
+        CQCS_RETURN_IF_ERROR(PollTick());
         std::span<const Element> row = table.row(r);
         key.clear();
         for (uint32_t c : shared_parent_cols_[child]) key.push_back(row[c]);
@@ -444,7 +466,7 @@ size_t Yannakakis::Count(size_t limit) {
   return total;
 }
 
-std::vector<std::vector<Element>> Yannakakis::Project(
+Result<std::vector<std::vector<Element>>> Yannakakis::Project(
     std::span<const VarId> proj, size_t max_results) {
   CQCS_CHECK(satisfiable_);
   std::vector<std::vector<Element>> results;
@@ -462,10 +484,13 @@ std::vector<std::vector<Element>> Yannakakis::Project(
   std::vector<Table> r_table(m_);
   std::vector<std::vector<VarId>> r_cols(m_);
   HashIndex index, scratch;
+  index.AttachGovernor(gov_);
+  scratch.AttachGovernor(gov_);
   for (uint32_t node : order_) {
-    Table cur = tables_[node];
+    Table cur = tables_[node];  // governed copy: inherits the attachment
     std::vector<VarId> cur_cols = vars_[node];
     for (uint32_t child : children_[node]) {
+      if (gov_ != nullptr) CQCS_RETURN_IF_ERROR(gov_->Poll());
       // Join on the connector variables; pull in the child's accumulated
       // projection columns. A projection variable below the child that
       // also occurs above it must occur in the child's bag too (running
@@ -495,8 +520,9 @@ std::vector<std::vector<Element>> Yannakakis::Project(
                   static_cast<uint32_t>(r_table[child].row_count()),
                   right_key);
       Table next(static_cast<uint32_t>(cur.width() + extras.size()));
+      next.AttachGovernor(gov_);
       rel::HashJoinAppend(cur, left_key, r_table[child], index, extras,
-                          &next);
+                          &next, gov_);
       cur = std::move(next);
       cur_cols.insert(cur_cols.end(), extra_vars.begin(), extra_vars.end());
       if (stats_ != nullptr) stats_->join_rows += cur.row_count();
@@ -518,9 +544,12 @@ std::vector<std::vector<Element>> Yannakakis::Project(
       }
     }
     r_table[node] = Table(static_cast<uint32_t>(keep_cols.size()));
-    rel::ProjectDistinct(cur, keep_cols, &r_table[node], &scratch);
+    r_table[node].AttachGovernor(gov_);
+    rel::ProjectDistinct(cur, keep_cols, &r_table[node], &scratch, SIZE_MAX,
+                         gov_);
     r_cols[node] = std::move(keep_vars);
     BumpTable(r_table[node].row_count());
+    if (gov_ != nullptr) CQCS_RETURN_IF_ERROR(gov_->TripStatus());
   }
 
   // Assemble output rows: a cross product over the per-tree results and
@@ -535,6 +564,7 @@ std::vector<std::vector<Element>> Yannakakis::Project(
   std::vector<Element> iso_val(iso_proj.size(), 0);
   std::vector<Element> out_row(proj.size());
   while (true) {
+    CQCS_RETURN_IF_ERROR(PollTick());
     for (size_t t = 0; t < roots_.size(); ++t) {
       const Table& rt = r_table[roots_[t]];
       std::span<const Element> row = rt.row(root_row[t]);
@@ -581,57 +611,93 @@ Result<JoinTree> BuildJoinTree(const ConjunctiveQuery& q) {
   return *std::move(tree);
 }
 
+namespace {
+
+/// Final trip check for the entry points: a charge-only trip in the last
+/// poll stride must still surface as kResourceExhausted, never as a
+/// normal-looking answer computed under a blown budget.
+Status FinalTrip(ResourceGovernor* governor) {
+  return governor != nullptr ? governor->TripStatus() : Status::OK();
+}
+
+}  // namespace
+
 Result<bool> EvaluateBooleanAcyclic(const ConjunctiveQuery& q,
                                     const Structure& d,
-                                    YannakakisStats* stats) {
-  Yannakakis run(q, d, stats);
+                                    YannakakisStats* stats,
+                                    ResourceGovernor* governor) {
+  Yannakakis run(q, d, stats, governor);
   CQCS_RETURN_IF_ERROR(run.Prepare(/*full_reduce=*/false));
+  CQCS_RETURN_IF_ERROR(FinalTrip(governor));
   return run.satisfiable();
 }
 
 Result<std::optional<std::vector<Element>>> AcyclicWitness(
-    const ConjunctiveQuery& q, const Structure& d, YannakakisStats* stats) {
-  Yannakakis run(q, d, stats);
+    const ConjunctiveQuery& q, const Structure& d, YannakakisStats* stats,
+    ResourceGovernor* governor) {
+  Yannakakis run(q, d, stats, governor);
   CQCS_RETURN_IF_ERROR(run.Prepare(/*full_reduce=*/true));
-  if (!run.satisfiable()) return std::optional<std::vector<Element>>();
+  if (!run.satisfiable()) {
+    CQCS_RETURN_IF_ERROR(FinalTrip(governor));
+    return std::optional<std::vector<Element>>();
+  }
   std::vector<std::vector<Element>> first;
-  run.Enumerate(1, &first);
+  CQCS_RETURN_IF_ERROR(run.Enumerate(1, &first));
+  CQCS_RETURN_IF_ERROR(FinalTrip(governor));
   if (first.empty()) return std::optional<std::vector<Element>>();
   return std::optional<std::vector<Element>>(std::move(first[0]));
 }
 
 Result<size_t> AcyclicCount(const ConjunctiveQuery& q, const Structure& d,
-                            size_t limit, YannakakisStats* stats) {
-  Yannakakis run(q, d, stats);
+                            size_t limit, YannakakisStats* stats,
+                            ResourceGovernor* governor) {
+  Yannakakis run(q, d, stats, governor);
   CQCS_RETURN_IF_ERROR(run.Prepare(/*full_reduce=*/true));
-  if (!run.satisfiable()) return size_t{0};
-  return run.Count(limit);
+  if (!run.satisfiable()) {
+    CQCS_RETURN_IF_ERROR(FinalTrip(governor));
+    return size_t{0};
+  }
+  Result<size_t> count = run.Count(limit);
+  if (!count.ok()) return count;
+  CQCS_RETURN_IF_ERROR(FinalTrip(governor));
+  return count;
 }
 
 Result<std::vector<std::vector<Element>>> AcyclicEnumerate(
     const ConjunctiveQuery& q, const Structure& d, size_t max_results,
-    YannakakisStats* stats) {
-  Yannakakis run(q, d, stats);
+    YannakakisStats* stats, ResourceGovernor* governor) {
+  Yannakakis run(q, d, stats, governor);
   CQCS_RETURN_IF_ERROR(run.Prepare(/*full_reduce=*/true));
   std::vector<std::vector<Element>> out;
-  if (!run.satisfiable()) return out;
-  run.Enumerate(max_results, &out);
+  if (!run.satisfiable()) {
+    CQCS_RETURN_IF_ERROR(FinalTrip(governor));
+    return out;
+  }
+  CQCS_RETURN_IF_ERROR(run.Enumerate(max_results, &out));
+  CQCS_RETURN_IF_ERROR(FinalTrip(governor));
   return out;
 }
 
 Result<std::vector<std::vector<Element>>> AcyclicProject(
     const ConjunctiveQuery& q, const Structure& d,
     std::span<const VarId> projection, size_t max_results,
-    YannakakisStats* stats) {
+    YannakakisStats* stats, ResourceGovernor* governor) {
   for (VarId v : projection) {
     if (v >= q.var_count()) {
       return Status::InvalidArgument("projection variable out of range");
     }
   }
-  Yannakakis run(q, d, stats);
+  Yannakakis run(q, d, stats, governor);
   CQCS_RETURN_IF_ERROR(run.Prepare(/*full_reduce=*/true));
-  if (!run.satisfiable()) return std::vector<std::vector<Element>>();
-  return run.Project(projection, max_results);
+  if (!run.satisfiable()) {
+    CQCS_RETURN_IF_ERROR(FinalTrip(governor));
+    return std::vector<std::vector<Element>>();
+  }
+  Result<std::vector<std::vector<Element>>> rows =
+      run.Project(projection, max_results);
+  if (!rows.ok()) return rows;
+  CQCS_RETURN_IF_ERROR(FinalTrip(governor));
+  return rows;
 }
 
 Result<bool> AcyclicContainment(const ConjunctiveQuery& q1,

@@ -30,6 +30,8 @@
 
 namespace cqcs {
 
+class ResourceGovernor;  // common/governor.h
+
 /// A join tree over the atoms of a query: node i corresponds to atom i;
 /// parents are always removed after their children in GYO elimination.
 /// Queries whose hypergraph is disconnected produce a forest (several
@@ -63,9 +65,16 @@ Result<JoinTree> BuildJoinTree(const ConjunctiveQuery& q);
 /// is ignored; this answers "is the body satisfiable in d" — variables
 /// outside every atom do not constrain the answer). Errors:
 /// InvalidArgument for cyclic queries or vocabulary mismatch.
+///
+/// All five evaluation entry points accept an optional per-request
+/// ResourceGovernor (common/governor.h): the materialization, semijoin,
+/// and task phases poll it on a row/node stride and charge table growth
+/// against its memory budget; a trip unwinds with kResourceExhausted and
+/// no partial output.
 Result<bool> EvaluateBooleanAcyclic(const ConjunctiveQuery& q,
                                     const Structure& d,
-                                    YannakakisStats* stats = nullptr);
+                                    YannakakisStats* stats = nullptr,
+                                    ResourceGovernor* governor = nullptr);
 
 // -- Assignment-level tasks. -----------------------------------------------
 //
@@ -78,21 +87,23 @@ Result<bool> EvaluateBooleanAcyclic(const ConjunctiveQuery& q,
 /// One satisfying assignment (indexed by VarId), or nullopt.
 Result<std::optional<std::vector<Element>>> AcyclicWitness(
     const ConjunctiveQuery& q, const Structure& d,
-    YannakakisStats* stats = nullptr);
+    YannakakisStats* stats = nullptr, ResourceGovernor* governor = nullptr);
 
 /// Number of satisfying assignments, saturated at `limit` (the result is
 /// min(true count, limit), so callers can cap astronomically large
 /// counts without overflow).
 Result<size_t> AcyclicCount(const ConjunctiveQuery& q, const Structure& d,
                             size_t limit = SIZE_MAX,
-                            YannakakisStats* stats = nullptr);
+                            YannakakisStats* stats = nullptr,
+                            ResourceGovernor* governor = nullptr);
 
 /// Up to max_results satisfying assignments, each indexed by VarId.
 /// Output-bounded: the reduced tables contain no dead rows, so the walk
 /// never backtracks past a row that fails to extend.
 Result<std::vector<std::vector<Element>>> AcyclicEnumerate(
     const ConjunctiveQuery& q, const Structure& d,
-    size_t max_results = SIZE_MAX, YannakakisStats* stats = nullptr);
+    size_t max_results = SIZE_MAX, YannakakisStats* stats = nullptr,
+    ResourceGovernor* governor = nullptr);
 
 /// Distinct projections of the satisfying assignments onto `projection`
 /// (a list of VarIds, repeats allowed), up to max_results rows. This is
@@ -103,7 +114,7 @@ Result<std::vector<std::vector<Element>>> AcyclicEnumerate(
 Result<std::vector<std::vector<Element>>> AcyclicProject(
     const ConjunctiveQuery& q, const Structure& d,
     std::span<const VarId> projection, size_t max_results = SIZE_MAX,
-    YannakakisStats* stats = nullptr);
+    YannakakisStats* stats = nullptr, ResourceGovernor* governor = nullptr);
 
 /// Containment Q1 ⊆ Q2 for acyclic Q2, in polynomial time. Q1 is
 /// arbitrary. Errors mirror Contains(), plus InvalidArgument when Q2

@@ -224,8 +224,15 @@ Result<DatalogProgram> ParseImpl(std::string_view text, VocabularyPtr vocab,
   }
 
   if (goal_name.empty()) {
+    // Head predicates are registered as IDBs while rules are added, so the
+    // lookup cannot miss; keep a structured error rather than an abort in
+    // case that invariant ever changes.
     auto goal = program.FindIdb(raw_rules.back().head.name);
-    CQCS_CHECK(goal.has_value());
+    if (!goal.has_value()) {
+      return Status::ParseError("default goal predicate '" +
+                                std::string(raw_rules.back().head.name) +
+                                "' is not an IDB of the program");
+    }
     program.SetGoal(*goal);
   } else {
     auto goal = program.FindIdb(goal_name);

@@ -16,12 +16,87 @@ size_t SlotCountFor(size_t n) {
 
 }  // namespace
 
+HashIndex::HashIndex(const HashIndex& other)
+    : width_(other.width_),
+      key_cols_(other.key_cols_),
+      slots_(other.slots_),
+      next_(other.next_),
+      governor_(other.governor_) {
+  if (governor_ != nullptr) SyncCharge();
+}
+
+HashIndex& HashIndex::operator=(const HashIndex& other) {
+  if (this == &other) return *this;
+  ReleaseCharge();
+  width_ = other.width_;
+  key_cols_ = other.key_cols_;
+  slots_ = other.slots_;
+  next_ = other.next_;
+  governor_ = other.governor_;
+  if (governor_ != nullptr) SyncCharge();
+  return *this;
+}
+
+HashIndex::HashIndex(HashIndex&& other) noexcept
+    : width_(other.width_),
+      key_cols_(std::move(other.key_cols_)),
+      slots_(std::move(other.slots_)),
+      next_(std::move(other.next_)),
+      governor_(other.governor_),
+      charged_bytes_(other.charged_bytes_) {
+  other.slots_.clear();
+  other.next_.clear();
+  other.charged_bytes_ = 0;
+}
+
+HashIndex& HashIndex::operator=(HashIndex&& other) noexcept {
+  if (this == &other) return *this;
+  ReleaseCharge();
+  width_ = other.width_;
+  key_cols_ = std::move(other.key_cols_);
+  slots_ = std::move(other.slots_);
+  next_ = std::move(other.next_);
+  governor_ = other.governor_;
+  charged_bytes_ = other.charged_bytes_;
+  other.slots_.clear();
+  other.next_.clear();
+  other.charged_bytes_ = 0;
+  return *this;
+}
+
+void HashIndex::AttachGovernor(ResourceGovernor* governor) {
+  if (governor == governor_) {
+    if (governor_ != nullptr) SyncCharge();
+    return;
+  }
+  ReleaseCharge();
+  governor_ = governor;
+  if (governor_ != nullptr) SyncCharge();
+}
+
+void HashIndex::SyncChargeSlow(size_t cap) {
+  if (cap > charged_bytes_) {
+    governor_->ChargeBytes(cap - charged_bytes_);
+  } else {
+    governor_->ReleaseBytes(charged_bytes_ - cap);
+  }
+  charged_bytes_ = cap;
+}
+
+void HashIndex::ReleaseCharge() {
+  if (charged_bytes_ > 0 && governor_ != nullptr) {
+    governor_->ReleaseBytes(charged_bytes_);
+  }
+  charged_bytes_ = 0;
+}
+
 void HashIndex::Reset(uint32_t width, std::vector<uint32_t> key_cols) {
   for (uint32_t c : key_cols) CQCS_CHECK(c < width);
   width_ = width;
   key_cols_ = std::move(key_cols);
   slots_.assign(SlotCountFor(0), kNone);
   next_.clear();
+  if (governor_ != nullptr) SyncCharge();
 }
 
 void HashIndex::Build(const Element* base, uint32_t width, uint32_t row_count,
@@ -29,10 +104,12 @@ void HashIndex::Build(const Element* base, uint32_t width, uint32_t row_count,
   Reset(width, std::move(key_cols));
   slots_.assign(SlotCountFor(row_count), kNone);
   next_.reserve(row_count);
+  if (governor_ != nullptr) SyncCharge();
   for (uint32_t r = 0; r < row_count; ++r) {
     next_.push_back(kNone);
     Insert(base, r);
   }
+  if (governor_ != nullptr) SyncCharge();
 }
 
 void HashIndex::Add(const Element* base, uint32_t row) {
@@ -40,6 +117,7 @@ void HashIndex::Add(const Element* base, uint32_t row) {
   if (2 * (next_.size() + 1) > slots_.size()) Grow(base);
   next_.push_back(kNone);
   Insert(base, row);
+  if (governor_ != nullptr) SyncCharge();
 }
 
 uint64_t HashIndex::HashKey(std::span<const Element> key) const {

@@ -26,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "common/governor.h"
 #include "core/relation.h"
 
 namespace cqcs::rel {
@@ -33,6 +34,17 @@ namespace cqcs::rel {
 class HashIndex {
  public:
   static constexpr uint32_t kNone = UINT32_MAX;
+
+  HashIndex() = default;
+  ~HashIndex() { ReleaseCharge(); }
+  HashIndex(const HashIndex& other);
+  HashIndex& operator=(const HashIndex& other);
+  HashIndex(HashIndex&& other) noexcept;
+  HashIndex& operator=(HashIndex&& other) noexcept;
+
+  /// Makes the index report its slot/chain capacity (bytes) to `governor`
+  /// (nullptr detaches); same contract as Table::AttachGovernor.
+  void AttachGovernor(ResourceGovernor* governor);
 
   /// Prepares an empty index over rows of `width` cells keyed on
   /// `key_cols` (column positions, each < width).
@@ -68,11 +80,22 @@ class HashIndex {
   /// Probes for `row`'s key: chains onto the head if present, else claims
   /// an empty slot.
   void Insert(const Element* base, uint32_t row);
+  /// Brings the governor's view in line with slots_/next_ capacity.
+  /// Inline fast path, same rationale as Table::SyncCharge: per-Add calls
+  /// dominate and capacity only moves on growth steps.
+  void SyncCharge() {
+    size_t cap = (slots_.capacity() + next_.capacity()) * sizeof(uint32_t);
+    if (cap != charged_bytes_) SyncChargeSlow(cap);
+  }
+  void SyncChargeSlow(size_t cap);
+  void ReleaseCharge();
 
   uint32_t width_ = 0;
   std::vector<uint32_t> key_cols_;
   std::vector<uint32_t> slots_;  // heads; kNone = empty
   std::vector<uint32_t> next_;   // per-row same-key chain
+  ResourceGovernor* governor_ = nullptr;
+  size_t charged_bytes_ = 0;
 };
 
 }  // namespace cqcs::rel

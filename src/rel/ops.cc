@@ -7,13 +7,17 @@
 namespace cqcs::rel {
 
 size_t Semijoin(Table& left, std::span<const uint32_t> left_key_cols,
-                const Table& right, const HashIndex& right_index) {
+                const Table& right, const HashIndex& right_index,
+                ResourceGovernor* governor) {
   CQCS_CHECK(left_key_cols.size() == right_index.key_cols().size());
   const size_t before = left.row_count();
   std::vector<uint32_t> keep;
   keep.reserve(before);
   std::vector<Element> key(left_key_cols.size());
   for (uint32_t r = 0; r < before; ++r) {
+    if (governor != nullptr && (r & 1023) == 0 && !governor->Poll().ok()) {
+      return 0;  // tripped: leave `left` untouched
+    }
     std::span<const Element> row = left.row(r);
     for (size_t i = 0; i < left_key_cols.size(); ++i) {
       key[i] = row[left_key_cols[i]];
@@ -28,17 +32,30 @@ size_t Semijoin(Table& left, std::span<const uint32_t> left_key_cols,
 
 void HashJoinAppend(const Table& left, std::span<const uint32_t> left_key_cols,
                     const Table& right, const HashIndex& right_index,
-                    std::span<const uint32_t> right_extra_cols, Table* out) {
+                    std::span<const uint32_t> right_extra_cols, Table* out,
+                    ResourceGovernor* governor) {
   CQCS_CHECK(out->width() == left.width() + right_extra_cols.size());
   CQCS_CHECK(left_key_cols.size() == right_index.key_cols().size());
   std::vector<Element> key(left_key_cols.size());
+  // Poll on the *output* cadence as well as the input one: a single probe
+  // key can fan out into an unbounded match chain, and the output rows
+  // are what eat memory.
+  uint64_t tick = 0;
   for (uint32_t r = 0; r < left.row_count(); ++r) {
+    if (governor != nullptr && (++tick & 1023) == 0 &&
+        !governor->Poll().ok()) {
+      return;
+    }
     std::span<const Element> lrow = left.row(r);
     for (size_t i = 0; i < left_key_cols.size(); ++i) {
       key[i] = lrow[left_key_cols[i]];
     }
     for (uint32_t m = right_index.FindFirst(right.data(), key);
          m != HashIndex::kNone; m = right_index.Next(m)) {
+      if (governor != nullptr && (++tick & 1023) == 0 &&
+          !governor->Poll().ok()) {
+        return;
+      }
       Element* cells = out->AppendRowSlot();
       // AppendRowSlot may reallocate out's buffer, so re-read lrow when
       // out aliases left — it never does in the backends, but stay safe.
@@ -53,7 +70,8 @@ void HashJoinAppend(const Table& left, std::span<const uint32_t> left_key_cols,
 }
 
 void ProjectDistinct(const Table& src, std::span<const uint32_t> cols,
-                     Table* out, HashIndex* scratch, size_t max_rows) {
+                     Table* out, HashIndex* scratch, size_t max_rows,
+                     ResourceGovernor* governor) {
   CQCS_CHECK(out->width() == cols.size());
   CQCS_CHECK(out->row_count() == 0);
   std::vector<uint32_t> identity(cols.size());
@@ -62,6 +80,10 @@ void ProjectDistinct(const Table& src, std::span<const uint32_t> cols,
   std::vector<Element> key(cols.size());
   for (uint32_t r = 0; r < src.row_count() && out->row_count() < max_rows;
        ++r) {
+    if (governor != nullptr && (r & 1023) == 1023 &&
+        !governor->Poll().ok()) {
+      return;
+    }
     std::span<const Element> row = src.row(r);
     for (size_t i = 0; i < cols.size(); ++i) key[i] = row[cols[i]];
     if (scratch->FindFirst(out->data(), key) != HashIndex::kNone) continue;

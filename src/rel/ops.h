@@ -12,17 +12,25 @@
 #include <cstdint>
 #include <span>
 
+#include "common/governor.h"
 #include "rel/hash_index.h"
 #include "rel/table.h"
 
 namespace cqcs::rel {
+
+// Each operator takes an optional ResourceGovernor polled on an input-row
+// stride; on a trip the operator stops early without corrupting its
+// output (Semijoin leaves `left` untouched, the append operators stop
+// appending). Callers observe the sticky trip at their own next poll and
+// discard the partial state — the operators themselves never fail.
 
 /// left := left ⋉ right, in place: keeps the left rows whose key columns
 /// (left_key_cols, values in the same order as the index's key_cols) have
 /// at least one match in the indexed right table. Returns the number of
 /// rows removed. `right_index` must be built over `right`'s buffer.
 size_t Semijoin(Table& left, std::span<const uint32_t> left_key_cols,
-                const Table& right, const HashIndex& right_index);
+                const Table& right, const HashIndex& right_index,
+                ResourceGovernor* governor = nullptr);
 
 /// Appends to `out` one row per join match: the left row's cells followed
 /// by the matching right row's `right_extra_cols`. out->width() must equal
@@ -31,7 +39,8 @@ size_t Semijoin(Table& left, std::span<const uint32_t> left_key_cols,
 /// same column order.
 void HashJoinAppend(const Table& left, std::span<const uint32_t> left_key_cols,
                     const Table& right, const HashIndex& right_index,
-                    std::span<const uint32_t> right_extra_cols, Table* out);
+                    std::span<const uint32_t> right_extra_cols, Table* out,
+                    ResourceGovernor* governor = nullptr);
 
 /// Appends the distinct projections of `src` onto `cols` to the empty
 /// table `*out` (width must equal cols.size()), stopping after max_rows
@@ -39,7 +48,8 @@ void HashJoinAppend(const Table& left, std::span<const uint32_t> left_key_cols,
 /// on return it indexes *out's rows (keyed on all columns).
 void ProjectDistinct(const Table& src, std::span<const uint32_t> cols,
                      Table* out, HashIndex* scratch,
-                     size_t max_rows = SIZE_MAX);
+                     size_t max_rows = SIZE_MAX,
+                     ResourceGovernor* governor = nullptr);
 
 }  // namespace cqcs::rel
 

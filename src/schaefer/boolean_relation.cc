@@ -140,7 +140,10 @@ SchaeferClassSet ClassifyBooleanStructure(const Structure& b) {
   const Vocabulary& vocab = *b.vocabulary();
   for (RelId id = 0; id < vocab.size() && classes != 0; ++id) {
     auto rel = BooleanRelation::FromRelation(b.relation(id));
-    CQCS_CHECK_MSG(rel.ok(), rel.status().ToString());
+    // A relation we cannot represent (arity beyond the 63-bit mask) is
+    // conservatively treated as outside every Schaefer class; callers see
+    // "not a Schaefer structure" instead of an abort on hostile input.
+    if (!rel.ok()) return 0;
     classes &= rel->Classify();
   }
   return classes;

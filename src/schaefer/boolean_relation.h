@@ -92,7 +92,8 @@ bool IsBooleanStructure(const Structure& b);
 
 /// Classifies a Boolean structure: the classes ALL its relations share
 /// (Schaefer's conditions quantify over every relation of B). Returns 0 if
-/// B is not a Schaefer structure. CHECK-fails if B is not Boolean.
+/// B is not a Schaefer structure, including when a relation's arity exceeds
+/// the 63-bit tuple mask. CHECK-fails if B is not Boolean.
 SchaeferClassSet ClassifyBooleanStructure(const Structure& b);
 
 /// Theorem 3.1: membership of B in Schaefer's class SC.

@@ -1,6 +1,7 @@
 #include "schaefer/uniform.h"
 
 #include "common/check.h"
+#include "common/governor.h"
 #include "schaefer/cnf.h"
 #include "schaefer/direct.h"
 #include "schaefer/formula_build.h"
@@ -12,14 +13,16 @@ namespace {
 /// Grounds a CNF defining formula over every tuple of every relation of A:
 /// variable p of δ_{Q'} becomes element t[p]. Tautological grounded clauses
 /// (x | !x) are dropped; duplicate literals are merged.
-CnfFormula GroundCnf(const Structure& a,
-                     const std::vector<DefiningFormula>& deltas) {
+Result<CnfFormula> GroundCnf(const Structure& a,
+                             const std::vector<DefiningFormula>& deltas,
+                             ResourceGovernor* governor) {
   CnfFormula out;
   out.var_count = static_cast<uint32_t>(a.universe_size());
   const Vocabulary& vocab = *a.vocabulary();
   for (RelId id = 0; id < vocab.size(); ++id) {
     const Relation& ra = a.relation(id);
     for (uint32_t t = 0; t < ra.tuple_count(); ++t) {
+      if (governor != nullptr) CQCS_RETURN_IF_ERROR(governor->Poll());
       std::span<const Element> tup = ra.tuple(t);
       for (const Clause& c : deltas[id].cnf.clauses) {
         Clause grounded;
@@ -45,11 +48,13 @@ CnfFormula GroundCnf(const Structure& a,
 }
 
 Result<std::optional<Homomorphism>> SolveViaFormula(
-    const Structure& a, const Structure& b, SchaeferClass klass) {
+    const Structure& a, const Structure& b, SchaeferClass klass,
+    ResourceGovernor* governor) {
   // Build δ_{Q'} for every relation of B.
   std::vector<DefiningFormula> deltas;
   const Vocabulary& vocab = *b.vocabulary();
   for (RelId id = 0; id < vocab.size(); ++id) {
+    if (governor != nullptr) CQCS_RETURN_IF_ERROR(governor->Poll());
     CQCS_ASSIGN_OR_RETURN(BooleanRelation rel,
                           BooleanRelation::FromRelation(b.relation(id)));
     CQCS_ASSIGN_OR_RETURN(DefiningFormula delta,
@@ -60,7 +65,7 @@ Result<std::optional<Homomorphism>> SolveViaFormula(
     // Grounding linear systems is what SolveAffineViaEquations does.
     return SolveAffineViaEquations(a, b);
   }
-  CnfFormula grounded = GroundCnf(a, deltas);
+  CQCS_ASSIGN_OR_RETURN(CnfFormula grounded, GroundCnf(a, deltas, governor));
   std::optional<std::vector<uint8_t>> model;
   switch (klass) {
     case kHorn:
@@ -86,7 +91,8 @@ Result<std::optional<Homomorphism>> SolveViaFormula(
 Result<std::optional<Homomorphism>> SolveSchaefer(const Structure& a,
                                                   const Structure& b,
                                                   SchaeferAlgorithm algorithm,
-                                                  SchaeferSolveInfo* info) {
+                                                  SchaeferSolveInfo* info,
+                                                  ResourceGovernor* governor) {
   if (!IsBooleanStructure(b)) {
     return Status::InvalidArgument(
         "SolveSchaefer requires a Boolean target structure; Booleanize(...) "
@@ -95,6 +101,7 @@ Result<std::optional<Homomorphism>> SolveSchaefer(const Structure& a,
   if (!a.vocabulary()->Equals(*b.vocabulary())) {
     return Status::InvalidArgument("vocabulary mismatch");
   }
+  if (governor != nullptr) CQCS_RETURN_IF_ERROR(governor->Poll());
   SchaeferClassSet classes = ClassifyBooleanStructure(b);
   if (info != nullptr) {
     info->classes = classes;
@@ -121,8 +128,9 @@ Result<std::optional<Homomorphism>> SolveSchaefer(const Structure& a,
   for (SchaeferClass klass : {kHorn, kDualHorn, kBijunctive, kAffine}) {
     if ((classes & klass) == 0) continue;
     if (info != nullptr) info->dispatched = klass;
+    if (governor != nullptr) CQCS_RETURN_IF_ERROR(governor->Poll());
     if (algorithm == SchaeferAlgorithm::kFormula) {
-      return SolveViaFormula(a, b, klass);
+      return SolveViaFormula(a, b, klass, governor);
     }
     switch (klass) {
       case kHorn:

@@ -21,6 +21,8 @@
 
 namespace cqcs {
 
+class ResourceGovernor;  // common/governor.h
+
 /// Which uniform algorithm to run.
 enum class SchaeferAlgorithm {
   kFormula,  ///< Theorem 3.3: build δ, ground, run the SAT solver. Cubic.
@@ -41,10 +43,17 @@ struct SchaeferSolveInfo {
 /// vocabulary mismatch; Unsupported when B is outside Schaefer's class (the
 /// dichotomy says CSP(B) is then NP-complete — use the backtracking solver)
 /// or when the formula route hits the Horn arity bound.
+///
+/// An optional ResourceGovernor (common/governor.h) bounds the run with
+/// kResourceExhausted: the pipeline polls at each phase boundary
+/// (classification, formula build, dispatch) and in the grounding loop once
+/// per source tuple; the specialized SAT solvers themselves run to
+/// completion, so deadline overshoot is bounded by one solver call on the
+/// already-grounded formula.
 Result<std::optional<Homomorphism>> SolveSchaefer(
     const Structure& a, const Structure& b,
     SchaeferAlgorithm algorithm = SchaeferAlgorithm::kAuto,
-    SchaeferSolveInfo* info = nullptr);
+    SchaeferSolveInfo* info = nullptr, ResourceGovernor* governor = nullptr);
 
 }  // namespace cqcs
 

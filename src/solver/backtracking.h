@@ -19,6 +19,8 @@
 
 namespace cqcs {
 
+class ResourceGovernor;  // common/governor.h
+
 /// Propagation strength maintained during search.
 enum class Propagation {
   kForwardChecking,  ///< Revise only constraints touching the assigned var.
@@ -94,6 +96,12 @@ struct SolveOptions {
   /// nondeterministic order, and callbacks are serialized — never invoked
   /// concurrently.
   unsigned num_threads = 1;
+  /// Optional per-request budget (common/governor.h), not owned. Workers
+  /// poll it on a node stride; a deadline/memory/cancel trip stops the
+  /// search with stats->limit_hit set ("unknown", exactly like node_limit),
+  /// with overshoot bounded by the poll stride per worker. nullptr (the
+  /// default) costs one branch per node, like an unlimited node budget.
+  ResourceGovernor* governor = nullptr;
 };
 
 /// Search statistics, for the benchmark harnesses.

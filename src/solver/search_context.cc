@@ -5,6 +5,7 @@
 
 #include "common/bitset.h"
 #include "common/check.h"
+#include "common/governor.h"
 
 namespace cqcs {
 namespace solver_internal {
@@ -60,6 +61,13 @@ SearchContext::SearchContext(const CspInstance& csp,
     prop_.set_cancel_flag(par_->cancel);
     var_by_depth_.assign(csp_.var_count(), 0);
     value_idx_by_depth_.assign(csp_.var_count(), 0);
+  } else if (options_.governor != nullptr) {
+    // Sequential governed search: long MAC fixpoints poll the governor's
+    // sticky trip flag the same way parallel workers poll the shared
+    // cancel. A cancelled fixpoint looks like a wipeout, which only prunes
+    // — found solutions stay valid, and the trip check at the end of
+    // RunSubproblem turns an exhausted-after-trip run into "unknown".
+    prop_.set_cancel_flag(options_.governor->trip_flag());
   }
   if (cbj_) {
     prop_.EnableConflictTracking();
@@ -154,10 +162,29 @@ void SearchContext::RunSubproblem(
   prop_.PopLevel();
   replay_.clear();
   replay_len_ = 0;
+  // A governor trip makes any non-solution outcome unreliable (cancelled
+  // fixpoints prune spuriously), so report it through the same channel as
+  // an exhausted node budget.
+  if (options_.governor != nullptr && options_.governor->tripped()) {
+    stats_->limit_hit = true;
+  }
 }
 
 bool SearchContext::CountNode() {
   ++stats_->nodes;
+  // Governed searches poll the request budget on a stride (node 1, then
+  // every 128th local node): the same cooperative discipline as the node
+  // limit, so after a trip the per-worker overshoot is bounded by the
+  // stride instead of one node.
+  if (options_.governor != nullptr && (stats_->nodes & 127) == 1) {
+    if (!options_.governor->Poll().ok()) {
+      stats_->limit_hit = true;
+      if (par_ != nullptr) {
+        par_->cancel->store(true, std::memory_order_relaxed);
+      }
+      return false;
+    }
+  }
   // Unlimited searches never touch the shared counter: a per-node RMW on a
   // line every other worker reads would ping-pong for nothing.
   if (options_.node_limit == 0) return true;

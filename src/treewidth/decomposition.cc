@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/governor.h"
 
 namespace cqcs {
 
@@ -189,7 +190,10 @@ TreeDecomposition DecompositionFromEliminationOrder(
 
 namespace {
 
-std::vector<uint32_t> GreedyOrder(const Graph& g, bool min_fill) {
+/// Each elimination step is an O(n · deg²) scan, so the governed variant
+/// polls once per step; `governor` may be null (ungoverned).
+Result<std::vector<uint32_t>> GreedyOrder(const Graph& g, bool min_fill,
+                                          ResourceGovernor* governor) {
   const size_t n = g.vertex_count();
   std::vector<std::set<uint32_t>> adj(n);
   for (uint32_t v = 0; v < n; ++v) {
@@ -199,6 +203,7 @@ std::vector<uint32_t> GreedyOrder(const Graph& g, bool min_fill) {
   std::vector<uint32_t> order;
   order.reserve(n);
   for (size_t step = 0; step < n; ++step) {
+    if (governor != nullptr) CQCS_RETURN_IF_ERROR(governor->Poll());
     uint32_t best = UINT32_MAX;
     size_t best_score = SIZE_MAX;
     for (uint32_t v = 0; v < n; ++v) {
@@ -235,16 +240,28 @@ std::vector<uint32_t> GreedyOrder(const Graph& g, bool min_fill) {
 }  // namespace
 
 std::vector<uint32_t> MinDegreeOrder(const Graph& g) {
-  return GreedyOrder(g, /*min_fill=*/false);
+  return *GreedyOrder(g, /*min_fill=*/false, nullptr);
 }
 
 std::vector<uint32_t> MinFillOrder(const Graph& g) {
-  return GreedyOrder(g, /*min_fill=*/true);
+  return *GreedyOrder(g, /*min_fill=*/true, nullptr);
 }
 
 TreeDecomposition HeuristicDecomposition(const Structure& a) {
   Graph g = GaifmanGraph(a);
   return DecompositionFromEliminationOrder(g, MinFillOrder(g));
+}
+
+Result<TreeDecomposition> HeuristicDecomposition(const Structure& a,
+                                                 ResourceGovernor* governor) {
+  Graph g = GaifmanGraph(a);
+  Result<std::vector<uint32_t>> order =
+      GreedyOrder(g, /*min_fill=*/true, governor);
+  if (!order.ok()) return order.status();
+  // The elimination simulation below re-runs the fill-in; one more poll
+  // bounds it to roughly the cost already admitted above.
+  CQCS_RETURN_IF_ERROR(governor->Poll());
+  return DecompositionFromEliminationOrder(g, *order);
 }
 
 Result<int> ExactTreewidth(const Graph& g) {

@@ -20,6 +20,8 @@
 
 namespace cqcs {
 
+class ResourceGovernor;  // common/governor.h
+
 /// A rooted tree decomposition. Node 0 is the root (when nonempty); every
 /// other node has a parent with a smaller index.
 class TreeDecomposition {
@@ -75,6 +77,13 @@ std::vector<uint32_t> MinFillOrder(const Graph& g);
 
 /// Heuristic decomposition of a structure via its Gaifman graph (min-fill).
 TreeDecomposition HeuristicDecomposition(const Structure& a);
+
+/// Governed variant: min-fill's O(n · deg²) selection scans poll the
+/// governor once per eliminated vertex, so a deadline or cancellation
+/// aborts the ordering with kResourceExhausted instead of running the
+/// full quadratic-or-worse pass. `governor` must not be null.
+Result<TreeDecomposition> HeuristicDecomposition(const Structure& a,
+                                                 ResourceGovernor* governor);
 
 /// Exact treewidth by dynamic programming over vertex subsets
 /// (O(2^n · n^2); bounded to n <= 24). Errors with Unsupported beyond that.

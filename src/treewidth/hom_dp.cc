@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/governor.h"
 #include "rel/hash_index.h"
 #include "rel/table.h"
 
@@ -24,10 +25,12 @@ std::vector<uint32_t> AllCols(uint32_t width) {
 
 Result<std::optional<Homomorphism>> SolveViaTreeDecomposition(
     const Structure& a, const Structure& b,
-    const TreeDecomposition& decomposition, TreewidthSolveStats* stats) {
+    const TreeDecomposition& decomposition, TreewidthSolveStats* stats,
+    ResourceGovernor* governor) {
   if (!a.vocabulary()->Equals(*b.vocabulary())) {
     return Status::InvalidArgument("vocabulary mismatch");
   }
+  if (governor != nullptr) CQCS_RETURN_IF_ERROR(governor->Poll());
   CQCS_RETURN_IF_ERROR(decomposition.ValidateFor(a));
   if (stats != nullptr) {
     stats->width = decomposition.Width();
@@ -105,7 +108,9 @@ Result<std::optional<Homomorphism>> SolveViaTreeDecomposition(
       (void)t;
       if (b_member_built[rel]) continue;
       b_member_built[rel] = 1;
+      if (governor != nullptr) CQCS_RETURN_IF_ERROR(governor->Poll());
       const Relation& br = b.relation(rel);
+      b_member[rel].AttachGovernor(governor);
       b_member[rel].Build(br.data().data(), br.arity(),
                           static_cast<uint32_t>(br.tuple_count()),
                           AllCols(br.arity()));
@@ -135,18 +140,24 @@ Result<std::optional<Homomorphism>> SolveViaTreeDecomposition(
   std::vector<Table> tables(num_nodes);
   std::vector<HashIndex> tab_index(num_nodes);
   std::vector<Element> assign, proj, image;
+  uint64_t tick = 0;  // governor poll stride over odometer entries
   for (size_t node_plus1 = num_nodes; node_plus1-- > 0;) {
     uint32_t node = static_cast<uint32_t>(node_plus1);
     const auto& bag = decomposition.bag(node);
     tables[node] = Table(static_cast<uint32_t>(bag.size()));
     Table& table = tables[node];
+    table.AttachGovernor(governor);
     // Keyed on the parent-shared positions: one row per distinct key.
+    tab_index[node].AttachGovernor(governor);
     tab_index[node].Reset(static_cast<uint32_t>(bag.size()),
                           parent_shared_positions[node]);
 
     assign.assign(bag.size(), 0);
     bool exhausted = m == 0 && !bag.empty();
     while (!exhausted) {
+      if (governor != nullptr && (++tick & 1023) == 0) {
+        CQCS_RETURN_IF_ERROR(governor->Poll());
+      }
       if (stats != nullptr) ++stats->table_entries;
       // (a) covered tuples are mapped into B;
       bool ok = true;
@@ -209,6 +220,7 @@ Result<std::optional<Homomorphism>> SolveViaTreeDecomposition(
       if (bag.empty()) exhausted = true;
     }
     if (stats != nullptr) stats->table_rows += table.row_count();
+    if (governor != nullptr) CQCS_RETURN_IF_ERROR(governor->TripStatus());
     if (table.empty()) return std::optional<Homomorphism>(std::nullopt);
   }
 
@@ -250,9 +262,16 @@ Result<std::optional<Homomorphism>> SolveViaTreeDecomposition(
 }
 
 Result<std::optional<Homomorphism>> SolveBoundedTreewidth(
-    const Structure& a, const Structure& b, TreewidthSolveStats* stats) {
-  TreeDecomposition decomposition = HeuristicDecomposition(a);
-  return SolveViaTreeDecomposition(a, b, decomposition, stats);
+    const Structure& a, const Structure& b, TreewidthSolveStats* stats,
+    ResourceGovernor* governor) {
+  if (governor == nullptr) {
+    TreeDecomposition decomposition = HeuristicDecomposition(a);
+    return SolveViaTreeDecomposition(a, b, decomposition, stats);
+  }
+  Result<TreeDecomposition> decomposition =
+      HeuristicDecomposition(a, governor);
+  if (!decomposition.ok()) return decomposition.status();
+  return SolveViaTreeDecomposition(a, b, *decomposition, stats, governor);
 }
 
 }  // namespace cqcs

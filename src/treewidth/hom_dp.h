@@ -19,6 +19,8 @@
 
 namespace cqcs {
 
+class ResourceGovernor;  // common/governor.h
+
 /// Statistics from the DP run, for the benchmarks.
 struct TreewidthSolveStats {
   int width = -1;              ///< width of the decomposition used
@@ -31,18 +33,26 @@ struct TreewidthSolveStats {
 /// decomposition is validated first (InvalidArgument when it is not a tree
 /// decomposition of A, or on vocabulary mismatch). Returns a full witness
 /// homomorphism or nullopt.
+///
+/// An optional ResourceGovernor (common/governor.h) bounds the run: the
+/// bag-assignment odometer polls it on a stride and the DP tables charge
+/// their growth against its memory budget; a trip unwinds with
+/// kResourceExhausted and no partial answer.
 Result<std::optional<Homomorphism>> SolveViaTreeDecomposition(
     const Structure& a, const Structure& b,
     const TreeDecomposition& decomposition,
-    TreewidthSolveStats* stats = nullptr);
+    TreewidthSolveStats* stats = nullptr,
+    ResourceGovernor* governor = nullptr);
 
 /// Convenience: builds a min-fill heuristic decomposition of A and runs the
 /// DP. Polynomial whenever A's treewidth is bounded (the heuristic width is
 /// bounded too on partial k-trees in practice; the answer is exact always —
-/// only the running time depends on the width found).
+/// only the running time depends on the width found). The governor also
+/// bounds the min-fill ordering itself.
 Result<std::optional<Homomorphism>> SolveBoundedTreewidth(
     const Structure& a, const Structure& b,
-    TreewidthSolveStats* stats = nullptr);
+    TreewidthSolveStats* stats = nullptr,
+    ResourceGovernor* governor = nullptr);
 
 }  // namespace cqcs
 

@@ -254,7 +254,7 @@ TEST(EngineRoutingTest, AcyclicServesCountEnumerateProjectWithoutSearch) {
     BacktrackingSolver solver(a, b);
     size_t oracle_count = solver.CountSolutions();
     HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
-    p.SetProjection({0});
+    ASSERT_TRUE(p.SetProjection({0}).ok());
     HomEngine engine;
 
     EngineResult count = MustRun(engine, p, HomTask::kCount);

@@ -1,0 +1,521 @@
+// Resource-governance net: every backend must honor deadlines, memory
+// budgets, cancellation, and injected faults by unwinding to a structured
+// "unknown" — never an abort, never a torn or wrong answer — and a problem
+// or engine that tripped must stay fully reusable afterwards.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "api/engine.h"
+#include "common/governor.h"
+#include "common/rng.h"
+#include "common/saturating.h"
+#include "core/homomorphism.h"
+#include "core/io.h"
+#include "cq/parser.h"
+#include "datalog/parser.h"
+#include "gen/generators.h"
+#include "solver/backtracking.h"
+
+namespace cqcs {
+namespace {
+
+HomProblem MustProblem(Result<HomProblem> r) {
+  CQCS_CHECK_MSG(r.ok(), r.status().ToString());
+  return *std::move(r);
+}
+
+EngineResult MustRun(const HomEngine& engine, const HomProblem& p,
+                     HomTask task) {
+  auto r = engine.Run(p, task);
+  CQCS_CHECK_MSG(r.ok(), r.status().ToString());
+  return *std::move(r);
+}
+
+bool OracleDecide(const Structure& a, const Structure& b) {
+  BacktrackingSolver solver(a, b);
+  return solver.Solve().has_value();
+}
+
+// ---- Governor unit behavior. ----------------------------------------------
+
+TEST(GovernorTest, UngovernedPollsAlwaysOk) {
+  ResourceGovernor g;  // no deadline, no budget
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(g.Poll().ok());
+  EXPECT_FALSE(g.tripped());
+  EXPECT_EQ(g.trip_cause(), TripCause::kNone);
+  EXPECT_EQ(g.checks(), 100u);
+}
+
+TEST(GovernorTest, MemoryCeilingTripsOnNextPoll) {
+  ResourceGovernor g(0, 1000);
+  g.ChargeBytes(600);
+  EXPECT_TRUE(g.Poll().ok());  // within budget
+  g.ChargeBytes(600);          // 1200 > 1000: marks the trip
+  Status s = g.Poll();
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted) << s.ToString();
+  EXPECT_EQ(g.trip_cause(), TripCause::kMemory);
+  EXPECT_EQ(g.peak_bytes(), 1200u);
+  // Release does not un-trip: the budget was exceeded, sticky by design.
+  g.ReleaseBytes(1200);
+  EXPECT_FALSE(g.Poll().ok());
+  EXPECT_EQ(g.bytes_in_use(), 0u);
+}
+
+TEST(GovernorTest, FirstCauseWins) {
+  ResourceGovernor g(0, 10);
+  g.ChargeBytes(100);
+  EXPECT_FALSE(g.Poll().ok());
+  EXPECT_EQ(g.trip_cause(), TripCause::kMemory);
+  g.Cancel();  // later cause must not overwrite the first
+  EXPECT_EQ(g.trip_cause(), TripCause::kMemory);
+}
+
+TEST(GovernorTest, ExternalCancelObservedAtPoll) {
+  std::atomic<bool> cancel{false};
+  ResourceGovernor g;
+  g.set_external_cancel(&cancel);
+  EXPECT_TRUE(g.Poll().ok());
+  cancel.store(true);
+  EXPECT_EQ(g.Poll().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(g.trip_cause(), TripCause::kCancelled);
+}
+
+TEST(GovernorTest, FailpointTripsAtNthCheck) {
+  ResourceGovernor g;
+  GovernorFailpoints fp;
+  fp.trip_after_checks = 3;
+  g.set_failpoints(fp);
+  EXPECT_TRUE(g.Poll().ok());
+  EXPECT_TRUE(g.Poll().ok());
+  EXPECT_FALSE(g.Poll().ok());
+  EXPECT_EQ(g.trip_cause(), TripCause::kFailpoint);
+}
+
+TEST(GovernorTest, AdmitBytesDoesNotTrip) {
+  ResourceGovernor g(0, 1000);
+  g.ChargeBytes(800);
+  EXPECT_TRUE(g.AdmitBytes(100));
+  EXPECT_FALSE(g.AdmitBytes(500));
+  EXPECT_FALSE(g.tripped());  // admission is advisory, not a trip
+  ResourceGovernor unlimited;
+  EXPECT_TRUE(unlimited.AdmitBytes(SIZE_MAX));
+}
+
+// ---- Saturating arithmetic boundaries. ------------------------------------
+
+TEST(SaturatingTest, AddBoundaries) {
+  EXPECT_EQ(SatAdd(2, 3, 100), 5u);
+  EXPECT_EQ(SatAdd(60, 60, 100), 100u);
+  EXPECT_EQ(SatAdd(100, 0, 100), 100u);
+  EXPECT_EQ(SatAdd(SIZE_MAX, SIZE_MAX, SIZE_MAX), SIZE_MAX);
+  EXPECT_EQ(SatAdd(SIZE_MAX - 1, 1, SIZE_MAX), SIZE_MAX);
+  EXPECT_EQ(SatAdd(0, 0, SIZE_MAX), 0u);
+}
+
+TEST(SaturatingTest, MulBoundaries) {
+  EXPECT_EQ(SatMul(6, 7, 100), 42u);
+  EXPECT_EQ(SatMul(20, 20, 100), 100u);
+  EXPECT_EQ(SatMul(SIZE_MAX, 0, 100), 0u);  // 0 annihilates even saturated
+  EXPECT_EQ(SatMul(0, SIZE_MAX, 100), 0u);
+  EXPECT_EQ(SatMul(SIZE_MAX, 2, SIZE_MAX), SIZE_MAX);
+  EXPECT_EQ(SatMul(1, SIZE_MAX, SIZE_MAX), SIZE_MAX);
+}
+
+TEST(SaturatingTest, PowBoundaries) {
+  EXPECT_EQ(SatPow(10, 0, 100), 1u);  // empty product, even at the limit
+  EXPECT_EQ(SatPow(0, 0, 100), 1u);
+  EXPECT_EQ(SatPow(0, 5, 100), 0u);
+  EXPECT_EQ(SatPow(2, 6, 100), 64u);
+  EXPECT_EQ(SatPow(2, 7, 100), 100u);
+  EXPECT_EQ(SatPow(2, 64, SIZE_MAX), SIZE_MAX);
+}
+
+// ---- Fault injection: every backend x task unwinds cleanly. ---------------
+
+struct BackendCase {
+  Backend backend;
+  std::vector<HomTask> tasks;
+};
+
+void ExpectCleanTrip(const EngineResult& r, HomTask task) {
+  EXPECT_TRUE(r.stats.governor.enabled);
+  EXPECT_TRUE(r.stats.governor.tripped) << r.explain.ToString();
+  EXPECT_EQ(r.stats.governor.cause, TripCause::kFailpoint);
+  EXPECT_FALSE(r.decided);
+  EXPECT_FALSE(r.witness.has_value());
+  if (task == HomTask::kEnumerate || task == HomTask::kProject) {
+    // A poly-backend trip discards partial rows (the uniform search keeps
+    // its verified prefix, marked incomplete via limit_hit — not covered
+    // by this helper, see UniformTripKeepsVerifiedPrefix).
+    EXPECT_TRUE(r.rows.empty());
+  }
+}
+
+TEST(GovernorEngineTest, EveryBackendTripsCleanlyAndStaysReusable) {
+  Rng rng(7001);
+  auto graph_vocab = MakeGraphVocabulary();
+  // One instance per backend, shaped so the explicit backend accepts it.
+  Structure acyclic_a = PathStructure(graph_vocab, 8);
+  Structure cyclic_a = UndirectedCycleStructure(graph_vocab, 7);
+  Structure graph_b = RandomGraphStructure(graph_vocab, 4, 0.6, rng, true);
+
+  auto bool_vocab = std::make_shared<Vocabulary>();
+  bool_vocab->AddRelation("R", 3);
+  Structure horn_b =
+      RandomClosedBooleanStructure(bool_vocab, 3, ClosureOp::kAnd, 4, rng);
+  Structure bool_a = RandomStructure(bool_vocab, 8, 12, rng);
+
+  const std::vector<BackendCase> cases = {
+      {Backend::kAcyclic,
+       {HomTask::kDecide, HomTask::kWitness, HomTask::kCount,
+        HomTask::kEnumerate, HomTask::kProject}},
+      {Backend::kTreewidth, {HomTask::kDecide, HomTask::kWitness}},
+      {Backend::kSchaefer, {HomTask::kDecide, HomTask::kWitness}},
+      {Backend::kUniform,
+       {HomTask::kDecide, HomTask::kWitness, HomTask::kCount,
+        HomTask::kEnumerate, HomTask::kProject}},
+  };
+
+  for (const BackendCase& c : cases) {
+    const Structure& a =
+        c.backend == Backend::kSchaefer
+            ? bool_a
+            : (c.backend == Backend::kTreewidth ? cyclic_a : acyclic_a);
+    const Structure& b = c.backend == Backend::kSchaefer ? horn_b : graph_b;
+    HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
+    ASSERT_TRUE(p.SetProjection({0}).ok());
+
+    for (HomTask task : c.tasks) {
+      SCOPED_TRACE(testing::Message() << BackendName(c.backend) << "/"
+                                      << HomTaskName(task));
+      EngineOptions tripping;
+      tripping.backend = c.backend;
+      tripping.failpoints.trip_after_checks = 1;
+      HomEngine governed(tripping);
+      EngineResult r = MustRun(governed, p, task);
+      if (c.backend == Backend::kUniform) {
+        // The search reports its trip via the node-limit contract.
+        EXPECT_TRUE(r.stats.governor.tripped);
+        EXPECT_TRUE(r.stats.search.limit_hit);
+        EXPECT_FALSE(r.decided);
+      } else {
+        ExpectCleanTrip(r, task);
+        // The trip is on the record: the fallback log names the exhaustion.
+        bool mentioned = false;
+        for (const auto& f : r.explain.fallbacks) {
+          if (f.find("exhausted") != std::string::npos) mentioned = true;
+        }
+        EXPECT_TRUE(mentioned) << r.explain.ToString();
+      }
+
+      // Reuse: the identical problem and an ungoverned engine agree with
+      // the oracle — the trip left no torn cache behind.
+      EngineOptions clean;
+      clean.backend = c.backend;
+      HomEngine fresh(clean);
+      EngineResult ok = MustRun(fresh, p, task);
+      EXPECT_FALSE(ok.stats.governor.enabled);
+      if (task == HomTask::kDecide || task == HomTask::kWitness) {
+        EXPECT_EQ(ok.decided, OracleDecide(a, b));
+      }
+    }
+  }
+}
+
+TEST(GovernorEngineTest, ChargeFailpointTripsTheTablePaths) {
+  // trip_after_charges=1 fires on the first table/index growth, exercising
+  // the memory-accounting trip path rather than the poll path.
+  Rng rng(7002);
+  auto vocab = MakeGraphVocabulary();
+  Structure a = PathStructure(vocab, 8);
+  Structure b = RandomGraphStructure(vocab, 4, 0.6, rng, true);
+  HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
+
+  for (Backend backend : {Backend::kAcyclic, Backend::kTreewidth}) {
+    SCOPED_TRACE(BackendName(backend));
+    EngineOptions options;
+    options.backend = backend;
+    options.failpoints.trip_after_charges = 1;
+    HomEngine engine(options);
+    EngineResult r = MustRun(engine, p, HomTask::kDecide);
+    EXPECT_TRUE(r.stats.governor.tripped) << r.explain.ToString();
+    EXPECT_EQ(r.stats.governor.cause, TripCause::kFailpoint);
+    EXPECT_FALSE(r.decided);
+  }
+}
+
+TEST(GovernorEngineTest, CompiledArtifactsKeepPointerIdentityAcrossTrips) {
+  Rng rng(7003);
+  auto vocab = MakeGraphVocabulary();
+  Structure a = UndirectedCycleStructure(vocab, 7);
+  Structure b = RandomGraphStructure(vocab, 4, 0.6, rng, true);
+  HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
+
+  // Compile the source artifacts once, ungoverned.
+  const ConjunctiveQuery* q_before = &p.SourceCanonicalQuery();
+  const TreeDecomposition* dec_before = &p.SourceDecomposition();
+
+  EngineOptions options;
+  options.backend = Backend::kTreewidth;
+  options.failpoints.trip_after_checks = 2;
+  HomEngine engine(options);
+  EngineResult r = MustRun(engine, p, HomTask::kDecide);
+  EXPECT_TRUE(r.stats.governor.tripped);
+
+  // The cached artifacts survived the trip at the same addresses: the
+  // governed run reused them instead of rebuilding (and the trip did not
+  // evict them).
+  EXPECT_EQ(q_before, &p.SourceCanonicalQuery());
+  EXPECT_EQ(dec_before, &p.SourceDecomposition());
+
+  HomEngine clean;
+  EngineResult ok = MustRun(clean, p, HomTask::kDecide);
+  EXPECT_EQ(ok.decided, OracleDecide(a, b));
+}
+
+TEST(GovernorEngineTest, TrippedDecompositionBuildCachesNothing) {
+  Rng rng(7004);
+  auto vocab = MakeGraphVocabulary();
+  Structure a = UndirectedCycleStructure(vocab, 9);
+  Structure b = RandomGraphStructure(vocab, 4, 0.6, rng, true);
+  HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
+
+  ResourceGovernor tripping;
+  GovernorFailpoints fp;
+  fp.trip_after_checks = 1;
+  tripping.set_failpoints(fp);
+  Status s = p.EnsureSourceDecomposition(&tripping);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted) << s.ToString();
+
+  // The next (unconstrained) build completes and is correct.
+  ResourceGovernor roomy;
+  ASSERT_TRUE(p.EnsureSourceDecomposition(&roomy).ok());
+  EXPECT_TRUE(p.SourceDecomposition().ValidateFor(a).ok());
+}
+
+// ---- Deadlines and budgets end to end. ------------------------------------
+
+TEST(GovernorEngineTest, DeadlineStopsAnUnfinishableCount) {
+  // Counting hom(P20 -> K5) enumerates ~5 * 4^19 solutions: unfinishable.
+  // A governed run must come back promptly with limit_hit, not hang.
+  auto vocab = MakeGraphVocabulary();
+  Structure a = PathStructure(vocab, 20);
+  Structure b = CliqueStructure(vocab, 5);
+  HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
+
+  EngineOptions options;
+  options.backend = Backend::kUniform;
+  options.deadline_ms = 50;
+  HomEngine engine(options);
+  EngineResult r = MustRun(engine, p, HomTask::kCount);
+  EXPECT_TRUE(r.stats.governor.tripped);
+  EXPECT_EQ(r.stats.governor.cause, TripCause::kDeadline);
+  EXPECT_TRUE(r.stats.search.limit_hit);
+  // Overshoot is bounded by the poll stride: generous slack for CI noise,
+  // but far below the hours the full count would take.
+  EXPECT_LT(r.stats.governor.elapsed_ms, 5000u);
+
+  auto count = engine.Count(p);
+  EXPECT_EQ(count.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GovernorEngineTest, ParallelDeadlineOvershootBounded) {
+  // Same guarantee with work-stealing workers: the shared trip flag stops
+  // every worker within its poll stride.
+  auto vocab = MakeGraphVocabulary();
+  Structure a = PathStructure(vocab, 20);
+  Structure b = CliqueStructure(vocab, 5);
+  HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
+
+  EngineOptions options;
+  options.backend = Backend::kUniform;
+  options.solve.num_threads = 4;
+  options.deadline_ms = 50;
+  HomEngine engine(options);
+  EngineResult r = MustRun(engine, p, HomTask::kCount);
+  EXPECT_TRUE(r.stats.governor.tripped);
+  EXPECT_TRUE(r.stats.search.limit_hit);
+  EXPECT_LT(r.stats.governor.elapsed_ms, 5000u);
+}
+
+TEST(GovernorEngineTest, MemoryBudgetTripsExplicitAcyclicEnumerate) {
+  Rng rng(7005);
+  auto vocab = MakeGraphVocabulary();
+  Structure a = PathStructure(vocab, 12);
+  Structure b = CliqueStructure(vocab, 6);
+  HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
+
+  EngineOptions options;
+  options.backend = Backend::kAcyclic;  // explicit: no admission demotion
+  options.memory_budget_bytes = 512;    // far below the atom tables
+  HomEngine engine(options);
+  EngineResult r = MustRun(engine, p, HomTask::kEnumerate);
+  EXPECT_TRUE(r.stats.governor.tripped) << r.explain.ToString();
+  EXPECT_EQ(r.stats.governor.cause, TripCause::kMemory);
+  EXPECT_TRUE(r.rows.empty());
+  EXPECT_GT(r.stats.governor.peak_bytes, 512u);
+
+  // Same problem, real budget: completes and the row count is the truth.
+  EngineOptions roomy;
+  roomy.backend = Backend::kAcyclic;
+  roomy.memory_budget_bytes = 64u << 20;
+  HomEngine ok_engine(roomy);
+  EngineResult ok = MustRun(ok_engine, p, HomTask::kCount);
+  EXPECT_FALSE(ok.stats.governor.tripped);
+  EXPECT_EQ(ok.count, 6u * 5u * 5u * 5u * 5u * 5u * 5u * 5u * 5u * 5u * 5u *
+                          5u);  // 6 * 5^11 homs P12 -> K6
+}
+
+TEST(GovernorEngineTest, AutoAdmissionDemotesToSearchBeforeBuilding) {
+  Rng rng(7006);
+  auto vocab = MakeGraphVocabulary();
+  Structure a = PathStructure(vocab, 10);
+  Structure b = RandomGraphStructure(vocab, 8, 0.5, rng, true);
+  HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
+
+  EngineOptions options;  // kAuto
+  options.memory_budget_bytes = 256;  // admits nothing the DP would build
+  HomEngine engine(options);
+  EngineResult r = MustRun(engine, p, HomTask::kDecide);
+  EXPECT_EQ(r.explain.chosen, Backend::kUniform) << r.explain.ToString();
+  bool admission_note = false;
+  for (const auto& f : r.explain.fallbacks) {
+    if (f.find("admission refused") != std::string::npos) {
+      admission_note = true;
+    }
+  }
+  EXPECT_TRUE(admission_note) << r.explain.ToString();
+  // The search streams: it decides correctly inside the same tiny budget.
+  EXPECT_EQ(r.decided, OracleDecide(a, b));
+  EXPECT_FALSE(r.stats.governor.tripped);
+}
+
+TEST(GovernorEngineTest, PreCancelledRunReturnsImmediately) {
+  Rng rng(7007);
+  auto vocab = MakeGraphVocabulary();
+  Structure a = PathStructure(vocab, 8);
+  Structure b = RandomGraphStructure(vocab, 4, 0.6, rng, true);
+  HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
+
+  std::atomic<bool> cancel{true};
+  EngineOptions options;
+  options.backend = Backend::kAcyclic;
+  options.cancel = &cancel;
+  HomEngine engine(options);
+  EngineResult r = MustRun(engine, p, HomTask::kDecide);
+  EXPECT_TRUE(r.stats.governor.tripped);
+  EXPECT_EQ(r.stats.governor.cause, TripCause::kCancelled);
+  EXPECT_FALSE(r.decided);
+}
+
+TEST(GovernorEngineTest, GovernedRunThatFitsBudgetMatchesUngoverned) {
+  // A budget generous enough to never trip must not change any answer.
+  Rng rng(7008);
+  auto vocab = MakeGraphVocabulary();
+  for (int trial = 0; trial < 8; ++trial) {
+    Structure a = StructureFromGraph(vocab, RandomTree(6 + rng.Below(5), rng));
+    Structure b = RandomGraphStructure(vocab, 3 + rng.Below(3), 0.5, rng, true);
+    HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
+
+    EngineOptions governed;
+    governed.deadline_ms = 60'000;
+    governed.memory_budget_bytes = 256u << 20;
+    HomEngine engine(governed);
+    EngineResult r = MustRun(engine, p, HomTask::kWitness);
+    EXPECT_TRUE(r.stats.governor.enabled);
+    EXPECT_FALSE(r.stats.governor.tripped) << r.explain.ToString();
+    EXPECT_EQ(r.decided, OracleDecide(a, b)) << "trial " << trial;
+    if (r.decided) {
+      ASSERT_TRUE(r.witness.has_value());
+      EXPECT_TRUE(IsHomomorphism(a, b, *r.witness));
+    }
+    EXPECT_NE(r.stats.ToJson().find("\"governor\":{"), std::string::npos);
+  }
+}
+
+TEST(GovernorEngineTest, UniformTripKeepsVerifiedPrefix) {
+  // The search's enumeration keeps solutions verified before the trip —
+  // each is a real homomorphism — marked incomplete via limit_hit.
+  auto vocab = MakeGraphVocabulary();
+  Structure a = PathStructure(vocab, 16);
+  Structure b = CliqueStructure(vocab, 4);
+  HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
+
+  EngineOptions options;
+  options.backend = Backend::kUniform;
+  options.deadline_ms = 30;
+  HomEngine engine(options);
+  EngineResult r = MustRun(engine, p, HomTask::kEnumerate);
+  EXPECT_TRUE(r.stats.search.limit_hit);
+  for (const auto& row : r.rows) {
+    EXPECT_TRUE(IsHomomorphism(a, b, row));
+  }
+}
+
+// ---- Input-reachable aborts converted to structured errors. ---------------
+
+TEST(RobustInputTest, UniverseOverflowIsAParseError) {
+  auto r = ParseStructure("universe 4294967296\nE/2: 0 1");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("universe"), std::string::npos);
+  // The boundary itself is fine.
+  EXPECT_TRUE(ParseStructure("universe 4294967295\nE/2:").ok());
+}
+
+TEST(RobustInputTest, CqParserRejectsArityMismatchWithoutAborting) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->AddRelation("E", 2);
+  auto q = ParseQuery("q(X) :- E(X, Y, Z).", vocab);
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+  auto unknown = ParseQuery("q(X) :- F(X, Y).", vocab);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RobustInputTest, WideBooleanRelationClassifiesAsNonSchaefer) {
+  // Arity 64 exceeds the BooleanRelation bitmask; classification must
+  // degrade to "not Schaefer" (0) instead of CHECK-failing, and
+  // SolveSchaefer must surface the dichotomy's Unsupported.
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->AddRelation("W", 64);
+  Structure b(vocab, 2);
+  std::vector<Element> tuple(64, 0);
+  b.AddTuple(0, tuple);
+  EXPECT_EQ(ClassifyBooleanStructure(b), 0u);
+
+  Structure a(vocab, 3);
+  a.AddTuple(0, std::vector<Element>(64, 1));
+  auto solved = SolveSchaefer(a, b);
+  ASSERT_FALSE(solved.ok());
+  EXPECT_EQ(solved.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(RobustInputTest, SetProjectionRejectsOutOfRangeElements) {
+  auto vocab = MakeGraphVocabulary();
+  Structure a = PathStructure(vocab, 4);
+  Structure b = PathStructure(vocab, 4);
+  HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
+  Status s = p.SetProjection({0, 99});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(p.projection().empty());  // unchanged on failure
+  EXPECT_TRUE(p.SetProjection({0, 3}).ok());
+}
+
+TEST(RobustInputTest, DatalogDefaultGoalStillResolves) {
+  // The default-goal lookup (last rule's head) is now a structured error
+  // path; the happy path must keep working.
+  auto program = ParseDatalogProgram(
+      "path(X, Y) :- edge(X, Y).\n"
+      "path(X, Z) :- path(X, Y), edge(Y, Z).");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+}
+
+}  // namespace
+}  // namespace cqcs

@@ -60,7 +60,7 @@ void CheckAcyclicBattery(const Structure& a, const Structure& b,
     if (a.universe_size() > 1) {
       proj.push_back(static_cast<Element>(a.universe_size() - 1));
     }
-    p.SetProjection(proj);
+    ASSERT_TRUE(p.SetProjection(proj).ok());
   }
   EngineOptions options;
   options.backend = Backend::kAcyclic;
