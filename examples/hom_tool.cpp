@@ -6,6 +6,18 @@
 //   hom_tool minimize "Q(...) :- ..."
 //   hom_tool evaluate "Q(...) :- ..." D.struct
 //   hom_tool classify B.struct              # Schaefer classes of Boolean B
+//   hom_tool serve [serve flags] [strategy flags]    # line protocol, below
+//
+// Exit-code contract (asserted end-to-end by tests/hom_tool_exit_codes.sh;
+// scripts branch on these, so every path must honor them):
+//   0  "yes" / an answer was produced (homomorphism found, count or
+//      enumeration completed, containment verdict computed, ...)
+//   1  a definite "no" (no homomorphism exists), or a usage problem
+//      (unknown subcommand, unknown or malformed flag)
+//   2  an error: unreadable file, parse failure, engine refusal (e.g. an
+//      explicitly requested backend that cannot serve the task)
+//   3  a resource budget was exhausted before an answer (deadline, memory,
+//      node limit): the question is open, not answered — retry bigger
 //
 // Strategy flags for `solve` (any order; defaults: MAC, MRV, lex values):
 //   --fc --mac                  propagation strength
@@ -35,20 +47,40 @@
 //   universe 3
 //   E/2: 0 1, 1 2
 //
+// `serve` flags (besides the strategy/governor flags above, which configure
+// the per-request engine):
+//   --plan-cache=N --result-cache=N     cache entry bounds (0 disables)
+//   --max-queue-depth=N                 admission: shed past N in-flight
+//   --max-inflight-mb=N                 admission: shed past N MiB of
+//                                       in-flight size-bound estimates
+//
+// `serve` then reads one command per line on stdin (responses on stdout,
+// one line each; ';' in a db declaration stands for a newline):
+//   db <name> universe 3; E/2: 0 1, 1 2    register/replace a database
+//                                          (replacing invalidates results)
+//   query <name> Q(X) :- E(X, Y).          register a query
+//   run <task> <query-name> <db-name>      serve one request
+//   drop <name>                            unregister a database
+//   stats                                  aggregate ServeStats as JSON
+//   quit                                   exit 0 (as does EOF)
+//
 // Run without arguments for a demo over built-in inputs.
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 
 #include "api/engine.h"
 #include "core/io.h"
 #include "cq/containment.h"
 #include "cq/parser.h"
 #include "schaefer/boolean_relation.h"
+#include "serve/serving.h"
 #include "solver/backtracking.h"
 
 using namespace cqcs;
@@ -145,13 +177,13 @@ int Solve(const char* a_path, const char* b_path, int flag_count,
   if (!a.ok() || !b.ok()) {
     std::printf("error: %s %s\n", a.status().ToString().c_str(),
                 b.status().ToString().c_str());
-    return 1;
+    return 2;
   }
   if (!a->vocabulary()->Equals(*b->vocabulary())) {
     std::printf("error: vocabularies differ (%s vs %s)\n",
                 a->vocabulary()->ToString().c_str(),
                 b->vocabulary()->ToString().c_str());
-    return 1;
+    return 2;
   }
   EngineOptions engine_options;
   HomTask task = HomTask::kWitness;
@@ -159,31 +191,38 @@ int Solve(const char* a_path, const char* b_path, int flag_count,
   for (int i = 0; i < flag_count; ++i) {
     if (!ParseStrategyFlag(flags[i], &engine_options, &task, &explain)) {
       std::printf("error: unknown strategy flag %s\n", flags[i]);
-      return 2;
+      return 1;  // usage, not a runtime error (see the contract above)
     }
   }
   auto problem = HomProblem::FromStructures(*a, *b);
   if (!problem.ok()) {
     std::printf("error: %s\n", problem.status().ToString().c_str());
-    return 1;
+    return 2;
   }
   HomEngine engine(engine_options);
   auto result = engine.Run(*problem, task);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
-    return 1;
+    return 2;
   }
+  // 0 until a path below downgrades it: a definite "no" is 1, an
+  // unanswered question (node limit, governed trip) is 3.
+  int code = 0;
   switch (task) {
     case HomTask::kDecide:
     case HomTask::kWitness:
       if (!result->decided) {
         // A governed trip and a node-limit stop both leave the question
-        // open; everything else genuinely means "no".
-        std::printf(result->stats.governor.tripped
-                        ? "unknown (resource budget exhausted)\n"
-                    : result->stats.search.limit_hit
-                        ? "unknown (node limit hit)\n"
-                        : "no homomorphism\n");
+        // open (exit 3); everything else genuinely means "no" (exit 1).
+        if (result->stats.governor.tripped) {
+          std::printf("unknown (resource budget exhausted)\n");
+        } else if (result->stats.search.limit_hit) {
+          std::printf("unknown (node limit hit)\n");
+          code = 3;
+        } else {
+          std::printf("no homomorphism\n");
+          code = 1;
+        }
       } else if (result->witness.has_value()) {
         std::printf("homomorphism found:\n");
         const Homomorphism& h = *result->witness;
@@ -201,6 +240,10 @@ int Solve(const char* a_path, const char* b_path, int flag_count,
                       ? "count: >= %zu (node limit hit)\n"
                       : "count: %zu\n",
                   result->count);
+      // A node-limit-truncated count is a lower bound, not an answer.
+      if (!result->stats.governor.tripped && result->stats.search.limit_hit) {
+        code = 3;
+      }
       break;
     case HomTask::kEnumerate:
       std::printf("%zu homomorphism(s)\n", result->rows.size());
@@ -230,7 +273,7 @@ int Solve(const char* a_path, const char* b_path, int flag_count,
   }
   if (explain) {
     std::printf("%s\n", result->ToJson().c_str());
-    return 0;
+    return code;
   }
   if (result->stats.used_acyclic) {
     const YannakakisStats& ys = result->stats.yannakakis;
@@ -246,7 +289,7 @@ int Solve(const char* a_path, const char* b_path, int flag_count,
   }
   // A polynomial backend leaves the search stats untouched; printing them
   // would look like a genuine zero-node measurement.
-  if (!result->stats.used_search) return 0;
+  if (!result->stats.used_search) return code;
   const SolveStats& stats = result->stats.search;
   std::printf(
       "stats: nodes=%llu backtracks=%llu backjumps=%llu "
@@ -263,26 +306,26 @@ int Solve(const char* a_path, const char* b_path, int flag_count,
                 static_cast<unsigned long long>(stats.splits),
                 static_cast<unsigned long long>(stats.steals));
   }
-  return 0;
+  return code;
 }
 
 int ContainsCmd(const char* q1_text, const char* q2_text) {
   auto q1 = ParseQuery(q1_text);
   if (!q1.ok()) {
     std::printf("Q1: %s\n", q1.status().ToString().c_str());
-    return 1;
+    return 2;
   }
   auto q2 = ParseQuery(q2_text, q1->vocabulary());
   if (!q2.ok()) {
     std::printf("Q2: %s\n", q2.status().ToString().c_str());
-    return 1;
+    return 2;
   }
   auto forward = IsContained(*q1, *q2);
   auto backward = IsContained(*q2, *q1);
   if (!forward.ok() || !backward.ok()) {
     std::printf("error: %s %s\n", forward.status().ToString().c_str(),
                 backward.status().ToString().c_str());
-    return 1;
+    return 2;
   }
   std::printf("Q1 ⊆ Q2: %s\nQ2 ⊆ Q1: %s\nequivalent: %s\n",
               *forward ? "yes" : "no", *backward ? "yes" : "no",
@@ -294,12 +337,12 @@ int MinimizeCmd(const char* q_text) {
   auto q = ParseQuery(q_text);
   if (!q.ok()) {
     std::printf("%s\n", q.status().ToString().c_str());
-    return 1;
+    return 2;
   }
   auto m = Minimize(*q);
   if (!m.ok()) {
     std::printf("%s\n", m.status().ToString().c_str());
-    return 1;
+    return 2;
   }
   std::printf("%s\n", ToString(*m).c_str());
   return 0;
@@ -309,7 +352,7 @@ int EvaluateCmd(const char* q_text, const char* d_path) {
   auto q = ParseQuery(q_text);
   if (!q.ok()) {
     std::printf("%s\n", q.status().ToString().c_str());
-    return 1;
+    return 2;
   }
   std::ifstream in(d_path);
   std::stringstream buffer;
@@ -317,12 +360,12 @@ int EvaluateCmd(const char* q_text, const char* d_path) {
   auto d = ParseStructure(buffer.str(), q->vocabulary());
   if (!d.ok()) {
     std::printf("%s\n", d.status().ToString().c_str());
-    return 1;
+    return 2;
   }
   auto rows = Evaluate(*q, *d);
   if (!rows.ok()) {
     std::printf("%s\n", rows.status().ToString().c_str());
-    return 1;
+    return 2;
   }
   std::printf("%zu answer(s)\n", rows->size());
   for (const auto& row : *rows) {
@@ -337,15 +380,168 @@ int ClassifyCmd(const char* b_path) {
   auto b = LoadStructure(b_path);
   if (!b.ok()) {
     std::printf("%s\n", b.status().ToString().c_str());
-    return 1;
+    return 2;
   }
   if (!IsBooleanStructure(*b)) {
     std::printf("not a Boolean structure (universe size %zu, need 2)\n",
                 b->universe_size());
-    return 1;
+    return 2;
   }
   std::printf("Schaefer classes: %s\n",
               SchaeferClassSetToString(ClassifyBooleanStructure(*b)).c_str());
+  return 0;
+}
+
+// One `run` response line: the answer plus the cache flags the request saw.
+void PrintServeResult(const EngineResult& result, HomTask task) {
+  const ServeRequestStats& s = result.stats.serve;
+  std::string answer;
+  switch (task) {
+    case HomTask::kDecide:
+    case HomTask::kWitness:
+      if (result.decided) {
+        answer = "yes";
+      } else if (result.stats.governor.tripped ||
+                 result.stats.search.limit_hit) {
+        answer = "unknown";
+      } else {
+        answer = "no";
+      }
+      break;
+    case HomTask::kCount:
+      answer = "count=" + std::to_string(result.count);
+      break;
+    case HomTask::kEnumerate:
+    case HomTask::kProject:
+      answer = "rows=" + std::to_string(result.rows.size());
+      break;
+  }
+  std::printf("ok %s backend=%s plan_hit=%d result_hit=%d\n", answer.c_str(),
+              BackendName(result.explain.chosen), s.plan_cache_hit ? 1 : 0,
+              s.result_cache_hit ? 1 : 0);
+}
+
+int ServeCmd(int flag_count, char** flags) {
+  serve::ServeOptions serve_options;
+  HomTask unused_task = HomTask::kDecide;
+  bool explain = false;
+  auto parse_size = [](const std::string& flag, size_t prefix, size_t* out) {
+    const std::string digits = flag.substr(prefix);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      return false;
+    }
+    *out = std::strtoull(digits.c_str(), nullptr, 10);
+    return true;
+  };
+  for (int i = 0; i < flag_count; ++i) {
+    const std::string flag = flags[i];
+    bool ok = true;
+    if (flag.rfind("--plan-cache=", 0) == 0) {
+      ok = parse_size(flag, 13, &serve_options.plan_cache_entries);
+    } else if (flag.rfind("--result-cache=", 0) == 0) {
+      ok = parse_size(flag, 15, &serve_options.result_cache_entries);
+    } else if (flag.rfind("--max-queue-depth=", 0) == 0) {
+      ok = parse_size(flag, 18, &serve_options.max_queue_depth);
+    } else if (flag.rfind("--max-inflight-mb=", 0) == 0) {
+      size_t mb = 0;
+      ok = parse_size(flag, 18, &mb) && mb <= (SIZE_MAX >> 20);
+      if (ok) serve_options.max_inflight_bytes = mb << 20;
+    } else {
+      ok = ParseStrategyFlag(flags[i], &serve_options.engine, &unused_task,
+                             &explain);
+    }
+    if (!ok) {
+      std::printf("error: unknown serve flag %s\n", flags[i]);
+      return 1;  // usage
+    }
+  }
+  serve::ServingEngine engine(serve_options);
+  std::unordered_map<std::string, std::string> queries;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit") break;
+    if (cmd == "stats") {
+      std::printf("%s\n", engine.stats().ToJson().c_str());
+      continue;
+    }
+    if (cmd == "db") {
+      std::string name;
+      in >> name;
+      std::string text;
+      std::getline(in, text);
+      for (char& c : text) {
+        if (c == ';') c = '\n';
+      }
+      auto db = ParseStructure(text);
+      if (!db.ok()) {
+        std::printf("error: %s\n", db.status().ToString().c_str());
+        continue;
+      }
+      auto status = engine.UpsertDatabase(name, *std::move(db));
+      std::printf(status.ok() ? "ok db %s\n" : "error: %s\n",
+                  status.ok() ? name.c_str() : status.ToString().c_str());
+      continue;
+    }
+    if (cmd == "query") {
+      std::string name;
+      in >> name;
+      std::string text;
+      std::getline(in, text);
+      const size_t start = text.find_first_not_of(" \t");
+      if (name.empty() || start == std::string::npos) {
+        std::printf("error: usage: query <name> <CQ text>\n");
+        continue;
+      }
+      queries[name] = text.substr(start);
+      std::printf("ok query %s\n", name.c_str());
+      continue;
+    }
+    if (cmd == "run") {
+      std::string task_name, query_name, db_name;
+      in >> task_name >> query_name >> db_name;
+      auto task = ParseHomTaskName(task_name);
+      if (!task.has_value()) {
+        std::printf("error: unknown task %s\n", task_name.c_str());
+        continue;
+      }
+      auto q = queries.find(query_name);
+      if (q == queries.end()) {
+        std::printf("error: no query named %s\n", query_name.c_str());
+        continue;
+      }
+      serve::ServeRequest request;
+      request.query = q->second;
+      request.database = db_name;
+      request.task = *task;
+      auto result = engine.Serve(request);
+      if (!result.ok()) {
+        // Sheds are the admission policy working as designed; scripts watch
+        // for the distinct prefix.
+        std::printf(result.status().code() == StatusCode::kResourceExhausted
+                        ? "shed: %s\n"
+                        : "error: %s\n",
+                    result.status().ToString().c_str());
+        continue;
+      }
+      PrintServeResult(*result, *task);
+      if (explain) std::printf("%s\n", result->ToJson().c_str());
+      continue;
+    }
+    if (cmd == "drop") {
+      std::string name;
+      in >> name;
+      auto status = engine.DropDatabase(name);
+      std::printf(status.ok() ? "ok drop %s\n" : "error: %s\n",
+                  status.ok() ? name.c_str() : status.ToString().c_str());
+      continue;
+    }
+    std::printf("error: unknown command %s\n", cmd.c_str());
+  }
   return 0;
 }
 
@@ -373,6 +569,7 @@ int main(int argc, char** argv) {
   if (cmd == "minimize" && argc == 3) return MinimizeCmd(argv[2]);
   if (cmd == "evaluate" && argc == 4) return EvaluateCmd(argv[2], argv[3]);
   if (cmd == "classify" && argc == 3) return ClassifyCmd(argv[2]);
+  if (cmd == "serve") return ServeCmd(argc - 2, argv + 2);
   std::printf("usage: see the comment at the top of examples/hom_tool.cpp\n");
-  return 2;
+  return 1;  // usage problems are 1, runtime errors are 2 (header contract)
 }

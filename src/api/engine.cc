@@ -6,31 +6,11 @@
 #include <utility>
 
 #include "common/check.h"
-#include "common/saturating.h"
 #include "cq/acyclic.h"
 
 namespace cqcs {
 
 namespace {
-
-/// Worst-case bytes the Yannakakis per-atom materialization can charge:
-/// every source tuple of relation R becomes a table of at most |R^B| rows
-/// of arity Elements. Saturates at SIZE_MAX (admission then refuses any
-/// finite budget, which is the right answer for an estimate that large).
-size_t EstimateAcyclicBytes(const Structure& a, const Structure& b) {
-  size_t total = 0;
-  const Vocabulary& vocab = *a.vocabulary();
-  for (RelId id = 0; id < vocab.size(); ++id) {
-    size_t row_bytes =
-        SatMul(vocab.arity(id), sizeof(Element), SIZE_MAX);
-    size_t per_atom =
-        SatMul(b.relation(id).tuple_count(), row_bytes, SIZE_MAX);
-    total = SatAdd(
-        total, SatMul(a.relation(id).tuple_count(), per_atom, SIZE_MAX),
-        SIZE_MAX);
-  }
-  return total;
-}
 
 void AppendJsonString(std::ostringstream& out, std::string_view s) {
   out << '"';
@@ -569,6 +549,18 @@ std::string EngineStats::ToJson() const {
         << "\",\"checks\":" << governor.checks
         << ",\"peak_bytes\":" << governor.peak_bytes
         << ",\"elapsed_ms\":" << governor.elapsed_ms << "}";
+  } else {
+    out << "null";
+  }
+  out << ",\"serve\":";
+  if (serve.enabled) {
+    out << "{\"plan_cache_hit\":" << (serve.plan_cache_hit ? "true" : "false")
+        << ",\"result_cache_hit\":"
+        << (serve.result_cache_hit ? "true" : "false")
+        << ",\"plan_hit_rate\":" << serve.plan_hit_rate
+        << ",\"result_hit_rate\":" << serve.result_hit_rate
+        << ",\"shed_total\":" << serve.shed_total
+        << ",\"queue_depth\":" << serve.queue_depth << "}";
   } else {
     out << "null";
   }

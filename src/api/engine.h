@@ -122,6 +122,19 @@ struct GovernorRunStats {
   uint64_t elapsed_ms = 0;   ///< wall-clock spent when the snapshot was taken
 };
 
+/// What the serving layer (serve/serving.h) did with the request before the
+/// engine ran: cache outcome plus an engine-wide snapshot. `enabled` stays
+/// false for direct HomEngine calls — the JSON then renders "serve": null.
+struct ServeRequestStats {
+  bool enabled = false;
+  bool plan_cache_hit = false;    ///< compiled plan reused (pair or rebind)
+  bool result_cache_hit = false;  ///< answer served without running a backend
+  uint64_t shed_total = 0;        ///< requests shed by admission so far
+  size_t queue_depth = 0;         ///< in-flight requests when this one ran
+  double plan_hit_rate = 0.0;     ///< engine-wide, at serve time
+  double result_hit_rate = 0.0;
+};
+
 /// Stats superset: one struct per backend that ran (used_* flags tell which).
 struct EngineStats {
   bool used_search = false;
@@ -137,6 +150,9 @@ struct EngineStats {
   YannakakisStats yannakakis;
   /// Resource accounting for governed runs (EngineOptions::deadline_ms etc.).
   GovernorRunStats governor;
+  /// Serving-layer record (cache hits, admission snapshot) for requests
+  /// that came through serve::ServingEngine.
+  ServeRequestStats serve;
   std::string ToJson() const;
 };
 

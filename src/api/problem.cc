@@ -94,6 +94,20 @@ Result<HomProblem> HomProblem::WithTarget(Structure new_target) const {
   return rebound;
 }
 
+Result<HomProblem> HomProblem::WithTarget(
+    std::shared_ptr<const Structure> new_target) const {
+  if (new_target == nullptr) {
+    return Status::InvalidArgument("WithTarget: null target");
+  }
+  if (!source_->vocabulary()->Equals(*new_target->vocabulary())) {
+    return Status::InvalidArgument(
+        "new target's vocabulary differs from the source's");
+  }
+  HomProblem rebound(source_, std::move(new_target), projection_);
+  rebound.source_cache_ = source_cache_;  // keep the compiled source side
+  return rebound;
+}
+
 Status HomProblem::SetProjection(std::vector<Element> projection) {
   for (Element e : projection) {
     if (e >= source_->universe_size()) {

@@ -81,6 +81,15 @@ class HomProblem {
   /// mismatch.
   Result<HomProblem> WithTarget(Structure new_target) const;
 
+  /// Zero-copy rebind for callers that already share ownership of a
+  /// validated target (the serving layer's database registry): same cache
+  /// sharing as WithTarget(Structure) but no structure copy and no
+  /// re-validation — the caller guarantees new_target passed Validate()
+  /// when it entered the shared pool. InvalidArgument on null pointers or
+  /// vocabulary mismatch.
+  Result<HomProblem> WithTarget(
+      std::shared_ptr<const Structure> new_target) const;
+
   const Structure& source() const { return *source_; }
   const Structure& target() const { return *target_; }
 

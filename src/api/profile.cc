@@ -40,6 +40,20 @@ size_t EstimateTreewidthDpBytes(size_t bags, int width,
   return SatMul(rows, row_bytes, SIZE_MAX);
 }
 
+size_t EstimateAcyclicBytes(const Structure& a, const Structure& b) {
+  size_t total = 0;
+  const Vocabulary& vocab = *a.vocabulary();
+  for (RelId id = 0; id < vocab.size(); ++id) {
+    size_t row_bytes = SatMul(vocab.arity(id), sizeof(Element), SIZE_MAX);
+    size_t per_atom =
+        SatMul(b.relation(id).tuple_count(), row_bytes, SIZE_MAX);
+    total = SatAdd(
+        total, SatMul(a.relation(id).tuple_count(), per_atom, SIZE_MAX),
+        SIZE_MAX);
+  }
+  return total;
+}
+
 InstanceProfile BuildProfile(const Structure& a, const Structure& b,
                              bool source_acyclic,
                              const TreeDecomposition& source_decomposition) {

@@ -89,6 +89,14 @@ double EstimateTreewidthDpCost(size_t bags, int width, size_t target_universe);
 /// before any table is built.
 size_t EstimateTreewidthDpBytes(size_t bags, int width, size_t target_universe);
 
+/// Worst-case bytes the Yannakakis per-atom materialization can charge:
+/// every source tuple of relation R becomes a table of at most |R^B| rows
+/// of arity Elements. Saturates at SIZE_MAX (admission then refuses any
+/// finite budget, which is the right answer for an estimate that large).
+/// Shared by the engine's pre-flight admission and the serving layer's
+/// in-flight-bytes queue policy.
+size_t EstimateAcyclicBytes(const Structure& a, const Structure& b);
+
 /// One-shot analysis of a structure pair: runs GYO (via the canonical query
 /// of A) and the min-fill heuristic, then classifies B. The structures are
 /// expected to share a vocabulary (the profile itself never compares them,

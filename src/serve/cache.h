@@ -1,0 +1,198 @@
+// Bounded, collision-safe LRU caches for the serving layer (serve/serving.h).
+//
+// A CacheKey carries both a 64-bit digest (the bucket hash) and the full
+// canonical content string the digest was computed from. Lookups bucket by
+// the digest but ALWAYS compare the full canonical string before declaring
+// a hit — a digest collision between two distinct keys can cost a miss,
+// never a cross-served value. Tests force collisions via WithDigest to
+// pin that property down.
+//
+// LruCache<V> is a classic intrusive-list LRU over a digest-bucketed index:
+// Get promotes to most-recently-used, Put evicts from the cold end when the
+// entry bound is exceeded, EraseIf sweeps entries for explicit invalidation
+// (the result cache drops a database's entries when it is re-registered).
+// All operations take an internal mutex: the serving engine calls the cache
+// from concurrent request threads.
+
+#ifndef CQCS_SERVE_CACHE_H_
+#define CQCS_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace cqcs::serve {
+
+/// A cache key: full canonical content plus its 64-bit digest. Equality
+/// compares the canonical string (the digest is only a bucket accelerator).
+struct CacheKey {
+  std::string canonical;
+  uint64_t digest = 0;
+
+  /// The normal constructor: digest = FNV-1a over the canonical bytes.
+  static CacheKey FromCanonical(std::string canonical) {
+    CacheKey k;
+    k.digest = DigestBytes(canonical);
+    k.canonical = std::move(canonical);
+    return k;
+  }
+
+  /// Test hook: a key with a forced digest, for exercising bucket
+  /// collisions between distinct canonicals.
+  static CacheKey WithDigest(std::string canonical, uint64_t digest) {
+    CacheKey k;
+    k.canonical = std::move(canonical);
+    k.digest = digest;
+    return k;
+  }
+
+  static uint64_t DigestBytes(const std::string& s) {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+
+  bool operator==(const CacheKey& other) const {
+    // Canonical-first on purpose: a hit is a hit only on full content.
+    return canonical == other.canonical;
+  }
+};
+
+/// Monotonic counters a cache keeps about itself. Snapshot via stats().
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;  ///< entries dropped by EraseIf
+  size_t entries = 0;          ///< current size (snapshot, not monotonic)
+};
+
+/// Bounded LRU map from CacheKey to shared_ptr<const V>. Thread-safe.
+template <typename V>
+class LruCache {
+ public:
+  /// `capacity` bounds the entry count; 0 disables the cache entirely
+  /// (every Get misses, every Put is dropped).
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  /// The cached value, promoting the entry to most-recently-used; nullptr
+  /// on miss. Hits require full canonical-key equality, never digest
+  /// equality alone.
+  std::shared_ptr<const V> Get(const CacheKey& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = Find(key);
+    if (it == entries_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    entries_.splice(entries_.begin(), entries_, it);  // promote
+    ++stats_.hits;
+    return it->value;
+  }
+
+  /// Inserts (or replaces) the value for `key`, evicting from the cold end
+  /// past the capacity bound.
+  void Put(const CacheKey& key, std::shared_ptr<const V> value) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = Find(key);
+    if (it != entries_.end()) {
+      it->value = std::move(value);
+      entries_.splice(entries_.begin(), entries_, it);
+      return;
+    }
+    entries_.push_front(Entry{key, std::move(value)});
+    index_.emplace(key.digest, entries_.begin());
+    ++stats_.insertions;
+    while (entries_.size() > capacity_) {
+      RemoveEntry(std::prev(entries_.end()));
+      ++stats_.evictions;
+    }
+  }
+
+  /// Drops every entry whose key satisfies `pred`; returns how many.
+  /// The invalidation sweep for database updates.
+  template <typename Pred>
+  size_t EraseIf(Pred pred) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t dropped = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      auto next = std::next(it);
+      if (pred(it->key)) {
+        RemoveEntry(it);
+        ++dropped;
+      }
+      it = next;
+    }
+    stats_.invalidations += dropped;
+    return dropped;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.invalidations += entries_.size();
+    entries_.clear();
+    index_.clear();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    CacheStats s = stats_;
+    s.entries = entries_.size();
+    return s;
+  }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const V> value;
+  };
+  using EntryList = std::list<Entry>;
+
+  /// Entries sharing a digest live in the multimap bucket; the full
+  /// canonical comparison picks the right one (or none).
+  typename EntryList::iterator Find(const CacheKey& key) {
+    auto [lo, hi] = index_.equal_range(key.digest);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second->key == key) return it->second;
+    }
+    return entries_.end();
+  }
+
+  void RemoveEntry(typename EntryList::iterator it) {
+    auto [lo, hi] = index_.equal_range(it->key.digest);
+    for (auto idx = lo; idx != hi; ++idx) {
+      if (idx->second == it) {
+        index_.erase(idx);
+        break;
+      }
+    }
+    entries_.erase(it);
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  EntryList entries_;  // front = most recently used
+  std::unordered_multimap<uint64_t, typename EntryList::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace cqcs::serve
+
+#endif  // CQCS_SERVE_CACHE_H_

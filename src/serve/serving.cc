@@ -1,0 +1,326 @@
+#include "serve/serving.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "api/profile.h"
+#include "common/saturating.h"
+#include "cq/parser.h"
+#include "cq/query.h"
+
+namespace cqcs::serve {
+
+namespace {
+
+/// Decrements the in-flight request/byte counters when a request leaves the
+/// engine, whatever path it took out.
+class AdmissionGuard {
+ public:
+  AdmissionGuard(std::atomic<size_t>* in_flight,
+                 std::atomic<size_t>* in_flight_bytes)
+      : in_flight_(in_flight), in_flight_bytes_(in_flight_bytes) {}
+  ~AdmissionGuard() {
+    if (in_flight_ != nullptr) {
+      in_flight_->fetch_sub(1, std::memory_order_relaxed);
+    }
+    if (bytes_reserved_ > 0) {
+      in_flight_bytes_->fetch_sub(bytes_reserved_, std::memory_order_relaxed);
+    }
+  }
+  void set_bytes_reserved(size_t bytes) { bytes_reserved_ = bytes; }
+
+ private:
+  std::atomic<size_t>* in_flight_;
+  std::atomic<size_t>* in_flight_bytes_;
+  size_t bytes_reserved_ = 0;
+};
+
+/// "unknown" results must never be cached: a governor trip or a node-limit
+/// stop reflects this request's budget, not the instance's answer.
+bool IsCacheable(const EngineResult& r) {
+  return !r.stats.governor.tripped && !r.stats.search.limit_hit;
+}
+
+}  // namespace
+
+std::string ServeStats::ToJson() const {
+  std::ostringstream out;
+  out << "{\"requests\":" << requests << ",\"served\":" << served
+      << ",\"errors\":" << errors << ",\"plan_hits\":" << plan_hits
+      << ",\"plan_misses\":" << plan_misses
+      << ",\"plan_hit_rate\":" << PlanHitRate()
+      << ",\"result_hits\":" << result_hits
+      << ",\"result_misses\":" << result_misses
+      << ",\"result_hit_rate\":" << ResultHitRate()
+      << ",\"shed_queue\":" << shed_queue << ",\"shed_bytes\":" << shed_bytes
+      << ",\"updates\":" << updates
+      << ",\"invalidated_entries\":" << invalidated_entries
+      << ",\"queue_depth\":" << queue_depth
+      << ",\"queue_depth_peak\":" << queue_depth_peak
+      << ",\"inflight_bytes\":" << inflight_bytes
+      << ",\"plan_cache_entries\":" << plan_cache_entries
+      << ",\"result_cache_entries\":" << result_cache_entries << "}";
+  return out.str();
+}
+
+ServingEngine::ServingEngine(ServeOptions options)
+    : options_(options),
+      plan_cache_(options.plan_cache_entries),
+      result_cache_(options.result_cache_entries) {}
+
+Status ServingEngine::UpsertDatabase(const std::string& name, Structure db) {
+  if (name.empty() ||
+      name.find_first_of("|# \t\n") != std::string::npos) {
+    return Status::InvalidArgument(
+        "database names must be nonempty and free of '|', '#', and "
+        "whitespace (got \"" + name + "\")");
+  }
+  CQCS_RETURN_IF_ERROR(db.Validate());
+  auto shared = std::make_shared<const Structure>(std::move(db));
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    DbEntry& entry = registry_[name];
+    entry.structure = std::move(shared);
+    ++entry.version;
+  }
+  // Invalidation sweep: every cached result (and warm pair plan) computed
+  // against any older version of this name. The version bump already made
+  // those keys unreachable; the sweep frees them eagerly so a stale answer
+  // cannot outlive the data it was computed from even via a key bug.
+  const std::string segment = "|" + name + "#";
+  size_t dropped = result_cache_.EraseIf([&](const CacheKey& key) {
+    return key.canonical.find(segment) != std::string::npos;
+  });
+  dropped += plan_cache_.EraseIf([&](const CacheKey& key) {
+    return key.canonical.find(segment) != std::string::npos;
+  });
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.updates;
+    stats_.invalidated_entries += dropped;
+  }
+  return Status::OK();
+}
+
+Status ServingEngine::DropDatabase(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    if (registry_.erase(name) == 0) {
+      return Status::NotFound("no database named \"" + name + "\"");
+    }
+  }
+  const std::string segment = "|" + name + "#";
+  size_t dropped = result_cache_.EraseIf([&](const CacheKey& key) {
+    return key.canonical.find(segment) != std::string::npos;
+  });
+  dropped += plan_cache_.EraseIf([&](const CacheKey& key) {
+    return key.canonical.find(segment) != std::string::npos;
+  });
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.invalidated_entries += dropped;
+  return Status::OK();
+}
+
+Result<ServingEngine::ResolvedDb> ServingEngine::ResolveDatabase(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = registry_.find(name);
+  if (it == registry_.end()) {
+    return Status::NotFound("no database named \"" + name + "\"");
+  }
+  ResolvedDb db;
+  db.structure = it->second.structure;
+  db.target_key = name + "#" + std::to_string(it->second.version);
+  return db;
+}
+
+void ServingEngine::FillServeSnapshot(EngineResult* result, bool plan_hit,
+                                      bool result_hit) const {
+  ServeRequestStats& s = result->stats.serve;
+  s.enabled = true;
+  s.plan_cache_hit = plan_hit;
+  s.result_cache_hit = result_hit;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  s.shed_total = stats_.shed_queue + stats_.shed_bytes;
+  s.queue_depth = in_flight_.load(std::memory_order_relaxed);
+  s.plan_hit_rate = stats_.PlanHitRate();
+  s.result_hit_rate = stats_.ResultHitRate();
+}
+
+Result<EngineResult> ServingEngine::Serve(const ServeRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+  }
+
+  // ---- Queue-depth admission: shed, never stall. -------------------------
+  const size_t depth = in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  AdmissionGuard guard(&in_flight_, &in_flight_bytes_);
+  {
+    // The peak counts arrivals, shed or served: a shed request did occupy
+    // this depth for the instant the bound was evaluated against it.
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.queue_depth_peak = std::max(stats_.queue_depth_peak, depth);
+  }
+  if (options_.max_queue_depth > 0 && depth > options_.max_queue_depth) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.shed_queue;
+    return Status::ResourceExhausted(
+        "request shed: queue depth " + std::to_string(depth) +
+        " exceeds the admission bound " +
+        std::to_string(options_.max_queue_depth));
+  }
+
+  // ---- Resolve the database and canonicalize the query. ------------------
+  auto db = ResolveDatabase(request.database);
+  if (!db.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.errors;
+    return db.status();
+  }
+  auto query = ParseQuery(request.query, db->structure->vocabulary());
+  if (!query.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.errors;
+    return query.status();
+  }
+  // The canonical text (parse -> print) makes whitespace/naming variants of
+  // one query share a plan; the vocabulary string keeps equal texts over
+  // different schemas apart.
+  const std::string canonical = ToString(*query);
+  const std::string vocab_key = db->structure->vocabulary()->ToString();
+
+  // ---- Result cache. -----------------------------------------------------
+  std::ostringstream result_key_text;
+  result_key_text << "res|" << HomTaskName(request.task)
+                  << "|cl=" << options_.engine.count_limit
+                  << "|mr=" << options_.engine.max_results << "|"
+                  << db->target_key << "|" << canonical;
+  const CacheKey result_key =
+      CacheKey::FromCanonical(std::move(result_key_text).str());
+  if (options_.result_cache_entries > 0) {
+    if (std::shared_ptr<const EngineResult> hit = result_cache_.Get(result_key)) {
+      EngineResult copy = *hit;
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.result_hits;
+        ++stats_.served;
+      }
+      FillServeSnapshot(&copy, /*plan_hit=*/false, /*result_hit=*/true);
+      return copy;
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.result_misses;
+  }
+
+  // ---- Plan cache: pair level first, then source level + rebind. ---------
+  const CacheKey pair_key = CacheKey::FromCanonical(
+      "pair|" + db->target_key + "|" + canonical);
+  const CacheKey src_key =
+      CacheKey::FromCanonical("src|" + vocab_key + "|" + canonical);
+  std::shared_ptr<const HomProblem> problem;
+  bool plan_hit = false;
+  if (options_.plan_cache_entries > 0) {
+    problem = plan_cache_.Get(pair_key);
+    if (problem != nullptr) {
+      plan_hit = true;  // target-side artifacts warm too
+    } else if (std::shared_ptr<const HomProblem> src = plan_cache_.Get(src_key)) {
+      // Same query, new database (or new version): share every source-side
+      // artifact, rebuild only the target side.
+      auto rebound = src->WithTarget(db->structure);
+      if (rebound.ok()) {
+        plan_hit = true;
+        auto shared = std::make_shared<const HomProblem>(*std::move(rebound));
+        plan_cache_.Put(pair_key, shared);
+        problem = std::move(shared);
+      }
+      // A vocabulary mismatch here means the src entry belongs to another
+      // schema despite the vocab key — fall through to a cold compile.
+    }
+  }
+  if (problem == nullptr) {
+    auto compiled = HomProblem::FromQuery(*query, *db->structure);
+    if (!compiled.ok()) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.errors;
+      return compiled.status();
+    }
+    auto shared = std::make_shared<const HomProblem>(*std::move(compiled));
+    if (options_.plan_cache_entries > 0) {
+      plan_cache_.Put(src_key, shared);
+      plan_cache_.Put(pair_key, shared);
+    }
+    problem = std::move(shared);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (plan_hit) {
+      ++stats_.plan_hits;
+    } else {
+      ++stats_.plan_misses;
+    }
+  }
+
+  // ---- In-flight bytes admission. ----------------------------------------
+  // The same size-bound estimate the engine's pre-flight admission uses
+  // (worst-case bytes of the per-atom Yannakakis materialization) doubles
+  // as the queue policy's in-flight weight: cheap, monotone in the real
+  // footprint, and already validated against the governor's accounting.
+  if (options_.max_inflight_bytes > 0) {
+    const size_t estimate =
+        EstimateAcyclicBytes(problem->source(), *db->structure);
+    size_t current = in_flight_bytes_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (SatAdd(current, estimate, SIZE_MAX) > options_.max_inflight_bytes) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.shed_bytes;
+        return Status::ResourceExhausted(
+            "request shed: size-bound estimate " + std::to_string(estimate) +
+            " bytes does not fit under the in-flight admission budget (" +
+            std::to_string(options_.max_inflight_bytes) + " bytes, " +
+            std::to_string(current) + " in flight)");
+      }
+      if (in_flight_bytes_.compare_exchange_weak(current, current + estimate,
+                                                 std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    guard.set_bytes_reserved(estimate);
+  }
+
+  // ---- Execute on the shared engine configuration. -----------------------
+  HomEngine engine(options_.engine);
+  auto result = engine.Run(*problem, request.task);
+  if (!result.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.errors;
+    return result.status();
+  }
+  if (options_.result_cache_entries > 0 && IsCacheable(*result)) {
+    auto cached = std::make_shared<EngineResult>(*result);
+    cached->stats.serve = ServeRequestStats{};  // hits refill it per request
+    result_cache_.Put(result_key, std::move(cached));
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.served;
+  }
+  FillServeSnapshot(&*result, plan_hit, /*result_hit=*/false);
+  return result;
+}
+
+ServeStats ServingEngine::stats() const {
+  ServeStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    snapshot = stats_;
+  }
+  snapshot.queue_depth = in_flight_.load(std::memory_order_relaxed);
+  snapshot.inflight_bytes = in_flight_bytes_.load(std::memory_order_relaxed);
+  snapshot.plan_cache_entries = plan_cache_.size();
+  snapshot.result_cache_entries = result_cache_.size();
+  return snapshot;
+}
+
+}  // namespace cqcs::serve

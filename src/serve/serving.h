@@ -1,0 +1,171 @@
+// ServingEngine: a long-lived front end over one shared HomEngine for
+// repeated queries against slowly changing databases.
+//
+// The engine-per-call API (api/engine.h) recompiles everything per request;
+// production traffic is millions of *repeated* queries over a pool of
+// databases that change rarely. The serving layer adds exactly the three
+// pieces that monetize that shape:
+//
+//   Plan cache    bounded LRU keyed by the canonical query text (full
+//                 content, collision-safe — serve/cache.h). Two levels
+//                 share one cache: a source-plan entry per canonical query
+//                 (the compiled HomProblem source side: canonical query,
+//                 GYO verdict, decomposition) and a pair-plan entry per
+//                 (query, database version) whose target-side artifacts
+//                 (CSP network, profile) are warm too. A query seen against
+//                 a NEW database version rebinds the source plan with
+//                 WithTarget — only tables rebuild.
+//   Result cache  bounded LRU keyed by (task, limits, source key = the
+//                 canonical query text, target key = database name #
+//                 registration version). Explicitly invalidated when the
+//                 database is re-registered: UpsertDatabase bumps the
+//                 version (making stale keys unreachable) AND sweeps the
+//                 old entries out. Unknown results (governor trips, node
+//                 limits) are never cached.
+//   Admission     queue-level load shedding on top of the per-request
+//                 ResourceGovernor budgets: a global in-flight request
+//                 bound (queue depth) and an in-flight bytes bound fed by
+//                 the same size-bound estimates the engine's pre-flight
+//                 admission uses (EstimateAcyclicBytes). A request over
+//                 either bound is shed with kResourceExhausted immediately
+//                 — the policy sheds, it never stalls.
+//
+// Thread safety: Serve(), UpsertDatabase(), and stats() may be called from
+// concurrent threads. Per-request parallelism (SolveOptions::num_threads)
+// rides the solver's existing work-stealing pool unchanged.
+//
+// Every served EngineResult carries stats.serve (plan/result hit flags plus
+// an engine-wide snapshot), so `hom_tool --explain`-style consumers see the
+// cache behavior inline; the aggregate ServeStats snapshot has its own
+// ToJson for the `stats` protocol command and the bench harness.
+
+#ifndef CQCS_SERVE_SERVING_H_
+#define CQCS_SERVE_SERVING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/engine.h"
+#include "common/status.h"
+#include "core/structure.h"
+#include "serve/cache.h"
+
+namespace cqcs::serve {
+
+/// Serving configuration. The engine options apply per request (including
+/// the per-request governor knobs: deadline_ms, memory_budget_bytes).
+struct ServeOptions {
+  EngineOptions engine;
+  /// Entry bounds for the two caches; 0 disables a cache outright.
+  size_t plan_cache_entries = 512;
+  size_t result_cache_entries = 4096;
+  /// Queue-level admission. 0 = unbounded. A request arriving when
+  /// `max_queue_depth` requests are already in flight — or whose size-bound
+  /// byte estimate does not fit under `max_inflight_bytes` next to the
+  /// in-flight estimates — is shed with kResourceExhausted.
+  size_t max_queue_depth = 0;
+  size_t max_inflight_bytes = 0;
+};
+
+/// Aggregate serving counters. Hit rates are derived, not stored.
+struct ServeStats {
+  uint64_t requests = 0;       ///< Serve() calls, including shed ones
+  uint64_t served = 0;         ///< requests that produced an EngineResult
+  uint64_t errors = 0;         ///< parse / unknown-name / engine errors
+  uint64_t plan_hits = 0;
+  uint64_t plan_misses = 0;
+  uint64_t result_hits = 0;
+  uint64_t result_misses = 0;  ///< result-cache lookups that missed
+  uint64_t shed_queue = 0;     ///< shed: queue depth bound
+  uint64_t shed_bytes = 0;     ///< shed: in-flight bytes bound
+  uint64_t updates = 0;        ///< UpsertDatabase calls
+  uint64_t invalidated_entries = 0;  ///< cache entries swept by updates
+  size_t queue_depth = 0;       ///< in-flight requests (snapshot)
+  size_t queue_depth_peak = 0;
+  size_t inflight_bytes = 0;    ///< reserved byte estimates (snapshot)
+  size_t plan_cache_entries = 0;
+  size_t result_cache_entries = 0;
+
+  double PlanHitRate() const {
+    const uint64_t total = plan_hits + plan_misses;
+    return total == 0 ? 0.0 : static_cast<double>(plan_hits) / total;
+  }
+  double ResultHitRate() const {
+    const uint64_t total = result_hits + result_misses;
+    return total == 0 ? 0.0 : static_cast<double>(result_hits) / total;
+  }
+  std::string ToJson() const;
+};
+
+/// One serving request: a conjunctive query (text) against a registered
+/// database, for a task. Projection tasks use the query's head.
+struct ServeRequest {
+  std::string query;     ///< CQ text, e.g. "Q(X) :- E(X, Y), E(Y, X)."
+  std::string database;  ///< a name registered via UpsertDatabase
+  HomTask task = HomTask::kDecide;
+};
+
+class ServingEngine {
+ public:
+  explicit ServingEngine(ServeOptions options = {});
+
+  /// Registers `db` under `name`, replacing any previous registration.
+  /// Replacement bumps the name's version and invalidates every cached
+  /// result (and pair plan) that was computed against the old content.
+  /// InvalidArgument if the database fails Validate().
+  Status UpsertDatabase(const std::string& name, Structure db);
+
+  /// Unregisters `name`, invalidating its cached results. NotFound if the
+  /// name was never registered.
+  Status DropDatabase(const std::string& name);
+
+  /// Serves one request. Errors: InvalidArgument for unparsable queries,
+  /// NotFound for unknown database names, ResourceExhausted when admission
+  /// sheds the request (stats.shed_* tells which bound) or the per-request
+  /// governor would not admit it. A successful result carries
+  /// stats.serve.{plan_cache_hit, result_cache_hit} and the usual engine
+  /// explain/stats record.
+  Result<EngineResult> Serve(const ServeRequest& request);
+
+  ServeStats stats() const;
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct DbEntry {
+    std::shared_ptr<const Structure> structure;
+    uint64_t version = 0;
+  };
+  struct ResolvedDb {
+    std::shared_ptr<const Structure> structure;
+    std::string target_key;  ///< "name#version"
+  };
+
+  Result<ResolvedDb> ResolveDatabase(const std::string& name) const;
+  void FillServeSnapshot(EngineResult* result, bool plan_hit,
+                         bool result_hit) const;
+
+  const ServeOptions options_;
+
+  mutable std::mutex registry_mu_;
+  std::unordered_map<std::string, DbEntry> registry_;
+
+  /// Both plan levels live in one LRU; keys are prefixed "src|" / "pair|".
+  LruCache<HomProblem> plan_cache_;
+  LruCache<EngineResult> result_cache_;
+
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<size_t> in_flight_bytes_{0};
+
+  mutable std::mutex stats_mu_;
+  ServeStats stats_;
+};
+
+}  // namespace cqcs::serve
+
+#endif  // CQCS_SERVE_SERVING_H_

@@ -1,0 +1,138 @@
+#include "serve/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cqcs::serve {
+
+namespace {
+
+class UniformChooser : public KeyChooser {
+ public:
+  explicit UniformChooser(uint32_t n) : n_(n) {}
+  uint32_t Next(Rng& rng) override {
+    return static_cast<uint32_t>(rng.Below(n_));
+  }
+  uint32_t key_count() const override { return n_; }
+
+ private:
+  uint32_t n_;
+};
+
+/// Zipfian over [0, n) with parameter theta, via the rejection-free inverse
+/// method of Gray et al. ("Quickly generating billion-record synthetic
+/// databases"), the same construction YCSB's ZipfianGenerator uses. Key 0
+/// is the hottest; the serving pool indexes carry no meaning beyond
+/// identity, so no extra scramble is needed (and determinism stays obvious).
+class ZipfianChooser : public KeyChooser {
+ public:
+  ZipfianChooser(uint32_t n, double theta) : n_(n), theta_(theta) {
+    zetan_ = Zeta(n, theta_);
+    zeta2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / n_, 1.0 - theta_)) / (1.0 - zeta2_ / zetan_);
+  }
+
+  uint32_t Next(Rng& rng) override {
+    const double u = static_cast<double>(rng.Next() >> 11) * 0x1.0p-53;
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const double v =
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    const uint32_t k = static_cast<uint32_t>(v);
+    return std::min(k, n_ - 1);
+  }
+
+  uint32_t key_count() const override { return n_; }
+
+ private:
+  static double Zeta(uint32_t n, double theta) {
+    double sum = 0.0;
+    for (uint32_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta);
+    return sum;
+  }
+
+  uint32_t n_;
+  double theta_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+/// Self-similar (b-model) distribution: the first h-fraction of the key
+/// space receives 1-h of the draws, recursively (Gray et al. §3.3). Small
+/// h = strong skew.
+class SelfSimilarChooser : public KeyChooser {
+ public:
+  SelfSimilarChooser(uint32_t n, double skew) : n_(n), skew_(skew) {}
+
+  uint32_t Next(Rng& rng) override {
+    const double u = static_cast<double>(rng.Next() >> 11) * 0x1.0p-53;
+    const double v =
+        static_cast<double>(n_) *
+        std::pow(u, std::log(skew_) / std::log(1.0 - skew_));
+    const uint32_t k = static_cast<uint32_t>(v);
+    return std::min(k, n_ - 1);
+  }
+
+  uint32_t key_count() const override { return n_; }
+
+ private:
+  uint32_t n_;
+  double skew_;
+};
+
+}  // namespace
+
+const char* DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform: return "uniform";
+    case Distribution::kZipfian: return "zipfian";
+    case Distribution::kSelfSimilar: return "selfsimilar";
+  }
+  return "unknown";
+}
+
+std::optional<Distribution> ParseDistributionName(std::string_view name) {
+  for (Distribution d : {Distribution::kUniform, Distribution::kZipfian,
+                         Distribution::kSelfSimilar}) {
+    if (name == DistributionName(d)) return d;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<KeyChooser> MakeKeyChooser(Distribution d, uint32_t n,
+                                           double param) {
+  CQCS_CHECK(n > 0);
+  switch (d) {
+    case Distribution::kUniform:
+      return std::make_unique<UniformChooser>(n);
+    case Distribution::kZipfian:
+      return std::make_unique<ZipfianChooser>(
+          n, std::clamp(param, 0.01, 0.99));
+    case Distribution::kSelfSimilar:
+      return std::make_unique<SelfSimilarChooser>(
+          n, std::clamp(param, 0.01, 0.99));
+  }
+  return std::make_unique<UniformChooser>(n);
+}
+
+Workload::Workload(const WorkloadSpec& spec)
+    : spec_(spec),
+      rng_(spec.seed),
+      query_chooser_(MakeKeyChooser(spec.query_dist, spec.num_queries,
+                                    spec.query_skew)),
+      db_chooser_(MakeKeyChooser(Distribution::kUniform, spec.num_databases,
+                                 0.0)) {}
+
+Op Workload::Next() {
+  Op op;
+  op.type = rng_.Chance(spec_.update_fraction) ? OpType::kUpdate
+                                               : OpType::kRead;
+  op.query = query_chooser_->Next(rng_);
+  op.database = db_chooser_->Next(rng_);
+  return op;
+}
+
+}  // namespace cqcs::serve

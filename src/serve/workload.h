@@ -1,0 +1,100 @@
+// YCSB-style workload generation for the serving benchmarks and tests.
+//
+// A serving claim needs a traffic model, not a single query: this module
+// turns a small pool of queries and databases into an op stream with
+// controllable skew and read/update mix, in the load()/get_next() spirit of
+// the codes-workload API (SNIPPETS.md) and the BBTree zipfian harness.
+//
+//   KeyChooser     pluggable distribution over [0, n): uniform, zipfian
+//                  (Gray et al.'s incremental-zeta algorithm, theta in
+//                  [0.5, 0.99] like the YCSB presets), self-similar
+//                  (80/20-style: the hottest `skew` fraction of the keys
+//                  draws 1-skew of the traffic, recursively).
+//   WorkloadSpec   pool sizes + distribution + update fraction.
+//   Workload       the op stream: Next() yields {kRead|kUpdate, query, db}.
+//
+// Everything is seeded and deterministic, so a bench arm and its oracle
+// re-check replay the exact same traffic.
+
+#ifndef CQCS_SERVE_WORKLOAD_H_
+#define CQCS_SERVE_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "common/rng.h"
+
+namespace cqcs::serve {
+
+/// Which distribution a KeyChooser draws from.
+enum class Distribution {
+  kUniform,
+  kZipfian,      ///< param = theta (0 < theta < 1; YCSB uses 0.99)
+  kSelfSimilar,  ///< param = skew h (the hot h-fraction gets 1-h of draws)
+};
+
+/// "uniform" / "zipfian" / "selfsimilar" — stable names for flags and JSON.
+const char* DistributionName(Distribution d);
+/// Inverse of DistributionName; nullopt for unknown names.
+std::optional<Distribution> ParseDistributionName(std::string_view name);
+
+/// A distribution over keys [0, n). Implementations are deterministic
+/// functions of the Rng stream passed to Next().
+class KeyChooser {
+ public:
+  virtual ~KeyChooser() = default;
+  virtual uint32_t Next(Rng& rng) = 0;
+  virtual uint32_t key_count() const = 0;
+};
+
+/// Factory over Distribution. `param` is ignored for kUniform. n must be
+/// positive; zipfian theta outside (0,1) and self-similar skew outside
+/// (0,1) are clamped to the YCSB-typical range.
+std::unique_ptr<KeyChooser> MakeKeyChooser(Distribution d, uint32_t n,
+                                           double param);
+
+enum class OpType {
+  kRead,    ///< serve a (query, database) request
+  kUpdate,  ///< mutate + re-register the database (invalidates results)
+};
+
+/// One operation of the stream.
+struct Op {
+  OpType type = OpType::kRead;
+  uint32_t query = 0;     ///< index into the query pool
+  uint32_t database = 0;  ///< index into the database pool
+};
+
+/// Pool sizes and mix knobs. Queries are drawn with the configured skew
+/// (the repeated-query assumption the plan cache monetizes); databases are
+/// drawn uniformly; each op is an update with probability update_fraction.
+struct WorkloadSpec {
+  uint32_t num_queries = 16;
+  uint32_t num_databases = 4;
+  Distribution query_dist = Distribution::kZipfian;
+  double query_skew = 0.99;
+  double update_fraction = 0.0;  ///< 0 = read-only, 0.5 = update-heavy
+  uint64_t seed = 0x5e12;
+};
+
+/// The op stream. Construct once ("load"), then call Next() per op.
+class Workload {
+ public:
+  explicit Workload(const WorkloadSpec& spec);
+
+  Op Next();
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  WorkloadSpec spec_;
+  Rng rng_;
+  std::unique_ptr<KeyChooser> query_chooser_;
+  std::unique_ptr<KeyChooser> db_chooser_;
+};
+
+}  // namespace cqcs::serve
+
+#endif  // CQCS_SERVE_WORKLOAD_H_

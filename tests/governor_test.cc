@@ -18,6 +18,8 @@
 #include "cq/parser.h"
 #include "datalog/parser.h"
 #include "gen/generators.h"
+#include "rel/hash_index.h"
+#include "rel/table.h"
 #include "solver/backtracking.h"
 
 namespace cqcs {
@@ -103,6 +105,207 @@ TEST(GovernorTest, AdmitBytesDoesNotTrip) {
   EXPECT_FALSE(g.tripped());  // admission is advisory, not a trip
   ResourceGovernor unlimited;
   EXPECT_TRUE(unlimited.AdmitBytes(SIZE_MAX));
+}
+
+// ---- Charged-bytes conservation in the governed rel/ kernel. --------------
+//
+// rel::Table and rel::HashIndex report capacity deltas to the governor and
+// hand their charge over on move (the moved-from object must neither
+// double-release nor keep a phantom charge). The audit property: after ANY
+// interleaving of appends, reserves, copies, moves, clears, KeepRows, and
+// destructions, bytes_in_use() equals the sum of the live objects' charges
+// — and hits exactly zero when the last governed object dies.
+
+TEST(GovernorChargeTest, TableMoveTransfersChargeExactlyOnce) {
+  ResourceGovernor g;
+  {
+    rel::Table a(2);
+    a.AttachGovernor(&g);
+    for (Element v = 0; v < 100; ++v) {
+      const Element row[2] = {v, v};
+      a.AppendRow(row);
+    }
+    const size_t charged = g.bytes_in_use();
+    ASSERT_GT(charged, 0u);
+    // Move-construct: the charge follows the buffer; destroying the
+    // moved-from shell must not release (or re-release) anything.
+    rel::Table b(std::move(a));
+    EXPECT_EQ(g.bytes_in_use(), charged);
+    { rel::Table graveyard(std::move(a)); }  // NOLINT(bugprone-use-after-move)
+    EXPECT_EQ(g.bytes_in_use(), charged);
+    // Move-assign over a charged table: the target's old charge is
+    // released, the source's transfers — never summed, never dropped.
+    rel::Table c(2);
+    c.AttachGovernor(&g);
+    const Element row[2] = {1, 2};
+    for (int i = 0; i < 50; ++i) c.AppendRow(row);
+    c = std::move(b);
+    EXPECT_EQ(g.bytes_in_use(), charged);
+  }
+  EXPECT_EQ(g.bytes_in_use(), 0u);
+}
+
+TEST(GovernorChargeTest, TableCopyChargesTheCopyIndependently) {
+  ResourceGovernor g;
+  {
+    rel::Table a(3);
+    a.AttachGovernor(&g);
+    const Element row[3] = {1, 2, 3};
+    for (int i = 0; i < 64; ++i) a.AppendRow(row);
+    const size_t one = g.bytes_in_use();
+    rel::Table b(a);
+    // The copy charges its own buffer (at least the 64*3 cells of data,
+    // whatever slack the original's capacity carried).
+    EXPECT_GE(g.bytes_in_use(), one + 64 * 3 * sizeof(Element));
+    b = a;  // re-assign releases the old charge then re-charges, no leak
+    const size_t both = g.bytes_in_use();
+    {
+      rel::Table c(a);
+      EXPECT_GT(g.bytes_in_use(), both);
+    }
+    EXPECT_EQ(g.bytes_in_use(), both);  // c fully released on destruction
+  }
+  EXPECT_EQ(g.bytes_in_use(), 0u);
+}
+
+TEST(GovernorChargeTest, KeepRowsAndClearNeverLeakCharge) {
+  ResourceGovernor g;
+  {
+    rel::Table t(2);
+    t.AttachGovernor(&g);
+    const Element row[2] = {7, 7};
+    for (int i = 0; i < 200; ++i) t.AppendRow(row);
+    // KeepRows compacts in place (capacity, and thus the charge, may stay);
+    // the invariant is only that destruction returns to zero, checked at
+    // scope exit, and that the charge never exceeds the peak.
+    const size_t peak = g.bytes_in_use();
+    const uint32_t keep_ids[] = {0, 5, 9};
+    t.KeepRows(keep_ids);
+    EXPECT_LE(g.bytes_in_use(), peak);
+    t.Clear();
+    EXPECT_LE(g.bytes_in_use(), peak);
+    t.AttachGovernor(nullptr);  // detach releases everything still charged
+    EXPECT_EQ(g.bytes_in_use(), 0u);
+    const Element row2[2] = {1, 1};
+    t.AppendRow(row2);  // detached: no governor, no charge
+    EXPECT_EQ(g.bytes_in_use(), 0u);
+  }
+  EXPECT_EQ(g.bytes_in_use(), 0u);
+}
+
+TEST(GovernorChargeTest, HashIndexMovesAndCopiesConserveCharge) {
+  ResourceGovernor g;
+  {
+    rel::Table t(2);
+    for (Element v = 0; v < 128; ++v) {
+      const Element r[2] = {v, v % 7};
+      t.AppendRow(r);
+    }
+    rel::HashIndex idx;
+    idx.AttachGovernor(&g);
+    idx.Build(t.data(), 2, static_cast<uint32_t>(t.row_count()), {1});
+    const size_t charged = g.bytes_in_use();
+    ASSERT_GT(charged, 0u);
+    rel::HashIndex moved(std::move(idx));
+    EXPECT_EQ(g.bytes_in_use(), charged);
+    rel::HashIndex copy(moved);
+    EXPECT_GT(g.bytes_in_use(), charged);
+    copy = std::move(moved);  // release copy's charge, adopt moved's
+    EXPECT_EQ(g.bytes_in_use(), charged);
+  }
+  EXPECT_EQ(g.bytes_in_use(), 0u);
+}
+
+TEST(GovernorChargeTest, RandomizedLifecycleConservesToZero) {
+  // Randomized interleaving over a pool of governed tables and indexes;
+  // the governor's byte account must (a) never underflow (an underflow
+  // wraps size_t and shows up as an absurdly large balance) and (b) settle
+  // at exactly zero once the pool is destroyed.
+  Rng rng(0xacc7);
+  ResourceGovernor g;
+  {
+    std::vector<rel::Table> tables;
+    std::vector<rel::HashIndex> indexes;
+    for (int step = 0; step < 600; ++step) {
+      const uint32_t action = rng.Below(8);
+      switch (action) {
+        case 0: {  // new governed table
+          rel::Table t(2);
+          t.AttachGovernor(&g);
+          tables.push_back(std::move(t));
+          break;
+        }
+        case 1: {  // append rows
+          if (tables.empty()) break;
+          rel::Table& t = tables[rng.Below(
+              static_cast<uint32_t>(tables.size()))];
+          for (int i = 0; i < 16; ++i) {
+            const Element row[2] = {static_cast<Element>(rng.Below(100)),
+                                    static_cast<Element>(rng.Below(100))};
+            t.AppendRow(row);
+          }
+          break;
+        }
+        case 2: {  // reserve
+          if (tables.empty()) break;
+          tables[rng.Below(static_cast<uint32_t>(tables.size()))].Reserve(
+              rng.Below(256));
+          break;
+        }
+        case 3: {  // copy-assign
+          if (tables.size() < 2) break;
+          const uint32_t n = static_cast<uint32_t>(tables.size());
+          tables[rng.Below(n)] = tables[rng.Below(n)];
+          break;
+        }
+        case 4: {  // move-assign (possibly self — guarded by the kernel)
+          if (tables.size() < 2) break;
+          const uint32_t n = static_cast<uint32_t>(tables.size());
+          tables[rng.Below(n)] = std::move(tables[rng.Below(n)]);
+          break;
+        }
+        case 5: {  // destroy one
+          if (tables.empty()) break;
+          tables.erase(tables.begin() +
+                       rng.Below(static_cast<uint32_t>(tables.size())));
+          break;
+        }
+        case 6: {  // KeepRows / Clear
+          if (tables.empty()) break;
+          rel::Table& t = tables[rng.Below(
+              static_cast<uint32_t>(tables.size()))];
+          if (t.row_count() > 2 && rng.Chance(0.5)) {
+            const uint32_t keep[] = {0, 1};
+            t.KeepRows(keep);
+          } else {
+            t.Clear();
+          }
+          break;
+        }
+        case 7: {  // build a governed index over a random table
+          if (tables.empty()) break;
+          const rel::Table& t = tables[rng.Below(
+              static_cast<uint32_t>(tables.size()))];
+          if (t.row_count() == 0) break;
+          rel::HashIndex idx;
+          idx.AttachGovernor(&g);
+          idx.Build(t.data(), t.width(),
+                    static_cast<uint32_t>(t.row_count()), {0});
+          if (indexes.size() > 4) {
+            indexes[rng.Below(static_cast<uint32_t>(indexes.size()))] =
+                std::move(idx);
+          } else {
+            indexes.push_back(std::move(idx));
+          }
+          break;
+        }
+      }
+      // Underflow guard: a bad release would wrap to ~SIZE_MAX.
+      ASSERT_LT(g.bytes_in_use(), size_t{1} << 40) << "step " << step;
+    }
+  }
+  EXPECT_EQ(g.bytes_in_use(), 0u);
+  EXPECT_FALSE(g.tripped());
 }
 
 // ---- Saturating arithmetic boundaries. ------------------------------------

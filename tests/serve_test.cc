@@ -1,0 +1,476 @@
+// Serving-layer net (`ctest -L serve`): the collision-safe LRU cache, the
+// workload generator, and the ServingEngine's caches / invalidation /
+// admission against a fresh-engine oracle.
+//
+// The two properties the acceptance bar names are pinned here:
+//   - a digest collision between distinct keys can cost a miss, never a
+//     cross-served value (LruCacheTest.ForcedDigestCollision*);
+//   - an update-heavy mix serves zero stale answers — every read is
+//     re-checked against an oracle computed from the database content
+//     registered at that moment (ServingEngineTest.UpdateHeavyMixServes
+//     ZeroStaleAnswers).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "common/rng.h"
+#include "cq/parser.h"
+#include "cq/query.h"
+#include "gen/generators.h"
+#include "serve/cache.h"
+#include "serve/serving.h"
+#include "serve/workload.h"
+
+namespace cqcs {
+namespace {
+
+using serve::CacheKey;
+using serve::LruCache;
+
+// ---- LruCache: bounds, ordering, collision safety. ------------------------
+
+TEST(LruCacheTest, PutGetAndLruEviction) {
+  LruCache<int> cache(2);
+  cache.Put(CacheKey::FromCanonical("a"), std::make_shared<int>(1));
+  cache.Put(CacheKey::FromCanonical("b"), std::make_shared<int>(2));
+  // Touch "a" so "b" is the cold end, then insert "c" to evict "b".
+  ASSERT_NE(cache.Get(CacheKey::FromCanonical("a")), nullptr);
+  cache.Put(CacheKey::FromCanonical("c"), std::make_shared<int>(3));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Get(CacheKey::FromCanonical("a")), nullptr);
+  EXPECT_EQ(cache.Get(CacheKey::FromCanonical("b")), nullptr);
+  EXPECT_NE(cache.Get(CacheKey::FromCanonical("c")), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(LruCacheTest, CapacityZeroDisables) {
+  LruCache<int> cache(0);
+  cache.Put(CacheKey::FromCanonical("a"), std::make_shared<int>(1));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get(CacheKey::FromCanonical("a")), nullptr);
+}
+
+TEST(LruCacheTest, PutReplacesExistingKey) {
+  LruCache<int> cache(4);
+  cache.Put(CacheKey::FromCanonical("a"), std::make_shared<int>(1));
+  cache.Put(CacheKey::FromCanonical("a"), std::make_shared<int>(2));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.Get(CacheKey::FromCanonical("a")), 2);
+}
+
+TEST(LruCacheTest, ForcedDigestCollisionNeverCrossServes) {
+  // Two DISTINCT canonical keys forced into the same 64-bit bucket: the
+  // cache must keep both and serve each its own value — full-key equality,
+  // never digest equality alone.
+  LruCache<std::string> cache(8);
+  const CacheKey k1 = CacheKey::WithDigest("Q1() :- E(X, Y).", 42);
+  const CacheKey k2 = CacheKey::WithDigest("Q2() :- E(X, X).", 42);
+  ASSERT_EQ(k1.digest, k2.digest);
+  ASSERT_FALSE(k1 == k2);
+  cache.Put(k1, std::make_shared<std::string>("answer-1"));
+  cache.Put(k2, std::make_shared<std::string>("answer-2"));
+  EXPECT_EQ(cache.size(), 2u);
+  ASSERT_NE(cache.Get(k1), nullptr);
+  ASSERT_NE(cache.Get(k2), nullptr);
+  EXPECT_EQ(*cache.Get(k1), "answer-1");
+  EXPECT_EQ(*cache.Get(k2), "answer-2");
+}
+
+TEST(LruCacheTest, ForcedDigestCollisionEvictsAndErasesTheRightEntry) {
+  LruCache<int> cache(8);
+  const CacheKey k1 = CacheKey::WithDigest("one", 7);
+  const CacheKey k2 = CacheKey::WithDigest("two", 7);
+  const CacheKey k3 = CacheKey::WithDigest("three", 7);
+  cache.Put(k1, std::make_shared<int>(1));
+  cache.Put(k2, std::make_shared<int>(2));
+  cache.Put(k3, std::make_shared<int>(3));
+  // EraseIf must drop exactly the matching canonical, not the bucket.
+  EXPECT_EQ(cache.EraseIf([](const CacheKey& k) {
+    return k.canonical == "two";
+  }), 1u);
+  EXPECT_EQ(cache.Get(k2), nullptr);
+  ASSERT_NE(cache.Get(k1), nullptr);
+  ASSERT_NE(cache.Get(k3), nullptr);
+  EXPECT_EQ(*cache.Get(k1), 1);
+  EXPECT_EQ(*cache.Get(k3), 3);
+}
+
+// ---- Workload generator. --------------------------------------------------
+
+TEST(WorkloadTest, DeterministicFromSeed) {
+  serve::WorkloadSpec spec;
+  spec.update_fraction = 0.3;
+  serve::Workload w1(spec);
+  serve::Workload w2(spec);
+  for (int i = 0; i < 200; ++i) {
+    const serve::Op a = w1.Next();
+    const serve::Op b = w2.Next();
+    EXPECT_EQ(static_cast<int>(a.type), static_cast<int>(b.type));
+    EXPECT_EQ(a.query, b.query);
+    EXPECT_EQ(a.database, b.database);
+  }
+}
+
+TEST(WorkloadTest, ZipfianConcentratesOnHotKeys) {
+  // At theta=0.99 over 16 keys, the hottest key draws far more than the
+  // uniform 1/16 share; uniform stays near it.
+  auto frequency_of_top = [](serve::Distribution d, double param) {
+    serve::WorkloadSpec spec;
+    spec.query_dist = d;
+    spec.query_skew = param;
+    serve::Workload w(spec);
+    std::vector<int> counts(spec.num_queries, 0);
+    const int kOps = 4000;
+    for (int i = 0; i < kOps; ++i) ++counts[w.Next().query];
+    int top = 0;
+    for (int c : counts) top = std::max(top, c);
+    return static_cast<double>(top) / kOps;
+  };
+  const double zipf = frequency_of_top(serve::Distribution::kZipfian, 0.99);
+  const double uni = frequency_of_top(serve::Distribution::kUniform, 0.0);
+  const double self = frequency_of_top(serve::Distribution::kSelfSimilar, 0.2);
+  // Theoretical top-key mass at theta=0.99 over 16 keys is ~0.296.
+  EXPECT_GT(zipf, 0.25);
+  EXPECT_LT(uni, 0.15);
+  EXPECT_GT(self, 0.3);
+}
+
+TEST(WorkloadTest, UpdateFractionRoughlyHonored) {
+  serve::WorkloadSpec spec;
+  spec.update_fraction = 0.3;
+  serve::Workload w(spec);
+  int updates = 0;
+  const int kOps = 4000;
+  for (int i = 0; i < kOps; ++i) {
+    if (w.Next().type == serve::OpType::kUpdate) ++updates;
+  }
+  EXPECT_GT(updates, kOps / 5);
+  EXPECT_LT(updates, kOps / 2);
+}
+
+TEST(WorkloadTest, DistributionNamesRoundTrip) {
+  for (serve::Distribution d :
+       {serve::Distribution::kUniform, serve::Distribution::kZipfian,
+        serve::Distribution::kSelfSimilar}) {
+    auto parsed = serve::ParseDistributionName(serve::DistributionName(d));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(static_cast<int>(*parsed), static_cast<int>(d));
+  }
+  EXPECT_FALSE(serve::ParseDistributionName("gaussian").has_value());
+}
+
+// ---- ServingEngine vs a fresh-engine oracle. ------------------------------
+
+struct OracleAnswer {
+  bool decided = false;
+  size_t count = 0;
+  size_t rows = 0;
+};
+
+OracleAnswer Oracle(const std::string& query_text, const Structure& db,
+                    HomTask task, const EngineOptions& options) {
+  auto query = ParseQuery(query_text, db.vocabulary());
+  CQCS_CHECK_MSG(query.ok(), query.status().ToString());
+  auto problem = HomProblem::FromQuery(*query, db);
+  CQCS_CHECK_MSG(problem.ok(), problem.status().ToString());
+  HomEngine engine(options);
+  auto r = engine.Run(*problem, task);
+  CQCS_CHECK_MSG(r.ok(), r.status().ToString());
+  return OracleAnswer{r->decided, r->count, r->rows.size()};
+}
+
+Structure MakeTestDb(const VocabularyPtr& vocab, uint32_t index,
+                     uint64_t version) {
+  Rng rng(0x5e12 + index * 977 + version * 7919);
+  return RandomGraphStructure(vocab, 24, 0.2, rng, /*symmetric=*/true);
+}
+
+std::vector<std::string> MakeTestQueries(const VocabularyPtr& vocab) {
+  std::vector<std::string> queries;
+  for (size_t i = 2; i <= 5; ++i) {
+    queries.push_back(ToString(ChainQuery(vocab, i)));
+    queries.push_back(ToString(StarQuery(vocab, i)));
+  }
+  return queries;
+}
+
+TEST(ServingEngineTest, CachedAnswersMatchFreshEngineAcrossTasks) {
+  auto vocab = MakeGraphVocabulary();
+  serve::ServeOptions options;
+  options.engine.count_limit = 10000;
+  options.engine.max_results = 512;
+  serve::ServingEngine serving(options);
+  const auto queries = MakeTestQueries(vocab);
+  std::vector<Structure> dbs;
+  for (uint32_t d = 0; d < 3; ++d) {
+    dbs.push_back(MakeTestDb(vocab, d, 0));
+    ASSERT_TRUE(
+        serving.UpsertDatabase("db" + std::to_string(d), dbs[d]).ok());
+  }
+  // Two passes: the second is all-hot (result-cache hits) and must agree
+  // with the cold pass's oracle answers.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint32_t d = 0; d < 3; ++d) {
+      for (size_t q = 0; q < queries.size(); ++q) {
+        for (HomTask task :
+             {HomTask::kDecide, HomTask::kCount, HomTask::kEnumerate}) {
+          serve::ServeRequest request;
+          request.query = queries[q];
+          request.database = "db" + std::to_string(d);
+          request.task = task;
+          auto served = serving.Serve(request);
+          ASSERT_TRUE(served.ok()) << served.status().ToString();
+          const OracleAnswer expected =
+              Oracle(queries[q], dbs[d], task, options.engine);
+          EXPECT_EQ(served->decided, expected.decided)
+              << "pass " << pass << " q" << q << " db" << d;
+          if (task == HomTask::kCount) {
+            EXPECT_EQ(served->count, expected.count);
+          }
+          if (task == HomTask::kEnumerate) {
+            EXPECT_EQ(served->rows.size(), expected.rows);
+          }
+          EXPECT_TRUE(served->stats.serve.enabled);
+        }
+      }
+    }
+  }
+  const serve::ServeStats stats = serving.stats();
+  EXPECT_GT(stats.result_hits, 0u);
+  EXPECT_GT(stats.plan_hits, 0u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.served, stats.requests);
+}
+
+TEST(ServingEngineTest, RebindAfterUpdateSharesPlanAndAnswersFresh) {
+  auto vocab = MakeGraphVocabulary();
+  serve::ServingEngine serving;
+  const std::string query = ToString(ChainQuery(vocab, 4));
+  Structure v0 = MakeTestDb(vocab, 0, 0);
+  ASSERT_TRUE(serving.UpsertDatabase("g", v0).ok());
+  serve::ServeRequest request;
+  request.query = query;
+  request.database = "g";
+  request.task = HomTask::kCount;
+  auto cold = serving.Serve(request);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->stats.serve.plan_cache_hit);
+
+  // Replace the database: the plan cache's SOURCE entry must be reused
+  // (plan hit via WithTarget rebind) while the answer reflects v1.
+  Structure v1 = MakeTestDb(vocab, 0, 1);
+  ASSERT_TRUE(serving.UpsertDatabase("g", v1).ok());
+  auto warm = serving.Serve(request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->stats.serve.plan_cache_hit);
+  EXPECT_FALSE(warm->stats.serve.result_cache_hit);
+  const OracleAnswer expected =
+      Oracle(query, v1, HomTask::kCount, EngineOptions{});
+  EXPECT_EQ(warm->count, expected.count);
+}
+
+TEST(ServingEngineTest, UpdateHeavyMixServesZeroStaleAnswers) {
+  // The acceptance property: run an update-heavy skewed mix and oracle-
+  // re-check EVERY read against the database content registered at that
+  // moment. A stale cached answer (served after its database changed)
+  // would diverge from the oracle.
+  auto vocab = MakeGraphVocabulary();
+  serve::ServeOptions options;
+  options.engine.count_limit = 10000;
+  serve::ServingEngine serving(options);
+  const auto queries = MakeTestQueries(vocab);
+  serve::WorkloadSpec spec;
+  spec.num_queries = static_cast<uint32_t>(queries.size());
+  spec.num_databases = 3;
+  spec.query_dist = serve::Distribution::kZipfian;
+  spec.query_skew = 0.99;
+  spec.update_fraction = 0.3;
+  serve::Workload workload(spec);
+
+  std::vector<Structure> current;
+  std::vector<uint64_t> versions(spec.num_databases, 0);
+  for (uint32_t d = 0; d < spec.num_databases; ++d) {
+    current.push_back(MakeTestDb(vocab, d, 0));
+    ASSERT_TRUE(
+        serving.UpsertDatabase("db" + std::to_string(d), current[d]).ok());
+  }
+  for (int op_index = 0; op_index < 300; ++op_index) {
+    const serve::Op op = workload.Next();
+    if (op.type == serve::OpType::kUpdate) {
+      current[op.database] =
+          MakeTestDb(vocab, op.database, ++versions[op.database]);
+      ASSERT_TRUE(serving
+                      .UpsertDatabase("db" + std::to_string(op.database),
+                                      current[op.database])
+                      .ok());
+      continue;
+    }
+    serve::ServeRequest request;
+    request.query = queries[op.query];
+    request.database = "db" + std::to_string(op.database);
+    request.task = HomTask::kCount;
+    auto served = serving.Serve(request);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    const OracleAnswer expected = Oracle(queries[op.query],
+                                         current[op.database],
+                                         HomTask::kCount, options.engine);
+    ASSERT_EQ(served->count, expected.count)
+        << "stale answer at op " << op_index << " (db" << op.database
+        << " v" << versions[op.database] << ")";
+  }
+  const serve::ServeStats stats = serving.stats();
+  // The mix must have actually exercised both the cache and invalidation.
+  EXPECT_GT(stats.result_hits, 0u);
+  EXPECT_GT(stats.updates, spec.num_databases);
+  EXPECT_GT(stats.invalidated_entries, 0u);
+}
+
+TEST(ServingEngineTest, DropDatabaseInvalidatesAndReturnsNotFound) {
+  auto vocab = MakeGraphVocabulary();
+  serve::ServingEngine serving;
+  ASSERT_TRUE(serving.UpsertDatabase("g", MakeTestDb(vocab, 0, 0)).ok());
+  serve::ServeRequest request;
+  request.query = ToString(ChainQuery(vocab, 3));
+  request.database = "g";
+  ASSERT_TRUE(serving.Serve(request).ok());
+  ASSERT_TRUE(serving.DropDatabase("g").ok());
+  EXPECT_EQ(serving.DropDatabase("g").code(), StatusCode::kNotFound);
+  EXPECT_EQ(serving.Serve(request).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(serving.stats().result_cache_entries, 0u);
+}
+
+TEST(ServingEngineTest, RejectsDelimiterBearingDatabaseNames) {
+  auto vocab = MakeGraphVocabulary();
+  serve::ServingEngine serving;
+  Structure db = MakeTestDb(vocab, 0, 0);
+  for (const char* name : {"a|b", "a#b", "a b", "a\tb", ""}) {
+    EXPECT_EQ(serving.UpsertDatabase(name, db).code(),
+              StatusCode::kInvalidArgument)
+        << "name \"" << name << "\"";
+  }
+}
+
+TEST(ServingEngineTest, ByteAdmissionShedsDeterministically) {
+  // max_inflight_bytes=1: any request with a nonzero size-bound estimate
+  // is shed with kResourceExhausted, before the engine runs.
+  auto vocab = MakeGraphVocabulary();
+  serve::ServeOptions options;
+  options.max_inflight_bytes = 1;
+  serve::ServingEngine serving(options);
+  ASSERT_TRUE(serving.UpsertDatabase("g", MakeTestDb(vocab, 0, 0)).ok());
+  serve::ServeRequest request;
+  request.query = ToString(ChainQuery(vocab, 3));
+  request.database = "g";
+  auto served = serving.Serve(request);
+  ASSERT_FALSE(served.ok());
+  EXPECT_EQ(served.status().code(), StatusCode::kResourceExhausted);
+  const serve::ServeStats stats = serving.stats();
+  EXPECT_EQ(stats.shed_bytes, 1u);
+  EXPECT_EQ(stats.served, 0u);
+  EXPECT_EQ(stats.inflight_bytes, 0u);  // the reservation was rolled back
+}
+
+TEST(ServingEngineTest, QueueDepthShedsConcurrentOverload) {
+  // One deliberately slow request (a huge count under a deadline) occupies
+  // the only admission slot; a second request arriving while it runs must
+  // be shed immediately — the policy sheds, it never stalls.
+  auto vocab = MakeGraphVocabulary();
+  serve::ServeOptions options;
+  options.max_queue_depth = 1;
+  options.engine.deadline_ms = 2000;
+  options.engine.count_limit = static_cast<size_t>(-1);
+  // Pin the uniform backend: auto-routing would hand the (acyclic) chain
+  // query to Yannakakis, which finishes before the second request arrives.
+  options.engine.backend = Backend::kUniform;
+  serve::ServingEngine serving(options);
+  ASSERT_TRUE(serving.UpsertDatabase("big", CliqueStructure(vocab, 24)).ok());
+  serve::ServeRequest heavy;
+  heavy.query = ToString(ChainQuery(vocab, 6));  // ~24^7 paths: deadline-bound
+  heavy.database = "big";
+  heavy.task = HomTask::kCount;
+  std::thread slow([&] {
+    auto r = serving.Serve(heavy);
+    // Served (possibly as an un-cacheable "unknown"), never shed: it held
+    // the slot first.
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  });
+  // Wait until the heavy request is inside the engine.
+  while (serving.stats().queue_depth == 0) {
+    std::this_thread::yield();
+  }
+  serve::ServeRequest cheap;
+  cheap.query = ToString(ChainQuery(vocab, 2));
+  cheap.database = "big";
+  auto shed = serving.Serve(cheap);
+  slow.join();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  const serve::ServeStats stats = serving.stats();
+  EXPECT_EQ(stats.shed_queue, 1u);
+  EXPECT_EQ(stats.queue_depth_peak, 2u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(ServingEngineTest, UnknownResultsAreNotCached) {
+  // A deadline-tripped ("unknown") answer reflects the request's budget,
+  // not the instance: serving it from the result cache to a later request
+  // would be wrong. The second serve must re-run, not hit.
+  auto vocab = MakeGraphVocabulary();
+  serve::ServeOptions options;
+  options.engine.deadline_ms = 1;
+  options.engine.count_limit = static_cast<size_t>(-1);
+  options.engine.backend = Backend::kUniform;  // ~24^7 nodes: deadline-bound
+  serve::ServingEngine serving(options);
+  ASSERT_TRUE(serving.UpsertDatabase("big", CliqueStructure(vocab, 24)).ok());
+  serve::ServeRequest request;
+  request.query = ToString(ChainQuery(vocab, 6));
+  request.database = "big";
+  request.task = HomTask::kCount;
+  auto first = serving.Serve(request);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->stats.governor.tripped);
+  auto second = serving.Serve(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->stats.serve.result_cache_hit);
+  EXPECT_EQ(serving.stats().result_hits, 0u);
+}
+
+TEST(ServingEngineTest, StatsJsonAndEngineStatsCarryServeFields) {
+  auto vocab = MakeGraphVocabulary();
+  serve::ServingEngine serving;
+  ASSERT_TRUE(serving.UpsertDatabase("g", MakeTestDb(vocab, 0, 0)).ok());
+  serve::ServeRequest request;
+  request.query = ToString(ChainQuery(vocab, 3));
+  request.database = "g";
+  auto served = serving.Serve(request);
+  ASSERT_TRUE(served.ok());
+  // The per-request EngineStats JSON must include the serve block...
+  const std::string result_json = served->ToJson();
+  EXPECT_NE(result_json.find("\"serve\":{"), std::string::npos);
+  EXPECT_NE(result_json.find("\"plan_cache_hit\":"), std::string::npos);
+  // ...and the aggregate snapshot its counters.
+  const std::string agg = serving.stats().ToJson();
+  for (const char* field :
+       {"\"requests\":", "\"plan_hit_rate\":", "\"result_hit_rate\":",
+        "\"shed_queue\":", "\"shed_bytes\":", "\"queue_depth\":",
+        "\"invalidated_entries\":"}) {
+    EXPECT_NE(agg.find(field), std::string::npos) << field;
+  }
+  // An engine run outside the serving layer reports serve: null.
+  auto query = ParseQuery(request.query, vocab);
+  ASSERT_TRUE(query.ok());
+  auto problem = HomProblem::FromQuery(*query, MakeTestDb(vocab, 0, 0));
+  ASSERT_TRUE(problem.ok());
+  HomEngine engine;
+  auto direct = engine.Run(*problem, HomTask::kDecide);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_NE(direct->ToJson().find("\"serve\":null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cqcs
