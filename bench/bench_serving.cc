@@ -21,10 +21,12 @@
 // arm's ops_per_sec against the disabled arm (>= 5x).
 
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -66,9 +68,10 @@ Structure MakeDb(const VocabularyPtr& vocab, uint32_t index,
 
 std::string DbName(uint32_t index) { return "db" + std::to_string(index); }
 
-void RunServingMix(benchmark::State& state, double update_fraction) {
-  const int cache_mode = static_cast<int>(state.range(0));
-  const int dist_code = static_cast<int>(state.range(1));
+// fsync_mode: -1 = no durability (in-memory registry only), otherwise a
+// serve::FsyncPolicy for a WAL-backed engine over a scratch data dir.
+void RunServingMix(benchmark::State& state, double update_fraction,
+                   int cache_mode, int dist_code, int fsync_mode = -1) {
   serve::Distribution dist = serve::Distribution::kUniform;
   double param = 0.0;
   switch (dist_code) {
@@ -82,7 +85,23 @@ void RunServingMix(benchmark::State& state, double update_fraction) {
   serve::ServeOptions options;
   options.plan_cache_entries = cache_mode >= 1 ? 512 : 0;
   options.result_cache_entries = cache_mode >= 2 ? 4096 : 0;
+  std::filesystem::path data_dir;
+  if (fsync_mode >= 0) {
+    data_dir = std::filesystem::temp_directory_path() /
+               ("cqcs_bench_durable_" + std::to_string(::getpid()) + "_" +
+                std::to_string(state.range(0)));
+    std::filesystem::remove_all(data_dir);
+    options.durability.data_dir = data_dir.string();
+    options.durability.fsync = static_cast<serve::FsyncPolicy>(fsync_mode);
+    // High threshold: the series measures per-record WAL cost, not
+    // snapshot cost (snapshots are amortized and policy-independent).
+    options.durability.snapshot_every_records = 1 << 20;
+  }
   serve::ServingEngine engine(options);
+  if (fsync_mode >= 0 && !engine.Open().ok()) {
+    state.SkipWithError("durable engine failed to open its data dir");
+    return;
+  }
   const std::vector<std::string> queries = MakeQueryPool(vocab, kQueryPool);
   std::vector<uint64_t> versions(kDbPool, 0);
   for (uint32_t i = 0; i < kDbPool; ++i) {
@@ -139,10 +158,17 @@ void RunServingMix(benchmark::State& state, double update_fraction) {
   state.counters["updates"] = static_cast<double>(stats.updates);
   state.counters["invalidated"] =
       static_cast<double>(stats.invalidated_entries);
+  if (fsync_mode >= 0) {
+    state.counters["wal_appends"] = static_cast<double>(stats.wal_appends);
+    state.counters["snapshots"] = static_cast<double>(stats.snapshots);
+    std::filesystem::remove_all(data_dir);
+  }
 }
 
 void BM_ServingReadHeavy(benchmark::State& state) {
-  RunServingMix(state, /*update_fraction=*/0.0);
+  RunServingMix(state, /*update_fraction=*/0.0,
+                static_cast<int>(state.range(0)),
+                static_cast<int>(state.range(1)));
 }
 // Cache-mode sweep at zipfian 0.99 (the headline series), then the
 // distribution sweep at the full-cache configuration.
@@ -152,13 +178,29 @@ BENCHMARK(BM_ServingReadHeavy)
     ->Unit(benchmark::kMicrosecond);
 
 void BM_ServingUpdateHeavy(benchmark::State& state) {
-  RunServingMix(state, /*update_fraction=*/0.3);
+  RunServingMix(state, /*update_fraction=*/0.3,
+                static_cast<int>(state.range(0)),
+                static_cast<int>(state.range(1)));
 }
 // Updates regenerate the database (new version), so every third op pays
 // generation + registration + the invalidation sweep; the result-cache hit
 // rate shows what skewed reads still salvage between updates.
 BENCHMARK(BM_ServingUpdateHeavy)
     ->Args({0, 2})->Args({2, 2})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ServingDurableUpdateHeavy(benchmark::State& state) {
+  // Arg 0 = fsync policy: 0 = always (sync per WAL record), 1 = interval
+  // (100ms group sync), 2 = never (OS page cache only). Full caches,
+  // zipfian 0.99 — the durable delta rides on the same mix as the
+  // in-memory update-heavy arm, so (always - never) is the headline
+  // per-update fsync cost and (BM_ServingUpdateHeavy/2/2 - never) the WAL
+  // encoding overhead.
+  RunServingMix(state, /*update_fraction=*/0.3, /*cache_mode=*/2,
+                /*dist_code=*/2, /*fsync_mode=*/static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_ServingDurableUpdateHeavy)
+    ->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

@@ -14,7 +14,9 @@
 #                       distribution sweeps (uniform / zipfian / self-
 #                       similar) over read-heavy and update-heavy mixes,
 #                       with p50/p95/p99 latency, throughput, and cache hit
-#                       rates as counters.
+#                       rates as counters; plus the PR 8 durable arm, the
+#                       same update-heavy mix WAL-backed under
+#                       fsync=always / interval / never.
 #
 # Each merged file's .context.host records the hardware and build the
 # numbers came from — nproc, compiler, build type, git sha — because the
@@ -51,7 +53,7 @@ SERVING_OUT="BENCH_serving.json"
 SOLVER_BINS=(bench_hardness bench_uniform_boolean bench_acyclic bench_treewidth)
 SOLVER_FILTER='BM_CliqueIntoRandomGraph|BM_PlantedCliqueRecovery|BM_SparseRefutationFc|BM_Backtracking_NodeThroughput|BM_Horn_Backtracking|BM_CliqueRefutationParallel|BM_PlantedCliqueParallel|BM_EngineAutoVsUniform|BM_YannakakisTask|BM_TreewidthDpIndexed'
 SERVING_BINS=(bench_serving)
-SERVING_FILTER='BM_ServingReadHeavy|BM_ServingUpdateHeavy'
+SERVING_FILTER='BM_ServingReadHeavy|BM_ServingUpdateHeavy|BM_ServingDurableUpdateHeavy'
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 if [[ "$QUICK" == 1 ]]; then
   # Smoke series: one cheap entry per binary plus the parallel scaling

@@ -53,14 +53,30 @@
 //   --max-queue-depth=N                 admission: shed past N in-flight
 //   --max-inflight-mb=N                 admission: shed past N MiB of
 //                                       in-flight size-bound estimates
+//   --data-dir=PATH                     durable registry: WAL + snapshots
+//                                       under PATH, recovered on startup
+//                                       (startup fails, exit 2, if the
+//                                       on-disk state is unrecoverable)
+//   --fsync=always|interval|never       when acknowledged updates are
+//                                       durable (default always)
+//   --fsync-interval-ms=N               max ms between fsyncs (interval)
+//   --snapshot-every=N                  snapshot + truncate the log every
+//                                       N records (0 = never)
+//   --poison-strikes=K                  quarantine a query text after K
+//                                       consecutive budget trips (0 = off)
 //
 // `serve` then reads one command per line on stdin (responses on stdout,
-// one line each; ';' in a db declaration stands for a newline):
+// one line each, flushed per response; ';' in a db declaration stands for a
+// newline). Lines over 1 MiB, or containing NUL bytes, get a protocol
+// error; a trailing CR (CRLF input) is stripped; EOF mid-line processes the
+// partial line, then exits:
 //   db <name> universe 3; E/2: 0 1, 1 2    register/replace a database
 //                                          (replacing invalidates results)
 //   query <name> Q(X) :- E(X, Y).          register a query
 //   run <task> <query-name> <db-name>      serve one request
 //   drop <name>                            unregister a database
+//   catalog                                registered name#version pairs
+//   dump <name>                            a database's text (';' = newline)
 //   stats                                  aggregate ServeStats as JSON
 //   quit                                   exit 0 (as does EOF)
 //
@@ -71,9 +87,11 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "api/engine.h"
 #include "core/io.h"
@@ -355,6 +373,12 @@ int EvaluateCmd(const char* q_text, const char* d_path) {
     return 2;
   }
   std::ifstream in(d_path);
+  if (!in) {
+    // Without this check the parse below would blame an empty buffer
+    // ("missing 'universe'") instead of the actual missing file.
+    std::printf("error: cannot open %s\n", d_path);
+    return 2;
+  }
   std::stringstream buffer;
   buffer << in.rdbuf();
   auto d = ParseStructure(buffer.str(), q->vocabulary());
@@ -421,6 +445,157 @@ void PrintServeResult(const EngineResult& result, HomTask task) {
               s.result_cache_hit ? 1 : 0);
 }
 
+// Bounded protocol line reader. std::getline on a std::string has no
+// length bound — one pathological line would balloon the process — so the
+// serve loop reads through a fixed 1 MiB buffer instead and turns every
+// degenerate input into a distinct, recoverable outcome.
+enum class LineRead {
+  kOk,       ///< a complete line (delimiter consumed, not included)
+  kEof,      ///< end of input, nothing more to process
+  kTooLong,  ///< line exceeded the bound; the rest was discarded
+};
+
+constexpr std::streamsize kMaxProtocolLine = 1 << 20;  // 1 MiB
+
+LineRead ReadProtocolLine(std::istream& in, std::string* out) {
+  static std::vector<char> buf(static_cast<size_t>(kMaxProtocolLine));
+  in.getline(buf.data(), kMaxProtocolLine);
+  const std::streamsize got = in.gcount();
+  if (in.fail() && !in.eof()) {
+    if (got == kMaxProtocolLine - 1) {
+      // Buffer filled before a newline: discard the remainder of the line
+      // so the protocol resynchronizes at the next one.
+      in.clear();
+      in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+      return LineRead::kTooLong;
+    }
+    return LineRead::kEof;  // hard stream failure: treat as end of input
+  }
+  if (got == 0 && in.eof()) return LineRead::kEof;
+  // gcount() includes the consumed delimiter; EOF mid-line has none, and
+  // that partial line is still a command (the sender just died).
+  std::streamsize len = got;
+  if (!in.eof()) --len;
+  // Length from gcount, NOT strlen: an embedded NUL would silently
+  // truncate the line and make "db evil\0..." parse as "db evil".
+  out->assign(buf.data(), static_cast<size_t>(len));
+  return LineRead::kOk;
+}
+
+/// Handles one protocol line, printing exactly the response lines for it.
+/// Returns false when the session should end (quit).
+bool HandleServeLine(serve::ServingEngine& engine,
+                     std::unordered_map<std::string, std::string>& queries,
+                     bool explain, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd.empty()) return true;
+  if (cmd == "quit") return false;
+  if (cmd == "stats") {
+    std::printf("%s\n", engine.stats().ToJson().c_str());
+    return true;
+  }
+  if (cmd == "db") {
+    std::string name;
+    in >> name;
+    std::string text;
+    std::getline(in, text);
+    for (char& c : text) {
+      if (c == ';') c = '\n';
+    }
+    auto db = ParseStructure(text);
+    if (!db.ok()) {
+      std::printf("error: %s\n", db.status().ToString().c_str());
+      return true;
+    }
+    auto status = engine.UpsertDatabase(name, *std::move(db));
+    std::printf(status.ok() ? "ok db %s\n" : "error: %s\n",
+                status.ok() ? name.c_str() : status.ToString().c_str());
+    return true;
+  }
+  if (cmd == "query") {
+    std::string name;
+    in >> name;
+    std::string text;
+    std::getline(in, text);
+    const size_t start = text.find_first_not_of(" \t");
+    if (name.empty() || start == std::string::npos) {
+      std::printf("error: usage: query <name> <CQ text>\n");
+      return true;
+    }
+    queries[name] = text.substr(start);
+    std::printf("ok query %s\n", name.c_str());
+    return true;
+  }
+  if (cmd == "run") {
+    std::string task_name, query_name, db_name;
+    in >> task_name >> query_name >> db_name;
+    auto task = ParseHomTaskName(task_name);
+    if (!task.has_value()) {
+      std::printf("error: unknown task %s\n", task_name.c_str());
+      return true;
+    }
+    auto q = queries.find(query_name);
+    if (q == queries.end()) {
+      std::printf("error: no query named %s\n", query_name.c_str());
+      return true;
+    }
+    serve::ServeRequest request;
+    request.query = q->second;
+    request.database = db_name;
+    request.task = *task;
+    auto result = engine.Serve(request);
+    if (!result.ok()) {
+      // Sheds are the admission policy working as designed; scripts watch
+      // for the distinct prefix.
+      std::printf(result.status().code() == StatusCode::kResourceExhausted
+                      ? "shed: %s\n"
+                      : "error: %s\n",
+                  result.status().ToString().c_str());
+      return true;
+    }
+    PrintServeResult(*result, *task);
+    if (explain) std::printf("%s\n", result->ToJson().c_str());
+    return true;
+  }
+  if (cmd == "drop") {
+    std::string name;
+    in >> name;
+    auto status = engine.DropDatabase(name);
+    std::printf(status.ok() ? "ok drop %s\n" : "error: %s\n",
+                status.ok() ? name.c_str() : status.ToString().c_str());
+    return true;
+  }
+  if (cmd == "catalog") {
+    const auto dbs = engine.ListDatabases();
+    std::string response = "ok catalog " + std::to_string(dbs.size());
+    for (const auto& [name, version] : dbs) {
+      response += " " + name + "#" + std::to_string(version);
+    }
+    std::printf("%s\n", response.c_str());
+    return true;
+  }
+  if (cmd == "dump") {
+    std::string name;
+    in >> name;
+    auto db = engine.GetDatabase(name);
+    if (!db.ok()) {
+      std::printf("error: %s\n", db.status().ToString().c_str());
+      return true;
+    }
+    // One line per response: the inverse of the db command's encoding.
+    std::string text = PrintStructure(**db);
+    for (char& c : text) {
+      if (c == '\n') c = ';';
+    }
+    std::printf("ok dump %s %s\n", name.c_str(), text.c_str());
+    return true;
+  }
+  std::printf("error: unknown command %s\n", cmd.c_str());
+  return true;
+}
+
 int ServeCmd(int flag_count, char** flags) {
   serve::ServeOptions serve_options;
   HomTask unused_task = HomTask::kDecide;
@@ -447,6 +622,25 @@ int ServeCmd(int flag_count, char** flags) {
       size_t mb = 0;
       ok = parse_size(flag, 18, &mb) && mb <= (SIZE_MAX >> 20);
       if (ok) serve_options.max_inflight_bytes = mb << 20;
+    } else if (flag.rfind("--data-dir=", 0) == 0) {
+      serve_options.durability.data_dir = flag.substr(11);
+      ok = !serve_options.durability.data_dir.empty();
+    } else if (flag.rfind("--fsync=", 0) == 0) {
+      auto policy = serve::ParseFsyncPolicyName(flag.substr(8));
+      ok = policy.has_value();
+      if (ok) serve_options.durability.fsync = *policy;
+    } else if (flag.rfind("--fsync-interval-ms=", 0) == 0) {
+      size_t ms = 0;
+      ok = parse_size(flag, 20, &ms);
+      if (ok) serve_options.durability.fsync_interval_ms = ms;
+    } else if (flag.rfind("--snapshot-every=", 0) == 0) {
+      size_t n = 0;
+      ok = parse_size(flag, 17, &n);
+      if (ok) serve_options.durability.snapshot_every_records = n;
+    } else if (flag.rfind("--poison-strikes=", 0) == 0) {
+      size_t n = 0;
+      ok = parse_size(flag, 17, &n) && n <= UINT32_MAX;
+      if (ok) serve_options.poison_strikes = static_cast<uint32_t>(n);
     } else {
       ok = ParseStrategyFlag(flags[i], &serve_options.engine, &unused_task,
                              &explain);
@@ -457,90 +651,51 @@ int ServeCmd(int flag_count, char** flags) {
     }
   }
   serve::ServingEngine engine(serve_options);
+  serve::RecoveryInfo recovery;
+  Status opened = engine.Open(&recovery);
+  if (!opened.ok()) {
+    // Unrecoverable on-disk state: refusing to serve beats guessing at the
+    // catalog. Exit 2 per the error contract above.
+    std::printf("error: %s\n", opened.ToString().c_str());
+    return 2;
+  }
+  if (!serve_options.durability.data_dir.empty()) {
+    // The summary goes to stderr: stdout carries exactly one response line
+    // per command (the crash harness counts acknowledgments there).
+    std::fprintf(stderr,
+                 "recovery: generation=%llu snapshot=%d databases=%zu "
+                 "records_replayed=%llu tail_truncated=%d\n",
+                 static_cast<unsigned long long>(recovery.generation),
+                 recovery.snapshot_loaded ? 1 : 0,
+                 engine.ListDatabases().size(),
+                 static_cast<unsigned long long>(recovery.records_replayed),
+                 recovery.tail_truncated ? 1 : 0);
+    for (const std::string& warning : recovery.warnings) {
+      std::fprintf(stderr, "recovery warning: %s\n", warning.c_str());
+    }
+  }
   std::unordered_map<std::string, std::string> queries;
   std::string line;
-  while (std::getline(std::cin, line)) {
-    std::istringstream in(line);
-    std::string cmd;
-    in >> cmd;
-    if (cmd.empty()) continue;
-    if (cmd == "quit") break;
-    if (cmd == "stats") {
-      std::printf("%s\n", engine.stats().ToJson().c_str());
-      continue;
+  for (;;) {
+    const LineRead read = ReadProtocolLine(std::cin, &line);
+    if (read == LineRead::kEof) break;
+    bool keep_going = true;
+    if (read == LineRead::kTooLong) {
+      std::printf("error: protocol line exceeds %lld bytes\n",
+                  static_cast<long long>(kMaxProtocolLine - 1));
+    } else {
+      if (line.find('\0') != std::string::npos) {
+        std::printf("error: protocol line contains an embedded NUL byte\n");
+      } else {
+        if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF
+        keep_going = HandleServeLine(engine, queries, explain, line);
+      }
     }
-    if (cmd == "db") {
-      std::string name;
-      in >> name;
-      std::string text;
-      std::getline(in, text);
-      for (char& c : text) {
-        if (c == ';') c = '\n';
-      }
-      auto db = ParseStructure(text);
-      if (!db.ok()) {
-        std::printf("error: %s\n", db.status().ToString().c_str());
-        continue;
-      }
-      auto status = engine.UpsertDatabase(name, *std::move(db));
-      std::printf(status.ok() ? "ok db %s\n" : "error: %s\n",
-                  status.ok() ? name.c_str() : status.ToString().c_str());
-      continue;
-    }
-    if (cmd == "query") {
-      std::string name;
-      in >> name;
-      std::string text;
-      std::getline(in, text);
-      const size_t start = text.find_first_not_of(" \t");
-      if (name.empty() || start == std::string::npos) {
-        std::printf("error: usage: query <name> <CQ text>\n");
-        continue;
-      }
-      queries[name] = text.substr(start);
-      std::printf("ok query %s\n", name.c_str());
-      continue;
-    }
-    if (cmd == "run") {
-      std::string task_name, query_name, db_name;
-      in >> task_name >> query_name >> db_name;
-      auto task = ParseHomTaskName(task_name);
-      if (!task.has_value()) {
-        std::printf("error: unknown task %s\n", task_name.c_str());
-        continue;
-      }
-      auto q = queries.find(query_name);
-      if (q == queries.end()) {
-        std::printf("error: no query named %s\n", query_name.c_str());
-        continue;
-      }
-      serve::ServeRequest request;
-      request.query = q->second;
-      request.database = db_name;
-      request.task = *task;
-      auto result = engine.Serve(request);
-      if (!result.ok()) {
-        // Sheds are the admission policy working as designed; scripts watch
-        // for the distinct prefix.
-        std::printf(result.status().code() == StatusCode::kResourceExhausted
-                        ? "shed: %s\n"
-                        : "error: %s\n",
-                    result.status().ToString().c_str());
-        continue;
-      }
-      PrintServeResult(*result, *task);
-      if (explain) std::printf("%s\n", result->ToJson().c_str());
-      continue;
-    }
-    if (cmd == "drop") {
-      std::string name;
-      in >> name;
-      auto status = engine.DropDatabase(name);
-      std::printf(status.ok() ? "ok drop %s\n" : "error: %s\n",
-                  status.ok() ? name.c_str() : status.ToString().c_str());
-      continue;
-    }
-    std::printf("error: unknown command %s\n", cmd.c_str());
+    // Flush per response: acknowledgments must be visible to the peer
+    // before the next command is processed — a kill -9 between the flush
+    // and the next line is exactly what the crash harness exercises.
+    std::fflush(stdout);
+    if (!keep_going) break;
   }
   return 0;
 }

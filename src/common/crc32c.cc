@@ -1,0 +1,39 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace cqcs {
+
+namespace {
+
+// Reflected Castagnoli polynomial, the one hardware CRC32C instructions
+// implement — the stored checksums stay comparable if an accelerated
+// implementation ever replaces this table.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace cqcs

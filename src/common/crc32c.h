@@ -1,0 +1,25 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected) for the write-ahead
+// log's record checksums (serve/durability.h). Software table-driven — the
+// WAL writes are fsync-bound, so a hardware CRC would be invisible — and
+// seedable so a record's header and payload can be checksummed in one pass.
+
+#ifndef CQCS_COMMON_CRC32C_H_
+#define CQCS_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cqcs {
+
+/// CRC32C of `data`. Extend a running checksum by passing the previous
+/// return value as `seed` (the default 0 starts a fresh checksum).
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32c(std::string_view data, uint32_t seed = 0) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+}  // namespace cqcs
+
+#endif  // CQCS_COMMON_CRC32C_H_

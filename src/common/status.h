@@ -22,6 +22,8 @@ enum class StatusCode {
   kUnsupported,      ///< Operation valid but outside implemented bounds.
   kInternal,         ///< Library bug; should never be user-visible.
   kResourceExhausted,  ///< A deadline, memory budget, or cancel token fired.
+  kUnavailable,  ///< Service degraded (e.g. the WAL cannot accept writes);
+                 ///< the operation is refused now but may succeed later.
 };
 
 /// Returns a short human-readable name for a status code ("ParseError", ...).
@@ -53,6 +55,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

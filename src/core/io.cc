@@ -110,7 +110,12 @@ Result<Structure> ParseImpl(std::string_view text, VocabularyPtr fixed_vocab) {
                                     "' declared with two different arities");
         }
       } else {
-        inferred->AddRelation(line.name, line.arity);
+        // TryAddRelation, not AddRelation: the abort-on-error variant would
+        // make any duplicate/zero-arity slip in the guards above fatal on
+        // user input (the PR 6 Result<> sweep, continued here because
+        // catalog bytes arrive from disk after a crash).
+        auto added = inferred->TryAddRelation(line.name, line.arity);
+        if (!added.ok()) return added.status();
       }
     }
     vocab = inferred;
@@ -143,6 +148,96 @@ Result<Structure> ParseStructure(std::string_view text) {
 
 Result<Structure> ParseStructure(std::string_view text, VocabularyPtr vocab) {
   return ParseImpl(text, std::move(vocab));
+}
+
+namespace {
+
+/// Catalog names travel on single header lines and become file-key
+/// segments downstream; whitespace and control bytes would corrupt both.
+bool IsCatalogName(std::string_view name) {
+  if (name.empty()) return false;
+  for (unsigned char c : name) {
+    if (c <= ' ' || c == 0x7F) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string PrintCatalog(const std::vector<CatalogEntry>& entries) {
+  std::ostringstream out;
+  out << "cqcs-catalog 1\n";
+  for (const CatalogEntry& entry : entries) {
+    out << "db " << entry.name << " " << entry.version << "\n"
+        << PrintStructure(entry.db) << "end\n";
+  }
+  return out.str();
+}
+
+Result<std::vector<CatalogEntry>> ParseCatalog(std::string_view text) {
+  std::vector<CatalogEntry> entries;
+  std::vector<std::string_view> lines = SplitString(text, '\n');
+  size_t i = 0;
+  auto fail = [](size_t line_no, const std::string& what) {
+    return Status::ParseError("catalog line " + std::to_string(line_no + 1) +
+                              ": " + what);
+  };
+  if (lines.empty() ||
+      StripAsciiWhitespace(lines[0]) != "cqcs-catalog 1") {
+    return fail(0, "expected 'cqcs-catalog 1' header");
+  }
+  ++i;
+  while (i < lines.size()) {
+    std::string_view line = StripAsciiWhitespace(lines[i]);
+    if (line.empty()) {
+      ++i;
+      continue;
+    }
+    auto tokens = SplitWhitespace(line);
+    if (tokens.size() != 3 || tokens[0] != "db") {
+      return fail(i, "expected 'db <name> <version>'");
+    }
+    std::string name(tokens[1]);
+    if (!IsCatalogName(name)) {
+      return fail(i, "bad database name");
+    }
+    for (const CatalogEntry& prev : entries) {
+      if (prev.name == name) {
+        return fail(i, "duplicate database '" + name + "'");
+      }
+    }
+    uint64_t version = 0;
+    if (!ParseUint64(tokens[2], &version)) {
+      return fail(i, "bad version '" + std::string(tokens[2]) + "'");
+    }
+    const size_t block_start = ++i;
+    while (i < lines.size() && StripAsciiWhitespace(lines[i]) != "end") {
+      ++i;
+    }
+    if (i == lines.size()) {
+      return fail(block_start - 1,
+                  "unterminated 'db " + name + "' block (missing 'end')");
+    }
+    // Re-slice the original text so the structure parser sees the exact
+    // bytes (line numbers in its errors are relative to the block).
+    const char* begin = lines[block_start - 1].data() +
+                        lines[block_start - 1].size() + 1;
+    const char* stop = lines[i].data();
+    auto db = ParseStructure(std::string_view(
+        begin, static_cast<size_t>(stop - begin)));
+    if (!db.ok()) {
+      return Status::ParseError("catalog database '" + name +
+                                "': " + db.status().ToString());
+    }
+    Status valid = db->Validate();
+    if (!valid.ok()) {
+      return Status::ParseError("catalog database '" + name +
+                                "': " + valid.ToString());
+    }
+    entries.push_back(CatalogEntry{std::move(name), version, *std::move(db)});
+    ++i;  // past 'end'
+  }
+  return entries;
 }
 
 std::string PrintStructure(const Structure& s) {

@@ -13,11 +13,26 @@
 // only if they are present in the supplied vocabulary; when parsing without
 // a vocabulary the vocabulary is inferred from the declarations.
 
+// A catalog — the serving layer's full database registry — serializes as a
+// framed sequence of structures (the snapshot payload of
+// serve/durability.h):
+//
+//   cqcs-catalog 1
+//   db <name> <version>
+//   <structure text>
+//   end
+//   db ...
+//
+// Every parse path returns Result<>: catalog bytes come from disk after a
+// crash and may be arbitrarily corrupt, so nothing in here may abort.
+
 #ifndef CQCS_CORE_IO_H_
 #define CQCS_CORE_IO_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "core/structure.h"
@@ -33,6 +48,22 @@ Result<Structure> ParseStructure(std::string_view text, VocabularyPtr vocab);
 
 /// Prints a structure in the format ParseStructure accepts.
 std::string PrintStructure(const Structure& s);
+
+/// One named, versioned database in a serialized catalog.
+struct CatalogEntry {
+  std::string name;
+  uint64_t version = 0;
+  Structure db;
+};
+
+/// Serializes a catalog in the format ParseCatalog accepts. Entry order is
+/// preserved (PrintCatalog -> ParseCatalog round-trips exactly).
+std::string PrintCatalog(const std::vector<CatalogEntry>& entries);
+
+/// Parses a catalog. ParseError on any deviation — bad magic, a name with
+/// whitespace or control bytes, a duplicate name, a truncated entry, or a
+/// structure block ParseStructure rejects.
+Result<std::vector<CatalogEntry>> ParseCatalog(std::string_view text);
 
 }  // namespace cqcs
 

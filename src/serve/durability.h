@@ -1,0 +1,180 @@
+// Durable serving state: a write-ahead command log plus periodic snapshots,
+// so a ServingEngine restart (or kill -9) recovers every acknowledged
+// UpsertDatabase / DropDatabase instead of silently serving an empty
+// catalog.
+//
+// Layout under DurabilityOptions::data_dir (generation g is a counter that
+// advances once per snapshot):
+//
+//   wal-<g>        append-only command log: length-prefixed, CRC32C-framed
+//                  records, one per acknowledged update
+//   snapshot-<g>   the full catalog at the moment wal-<g> was started
+//                  (core/io PrintCatalog + a whole-file CRC footer),
+//                  written temp-then-rename so it is atomic
+//
+// Record framing: [u32 LE payload length][u32 LE CRC32C of payload][payload].
+// The payload is a text command — "U <name> <version>\n<structure text>" or
+// "D <name>\n" — reusing the core/io structure format so a WAL is
+// inspectable with `xxd | less` when something goes wrong at 3am.
+//
+// The contract, in order of importance:
+//
+//  1. An acknowledged update survives kill -9 (with FsyncPolicy::kAlways;
+//     the interval/never policies trade the tail for throughput and say so).
+//  2. Recovery NEVER crashes on a torn or corrupt log tail: the tail is
+//     truncated at the first bad record, with a warning in RecoveryInfo —
+//     a torn record is the normal signature of dying mid-append.
+//  3. An update that was REFUSED (its append failed, possibly after a short
+//     write) is never resurrected: the failed append rewinds the log to the
+//     last known-good offset, and if even the rewind fails the log is
+//     poisoned — every later append refuses — rather than appending after
+//     garbage that a future recovery would truncate along with good
+//     records behind it.
+//
+// Snapshots bound recovery time and log growth: Snapshot() writes
+// snapshot-<g+1> (temp + fsync + rename + directory fsync), starts an empty
+// wal-<g+1>, then deletes older generations. A crash between any two of
+// those steps recovers correctly: the newest *valid* snapshot wins, its
+// generation's log is the only one replayed, and stale lower-generation
+// files are ignored (and cleaned up by the next snapshot).
+//
+// All I/O goes through the common/fs.h seams, so tests inject failures at
+// the Nth write/fsync/rename (FaultyFs) and drive the interval fsync clock
+// by hand — the same failpoint philosophy as GovernorFailpoints, now
+// covering the disk.
+//
+// Thread safety: Open() is a constructor; the instance methods take an
+// internal mutex, but callers that need append order to match their own
+// state order (the ServingEngine does) must serialize Append*/Snapshot
+// against their state mutations themselves.
+
+#ifndef CQCS_SERVE_DURABILITY_H_
+#define CQCS_SERVE_DURABILITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/fs.h"
+#include "common/status.h"
+#include "core/io.h"
+
+namespace cqcs::serve {
+
+/// When an acknowledged WAL record is durable.
+enum class FsyncPolicy {
+  kAlways,    ///< fsync before every acknowledgment (crash loses nothing)
+  kInterval,  ///< fsync at most every fsync_interval_ms (crash loses a tail)
+  kNever,     ///< leave it to the OS (crash may lose the whole unsynced tail)
+};
+
+/// "always" / "interval" / "never".
+const char* FsyncPolicyName(FsyncPolicy policy);
+std::optional<FsyncPolicy> ParseFsyncPolicyName(std::string_view name);
+
+struct DurabilityOptions {
+  /// Directory for the WAL and snapshots; created if absent. Empty means
+  /// durability is disabled (the ServingEngine then never constructs a
+  /// DurabilityManager).
+  std::string data_dir;
+  FsyncPolicy fsync = FsyncPolicy::kAlways;
+  /// For FsyncPolicy::kInterval: maximum milliseconds between fsyncs.
+  uint64_t fsync_interval_ms = 100;
+  /// Snapshot (and truncate the log) every this many records; 0 disables
+  /// automatic snapshots (the log grows until Snapshot() is called).
+  uint64_t snapshot_every_records = 1024;
+  /// Injection seams; nullptr selects the real filesystem / steady clock.
+  FileSystem* fs = nullptr;
+  Clock* clock = nullptr;
+};
+
+/// What recovery found. `warnings` is non-empty exactly when something was
+/// wrong but survivable (a torn tail, an invalid snapshot that an older
+/// generation covered).
+struct RecoveryInfo {
+  bool snapshot_loaded = false;
+  uint64_t generation = 0;
+  uint64_t records_replayed = 0;
+  bool tail_truncated = false;      ///< a torn/corrupt tail was cut off
+  uint64_t tail_bytes_dropped = 0;  ///< bytes removed by that truncation
+  std::vector<std::string> warnings;
+};
+
+/// Monotonic counters; snapshot via stats().
+struct DurabilityStats {
+  uint64_t wal_appends = 0;          ///< records durably acknowledged
+  uint64_t wal_append_failures = 0;  ///< appends refused (I/O error)
+  uint64_t wal_syncs = 0;            ///< fsyncs issued on the log
+  uint64_t snapshots = 0;
+  uint64_t snapshot_failures = 0;
+  uint64_t wal_bytes = 0;  ///< current generation's log size (snapshot)
+  bool poisoned = false;   ///< log rewind failed; all appends refuse
+};
+
+class DurabilityManager {
+ public:
+  /// Opens (creating if needed) `options.data_dir`, recovers the catalog —
+  /// newest valid snapshot, then its generation's log tail, truncating a
+  /// torn final record — and leaves the log open for appending.
+  /// `recovered` receives the catalog in application order; `info` (may be
+  /// nullptr) the recovery trace. Fails only when the state is
+  /// unrecoverable without guessing: an unreadable directory, or snapshots
+  /// present but none valid.
+  static Result<std::unique_ptr<DurabilityManager>> Open(
+      const DurabilityOptions& options, std::vector<CatalogEntry>* recovered,
+      RecoveryInfo* info);
+
+  ~DurabilityManager();
+
+  /// Appends one durable record; OK means the update may be acknowledged
+  /// and applied. A non-OK return means the update must NOT be applied:
+  /// the record is not durably in the log (contract point 3 above).
+  Status AppendUpsert(const std::string& name, uint64_t version,
+                      const Structure& db);
+  Status AppendDrop(const std::string& name);
+
+  /// True when snapshot_every_records have been appended since the last
+  /// snapshot — the caller should pass its catalog to Snapshot().
+  bool SnapshotDue() const;
+
+  /// Writes the next-generation snapshot and switches to a fresh log.
+  /// Failure is non-fatal: the current generation keeps accepting appends
+  /// and the log simply keeps growing until a later snapshot succeeds.
+  Status Snapshot(const std::vector<CatalogEntry>& catalog);
+
+  DurabilityStats stats() const;
+  uint64_t generation() const;
+  const std::string& data_dir() const { return options_.data_dir; }
+
+ private:
+  DurabilityManager(DurabilityOptions options, FileSystem* fs, Clock* clock);
+
+  std::string WalPath(uint64_t gen) const;
+  std::string SnapshotPath(uint64_t gen) const;
+  Status AppendRecord(const std::string& payload);
+  /// Post-failure repair: cut the log back to the last known-good offset
+  /// and reopen it. Sets poisoned_ when the log cannot be made clean.
+  void RewindLog();
+
+  const DurabilityOptions options_;
+  FileSystem* const fs_;
+  Clock* const clock_;
+
+  mutable std::mutex mu_;
+  uint64_t generation_ = 0;
+  std::unique_ptr<WritableFile> wal_;
+  uint64_t good_offset_ = 0;  ///< log bytes known durable-framed
+  uint64_t records_since_snapshot_ = 0;
+  uint64_t last_sync_ms_ = 0;
+  bool dirty_since_sync_ = false;
+  bool poisoned_ = false;
+  DurabilityStats stats_;
+};
+
+}  // namespace cqcs::serve
+
+#endif  // CQCS_SERVE_DURABILITY_H_

@@ -42,6 +42,19 @@ bool IsCacheable(const EngineResult& r) {
   return !r.stats.governor.tripped && !r.stats.search.limit_hit;
 }
 
+/// Trip causes that count as a quarantine strike: the query exhausted a
+/// budget. A cancellation is the caller's doing, not the query's.
+bool IsPoisonTrip(const GovernorRunStats& g) {
+  return g.tripped && (g.cause == TripCause::kDeadline ||
+                       g.cause == TripCause::kMemory ||
+                       g.cause == TripCause::kFailpoint);
+}
+
+/// Quarantine map bound: past this many distinct texts, make room by
+/// evicting an arbitrary entry (losing a strike count is harmless — the
+/// query just gets fresh strikes).
+constexpr size_t kMaxQuarantineEntries = 4096;
+
 }  // namespace
 
 std::string ServeStats::ToJson() const {
@@ -56,6 +69,16 @@ std::string ServeStats::ToJson() const {
       << ",\"shed_queue\":" << shed_queue << ",\"shed_bytes\":" << shed_bytes
       << ",\"updates\":" << updates
       << ",\"invalidated_entries\":" << invalidated_entries
+      << ",\"update_refusals\":" << update_refusals
+      << ",\"quarantined\":" << quarantined
+      << ",\"degraded\":" << (degraded ? "true" : "false")
+      << ",\"recovered_dbs\":" << recovered_dbs
+      << ",\"records_replayed\":" << records_replayed
+      << ",\"wal_appends\":" << wal_appends
+      << ",\"wal_append_failures\":" << wal_append_failures
+      << ",\"snapshots\":" << snapshots
+      << ",\"snapshot_failures\":" << snapshot_failures
+      << ",\"poisoned_queries\":" << poisoned_queries
       << ",\"queue_depth\":" << queue_depth
       << ",\"queue_depth_peak\":" << queue_depth_peak
       << ",\"inflight_bytes\":" << inflight_bytes
@@ -69,21 +92,26 @@ ServingEngine::ServingEngine(ServeOptions options)
       plan_cache_(options.plan_cache_entries),
       result_cache_(options.result_cache_entries) {}
 
-Status ServingEngine::UpsertDatabase(const std::string& name, Structure db) {
-  if (name.empty() ||
-      name.find_first_of("|# \t\n") != std::string::npos) {
-    return Status::InvalidArgument(
-        "database names must be nonempty and free of '|', '#', and "
-        "whitespace (got \"" + name + "\")");
+Status ServingEngine::Open(RecoveryInfo* info) {
+  if (options_.durability.data_dir.empty()) return Status::OK();
+  std::vector<CatalogEntry> recovered;
+  auto manager = DurabilityManager::Open(options_.durability, &recovered, info);
+  if (!manager.ok()) return manager.status();
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  durability_ = *std::move(manager);
+  registry_.clear();
+  for (CatalogEntry& entry : recovered) {
+    DbEntry& slot = registry_[entry.name];
+    slot.structure = std::make_shared<const Structure>(std::move(entry.db));
+    slot.version = entry.version;
   }
-  CQCS_RETURN_IF_ERROR(db.Validate());
-  auto shared = std::make_shared<const Structure>(std::move(db));
-  {
-    std::lock_guard<std::mutex> lock(registry_mu_);
-    DbEntry& entry = registry_[name];
-    entry.structure = std::move(shared);
-    ++entry.version;
-  }
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  stats_.recovered_dbs = registry_.size();
+  stats_.records_replayed = info != nullptr ? info->records_replayed : 0;
+  return Status::OK();
+}
+
+size_t ServingEngine::InvalidateFor(const std::string& name) {
   // Invalidation sweep: every cached result (and warm pair plan) computed
   // against any older version of this name. The version bump already made
   // those keys unreachable; the sweep frees them eagerly so a stale answer
@@ -95,6 +123,69 @@ Status ServingEngine::UpsertDatabase(const std::string& name, Structure db) {
   dropped += plan_cache_.EraseIf([&](const CacheKey& key) {
     return key.canonical.find(segment) != std::string::npos;
   });
+  // The data changed, so prior budget trips are stale evidence: a
+  // quarantined query may be cheap against the new contents.
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  strikes_.clear();
+  return dropped;
+}
+
+std::vector<CatalogEntry> ServingEngine::CatalogLocked() const {
+  std::vector<CatalogEntry> catalog;
+  catalog.reserve(registry_.size());
+  for (const auto& [name, entry] : registry_) {
+    catalog.push_back(CatalogEntry{name, entry.version, *entry.structure});
+  }
+  std::sort(catalog.begin(), catalog.end(),
+            [](const CatalogEntry& a, const CatalogEntry& b) {
+              return a.name < b.name;
+            });
+  return catalog;
+}
+
+Status ServingEngine::UpsertDatabase(const std::string& name, Structure db) {
+  if (name.empty() ||
+      name.find_first_of("|# \t\n") != std::string::npos) {
+    return Status::InvalidArgument(
+        "database names must be nonempty and free of '|', '#', and "
+        "whitespace (got \"" + name + "\")");
+  }
+  CQCS_RETURN_IF_ERROR(db.Validate());
+  auto shared = std::make_shared<const Structure>(std::move(db));
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    if (degraded_) {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.update_refusals;
+      return Status::Unavailable(
+          "serving is degraded (the write-ahead log stopped accepting "
+          "writes); updates are refused, reads keep serving");
+    }
+    auto it = registry_.find(name);
+    const uint64_t next_version =
+        it != registry_.end() ? it->second.version + 1 : 1;
+    if (durability_ != nullptr) {
+      // Log BEFORE apply: an update is acknowledged only once it is
+      // durably in the WAL, and a refused append must leave the registry
+      // untouched (never-resurrect contract).
+      Status logged = durability_->AppendUpsert(name, next_version, *shared);
+      if (!logged.ok()) {
+        degraded_ = true;
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.update_refusals;
+        return logged;
+      }
+    }
+    DbEntry& entry = registry_[name];
+    entry.structure = std::move(shared);
+    entry.version = next_version;
+    if (durability_ != nullptr && durability_->SnapshotDue()) {
+      // Failure is non-fatal (counted in stats): the log keeps growing
+      // until a later snapshot lands.
+      (void)durability_->Snapshot(CatalogLocked());
+    }
+  }
+  const size_t dropped = InvalidateFor(name);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.updates;
@@ -106,20 +197,65 @@ Status ServingEngine::UpsertDatabase(const std::string& name, Structure db) {
 Status ServingEngine::DropDatabase(const std::string& name) {
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
-    if (registry_.erase(name) == 0) {
+    auto it = registry_.find(name);
+    if (it == registry_.end()) {
       return Status::NotFound("no database named \"" + name + "\"");
     }
+    if (degraded_) {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.update_refusals;
+      return Status::Unavailable(
+          "serving is degraded (the write-ahead log stopped accepting "
+          "writes); updates are refused, reads keep serving");
+    }
+    if (durability_ != nullptr) {
+      Status logged = durability_->AppendDrop(name);
+      if (!logged.ok()) {
+        degraded_ = true;
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.update_refusals;
+        return logged;
+      }
+    }
+    registry_.erase(it);
+    if (durability_ != nullptr && durability_->SnapshotDue()) {
+      (void)durability_->Snapshot(CatalogLocked());
+    }
   }
-  const std::string segment = "|" + name + "#";
-  size_t dropped = result_cache_.EraseIf([&](const CacheKey& key) {
-    return key.canonical.find(segment) != std::string::npos;
-  });
-  dropped += plan_cache_.EraseIf([&](const CacheKey& key) {
-    return key.canonical.find(segment) != std::string::npos;
-  });
+  const size_t dropped = InvalidateFor(name);
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.invalidated_entries += dropped;
   return Status::OK();
+}
+
+std::vector<std::pair<std::string, uint64_t>> ServingEngine::ListDatabases()
+    const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    out.reserve(registry_.size());
+    for (const auto& [name, entry] : registry_) {
+      out.emplace_back(name, entry.version);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::shared_ptr<const Structure>> ServingEngine::GetDatabase(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = registry_.find(name);
+  if (it == registry_.end()) {
+    return Status::NotFound("no database named \"" + name + "\"");
+  }
+  return it->second.structure;
+}
+
+bool ServingEngine::degraded() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return degraded_ ||
+         (durability_ != nullptr && durability_->stats().poisoned);
 }
 
 Result<ServingEngine::ResolvedDb> ServingEngine::ResolveDatabase(
@@ -170,6 +306,21 @@ Result<EngineResult> ServingEngine::Serve(const ServeRequest& request) {
         "request shed: queue depth " + std::to_string(depth) +
         " exceeds the admission bound " +
         std::to_string(options_.max_queue_depth));
+  }
+
+  // ---- Poison-query quarantine: refuse known budget-burners up front. ----
+  if (options_.poison_strikes > 0) {
+    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    auto it = strikes_.find(request.query);
+    if (it != strikes_.end() && it->second >= options_.poison_strikes) {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.quarantined;
+      return Status::ResourceExhausted(
+          "query quarantined: it tripped the resource budget " +
+          std::to_string(it->second) +
+          " times in a row; it will be retried after the next database "
+          "update");
+    }
   }
 
   // ---- Resolve the database and canonicalize the query. ------------------
@@ -297,6 +448,18 @@ Result<EngineResult> ServingEngine::Serve(const ServeRequest& request) {
     ++stats_.errors;
     return result.status();
   }
+  if (options_.poison_strikes > 0) {
+    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    if (IsPoisonTrip(result->stats.governor)) {
+      if (strikes_.count(request.query) == 0 &&
+          strikes_.size() >= kMaxQuarantineEntries) {
+        strikes_.erase(strikes_.begin());
+      }
+      ++strikes_[request.query];
+    } else {
+      strikes_.erase(request.query);  // a clean run resets the count
+    }
+  }
   if (options_.result_cache_entries > 0 && IsCacheable(*result)) {
     auto cached = std::make_shared<EngineResult>(*result);
     cached->stats.serve = ServeRequestStats{};  // hits refill it per request
@@ -320,6 +483,25 @@ ServeStats ServingEngine::stats() const {
   snapshot.inflight_bytes = in_flight_bytes_.load(std::memory_order_relaxed);
   snapshot.plan_cache_entries = plan_cache_.size();
   snapshot.result_cache_entries = result_cache_.size();
+  {
+    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    snapshot.poisoned_queries = 0;
+    for (const auto& [text, count] : strikes_) {
+      if (count >= options_.poison_strikes) ++snapshot.poisoned_queries;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    snapshot.degraded = degraded_;
+    if (durability_ != nullptr) {
+      const DurabilityStats d = durability_->stats();
+      snapshot.degraded = snapshot.degraded || d.poisoned;
+      snapshot.wal_appends = d.wal_appends;
+      snapshot.wal_append_failures = d.wal_append_failures;
+      snapshot.snapshots = d.snapshots;
+      snapshot.snapshot_failures = d.snapshot_failures;
+    }
+  }
   return snapshot;
 }
 

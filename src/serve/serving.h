@@ -29,6 +29,20 @@
 //                 admission uses (EstimateAcyclicBytes). A request over
 //                 either bound is shed with kResourceExhausted immediately
 //                 — the policy sheds, it never stalls.
+//   Durability    optional (ServeOptions::durability.data_dir non-empty):
+//                 every acknowledged UpsertDatabase / DropDatabase is
+//                 WAL-logged before it is applied, and Open() recovers the
+//                 registry after a restart (serve/durability.h). When the
+//                 log stops accepting writes the engine enters DEGRADED
+//                 mode: updates are refused with kUnavailable — never
+//                 acknowledged-but-lost — while reads keep serving from
+//                 memory.
+//   Quarantine    a poison-query negative cache: a query text whose runs
+//                 trip the deadline / memory / failpoint budget
+//                 `poison_strikes` times in a row is refused up front with
+//                 kResourceExhausted instead of burning a full budget every
+//                 time it is retried. A budget-clean completion or any
+//                 database update clears it.
 //
 // Thread safety: Serve(), UpsertDatabase(), and stats() may be called from
 // concurrent threads. Per-request parallelism (SolveOptions::num_threads)
@@ -54,6 +68,7 @@
 #include "common/status.h"
 #include "core/structure.h"
 #include "serve/cache.h"
+#include "serve/durability.h"
 
 namespace cqcs::serve {
 
@@ -70,6 +85,13 @@ struct ServeOptions {
   /// in-flight estimates — is shed with kResourceExhausted.
   size_t max_queue_depth = 0;
   size_t max_inflight_bytes = 0;
+  /// Durable state. An empty durability.data_dir means the registry is
+  /// memory-only (the pre-durability behavior); otherwise call Open() once
+  /// before serving to recover and arm the WAL.
+  DurabilityOptions durability;
+  /// Poison-query quarantine: refuse a query text after this many
+  /// consecutive budget trips (deadline / memory / failpoint). 0 disables.
+  uint32_t poison_strikes = 3;
 };
 
 /// Aggregate serving counters. Hit rates are derived, not stored.
@@ -85,6 +107,16 @@ struct ServeStats {
   uint64_t shed_bytes = 0;     ///< shed: in-flight bytes bound
   uint64_t updates = 0;        ///< UpsertDatabase calls
   uint64_t invalidated_entries = 0;  ///< cache entries swept by updates
+  uint64_t update_refusals = 0;  ///< updates refused (degraded / WAL failure)
+  uint64_t quarantined = 0;    ///< requests refused by the poison quarantine
+  bool degraded = false;       ///< WAL cannot accept writes; updates refuse
+  uint64_t recovered_dbs = 0;      ///< databases restored by Open()
+  uint64_t records_replayed = 0;   ///< WAL records replayed by Open()
+  uint64_t wal_appends = 0;
+  uint64_t wal_append_failures = 0;
+  uint64_t snapshots = 0;
+  uint64_t snapshot_failures = 0;
+  size_t poisoned_queries = 0;  ///< query texts currently quarantined
   size_t queue_depth = 0;       ///< in-flight requests (snapshot)
   size_t queue_depth_peak = 0;
   size_t inflight_bytes = 0;    ///< reserved byte estimates (snapshot)
@@ -114,6 +146,14 @@ class ServingEngine {
  public:
   explicit ServingEngine(ServeOptions options = {});
 
+  /// Arms durability: recovers the registry from
+  /// options.durability.data_dir (newest valid snapshot + WAL replay, torn
+  /// tail truncated with a warning in `info`) and opens the log for
+  /// appending. Call once, before serving. A no-op returning OK when
+  /// durability is disabled. Failure means the on-disk state is
+  /// unrecoverable without guessing — the caller should stop, not serve.
+  Status Open(RecoveryInfo* info = nullptr);
+
   /// Registers `db` under `name`, replacing any previous registration.
   /// Replacement bumps the name's version and invalidates every cached
   /// result (and pair plan) that was computed against the old content.
@@ -132,6 +172,19 @@ class ServingEngine {
   /// explain/stats record.
   Result<EngineResult> Serve(const ServeRequest& request);
 
+  /// The registered (name, version) pairs, sorted by name — the `catalog`
+  /// protocol command, and the chaos harness's oracle probe.
+  std::vector<std::pair<std::string, uint64_t>> ListDatabases() const;
+
+  /// The current registration of `name`; NotFound when absent.
+  Result<std::shared_ptr<const Structure>> GetDatabase(
+      const std::string& name) const;
+
+  /// True when updates are being refused (WAL append/rewind failure).
+  /// Reads keep serving; recovery is a restart over the intact on-disk
+  /// state.
+  bool degraded() const;
+
   ServeStats stats() const;
 
   const ServeOptions& options() const { return options_; }
@@ -149,11 +202,26 @@ class ServingEngine {
   Result<ResolvedDb> ResolveDatabase(const std::string& name) const;
   void FillServeSnapshot(EngineResult* result, bool plan_hit,
                          bool result_hit) const;
+  /// Sweeps both caches of entries computed against `name` and clears the
+  /// quarantine (the data changed; prior budget trips are stale evidence).
+  size_t InvalidateFor(const std::string& name);
+  /// Builds the sorted catalog from registry_. Caller holds registry_mu_.
+  std::vector<CatalogEntry> CatalogLocked() const;
 
   const ServeOptions options_;
 
+  /// registry_mu_ also serializes the durable path: WAL append order must
+  /// equal registry apply order, and a snapshot must see a registry no
+  /// append can be racing past.
   mutable std::mutex registry_mu_;
   std::unordered_map<std::string, DbEntry> registry_;
+  std::unique_ptr<DurabilityManager> durability_;
+  bool degraded_ = false;  ///< sticky; guarded by registry_mu_
+
+  /// Poison-query quarantine: consecutive budget-trip strikes per raw
+  /// query text, bounded; guarded by quarantine_mu_.
+  mutable std::mutex quarantine_mu_;
+  std::unordered_map<std::string, uint32_t> strikes_;
 
   /// Both plan levels live in one LRU; keys are prefixed "src|" / "pair|".
   LruCache<HomProblem> plan_cache_;

@@ -1,0 +1,670 @@
+// Durability net: CRC32C vectors, catalog round-trips, WAL recovery,
+// torn-tail truncation at every byte offset, FaultyFs failpoint matrices
+// (fail / short-write the Nth write, fsync, rename), snapshot generations,
+// and the ServingEngine's degraded mode + poison-query quarantine.
+//
+// The invariant every matrix asserts: the recovered catalog equals the
+// ACKNOWLEDGED catalog exactly — an update whose append failed must never
+// resurrect, an update that was acknowledged must never vanish (under
+// FsyncPolicy::kAlways), and recovery itself must never crash, whatever
+// the bytes on disk.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/crc32c.h"
+#include "common/fs.h"
+#include "core/io.h"
+#include "serve/durability.h"
+#include "serve/serving.h"
+
+namespace cqcs {
+namespace {
+
+using serve::DurabilityManager;
+using serve::DurabilityOptions;
+using serve::FsyncPolicy;
+using serve::RecoveryInfo;
+
+// ---------------------------------------------------------------- helpers ---
+
+/// A fresh scratch directory under the test temp root, removed on exit.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag) {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("cqcs_durability_" + tag + "_" +
+              std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+              "_" + std::to_string(counter_++)))
+                .string();
+    std::filesystem::remove_all(path_);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::string path_;
+};
+
+Structure MakeDb(uint32_t universe, const std::string& tuples) {
+  auto parsed = ParseStructure("universe " + std::to_string(universe) +
+                               "\nE/2:" + tuples + "\n");
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return *std::move(parsed);
+}
+
+DurabilityOptions Opts(const std::string& dir, FileSystem* fs = nullptr,
+                       Clock* clock = nullptr) {
+  DurabilityOptions o;
+  o.data_dir = dir;
+  o.fsync = FsyncPolicy::kAlways;
+  o.snapshot_every_records = 0;  // tests trigger snapshots explicitly
+  o.fs = fs;
+  o.clock = clock;
+  return o;
+}
+
+/// Names of the entries a recovery produced, sorted.
+std::vector<std::string> Names(const std::vector<CatalogEntry>& entries) {
+  std::vector<std::string> names;
+  for (const auto& e : entries) names.push_back(e.name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// ----------------------------------------------------------------- crc32c ---
+
+TEST(Crc32c, KnownVectors) {
+  // The Castagnoli check value (RFC 3720 appendix B.4 et al.).
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0x00000000u);
+  // 32 zero bytes — the iSCSI test vector.
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32c, SeedChainsIncrementally) {
+  const std::string data = "the quick brown fox";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  const uint32_t first = Crc32c(data.data(), 7);
+  const uint32_t chained = Crc32c(data.data() + 7, data.size() - 7, first);
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  std::string data = "framing test payload";
+  const uint32_t good = Crc32c(data.data(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 0x01;
+    EXPECT_NE(Crc32c(data.data(), data.size()), good) << "offset " << i;
+    data[i] ^= 0x01;
+  }
+}
+
+// ---------------------------------------------------------------- catalog ---
+
+TEST(Catalog, RoundTripsExactly) {
+  std::vector<CatalogEntry> entries;
+  entries.push_back(CatalogEntry{"alpha", 3, MakeDb(3, " 0 1, 1 2")});
+  entries.push_back(CatalogEntry{"beta", 1, MakeDb(2, " 0 0")});
+  const std::string text = PrintCatalog(entries);
+  auto parsed = ParseCatalog(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].name, "alpha");
+  EXPECT_EQ((*parsed)[0].version, 3u);
+  EXPECT_EQ((*parsed)[1].name, "beta");
+  EXPECT_EQ((*parsed)[1].version, 1u);
+  // Byte-exact second round trip.
+  EXPECT_EQ(PrintCatalog(*parsed), text);
+}
+
+TEST(Catalog, EmptyCatalogRoundTrips) {
+  auto parsed = ParseCatalog(PrintCatalog({}));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(Catalog, RejectsCorruptInputsWithoutAborting) {
+  // Every deviation is a ParseError, never a crash: these bytes arrive
+  // from disk after a kill -9.
+  const char* bad[] = {
+      "",                                          // no header
+      "cqcs-catalog 2\n",                          // wrong version
+      "cqcs-catalog 1\nfoo bar\n",                 // not a db line
+      "cqcs-catalog 1\ndb\n",                      // truncated db line
+      "cqcs-catalog 1\ndb a\n",                    // missing version
+      "cqcs-catalog 1\ndb a x\n",                  // bad version
+      "cqcs-catalog 1\ndb a 1\nuniverse 1\n",      // missing 'end'
+      "cqcs-catalog 1\ndb a 1\nnot a structure\nend\n",  // bad structure
+      "cqcs-catalog 1\ndb a 1\nuniverse 1\nend\n"
+      "db a 2\nuniverse 1\nend\n",                 // duplicate name
+  };
+  for (const char* text : bad) {
+    auto parsed = ParseCatalog(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << text;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kParseError) << text;
+  }
+}
+
+TEST(Catalog, ZeroArityRelationIsParseErrorNotAbort) {
+  // The io Result<> sweep: a zero-arity declaration used to reach the
+  // CHECK-failing vocabulary AddRelation via the inference path.
+  auto parsed = ParseCatalog("cqcs-catalog 1\ndb a 1\nuniverse 1\nE/0:\nend\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+  auto direct = ParseStructure("universe 1\nE/0:\n");
+  ASSERT_FALSE(direct.ok());
+  EXPECT_EQ(direct.status().code(), StatusCode::kParseError);
+}
+
+// ----------------------------------------------------------- wal recovery ---
+
+TEST(Durability, OpenOnEmptyDirIsCleanSlate) {
+  ScratchDir dir("empty");
+  std::vector<CatalogEntry> recovered;
+  RecoveryInfo info;
+  auto mgr = DurabilityManager::Open(Opts(dir.path()), &recovered, &info);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  EXPECT_TRUE(recovered.empty());
+  EXPECT_FALSE(info.snapshot_loaded);
+  EXPECT_EQ(info.records_replayed, 0u);
+  EXPECT_TRUE(info.warnings.empty());
+}
+
+TEST(Durability, AppendsRecoverAcrossReopen) {
+  ScratchDir dir("reopen");
+  std::vector<CatalogEntry> recovered;
+  {
+    auto mgr = DurabilityManager::Open(Opts(dir.path()), &recovered, nullptr);
+    ASSERT_TRUE(mgr.ok());
+    ASSERT_TRUE((*mgr)->AppendUpsert("a", 1, MakeDb(2, " 0 1")).ok());
+    ASSERT_TRUE((*mgr)->AppendUpsert("b", 1, MakeDb(3, " 1 2")).ok());
+    ASSERT_TRUE((*mgr)->AppendUpsert("a", 2, MakeDb(2, " 1 0")).ok());
+    ASSERT_TRUE((*mgr)->AppendDrop("b").ok());
+  }
+  RecoveryInfo info;
+  auto mgr = DurabilityManager::Open(Opts(dir.path()), &recovered, &info);
+  ASSERT_TRUE(mgr.ok());
+  EXPECT_EQ(info.records_replayed, 4u);
+  EXPECT_FALSE(info.tail_truncated);
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0].name, "a");
+  EXPECT_EQ(recovered[0].version, 2u);
+  EXPECT_EQ(PrintStructure(recovered[0].db),
+            PrintStructure(MakeDb(2, " 1 0")));
+}
+
+TEST(Durability, SnapshotSwitchesGenerationAndPrunesOldFiles) {
+  ScratchDir dir("snapshot");
+  std::vector<CatalogEntry> recovered;
+  {
+    auto mgr = DurabilityManager::Open(Opts(dir.path()), &recovered, nullptr);
+    ASSERT_TRUE(mgr.ok());
+    ASSERT_TRUE((*mgr)->AppendUpsert("a", 1, MakeDb(2, " 0 1")).ok());
+    std::vector<CatalogEntry> catalog;
+    catalog.push_back(CatalogEntry{"a", 1, MakeDb(2, " 0 1")});
+    ASSERT_TRUE((*mgr)->Snapshot(catalog).ok());
+    EXPECT_EQ((*mgr)->generation(), 1u);
+    // Post-snapshot appends land in the new generation's log.
+    ASSERT_TRUE((*mgr)->AppendUpsert("b", 1, MakeDb(2, " 1 1")).ok());
+  }
+  EXPECT_FALSE(RealFileSystem()->Exists(dir.path() + "/wal-0"));
+  EXPECT_TRUE(RealFileSystem()->Exists(dir.path() + "/snapshot-1"));
+  EXPECT_TRUE(RealFileSystem()->Exists(dir.path() + "/wal-1"));
+  RecoveryInfo info;
+  auto mgr = DurabilityManager::Open(Opts(dir.path()), &recovered, &info);
+  ASSERT_TRUE(mgr.ok());
+  EXPECT_TRUE(info.snapshot_loaded);
+  EXPECT_EQ(info.generation, 1u);
+  EXPECT_EQ(info.records_replayed, 1u);  // only "b", "a" came from the snapshot
+  EXPECT_EQ(Names(recovered), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Durability, SnapshotDueHonorsThreshold) {
+  ScratchDir dir("due");
+  DurabilityOptions options = Opts(dir.path());
+  options.snapshot_every_records = 2;
+  std::vector<CatalogEntry> recovered;
+  auto mgr = DurabilityManager::Open(options, &recovered, nullptr);
+  ASSERT_TRUE(mgr.ok());
+  EXPECT_FALSE((*mgr)->SnapshotDue());
+  ASSERT_TRUE((*mgr)->AppendUpsert("a", 1, MakeDb(2, " 0 1")).ok());
+  EXPECT_FALSE((*mgr)->SnapshotDue());
+  ASSERT_TRUE((*mgr)->AppendUpsert("b", 1, MakeDb(2, " 0 1")).ok());
+  EXPECT_TRUE((*mgr)->SnapshotDue());
+  ASSERT_TRUE((*mgr)->Snapshot({}).ok());
+  EXPECT_FALSE((*mgr)->SnapshotDue());
+}
+
+TEST(Durability, AllSnapshotsCorruptRefusesToOpen) {
+  ScratchDir dir("badsnap");
+  std::vector<CatalogEntry> recovered;
+  {
+    auto mgr = DurabilityManager::Open(Opts(dir.path()), &recovered, nullptr);
+    ASSERT_TRUE(mgr.ok());
+    ASSERT_TRUE((*mgr)->Snapshot({}).ok());
+  }
+  // Corrupt the only snapshot: recovery must refuse, not guess.
+  auto trunc = RealFileSystem()->Truncate(dir.path() + "/snapshot-1", 4);
+  ASSERT_TRUE(trunc.ok());
+  auto mgr = DurabilityManager::Open(Opts(dir.path()), &recovered, nullptr);
+  EXPECT_FALSE(mgr.ok());
+}
+
+TEST(Durability, OlderValidSnapshotCoversACorruptNewerOne) {
+  ScratchDir dir("fallback");
+  std::vector<CatalogEntry> recovered;
+  {
+    auto mgr = DurabilityManager::Open(Opts(dir.path()), &recovered, nullptr);
+    ASSERT_TRUE(mgr.ok());
+    std::vector<CatalogEntry> catalog;
+    catalog.push_back(CatalogEntry{"a", 1, MakeDb(2, " 0 1")});
+    ASSERT_TRUE((*mgr)->Snapshot(catalog).ok());          // snapshot-1
+    catalog.push_back(CatalogEntry{"b", 1, MakeDb(2, "")});
+    ASSERT_TRUE((*mgr)->Snapshot(catalog).ok());          // snapshot-2
+  }
+  // snapshot-2 corrupt, snapshot-1 gone (pruned) — recreate the layered
+  // case by hand: write a valid older snapshot next to the corrupt newer.
+  {
+    auto mgr = DurabilityManager::Open(Opts(dir.path()), &recovered, nullptr);
+    ASSERT_TRUE(mgr.ok());  // sanity: snapshot-2 currently valid
+    EXPECT_EQ(Names(recovered), (std::vector<std::string>{"a", "b"}));
+  }
+  // Make a fake older snapshot that is VALID by copying snapshot-2's bytes
+  // to snapshot-1... instead simply corrupt snapshot-2 after planting a
+  // valid snapshot-1 via a fresh manager in a sibling dir.
+  auto bytes = RealFileSystem()->ReadFile(dir.path() + "/snapshot-2");
+  ASSERT_TRUE(bytes.ok());
+  {
+    std::ofstream out(dir.path() + "/snapshot-1", std::ios::binary);
+    out << *bytes;
+  }
+  ASSERT_TRUE(RealFileSystem()->Truncate(dir.path() + "/snapshot-2", 7).ok());
+  RecoveryInfo info;
+  auto mgr = DurabilityManager::Open(Opts(dir.path()), &recovered, &info);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  EXPECT_EQ(Names(recovered), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(info.generation, 1u);
+  EXPECT_FALSE(info.warnings.empty());  // the invalid newer one was reported
+}
+
+// ------------------------------------------------------------- torn tails ---
+
+TEST(Durability, TornTailIsTruncatedAndReopenIsIdempotent) {
+  ScratchDir dir("torn");
+  std::vector<CatalogEntry> recovered;
+  {
+    auto mgr = DurabilityManager::Open(Opts(dir.path()), &recovered, nullptr);
+    ASSERT_TRUE(mgr.ok());
+    ASSERT_TRUE((*mgr)->AppendUpsert("a", 1, MakeDb(2, " 0 1")).ok());
+    ASSERT_TRUE((*mgr)->AppendUpsert("b", 1, MakeDb(2, " 1 0")).ok());
+  }
+  auto good = RealFileSystem()->ReadFile(dir.path() + "/wal-0");
+  ASSERT_TRUE(good.ok());
+  // Simulate dying mid-append: half a record's worth of garbage.
+  {
+    std::ofstream out(dir.path() + "/wal-0",
+                      std::ios::binary | std::ios::app);
+    out << "\x13\x00\x00\x00garbage";
+  }
+  RecoveryInfo info;
+  auto mgr = DurabilityManager::Open(Opts(dir.path()), &recovered, &info);
+  ASSERT_TRUE(mgr.ok());
+  EXPECT_TRUE(info.tail_truncated);
+  EXPECT_GT(info.tail_bytes_dropped, 0u);
+  EXPECT_FALSE(info.warnings.empty());
+  EXPECT_EQ(Names(recovered), (std::vector<std::string>{"a", "b"}));
+  // The repair was physical: the file is byte-identical to the good log,
+  // and a second open sees nothing wrong.
+  auto repaired = RealFileSystem()->ReadFile(dir.path() + "/wal-0");
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(*repaired, *good);
+  mgr = DurabilityManager::Open(Opts(dir.path()), &recovered, &info);
+  ASSERT_TRUE(mgr.ok());
+  EXPECT_FALSE(info.tail_truncated);
+  EXPECT_TRUE(info.warnings.empty());
+}
+
+TEST(Durability, CorruptByteAtEveryOffsetNeverCrashesRecovery) {
+  // Build a small WAL of three records, then for EVERY byte offset flip
+  // that byte and recover. The recovered catalog must always be a prefix
+  // of the applied sequence, and recovery must never fail or crash.
+  ScratchDir dir("flip");
+  std::vector<CatalogEntry> recovered;
+  {
+    auto mgr = DurabilityManager::Open(Opts(dir.path()), &recovered, nullptr);
+    ASSERT_TRUE(mgr.ok());
+    ASSERT_TRUE((*mgr)->AppendUpsert("a", 1, MakeDb(2, " 0 1")).ok());
+    ASSERT_TRUE((*mgr)->AppendUpsert("b", 1, MakeDb(2, " 1 0")).ok());
+    ASSERT_TRUE((*mgr)->AppendUpsert("c", 1, MakeDb(2, " 1 1")).ok());
+  }
+  const std::string wal_path = dir.path() + "/wal-0";
+  auto pristine = RealFileSystem()->ReadFile(wal_path);
+  ASSERT_TRUE(pristine.ok());
+  const std::vector<std::vector<std::string>> prefixes = {
+      {}, {"a"}, {"a", "b"}, {"a", "b", "c"}};
+  for (size_t offset = 0; offset < pristine->size(); ++offset) {
+    std::string mutated = *pristine;
+    mutated[offset] = static_cast<char>(mutated[offset] ^ 0xFF);
+    {
+      std::ofstream out(wal_path, std::ios::binary | std::ios::trunc);
+      out << mutated;
+    }
+    RecoveryInfo info;
+    auto mgr = DurabilityManager::Open(Opts(dir.path()), &recovered, &info);
+    ASSERT_TRUE(mgr.ok()) << "offset " << offset << ": "
+                          << mgr.status().ToString();
+    mgr->reset();  // release the append handle before the next iteration
+    const std::vector<std::string> names = Names(recovered);
+    EXPECT_NE(std::find(prefixes.begin(), prefixes.end(), names),
+              prefixes.end())
+        << "offset " << offset << " recovered a non-prefix catalog";
+    // A flip always damages some record, so some tail must have dropped.
+    EXPECT_TRUE(info.tail_truncated) << "offset " << offset;
+  }
+}
+
+// ------------------------------------------------------ faultyfs matrices ---
+
+/// Drives `appends` upserts through a manager on a FaultyFs, returning the
+/// set of acknowledged names; then recovers with a clean filesystem and
+/// asserts recovered == acknowledged exactly.
+void RunWriteFaultMatrix(const FsFailpoints& failpoints,
+                         FsyncPolicy policy) {
+  ScratchDir dir("faulty");
+  FaultyFs faulty(RealFileSystem(), failpoints);
+  ManualClock clock;
+  std::vector<std::string> acked;
+  {
+    DurabilityOptions options = Opts(dir.path(), &faulty, &clock);
+    options.fsync = policy;
+    std::vector<CatalogEntry> recovered;
+    auto mgr = DurabilityManager::Open(options, &recovered, nullptr);
+    ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+    const char* names[] = {"a", "b", "c", "d", "e"};
+    for (const char* name : names) {
+      Status s = (*mgr)->AppendUpsert(name, 1, MakeDb(2, " 0 1"));
+      if (s.ok()) acked.push_back(name);
+    }
+  }
+  std::vector<CatalogEntry> recovered;
+  RecoveryInfo info;
+  auto mgr = DurabilityManager::Open(Opts(dir.path()), &recovered, &info);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  std::sort(acked.begin(), acked.end());
+  EXPECT_EQ(Names(recovered), acked)
+      << "fail_write_n=" << failpoints.fail_write_n
+      << " short=" << failpoints.short_write_bytes
+      << " fail_sync_n=" << failpoints.fail_sync_n;
+  // The failed append rewound the log, so recovery sees a CLEAN file: no
+  // torn tail to truncate.
+  EXPECT_FALSE(info.tail_truncated);
+}
+
+TEST(DurabilityFaults, NthWriteFailsNeverResurrects) {
+  for (uint64_t n = 1; n <= 6; ++n) {
+    FsFailpoints fp;
+    fp.fail_write_n = n;
+    RunWriteFaultMatrix(fp, FsyncPolicy::kAlways);
+  }
+}
+
+TEST(DurabilityFaults, ShortWritesLandGarbageButNeverResurrect) {
+  // The failing write lands a PREFIX of the frame — the torn-record
+  // signature — and the rewind must scrub it before the next append.
+  for (uint64_t n = 1; n <= 4; ++n) {
+    for (size_t short_bytes : {size_t{1}, size_t{4}, size_t{9}, size_t{17}}) {
+      FsFailpoints fp;
+      fp.fail_write_n = n;
+      fp.short_write_bytes = short_bytes;
+      RunWriteFaultMatrix(fp, FsyncPolicy::kAlways);
+    }
+  }
+}
+
+TEST(DurabilityFaults, NthFsyncFailsNeverResurrects) {
+  for (uint64_t n = 1; n <= 6; ++n) {
+    FsFailpoints fp;
+    fp.fail_sync_n = n;
+    RunWriteFaultMatrix(fp, FsyncPolicy::kAlways);
+  }
+}
+
+TEST(DurabilityFaults, RenameFailureFailsSnapshotButKeepsLogGood) {
+  ScratchDir dir("rename");
+  FsFailpoints fp;
+  fp.fail_rename_n = 1;
+  FaultyFs faulty(RealFileSystem(), fp);
+  std::vector<CatalogEntry> recovered;
+  DurabilityOptions options = Opts(dir.path(), &faulty);
+  auto mgr = DurabilityManager::Open(options, &recovered, nullptr);
+  ASSERT_TRUE(mgr.ok());
+  ASSERT_TRUE((*mgr)->AppendUpsert("a", 1, MakeDb(2, " 0 1")).ok());
+  std::vector<CatalogEntry> catalog;
+  catalog.push_back(CatalogEntry{"a", 1, MakeDb(2, " 0 1")});
+  EXPECT_FALSE((*mgr)->Snapshot(catalog).ok());  // rename injected to fail
+  EXPECT_EQ((*mgr)->generation(), 0u);           // no generation switch
+  EXPECT_EQ((*mgr)->stats().snapshot_failures, 1u);
+  // The log is untouched by the failed snapshot: appends keep working and
+  // recovery (clean fs) sees everything.
+  ASSERT_TRUE((*mgr)->AppendUpsert("b", 1, MakeDb(2, " 1 0")).ok());
+  mgr->reset();
+  auto reopened = DurabilityManager::Open(Opts(dir.path()), &recovered,
+                                          nullptr);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(Names(recovered), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(DurabilityFaults, IntervalPolicySyncsOnTheClock) {
+  ScratchDir dir("interval");
+  ManualClock clock;
+  FaultyFs faulty(RealFileSystem());  // counters only, no faults
+  DurabilityOptions options = Opts(dir.path(), &faulty, &clock);
+  options.fsync = FsyncPolicy::kInterval;
+  options.fsync_interval_ms = 100;
+  std::vector<CatalogEntry> recovered;
+  auto mgr = DurabilityManager::Open(options, &recovered, nullptr);
+  ASSERT_TRUE(mgr.ok());
+  ASSERT_TRUE((*mgr)->AppendUpsert("a", 1, MakeDb(2, " 0 1")).ok());
+  EXPECT_EQ((*mgr)->stats().wal_syncs, 0u);  // interval not yet elapsed
+  clock.Advance(99);
+  ASSERT_TRUE((*mgr)->AppendUpsert("b", 1, MakeDb(2, " 0 1")).ok());
+  EXPECT_EQ((*mgr)->stats().wal_syncs, 0u);
+  clock.Advance(1);
+  ASSERT_TRUE((*mgr)->AppendUpsert("c", 1, MakeDb(2, " 0 1")).ok());
+  EXPECT_EQ((*mgr)->stats().wal_syncs, 1u);  // 100ms elapsed: sync fired
+}
+
+// ------------------------------------------------- serving engine durable ---
+
+serve::ServeOptions DurableServeOptions(const std::string& dir,
+                                        FileSystem* fs = nullptr) {
+  serve::ServeOptions o;
+  o.durability.data_dir = dir;
+  o.durability.fsync = FsyncPolicy::kAlways;
+  o.durability.snapshot_every_records = 0;
+  o.durability.fs = fs;
+  return o;
+}
+
+TEST(ServingDurable, RegistryRecoversWithVersions) {
+  ScratchDir dir("serve");
+  {
+    serve::ServingEngine engine(DurableServeOptions(dir.path()));
+    ASSERT_TRUE(engine.Open(nullptr).ok());
+    ASSERT_TRUE(engine.UpsertDatabase("g", MakeDb(3, " 0 1, 1 2")).ok());
+    ASSERT_TRUE(engine.UpsertDatabase("g", MakeDb(3, " 0 1")).ok());
+    ASSERT_TRUE(engine.UpsertDatabase("h", MakeDb(2, " 0 0")).ok());
+    ASSERT_TRUE(engine.DropDatabase("h").ok());
+  }
+  serve::ServingEngine engine(DurableServeOptions(dir.path()));
+  RecoveryInfo info;
+  ASSERT_TRUE(engine.Open(&info).ok());
+  EXPECT_EQ(info.records_replayed, 4u);
+  const auto dbs = engine.ListDatabases();
+  ASSERT_EQ(dbs.size(), 1u);
+  EXPECT_EQ(dbs[0].first, "g");
+  EXPECT_EQ(dbs[0].second, 2u);  // versions survive restarts
+  // And the recovered database actually serves.
+  serve::ServeRequest request;
+  request.query = "Q() :- E(X, Y).";
+  request.database = "g";
+  request.task = HomTask::kDecide;
+  auto result = engine.Serve(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->decided);
+}
+
+TEST(ServingDurable, WalFailureEntersStickyDegradedModeReadsKeepServing) {
+  ScratchDir dir("degraded");
+  FsFailpoints fp;
+  fp.fail_write_n = 2;  // the second update's append fails
+  FaultyFs faulty(RealFileSystem(), fp);
+  serve::ServingEngine engine(DurableServeOptions(dir.path(), &faulty));
+  ASSERT_TRUE(engine.Open(nullptr).ok());
+  ASSERT_TRUE(engine.UpsertDatabase("g", MakeDb(3, " 0 1, 1 2")).ok());
+  Status refused = engine.UpsertDatabase("g", MakeDb(3, " 0 1"));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kUnavailable);
+  // Sticky: even though the failpoint has passed, updates stay refused.
+  Status again = engine.UpsertDatabase("h", MakeDb(2, " 0 0"));
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(engine.degraded());
+  EXPECT_TRUE(engine.stats().degraded);
+  EXPECT_EQ(engine.stats().update_refusals, 2u);
+  // Reads keep serving the last acknowledged state.
+  serve::ServeRequest request;
+  request.query = "Q() :- E(X, Y).";
+  request.database = "g";
+  request.task = HomTask::kCount;
+  auto result = engine.Serve(request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count, 2u);  // the v1 contents, not the refused v2
+  // The refused update never resurrects across a restart either.
+  serve::ServingEngine reopened(DurableServeOptions(dir.path()));
+  ASSERT_TRUE(reopened.Open(nullptr).ok());
+  const auto dbs = reopened.ListDatabases();
+  ASSERT_EQ(dbs.size(), 1u);
+  EXPECT_EQ(dbs[0].second, 1u);
+}
+
+TEST(ServingDurable, VersionsStayMonotoneAcrossRestarts) {
+  // An upsert after recovery must continue the version sequence, not
+  // restart it — otherwise result-cache keys from before the crash could
+  // collide with different content after it.
+  ScratchDir dir("monotone");
+  {
+    serve::ServingEngine engine(DurableServeOptions(dir.path()));
+    ASSERT_TRUE(engine.Open(nullptr).ok());
+    ASSERT_TRUE(engine.UpsertDatabase("g", MakeDb(2, " 0 1")).ok());
+    ASSERT_TRUE(engine.UpsertDatabase("g", MakeDb(2, " 1 0")).ok());
+  }
+  serve::ServingEngine engine(DurableServeOptions(dir.path()));
+  ASSERT_TRUE(engine.Open(nullptr).ok());
+  ASSERT_TRUE(engine.UpsertDatabase("g", MakeDb(2, " 1 1")).ok());
+  EXPECT_EQ(engine.ListDatabases()[0].second, 3u);
+}
+
+// -------------------------------------------------------------- quarantine ---
+
+TEST(Quarantine, RepeatedBudgetTripsQuarantineTheQueryText) {
+  serve::ServeOptions options;
+  options.poison_strikes = 2;
+  // Failpoint: every run trips the governor on its first poll.
+  options.engine.failpoints.trip_after_checks = 1;
+  serve::ServingEngine engine(options);
+  ASSERT_TRUE(engine.UpsertDatabase("g", MakeDb(3, " 0 1, 1 2")).ok());
+  serve::ServeRequest request;
+  request.query = "Q() :- E(X, Y), E(Y, Z).";
+  request.database = "g";
+  request.task = HomTask::kDecide;
+  // Two strikes run (and trip); the third is refused up front.
+  for (int i = 0; i < 2; ++i) {
+    auto result = engine.Serve(request);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->stats.governor.tripped);
+  }
+  auto refused = engine.Serve(request);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(engine.stats().quarantined, 1u);
+  EXPECT_EQ(engine.stats().poisoned_queries, 1u);
+  // A different query text is unaffected.
+  serve::ServeRequest other = request;
+  other.query = "Q() :- E(X, X).";
+  auto ok_result = engine.Serve(other);
+  ASSERT_TRUE(ok_result.ok());
+}
+
+TEST(Quarantine, DatabaseUpdateClearsTheQuarantine) {
+  serve::ServeOptions options;
+  options.poison_strikes = 1;
+  options.engine.failpoints.trip_after_checks = 1;
+  serve::ServingEngine engine(options);
+  ASSERT_TRUE(engine.UpsertDatabase("g", MakeDb(3, " 0 1")).ok());
+  serve::ServeRequest request;
+  request.query = "Q() :- E(X, Y).";
+  request.database = "g";
+  request.task = HomTask::kDecide;
+  ASSERT_TRUE(engine.Serve(request).ok());        // strike 1 (tripped)
+  ASSERT_FALSE(engine.Serve(request).ok());       // quarantined
+  ASSERT_TRUE(engine.UpsertDatabase("g", MakeDb(3, " 0 1, 1 2")).ok());
+  // The update cleared the quarantine: the query runs again (and trips
+  // again, but it RUNS — fresh evidence against fresh data).
+  auto retried = engine.Serve(request);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+}
+
+TEST(Quarantine, CleanRunResetsTheStrikeCount) {
+  serve::ServeOptions options;
+  options.poison_strikes = 2;
+  serve::ServingEngine engine(options);
+  ASSERT_TRUE(engine.UpsertDatabase("g", MakeDb(3, " 0 1, 1 2")).ok());
+  serve::ServeRequest request;
+  request.query = "Q() :- E(X, Y).";
+  request.database = "g";
+  request.task = HomTask::kDecide;
+  // No failpoints: runs are clean, strikes never accumulate.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(engine.Serve(request).ok());
+  }
+  EXPECT_EQ(engine.stats().quarantined, 0u);
+  EXPECT_EQ(engine.stats().poisoned_queries, 0u);
+}
+
+TEST(ServingDurable, StatsJsonCarriesDurabilityFields) {
+  ScratchDir dir("statsjson");
+  serve::ServingEngine engine(DurableServeOptions(dir.path()));
+  ASSERT_TRUE(engine.Open(nullptr).ok());
+  ASSERT_TRUE(engine.UpsertDatabase("g", MakeDb(2, " 0 1")).ok());
+  const std::string json = engine.stats().ToJson();
+  EXPECT_NE(json.find("\"degraded\":false"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"wal_appends\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"quarantined\":0"), std::string::npos) << json;
+}
+
+// --------------------------------------------------------- fsync policies ---
+
+TEST(Durability, FsyncPolicyNamesRoundTrip) {
+  for (FsyncPolicy policy : {FsyncPolicy::kAlways, FsyncPolicy::kInterval,
+                             FsyncPolicy::kNever}) {
+    auto parsed = serve::ParseFsyncPolicyName(serve::FsyncPolicyName(policy));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_FALSE(serve::ParseFsyncPolicyName("sometimes").has_value());
+}
+
+}  // namespace
+}  // namespace cqcs

@@ -147,6 +147,61 @@ if ! printf 'db g universe 3; E/2: 0 1, 1 2, 2 0\nquery q Q() :- E(X, Y).\nrun d
   fail=1
 fi
 
+# New serve flags reject malformed values with a usage error (1).
+expect "serve-bad-fsync" 1 "$HOM_TOOL" serve --fsync=sometimes
+expect "serve-bad-fsync-interval" 1 "$HOM_TOOL" serve --fsync-interval-ms=soon
+expect "serve-bad-snapshot-every" 1 "$HOM_TOOL" serve --snapshot-every=often
+expect "serve-bad-poison-strikes" 1 "$HOM_TOOL" serve --poison-strikes=-3
+
+# ------------------------------------------------ serve protocol edge cases ---
+# Degenerate input lines must each get a clean protocol error (or a clean
+# parse of what was actually sent) and leave the session serving; none may
+# crash, hang, or silently alter the line.
+
+# An oversized (> 1 MiB) line is refused with a protocol error, and the
+# session resynchronizes on the next line.
+out="$( { printf 'db big universe 3; E/2:'
+          awk 'BEGIN { for (i = 0; i < 220000; i++) printf " 0 1,"; print " 1 2" }'
+          printf 'db ok universe 2; E/2: 0 1\nquit\n'; } \
+        | "$HOM_TOOL" serve 2>/dev/null )"
+code=$?
+if [[ "$code" != 0 ]] \
+    || ! grep -q '^error: protocol line exceeds' <<< "$out" \
+    || ! grep -q '^ok db ok' <<< "$out"; then
+  echo "FAIL [serve-oversized-line]: exit $code, out: $out" >&2
+  fail=1
+fi
+
+# An embedded NUL byte cannot truncate the line into a different command;
+# it is refused outright and the session continues.
+out="$(printf 'db evil universe 2; E/2: 0 1\0trailing-garbage\ndb ok universe 2; E/2: 0 1\nquit\n' \
+        | "$HOM_TOOL" serve 2>/dev/null)"
+code=$?
+if [[ "$code" != 0 ]] \
+    || ! grep -q '^error: protocol line contains an embedded NUL' <<< "$out" \
+    || ! grep -q '^ok db ok' <<< "$out"; then
+  echo "FAIL [serve-embedded-nul]: exit $code, out: $out" >&2
+  fail=1
+fi
+
+# CRLF line endings parse as if the \r were not there.
+out="$(printf 'db w universe 2; E/2: 0 1\r\ndump w\r\nquit\r\n' \
+        | "$HOM_TOOL" serve 2>/dev/null)"
+code=$?
+if [[ "$code" != 0 ]] || ! grep -q '^ok dump w universe 2;E/2: 0 1;$' <<< "$out"; then
+  echo "FAIL [serve-crlf]: exit $code, out: $out" >&2
+  fail=1
+fi
+
+# EOF mid-line: the partial final line is still a command (the sender
+# died after writing it), and the session then exits 0.
+out="$(printf 'db p universe 2; E/2: 0 1\ndump p' | "$HOM_TOOL" serve 2>/dev/null)"
+code=$?
+if [[ "$code" != 0 ]] || ! grep -q '^ok dump p' <<< "$out"; then
+  echo "FAIL [serve-eof-mid-line]: exit $code, out: $out" >&2
+  fail=1
+fi
+
 if [[ "$fail" == 0 ]]; then
   echo "hom_tool exit-code contract: all cells PASS"
 else
