@@ -150,10 +150,8 @@ Result<Structure> ParseStructure(std::string_view text, VocabularyPtr vocab) {
   return ParseImpl(text, std::move(vocab));
 }
 
-namespace {
-
-/// Catalog names travel on single header lines and become file-key
-/// segments downstream; whitespace and control bytes would corrupt both.
+// Catalog names travel on single header lines and become file-key
+// segments downstream; whitespace and control bytes would corrupt both.
 bool IsCatalogName(std::string_view name) {
   if (name.empty()) return false;
   for (unsigned char c : name) {
@@ -161,8 +159,6 @@ bool IsCatalogName(std::string_view name) {
   }
   return true;
 }
-
-}  // namespace
 
 std::string PrintCatalog(const std::vector<CatalogEntry>& entries) {
   std::ostringstream out;

@@ -56,6 +56,13 @@ struct CatalogEntry {
   Structure db;
 };
 
+/// The durable-name rule: catalog names travel on single header lines in
+/// snapshots and WAL records, so a valid name is nonempty and contains no
+/// byte <= 0x20 (space and all controls) and no 0x7F (DEL). Everything
+/// that acknowledges a name as durable must enforce exactly this predicate
+/// — a name the recovery parsers would reject must never reach disk.
+bool IsCatalogName(std::string_view name);
+
 /// Serializes a catalog in the format ParseCatalog accepts. Entry order is
 /// preserved (PrintCatalog -> ParseCatalog round-trips exactly).
 std::string PrintCatalog(const std::vector<CatalogEntry>& entries);

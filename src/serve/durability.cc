@@ -40,15 +40,11 @@ std::string FrameRecord(const std::string& payload) {
   return frame;
 }
 
-/// Mirrors core/io's catalog-name constraint for names arriving from a
-/// possibly-corrupt log record.
-bool ValidRecordName(std::string_view name) {
-  if (name.empty()) return false;
-  for (unsigned char c : name) {
-    if (c <= ' ' || c == 0x7F) return false;
-  }
-  return true;
-}
+/// The catalog-name constraint, for names arriving from a possibly-corrupt
+/// log record AND for names being acknowledged into one — the same
+/// predicate on both sides, or an acknowledged record would be truncated
+/// as corruption on replay.
+bool ValidRecordName(std::string_view name) { return IsCatalogName(name); }
 
 /// The snapshot file is PrintCatalog output plus this whole-file CRC
 /// footer; a snapshot without a matching footer is invalid, never "mostly
@@ -160,7 +156,14 @@ DurabilityManager::DurabilityManager(DurabilityOptions options,
                                      FileSystem* fs, Clock* clock)
     : options_(std::move(options)), fs_(fs), clock_(clock) {}
 
-DurabilityManager::~DurabilityManager() = default;
+DurabilityManager::~DurabilityManager() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ != nullptr && dirty_since_sync_) {
+    // Clean shutdown closes the interval policy's loss window: an idle
+    // writer's dirty tail would otherwise stay unsynced indefinitely.
+    (void)wal_->Sync();
+  }
+}
 
 std::string DurabilityManager::WalPath(uint64_t gen) const {
   return options_.data_dir + "/wal-" + std::to_string(gen);
@@ -228,58 +231,100 @@ Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
           " but none is valid — refusing to guess at the catalog");
     }
   } else if (!wal_gens.empty()) {
-    gen = *std::max_element(wal_gens.begin(), wal_gens.end());
+    gen = *std::min_element(wal_gens.begin(), wal_gens.end());
     if (gen > 0) {
       rec.warnings.push_back(
-          "log generation " + std::to_string(gen) +
-          " has no snapshot; replaying it over an empty catalog");
+          "log generations from " + std::to_string(gen) +
+          " have no snapshot; replaying them over an empty catalog");
     }
+  }
+  const uint64_t max_wal_gen =
+      wal_gens.empty() ? gen
+                       : *std::max_element(wal_gens.begin(), wal_gens.end());
+
+  // ---- Replay the chain of logs starting at `gen`. ------------------------
+  // A snapshot write can fail (or a crash can land) between a rotation and
+  // the snapshot landing, so any number of consecutive generations may
+  // follow the newest valid snapshot; all of them hold acknowledged records
+  // and all must replay, in order. A torn tail is truncated only on the
+  // FINAL log (dying mid-append is normal); damage earlier in the chain, or
+  // a hole in it, is external corruption — stop there, serve the prefix,
+  // and poison the log so nothing dropped can be resurrected or reordered
+  // by a later generation.
+  size_t off = 0;
+  for (;;) {
+    const std::string wal_path = manager->WalPath(gen);
+    if (!fs->Exists(wal_path)) {
+      // Legitimate for the latest generation (crash before the rotated
+      // log's first byte, or a fresh directory); a hole with logs beyond
+      // it means generations were deleted out from under us.
+      if (max_wal_gen > gen) {
+        manager->poisoned_ = true;
+        rec.warnings.push_back(
+            "wal-" + std::to_string(gen) + " is missing but wal-" +
+            std::to_string(max_wal_gen) +
+            " exists; refusing to jump the hole — log poisoned, updates "
+            "will be refused");
+      }
+      off = 0;
+      break;
+    }
+    auto content = fs->ReadFile(wal_path);
+    if (!content.ok()) return content.status();
+    const std::string log = *std::move(content);
+    const bool final_log = !fs->Exists(manager->WalPath(gen + 1));
+    off = 0;
+    while (off + kHeaderBytes <= log.size()) {
+      const uint64_t len = GetLe32(log.data() + off);
+      const uint32_t want_crc = GetLe32(log.data() + off + 4);
+      if (len > kMaxRecordBytes || off + kHeaderBytes + len > log.size()) {
+        break;  // torn mid-record (the normal kill -9 signature)
+      }
+      const std::string_view payload(log.data() + off + kHeaderBytes,
+                                     static_cast<size_t>(len));
+      if (Crc32c(payload) != want_crc) break;
+      if (!ApplyRecord(payload, recovered)) break;
+      off += kHeaderBytes + static_cast<size_t>(len);
+      ++rec.records_replayed;
+    }
+    if (off < log.size()) {
+      if (final_log) {
+        rec.tail_truncated = true;
+        rec.tail_bytes_dropped = log.size() - off;
+        rec.warnings.push_back(
+            "truncated torn/corrupt log tail: dropped " +
+            std::to_string(rec.tail_bytes_dropped) + " byte(s) of wal-" +
+            std::to_string(gen) + " at offset " + std::to_string(off));
+        Status cut = fs->Truncate(wal_path, off);
+        if (!cut.ok()) {
+          // Can't repair the tail: appending after garbage would bury
+          // future records behind it, so the log is poisoned (reads still
+          // serve).
+          manager->poisoned_ = true;
+          rec.warnings.push_back("tail truncation failed (" + cut.ToString() +
+                                 "); log poisoned — updates will be refused");
+        }
+      } else {
+        // Not truncated: the bytes (and the later logs) stay on disk as
+        // evidence; poisoning keeps this recovery idempotent.
+        manager->poisoned_ = true;
+        rec.warnings.push_back(
+            "wal-" + std::to_string(gen) + " is corrupt at offset " +
+            std::to_string(off) +
+            " but later log generations exist; stopping replay here — log "
+            "poisoned, updates will be refused");
+      }
+      break;
+    }
+    if (final_log) break;
+    ++gen;
   }
   rec.generation = gen;
   manager->generation_ = gen;
-
-  // ---- Replay the generation's log; truncate a torn/corrupt tail. --------
-  const std::string wal_path = manager->WalPath(gen);
-  std::string log;
-  if (fs->Exists(wal_path)) {
-    auto content = fs->ReadFile(wal_path);
-    if (!content.ok()) return content.status();
-    log = *std::move(content);
-  }
-  size_t off = 0;
-  while (off + kHeaderBytes <= log.size()) {
-    const uint64_t len = GetLe32(log.data() + off);
-    const uint32_t want_crc = GetLe32(log.data() + off + 4);
-    if (len > kMaxRecordBytes || off + kHeaderBytes + len > log.size()) {
-      break;  // torn mid-record (the normal kill -9 signature)
-    }
-    const std::string_view payload(log.data() + off + kHeaderBytes,
-                                   static_cast<size_t>(len));
-    if (Crc32c(payload) != want_crc) break;
-    if (!ApplyRecord(payload, recovered)) break;
-    off += kHeaderBytes + static_cast<size_t>(len);
-    ++rec.records_replayed;
-  }
-  if (off < log.size()) {
-    rec.tail_truncated = true;
-    rec.tail_bytes_dropped = log.size() - off;
-    rec.warnings.push_back(
-        "truncated torn/corrupt log tail: dropped " +
-        std::to_string(rec.tail_bytes_dropped) + " byte(s) of wal-" +
-        std::to_string(gen) + " at offset " + std::to_string(off));
-    Status cut = fs->Truncate(wal_path, off);
-    if (!cut.ok()) {
-      // Can't repair the tail: appending after garbage would bury future
-      // records behind it, so the log is poisoned (reads still serve).
-      manager->poisoned_ = true;
-      rec.warnings.push_back("tail truncation failed (" + cut.ToString() +
-                             "); log poisoned — updates will be refused");
-    }
-  }
   manager->good_offset_ = off;
 
   if (!manager->poisoned_) {
-    auto wal = fs->OpenAppend(wal_path);
+    auto wal = fs->OpenAppend(manager->WalPath(gen));
     if (!wal.ok()) {
       manager->poisoned_ = true;
       rec.warnings.push_back("cannot open log for append (" +
@@ -298,12 +343,24 @@ Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
 Status DurabilityManager::AppendUpsert(const std::string& name,
                                        uint64_t version,
                                        const Structure& db) {
+  if (!ValidRecordName(name)) {
+    return Status::InvalidArgument(
+        "database name \"" + name +
+        "\" contains whitespace or control bytes; recovery would reject "
+        "its record, so it must not be acknowledged");
+  }
   std::string payload = "U " + name + " " + std::to_string(version) + "\n" +
                         PrintStructure(db);
   return AppendRecord(payload);
 }
 
 Status DurabilityManager::AppendDrop(const std::string& name) {
+  if (!ValidRecordName(name)) {
+    return Status::InvalidArgument(
+        "database name \"" + name +
+        "\" contains whitespace or control bytes; recovery would reject "
+        "its record, so it must not be acknowledged");
+  }
   return AppendRecord("D " + name + "\n");
 }
 
@@ -314,6 +371,20 @@ Status DurabilityManager::AppendRecord(const std::string& payload) {
     return Status::Unavailable(
         "write-ahead log is poisoned; updates are refused (reads keep "
         "serving from memory)");
+  }
+  // Recovery treats a length word past the ceiling as framing corruption
+  // and truncates the record AND everything after it — so an oversized
+  // payload must be refused here, before any byte is written, never
+  // acknowledged. (The ceiling also keeps the u32 length word exact.)
+  const uint64_t limit =
+      options_.max_record_bytes == 0
+          ? kMaxRecordBytes
+          : std::min<uint64_t>(options_.max_record_bytes, kMaxRecordBytes);
+  if (payload.size() > limit) {
+    return Status::InvalidArgument(
+        "record payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the write-ahead log record limit of " +
+        std::to_string(limit) + " bytes; the update is refused");
   }
   const std::string frame = FrameRecord(payload);
   Status written = wal_->Append(frame);
@@ -389,15 +460,57 @@ bool DurabilityManager::SnapshotDue() const {
          records_since_snapshot_ >= options_.snapshot_every_records;
 }
 
-Status DurabilityManager::Snapshot(const std::vector<CatalogEntry>& catalog) {
+Status DurabilityManager::RotateLog(uint64_t* new_gen) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_ || wal_ == nullptr) {
+    ++stats_.snapshot_failures;
+    return Status::Unavailable(
+        "write-ahead log is poisoned; cannot rotate to a new generation");
+  }
+  if (dirty_since_sync_) {
+    // The old log is never touched again after rotation, but its records
+    // are acknowledged: close the interval policy's window before
+    // abandoning the handle.
+    Status s = wal_->Sync();
+    if (!s.ok()) {
+      ++stats_.snapshot_failures;
+      return Status::Unavailable("log rotation: fsync of current log: " +
+                                 s.ToString());
+    }
+    ++stats_.wal_syncs;
+    dirty_since_sync_ = false;
+  }
   const uint64_t next_gen = generation_ + 1;
+  auto fresh = fs_->OpenTrunc(WalPath(next_gen));
+  if (!fresh.ok()) {
+    // Non-fatal: the current generation keeps accepting appends and the
+    // rotation is retried by the next SnapshotDue() trigger.
+    ++stats_.snapshot_failures;
+    return Status::Internal("log rotation: new log open failed: " +
+                            fresh.status().ToString());
+  }
+  wal_ = *std::move(fresh);
+  generation_ = next_gen;
+  good_offset_ = 0;
+  records_since_snapshot_ = 0;
+  stats_.wal_bytes = 0;
+  if (new_gen != nullptr) *new_gen = next_gen;
+  return Status::OK();
+}
+
+Status DurabilityManager::WriteSnapshot(
+    uint64_t gen, const std::vector<CatalogEntry>& catalog) {
+  // Deliberately does NOT hold mu_ across the serialization and file I/O:
+  // appends (which went to wal-<gen> or later at rotation time) proceed
+  // concurrently; this path only touches snapshot files and stale
+  // generations.
   const std::string payload = PrintCatalog(catalog);
-  const std::string snap_path = SnapshotPath(next_gen);
+  const std::string snap_path = SnapshotPath(gen);
   const std::string tmp_path = snap_path + ".tmp";
 
   auto fail = [&](const std::string& what, const Status& cause) {
     fs_->RemoveFile(tmp_path);  // best effort
+    std::lock_guard<std::mutex> lock(mu_);
     ++stats_.snapshot_failures;
     return Status::Internal("snapshot: " + what + ": " + cause.ToString());
   };
@@ -414,45 +527,33 @@ Status DurabilityManager::Snapshot(const std::vector<CatalogEntry>& catalog) {
   s = fs_->Rename(tmp_path, snap_path);
   if (!s.ok()) return fail("rename", s);
 
-  // -- Commit point: the snapshot exists under its final name. From here
-  // the switch to the new generation must happen even if the remaining
-  // steps fail, because recovery will prefer snapshot-<next_gen>.
+  // -- Commit point: the snapshot exists under its final name and recovery
+  // will prefer it over everything below `gen`.
   fs_->SyncDir(options_.data_dir);  // best effort; rename is already atomic
-  generation_ = next_gen;
-  good_offset_ = 0;
-  records_since_snapshot_ = 0;
-  dirty_since_sync_ = false;
-  stats_.wal_bytes = 0;
-  ++stats_.snapshots;
-  wal_.reset();
-  auto fresh = fs_->OpenTrunc(WalPath(next_gen));
-  if (!fresh.ok()) {
-    // The catalog is durable in the snapshot, so nothing acknowledged is
-    // lost — but with no log to append to, updates must refuse.
-    poisoned_ = true;
-    stats_.poisoned = true;
-    return Status::Internal("snapshot: new log open failed: " +
-                            fresh.status().ToString());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.snapshots;
   }
-  wal_ = *std::move(fresh);
-  poisoned_ = false;  // a fresh, empty log is clean by construction
-  stats_.poisoned = false;
-  fs_->SyncDir(options_.data_dir);
 
-  // Older generations are now dead weight; removal is pure cleanup and
-  // recovery ignores them either way.
+  // Generations below the snapshot are now dead weight; removal is pure
+  // cleanup and recovery ignores them either way.
   auto listed = fs_->ListDir(options_.data_dir);
   if (listed.ok()) {
     for (const std::string& name : *listed) {
       auto sg = ParseGen(name, "snapshot-");
       auto wg = ParseGen(name, "wal-");
-      if ((sg.has_value() && *sg < next_gen) ||
-          (wg.has_value() && *wg < next_gen)) {
+      if ((sg.has_value() && *sg < gen) || (wg.has_value() && *wg < gen)) {
         fs_->RemoveFile(options_.data_dir + "/" + name);
       }
     }
   }
   return Status::OK();
+}
+
+Status DurabilityManager::Snapshot(const std::vector<CatalogEntry>& catalog) {
+  uint64_t gen = 0;
+  CQCS_RETURN_IF_ERROR(RotateLog(&gen));
+  return WriteSnapshot(gen, catalog);
 }
 
 DurabilityStats DurabilityManager::stats() const {

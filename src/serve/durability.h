@@ -17,6 +17,12 @@
 // "D <name>\n" — reusing the core/io structure format so a WAL is
 // inspectable with `xxd | less` when something goes wrong at 3am.
 //
+// Anything recovery would reject is refused at acknowledgment time, never
+// written: names must satisfy core/io's IsCatalogName (the rule the WAL
+// replay and the snapshot parser both enforce), and a record payload must
+// fit under the format's 1 GiB framing ceiling. Both refusals are
+// InvalidArgument — a caller error, not a log failure.
+//
 // The contract, in order of importance:
 //
 //  1. An acknowledged update survives kill -9 (with FsyncPolicy::kAlways;
@@ -31,12 +37,31 @@
 //     garbage that a future recovery would truncate along with good
 //     records behind it.
 //
-// Snapshots bound recovery time and log growth: Snapshot() writes
-// snapshot-<g+1> (temp + fsync + rename + directory fsync), starts an empty
-// wal-<g+1>, then deletes older generations. A crash between any two of
-// those steps recovers correctly: the newest *valid* snapshot wins, its
-// generation's log is the only one replayed, and stale lower-generation
-// files are ignored (and cleaned up by the next snapshot).
+// Snapshots bound recovery time and log growth, and are two-phase so the
+// expensive half never blocks serving:
+//
+//   RotateLog()      cheap (one file open): switches appends to an empty
+//                    wal-<g+1>. Called with updates blocked, so the caller's
+//                    catalog copy taken right after covers every record in
+//                    generations <= g.
+//   WriteSnapshot()  slow (serialize + fsync): writes snapshot-<g+1>
+//                    (temp + fsync + rename + directory fsync), then prunes
+//                    older generations. Runs with no caller lock held;
+//                    replay is idempotent over absolute commands, so a
+//                    catalog that is NEWER than the rotation point (updates
+//                    raced in before the write) is also correct — wal-<g+1>
+//                    replays those commands back on top.
+//
+// Recovery replays the CHAIN of logs: newest valid snapshot s, then
+// wal-<s>, wal-<s+1>, ... while consecutive generations exist — so a crash
+// (or a failed snapshot write) between rotation and the snapshot landing
+// loses nothing; the un-snapshotted generations are simply replayed. A
+// torn tail is truncated only on the FINAL log of the chain (the normal
+// kill -9 signature); damage earlier in the chain, or a hole in it, means
+// external corruption — recovery stops there, serves what it has, and
+// poisons the log (updates refuse) rather than resurrect or reorder. A
+// failed WriteSnapshot is retried only after another snapshot_every_records
+// appends trigger the next rotation, never per update.
 //
 // All I/O goes through the common/fs.h seams, so tests inject failures at
 // the Nth write/fsync/rename (FaultyFs) and drive the interval fsync clock
@@ -67,9 +92,14 @@ namespace cqcs::serve {
 
 /// When an acknowledged WAL record is durable.
 enum class FsyncPolicy {
-  kAlways,    ///< fsync before every acknowledgment (crash loses nothing)
-  kInterval,  ///< fsync at most every fsync_interval_ms (crash loses a tail)
-  kNever,     ///< leave it to the OS (crash may lose the whole unsynced tail)
+  kAlways,  ///< fsync before every acknowledgment (crash loses nothing)
+  /// fsync once fsync_interval_ms have passed since the last sync — checked
+  /// on each append, so the bound only holds while appends keep arriving.
+  /// An idle writer's dirty tail stays unsynced until the next append, a
+  /// log rotation, or clean shutdown (the destructor syncs it); only
+  /// kill -9 while idle can exceed the interval's loss window.
+  kInterval,
+  kNever,  ///< leave it to the OS (crash may lose the whole unsynced tail)
 };
 
 /// "always" / "interval" / "never".
@@ -87,6 +117,12 @@ struct DurabilityOptions {
   /// Snapshot (and truncate the log) every this many records; 0 disables
   /// automatic snapshots (the log grows until Snapshot() is called).
   uint64_t snapshot_every_records = 1024;
+  /// Writer-side record payload bound; 0 means the format's 1 GiB framing
+  /// ceiling. Values above the ceiling are clamped to it (recovery treats
+  /// larger length words as corruption, so acknowledging one would truncate
+  /// it — and everything after it — on replay). A testing seam: lowering it
+  /// never loosens the recovery contract.
+  uint64_t max_record_bytes = 0;
   /// Injection seams; nullptr selects the real filesystem / steady clock.
   FileSystem* fs = nullptr;
   Clock* clock = nullptr;
@@ -133,17 +169,36 @@ class DurabilityManager {
   /// Appends one durable record; OK means the update may be acknowledged
   /// and applied. A non-OK return means the update must NOT be applied:
   /// the record is not durably in the log (contract point 3 above).
+  /// InvalidArgument (a caller error, the log stays healthy) when the name
+  /// fails IsCatalogName or the record would not fit the framing ceiling —
+  /// recovery could not replay either, so neither may be acknowledged.
   Status AppendUpsert(const std::string& name, uint64_t version,
                       const Structure& db);
   Status AppendDrop(const std::string& name);
 
   /// True when snapshot_every_records have been appended since the last
-  /// snapshot — the caller should pass its catalog to Snapshot().
+  /// rotation — the caller should rotate and snapshot.
   bool SnapshotDue() const;
 
-  /// Writes the next-generation snapshot and switches to a fresh log.
-  /// Failure is non-fatal: the current generation keeps accepting appends
-  /// and the log simply keeps growing until a later snapshot succeeds.
+  /// Snapshot phase 1 (cheap): switches appends to an empty next-generation
+  /// log and resets the SnapshotDue() counter. Call with updates blocked,
+  /// then copy the catalog before unblocking — the copy must cover every
+  /// record appended before the rotation. On success `*new_gen` receives
+  /// the new generation, which the caller passes to WriteSnapshot().
+  /// Failure (counted in snapshot_failures) leaves the current generation
+  /// accepting appends.
+  Status RotateLog(uint64_t* new_gen);
+
+  /// Snapshot phase 2 (slow, no caller lock needed): writes snapshot-<gen>
+  /// temp-then-rename, then prunes generations below it. The catalog must
+  /// be at least as new as the RotateLog() point that produced `gen`
+  /// (newer is fine — replay is idempotent). Failure is non-fatal: the
+  /// log chain keeps growing and recovery replays it; the write is retried
+  /// at the next rotation.
+  Status WriteSnapshot(uint64_t gen, const std::vector<CatalogEntry>& catalog);
+
+  /// Both phases back to back, for single-threaded callers and tests: the
+  /// catalog must reflect every append made so far, with none racing in.
   Status Snapshot(const std::vector<CatalogEntry>& catalog);
 
   DurabilityStats stats() const;

@@ -6,6 +6,7 @@
 
 #include "api/profile.h"
 #include "common/saturating.h"
+#include "core/io.h"
 #include "cq/parser.h"
 #include "cq/query.h"
 
@@ -54,6 +55,14 @@ bool IsPoisonTrip(const GovernorRunStats& g) {
 /// evicting an arbitrary entry (losing a strike count is harmless — the
 /// query just gets fresh strikes).
 constexpr size_t kMaxQuarantineEntries = 4096;
+
+/// Ack-time name rule: exactly the bytes the WAL replay and the snapshot
+/// parser accept (IsCatalogName), minus the cache-key separators. Anything
+/// looser would acknowledge updates that recovery must then truncate as
+/// corruption.
+bool ValidDatabaseName(const std::string& name) {
+  return IsCatalogName(name) && name.find_first_of("|#") == std::string::npos;
+}
 
 }  // namespace
 
@@ -130,28 +139,56 @@ size_t ServingEngine::InvalidateFor(const std::string& name) {
   return dropped;
 }
 
-std::vector<CatalogEntry> ServingEngine::CatalogLocked() const {
-  std::vector<CatalogEntry> catalog;
+std::vector<ServingEngine::CatalogRef> ServingEngine::CatalogRefsLocked()
+    const {
+  std::vector<CatalogRef> catalog;
   catalog.reserve(registry_.size());
   for (const auto& [name, entry] : registry_) {
-    catalog.push_back(CatalogEntry{name, entry.version, *entry.structure});
+    catalog.push_back(CatalogRef{name, entry.version, entry.structure});
   }
   std::sort(catalog.begin(), catalog.end(),
-            [](const CatalogEntry& a, const CatalogEntry& b) {
+            [](const CatalogRef& a, const CatalogRef& b) {
               return a.name < b.name;
             });
   return catalog;
 }
 
+std::optional<std::pair<uint64_t, std::vector<ServingEngine::CatalogRef>>>
+ServingEngine::MaybeRotateForSnapshotLocked() {
+  if (durability_ == nullptr || !durability_->SnapshotDue()) {
+    return std::nullopt;
+  }
+  uint64_t gen = 0;
+  // Rotation failure is non-fatal (counted in stats): the log keeps
+  // growing until a later rotation succeeds.
+  if (!durability_->RotateLog(&gen).ok()) return std::nullopt;
+  // The catalog handle is captured under registry_mu_, so it covers every
+  // record appended before the rotation — the consistency point the
+  // snapshot needs. The expensive serialization runs after the lock drops.
+  return std::make_pair(gen, CatalogRefsLocked());
+}
+
+void ServingEngine::FinishSnapshot(uint64_t gen,
+                                   const std::vector<CatalogRef>& refs) {
+  std::vector<CatalogEntry> catalog;
+  catalog.reserve(refs.size());
+  for (const CatalogRef& ref : refs) {
+    catalog.push_back(CatalogEntry{ref.name, ref.version, *ref.db});
+  }
+  // Failure is non-fatal (counted in stats): recovery replays the whole
+  // log chain, and the write is retried at the next rotation.
+  (void)durability_->WriteSnapshot(gen, catalog);
+}
+
 Status ServingEngine::UpsertDatabase(const std::string& name, Structure db) {
-  if (name.empty() ||
-      name.find_first_of("|# \t\n") != std::string::npos) {
+  if (!ValidDatabaseName(name)) {
     return Status::InvalidArgument(
-        "database names must be nonempty and free of '|', '#', and "
-        "whitespace (got \"" + name + "\")");
+        "database names must be nonempty and free of '|', '#', "
+        "whitespace, and control bytes (got \"" + name + "\")");
   }
   CQCS_RETURN_IF_ERROR(db.Validate());
   auto shared = std::make_shared<const Structure>(std::move(db));
+  std::optional<std::pair<uint64_t, std::vector<CatalogRef>>> snapshot;
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
     if (degraded_) {
@@ -170,7 +207,10 @@ Status ServingEngine::UpsertDatabase(const std::string& name, Structure db) {
       // untouched (never-resurrect contract).
       Status logged = durability_->AppendUpsert(name, next_version, *shared);
       if (!logged.ok()) {
-        degraded_ = true;
+        // A caller error (oversized record) refuses just this update; an
+        // I/O failure means the log can no longer be trusted to
+        // acknowledge anything — sticky degraded mode.
+        if (logged.code() != StatusCode::kInvalidArgument) degraded_ = true;
         std::lock_guard<std::mutex> stats_lock(stats_mu_);
         ++stats_.update_refusals;
         return logged;
@@ -179,12 +219,9 @@ Status ServingEngine::UpsertDatabase(const std::string& name, Structure db) {
     DbEntry& entry = registry_[name];
     entry.structure = std::move(shared);
     entry.version = next_version;
-    if (durability_ != nullptr && durability_->SnapshotDue()) {
-      // Failure is non-fatal (counted in stats): the log keeps growing
-      // until a later snapshot lands.
-      (void)durability_->Snapshot(CatalogLocked());
-    }
+    snapshot = MaybeRotateForSnapshotLocked();
   }
+  if (snapshot.has_value()) FinishSnapshot(snapshot->first, snapshot->second);
   const size_t dropped = InvalidateFor(name);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -195,6 +232,7 @@ Status ServingEngine::UpsertDatabase(const std::string& name, Structure db) {
 }
 
 Status ServingEngine::DropDatabase(const std::string& name) {
+  std::optional<std::pair<uint64_t, std::vector<CatalogRef>>> snapshot;
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
     auto it = registry_.find(name);
@@ -211,17 +249,16 @@ Status ServingEngine::DropDatabase(const std::string& name) {
     if (durability_ != nullptr) {
       Status logged = durability_->AppendDrop(name);
       if (!logged.ok()) {
-        degraded_ = true;
+        if (logged.code() != StatusCode::kInvalidArgument) degraded_ = true;
         std::lock_guard<std::mutex> stats_lock(stats_mu_);
         ++stats_.update_refusals;
         return logged;
       }
     }
     registry_.erase(it);
-    if (durability_ != nullptr && durability_->SnapshotDue()) {
-      (void)durability_->Snapshot(CatalogLocked());
-    }
+    snapshot = MaybeRotateForSnapshotLocked();
   }
+  if (snapshot.has_value()) FinishSnapshot(snapshot->first, snapshot->second);
   const size_t dropped = InvalidateFor(name);
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.invalidated_entries += dropped;

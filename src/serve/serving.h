@@ -60,8 +60,10 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "api/engine.h"
@@ -157,7 +159,10 @@ class ServingEngine {
   /// Registers `db` under `name`, replacing any previous registration.
   /// Replacement bumps the name's version and invalidates every cached
   /// result (and pair plan) that was computed against the old content.
-  /// InvalidArgument if the database fails Validate().
+  /// InvalidArgument if the database fails Validate(), or if the name
+  /// breaks the durable-name rule (core/io IsCatalogName: no bytes <= 0x20,
+  /// no DEL) or contains the cache-key separators '|' / '#' — a name the
+  /// WAL replay or snapshot parser would reject must never be acknowledged.
   Status UpsertDatabase(const std::string& name, Structure db);
 
   /// Unregisters `name`, invalidating its cached results. NotFound if the
@@ -199,14 +204,32 @@ class ServingEngine {
     std::string target_key;  ///< "name#version"
   };
 
+  /// A cheap catalog handle: shared_ptr copies, no Structure deep copy —
+  /// taken under registry_mu_ so the expensive snapshot serialization can
+  /// run outside it (the structures are immutable).
+  struct CatalogRef {
+    std::string name;
+    uint64_t version = 0;
+    std::shared_ptr<const Structure> db;
+  };
+
   Result<ResolvedDb> ResolveDatabase(const std::string& name) const;
   void FillServeSnapshot(EngineResult* result, bool plan_hit,
                          bool result_hit) const;
   /// Sweeps both caches of entries computed against `name` and clears the
   /// quarantine (the data changed; prior budget trips are stale evidence).
   size_t InvalidateFor(const std::string& name);
-  /// Builds the sorted catalog from registry_. Caller holds registry_mu_.
-  std::vector<CatalogEntry> CatalogLocked() const;
+  /// Builds the sorted catalog handle from registry_. Caller holds
+  /// registry_mu_.
+  std::vector<CatalogRef> CatalogRefsLocked() const;
+  /// If a snapshot is due, rotates the log (cheap) and captures the catalog
+  /// handle. Caller holds registry_mu_; the returned refs feed
+  /// FinishSnapshot() AFTER the lock is released.
+  std::optional<std::pair<uint64_t, std::vector<CatalogRef>>>
+  MaybeRotateForSnapshotLocked();
+  /// Deep-copies, serializes, and writes the snapshot — the slow half, run
+  /// with no lock held so reads and updates keep flowing.
+  void FinishSnapshot(uint64_t gen, const std::vector<CatalogRef>& refs);
 
   const ServeOptions options_;
 

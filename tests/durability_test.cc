@@ -296,6 +296,12 @@ TEST(Durability, OlderValidSnapshotCoversACorruptNewerOne) {
   EXPECT_EQ(Names(recovered), (std::vector<std::string>{"a", "b"}));
   EXPECT_EQ(info.generation, 1u);
   EXPECT_FALSE(info.warnings.empty());  // the invalid newer one was reported
+  // The fallback serves snapshot-1's state, but wal-2 holds records from
+  // AFTER the (unreadable) snapshot-2 — appending at generation 1 and then
+  // replaying wal-2 on a later recovery would reorder history, so the log
+  // is poisoned: reads serve, updates refuse.
+  EXPECT_TRUE((*mgr)->stats().poisoned);
+  EXPECT_FALSE((*mgr)->AppendUpsert("c", 1, MakeDb(2, " 0 0")).ok());
 }
 
 // ------------------------------------------------------------- torn tails ---
@@ -440,7 +446,11 @@ TEST(DurabilityFaults, NthFsyncFailsNeverResurrects) {
   }
 }
 
-TEST(DurabilityFaults, RenameFailureFailsSnapshotButKeepsLogGood) {
+TEST(DurabilityFaults, RenameFailureFailsSnapshotButLosesNothing) {
+  // Snapshots are rotate-then-write: the rotation (cheap) succeeds and
+  // switches appends to wal-1; only the snapshot WRITE fails. Recovery
+  // then replays the whole chain wal-0 + wal-1 — nothing acknowledged is
+  // lost, and nothing retries per update.
   ScratchDir dir("rename");
   FsFailpoints fp;
   fp.fail_rename_n = 1;
@@ -453,16 +463,205 @@ TEST(DurabilityFaults, RenameFailureFailsSnapshotButKeepsLogGood) {
   std::vector<CatalogEntry> catalog;
   catalog.push_back(CatalogEntry{"a", 1, MakeDb(2, " 0 1")});
   EXPECT_FALSE((*mgr)->Snapshot(catalog).ok());  // rename injected to fail
-  EXPECT_EQ((*mgr)->generation(), 0u);           // no generation switch
+  EXPECT_EQ((*mgr)->generation(), 1u);           // rotation still happened
   EXPECT_EQ((*mgr)->stats().snapshot_failures, 1u);
-  // The log is untouched by the failed snapshot: appends keep working and
-  // recovery (clean fs) sees everything.
+  EXPECT_FALSE((*mgr)->stats().poisoned);
+  // The un-snapshotted wal-0 must survive for recovery to replay.
+  EXPECT_TRUE(RealFileSystem()->Exists(dir.path() + "/wal-0"));
+  // Appends keep working (into wal-1) and recovery sees everything.
   ASSERT_TRUE((*mgr)->AppendUpsert("b", 1, MakeDb(2, " 1 0")).ok());
   mgr->reset();
+  RecoveryInfo info;
   auto reopened = DurabilityManager::Open(Opts(dir.path()), &recovered,
-                                          nullptr);
+                                          &info);
   ASSERT_TRUE(reopened.ok());
   EXPECT_EQ(Names(recovered), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(info.records_replayed, 2u);
+  EXPECT_EQ((*reopened)->generation(), 1u);
+}
+
+TEST(DurabilityFaults, RepeatedSnapshotFailuresGrowAChainThatReplays) {
+  // Two failed snapshot writes leave three log generations; every
+  // acknowledged record recovers, in order, across all of them.
+  ScratchDir dir("chain");
+  FsFailpoints fp;
+  fp.fail_rename_n = 1;
+  FaultyFs faulty(RealFileSystem(), fp);
+  std::vector<CatalogEntry> recovered;
+  auto mgr = DurabilityManager::Open(Opts(dir.path(), &faulty), &recovered,
+                                     nullptr);
+  ASSERT_TRUE(mgr.ok());
+  ASSERT_TRUE((*mgr)->AppendUpsert("a", 1, MakeDb(2, " 0 1")).ok());
+  EXPECT_FALSE((*mgr)->Snapshot({}).ok());  // wal-0 -> wal-1, write fails
+  ASSERT_TRUE((*mgr)->AppendUpsert("b", 1, MakeDb(2, " 1 0")).ok());
+  fp.fail_rename_n = 2;  // the shared rename counter already consumed #1
+  faulty.set_failpoints(fp);
+  EXPECT_FALSE((*mgr)->Snapshot({}).ok());  // wal-1 -> wal-2, write fails
+  ASSERT_TRUE((*mgr)->AppendUpsert("a", 2, MakeDb(2, " 1 1")).ok());
+  EXPECT_EQ((*mgr)->generation(), 2u);
+  mgr->reset();
+  RecoveryInfo info;
+  auto reopened = DurabilityManager::Open(Opts(dir.path()), &recovered,
+                                          &info);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(info.records_replayed, 3u);
+  EXPECT_EQ(Names(recovered), (std::vector<std::string>{"a", "b"}));
+  for (const CatalogEntry& e : recovered) {
+    if (e.name == "a") EXPECT_EQ(e.version, 2u);  // the wal-2 record won
+  }
+  // A later successful snapshot collapses the chain.
+  std::vector<CatalogEntry> catalog;
+  catalog.push_back(CatalogEntry{"a", 2, MakeDb(2, " 1 1")});
+  catalog.push_back(CatalogEntry{"b", 1, MakeDb(2, " 1 0")});
+  ASSERT_TRUE((*reopened)->Snapshot(catalog).ok());
+  EXPECT_FALSE(RealFileSystem()->Exists(dir.path() + "/wal-0"));
+  EXPECT_FALSE(RealFileSystem()->Exists(dir.path() + "/wal-1"));
+  EXPECT_FALSE(RealFileSystem()->Exists(dir.path() + "/wal-2"));
+  EXPECT_TRUE(RealFileSystem()->Exists(dir.path() + "/snapshot-3"));
+}
+
+TEST(Durability, MidChainCorruptionStopsReplayAndPoisons) {
+  // Damage in a NON-final log of the chain is external corruption, not a
+  // kill -9 signature: recovery serves the prefix up to the damage,
+  // refuses updates, and leaves the bytes (and later logs) on disk so a
+  // rerun reaches the same state.
+  ScratchDir dir("midchain");
+  FsFailpoints fp;
+  fp.fail_rename_n = 1;
+  FaultyFs faulty(RealFileSystem(), fp);
+  std::vector<CatalogEntry> recovered;
+  {
+    auto mgr = DurabilityManager::Open(Opts(dir.path(), &faulty), &recovered,
+                                       nullptr);
+    ASSERT_TRUE(mgr.ok());
+    ASSERT_TRUE((*mgr)->AppendUpsert("a", 1, MakeDb(2, " 0 1")).ok());
+    EXPECT_FALSE((*mgr)->Snapshot({}).ok());  // chain: wal-0, wal-1
+    ASSERT_TRUE((*mgr)->AppendUpsert("b", 1, MakeDb(2, " 1 0")).ok());
+  }
+  {
+    std::ofstream out(dir.path() + "/wal-0",
+                      std::ios::binary | std::ios::app);
+    out << "garbage-tail";
+  }
+  auto damaged = RealFileSystem()->ReadFile(dir.path() + "/wal-0");
+  ASSERT_TRUE(damaged.ok());
+  RecoveryInfo info;
+  auto mgr = DurabilityManager::Open(Opts(dir.path()), &recovered, &info);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  EXPECT_EQ(Names(recovered), (std::vector<std::string>{"a"}));  // prefix only
+  EXPECT_TRUE((*mgr)->stats().poisoned);
+  EXPECT_FALSE(info.warnings.empty());
+  EXPECT_FALSE((*mgr)->AppendUpsert("c", 1, MakeDb(2, " 0 0")).ok());
+  // Forensics preserved: the damaged log was NOT truncated.
+  auto after = RealFileSystem()->ReadFile(dir.path() + "/wal-0");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, *damaged);
+  EXPECT_TRUE(RealFileSystem()->Exists(dir.path() + "/wal-1"));
+}
+
+// ------------------------------------------------- acknowledgment guards ---
+
+TEST(Durability, NamesRecoveryWouldRejectAreRefusedAtAppendTime) {
+  // The durable-name rule is enforced when a record is ACKNOWLEDGED, not
+  // discovered when it fails to replay: a name IsCatalogName rejects must
+  // never reach the log, where it would read as a corrupt tail and drag
+  // every later acknowledged record down with it.
+  ScratchDir dir("badname");
+  std::vector<CatalogEntry> recovered;
+  auto mgr = DurabilityManager::Open(Opts(dir.path()), &recovered, nullptr);
+  ASSERT_TRUE(mgr.ok());
+  const std::string bad_names[] = {
+      std::string("a\x01" "b"), std::string("a b"), std::string("a\nb"),
+      std::string("\x7f"),   std::string(),      std::string("a\tb")};
+  for (const std::string& bad : bad_names) {
+    Status up = (*mgr)->AppendUpsert(bad, 1, MakeDb(2, " 0 1"));
+    EXPECT_EQ(up.code(), StatusCode::kInvalidArgument) << "name " << bad;
+    Status drop = (*mgr)->AppendDrop(bad);
+    EXPECT_EQ(drop.code(), StatusCode::kInvalidArgument) << "name " << bad;
+  }
+  // The refusals were caller errors: the log is healthy, not poisoned, and
+  // a valid append both works and is the only thing recovery sees.
+  EXPECT_EQ((*mgr)->stats().wal_appends, 0u);
+  EXPECT_FALSE((*mgr)->stats().poisoned);
+  ASSERT_TRUE((*mgr)->AppendUpsert("good", 1, MakeDb(2, " 0 1")).ok());
+  mgr->reset();
+  RecoveryInfo info;
+  auto reopened = DurabilityManager::Open(Opts(dir.path()), &recovered,
+                                          &info);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(Names(recovered), (std::vector<std::string>{"good"}));
+  EXPECT_FALSE(info.tail_truncated);
+}
+
+TEST(Durability, OversizedRecordIsRefusedBeforeAnyByteIsWritten) {
+  // A record recovery would treat as framing corruption (len past the
+  // ceiling) must be refused at acknowledgment time. The ceiling is 1 GiB
+  // in production; the writer-side option lowers it so the guard is
+  // testable without a 1 GiB allocation.
+  ScratchDir dir("oversize");
+  DurabilityOptions options = Opts(dir.path());
+  options.max_record_bytes = 32;
+  std::vector<CatalogEntry> recovered;
+  auto mgr = DurabilityManager::Open(options, &recovered, nullptr);
+  ASSERT_TRUE(mgr.ok());
+  // "U big 1\n" + a multi-tuple structure text comfortably exceeds 32B.
+  Status refused =
+      (*mgr)->AppendUpsert("big", 1, MakeDb(6, " 0 1, 1 2, 2 3, 3 4, 4 5"));
+  EXPECT_EQ(refused.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ((*mgr)->stats().wal_appends, 0u);
+  EXPECT_EQ((*mgr)->stats().wal_bytes, 0u);  // nothing was framed or written
+  EXPECT_FALSE((*mgr)->stats().poisoned);
+  // A record under the bound still appends, and recovery replays exactly it.
+  ASSERT_TRUE((*mgr)->AppendDrop("big").ok());
+  mgr->reset();
+  RecoveryInfo info;
+  auto reopened = DurabilityManager::Open(Opts(dir.path()), &recovered,
+                                          &info);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(info.records_replayed, 1u);
+  EXPECT_FALSE(info.tail_truncated);
+  EXPECT_TRUE(recovered.empty());
+}
+
+TEST(Durability, CleanShutdownSyncsTheIntervalTail) {
+  // FsyncPolicy::kInterval has no timer: an idle writer's dirty tail waits
+  // for the next append, a rotation, or shutdown. The destructor is the
+  // shutdown half of that promise.
+  ScratchDir dir("intervalclose");
+  ManualClock clock;
+  FaultyFs faulty(RealFileSystem());  // counters only, no faults
+  DurabilityOptions options = Opts(dir.path(), &faulty, &clock);
+  options.fsync = FsyncPolicy::kInterval;
+  options.fsync_interval_ms = 100;
+  std::vector<CatalogEntry> recovered;
+  {
+    auto mgr = DurabilityManager::Open(options, &recovered, nullptr);
+    ASSERT_TRUE(mgr.ok());
+    ASSERT_TRUE((*mgr)->AppendUpsert("a", 1, MakeDb(2, " 0 1")).ok());
+    EXPECT_EQ(faulty.syncs(), 0u);  // interval not elapsed: still dirty
+  }
+  EXPECT_EQ(faulty.syncs(), 1u);  // the destructor flushed the tail
+}
+
+TEST(Durability, RotationSyncsADirtyIntervalTailBeforeSwitching) {
+  // The old log is never written again after rotation; leaving its
+  // acknowledged tail unsynced until the snapshot lands would stretch the
+  // interval policy's loss window indefinitely when the snapshot fails.
+  ScratchDir dir("rotatesync");
+  ManualClock clock;
+  FaultyFs faulty(RealFileSystem());
+  DurabilityOptions options = Opts(dir.path(), &faulty, &clock);
+  options.fsync = FsyncPolicy::kInterval;
+  options.fsync_interval_ms = 100;
+  std::vector<CatalogEntry> recovered;
+  auto mgr = DurabilityManager::Open(options, &recovered, nullptr);
+  ASSERT_TRUE(mgr.ok());
+  ASSERT_TRUE((*mgr)->AppendUpsert("a", 1, MakeDb(2, " 0 1")).ok());
+  EXPECT_EQ(faulty.syncs(), 0u);
+  uint64_t gen = 0;
+  ASSERT_TRUE((*mgr)->RotateLog(&gen).ok());
+  EXPECT_EQ(gen, 1u);
+  EXPECT_EQ(faulty.syncs(), 1u);  // wal-0's tail synced before abandonment
 }
 
 TEST(DurabilityFaults, IntervalPolicySyncsOnTheClock) {
@@ -557,6 +756,79 @@ TEST(ServingDurable, WalFailureEntersStickyDegradedModeReadsKeepServing) {
   const auto dbs = reopened.ListDatabases();
   ASSERT_EQ(dbs.size(), 1u);
   EXPECT_EQ(dbs[0].second, 1u);
+}
+
+TEST(ServingDurable, ControlByteNamesAreRefusedAtAckTimeNotOnRecovery) {
+  // The reviewer scenario: a name like "a\x01b" passes a loose ack-time
+  // check, is WAL-logged, and recovery then truncates it — plus every
+  // later acknowledged record — as a corrupt tail. The ack-time rule now
+  // mirrors the recovery parsers exactly, so the record never exists.
+  ScratchDir dir("ctrlname");
+  {
+    serve::ServingEngine engine(DurableServeOptions(dir.path()));
+    ASSERT_TRUE(engine.Open(nullptr).ok());
+    Status refused = engine.UpsertDatabase("a\x01" "b", MakeDb(2, " 0 1"));
+    EXPECT_EQ(refused.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(engine.UpsertDatabase("del\x7f", MakeDb(2, " 0 1")).code(),
+              StatusCode::kInvalidArgument);
+    // The refusal is a caller error, not a log failure: not degraded, and
+    // later updates are acknowledged and survive.
+    EXPECT_FALSE(engine.degraded());
+    ASSERT_TRUE(engine.UpsertDatabase("good", MakeDb(2, " 0 1")).ok());
+    ASSERT_TRUE(engine.UpsertDatabase("also-good", MakeDb(2, " 1 0")).ok());
+  }
+  serve::ServingEngine engine(DurableServeOptions(dir.path()));
+  RecoveryInfo info;
+  ASSERT_TRUE(engine.Open(&info).ok());
+  EXPECT_EQ(info.records_replayed, 2u);
+  EXPECT_FALSE(info.tail_truncated);
+  const auto dbs = engine.ListDatabases();
+  ASSERT_EQ(dbs.size(), 2u);
+  EXPECT_EQ(dbs[0].first, "also-good");
+  EXPECT_EQ(dbs[1].first, "good");
+}
+
+TEST(ServingDurable, OversizedUpdateRefusedWithoutDegrading) {
+  ScratchDir dir("oversizeserve");
+  serve::ServeOptions options = DurableServeOptions(dir.path());
+  options.durability.max_record_bytes = 32;
+  serve::ServingEngine engine(options);
+  ASSERT_TRUE(engine.Open(nullptr).ok());
+  Status refused = engine.UpsertDatabase(
+      "big", MakeDb(6, " 0 1, 1 2, 2 3, 3 4, 4 5"));
+  EXPECT_EQ(refused.code(), StatusCode::kInvalidArgument);
+  // One bad update refuses; the engine keeps acknowledging good ones.
+  EXPECT_FALSE(engine.degraded());
+  ASSERT_TRUE(engine.UpsertDatabase("ok", MakeDb(2, " 0 1")).ok());
+  EXPECT_TRUE(engine.ListDatabases().size() == 1);
+}
+
+TEST(ServingDurable, SnapshotThresholdRotatesAndCatalogRecovers) {
+  // End-to-end over the rotate-then-write path the engine now uses: with a
+  // small snapshot threshold, a burst of updates crosses it repeatedly and
+  // the final on-disk state (snapshot + log chain) reproduces the catalog.
+  ScratchDir dir("serverotate");
+  serve::ServeOptions options = DurableServeOptions(dir.path());
+  options.durability.snapshot_every_records = 3;
+  {
+    serve::ServingEngine engine(options);
+    ASSERT_TRUE(engine.Open(nullptr).ok());
+    for (int i = 0; i < 10; ++i) {
+      const std::string name = "db" + std::to_string(i % 4);
+      ASSERT_TRUE(engine.UpsertDatabase(name, MakeDb(3, " 0 1, 1 2")).ok())
+          << i;
+    }
+    ASSERT_TRUE(engine.DropDatabase("db0").ok());
+  }
+  serve::ServingEngine engine(DurableServeOptions(dir.path()));
+  ASSERT_TRUE(engine.Open(nullptr).ok());
+  const auto dbs = engine.ListDatabases();
+  ASSERT_EQ(dbs.size(), 3u);
+  EXPECT_EQ(dbs[0].first, "db1");
+  EXPECT_EQ(dbs[1].first, "db2");
+  EXPECT_EQ(dbs[2].first, "db3");
+  // 10 upserts over 4 names, round-robin: db1/db2 hit version 3.
+  EXPECT_EQ(dbs[0].second, 3u);
 }
 
 TEST(ServingDurable, VersionsStayMonotoneAcrossRestarts) {

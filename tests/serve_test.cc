@@ -348,7 +348,11 @@ TEST(ServingEngineTest, RejectsDelimiterBearingDatabaseNames) {
   auto vocab = MakeGraphVocabulary();
   serve::ServingEngine serving;
   Structure db = MakeTestDb(vocab, 0, 0);
-  for (const char* name : {"a|b", "a#b", "a b", "a\tb", ""}) {
+  // Delimiters, whitespace, and every control byte the durable-name rule
+  // (core/io IsCatalogName) rejects — the same set the WAL replay and the
+  // snapshot parser refuse, so nothing acknowledgeable is unreplayable.
+  for (const char* name : {"a|b", "a#b", "a b", "a\tb", "", "a\x01" "b",
+                           "a\rb", "del\x7f", "\x1f"}) {
     EXPECT_EQ(serving.UpsertDatabase(name, db).code(),
               StatusCode::kInvalidArgument)
         << "name \"" << name << "\"";
