@@ -105,7 +105,12 @@ void RunServingMix(benchmark::State& state, double update_fraction,
   const std::vector<std::string> queries = MakeQueryPool(vocab, kQueryPool);
   std::vector<uint64_t> versions(kDbPool, 0);
   for (uint32_t i = 0; i < kDbPool; ++i) {
-    engine.UpsertDatabase(DbName(i), MakeDb(vocab, i, 0));
+    // A silently failed upsert would make the bench serve NotFound errors
+    // and measure the error path instead of the workload.
+    if (!engine.UpsertDatabase(DbName(i), MakeDb(vocab, i, 0)).ok()) {
+      state.SkipWithError("database registration failed during setup");
+      return;
+    }
   }
 
   serve::WorkloadSpec spec;
@@ -122,9 +127,16 @@ void RunServingMix(benchmark::State& state, double update_fraction,
     const serve::Op op = workload.Next();
     const auto start = std::chrono::steady_clock::now();
     if (op.type == serve::OpType::kUpdate) {
-      engine.UpsertDatabase(
+      // A refused update (e.g. the durable engine went DEGRADED mid-run)
+      // would quietly turn the update-heavy mix into a read-only one.
+      Status update = engine.UpsertDatabase(
           DbName(op.database),
           MakeDb(vocab, op.database, ++versions[op.database]));
+      if (!update.ok()) {
+        state.SkipWithError(("update refused mid-run: " + update.ToString())
+                                .c_str());
+        break;
+      }
     } else {
       serve::ServeRequest request;
       request.query = queries[op.query];

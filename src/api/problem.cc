@@ -1,10 +1,11 @@
 #include "api/problem.h"
 
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "cq/canonical.h"
 #include "cq/containment.h"
 #include "cq/gyo.h"
@@ -16,21 +17,21 @@ namespace cqcs {
 // lazily under `mu` and never rebuilt, so references handed out after the
 // build stay valid without the lock.
 struct HomProblem::SourceCache {
-  std::mutex mu;
-  std::optional<ConjunctiveQuery> canonical;
-  bool acyclic_known = false;
-  bool acyclic = false;
-  std::optional<TreeDecomposition> decomposition;
+  Mutex mu;
+  std::optional<ConjunctiveQuery> canonical CQCS_GUARDED_BY(mu);
+  bool acyclic_known CQCS_GUARDED_BY(mu) = false;
+  bool acyclic CQCS_GUARDED_BY(mu) = false;
+  std::optional<TreeDecomposition> decomposition CQCS_GUARDED_BY(mu);
 };
 
 // Pair products: the profile (needs the target half) and the constraint
 // network. Fresh per (source, target) binding.
 struct HomProblem::PairCache {
-  std::mutex mu;
-  std::optional<InstanceProfile> profile;
-  std::optional<CspInstance> csp;
-  bool schaefer_known = false;
-  SchaeferClassSet schaefer_classes = 0;
+  Mutex mu;
+  std::optional<InstanceProfile> profile CQCS_GUARDED_BY(mu);
+  std::optional<CspInstance> csp CQCS_GUARDED_BY(mu);
+  bool schaefer_known CQCS_GUARDED_BY(mu) = false;
+  SchaeferClassSet schaefer_classes CQCS_GUARDED_BY(mu) = 0;
 };
 
 HomProblem::HomProblem(std::shared_ptr<const Structure> source,
@@ -123,7 +124,7 @@ Status HomProblem::SetProjection(std::vector<Element> projection) {
 
 const ConjunctiveQuery& HomProblem::SourceCanonicalQuery() const {
   SourceCache& cache = *source_cache_;
-  std::lock_guard<std::mutex> lock(cache.mu);
+  MutexLock lock(cache.mu);
   if (!cache.canonical.has_value()) {
     cache.canonical = CanonicalQuery(*source_);
   }
@@ -132,7 +133,7 @@ const ConjunctiveQuery& HomProblem::SourceCanonicalQuery() const {
 
 bool HomProblem::SourceAcyclic() const {
   SourceCache& cache = *source_cache_;
-  std::lock_guard<std::mutex> lock(cache.mu);
+  MutexLock lock(cache.mu);
   if (!cache.acyclic_known) {
     // Shared queue-driven GYO, straight on the source's tuples — same
     // hypergraph as the canonical query's, no query materialization.
@@ -144,7 +145,7 @@ bool HomProblem::SourceAcyclic() const {
 
 const TreeDecomposition& HomProblem::SourceDecomposition() const {
   SourceCache& cache = *source_cache_;
-  std::lock_guard<std::mutex> lock(cache.mu);
+  MutexLock lock(cache.mu);
   if (!cache.decomposition.has_value()) {
     cache.decomposition = HeuristicDecomposition(*source_);
   }
@@ -153,7 +154,7 @@ const TreeDecomposition& HomProblem::SourceDecomposition() const {
 
 Status HomProblem::EnsureSourceDecomposition(ResourceGovernor* governor) const {
   SourceCache& cache = *source_cache_;
-  std::lock_guard<std::mutex> lock(cache.mu);
+  MutexLock lock(cache.mu);
   if (cache.decomposition.has_value()) return Status::OK();
   if (governor == nullptr) {
     cache.decomposition = HeuristicDecomposition(*source_);
@@ -174,7 +175,7 @@ const InstanceProfile& HomProblem::Profile() const {
   bool acyclic = SourceAcyclic();
   const TreeDecomposition& decomposition = SourceDecomposition();
   PairCache& cache = *pair_cache_;
-  std::lock_guard<std::mutex> lock(cache.mu);
+  MutexLock lock(cache.mu);
   if (!cache.profile.has_value()) {
     cache.profile = BuildProfile(*source_, *target_, acyclic, decomposition);
   }
@@ -185,7 +186,7 @@ bool HomProblem::TargetBoolean() const { return IsBooleanStructure(*target_); }
 
 SchaeferClassSet HomProblem::TargetSchaeferClasses() const {
   PairCache& cache = *pair_cache_;
-  std::lock_guard<std::mutex> lock(cache.mu);
+  MutexLock lock(cache.mu);
   if (!cache.schaefer_known) {
     cache.schaefer_classes = IsBooleanStructure(*target_)
                                  ? ClassifyBooleanStructure(*target_)
@@ -197,7 +198,7 @@ SchaeferClassSet HomProblem::TargetSchaeferClasses() const {
 
 const CspInstance& HomProblem::Csp() const {
   PairCache& cache = *pair_cache_;
-  std::lock_guard<std::mutex> lock(cache.mu);
+  MutexLock lock(cache.mu);
   if (!cache.csp.has_value()) {
     cache.csp.emplace(*source_, *target_);
   }

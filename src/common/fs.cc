@@ -25,7 +25,11 @@ class PosixWritableFile : public WritableFile {
  public:
   PosixWritableFile(int fd, std::string path)
       : fd_(fd), path_(std::move(path)) {}
-  ~PosixWritableFile() override { Close(); }
+  ~PosixWritableFile() override {
+    // A destructor cannot propagate the error; callers that care about the
+    // close status (the WAL ack path) call Close() explicitly first.
+    CQCS_IGNORE_RESULT(Close());
+  }
 
   Status Append(std::string_view data) override {
     if (fd_ < 0) return Status::Internal("io: write on closed " + path_);

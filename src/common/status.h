@@ -30,7 +30,12 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error value. Cheap to copy on the success path.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a swallowed failure — the exact bug
+/// class the durability ack path exists to prevent — so discarding one is a
+/// compile error under -Werror. The rare intentional discard goes through
+/// CQCS_IGNORE_RESULT below, with a comment saying why it is sound.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -79,7 +84,7 @@ class Status {
 ///   if (!r.ok()) return r.status();
 ///   UseQuery(*r);
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT
@@ -106,5 +111,12 @@ class Result {
 };
 
 }  // namespace cqcs
+
+/// Explicitly discards a [[nodiscard]] Status / Result. Every use MUST
+/// carry a comment explaining why dropping the error is sound (typically:
+/// best-effort cleanup where the primary error is already being reported,
+/// or a test exercising the failure path itself). An uncommented
+/// CQCS_IGNORE_RESULT is a lint finding waiting to happen.
+#define CQCS_IGNORE_RESULT(expr) static_cast<void>(expr)
 
 #endif  // CQCS_COMMON_STATUS_H_

@@ -1,0 +1,73 @@
+// Portable Clang Thread Safety Analysis annotations.
+//
+// These macros turn the repo's lock-discipline comments ("guarded by
+// registry_mu_", "caller holds cache.mu", "snapshot I/O runs with NO lock
+// held") into attributes the compiler can enforce. Under Clang with
+// -Wthread-safety (the CQCS_ANALYZE=thread-safety CMake mode builds with
+// -Werror=thread-safety) a violated contract is a build failure; under GCC
+// or unannotated builds every macro expands to nothing, so the annotations
+// cost zero and the code stays portable.
+//
+// The attributes only compose with *annotated* lock types — std::mutex is
+// not a TSA capability — so the lockable wrappers live next door in
+// common/mutex.h (cqcs::Mutex / MutexLock / CondVar). Use those for any
+// mutex whose discipline is worth machine-checking; docs/static_analysis.md
+// is the contract catalogue.
+//
+// Vocabulary (mirrors the Abseil/Chromium discipline):
+//
+//   CQCS_GUARDED_BY(mu)      on a data member: reads and writes require mu.
+//   CQCS_PT_GUARDED_BY(mu)   on a pointer member: the pointee requires mu.
+//   CQCS_REQUIRES(mu)        on a function: caller must hold mu (the
+//                            "FooLocked()" naming convention, enforced).
+//   CQCS_EXCLUDES(mu)        on a function: caller must NOT hold mu — the
+//                            attribute form of "no I/O under the registry
+//                            lock".
+//   CQCS_ACQUIRE(mu) / CQCS_RELEASE(mu)
+//                            on functions that take / drop the lock.
+//   CQCS_CAPABILITY(name) / CQCS_SCOPED_CAPABILITY
+//                            on lock / scoped-lock class definitions.
+//   CQCS_RETURN_CAPABILITY(mu)
+//                            on accessors returning a reference to a lock.
+//   CQCS_NO_THREAD_SAFETY_ANALYSIS
+//                            last-resort opt-out for one function; prefer a
+//                            narrower annotation and say why in a comment.
+
+#ifndef CQCS_COMMON_THREAD_ANNOTATIONS_H_
+#define CQCS_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define CQCS_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef CQCS_THREAD_ANNOTATION_
+#define CQCS_THREAD_ANNOTATION_(x)  // no-op: GCC / non-TSA compilers
+#endif
+
+#define CQCS_CAPABILITY(name) CQCS_THREAD_ANNOTATION_(capability(name))
+#define CQCS_SCOPED_CAPABILITY CQCS_THREAD_ANNOTATION_(scoped_lockable)
+
+#define CQCS_GUARDED_BY(mu) CQCS_THREAD_ANNOTATION_(guarded_by(mu))
+#define CQCS_PT_GUARDED_BY(mu) CQCS_THREAD_ANNOTATION_(pt_guarded_by(mu))
+
+#define CQCS_REQUIRES(...) \
+  CQCS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define CQCS_EXCLUDES(...) CQCS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define CQCS_ACQUIRE(...) \
+  CQCS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define CQCS_RELEASE(...) \
+  CQCS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define CQCS_TRY_ACQUIRE(...) \
+  CQCS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+#define CQCS_ASSERT_HELD(...) \
+  CQCS_THREAD_ANNOTATION_(assert_capability(__VA_ARGS__))
+#define CQCS_RETURN_CAPABILITY(mu) \
+  CQCS_THREAD_ANNOTATION_(lock_returned(mu))
+
+#define CQCS_NO_THREAD_SAFETY_ANALYSIS \
+  CQCS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // CQCS_COMMON_THREAD_ANNOTATIONS_H_

@@ -132,6 +132,7 @@ Status Yannakakis::Prepare(bool full_reduce) {
 
   // Variables outside every atom range freely; find them once.
   std::vector<uint8_t> in_atom(q_.var_count(), 0);
+  // cqcs-lint: allow(unpolled-loop): bounded by query shape (atoms * arity), not data
   for (const Atom& atom : q_.atoms()) {
     for (VarId v : atom.args) in_atom[v] = 1;
   }
@@ -181,6 +182,7 @@ Status Yannakakis::Prepare(bool full_reduce) {
   shared_vars_.resize(m_);
   shared_child_cols_.resize(m_);
   shared_parent_cols_.resize(m_);
+  // cqcs-lint: allow(unpolled-loop): bounded by query shape (atoms * vars-per-atom), not data
   for (uint32_t node = 0; node < m_; ++node) {
     uint32_t p = tree_.parent[node];
     if (p == JoinTree::kNoParent) continue;
@@ -455,6 +457,7 @@ Result<size_t> Yannakakis::Count(size_t limit) {
     }
   }
   size_t total = 1;
+  // cqcs-lint: allow(unpolled-loop): one flat sum per root table row; the materialization that sized cnt was charged
   for (uint32_t root : roots_) {
     size_t tree_total = 0;
     for (size_t c : cnt[root]) tree_total = SatAdd(tree_total, c, limit);

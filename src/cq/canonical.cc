@@ -56,7 +56,11 @@ ConjunctiveQuery CanonicalQuery(const Structure& d,
   std::vector<VarId> vars;
   vars.reserve(d.universe_size());
   for (size_t e = 0; e < d.universe_size(); ++e) {
-    vars.push_back(q.GetOrCreateVar("v" + std::to_string(e)));
+    // Built piecewise: GCC 12 mis-fires -Wrestrict on `"v" + to_string(e)`
+    // at -O2 (PR105329), and the library builds -Werror.
+    std::string name(1, 'v');
+    name += std::to_string(e);
+    vars.push_back(q.GetOrCreateVar(name));
   }
   for (RelId id = 0; id < vocab.size(); ++id) {
     const Relation& r = d.relation(id);

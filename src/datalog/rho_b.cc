@@ -25,8 +25,13 @@ size_t IndexOfTuple(const std::vector<Element>& b, size_t n) {
 }
 
 std::string TupleName(const std::vector<Element>& b) {
+  // Built piecewise: GCC 12 mis-fires -Wrestrict on `"_" + to_string(e)`
+  // at -O2 (PR105329), and the library builds -Werror.
   std::string name = "T";
-  for (Element e : b) name += "_" + std::to_string(e);
+  for (Element e : b) {
+    name.push_back('_');
+    name += std::to_string(e);
+  }
   return name;
 }
 
@@ -57,7 +62,14 @@ Result<DatalogProgram> BuildSpoilerWinProgram(const Structure& b,
   auto make_names = [&](uint32_t var_count) {
     std::vector<std::string> names;
     for (uint32_t v = 0; v < var_count; ++v) {
-      names.push_back(v < k ? "X" + std::to_string(v + 1) : "Y");
+      if (v < k) {
+        // Piecewise for the same -Wrestrict reason as TupleName above.
+        std::string x(1, 'X');
+        x += std::to_string(v + 1);
+        names.push_back(std::move(x));
+      } else {
+        names.push_back("Y");
+      }
     }
     return names;
   };

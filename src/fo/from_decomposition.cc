@@ -22,8 +22,7 @@ class Translator {
       // Root: all slots fresh.
       std::vector<int> slot_of_element(a_.universe_size(), -1);
       std::vector<uint8_t> slot_used(slot_pool_, 0);
-      roots.push_back(BuildNode(node, slot_of_element, slot_used,
-                                /*inherited=*/{}));
+      roots.push_back(BuildNode(node, slot_of_element, slot_used));
     }
     if (roots.size() == 1) return std::move(roots[0]);
     return FoFormula::And(std::move(roots));
@@ -57,11 +56,9 @@ class Translator {
 
   /// Builds the subformula for `node`. `slot_of_element` / `slot_used`
   /// describe the slots of elements shared with the parent (the
-  /// "boundary"); `inherited` lists those shared elements. New bag elements
-  /// are bound to free slots under ∃.
+  /// "boundary"). New bag elements are bound to free slots under ∃.
   FoFormula BuildNode(uint32_t node, std::vector<int> slot_of_element,
-                      std::vector<uint8_t> slot_used,
-                      const std::vector<Element>& inherited) {
+                      std::vector<uint8_t> slot_used) {
     const auto& bag = td_.bag(node);
     // Release slots of inherited elements that left the bag: a parent slot
     // stays reserved only while its element is still present.
@@ -97,16 +94,14 @@ class Translator {
       const auto& cbag = td_.bag(child);
       std::vector<int> child_slots(a_.universe_size(), -1);
       std::vector<uint8_t> child_used(slot_pool_, 0);
-      std::vector<Element> shared;
       for (Element e : cbag) {
         if (std::binary_search(bag.begin(), bag.end(), e)) {
           child_slots[e] = slot_of_element[e];
           child_used[static_cast<size_t>(slot_of_element[e])] = 1;
-          shared.push_back(e);
         }
       }
       conjuncts.push_back(BuildNode(child, std::move(child_slots),
-                                    std::move(child_used), shared));
+                                    std::move(child_used)));
     }
 
     FoFormula body = conjuncts.size() == 1 ? std::move(conjuncts[0])

@@ -6,6 +6,18 @@
 
 namespace cqcs {
 
+namespace {
+
+/// Built piecewise: GCC 12 mis-fires -Wrestrict on `"X" + to_string(i)`
+/// at -O2 (PR105329), and the library builds -Werror.
+std::string VarName(char prefix, size_t i) {
+  std::string name(1, prefix);
+  name += std::to_string(i);
+  return name;
+}
+
+}  // namespace
+
 VocabularyPtr MakeGraphVocabulary() {
   auto v = std::make_shared<Vocabulary>();
   v->AddRelation("E", 2);
@@ -218,7 +230,7 @@ ConjunctiveQuery ChainQuery(const VocabularyPtr& vocab, size_t length) {
   RelId e = *vocab->FindRelation("E");
   std::vector<VarId> vars;
   for (size_t i = 0; i <= length; ++i) {
-    vars.push_back(q.GetOrCreateVar("X" + std::to_string(i)));
+    vars.push_back(q.GetOrCreateVar(VarName('X', i)));
   }
   for (size_t i = 0; i < length; ++i) {
     q.AddAtom(e, {vars[i], vars[i + 1]});
@@ -233,7 +245,7 @@ ConjunctiveQuery StarQuery(const VocabularyPtr& vocab, size_t leaves) {
   RelId e = *vocab->FindRelation("E");
   VarId center = q.GetOrCreateVar("C");
   for (size_t i = 0; i < leaves; ++i) {
-    VarId leaf = q.GetOrCreateVar("L" + std::to_string(i));
+    VarId leaf = q.GetOrCreateVar(VarName('L', i));
     q.AddAtom(e, {center, leaf});
   }
   q.SetHead({center});
@@ -246,7 +258,7 @@ ConjunctiveQuery RandomQuery(const VocabularyPtr& vocab, size_t vars,
   ConjunctiveQuery q(vocab, "Q");
   std::vector<VarId> ids;
   for (size_t v = 0; v < vars; ++v) {
-    ids.push_back(q.GetOrCreateVar("V" + std::to_string(v)));
+    ids.push_back(q.GetOrCreateVar(VarName('V', v)));
   }
   bool head_used = false;
   for (size_t a = 0; a < atoms; ++a) {
@@ -273,7 +285,7 @@ ConjunctiveQuery RandomTwoAtomQuery(const VocabularyPtr& vocab, size_t vars,
   ConjunctiveQuery q(vocab, "Q");
   std::vector<VarId> ids;
   for (size_t v = 0; v < vars; ++v) {
-    ids.push_back(q.GetOrCreateVar("V" + std::to_string(v)));
+    ids.push_back(q.GetOrCreateVar(VarName('V', v)));
   }
   bool head_used = false;
   for (RelId rel = 0; rel < vocab->size(); ++rel) {

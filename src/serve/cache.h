@@ -20,13 +20,14 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/hash.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace cqcs::serve {
 
@@ -90,7 +91,7 @@ class LruCache {
   /// on miss. Hits require full canonical-key equality, never digest
   /// equality alone.
   std::shared_ptr<const V> Get(const CacheKey& key) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = Find(key);
     if (it == entries_.end()) {
       ++stats_.misses;
@@ -105,7 +106,7 @@ class LruCache {
   /// past the capacity bound.
   void Put(const CacheKey& key, std::shared_ptr<const V> value) {
     if (capacity_ == 0) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = Find(key);
     if (it != entries_.end()) {
       it->value = std::move(value);
@@ -125,7 +126,7 @@ class LruCache {
   /// The invalidation sweep for database updates.
   template <typename Pred>
   size_t EraseIf(Pred pred) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     size_t dropped = 0;
     for (auto it = entries_.begin(); it != entries_.end();) {
       auto next = std::next(it);
@@ -140,19 +141,19 @@ class LruCache {
   }
 
   void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.invalidations += entries_.size();
     entries_.clear();
     index_.clear();
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return entries_.size();
   }
 
   CacheStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     CacheStats s = stats_;
     s.entries = entries_.size();
     return s;
@@ -167,7 +168,8 @@ class LruCache {
 
   /// Entries sharing a digest live in the multimap bucket; the full
   /// canonical comparison picks the right one (or none).
-  typename EntryList::iterator Find(const CacheKey& key) {
+  typename EntryList::iterator Find(const CacheKey& key)
+      CQCS_REQUIRES(mu_) {
     auto [lo, hi] = index_.equal_range(key.digest);
     for (auto it = lo; it != hi; ++it) {
       if (it->second->key == key) return it->second;
@@ -175,7 +177,7 @@ class LruCache {
     return entries_.end();
   }
 
-  void RemoveEntry(typename EntryList::iterator it) {
+  void RemoveEntry(typename EntryList::iterator it) CQCS_REQUIRES(mu_) {
     auto [lo, hi] = index_.equal_range(it->key.digest);
     for (auto idx = lo; idx != hi; ++idx) {
       if (idx->second == it) {
@@ -187,10 +189,11 @@ class LruCache {
   }
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  EntryList entries_;  // front = most recently used
-  std::unordered_multimap<uint64_t, typename EntryList::iterator> index_;
-  CacheStats stats_;
+  mutable Mutex mu_;
+  EntryList entries_ CQCS_GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_multimap<uint64_t, typename EntryList::iterator> index_
+      CQCS_GUARDED_BY(mu_);
+  CacheStats stats_ CQCS_GUARDED_BY(mu_);
 };
 
 }  // namespace cqcs::serve

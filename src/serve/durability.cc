@@ -157,11 +157,13 @@ DurabilityManager::DurabilityManager(DurabilityOptions options,
     : options_(std::move(options)), fs_(fs), clock_(clock) {}
 
 DurabilityManager::~DurabilityManager() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (wal_ != nullptr && dirty_since_sync_) {
     // Clean shutdown closes the interval policy's loss window: an idle
     // writer's dirty tail would otherwise stay unsynced indefinitely.
-    (void)wal_->Sync();
+    // Destructors cannot propagate; a failed final sync is the same loss
+    // window the interval policy already accepts.
+    CQCS_IGNORE_RESULT(wal_->Sync());
   }
 }
 
@@ -365,7 +367,7 @@ Status DurabilityManager::AppendDrop(const std::string& name) {
 }
 
 Status DurabilityManager::AppendRecord(const std::string& payload) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (poisoned_ || wal_ == nullptr) {
     ++stats_.wal_append_failures;
     return Status::Unavailable(
@@ -455,13 +457,13 @@ void DurabilityManager::RewindLog() {
 }
 
 bool DurabilityManager::SnapshotDue() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return options_.snapshot_every_records > 0 &&
          records_since_snapshot_ >= options_.snapshot_every_records;
 }
 
 Status DurabilityManager::RotateLog(uint64_t* new_gen) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (poisoned_ || wal_ == nullptr) {
     ++stats_.snapshot_failures;
     return Status::Unavailable(
@@ -509,8 +511,10 @@ Status DurabilityManager::WriteSnapshot(
   const std::string tmp_path = snap_path + ".tmp";
 
   auto fail = [&](const std::string& what, const Status& cause) {
-    fs_->RemoveFile(tmp_path);  // best effort
-    std::lock_guard<std::mutex> lock(mu_);
+    // Best-effort cleanup: the primary error is `cause`; a stale .tmp file
+    // is invisible to recovery.
+    CQCS_IGNORE_RESULT(fs_->RemoveFile(tmp_path));
+    MutexLock lock(mu_);
     ++stats_.snapshot_failures;
     return Status::Internal("snapshot: " + what + ": " + cause.ToString());
   };
@@ -529,9 +533,11 @@ Status DurabilityManager::WriteSnapshot(
 
   // -- Commit point: the snapshot exists under its final name and recovery
   // will prefer it over everything below `gen`.
-  fs_->SyncDir(options_.data_dir);  // best effort; rename is already atomic
+  // Best effort: the rename is already atomic, and recovery replays the
+  // log chain if the directory entry is lost to a crash.
+  CQCS_IGNORE_RESULT(fs_->SyncDir(options_.data_dir));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.snapshots;
   }
 
@@ -543,7 +549,9 @@ Status DurabilityManager::WriteSnapshot(
       auto sg = ParseGen(name, "snapshot-");
       auto wg = ParseGen(name, "wal-");
       if ((sg.has_value() && *sg < gen) || (wg.has_value() && *wg < gen)) {
-        fs_->RemoveFile(options_.data_dir + "/" + name);
+        // Best-effort prune: a generation that survives removal is ignored
+        // by recovery (the newer snapshot shadows it).
+        CQCS_IGNORE_RESULT(fs_->RemoveFile(options_.data_dir + "/" + name));
       }
     }
   }
@@ -557,12 +565,12 @@ Status DurabilityManager::Snapshot(const std::vector<CatalogEntry>& catalog) {
 }
 
 DurabilityStats DurabilityManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 uint64_t DurabilityManager::generation() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return generation_;
 }
 

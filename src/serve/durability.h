@@ -78,14 +78,15 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/fs.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/io.h"
 
 namespace cqcs::serve {
@@ -210,24 +211,25 @@ class DurabilityManager {
 
   std::string WalPath(uint64_t gen) const;
   std::string SnapshotPath(uint64_t gen) const;
-  Status AppendRecord(const std::string& payload);
+  Status AppendRecord(const std::string& payload) CQCS_REQUIRES(mu_);
   /// Post-failure repair: cut the log back to the last known-good offset
   /// and reopen it. Sets poisoned_ when the log cannot be made clean.
-  void RewindLog();
+  void RewindLog() CQCS_REQUIRES(mu_);
 
   const DurabilityOptions options_;
   FileSystem* const fs_;
   Clock* const clock_;
 
-  mutable std::mutex mu_;
-  uint64_t generation_ = 0;
-  std::unique_ptr<WritableFile> wal_;
-  uint64_t good_offset_ = 0;  ///< log bytes known durable-framed
-  uint64_t records_since_snapshot_ = 0;
-  uint64_t last_sync_ms_ = 0;
-  bool dirty_since_sync_ = false;
-  bool poisoned_ = false;
-  DurabilityStats stats_;
+  mutable Mutex mu_;
+  uint64_t generation_ CQCS_GUARDED_BY(mu_) = 0;
+  std::unique_ptr<WritableFile> wal_ CQCS_GUARDED_BY(mu_);
+  /// Log bytes known durable-framed.
+  uint64_t good_offset_ CQCS_GUARDED_BY(mu_) = 0;
+  uint64_t records_since_snapshot_ CQCS_GUARDED_BY(mu_) = 0;
+  uint64_t last_sync_ms_ CQCS_GUARDED_BY(mu_) = 0;
+  bool dirty_since_sync_ CQCS_GUARDED_BY(mu_) = false;
+  bool poisoned_ CQCS_GUARDED_BY(mu_) = false;
+  DurabilityStats stats_ CQCS_GUARDED_BY(mu_);
 };
 
 }  // namespace cqcs::serve

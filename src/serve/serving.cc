@@ -106,7 +106,7 @@ Status ServingEngine::Open(RecoveryInfo* info) {
   std::vector<CatalogEntry> recovered;
   auto manager = DurabilityManager::Open(options_.durability, &recovered, info);
   if (!manager.ok()) return manager.status();
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   durability_ = *std::move(manager);
   registry_.clear();
   for (CatalogEntry& entry : recovered) {
@@ -114,7 +114,7 @@ Status ServingEngine::Open(RecoveryInfo* info) {
     slot.structure = std::make_shared<const Structure>(std::move(entry.db));
     slot.version = entry.version;
   }
-  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  MutexLock stats_lock(stats_mu_);
   stats_.recovered_dbs = registry_.size();
   stats_.records_replayed = info != nullptr ? info->records_replayed : 0;
   return Status::OK();
@@ -134,7 +134,7 @@ size_t ServingEngine::InvalidateFor(const std::string& name) {
   });
   // The data changed, so prior budget trips are stale evidence: a
   // quarantined query may be cheap against the new contents.
-  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  MutexLock lock(quarantine_mu_);
   strikes_.clear();
   return dropped;
 }
@@ -175,9 +175,10 @@ void ServingEngine::FinishSnapshot(uint64_t gen,
   for (const CatalogRef& ref : refs) {
     catalog.push_back(CatalogEntry{ref.name, ref.version, *ref.db});
   }
-  // Failure is non-fatal (counted in stats): recovery replays the whole
-  // log chain, and the write is retried at the next rotation.
-  (void)durability_->WriteSnapshot(gen, catalog);
+  // Failure is non-fatal (counted in the manager's snapshot_failures):
+  // recovery replays the whole log chain, and the write is retried at the
+  // next rotation.
+  CQCS_IGNORE_RESULT(durability_->WriteSnapshot(gen, catalog));
 }
 
 Status ServingEngine::UpsertDatabase(const std::string& name, Structure db) {
@@ -190,9 +191,9 @@ Status ServingEngine::UpsertDatabase(const std::string& name, Structure db) {
   auto shared = std::make_shared<const Structure>(std::move(db));
   std::optional<std::pair<uint64_t, std::vector<CatalogRef>>> snapshot;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     if (degraded_) {
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      MutexLock stats_lock(stats_mu_);
       ++stats_.update_refusals;
       return Status::Unavailable(
           "serving is degraded (the write-ahead log stopped accepting "
@@ -211,7 +212,7 @@ Status ServingEngine::UpsertDatabase(const std::string& name, Structure db) {
         // I/O failure means the log can no longer be trusted to
         // acknowledge anything — sticky degraded mode.
         if (logged.code() != StatusCode::kInvalidArgument) degraded_ = true;
-        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        MutexLock stats_lock(stats_mu_);
         ++stats_.update_refusals;
         return logged;
       }
@@ -224,7 +225,7 @@ Status ServingEngine::UpsertDatabase(const std::string& name, Structure db) {
   if (snapshot.has_value()) FinishSnapshot(snapshot->first, snapshot->second);
   const size_t dropped = InvalidateFor(name);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.updates;
     stats_.invalidated_entries += dropped;
   }
@@ -234,13 +235,13 @@ Status ServingEngine::UpsertDatabase(const std::string& name, Structure db) {
 Status ServingEngine::DropDatabase(const std::string& name) {
   std::optional<std::pair<uint64_t, std::vector<CatalogRef>>> snapshot;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     auto it = registry_.find(name);
     if (it == registry_.end()) {
       return Status::NotFound("no database named \"" + name + "\"");
     }
     if (degraded_) {
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      MutexLock stats_lock(stats_mu_);
       ++stats_.update_refusals;
       return Status::Unavailable(
           "serving is degraded (the write-ahead log stopped accepting "
@@ -250,7 +251,7 @@ Status ServingEngine::DropDatabase(const std::string& name) {
       Status logged = durability_->AppendDrop(name);
       if (!logged.ok()) {
         if (logged.code() != StatusCode::kInvalidArgument) degraded_ = true;
-        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        MutexLock stats_lock(stats_mu_);
         ++stats_.update_refusals;
         return logged;
       }
@@ -260,7 +261,7 @@ Status ServingEngine::DropDatabase(const std::string& name) {
   }
   if (snapshot.has_value()) FinishSnapshot(snapshot->first, snapshot->second);
   const size_t dropped = InvalidateFor(name);
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   stats_.invalidated_entries += dropped;
   return Status::OK();
 }
@@ -269,7 +270,7 @@ std::vector<std::pair<std::string, uint64_t>> ServingEngine::ListDatabases()
     const {
   std::vector<std::pair<std::string, uint64_t>> out;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     out.reserve(registry_.size());
     for (const auto& [name, entry] : registry_) {
       out.emplace_back(name, entry.version);
@@ -281,7 +282,7 @@ std::vector<std::pair<std::string, uint64_t>> ServingEngine::ListDatabases()
 
 Result<std::shared_ptr<const Structure>> ServingEngine::GetDatabase(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   auto it = registry_.find(name);
   if (it == registry_.end()) {
     return Status::NotFound("no database named \"" + name + "\"");
@@ -290,14 +291,14 @@ Result<std::shared_ptr<const Structure>> ServingEngine::GetDatabase(
 }
 
 bool ServingEngine::degraded() const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   return degraded_ ||
          (durability_ != nullptr && durability_->stats().poisoned);
 }
 
 Result<ServingEngine::ResolvedDb> ServingEngine::ResolveDatabase(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   auto it = registry_.find(name);
   if (it == registry_.end()) {
     return Status::NotFound("no database named \"" + name + "\"");
@@ -314,7 +315,7 @@ void ServingEngine::FillServeSnapshot(EngineResult* result, bool plan_hit,
   s.enabled = true;
   s.plan_cache_hit = plan_hit;
   s.result_cache_hit = result_hit;
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   s.shed_total = stats_.shed_queue + stats_.shed_bytes;
   s.queue_depth = in_flight_.load(std::memory_order_relaxed);
   s.plan_hit_rate = stats_.PlanHitRate();
@@ -323,7 +324,7 @@ void ServingEngine::FillServeSnapshot(EngineResult* result, bool plan_hit,
 
 Result<EngineResult> ServingEngine::Serve(const ServeRequest& request) {
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.requests;
   }
 
@@ -333,11 +334,11 @@ Result<EngineResult> ServingEngine::Serve(const ServeRequest& request) {
   {
     // The peak counts arrivals, shed or served: a shed request did occupy
     // this depth for the instant the bound was evaluated against it.
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     stats_.queue_depth_peak = std::max(stats_.queue_depth_peak, depth);
   }
   if (options_.max_queue_depth > 0 && depth > options_.max_queue_depth) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.shed_queue;
     return Status::ResourceExhausted(
         "request shed: queue depth " + std::to_string(depth) +
@@ -347,10 +348,10 @@ Result<EngineResult> ServingEngine::Serve(const ServeRequest& request) {
 
   // ---- Poison-query quarantine: refuse known budget-burners up front. ----
   if (options_.poison_strikes > 0) {
-    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    MutexLock lock(quarantine_mu_);
     auto it = strikes_.find(request.query);
     if (it != strikes_.end() && it->second >= options_.poison_strikes) {
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      MutexLock stats_lock(stats_mu_);
       ++stats_.quarantined;
       return Status::ResourceExhausted(
           "query quarantined: it tripped the resource budget " +
@@ -363,13 +364,13 @@ Result<EngineResult> ServingEngine::Serve(const ServeRequest& request) {
   // ---- Resolve the database and canonicalize the query. ------------------
   auto db = ResolveDatabase(request.database);
   if (!db.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.errors;
     return db.status();
   }
   auto query = ParseQuery(request.query, db->structure->vocabulary());
   if (!query.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.errors;
     return query.status();
   }
@@ -391,14 +392,14 @@ Result<EngineResult> ServingEngine::Serve(const ServeRequest& request) {
     if (std::shared_ptr<const EngineResult> hit = result_cache_.Get(result_key)) {
       EngineResult copy = *hit;
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.result_hits;
         ++stats_.served;
       }
       FillServeSnapshot(&copy, /*plan_hit=*/false, /*result_hit=*/true);
       return copy;
     }
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.result_misses;
   }
 
@@ -430,7 +431,7 @@ Result<EngineResult> ServingEngine::Serve(const ServeRequest& request) {
   if (problem == nullptr) {
     auto compiled = HomProblem::FromQuery(*query, *db->structure);
     if (!compiled.ok()) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.errors;
       return compiled.status();
     }
@@ -442,7 +443,7 @@ Result<EngineResult> ServingEngine::Serve(const ServeRequest& request) {
     problem = std::move(shared);
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     if (plan_hit) {
       ++stats_.plan_hits;
     } else {
@@ -461,7 +462,7 @@ Result<EngineResult> ServingEngine::Serve(const ServeRequest& request) {
     size_t current = in_flight_bytes_.load(std::memory_order_relaxed);
     for (;;) {
       if (SatAdd(current, estimate, SIZE_MAX) > options_.max_inflight_bytes) {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.shed_bytes;
         return Status::ResourceExhausted(
             "request shed: size-bound estimate " + std::to_string(estimate) +
@@ -481,12 +482,12 @@ Result<EngineResult> ServingEngine::Serve(const ServeRequest& request) {
   HomEngine engine(options_.engine);
   auto result = engine.Run(*problem, request.task);
   if (!result.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.errors;
     return result.status();
   }
   if (options_.poison_strikes > 0) {
-    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    MutexLock lock(quarantine_mu_);
     if (IsPoisonTrip(result->stats.governor)) {
       if (strikes_.count(request.query) == 0 &&
           strikes_.size() >= kMaxQuarantineEntries) {
@@ -503,7 +504,7 @@ Result<EngineResult> ServingEngine::Serve(const ServeRequest& request) {
     result_cache_.Put(result_key, std::move(cached));
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.served;
   }
   FillServeSnapshot(&*result, plan_hit, /*result_hit=*/false);
@@ -513,7 +514,7 @@ Result<EngineResult> ServingEngine::Serve(const ServeRequest& request) {
 ServeStats ServingEngine::stats() const {
   ServeStats snapshot;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     snapshot = stats_;
   }
   snapshot.queue_depth = in_flight_.load(std::memory_order_relaxed);
@@ -521,14 +522,14 @@ ServeStats ServingEngine::stats() const {
   snapshot.plan_cache_entries = plan_cache_.size();
   snapshot.result_cache_entries = result_cache_.size();
   {
-    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    MutexLock lock(quarantine_mu_);
     snapshot.poisoned_queries = 0;
     for (const auto& [text, count] : strikes_) {
       if (count >= options_.poison_strikes) ++snapshot.poisoned_queries;
     }
   }
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     snapshot.degraded = degraded_;
     if (durability_ != nullptr) {
       const DurabilityStats d = durability_->stats();

@@ -59,7 +59,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -67,7 +66,9 @@
 #include <vector>
 
 #include "api/engine.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/structure.h"
 #include "serve/cache.h"
 #include "serve/durability.h"
@@ -219,32 +220,40 @@ class ServingEngine {
   /// Sweeps both caches of entries computed against `name` and clears the
   /// quarantine (the data changed; prior budget trips are stale evidence).
   size_t InvalidateFor(const std::string& name);
-  /// Builds the sorted catalog handle from registry_. Caller holds
-  /// registry_mu_.
-  std::vector<CatalogRef> CatalogRefsLocked() const;
+  /// Builds the sorted catalog handle from registry_.
+  std::vector<CatalogRef> CatalogRefsLocked() const
+      CQCS_REQUIRES(registry_mu_);
   /// If a snapshot is due, rotates the log (cheap) and captures the catalog
-  /// handle. Caller holds registry_mu_; the returned refs feed
-  /// FinishSnapshot() AFTER the lock is released.
+  /// handle. The returned refs feed FinishSnapshot() AFTER the lock is
+  /// released.
   std::optional<std::pair<uint64_t, std::vector<CatalogRef>>>
-  MaybeRotateForSnapshotLocked();
-  /// Deep-copies, serializes, and writes the snapshot — the slow half, run
-  /// with no lock held so reads and updates keep flowing.
-  void FinishSnapshot(uint64_t gen, const std::vector<CatalogRef>& refs);
+  MaybeRotateForSnapshotLocked() CQCS_REQUIRES(registry_mu_);
+  /// Deep-copies, serializes, and writes the snapshot — the slow half. The
+  /// CQCS_EXCLUDES is the PR 8 review rule as a compile-time fact: snapshot
+  /// I/O must never run under the registry lock.
+  void FinishSnapshot(uint64_t gen, const std::vector<CatalogRef>& refs)
+      CQCS_EXCLUDES(registry_mu_);
 
   const ServeOptions options_;
 
   /// registry_mu_ also serializes the durable path: WAL append order must
   /// equal registry apply order, and a snapshot must see a registry no
   /// append can be racing past.
-  mutable std::mutex registry_mu_;
-  std::unordered_map<std::string, DbEntry> registry_;
+  mutable Mutex registry_mu_;
+  std::unordered_map<std::string, DbEntry> registry_
+      CQCS_GUARDED_BY(registry_mu_);
+  /// Written once by Open() before serving starts, then only read; the
+  /// manager carries its own internal lock. Not guarded: FinishSnapshot()
+  /// must reach it with registry_mu_ released. Append/apply ordering is
+  /// preserved because every Append* call happens under registry_mu_.
   std::unique_ptr<DurabilityManager> durability_;
-  bool degraded_ = false;  ///< sticky; guarded by registry_mu_
+  bool degraded_ CQCS_GUARDED_BY(registry_mu_) = false;  ///< sticky
 
   /// Poison-query quarantine: consecutive budget-trip strikes per raw
-  /// query text, bounded; guarded by quarantine_mu_.
-  mutable std::mutex quarantine_mu_;
-  std::unordered_map<std::string, uint32_t> strikes_;
+  /// query text, bounded.
+  mutable Mutex quarantine_mu_;
+  std::unordered_map<std::string, uint32_t> strikes_
+      CQCS_GUARDED_BY(quarantine_mu_);
 
   /// Both plan levels live in one LRU; keys are prefixed "src|" / "pair|".
   LruCache<HomProblem> plan_cache_;
@@ -253,8 +262,8 @@ class ServingEngine {
   std::atomic<size_t> in_flight_{0};
   std::atomic<size_t> in_flight_bytes_{0};
 
-  mutable std::mutex stats_mu_;
-  ServeStats stats_;
+  mutable Mutex stats_mu_;
+  ServeStats stats_ CQCS_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace cqcs::serve

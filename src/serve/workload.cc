@@ -104,6 +104,7 @@ std::optional<Distribution> ParseDistributionName(std::string_view name) {
 
 std::unique_ptr<KeyChooser> MakeKeyChooser(Distribution d, uint32_t n,
                                            double param) {
+  // cqcs-lint: allow(banned-abort): harness precondition; a WorkloadSpec is operator config, never service input
   CQCS_CHECK(n > 0);
   switch (d) {
     case Distribution::kUniform:

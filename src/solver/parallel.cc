@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "solver/search_context.h"
 
 namespace cqcs {
@@ -41,7 +41,7 @@ class WorkPool {
   /// filled and the caller marked busy) or the search is over — cancelled,
   /// or pool empty with nobody busy (returns false).
   bool Acquire(Subproblem* sp) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (;;) {
       if (cancel.load(std::memory_order_relaxed) || done_) return false;
       if (!pool_.empty()) {
@@ -54,11 +54,11 @@ class WorkPool {
       }
       if (busy_ == 0) {
         done_ = true;
-        cv_.notify_all();
+        cv_.NotifyAll();
         return false;
       }
       want_work.fetch_add(1, std::memory_order_relaxed);
-      cv_.wait(lock, [&] {
+      cv_.Wait(mu_, [&] {
         return cancel.load(std::memory_order_relaxed) || done_ ||
                !pool_.empty();
       });
@@ -69,43 +69,49 @@ class WorkPool {
   /// Marks the caller idle again; declares the search done if it drained
   /// the last work.
   void Release() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --busy_;
     if (pool_.empty() && busy_ == 0) {
       done_ = true;
-      cv_.notify_all();
+      cv_.NotifyAll();
     }
   }
 
   /// A busy worker donating freshly split subproblems.
   void Donate(std::vector<Subproblem> subs) {
     if (subs.empty()) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++splits_;
     for (Subproblem& sp : subs) pool_.push_back(std::move(sp));
     pool_size_.store(pool_.size(), std::memory_order_relaxed);
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   /// Wakes every waiter after `cancel` was set (the flag is in the wait
   /// predicate, so lock-then-notify cannot miss anyone).
   void NotifyCancelled() {
-    std::lock_guard<std::mutex> lock(mu_);
-    cv_.notify_all();
+    MutexLock lock(mu_);
+    cv_.NotifyAll();
   }
 
-  uint64_t splits() const { return splits_; }
+  uint64_t splits() const {
+    MutexLock lock(mu_);
+    return splits_;
+  }
   /// Every pop except the initial root came from another worker's donation.
-  uint64_t steals() const { return pops_ > 0 ? pops_ - 1 : 0; }
+  uint64_t steals() const {
+    MutexLock lock(mu_);
+    return pops_ > 0 ? pops_ - 1 : 0;
+  }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Subproblem> pool_;
-  size_t busy_ = 0;
-  bool done_ = false;
-  uint64_t pops_ = 0;
-  uint64_t splits_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Subproblem> pool_ CQCS_GUARDED_BY(mu_);
+  size_t busy_ CQCS_GUARDED_BY(mu_) = 0;
+  bool done_ CQCS_GUARDED_BY(mu_) = false;
+  uint64_t pops_ CQCS_GUARDED_BY(mu_) = 0;
+  uint64_t splits_ CQCS_GUARDED_BY(mu_) = 0;
 };
 
 void MergeStats(const SolveStats& in, SolveStats* out) {
@@ -147,10 +153,10 @@ size_t ParallelSearch(const CspInstance& csp, const SolveOptions& options,
   // no internal locking, Solve's first-solution race has exactly one winner,
   // and a false return (or a prior cancellation) suppresses every later
   // delivery fleet-wide.
-  std::mutex cb_mu;
+  Mutex cb_mu;
   size_t delivered = 0;
   auto serialized = [&](const Homomorphism& h) {
-    std::lock_guard<std::mutex> lock(cb_mu);
+    MutexLock lock(cb_mu);
     if (pool.cancel.load(std::memory_order_relaxed)) return false;
     ++delivered;
     const bool keep_going = on_solution(h);

@@ -48,6 +48,7 @@ Result<std::optional<Homomorphism>> SolveViaTreeDecomposition(
   // element -> containing nodes, CSR. Tuple-to-bag assignment probes the
   // rarest element's short node list instead of scanning every bag.
   std::vector<uint32_t> node_offsets(a.universe_size() + 1, 0);
+  // cqcs-lint: allow(unpolled-loop): bounded by sum of bag sizes <= nodes * (width + 1)
   for (uint32_t node = 0; node < num_nodes; ++node) {
     for (Element e : decomposition.bag(node)) ++node_offsets[e + 1];
   }
@@ -57,6 +58,7 @@ Result<std::optional<Homomorphism>> SolveViaTreeDecomposition(
   std::vector<uint32_t> node_list(node_offsets.back());
   {
     std::vector<uint32_t> fill(node_offsets.begin(), node_offsets.end() - 1);
+    // cqcs-lint: allow(unpolled-loop): same sum-of-bag-sizes bound as the counting pass above
     for (uint32_t node = 0; node < num_nodes; ++node) {
       for (Element e : decomposition.bag(node)) node_list[fill[e]++] = node;
     }
@@ -66,9 +68,13 @@ Result<std::optional<Homomorphism>> SolveViaTreeDecomposition(
   // the nodes holding the tuple's rarest element.
   std::vector<std::vector<std::pair<RelId, uint32_t>>> tuples_of_node(
       num_nodes);
+  uint64_t assign_tick = 0;  // governor poll stride over A's tuples
   for (RelId id = 0; id < vocab.size(); ++id) {
     const Relation& r = a.relation(id);
     for (uint32_t t = 0; t < r.tuple_count(); ++t) {
+      if (governor != nullptr && (++assign_tick & 1023) == 0) {
+        CQCS_RETURN_IF_ERROR(governor->Poll());
+      }
       std::span<const Element> tup = r.tuple(t);
       Element rare = tup[0];
       for (Element e : tup) {
@@ -120,6 +126,7 @@ Result<std::optional<Homomorphism>> SolveViaTreeDecomposition(
   // Intersection of each node's bag with its parent's bag (positions
   // within the node's bag), empty for roots.
   std::vector<std::vector<uint32_t>> parent_shared_positions(num_nodes);
+  // cqcs-lint: allow(unpolled-loop): bounded by nodes * width * log(width) — decomposition shape, not data
   for (uint32_t node = 0; node < num_nodes; ++node) {
     uint32_t p = decomposition.parent(node);
     if (p == TreeDecomposition::kNoParent) continue;
@@ -233,6 +240,7 @@ Result<std::optional<Homomorphism>> SolveViaTreeDecomposition(
     chosen[node] = 0;  // root: any table row works
     stack.push_back(node);
   }
+  // cqcs-lint: allow(unpolled-loop): witness walk visits each node once after the DP (which polls) succeeded
   while (!stack.empty()) {
     uint32_t node = stack.back();
     stack.pop_back();

@@ -243,7 +243,6 @@ Result<std::optional<Homomorphism>> SolveViaNiceDecomposition(
   }
   const size_t num_nodes = nice.nodes.size();
   const size_t m = b.universe_size();
-  const Vocabulary& vocab = *a.vocabulary();
 
   // Tuples checked at a node: leaf — the all-same-element tuples on its
   // element; introduce(v) — tuples containing v and inside the bag. (The

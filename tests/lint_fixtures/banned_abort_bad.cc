@@ -1,0 +1,10 @@
+// Fixture: input-reachable module (linted as src/core/io.cc) using the
+// abort family — both sites must fire banned-abort.
+#include "common/check.h"
+
+void Parse(const char* bytes, int n) {
+  CQCS_CHECK(n >= 0);
+  if (bytes == nullptr) {
+    std::abort();
+  }
+}

@@ -1,0 +1,11 @@
+// Fixture: the waived twin of banned_abort_bad.cc. One inline waiver per
+// site; both carry reasons, so the rule stays quiet.
+#include "common/check.h"
+
+void Parse(const char* bytes, int n) {
+  // cqcs-lint: allow(banned-abort): n is a trusted caller-computed length,
+  CQCS_CHECK(n >= 0);
+  if (bytes == nullptr) {
+    std::abort();  // cqcs-lint: allow(banned-abort): unreachable by contract
+  }
+}

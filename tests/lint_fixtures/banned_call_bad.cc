@@ -1,0 +1,12 @@
+// Fixture: library code calling the banned C-library entropy/shell
+// functions — three findings expected.
+#include <cstdlib>
+
+int Roll() {
+  std::srand(42);
+  int r = std::rand();
+  if (r == 0) {
+    return std::system("echo unlucky");
+  }
+  return r;
+}

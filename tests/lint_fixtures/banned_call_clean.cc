@@ -1,0 +1,11 @@
+// Fixture: the clean twin of banned_call_bad.cc. The banned names appear
+// only in comments ("use rand() here would be wrong"), string literals,
+// and as substrings of longer identifiers — none may fire.
+#include <string>
+
+// Do not call rand() or system() from library code.
+std::string Describe() {
+  std::string s = "the ecosystem( of srand( calls )";
+  int operand(3);  // identifier containing "rand" as a substring
+  return s + std::to_string(operand);
+}

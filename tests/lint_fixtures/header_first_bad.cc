@@ -1,0 +1,7 @@
+// Fixture: a .cc with a sibling header (linted as src/common/fixture.cc)
+// whose first include is NOT its own header — fires header-first.
+#include <string>
+
+#include "common/fixture.h"
+
+int Answer() { return 42; }

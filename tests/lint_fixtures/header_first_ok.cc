@@ -1,0 +1,6 @@
+// Fixture: the clean twin — own header first proves it self-contained.
+#include "common/fixture.h"
+
+#include <string>
+
+int Answer() { return 42; }

@@ -1,0 +1,8 @@
+// Fixture: header with a non-canonical include guard (linted as
+// src/common/fixture.h, whose canonical guard is CQCS_COMMON_FIXTURE_H_).
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+int Answer();
+
+#endif  // WRONG_GUARD_H

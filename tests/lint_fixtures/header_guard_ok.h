@@ -1,0 +1,7 @@
+// Fixture: header carrying the canonical guard for src/common/fixture.h.
+#ifndef CQCS_COMMON_FIXTURE_H_
+#define CQCS_COMMON_FIXTURE_H_
+
+int Answer();
+
+#endif  // CQCS_COMMON_FIXTURE_H_

@@ -1,0 +1,16 @@
+// Fixture: a while loop that follows a closing brace is still scanned —
+// regression guard for a do-while tail heuristic that skipped any `while`
+// after `}` and let its inner loops masquerade as outermost.
+int Sweep(int* xs, int n) {
+  for (int i = 0; i < n; ++i) {
+    xs[i] = 0;
+  }
+  int total = 0;
+  while (n > 0) {
+    for (int i = 0; i < n; ++i) {
+      total += xs[i];
+    }
+    --n;
+  }
+  return total;
+}

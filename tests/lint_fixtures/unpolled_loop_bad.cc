@@ -1,0 +1,12 @@
+// Fixture: governed hot-path file with an outermost loop that never polls.
+// Linted under the fake path src/rel/ops.cc; the loop must fire
+// unpolled-loop.
+int Sum(const int* xs, int n) {
+  int total = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      total += xs[i] * xs[j];
+    }
+  }
+  return total;
+}

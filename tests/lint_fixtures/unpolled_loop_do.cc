@@ -1,0 +1,12 @@
+// Fixture: an ungoverned do-while whose body nests a loop fires at the
+// `do`, and the tail `while` must not double-report.
+int Drain(int* xs, int n) {
+  int total = 0;
+  int round = 0;
+  do {
+    for (int i = 0; i < n; ++i) {
+      total += xs[i];
+    }
+  } while (++round < n);
+  return total;
+}

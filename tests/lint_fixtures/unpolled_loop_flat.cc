@@ -1,0 +1,11 @@
+// Fixture: a flat (non-nested) loop in a governed hot-path file. The rule
+// only fires on nested loop structures — a single pass over an
+// already-charged materialization is amortized by the SyncCharge that
+// built it — so this file is clean with no poll and no waiver.
+int Total(const int* xs, int n) {
+  int total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += xs[i];
+  }
+  return total;
+}

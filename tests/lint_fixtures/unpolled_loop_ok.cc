@@ -1,0 +1,12 @@
+// Fixture: the clean twin of unpolled_loop_bad.cc — same loop shape, but
+// the body references the governor poll, so the rule stays quiet.
+int Sum(const int* xs, int n, Governor* governor) {
+  int total = 0;
+  for (int i = 0; i < n; ++i) {
+    if ((i & 1023) == 0 && !governor->Poll().ok()) break;
+    for (int j = 0; j < n; ++j) {
+      total += xs[i] * xs[j];
+    }
+  }
+  return total;
+}

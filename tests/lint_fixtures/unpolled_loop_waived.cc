@@ -1,0 +1,12 @@
+// Fixture: the waived twin of unpolled_loop_bad.cc — the nested loop is
+// bounded by a compile-time constant, and the waiver above it says so.
+int SumFixed(const int* xs) {
+  int total = 0;
+  // cqcs-lint: allow(unpolled-loop): bound is the compile-time 8x8 block
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      total += xs[i * 8 + j];
+    }
+  }
+  return total;
+}

@@ -1,0 +1,10 @@
+// Fixture: three malformed waivers — each must fire the meta-rule and be
+// ignored as a waiver (the CQCS_CHECK below must still fire banned-abort
+// when linted as src/serve/fixture.cc).
+//
+// cqcs-lint: allow(banned-abort)
+// cqcs-lint: allow(no-such-rule): the rule name does not exist
+// cqcs-lint: allow(banned-abort):
+#include "common/check.h"
+
+void Touch(int n) { CQCS_CHECK(n >= 0); }

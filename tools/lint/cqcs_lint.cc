@@ -1,0 +1,118 @@
+// cqcs_lint driver: runs the repo-specific lint rules (lint/lint.h) over
+// src/ and tools/ and prints compiler-style diagnostics.
+//
+//   cqcs_lint --root <repo-root> [rel-paths...]
+//   cqcs_lint --list-rules
+//
+// With no explicit paths, scans every .h/.cc under <root>/src and
+// <root>/tools. Exit code: 0 clean, 1 findings, 2 usage/I/O error.
+// Wired up as the `lint`-labeled ctest (`ctest -L lint`).
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+std::string RelPath(const fs::path& root, const fs::path& file) {
+  return fs::relative(file, root).generic_string();
+}
+
+bool HasSiblingHeader(const fs::path& file) {
+  fs::path header = file;
+  header.replace_extension(".h");
+  return fs::exists(header);
+}
+
+int LintPaths(const fs::path& root, const std::vector<fs::path>& files) {
+  size_t findings = 0;
+  for (const fs::path& file : files) {
+    cqcs::lint::FileInput input;
+    input.path = RelPath(root, file);
+    if (!ReadFile(file, &input.content)) {
+      std::cerr << "cqcs_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    input.has_sibling_header = HasSiblingHeader(file);
+    for (const cqcs::lint::Finding& f : cqcs::lint::LintFile(input)) {
+      std::cout << cqcs::lint::FormatFinding(f) << "\n";
+      ++findings;
+    }
+  }
+  if (findings > 0) {
+    std::cout << "cqcs_lint: " << findings << " finding(s) over "
+              << files.size() << " file(s)\n";
+    return 1;
+  }
+  std::cout << "cqcs_lint: clean (" << files.size() << " files)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root;
+  std::vector<std::string> explicit_paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& rule : cqcs::lint::RuleNames()) {
+        std::cout << rule << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--root") {
+      if (++i == argc) {
+        std::cerr << "cqcs_lint: --root needs a directory\n";
+        return 2;
+      }
+      root = argv[i];
+    } else {
+      explicit_paths.push_back(std::move(arg));
+    }
+  }
+  if (root.empty()) {
+    std::cerr << "usage: cqcs_lint --root <repo-root> [rel-paths...]\n"
+              << "       cqcs_lint --list-rules\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  if (!explicit_paths.empty()) {
+    for (const std::string& p : explicit_paths) files.push_back(root / p);
+  } else {
+    for (const char* dir : {"src", "tools"}) {
+      std::error_code ec;
+      fs::recursive_directory_iterator it(root / dir, ec);
+      if (ec) {
+        std::cerr << "cqcs_lint: cannot scan " << (root / dir) << ": "
+                  << ec.message() << "\n";
+        return 2;
+      }
+      for (const fs::directory_entry& entry : it) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+  }
+  return LintPaths(root, files);
+}

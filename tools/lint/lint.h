@@ -1,0 +1,100 @@
+// cqcs_lint: repo-specific, token-level lint rules for invariants the
+// compiler cannot see. Each rule encodes a contract that an earlier PR's
+// review caught by hand; the lint pass makes regressing it a test failure
+// (`ctest -L lint`). docs/static_analysis.md is the human-facing catalogue.
+//
+// Rules (names are what waivers reference):
+//
+//   unpolled-loop   Governed hot-path files (rel/ops.cc, treewidth/
+//                   hom_dp.cc, cq/acyclic.cc) run loops whose bounds are
+//                   attacker-/input-sized; every OUTERMOST loop must
+//                   reference the governor poll machinery (`Poll`,
+//                   `trip_flag`, `governor`, `SyncCharge`, `cancel`)
+//                   somewhere in its body, or carry a waiver saying why it
+//                   is bounded.
+//   banned-abort    Input-reachable modules (core/io, serve/) must not
+//                   contain CQCS_CHECK / abort(): arbitrarily corrupt bytes
+//                   reach these files, and PRs 6/8 converted their aborts
+//                   to Result<> — this rule keeps them converted.
+//   banned-call     Library code must not call std::rand/srand (use
+//                   common/rng.h) or system().
+//   header-guard    Every header carries the canonical include guard
+//                   derived from its path (CQCS_<PATH>_H_).
+//   header-first    A .cc file with a sibling header includes it FIRST, so
+//                   every build proves the header self-contained.
+//   waiver          Meta-rule: a malformed waiver (unknown rule name,
+//                   missing reason) is itself a finding, and the waiver is
+//                   ignored.
+//
+// Waiver syntax: a comment whose marker is the tool name immediately
+// followed by a colon (spelled out here with a space so this very header
+// does not parse as a directive — see MakeWaiverComment for the exact
+// canonical form):
+//
+//   // cqcs-lint : allow(rule-name): reason       waives the rule on this
+//                                                 line and the next
+//   // cqcs-lint : allow-file(rule-name): reason  waives it for the file
+//
+// The reason is mandatory: a waiver documents a decision, not a shortcut.
+
+#ifndef CQCS_TOOLS_LINT_LINT_H_
+#define CQCS_TOOLS_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace cqcs::lint {
+
+/// One rule violation (or malformed waiver). `line` is 1-based.
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// One file to lint. `path` is repo-relative with forward slashes
+/// ("src/rel/ops.cc") — rules select themselves by path prefix.
+struct FileInput {
+  std::string path;
+  std::string content;
+  /// True when a same-stem .h sits next to this .cc (drives header-first).
+  bool has_sibling_header = false;
+};
+
+/// A parsed waiver directive.
+struct Waiver {
+  int line = 0;  ///< 1-based line the directive sits on
+  std::string rule;
+  std::string reason;
+  bool file_scope = false;  ///< allow-file(...) vs allow(...)
+};
+
+/// The closed set of rule names (waivers naming anything else are
+/// malformed).
+const std::vector<std::string>& RuleNames();
+
+/// Renders the canonical waiver comment for `rule` — the exact text
+/// ParseWaivers() accepts. Tests assert the round-trip.
+std::string MakeWaiverComment(const std::string& rule,
+                              const std::string& reason);
+
+/// Extracts waiver directives from `content`. Malformed directives are
+/// appended to `findings` (rule "waiver") and not returned.
+std::vector<Waiver> ParseWaivers(const std::string& path,
+                                 const std::string& content,
+                                 std::vector<Finding>* findings);
+
+/// Returns `content` with comment bodies and string/char literals blanked
+/// (newlines kept), so token rules cannot fire on prose. Exposed for tests.
+std::string StripCommentsAndStrings(const std::string& content);
+
+/// Runs every applicable rule over one file.
+std::vector<Finding> LintFile(const FileInput& input);
+
+/// "path:line: [rule] message" — the compiler-style diagnostic line.
+std::string FormatFinding(const Finding& f);
+
+}  // namespace cqcs::lint
+
+#endif  // CQCS_TOOLS_LINT_LINT_H_
