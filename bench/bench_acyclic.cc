@@ -151,6 +151,46 @@ BENCHMARK(BM_YannakakisTask_Enumerate)
     ->Args({0, 4096})->Args({1, 4096})
     ->Unit(benchmark::kMillisecond);
 
+// Thread sweep over the morsel-parallel acyclic route (same instance and
+// caps as the Count series above, problem compiled once so the series
+// isolates the kernel). On a single-core host (context.host.nproc = 1 in
+// BENCH_solver.json) the 2/4/8 arms bound the *decomposition overhead* of
+// multi-worker dispatch — morsel claiming, shard merging, pool handoff —
+// rather than measuring speedup; the acceptance bar is that overhead, not
+// scaling.
+void BM_YannakakisTask_CountThreads(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  Rng rng(8111);
+  auto vocab = MakeGraphVocabulary();
+  Structure a = StructureFromGraph(vocab, RandomTree(n, rng));
+  Structure b = RandomGraphStructure(vocab, 12, 0.3, rng, /*symmetric=*/true);
+  EngineOptions options;
+  options.backend = Backend::kAcyclic;
+  options.count_limit = kCountCap;
+  options.solve.num_threads = threads;
+  auto problem = HomProblem::FromStructures(a, b);
+  HomEngine engine(options);
+  size_t answer = 0;
+  uint64_t morsels = 0, steals = 0;
+  for (auto _ : state) {
+    auto r = engine.Run(*problem, HomTask::kCount);
+    if (r.ok()) {
+      answer = r->count;
+      morsels = r->stats.yannakakis.morsels;
+      steals = r->stats.yannakakis.steals;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["threads"] = threads;
+  state.counters["answer"] = static_cast<double>(answer);
+  state.counters["morsels"] = static_cast<double>(morsels);
+  state.counters["steals"] = static_cast<double>(steals);
+}
+BENCHMARK(BM_YannakakisTask_CountThreads)
+    ->Args({1, 4096})->Args({2, 4096})->Args({4, 4096})->Args({8, 4096})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_AcyclicAgreementAudit(benchmark::State& state) {
   auto vocab = MakeGraphVocabulary();
   size_t agreements = 0, instances = 0;

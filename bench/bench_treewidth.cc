@@ -130,6 +130,32 @@ BENCHMARK(BM_TreewidthDpIndexed_TargetSweep)
     ->Arg(8)->Arg(16)->Arg(32)->Arg(48)
     ->Unit(benchmark::kMicrosecond);
 
+// Thread sweep over the level-scheduled DP (decomposition reused across
+// iterations via SolveViaTreeDecomposition would hide the bag-assignment
+// phase, so this keeps the full SolveBoundedTreewidth cost like the other
+// Indexed series). On a single-core host the 2/4/8 arms bound the
+// level-barrier and pool-dispatch overhead, not speedup.
+void BM_TreewidthDpIndexed_ThreadSweep(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  Instance inst = MakeInstance(512, 2, 8, 4242);
+  TreewidthSolveStats stats;
+  bool hom = false;
+  for (auto _ : state) {
+    auto r = SolveBoundedTreewidth(inst.a, inst.b, &stats,
+                                   /*governor=*/nullptr, threads);
+    hom = r.ok() && r->has_value();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["threads"] = threads;
+  state.counters["table_entries"] = static_cast<double>(stats.table_entries);
+  state.counters["morsels"] = static_cast<double>(stats.morsels);
+  state.counters["steals"] = static_cast<double>(stats.steals);
+  state.counters["hom"] = hom ? 1 : 0;
+}
+BENCHMARK(BM_TreewidthDpIndexed_ThreadSweep)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_Decomposition_MinFill(benchmark::State& state) {
   Rng rng(55);
   Graph g = RandomPartialKTree(static_cast<size_t>(state.range(0)), 3, 0.8,

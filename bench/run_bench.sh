@@ -50,8 +50,8 @@ BUILD_DIR="${ARGS[0]:-build}"
 SOLVER_OUT="${ARGS[1]:-BENCH_solver.json}"
 SERVING_OUT="BENCH_serving.json"
 
-SOLVER_BINS=(bench_hardness bench_uniform_boolean bench_acyclic bench_treewidth)
-SOLVER_FILTER='BM_CliqueIntoRandomGraph|BM_PlantedCliqueRecovery|BM_SparseRefutationFc|BM_Backtracking_NodeThroughput|BM_Horn_Backtracking|BM_CliqueRefutationParallel|BM_PlantedCliqueParallel|BM_EngineAutoVsUniform|BM_YannakakisTask|BM_TreewidthDpIndexed'
+SOLVER_BINS=(bench_hardness bench_uniform_boolean bench_acyclic bench_treewidth bench_rel)
+SOLVER_FILTER='BM_CliqueIntoRandomGraph|BM_PlantedCliqueRecovery|BM_SparseRefutationFc|BM_Backtracking_NodeThroughput|BM_Horn_Backtracking|BM_CliqueRefutationParallel|BM_PlantedCliqueParallel|BM_EngineAutoVsUniform|BM_YannakakisTask|BM_TreewidthDpIndexed|BM_ProbeBatch'
 SERVING_BINS=(bench_serving)
 SERVING_FILTER='BM_ServingReadHeavy|BM_ServingUpdateHeavy|BM_ServingDurableUpdateHeavy'
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
@@ -60,7 +60,7 @@ if [[ "$QUICK" == 1 ]]; then
   # series (its correctness under load is exactly what CI should smoke),
   # and for serving the disabled-vs-full-cache pair at zipfian 0.99 (the
   # pair the headline speedup claim compares).
-  SOLVER_FILTER='BM_CliqueIntoRandomGraph/3|BM_Backtracking_NodeThroughput/|BM_CliqueRefutationParallel|BM_YannakakisTask_Witness/0/64|BM_TreewidthDpIndexed_SourceSweep/128'
+  SOLVER_FILTER='BM_CliqueIntoRandomGraph/3|BM_Backtracking_NodeThroughput/|BM_CliqueRefutationParallel|BM_YannakakisTask_Witness/0/64|BM_YannakakisTask_CountThreads/2/4096|BM_TreewidthDpIndexed_SourceSweep/128|BM_ProbeBatch_Batched/1024'
   SERVING_FILTER='BM_ServingReadHeavy/0/2|BM_ServingReadHeavy/2/2'
   MIN_TIME="${BENCH_MIN_TIME:-0.01}"
 fi

@@ -76,7 +76,7 @@ sanitize_step() {
   run ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L "$labels"
 }
 
-sanitize_step thread "serve|solver-parallel"
+sanitize_step thread "serve|solver-parallel|poly"
 sanitize_step address "durable|robust"
 sanitize_step undefined "durable"
 

@@ -280,29 +280,31 @@ Result<EngineResult> HomEngine::Run(const HomProblem& problem,
         // homomorphisms verbatim.
         const ConjunctiveQuery& q = problem.SourceCanonicalQuery();
         YannakakisStats* ys = &r.stats.yannakakis;
+        const unsigned threads = options_.solve.num_threads;
         switch (task) {
           case HomTask::kDecide: {
-            auto sat = EvaluateBooleanAcyclic(q, b, ys, governor);
+            auto sat = EvaluateBooleanAcyclic(q, b, ys, governor, threads);
             if (!sat.ok()) return sat.status();
             r.decided = *sat;
             break;
           }
           case HomTask::kWitness: {
-            auto w = AcyclicWitness(q, b, ys, governor);
+            auto w = AcyclicWitness(q, b, ys, governor, threads);
             if (!w.ok()) return w.status();
             r.decided = w->has_value();
             if (w->has_value()) r.witness = *std::move(*w);
             break;
           }
           case HomTask::kCount: {
-            auto c = AcyclicCount(q, b, options_.count_limit, ys, governor);
+            auto c = AcyclicCount(q, b, options_.count_limit, ys, governor,
+                                  threads);
             if (!c.ok()) return c.status();
             r.count = *c;
             break;
           }
           case HomTask::kEnumerate: {
-            auto rows =
-                AcyclicEnumerate(q, b, options_.max_results, ys, governor);
+            auto rows = AcyclicEnumerate(q, b, options_.max_results, ys,
+                                         governor, threads);
             if (!rows.ok()) return rows.status();
             r.rows = *std::move(rows);
             r.count = r.rows.size();
@@ -310,9 +312,16 @@ Result<EngineResult> HomEngine::Run(const HomProblem& problem,
           }
           case HomTask::kProject: {
             std::span<const Element> proj = problem.projection();
-            auto rows = AcyclicProject(
-                q, b, std::vector<VarId>(proj.begin(), proj.end()),
-                options_.max_results, ys, governor);
+            std::vector<VarId> pvars(proj.begin(), proj.end());
+            if (options_.project_count_only) {
+              auto c = AcyclicProjectCount(q, b, pvars, options_.count_limit,
+                                           ys, governor, threads);
+              if (!c.ok()) return c.status();
+              r.count = *c;
+              break;
+            }
+            auto rows = AcyclicProject(q, b, pvars, options_.max_results, ys,
+                                       governor, threads);
             if (!rows.ok()) return rows.status();
             r.rows = *std::move(rows);
             r.count = r.rows.size();
@@ -329,7 +338,8 @@ Result<EngineResult> HomEngine::Run(const HomProblem& problem,
         }
         CQCS_RETURN_IF_ERROR(problem.EnsureSourceDecomposition(governor));
         auto h = SolveViaTreeDecomposition(a, b, problem.SourceDecomposition(),
-                                           &r.stats.treewidth, governor);
+                                           &r.stats.treewidth, governor,
+                                           options_.solve.num_threads);
         if (!h.ok()) return h.status();
         r.stats.used_treewidth = true;
         r.decided = h->has_value();
@@ -390,6 +400,14 @@ Result<EngineResult> HomEngine::Run(const HomProblem& problem,
             r.count = r.rows.size();
             break;
           case HomTask::kProject:
+            if (options_.project_count_only) {
+              r.count = solver
+                            .EnumerateProjections(problem.projection(),
+                                                  options_.count_limit,
+                                                  &r.stats.search)
+                            .size();
+              break;
+            }
             r.rows = solver.EnumerateProjections(
                 problem.projection(), options_.max_results, &r.stats.search);
             r.count = r.rows.size();
@@ -510,7 +528,10 @@ std::string EngineStats::ToJson() const {
   if (used_treewidth) {
     out << "{\"width\":" << treewidth.width
         << ",\"table_entries\":" << treewidth.table_entries
-        << ",\"table_rows\":" << treewidth.table_rows << "}";
+        << ",\"table_rows\":" << treewidth.table_rows
+        << ",\"workers\":" << treewidth.workers
+        << ",\"morsels\":" << treewidth.morsels
+        << ",\"steals\":" << treewidth.steals << "}";
   } else {
     out << "null";
   }
@@ -521,7 +542,10 @@ std::string EngineStats::ToJson() const {
         << ",\"max_table_rows\":" << yannakakis.max_table_rows
         << ",\"semijoins\":" << yannakakis.semijoins
         << ",\"rows_pruned\":" << yannakakis.rows_pruned
-        << ",\"join_rows\":" << yannakakis.join_rows << "}";
+        << ",\"join_rows\":" << yannakakis.join_rows
+        << ",\"workers\":" << yannakakis.workers
+        << ",\"morsels\":" << yannakakis.morsels
+        << ",\"steals\":" << yannakakis.steals << "}";
   } else {
     out << "null";
   }

@@ -89,6 +89,13 @@ struct EngineOptions {
   size_t count_limit = SIZE_MAX;
   /// HomTask::kProject / kEnumerate stop after this many rows.
   size_t max_results = SIZE_MAX;
+  /// HomTask::kProject only: report the distinct-row count (saturated at
+  /// count_limit) in EngineResult::count and return no rows. The acyclic
+  /// route then skips the cross-product assembly entirely
+  /// (AcyclicProjectCount: reduced-forest row-count product instead of
+  /// materialize-then-dedup); other backends enumerate up to count_limit
+  /// projections and discard the rows.
+  bool project_count_only = false;
 
   // -- Resource governance (common/governor.h). When any of the four knobs
   // below is set, Run() builds a per-request ResourceGovernor and threads

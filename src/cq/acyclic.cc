@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/governor.h"
 #include "common/saturating.h"
+#include "common/work_pool.h"
 #include "cq/canonical.h"
 #include "cq/gyo.h"
 #include "rel/hash_index.h"
@@ -25,11 +26,38 @@ using rel::Table;
 /// caller asks for. After Prepare(/*full_reduce=*/true) every surviving
 /// row of every table participates in at least one solution — the
 /// invariant all four task phases lean on.
+///
+/// Parallelism (num_threads > 1): per-atom materialization runs distinct
+/// (relation, layout) groups concurrently, the semijoin sweeps and join
+/// phase morsel-parallelize inside rel::Semijoin / rel::HashJoinAppend,
+/// the count DP splits its per-parent-row loop (disjoint cnt writes), and
+/// the match indexes build one-per-node concurrently — all on the shared
+/// MorselPool. Every phase merges or checks results at deterministic
+/// structural boundaries (atom order, node order, morsel order), so the
+/// answer AND the stats (minus workers/steals) match the sequential run
+/// byte for byte. The enumeration walk and ProjectDistinct stay
+/// sequential: their outputs are defined by global first-occurrence
+/// order.
 class Yannakakis {
  public:
   Yannakakis(const ConjunctiveQuery& q, const Structure& d,
-             YannakakisStats* stats, ResourceGovernor* governor = nullptr)
-      : q_(q), d_(d), stats_(stats), gov_(governor) {}
+             YannakakisStats* stats, ResourceGovernor* governor = nullptr,
+             unsigned num_threads = 1)
+      : q_(q),
+        d_(d),
+        stats_(stats),
+        gov_(governor),
+        threads_(ResolveThreadCount(num_threads)) {}
+
+  /// Worker/morsel/steal counters flush on destruction so every entry
+  /// point (including error unwinds) reports what actually ran.
+  ~Yannakakis() {
+    if (stats_ != nullptr) {
+      stats_->workers = threads_;
+      stats_->morsels += mc_.morsels;
+      stats_->steals += mc_.steals;
+    }
+  }
 
   /// Validates, runs GYO, materializes, and semijoin-reduces (bottom-up
   /// only for decide; + top-down and match indexes for the full program).
@@ -53,8 +81,24 @@ class Yannakakis {
   Result<std::vector<std::vector<Element>>> Project(
       std::span<const VarId> proj, size_t max_results);
 
+  /// min(#distinct projections onto `proj`, limit) via the same bottom-up
+  /// reduction as Project, without assembling the cross product.
+  Result<size_t> ProjectCount(std::span<const VarId> proj, size_t limit);
+
  private:
-  Status MaterializeAtom(size_t i);
+  Status MaterializeAll();
+  /// Materializes atom `i`'s table (a group representative: no memo hit).
+  /// Thread-safe against other groups — writes only tables_[i] and the
+  /// governor's atomic accounting.
+  Status MaterializeGroup(size_t i, const std::vector<uint32_t>& col_of_arg);
+  /// The bottom-up join-project pass shared by Project and ProjectCount:
+  /// fills r_table/r_cols per node (see Project for the invariants).
+  Status ProjectReduce(std::span<const VarId> proj,
+                       std::vector<Table>* r_table,
+                       std::vector<std::vector<VarId>>* r_cols);
+  /// Threading knobs handed to the rel/ operators: shared counter sink,
+  /// default morsel size.
+  rel::OpParallel Par() { return {threads_, 0, &mc_}; }
   /// Stride poll for the row loops: consults the governor every 1024th
   /// call. Ungoverned runs pay one branch.
   Status PollTick() {
@@ -84,7 +128,10 @@ class Yannakakis {
   const Structure& d_;
   YannakakisStats* stats_;
   ResourceGovernor* gov_;
-  uint64_t tick_ = 0;  // PollTick stride counter
+  unsigned threads_ = 1;   // resolved worker count
+  MorselCounters mc_;      // merged from every dispatch; flushed in dtor
+  uint64_t tick_ = 0;  // PollTick stride counter (single-threaded phases
+                       // only — parallel bodies keep a local stride)
 
   size_t m_ = 0;
   JoinTree tree_;
@@ -141,9 +188,12 @@ Status Yannakakis::Prepare(bool full_reduce) {
   }
 
   vars_.resize(m_);
-  tables_.reserve(m_);
+  tables_.resize(m_);
+  CQCS_RETURN_IF_ERROR(MaterializeAll());
+  // Emptiness is decided after every atom materialized, in atom order:
+  // the same tables (and the same stats) exist at every thread count, and
+  // satisfiable_ flips on the same first-empty atom.
   for (size_t i = 0; i < m_; ++i) {
-    CQCS_RETURN_IF_ERROR(MaterializeAtom(i));
     if (tables_[i].empty()) {
       satisfiable_ = false;
       return Status::OK();
@@ -213,7 +263,7 @@ Status Yannakakis::Prepare(bool full_reduce) {
                 shared_child_cols_[node]);
     size_t removed =
         rel::Semijoin(tables_[p], shared_parent_cols_[node], tables_[node],
-                      index, gov_);
+                      index, gov_, Par());
     if (stats_ != nullptr) {
       ++stats_->semijoins;
       stats_->rows_pruned += removed;
@@ -241,7 +291,7 @@ Status Yannakakis::Prepare(bool full_reduce) {
                   shared_parent_cols_[child]);
       size_t removed = rel::Semijoin(tables_[child],
                                      shared_child_cols_[child],
-                                     tables_[node], index, gov_);
+                                     tables_[node], index, gov_, Par());
       if (stats_ != nullptr) {
         ++stats_->semijoins;
         stats_->rows_pruned += removed;
@@ -251,15 +301,25 @@ Status Yannakakis::Prepare(bool full_reduce) {
     }
   }
 
-  // Final match indexes for the task phases.
+  // Final match indexes for the task phases. Builds are independent per
+  // node (disjoint match_index_ slots), so they run as node-range morsels
+  // on the shared pool.
   match_index_.resize(m_);
-  for (uint32_t node = 0; node < m_; ++node) {
-    if (tree_.parent[node] == JoinTree::kNoParent) continue;
-    if (gov_ != nullptr) CQCS_RETURN_IF_ERROR(gov_->Poll());
-    match_index_[node].AttachGovernor(gov_);
-    match_index_[node].Build(tables_[node].data(), tables_[node].width(),
-                             static_cast<uint32_t>(tables_[node].row_count()),
-                             shared_child_cols_[node]);
+  {
+    auto body = [&](unsigned, size_t begin, size_t end) {
+      for (size_t node = begin; node < end; ++node) {
+        if (tree_.parent[node] == JoinTree::kNoParent) continue;
+        if (gov_ != nullptr && !gov_->Poll().ok()) return false;
+        match_index_[node].AttachGovernor(gov_);
+        match_index_[node].Build(
+            tables_[node].data(), tables_[node].width(),
+            static_cast<uint32_t>(tables_[node].row_count()),
+            shared_child_cols_[node]);
+      }
+      return true;
+    };
+    mc_.MergeFrom(MorselPool::Shared().Run(m_, threads_, 64, body));
+    if (gov_ != nullptr) CQCS_RETURN_IF_ERROR(gov_->TripStatus());
   }
 
   // Forest pre-order for the enumeration walk (parents before children).
@@ -269,41 +329,75 @@ Status Yannakakis::Prepare(bool full_reduce) {
   return Status::OK();
 }
 
-Status Yannakakis::MaterializeAtom(size_t i) {
-  const Atom& atom = q_.atoms()[i];
-  std::vector<VarId>& vars = vars_[i];
-  vars.assign(atom.args.begin(), atom.args.end());
-  std::sort(vars.begin(), vars.end());
-  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
-
-  const uint32_t width = static_cast<uint32_t>(vars.size());
-
-  // Argument position -> column.
-  std::vector<uint32_t> col_of_arg(atom.args.size());
-  for (size_t p = 0; p < atom.args.size(); ++p) {
-    col_of_arg[p] = static_cast<uint32_t>(
-        std::lower_bound(vars.begin(), vars.end(), atom.args[p]) -
-        vars.begin());
+Status Yannakakis::MaterializeAll() {
+  // Pass 1 (sequential, query-shaped): column layouts and memo grouping.
+  // col_of_arg determines the initial table completely (it encodes both
+  // the column layout and the repeated-variable equalities), so atoms
+  // sharing a (relation, map) key form one materialization group —
+  // canonical queries repeat one pattern per relation across thousands of
+  // atoms.
+  std::vector<std::vector<uint32_t>> col_of_arg(m_);
+  std::vector<size_t> rep(m_);      // group representative per atom
+  std::vector<size_t> group_reps;   // distinct representatives
+  // cqcs-lint: allow(unpolled-loop): bounded by query shape (atoms * arity), not data
+  for (size_t i = 0; i < m_; ++i) {
+    const Atom& atom = q_.atoms()[i];
+    std::vector<VarId>& vars = vars_[i];
+    vars.assign(atom.args.begin(), atom.args.end());
+    std::sort(vars.begin(), vars.end());
+    vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+    col_of_arg[i].resize(atom.args.size());
+    for (size_t p = 0; p < atom.args.size(); ++p) {
+      col_of_arg[i][p] = static_cast<uint32_t>(
+          std::lower_bound(vars.begin(), vars.end(), atom.args[p]) -
+          vars.begin());
+    }
+    auto [it, inserted] = materialize_memo_.emplace(
+        std::make_pair(atom.rel, col_of_arg[i]), i);
+    rep[i] = it->second;
+    if (inserted) group_reps.push_back(i);
   }
 
-  // col_of_arg determines the initial table completely (it encodes both
-  // the column layout and the repeated-variable equalities), so a previous
-  // atom with the same (relation, map) already materialized these rows.
-  auto memo_key = std::make_pair(atom.rel, col_of_arg);
-  auto memo = materialize_memo_.find(memo_key);
-  if (memo != materialize_memo_.end()) {
-    Table copy = tables_[memo->second];
-    tables_.push_back(std::move(copy));
+  // Pass 2: materialize the distinct groups. Groups are independent
+  // (disjoint tables_ slots, atomic governor accounting), so each runs as
+  // a one-group morsel on the shared pool; a governor trip in one cancels
+  // the unclaimed rest.
+  std::vector<Status> group_status(group_reps.size(), Status::OK());
+  auto body = [&](unsigned, size_t begin, size_t end) {
+    bool ok = true;
+    for (size_t g = begin; g < end; ++g) {
+      Status s = MaterializeGroup(group_reps[g], col_of_arg[group_reps[g]]);
+      if (!s.ok()) {
+        group_status[g] = std::move(s);
+        ok = false;
+      }
+    }
+    return ok;
+  };
+  mc_.MergeFrom(
+      MorselPool::Shared().Run(group_reps.size(), threads_, 1, body));
+  for (const Status& s : group_status) {
+    if (!s.ok()) return s;
+  }
+
+  // Pass 3 (sequential, atom order): copy memo hits, accumulate stats.
+  for (size_t i = 0; i < m_; ++i) {
+    if (rep[i] != i) tables_[i] = tables_[rep[i]];  // re-charges via copy
     if (stats_ != nullptr) {
       ++stats_->atom_tables;
-      stats_->rows_materialized += tables_.back().row_count();
+      stats_->rows_materialized += tables_[i].row_count();
     }
-    BumpTable(tables_.back().row_count());
-    return Status::OK();
+    BumpTable(tables_[i].row_count());
   }
+  return Status::OK();
+}
 
-  tables_.emplace_back(width);
-  Table& table = tables_.back();
+Status Yannakakis::MaterializeGroup(size_t i,
+                                    const std::vector<uint32_t>& col_of_arg) {
+  const Atom& atom = q_.atoms()[i];
+  const uint32_t width = static_cast<uint32_t>(vars_[i].size());
+  tables_[i] = Table(width);
+  Table& table = tables_[i];
   table.AttachGovernor(gov_);
   HashIndex dedup;
   dedup.AttachGovernor(gov_);
@@ -313,8 +407,11 @@ Status Yannakakis::MaterializeAtom(size_t i) {
 
   const Relation& rel = d_.relation(atom.rel);
   std::vector<Element> row(width);
+  uint64_t tick = 0;  // local stride: groups poll concurrently
   for (uint32_t t = 0; t < rel.tuple_count(); ++t) {
-    CQCS_RETURN_IF_ERROR(PollTick());
+    if (gov_ != nullptr && (++tick & 1023) == 0) {
+      CQCS_RETURN_IF_ERROR(gov_->Poll());
+    }
     std::span<const Element> tup = rel.tuple(t);
     // Repeated variables must see equal values.
     bool ok = true;
@@ -329,12 +426,6 @@ Status Yannakakis::MaterializeAtom(size_t i) {
     table.AppendRow(row);
     dedup.Add(table.data(), static_cast<uint32_t>(table.row_count() - 1));
   }
-  if (stats_ != nullptr) {
-    ++stats_->atom_tables;
-    stats_->rows_materialized += table.row_count();
-  }
-  BumpTable(table.row_count());
-  materialize_memo_.emplace(std::move(memo_key), i);
   return Status::OK();
 }
 
@@ -434,26 +525,40 @@ Status Yannakakis::Enumerate(size_t max_results,
 Result<size_t> Yannakakis::Count(size_t limit) {
   CQCS_CHECK(satisfiable_);
   // Bottom-up product/sum DP: cnt[node][r] = number of assignments of
-  // node's subtree variables extending row r.
+  // node's subtree variables extending row r. The (node, child) order is
+  // a data dependency; the per-parent-row loop inside one pair is not —
+  // each row r writes only cnt[node][r] — so it splits into row morsels.
+  // Saturation makes each cnt entry depend only on the child's finished
+  // column, never on neighbors, so the parallel result is bitwise the
+  // sequential one.
   std::vector<std::vector<size_t>> cnt(m_);
-  std::vector<Element> key;
   for (uint32_t node : order_) {
     const Table& table = tables_[node];
     cnt[node].assign(table.row_count(), 1);
     for (uint32_t child : children_[node]) {
       const Table& ct = tables_[child];
-      for (uint32_t r = 0; r < table.row_count(); ++r) {
-        CQCS_RETURN_IF_ERROR(PollTick());
-        std::span<const Element> row = table.row(r);
-        key.clear();
-        for (uint32_t c : shared_parent_cols_[child]) key.push_back(row[c]);
-        size_t sum = 0;
-        for (uint32_t s = match_index_[child].FindFirst(ct.data(), key);
-             s != HashIndex::kNone; s = match_index_[child].Next(s)) {
-          sum = SatAdd(sum, cnt[child][s], limit);
+      auto body = [&](unsigned, size_t begin, size_t end) {
+        std::vector<Element> key;
+        for (size_t r = begin; r < end; ++r) {
+          if (gov_ != nullptr && ((r - begin) & 1023) == 0 &&
+              !gov_->Poll().ok()) {
+            return false;
+          }
+          std::span<const Element> row = table.row(r);
+          key.clear();
+          for (uint32_t c : shared_parent_cols_[child]) key.push_back(row[c]);
+          size_t sum = 0;
+          for (uint32_t s = match_index_[child].FindFirst(ct.data(), key);
+               s != HashIndex::kNone; s = match_index_[child].Next(s)) {
+            sum = SatAdd(sum, cnt[child][s], limit);
+          }
+          cnt[node][r] = SatMul(cnt[node][r], sum, limit);
         }
-        cnt[node][r] = SatMul(cnt[node][r], sum, limit);
-      }
+        return true;
+      };
+      mc_.MergeFrom(
+          MorselPool::Shared().Run(table.row_count(), threads_, 0, body));
+      if (gov_ != nullptr) CQCS_RETURN_IF_ERROR(gov_->TripStatus());
     }
   }
   size_t total = 1;
@@ -469,13 +574,9 @@ Result<size_t> Yannakakis::Count(size_t limit) {
   return total;
 }
 
-Result<std::vector<std::vector<Element>>> Yannakakis::Project(
-    std::span<const VarId> proj, size_t max_results) {
-  CQCS_CHECK(satisfiable_);
-  std::vector<std::vector<Element>> results;
-  if (max_results == 0) return results;
-  if (d_.universe_size() == 0 && q_.var_count() > 0) return results;
-
+Status Yannakakis::ProjectReduce(std::span<const VarId> proj,
+                                 std::vector<Table>* r_table,
+                                 std::vector<std::vector<VarId>>* r_cols) {
   std::vector<uint8_t> in_proj(q_.var_count(), 0);
   for (VarId v : proj) in_proj[v] = 1;
 
@@ -483,9 +584,9 @@ Result<std::vector<std::vector<Element>>> Yannakakis::Project(
   // node's subtree joins onto (projection vars of the subtree) ∪
   // (connector vars to the parent). Intermediates never hold a column
   // that neither the output nor a later join needs, which is what keeps
-  // them output-bounded.
-  std::vector<Table> r_table(m_);
-  std::vector<std::vector<VarId>> r_cols(m_);
+  // them output-bounded. The joins morsel-parallelize inside
+  // HashJoinAppend; the per-node dedup stays sequential (first-occurrence
+  // order defines it).
   HashIndex index, scratch;
   index.AttachGovernor(gov_);
   scratch.AttachGovernor(gov_);
@@ -506,8 +607,8 @@ Result<std::vector<std::vector<Element>>> Yannakakis::Project(
             std::find(cur_cols.begin(), cur_cols.end(), v) -
             cur_cols.begin()));
       }
-      for (size_t i = 0; i < r_cols[child].size(); ++i) {
-        VarId v = r_cols[child][i];
+      for (size_t i = 0; i < (*r_cols)[child].size(); ++i) {
+        VarId v = (*r_cols)[child][i];
         if (std::find(shared.begin(), shared.end(), v) != shared.end()) {
           continue;
         }
@@ -516,16 +617,16 @@ Result<std::vector<std::vector<Element>>> Yannakakis::Project(
       }
       for (VarId v : shared) {
         right_key.push_back(static_cast<uint32_t>(
-            std::find(r_cols[child].begin(), r_cols[child].end(), v) -
-            r_cols[child].begin()));
+            std::find((*r_cols)[child].begin(), (*r_cols)[child].end(), v) -
+            (*r_cols)[child].begin()));
       }
-      index.Build(r_table[child].data(), r_table[child].width(),
-                  static_cast<uint32_t>(r_table[child].row_count()),
+      index.Build((*r_table)[child].data(), (*r_table)[child].width(),
+                  static_cast<uint32_t>((*r_table)[child].row_count()),
                   right_key);
       Table next(static_cast<uint32_t>(cur.width() + extras.size()));
       next.AttachGovernor(gov_);
-      rel::HashJoinAppend(cur, left_key, r_table[child], index, extras,
-                          &next, gov_);
+      rel::HashJoinAppend(cur, left_key, (*r_table)[child], index, extras,
+                          &next, gov_, Par());
       cur = std::move(next);
       cur_cols.insert(cur_cols.end(), extra_vars.begin(), extra_vars.end());
       if (stats_ != nullptr) stats_->join_rows += cur.row_count();
@@ -546,14 +647,30 @@ Result<std::vector<std::vector<Element>>> Yannakakis::Project(
         keep_vars.push_back(v);
       }
     }
-    r_table[node] = Table(static_cast<uint32_t>(keep_cols.size()));
-    r_table[node].AttachGovernor(gov_);
-    rel::ProjectDistinct(cur, keep_cols, &r_table[node], &scratch, SIZE_MAX,
-                         gov_);
-    r_cols[node] = std::move(keep_vars);
-    BumpTable(r_table[node].row_count());
+    (*r_table)[node] = Table(static_cast<uint32_t>(keep_cols.size()));
+    (*r_table)[node].AttachGovernor(gov_);
+    rel::ProjectDistinct(cur, keep_cols, &(*r_table)[node], &scratch,
+                         SIZE_MAX, gov_);
+    (*r_cols)[node] = std::move(keep_vars);
+    BumpTable((*r_table)[node].row_count());
     if (gov_ != nullptr) CQCS_RETURN_IF_ERROR(gov_->TripStatus());
   }
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<Element>>> Yannakakis::Project(
+    std::span<const VarId> proj, size_t max_results) {
+  CQCS_CHECK(satisfiable_);
+  std::vector<std::vector<Element>> results;
+  if (max_results == 0) return results;
+  if (d_.universe_size() == 0 && q_.var_count() > 0) return results;
+
+  std::vector<uint8_t> in_proj(q_.var_count(), 0);
+  for (VarId v : proj) in_proj[v] = 1;
+
+  std::vector<Table> r_table(m_);
+  std::vector<std::vector<VarId>> r_cols(m_);
+  CQCS_RETURN_IF_ERROR(ProjectReduce(proj, &r_table, &r_cols));
 
   // Assemble output rows: a cross product over the per-tree results and
   // the isolated projection variables (each tree's rows are distinct on
@@ -599,6 +716,32 @@ Result<std::vector<std::vector<Element>>> Yannakakis::Project(
   return results;
 }
 
+Result<size_t> Yannakakis::ProjectCount(std::span<const VarId> proj,
+                                        size_t limit) {
+  CQCS_CHECK(satisfiable_);
+  if (limit == 0) return size_t{0};
+  if (d_.universe_size() == 0 && q_.var_count() > 0) return size_t{0};
+
+  std::vector<Table> r_table(m_);
+  std::vector<std::vector<VarId>> r_cols(m_);
+  CQCS_RETURN_IF_ERROR(ProjectReduce(proj, &r_table, &r_cols));
+
+  // No cross-product assembly: a root's reduced table is exactly the
+  // distinct projections of its tree's variables (its connector set is
+  // empty), trees share no projection variables, and isolated projection
+  // variables range freely — so the count is a plain saturated product.
+  std::vector<uint8_t> in_proj(q_.var_count(), 0);
+  for (VarId v : proj) in_proj[v] = 1;
+  size_t total = 1;
+  for (uint32_t root : roots_) {
+    total = SatMul(total, r_table[root].row_count(), limit);
+  }
+  for (VarId v : isolated_) {
+    if (in_proj[v]) total = SatMul(total, d_.universe_size(), limit);
+  }
+  return total;
+}
+
 }  // namespace
 
 bool IsAcyclicQuery(const ConjunctiveQuery& q) {
@@ -628,8 +771,9 @@ Status FinalTrip(ResourceGovernor* governor) {
 Result<bool> EvaluateBooleanAcyclic(const ConjunctiveQuery& q,
                                     const Structure& d,
                                     YannakakisStats* stats,
-                                    ResourceGovernor* governor) {
-  Yannakakis run(q, d, stats, governor);
+                                    ResourceGovernor* governor,
+                                    unsigned num_threads) {
+  Yannakakis run(q, d, stats, governor, num_threads);
   CQCS_RETURN_IF_ERROR(run.Prepare(/*full_reduce=*/false));
   CQCS_RETURN_IF_ERROR(FinalTrip(governor));
   return run.satisfiable();
@@ -637,8 +781,8 @@ Result<bool> EvaluateBooleanAcyclic(const ConjunctiveQuery& q,
 
 Result<std::optional<std::vector<Element>>> AcyclicWitness(
     const ConjunctiveQuery& q, const Structure& d, YannakakisStats* stats,
-    ResourceGovernor* governor) {
-  Yannakakis run(q, d, stats, governor);
+    ResourceGovernor* governor, unsigned num_threads) {
+  Yannakakis run(q, d, stats, governor, num_threads);
   CQCS_RETURN_IF_ERROR(run.Prepare(/*full_reduce=*/true));
   if (!run.satisfiable()) {
     CQCS_RETURN_IF_ERROR(FinalTrip(governor));
@@ -653,8 +797,9 @@ Result<std::optional<std::vector<Element>>> AcyclicWitness(
 
 Result<size_t> AcyclicCount(const ConjunctiveQuery& q, const Structure& d,
                             size_t limit, YannakakisStats* stats,
-                            ResourceGovernor* governor) {
-  Yannakakis run(q, d, stats, governor);
+                            ResourceGovernor* governor,
+                            unsigned num_threads) {
+  Yannakakis run(q, d, stats, governor, num_threads);
   CQCS_RETURN_IF_ERROR(run.Prepare(/*full_reduce=*/true));
   if (!run.satisfiable()) {
     CQCS_RETURN_IF_ERROR(FinalTrip(governor));
@@ -668,8 +813,9 @@ Result<size_t> AcyclicCount(const ConjunctiveQuery& q, const Structure& d,
 
 Result<std::vector<std::vector<Element>>> AcyclicEnumerate(
     const ConjunctiveQuery& q, const Structure& d, size_t max_results,
-    YannakakisStats* stats, ResourceGovernor* governor) {
-  Yannakakis run(q, d, stats, governor);
+    YannakakisStats* stats, ResourceGovernor* governor,
+    unsigned num_threads) {
+  Yannakakis run(q, d, stats, governor, num_threads);
   CQCS_RETURN_IF_ERROR(run.Prepare(/*full_reduce=*/true));
   std::vector<std::vector<Element>> out;
   if (!run.satisfiable()) {
@@ -684,13 +830,14 @@ Result<std::vector<std::vector<Element>>> AcyclicEnumerate(
 Result<std::vector<std::vector<Element>>> AcyclicProject(
     const ConjunctiveQuery& q, const Structure& d,
     std::span<const VarId> projection, size_t max_results,
-    YannakakisStats* stats, ResourceGovernor* governor) {
+    YannakakisStats* stats, ResourceGovernor* governor,
+    unsigned num_threads) {
   for (VarId v : projection) {
     if (v >= q.var_count()) {
       return Status::InvalidArgument("projection variable out of range");
     }
   }
-  Yannakakis run(q, d, stats, governor);
+  Yannakakis run(q, d, stats, governor, num_threads);
   CQCS_RETURN_IF_ERROR(run.Prepare(/*full_reduce=*/true));
   if (!run.satisfiable()) {
     CQCS_RETURN_IF_ERROR(FinalTrip(governor));
@@ -701,6 +848,29 @@ Result<std::vector<std::vector<Element>>> AcyclicProject(
   if (!rows.ok()) return rows;
   CQCS_RETURN_IF_ERROR(FinalTrip(governor));
   return rows;
+}
+
+Result<size_t> AcyclicProjectCount(const ConjunctiveQuery& q,
+                                   const Structure& d,
+                                   std::span<const VarId> projection,
+                                   size_t limit, YannakakisStats* stats,
+                                   ResourceGovernor* governor,
+                                   unsigned num_threads) {
+  for (VarId v : projection) {
+    if (v >= q.var_count()) {
+      return Status::InvalidArgument("projection variable out of range");
+    }
+  }
+  Yannakakis run(q, d, stats, governor, num_threads);
+  CQCS_RETURN_IF_ERROR(run.Prepare(/*full_reduce=*/true));
+  if (!run.satisfiable()) {
+    CQCS_RETURN_IF_ERROR(FinalTrip(governor));
+    return size_t{0};
+  }
+  Result<size_t> count = run.ProjectCount(projection, limit);
+  if (!count.ok()) return count;
+  CQCS_RETURN_IF_ERROR(FinalTrip(governor));
+  return count;
 }
 
 Result<bool> AcyclicContainment(const ConjunctiveQuery& q1,

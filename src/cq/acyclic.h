@@ -44,7 +44,11 @@ struct JoinTree {
 
 /// Counters from one Yannakakis run, surfaced through EngineStats and
 /// `hom_tool --explain`. `max_table_rows` is the output-boundedness
-/// witness: the largest table the run ever held.
+/// witness: the largest table the run ever held. The worker/morsel/steal
+/// trio describes the morsel-parallel dispatches (common/work_pool.h):
+/// `workers` and `morsels` are deterministic for a given input and thread
+/// count (morsel decomposition depends only on table sizes); `steals` is
+/// scheduling-dependent and excluded from thread-invariance oracles.
 struct YannakakisStats {
   uint64_t atom_tables = 0;       ///< tables materialized (one per atom)
   uint64_t rows_materialized = 0; ///< distinct rows loaded into atom tables
@@ -52,6 +56,9 @@ struct YannakakisStats {
   uint64_t semijoins = 0;         ///< semijoin operator applications
   uint64_t rows_pruned = 0;       ///< rows removed by the semijoin passes
   uint64_t join_rows = 0;         ///< rows produced by the projection phase
+  unsigned workers = 0;           ///< resolved worker count of the run
+  uint64_t morsels = 0;           ///< morsel dispatches across all passes
+  uint64_t steals = 0;            ///< morsels run by pool (non-calling) threads
 };
 
 /// True iff the query's hypergraph is α-acyclic (GYO reduces it away).
@@ -66,15 +73,23 @@ Result<JoinTree> BuildJoinTree(const ConjunctiveQuery& q);
 /// outside every atom do not constrain the answer). Errors:
 /// InvalidArgument for cyclic queries or vocabulary mismatch.
 ///
-/// All five evaluation entry points accept an optional per-request
+/// All evaluation entry points accept an optional per-request
 /// ResourceGovernor (common/governor.h): the materialization, semijoin,
 /// and task phases poll it on a row/node stride and charge table growth
 /// against its memory budget; a trip unwinds with kResourceExhausted and
 /// no partial output.
+///
+/// They also take `num_threads` (same convention as
+/// SolveOptions::num_threads: 1 = sequential, 0 = one per hardware
+/// thread, N = N workers): the materialization, semijoin, count-DP, and
+/// join phases then run as morsels on the shared MorselPool. Results and
+/// all stats except workers/steals are byte-identical at every thread
+/// count — parallelism changes wall-clock, never the answer.
 Result<bool> EvaluateBooleanAcyclic(const ConjunctiveQuery& q,
                                     const Structure& d,
                                     YannakakisStats* stats = nullptr,
-                                    ResourceGovernor* governor = nullptr);
+                                    ResourceGovernor* governor = nullptr,
+                                    unsigned num_threads = 1);
 
 // -- Assignment-level tasks. -----------------------------------------------
 //
@@ -87,7 +102,8 @@ Result<bool> EvaluateBooleanAcyclic(const ConjunctiveQuery& q,
 /// One satisfying assignment (indexed by VarId), or nullopt.
 Result<std::optional<std::vector<Element>>> AcyclicWitness(
     const ConjunctiveQuery& q, const Structure& d,
-    YannakakisStats* stats = nullptr, ResourceGovernor* governor = nullptr);
+    YannakakisStats* stats = nullptr, ResourceGovernor* governor = nullptr,
+    unsigned num_threads = 1);
 
 /// Number of satisfying assignments, saturated at `limit` (the result is
 /// min(true count, limit), so callers can cap astronomically large
@@ -95,7 +111,8 @@ Result<std::optional<std::vector<Element>>> AcyclicWitness(
 Result<size_t> AcyclicCount(const ConjunctiveQuery& q, const Structure& d,
                             size_t limit = SIZE_MAX,
                             YannakakisStats* stats = nullptr,
-                            ResourceGovernor* governor = nullptr);
+                            ResourceGovernor* governor = nullptr,
+                            unsigned num_threads = 1);
 
 /// Up to max_results satisfying assignments, each indexed by VarId.
 /// Output-bounded: the reduced tables contain no dead rows, so the walk
@@ -103,7 +120,7 @@ Result<size_t> AcyclicCount(const ConjunctiveQuery& q, const Structure& d,
 Result<std::vector<std::vector<Element>>> AcyclicEnumerate(
     const ConjunctiveQuery& q, const Structure& d,
     size_t max_results = SIZE_MAX, YannakakisStats* stats = nullptr,
-    ResourceGovernor* governor = nullptr);
+    ResourceGovernor* governor = nullptr, unsigned num_threads = 1);
 
 /// Distinct projections of the satisfying assignments onto `projection`
 /// (a list of VarIds, repeats allowed), up to max_results rows. This is
@@ -114,7 +131,25 @@ Result<std::vector<std::vector<Element>>> AcyclicEnumerate(
 Result<std::vector<std::vector<Element>>> AcyclicProject(
     const ConjunctiveQuery& q, const Structure& d,
     std::span<const VarId> projection, size_t max_results = SIZE_MAX,
-    YannakakisStats* stats = nullptr, ResourceGovernor* governor = nullptr);
+    YannakakisStats* stats = nullptr, ResourceGovernor* governor = nullptr,
+    unsigned num_threads = 1);
+
+/// min(#distinct projections onto `projection`, limit) — the count
+/// AcyclicProject's rows would have, without materializing them. Runs the
+/// same bottom-up join-project reduction (per-node hash-set dedup keeps
+/// intermediates output-bounded) and then multiplies root-table row
+/// counts instead of assembling the cross product: per join-forest tree
+/// the reduced root rows are distinct projections of that tree's
+/// variables, so the product — times universe^|isolated projection vars|
+/// — is exactly the distinct-row count, saturated at `limit`. Errors
+/// mirror AcyclicProject.
+Result<size_t> AcyclicProjectCount(const ConjunctiveQuery& q,
+                                   const Structure& d,
+                                   std::span<const VarId> projection,
+                                   size_t limit = SIZE_MAX,
+                                   YannakakisStats* stats = nullptr,
+                                   ResourceGovernor* governor = nullptr,
+                                   unsigned num_threads = 1);
 
 /// Containment Q1 ⊆ Q2 for acyclic Q2, in polynomial time. Q1 is
 /// arbitrary. Errors mirror Contains(), plus InvalidArgument when Q2

@@ -186,4 +186,33 @@ uint32_t HashIndex::FindFirst(const Element* base,
   return kNone;
 }
 
+void HashIndex::FindFirstBatch(const Element* base, ProbeBatch* batch) const {
+  CQCS_CHECK(batch->key_width_ == key_cols_.size());
+  const uint64_t mask = slots_.size() - 1;
+  const size_t n = batch->size();
+  const size_t kw = key_cols_.size();
+  // Pass 1: hash every key, kick off its bucket-line load. The prefetches
+  // are independent, so they all go to memory in parallel while pass 2 is
+  // still working through earlier keys.
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t h = Fnv1a64(batch->key(i), kw);
+    batch->hashes_[i] = h;
+    __builtin_prefetch(&slots_[h & mask], /*rw=*/0, /*locality=*/1);
+  }
+  // Pass 2: resolve, bucket line (usually) already in flight or landed.
+  for (size_t i = 0; i < n; ++i) {
+    size_t slot = batch->hashes_[i] & mask;
+    const std::span<const Element> key(batch->key(i), kw);
+    uint32_t found = kNone;
+    while (slots_[slot] != kNone) {
+      if (RowMatchesKey(base, slots_[slot], key)) {
+        found = slots_[slot];
+        break;
+      }
+      slot = (slot + 1) & mask;
+    }
+    batch->results_[i] = found;
+  }
+}
+
 }  // namespace cqcs::rel

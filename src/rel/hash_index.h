@@ -31,6 +31,67 @@
 
 namespace cqcs::rel {
 
+class HashIndex;
+
+/// A strip of gathered keys probed together against one HashIndex.
+///
+/// Probe-at-a-time FindFirst stalls on one dependent cache miss per key:
+/// hash, then wait for the bucket line. A batch splits that into two
+/// passes — FindFirstBatch hashes every key and issues __builtin_prefetch
+/// on its bucket line, then walks the buckets — so the strip's misses
+/// overlap instead of serializing. That wins even single-threaded; the
+/// morsel-parallel operators additionally keep one batch per worker.
+///
+/// Usage: Reset(key_width) once per (index, operator) pairing, then
+/// gather keys into Append() slots until full(), FindFirstBatch, consume
+/// result(i)/tag(i), Clear(), repeat. Capacity is fixed and small: large
+/// enough to cover DRAM latency with independent loads, small enough that
+/// the key strip and bucket lines stay resident in L1 between the passes.
+class ProbeBatch {
+ public:
+  static constexpr size_t kCapacity = 64;
+
+  /// Prepares for keys of `key_width` cells — must match the size of the
+  /// probed index's key_cols.
+  void Reset(uint32_t key_width) {
+    key_width_ = key_width;
+    keys_.resize(static_cast<size_t>(key_width) * kCapacity);
+    count_ = 0;
+  }
+
+  bool full() const { return count_ == kCapacity; }
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
+  void Clear() { count_ = 0; }
+
+  /// Claims the next key slot: the caller writes key_width cells through
+  /// the returned pointer (gathering straight from its source row) and
+  /// stamps the slot with `tag` (typically that row's id) to reconnect
+  /// results with rows after the probe.
+  Element* Append(uint32_t tag) {
+    tags_[count_] = tag;
+    return keys_.data() + static_cast<size_t>(key_width_) * count_++;
+  }
+
+  uint32_t tag(size_t i) const { return tags_[i]; }
+  /// Valid after HashIndex::FindFirstBatch: first row matching key i, or
+  /// HashIndex::kNone.
+  uint32_t result(size_t i) const { return results_[i]; }
+
+ private:
+  friend class HashIndex;
+  const Element* key(size_t i) const {
+    return keys_.data() + static_cast<size_t>(key_width_) * i;
+  }
+
+  uint32_t key_width_ = 0;
+  size_t count_ = 0;
+  std::vector<Element> keys_;  // kCapacity keys, flat
+  uint64_t hashes_[kCapacity];
+  uint32_t tags_[kCapacity];
+  uint32_t results_[kCapacity];
+};
+
 class HashIndex {
  public:
   static constexpr uint32_t kNone = UINT32_MAX;
@@ -61,6 +122,13 @@ class HashIndex {
   /// First row whose key columns equal `key` (values in key_cols order),
   /// or kNone. Follow with Next() to walk all rows sharing the key.
   uint32_t FindFirst(const Element* base, std::span<const Element> key) const;
+
+  /// Resolves every key in `batch` (results land in batch->result(i)):
+  /// pass 1 hashes all keys and prefetches their bucket lines, pass 2
+  /// linear-probes. Equivalent to FindFirst per key, but the bucket-line
+  /// misses overlap across the strip. The batch's key width must equal
+  /// key_cols().size().
+  void FindFirstBatch(const Element* base, ProbeBatch* batch) const;
 
   /// Next row with the same key as `row`, or kNone.
   uint32_t Next(uint32_t row) const { return next_[row]; }

@@ -384,8 +384,9 @@ Result<EngineResult> ServingEngine::Serve(const ServeRequest& request) {
   std::ostringstream result_key_text;
   result_key_text << "res|" << HomTaskName(request.task)
                   << "|cl=" << options_.engine.count_limit
-                  << "|mr=" << options_.engine.max_results << "|"
-                  << db->target_key << "|" << canonical;
+                  << "|mr=" << options_.engine.max_results
+                  << "|pc=" << (options_.engine.project_count_only ? 1 : 0)
+                  << "|" << db->target_key << "|" << canonical;
   const CacheKey result_key =
       CacheKey::FromCanonical(std::move(result_key_text).str());
   if (options_.result_cache_entries > 0) {

@@ -46,7 +46,10 @@
 //
 // Thread safety: Serve(), UpsertDatabase(), and stats() may be called from
 // concurrent threads. Per-request parallelism (SolveOptions::num_threads)
-// rides the solver's existing work-stealing pool unchanged.
+// rides the solver's work-stealing pool on the uniform route and the shared
+// MorselPool (common/work_pool.h) on the acyclic/treewidth routes; both
+// produce answers identical to a 1-thread run, so cached results are
+// thread-count-agnostic and num_threads stays out of the cache keys.
 //
 // Every served EngineResult carries stats.serve (plan/result hit flags plus
 // an engine-wide snapshot), so `hom_tool --explain`-style consumers see the

@@ -2,13 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <deque>
 #include <thread>
 #include <vector>
 
 #include "common/check.h"
 #include "common/mutex.h"
-#include "common/thread_annotations.h"
+#include "common/work_pool.h"
 #include "solver/search_context.h"
 
 namespace cqcs {
@@ -16,103 +15,11 @@ namespace solver_internal {
 
 namespace {
 
-/// The shared pool plus the idle/termination protocol. Locking discipline:
-/// the mutex guards only pool pushes/pops and the busy/done bookkeeping —
-/// events that happen once per subproblem, not per node. The per-node hot
-/// path (cancellation, split polling, node budget) reads the atomics
-/// mirrored next to it without ever taking the lock.
-class WorkPool {
- public:
-  explicit WorkPool(Subproblem root) {
-    pool_.push_back(std::move(root));
-    pool_size_.store(1, std::memory_order_relaxed);
-  }
-
-  // Each hot atomic on its own cache line: cancel/want_work/pool_size are
-  // read by every worker at every node, and global_nodes (node_limit runs)
-  // is written by every worker at every node — sharing a line would turn
-  // the reads into cross-core misses on each increment.
-  alignas(64) std::atomic<bool> cancel{false};
-  alignas(64) std::atomic<uint32_t> want_work{0};
-  alignas(64) std::atomic<size_t> pool_size_{0};
-  alignas(64) std::atomic<uint64_t> global_nodes{0};
-
-  /// Blocks until a subproblem is available (returns true, with `*sp`
-  /// filled and the caller marked busy) or the search is over — cancelled,
-  /// or pool empty with nobody busy (returns false).
-  bool Acquire(Subproblem* sp) {
-    MutexLock lock(mu_);
-    for (;;) {
-      if (cancel.load(std::memory_order_relaxed) || done_) return false;
-      if (!pool_.empty()) {
-        *sp = std::move(pool_.front());
-        pool_.pop_front();
-        pool_size_.store(pool_.size(), std::memory_order_relaxed);
-        ++pops_;
-        ++busy_;
-        return true;
-      }
-      if (busy_ == 0) {
-        done_ = true;
-        cv_.NotifyAll();
-        return false;
-      }
-      want_work.fetch_add(1, std::memory_order_relaxed);
-      cv_.Wait(mu_, [&] {
-        return cancel.load(std::memory_order_relaxed) || done_ ||
-               !pool_.empty();
-      });
-      want_work.fetch_sub(1, std::memory_order_relaxed);
-    }
-  }
-
-  /// Marks the caller idle again; declares the search done if it drained
-  /// the last work.
-  void Release() {
-    MutexLock lock(mu_);
-    --busy_;
-    if (pool_.empty() && busy_ == 0) {
-      done_ = true;
-      cv_.NotifyAll();
-    }
-  }
-
-  /// A busy worker donating freshly split subproblems.
-  void Donate(std::vector<Subproblem> subs) {
-    if (subs.empty()) return;
-    MutexLock lock(mu_);
-    ++splits_;
-    for (Subproblem& sp : subs) pool_.push_back(std::move(sp));
-    pool_size_.store(pool_.size(), std::memory_order_relaxed);
-    cv_.NotifyAll();
-  }
-
-  /// Wakes every waiter after `cancel` was set (the flag is in the wait
-  /// predicate, so lock-then-notify cannot miss anyone).
-  void NotifyCancelled() {
-    MutexLock lock(mu_);
-    cv_.NotifyAll();
-  }
-
-  uint64_t splits() const {
-    MutexLock lock(mu_);
-    return splits_;
-  }
-  /// Every pop except the initial root came from another worker's donation.
-  uint64_t steals() const {
-    MutexLock lock(mu_);
-    return pops_ > 0 ? pops_ - 1 : 0;
-  }
-
- private:
-  mutable Mutex mu_;
-  CondVar cv_;
-  std::deque<Subproblem> pool_ CQCS_GUARDED_BY(mu_);
-  size_t busy_ CQCS_GUARDED_BY(mu_) = 0;
-  bool done_ CQCS_GUARDED_BY(mu_) = false;
-  uint64_t pops_ CQCS_GUARDED_BY(mu_) = 0;
-  uint64_t splits_ CQCS_GUARDED_BY(mu_) = 0;
-};
+// The pool itself — the idle/termination protocol, dynamic-split Donate,
+// cancel flag, and split/steal counters — lives in common/work_pool.h
+// (shared with the morsel-parallel relational kernel); this module
+// instantiates it over decision-prefix subproblems.
+using SubproblemPool = WorkPool<Subproblem>;
 
 void MergeStats(const SolveStats& in, SolveStats* out) {
   out->nodes += in.nodes;
@@ -125,12 +32,6 @@ void MergeStats(const SolveStats& in, SolveStats* out) {
 }
 
 }  // namespace
-
-unsigned ResolveThreadCount(unsigned num_threads) {
-  if (num_threads != 0) return num_threads;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
-}
 
 size_t ParallelSearch(const CspInstance& csp, const SolveOptions& options,
                       std::span<const Element> projection,
@@ -147,7 +48,7 @@ size_t ParallelSearch(const CspInstance& csp, const SolveOptions& options,
     csp.LcvValuePermutation();  // builds ValueSupportScores too
   }
 
-  WorkPool pool(Subproblem{});
+  SubproblemPool pool(Subproblem{});
 
   // All solution delivery is serialized here, so the caller's closure needs
   // no internal locking, Solve's first-solution race has exactly one winner,

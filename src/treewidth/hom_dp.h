@@ -21,12 +21,17 @@ namespace cqcs {
 
 class ResourceGovernor;  // common/governor.h
 
-/// Statistics from the DP run, for the benchmarks.
+/// Statistics from the DP run, for the benchmarks. As with
+/// YannakakisStats, workers/morsels are deterministic per (input, thread
+/// count) while steals depends on scheduling.
 struct TreewidthSolveStats {
   int width = -1;              ///< width of the decomposition used
   size_t table_entries = 0;    ///< total bag-assignment rows considered
   size_t table_rows = 0;       ///< rows kept across all node tables (one
                                ///< per distinct parent-intersection key)
+  unsigned workers = 0;        ///< resolved worker count of the run
+  uint64_t morsels = 0;        ///< per-bag morsel dispatches
+  uint64_t steals = 0;         ///< bags run by pool (non-calling) threads
 };
 
 /// Decides hom(A -> B) with a caller-supplied decomposition of A. The
@@ -38,11 +43,18 @@ struct TreewidthSolveStats {
 /// bag-assignment odometer polls it on a stride and the DP tables charge
 /// their growth against its memory budget; a trip unwinds with
 /// kResourceExhausted and no partial answer.
+///
+/// `num_threads` (SolveOptions convention: 1 = sequential, 0 = hardware)
+/// runs independent bags concurrently: the DP is level-scheduled over the
+/// forest — every bag of one depth is processed before any bag of the
+/// next-shallower depth — and the bags within a level, which share no
+/// data, fan out on the shared MorselPool. Answer and stats (minus
+/// workers/steals) are identical at every thread count.
 Result<std::optional<Homomorphism>> SolveViaTreeDecomposition(
     const Structure& a, const Structure& b,
     const TreeDecomposition& decomposition,
     TreewidthSolveStats* stats = nullptr,
-    ResourceGovernor* governor = nullptr);
+    ResourceGovernor* governor = nullptr, unsigned num_threads = 1);
 
 /// Convenience: builds a min-fill heuristic decomposition of A and runs the
 /// DP. Polynomial whenever A's treewidth is bounded (the heuristic width is
@@ -52,7 +64,7 @@ Result<std::optional<Homomorphism>> SolveViaTreeDecomposition(
 Result<std::optional<Homomorphism>> SolveBoundedTreewidth(
     const Structure& a, const Structure& b,
     TreewidthSolveStats* stats = nullptr,
-    ResourceGovernor* governor = nullptr);
+    ResourceGovernor* governor = nullptr, unsigned num_threads = 1);
 
 }  // namespace cqcs
 

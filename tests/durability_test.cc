@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <filesystem>
+#include <unistd.h>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -37,12 +38,15 @@ using serve::RecoveryInfo;
 // ---------------------------------------------------------------- helpers ---
 
 /// A fresh scratch directory under the test temp root, removed on exit.
+/// The pid keeps concurrently running test processes (ctest -j) from
+/// sharing a path: the per-process counter and gtest's random_seed are
+/// identical across processes, and two tests deleting each other's WAL
+/// mid-matrix shows up as phantom "resurrected" catalog entries.
 class ScratchDir {
  public:
   explicit ScratchDir(const std::string& tag) {
     path_ = (std::filesystem::temp_directory_path() /
-             ("cqcs_durability_" + tag + "_" +
-              std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             ("cqcs_durability_" + tag + "_" + std::to_string(::getpid()) +
               "_" + std::to_string(counter_++)))
                 .string();
     std::filesystem::remove_all(path_);

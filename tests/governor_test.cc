@@ -429,6 +429,68 @@ TEST(GovernorEngineTest, EveryBackendTripsCleanlyAndStaysReusable) {
   }
 }
 
+TEST(GovernorEngineTest, ParallelMorselTripBehavesLikeSequential) {
+  // A failpoint firing while several morsel workers are in flight must
+  // honor the same clean-trip contract as the sequential path: the cancel
+  // flag propagates through the MorselPool, in-flight morsels finish,
+  // partial shards are discarded (no torn tables surface in the result),
+  // and the identical problem immediately answers correctly afterwards.
+  Rng rng(7010);
+  auto vocab = MakeGraphVocabulary();
+  Structure acyclic_a = PathStructure(vocab, 10);
+  Structure cyclic_a = UndirectedCycleStructure(vocab, 7);
+  Structure b = RandomGraphStructure(vocab, 5, 0.6, rng, true);
+
+  struct Case {
+    Backend backend;
+    HomTask task;
+    const Structure* a;
+  };
+  const std::vector<Case> cases = {
+      {Backend::kAcyclic, HomTask::kCount, &acyclic_a},
+      {Backend::kAcyclic, HomTask::kEnumerate, &acyclic_a},
+      {Backend::kAcyclic, HomTask::kProject, &acyclic_a},
+      {Backend::kTreewidth, HomTask::kDecide, &cyclic_a},
+  };
+  for (const Case& c : cases) {
+    HomProblem p = MustProblem(HomProblem::FromStructures(*c.a, b));
+    ASSERT_TRUE(p.SetProjection({0}).ok());
+
+    // Ungoverned parallel baseline (already thread-invariant per the poly
+    // oracle); the post-trip reuse check compares against it.
+    EngineOptions clean;
+    clean.backend = c.backend;
+    clean.solve.num_threads = 4;
+    EngineResult baseline = MustRun(HomEngine(clean), p, c.task);
+
+    // Sweep the failpoint through the run so it lands in different
+    // phases — including mid-morsel of the parallel passes.
+    for (uint64_t after : {uint64_t{1}, uint64_t{3}, uint64_t{17},
+                           uint64_t{200}}) {
+      SCOPED_TRACE(testing::Message()
+                   << BackendName(c.backend) << "/" << HomTaskName(c.task)
+                   << " trip_after_checks=" << after);
+      EngineOptions tripping = clean;
+      tripping.failpoints.trip_after_checks = after;
+      EngineResult r = MustRun(HomEngine(tripping), p, c.task);
+      if (r.stats.governor.tripped) {
+        ExpectCleanTrip(r, c.task);
+      } else {
+        // Failpoint beyond the run's poll count: the governed run must
+        // then agree with the ungoverned baseline exactly.
+        EXPECT_EQ(r.decided, baseline.decided);
+        EXPECT_EQ(r.count, baseline.count);
+        EXPECT_EQ(r.rows, baseline.rows);
+      }
+      // Reuse after the trip: no torn state behind the compiled problem.
+      EngineResult again = MustRun(HomEngine(clean), p, c.task);
+      EXPECT_EQ(again.decided, baseline.decided);
+      EXPECT_EQ(again.count, baseline.count);
+      EXPECT_EQ(again.rows, baseline.rows);
+    }
+  }
+}
+
 TEST(GovernorEngineTest, ChargeFailpointTripsTheTablePaths) {
   // trip_after_charges=1 fires on the first table/index growth, exercising
   // the memory-accounting trip path rather than the poll path.

@@ -93,6 +93,16 @@ TEST(UnpolledLoop, RuleOnlyAppliesToGovernedFiles) {
       LintFixture("unpolled_loop_bad.cc", "src/core/graph.cc").empty());
 }
 
+TEST(UnpolledLoop, CoversMorselWorkerBodies) {
+  // The morsel pool dispatches the governed bodies, so its own loops are
+  // in the governed set too: an unpolled nested loop there would let a
+  // stuck worker outlive every budget.
+  auto findings =
+      LintFixture("unpolled_loop_bad.cc", "src/common/work_pool.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unpolled-loop");
+}
+
 // ------------------------------------------------------------ banned-abort
 
 TEST(BannedAbort, FiresOnCheckAndAbortInInputReachableCode) {

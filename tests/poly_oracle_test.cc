@@ -292,6 +292,145 @@ TEST(PolyOracleTest, DeepSourceDoesNotOverflowTheStack) {
   EXPECT_EQ(rows.rows.size(), 2u);
 }
 
+TEST(PolyOracleTest, ThreadCountInvariance) {
+  // Parallelism changes wall-clock, never the answer: every acyclic task
+  // and the treewidth DP must return byte-identical results and stats at
+  // 1, 2, and 8 workers. Only `workers` (the request echo) and `steals`
+  // (a scheduling record) may differ; morsel decomposition depends only
+  // on table sizes, so even `morsels` must match.
+  Rng rng(20260808);
+  auto vocab = MakeGraphVocabulary();
+  const unsigned kThreadCounts[] = {1, 2, 8};
+  for (int trial = 0; trial < 10; ++trial) {
+    Structure a =
+        StructureFromGraph(vocab, RandomTree(4 + rng.Below(6), rng));
+    Structure b = RandomGraphStructure(vocab, 3 + rng.Below(3), 0.4, rng,
+                                       /*symmetric=*/true);
+    HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
+    std::vector<Element> proj = {0,
+                                 static_cast<Element>(a.universe_size() - 1)};
+    ASSERT_TRUE(p.SetProjection(proj).ok());
+
+    struct Answers {
+      EngineResult decide, count, enumerate, project, tw;
+    };
+    auto run_all = [&](unsigned threads) {
+      EngineOptions options;
+      options.backend = Backend::kAcyclic;
+      options.solve.num_threads = threads;
+      HomEngine engine(options);
+      Answers ans;
+      ans.decide = MustRun(engine, p, HomTask::kDecide);
+      ans.count = MustRun(engine, p, HomTask::kCount);
+      ans.enumerate = MustRun(engine, p, HomTask::kEnumerate);
+      ans.project = MustRun(engine, p, HomTask::kProject);
+      EngineOptions tw_options = options;
+      tw_options.backend = Backend::kTreewidth;
+      ans.tw = MustRun(HomEngine(tw_options), p, HomTask::kWitness);
+      return ans;
+    };
+    auto expect_ys_equal = [&](const YannakakisStats& got,
+                               const YannakakisStats& want) {
+      EXPECT_EQ(got.atom_tables, want.atom_tables);
+      EXPECT_EQ(got.rows_materialized, want.rows_materialized);
+      EXPECT_EQ(got.max_table_rows, want.max_table_rows);
+      EXPECT_EQ(got.semijoins, want.semijoins);
+      EXPECT_EQ(got.rows_pruned, want.rows_pruned);
+      EXPECT_EQ(got.join_rows, want.join_rows);
+      EXPECT_EQ(got.morsels, want.morsels);
+    };
+
+    const Answers base = run_all(1);
+    EXPECT_EQ(base.decide.stats.yannakakis.workers, 1u);
+    EXPECT_EQ(base.decide.stats.yannakakis.steals, 0u);
+    for (unsigned threads : kThreadCounts) {
+      SCOPED_TRACE(testing::Message()
+                   << "trial " << trial << " threads " << threads);
+      const Answers got = run_all(threads);
+      EXPECT_EQ(got.decide.decided, base.decide.decided);
+      expect_ys_equal(got.decide.stats.yannakakis,
+                      base.decide.stats.yannakakis);
+      EXPECT_EQ(got.decide.stats.yannakakis.workers, threads);
+      EXPECT_EQ(got.count.count, base.count.count);
+      expect_ys_equal(got.count.stats.yannakakis,
+                      base.count.stats.yannakakis);
+      // Rows must match in ORDER, not just as sets: deterministic
+      // morsel-order shard merging is the contract.
+      EXPECT_EQ(got.enumerate.rows, base.enumerate.rows);
+      expect_ys_equal(got.enumerate.stats.yannakakis,
+                      base.enumerate.stats.yannakakis);
+      EXPECT_EQ(got.project.rows, base.project.rows);
+      expect_ys_equal(got.project.stats.yannakakis,
+                      base.project.stats.yannakakis);
+      EXPECT_EQ(got.tw.decided, base.tw.decided);
+      EXPECT_EQ(got.tw.witness, base.tw.witness);
+      EXPECT_EQ(got.tw.stats.treewidth.table_entries,
+                base.tw.stats.treewidth.table_entries);
+      EXPECT_EQ(got.tw.stats.treewidth.table_rows,
+                base.tw.stats.treewidth.table_rows);
+      EXPECT_EQ(got.tw.stats.treewidth.workers, threads);
+    }
+  }
+}
+
+TEST(PolyOracleTest, ProjectCountMatchesMaterializedProject) {
+  // AcyclicProjectCount must agree with |AcyclicProject| on every instance
+  // — including forests (per-tree root products) and isolated projection
+  // variables (universe factors) — and saturate at the limit.
+  Rng rng(31337);
+  auto vocab = MakeGraphVocabulary();
+  for (int trial = 0; trial < 15; ++trial) {
+    // Two path components plus one atom-free element: exercises the
+    // multi-root product and the universe^|isolated| factor.
+    const size_t n1 = 2 + rng.Below(3);
+    const size_t n2 = 2 + rng.Below(3);
+    Structure a(vocab, n1 + n2 + 1);
+    for (size_t i = 0; i + 1 < n1; ++i) {
+      a.AddTuple(0, {static_cast<Element>(i), static_cast<Element>(i + 1)});
+    }
+    for (size_t i = 0; i + 1 < n2; ++i) {
+      a.AddTuple(0, {static_cast<Element>(n1 + i),
+                     static_cast<Element>(n1 + i + 1)});
+    }
+    Structure b = RandomGraphStructure(vocab, 2 + rng.Below(3), 0.5, rng,
+                                       /*symmetric=*/true);
+    HomProblem p = MustProblem(HomProblem::FromStructures(a, b));
+    const ConjunctiveQuery& q = p.SourceCanonicalQuery();
+    // Projection spans both trees and the isolated element, with a repeat.
+    std::vector<VarId> proj = {0, static_cast<VarId>(n1),
+                               static_cast<VarId>(n1 + n2), 0};
+
+    auto rows = AcyclicProject(q, b, proj);
+    ASSERT_TRUE(rows.ok());
+    const size_t want = rows->size();
+
+    auto count = AcyclicProjectCount(q, b, proj);
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(*count, want) << "trial " << trial;
+
+    // Saturation: limit below the true count clamps exactly there.
+    if (want > 1) {
+      auto capped = AcyclicProjectCount(q, b, proj, want - 1);
+      ASSERT_TRUE(capped.ok());
+      EXPECT_EQ(*capped, want - 1);
+    }
+    auto zero = AcyclicProjectCount(q, b, proj, 0);
+    ASSERT_TRUE(zero.ok());
+    EXPECT_EQ(*zero, 0u);
+
+    // Engine route: project_count_only returns the count and no rows.
+    ASSERT_TRUE(p.SetProjection(std::vector<Element>(proj.begin(),
+                                                     proj.end()))
+                    .ok());
+    EngineOptions options;
+    options.backend = Backend::kAcyclic;
+    options.project_count_only = true;
+    EngineResult r = MustRun(HomEngine(options), p, HomTask::kProject);
+    EXPECT_EQ(r.count, want);
+    EXPECT_TRUE(r.rows.empty());
+  }
+}
+
 TEST(PolyOracleTest, DirectAcyclicApiAgreesWithEngine) {
   // The cq/acyclic.h entry points are also the containment fast path; make
   // sure the direct API and the engine route agree on the same instances
